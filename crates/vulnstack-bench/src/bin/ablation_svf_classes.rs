@@ -1,0 +1,47 @@
+//! Ablation: SVF broken down by the class of the injected IR instruction.
+//! Software-level injectors see only live values, and which values are
+//! fragile differs sharply by instruction class — context for why SVF
+//! diverges from hardware-rooted measurements.
+
+use vulnstack_bench::{all_workloads, figure_header, master_seed, sub_seed};
+use vulnstack_core::report::{pct, Table};
+use vulnstack_gefin::default_faults;
+use vulnstack_vir::instr::InstrClass;
+
+fn main() {
+    let faults = default_faults(200);
+    let seed = master_seed();
+    figure_header("Ablation — SVF per injected IR instruction class", faults);
+
+    let classes = [
+        InstrClass::Value,
+        InstrClass::Arith,
+        InstrClass::Compare,
+        InstrClass::Load,
+        InstrClass::Syscall,
+        InstrClass::Call,
+    ];
+    let mut headers = vec!["bench"];
+    let names: Vec<String> = classes.iter().map(|c| c.name().to_string()).collect();
+    headers.extend(names.iter().map(String::as_str));
+    let mut t = Table::new(&headers);
+    for w in all_workloads() {
+        let b = vulnstack_llfi::svf_breakdown(
+            &w.module,
+            &w.input,
+            faults,
+            sub_seed(seed, &[w.id.name(), "svf-classes"]),
+        );
+        let mut row = vec![w.id.name().to_string()];
+        for c in classes {
+            row.push(match b.get(&c) {
+                Some(tally) if tally.total() > 0 => pct(tally.vf().total()),
+                _ => "-".to_string(),
+            });
+        }
+        t.row(&row);
+        eprintln!("  [{}] done", w.id);
+    }
+    println!("{}", t.render());
+    println!("Cells show the SVF of faults landing on each class ('-' = no samples).");
+}

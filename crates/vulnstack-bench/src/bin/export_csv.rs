@@ -1,0 +1,70 @@
+//! Exports the core cross-layer dataset (per-benchmark SVF/PVF/AVF with
+//! SDC/Crash splits, per-structure AVF/HVF and FPM shares) as CSV files
+//! under `results/csv/`, for external plotting.
+
+use std::fs;
+use std::path::Path;
+
+use vulnstack_bench::{all_workloads, master_seed, svf_suite, AvfSuite, PvfSuite};
+use vulnstack_core::report::to_csv;
+use vulnstack_gefin::default_faults;
+use vulnstack_isa::Isa;
+use vulnstack_microarch::ooo::Fpm;
+use vulnstack_microarch::CoreModel;
+
+fn main() -> std::io::Result<()> {
+    let faults = default_faults(120);
+    let seed = master_seed();
+    let dir = Path::new("results/csv");
+    fs::create_dir_all(dir)?;
+
+    let mut layer_rows = Vec::new();
+    let mut structure_rows = Vec::new();
+
+    for w in all_workloads() {
+        let svf = svf_suite(&w, faults, seed).vf();
+        let pvf = PvfSuite::run_wd_only(&w, Isa::Va64, faults, seed).vf();
+        let suite = AvfSuite::run(&w, CoreModel::A72, faults, seed);
+        let avf = suite.weighted_avf();
+        layer_rows.push(vec![
+            w.id.name().to_string(),
+            format!("{:.6}", svf.sdc),
+            format!("{:.6}", svf.crash),
+            format!("{:.6}", pvf.sdc),
+            format!("{:.6}", pvf.crash),
+            format!("{:.6}", avf.sdc),
+            format!("{:.6}", avf.crash),
+        ]);
+        for r in &suite.per_structure {
+            structure_rows.push(vec![
+                w.id.name().to_string(),
+                r.structure.name().to_string(),
+                r.bits.to_string(),
+                format!("{:.6}", r.avf().total()),
+                format!("{:.6}", r.hvf()),
+                format!("{:.6}", r.fpm.share(Fpm::Wd)),
+                format!("{:.6}", r.fpm.share(Fpm::Wi)),
+                format!("{:.6}", r.fpm.share(Fpm::Woi)),
+                format!("{:.6}", r.fpm.share(Fpm::Esc)),
+            ]);
+        }
+        eprintln!("  [{}] done", w.id);
+    }
+
+    fs::write(
+        dir.join("layers.csv"),
+        to_csv(
+            &["bench", "svf_sdc", "svf_crash", "pvf_sdc", "pvf_crash", "avf_sdc", "avf_crash"],
+            &layer_rows,
+        ),
+    )?;
+    fs::write(
+        dir.join("structures.csv"),
+        to_csv(
+            &["bench", "structure", "bits", "avf", "hvf", "wd", "wi", "woi", "esc"],
+            &structure_rows,
+        ),
+    )?;
+    println!("wrote results/csv/layers.csv and results/csv/structures.csv");
+    Ok(())
+}

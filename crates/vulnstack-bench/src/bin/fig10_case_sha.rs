@@ -1,0 +1,10 @@
+//! Fig. 10 reproduction: the software fault-tolerance case study on
+//! `sha` — per-structure AVF, weighted AVF, PVF and SVF, with (w/) and
+//! without (w/o) the duplication+detection hardening.
+
+use vulnstack_bench::case_study::run_case_study;
+use vulnstack_workloads::WorkloadId;
+
+fn main() {
+    run_case_study(WorkloadId::Sha, "Fig. 10");
+}

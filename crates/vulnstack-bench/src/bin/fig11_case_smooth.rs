@@ -1,0 +1,9 @@
+//! Fig. 11 reproduction: the software fault-tolerance case study on
+//! `smooth` (same panels as Fig. 10).
+
+use vulnstack_bench::case_study::run_case_study;
+use vulnstack_workloads::WorkloadId;
+
+fn main() {
+    run_case_study(WorkloadId::Smooth, "Fig. 11");
+}

@@ -1,0 +1,50 @@
+//! Fig. 7 reproduction: PVF per fault propagation model (WD, WOI, WI),
+//! split by fault-effect class. WD shows wide cross-benchmark variance
+//! and SDC dominance; WOI and especially WI are narrower and crash-heavy.
+
+use vulnstack_bench::{all_workloads, figure_header, master_seed, PvfSuite};
+use vulnstack_core::report::{pct, Table};
+use vulnstack_gefin::default_faults;
+use vulnstack_isa::Isa;
+
+fn main() {
+    let faults = default_faults(150);
+    let seed = master_seed();
+    figure_header("Fig. 7 — PVF per FPM (WD / WOI / WI), SDC and Crash split (va64)", faults);
+
+    let mut t = Table::new(&[
+        "bench", "WD SDC", "WD Crash", "WOI SDC", "WOI Crash", "WI SDC", "WI Crash",
+    ]);
+    let mut wd_totals = Vec::new();
+    let mut wi_totals = Vec::new();
+    for w in all_workloads() {
+        let s = PvfSuite::run(&w, Isa::Va64, faults, seed);
+        let (wd, woi, wi) = (s.wd.vf(), s.woi.vf(), s.wi.vf());
+        t.row(&[
+            w.id.name().into(),
+            pct(wd.sdc),
+            pct(wd.crash),
+            pct(woi.sdc),
+            pct(woi.crash),
+            pct(wi.sdc),
+            pct(wi.crash),
+        ]);
+        wd_totals.push(wd.total());
+        wi_totals.push(wi.total());
+        eprintln!("  [{}] done", w.id);
+    }
+    println!("{}", t.render());
+
+    let spread = |v: &[f64]| {
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(0.0f64, f64::max);
+        hi - lo
+    };
+    println!(
+        "variability across benchmarks: WD range = {:.1} pp, WI range = {:.1} pp",
+        spread(&wd_totals) * 100.0,
+        spread(&wi_totals) * 100.0
+    );
+    println!("Shape to check: WD varies the most across workloads and leans SDC;");
+    println!("WI is more uniform and crash-heavy (wild control flow, invalid opcodes).");
+}

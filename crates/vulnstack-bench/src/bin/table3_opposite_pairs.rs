@@ -1,0 +1,62 @@
+//! Table III reproduction: frequency of opposite relative-vulnerability
+//! comparisons — benchmark pairs that PVF/SVF order oppositely to the
+//! cross-layer AVF, plus dominant-effect flips.
+
+use vulnstack_bench::{all_workloads, figure_header, master_seed, svf_suite, AvfSuite, PvfSuite};
+use vulnstack_core::pairs::{compare_orderings, dominant_effect_flips};
+use vulnstack_core::report::Table;
+use vulnstack_gefin::default_faults;
+use vulnstack_microarch::CoreModel;
+
+fn main() {
+    let faults = default_faults(100);
+    let seed = master_seed();
+    figure_header("Table III — opposite relative-vulnerability comparisons", faults);
+
+    let workloads = all_workloads();
+    // SVF is ISA/microarchitecture-independent: one campaign set.
+    let svf: Vec<_> = workloads.iter().map(|w| svf_suite(w, faults, seed).vf()).collect();
+    eprintln!("  [svf] done");
+
+    let mut t = Table::new(&[
+        "core", "PVF-AVF total", "PVF-AVF effect", "SVF-AVF total", "SVF-AVF effect",
+        "SVF-PVF total", "SVF-PVF effect",
+    ]);
+    for model in CoreModel::ALL {
+        let cfg = model.config();
+        let pvf: Vec<_> = workloads
+            .iter()
+            .map(|w| PvfSuite::run_wd_only(w, cfg.isa, faults, seed).vf())
+            .collect();
+        eprintln!("  [pvf/{model}] done");
+        let avf: Vec<_> = workloads
+            .iter()
+            .map(|w| AvfSuite::run(w, model, faults, seed).weighted_avf())
+            .collect();
+        eprintln!("  [avf/{model}] done");
+
+        let tot = |v: &[vulnstack_core::effects::VulnFactor]| -> Vec<f64> {
+            v.iter().map(|x| x.total()).collect()
+        };
+        let sc = |v: &[vulnstack_core::effects::VulnFactor]| -> Vec<(f64, f64)> {
+            v.iter().map(|x| (x.sdc, x.crash)).collect()
+        };
+        let eps = 1e-6;
+        let pa = compare_orderings(&tot(&pvf), &tot(&avf), eps);
+        let sa = compare_orderings(&tot(&svf), &tot(&avf), eps);
+        let sp = compare_orderings(&tot(&svf), &tot(&pvf), eps);
+        t.row(&[
+            model.name().into(),
+            format!("{}/{}", pa.opposite, pa.total()),
+            dominant_effect_flips(&sc(&pvf), &sc(&avf)).to_string(),
+            format!("{}/{}", sa.opposite, sa.total()),
+            dominant_effect_flips(&sc(&svf), &sc(&avf)).to_string(),
+            format!("{}/{}", sp.opposite, sp.total()),
+            dominant_effect_flips(&sc(&svf), &sc(&pvf)).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Columns: opposite pairs out of 45 total benchmark pairs ('total'), and the");
+    println!("number of benchmarks whose dominant effect class flips ('effect').");
+    println!("Shape to check: substantial disagreement between higher-level methods and AVF.");
+}

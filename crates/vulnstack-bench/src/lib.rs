@@ -1,0 +1,328 @@
+//! Shared harness code for the figure/table reproduction binaries.
+//!
+//! Every binary reads two environment knobs:
+//!
+//! * `VULNSTACK_FAULTS` — injections per (workload, structure/mode)
+//!   campaign. The paper used 2,000; defaults here are lower so a full
+//!   figure regenerates in minutes. Raise for tighter error margins.
+//! * `VULNSTACK_THREADS` — worker threads (defaults to the machine).
+
+use std::collections::BTreeMap;
+
+use vulnstack_core::effects::{Tally, VulnFactor};
+use vulnstack_core::stack::{FpmDist, StructureAvf, WeightedAvf};
+use vulnstack_gefin::avf::AvfCampaignResult;
+use vulnstack_gefin::{avf_campaign, default_threads, pvf_campaign, FuncPrepared, Prepared, PvfMode};
+use vulnstack_isa::Isa;
+use vulnstack_microarch::ooo::HwStructure;
+use vulnstack_microarch::CoreModel;
+use vulnstack_workloads::{Workload, WorkloadId};
+
+/// Master seed for all campaigns (override with `VULNSTACK_SEED`).
+pub fn master_seed() -> u64 {
+    std::env::var("VULNSTACK_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(2021)
+}
+
+/// Derives a sub-seed for a named campaign.
+pub fn sub_seed(master: u64, parts: &[&str]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    master.hash(&mut h);
+    for p in parts {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Per-workload AVF suite across all five structures on one core model.
+#[derive(Debug)]
+pub struct AvfSuite {
+    /// The core model.
+    pub model: CoreModel,
+    /// Per-structure campaign results.
+    pub per_structure: Vec<AvfCampaignResult>,
+}
+
+impl AvfSuite {
+    /// Runs the suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if preparation fails (a workload that does not run cleanly).
+    pub fn run(workload: &Workload, model: CoreModel, faults: usize, seed: u64) -> AvfSuite {
+        let prep = Prepared::new(workload, model)
+            .unwrap_or_else(|e| panic!("{}/{model}: {e}", workload.id));
+        let threads = default_threads();
+        let per_structure = HwStructure::ALL
+            .iter()
+            .map(|&st| {
+                let s = sub_seed(seed, &[workload.id.name(), model.name(), st.name()]);
+                avf_campaign(&prep, st, faults, s, threads)
+            })
+            .collect();
+        AvfSuite { model, per_structure }
+    }
+
+    /// The size-weighted AVF across the five structures.
+    pub fn weighted_avf(&self) -> VulnFactor {
+        let structures = self
+            .per_structure
+            .iter()
+            .map(|r| StructureAvf { structure: r.structure, bits: r.bits, tally: r.tally })
+            .collect();
+        WeightedAvf::new(structures).weighted()
+    }
+
+    /// The size-weighted FPM distribution across structures (paper Fig. 6).
+    pub fn weighted_fpm(&self) -> BTreeMap<vulnstack_microarch::ooo::Fpm, f64> {
+        let parts: Vec<(u64, &FpmDist)> =
+            self.per_structure.iter().map(|r| (r.bits, &r.fpm)).collect();
+        FpmDist::weighted_combine(&parts)
+    }
+
+    /// The campaign result for one structure.
+    pub fn structure(&self, st: HwStructure) -> &AvfCampaignResult {
+        self.per_structure.iter().find(|r| r.structure == st).expect("all structures present")
+    }
+}
+
+/// Size-weighted, software-conditional FPM shares for rPVF: combines the
+/// per-structure distributions with bit weights, then renormalises over
+/// WD/WOI/WI.
+pub fn rpvf_weights(suite: &AvfSuite) -> (f64, f64, f64) {
+    use vulnstack_microarch::ooo::Fpm;
+    let shares = suite.weighted_fpm();
+    let wd = shares.get(&Fpm::Wd).copied().unwrap_or(0.0);
+    let woi = shares.get(&Fpm::Woi).copied().unwrap_or(0.0);
+    let wi = shares.get(&Fpm::Wi).copied().unwrap_or(0.0);
+    let sw = wd + woi + wi;
+    if sw == 0.0 {
+        return (0.0, 0.0, 0.0);
+    }
+    (wd / sw, woi / sw, wi / sw)
+}
+
+/// PVF measurements (typical WD-only plus the full per-FPM set) for one
+/// workload on one ISA.
+#[derive(Debug)]
+pub struct PvfSuite {
+    /// WD-population PVF (the "typical PVF" of the literature).
+    pub wd: Tally,
+    /// WOI-population PVF.
+    pub woi: Tally,
+    /// WI-population PVF.
+    pub wi: Tally,
+}
+
+impl PvfSuite {
+    /// Runs WD-only (typical PVF).
+    pub fn run_wd_only(workload: &Workload, isa: Isa, faults: usize, seed: u64) -> Tally {
+        let prep = FuncPrepared::new(workload, isa)
+            .unwrap_or_else(|e| panic!("{}/{isa}: {e}", workload.id));
+        pvf_campaign(
+            &prep,
+            PvfMode::Wd,
+            faults,
+            sub_seed(seed, &[workload.id.name(), isa.name(), "pvf-wd"]),
+            default_threads(),
+        )
+    }
+
+    /// Runs all three FPM populations.
+    pub fn run(workload: &Workload, isa: Isa, faults: usize, seed: u64) -> PvfSuite {
+        let prep = FuncPrepared::new(workload, isa)
+            .unwrap_or_else(|e| panic!("{}/{isa}: {e}", workload.id));
+        let threads = default_threads();
+        let run = |mode: PvfMode| {
+            pvf_campaign(
+                &prep,
+                mode,
+                faults,
+                sub_seed(seed, &[workload.id.name(), isa.name(), "pvf", mode.name()]),
+                threads,
+            )
+        };
+        PvfSuite { wd: run(PvfMode::Wd), woi: run(PvfMode::Woi), wi: run(PvfMode::Wi) }
+    }
+}
+
+/// Runs the SVF (LLFI-style) campaign for one workload.
+pub fn svf_suite(workload: &Workload, faults: usize, seed: u64) -> Tally {
+    vulnstack_llfi::svf_campaign(
+        &workload.module,
+        &workload.input,
+        &workload.expected_output,
+        faults,
+        sub_seed(seed, &[workload.id.name(), "svf"]),
+        default_threads(),
+    )
+}
+
+/// The benchmark subset used by most figures (all ten workloads).
+pub fn all_workloads() -> Vec<Workload> {
+    WorkloadId::ALL.iter().map(|id| id.build()).collect()
+}
+
+/// Standard figure header.
+pub fn figure_header(name: &str, faults: usize) {
+    println!("=== {name} ===");
+    println!(
+        "(faults/campaign = {faults}; error margin ≈ {:.1}% at 99% confidence; \
+         set VULNSTACK_FAULTS=2000 for the paper's 2.88%)",
+        vulnstack_core::stats::error_margin(faults as u64, u64::MAX / 2, 0.5, vulnstack_core::stats::Z_99)
+            * 100.0
+    );
+    println!();
+}
+
+pub mod case_study {
+    //! The software fault-tolerance case study (paper §VI.B, Figs. 10/11):
+    //! evaluate a benchmark with and without the duplication+detection
+    //! hardening at every layer of the stack.
+
+    use vulnstack_core::report::{pct, pct2, Table};
+    use vulnstack_ft::harden;
+    use vulnstack_gefin::default_faults;
+    use vulnstack_microarch::CoreModel;
+    use vulnstack_workloads::{Workload, WorkloadId};
+
+    use crate::{figure_header, master_seed, svf_suite, AvfSuite, PvfSuite};
+
+    /// Builds the hardened variant of a workload.
+    pub fn hardened_workload(id: WorkloadId) -> Workload {
+        let base = id.build();
+        let module = harden(&base.module).expect("hardening verifies");
+        Workload { module, ..base }
+    }
+
+    /// Runs the full case study for `id` and prints the paper-style
+    /// panels.
+    pub fn run_case_study(id: WorkloadId, figure: &str) {
+        let faults = default_faults(150);
+        let seed = master_seed();
+        figure_header(
+            &format!("{figure} — fault-tolerance case study on {id} (A72)"),
+            faults,
+        );
+
+        let base = id.build();
+        let hard = hardened_workload(id);
+
+        // Panel (a): per-structure AVF, w/o and w/.
+        let suite_wo = AvfSuite::run(&base, CoreModel::A72, faults, seed);
+        eprintln!("  [avf w/o] done");
+        let suite_w = AvfSuite::run(&hard, CoreModel::A72, faults, seed);
+        eprintln!("  [avf w/] done");
+        let mut t = Table::new(&[
+            "structure", "w/o SDC", "w/o Crash", "w/o tot", "w/ SDC", "w/ Crash", "w/ tot",
+            "w/ detected",
+        ]);
+        for (a, b) in suite_wo.per_structure.iter().zip(&suite_w.per_structure) {
+            let (va, vb) = (a.avf(), b.avf());
+            t.row(&[
+                a.structure.name().into(),
+                pct2(va.sdc),
+                pct2(va.crash),
+                pct2(va.total()),
+                pct2(vb.sdc),
+                pct2(vb.crash),
+                pct2(vb.total()),
+                pct2(vb.detected),
+            ]);
+        }
+        println!("(a) per-structure AVF");
+        println!("{}", t.render());
+
+        // Panel (b): weighted AVF.
+        let (aw, ah) = (suite_wo.weighted_avf(), suite_w.weighted_avf());
+        let mut t = Table::new(&["variant", "SDC", "Crash", "total"]);
+        t.row(&["w/o".into(), pct2(aw.sdc), pct2(aw.crash), pct2(aw.total())]);
+        t.row(&["w/".into(), pct2(ah.sdc), pct2(ah.crash), pct2(ah.total())]);
+        println!("(b) size-weighted cross-layer AVF");
+        println!("{}", t.render());
+        let delta = if aw.total() > 0.0 { ah.total() / aw.total() - 1.0 } else { 0.0 };
+        println!("    AVF change with hardening: {:+.0}%\n", delta * 100.0);
+
+        // Panel (c): PVF (WD population, va64).
+        let pw = PvfSuite::run_wd_only(&base, vulnstack_isa::Isa::Va64, faults, seed).vf();
+        let ph = PvfSuite::run_wd_only(&hard, vulnstack_isa::Isa::Va64, faults, seed).vf();
+        eprintln!("  [pvf] done");
+        let mut t = Table::new(&["variant", "SDC", "Crash", "total", "detected"]);
+        t.row(&["w/o".into(), pct(pw.sdc), pct(pw.crash), pct(pw.total()), pct(pw.detected)]);
+        t.row(&["w/".into(), pct(ph.sdc), pct(ph.crash), pct(ph.total()), pct(ph.detected)]);
+        println!("(c) PVF");
+        println!("{}", t.render());
+        if ph.total() > 0.0 {
+            println!("    PVF reduction: {:.1}x\n", pw.total() / ph.total());
+        }
+
+        // Panel (d): SVF.
+        let sw = svf_suite(&base, faults, seed).vf();
+        let sh = svf_suite(&hard, faults, seed).vf();
+        eprintln!("  [svf] done");
+        let mut t = Table::new(&["variant", "SDC", "Crash", "total", "detected"]);
+        t.row(&["w/o".into(), pct(sw.sdc), pct(sw.crash), pct(sw.total()), pct(sw.detected)]);
+        t.row(&["w/".into(), pct(sh.sdc), pct(sh.crash), pct(sh.total()), pct(sh.detected)]);
+        println!("(d) SVF");
+        println!("{}", t.render());
+        if sh.total() > 0.0 {
+            println!("    SVF reduction: {:.1}x\n", sw.total() / sh.total());
+        }
+
+        // Runtime inflation (the mechanism behind the AVF increase).
+        let prep_wo = vulnstack_gefin::Prepared::new(&base, CoreModel::A72).unwrap();
+        let prep_w = vulnstack_gefin::Prepared::new(&hard, CoreModel::A72).unwrap();
+        println!(
+            "execution time: {} -> {} cycles ({:.1}x)",
+            prep_wo.golden.cycles,
+            prep_w.golden.cycles,
+            prep_w.golden.cycles as f64 / prep_wo.golden.cycles as f64
+        );
+        println!("Shapes to check (paper): PVF and SVF drop by multiple x (detected");
+        println!("faults excluded), while the cross-layer AVF *increases* — longer");
+        println!("execution means longer residency and more crashes.");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_seeds_are_stable_and_distinct() {
+        let a = sub_seed(1, &["sha", "A72", "RF"]);
+        let b = sub_seed(1, &["sha", "A72", "RF"]);
+        let c = sub_seed(1, &["sha", "A72", "LSQ"]);
+        let d = sub_seed(2, &["sha", "A72", "RF"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn rpvf_weights_normalise_over_software_fpms() {
+        // Construct a suite-like FPM mix by hand through the public API is
+        // heavyweight; check the arithmetic contract on the helper's
+        // underlying share math instead.
+        use vulnstack_core::stack::FpmDist;
+        use vulnstack_microarch::ooo::Fpm;
+        let mut d = FpmDist::new();
+        for _ in 0..6 {
+            d.add(Some(Fpm::Wd));
+        }
+        for _ in 0..3 {
+            d.add(Some(Fpm::Wi));
+        }
+        for _ in 0..1 {
+            d.add(Some(Fpm::Esc));
+        }
+        let sw: f64 =
+            [Fpm::Wd, Fpm::Woi, Fpm::Wi].iter().map(|&f| d.software_share(f)).sum();
+        assert!((sw - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_workloads_builds_ten() {
+        assert_eq!(all_workloads().len(), 10);
+    }
+}

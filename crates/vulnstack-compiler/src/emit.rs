@@ -1,0 +1,404 @@
+//! Final emission: spill rewriting, frames, prologue/epilogue, branch
+//! resolution and binary encoding.
+
+use vulnstack_isa::{Instr, Isa, Op, Reg};
+use vulnstack_vir::{FuncId, Module};
+
+use crate::liveness;
+use crate::lower::lower_function;
+use crate::mir::{MFunction, MInstr, MReg, MTarget};
+use crate::regalloc::{allocate, RegPools};
+use crate::{CompileError, CompileOpts, CompiledModule};
+
+/// Resolved control-flow target during per-function emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FTarget {
+    None,
+    /// Pending local block id (first pass) — patched to `Local`.
+    Pending(u32),
+    /// Local instruction index within the function.
+    Local(u32),
+    /// Call to another function.
+    Func(FuncId),
+}
+
+/// A fully register-allocated instruction.
+#[derive(Debug, Clone, Copy)]
+struct FInstr {
+    op: Op,
+    rd: Reg,
+    rs1: Reg,
+    rs2: Reg,
+    imm: i64,
+    shift: u8,
+    target: FTarget,
+}
+
+impl FInstr {
+    fn simple(op: Op, rd: Reg, rs1: Reg, rs2: Reg, imm: i64, shift: u8) -> FInstr {
+        FInstr { op, rd, rs1, rs2, imm, shift, target: FTarget::None }
+    }
+}
+
+#[derive(Debug)]
+struct EmittedFn {
+    name: String,
+    instrs: Vec<FInstr>,
+}
+
+/// Compiles a whole module (the implementation behind
+/// [`crate::compile`]).
+pub fn compile_module(
+    module: &Module,
+    isa: Isa,
+    opts: &CompileOpts,
+) -> Result<CompiledModule, CompileError> {
+    // 1. Data layout.
+    let mut data: Vec<u8> = Vec::new();
+    let mut global_addrs = Vec::with_capacity(module.globals.len());
+    for g in &module.globals {
+        let align = g.align.max(1);
+        while (opts.data_base as usize + data.len()) % align as usize != 0 {
+            data.push(0);
+        }
+        global_addrs.push(opts.data_base + data.len() as u32);
+        data.extend_from_slice(&g.init);
+    }
+    let data_size = ((data.len() as u32) + 15) & !15;
+
+    // 2. Lower, allocate and emit each function.
+    let pools = RegPools::for_isa(isa);
+    let mut emitted: Vec<EmittedFn> = Vec::with_capacity(module.functions.len());
+    for func in &module.functions {
+        let mf = lower_function(module, func, isa, &global_addrs);
+        emitted.push(emit_function(&mf, isa, &pools)?);
+    }
+
+    // 3. Layout: _start stub first, then functions in order.
+    let start_stub = start_stub(isa, opts, module.entry);
+    let mut func_offsets = Vec::with_capacity(emitted.len());
+    let mut cursor = start_stub.len() as u32;
+    for f in &emitted {
+        func_offsets.push(cursor);
+        cursor += f.instrs.len() as u32;
+    }
+
+    // 4. Encode with cross-function call resolution.
+    let mut text: Vec<u32> = Vec::with_capacity(cursor as usize);
+    let all = std::iter::once((&start_stub, 0u32, "_start".to_string())).chain(
+        emitted
+            .iter()
+            .zip(func_offsets.iter())
+            .map(|(f, &off)| (&f.instrs, off, f.name.clone())),
+    );
+    for (instrs, base, name) in all {
+        for (i, fi) in instrs.iter().enumerate() {
+            let pos = base + i as u32;
+            let imm = match fi.target {
+                FTarget::None => fi.imm,
+                FTarget::Local(l) => ((base + l) as i64 - pos as i64) * 4,
+                FTarget::Func(fid) => {
+                    (func_offsets[fid.0 as usize] as i64 - pos as i64) * 4
+                }
+                FTarget::Pending(_) => {
+                    unreachable!("unpatched branch target in {name}")
+                }
+            };
+            let instr = build_instr(fi, imm);
+            let word = instr.encode(isa).map_err(|e| {
+                if matches!(
+                    e,
+                    vulnstack_isa::encode::EncodeError::ImmOutOfRange { .. }
+                        | vulnstack_isa::encode::EncodeError::MisalignedOffset { .. }
+                ) && fi.target != FTarget::None
+                {
+                    CompileError::BranchOutOfRange { function: name.clone() }
+                } else {
+                    CompileError::Encode(format!("{name}[{i}] {e}"))
+                }
+            })?;
+            text.push(word);
+        }
+    }
+
+    let func_sizes = emitted.iter().map(|f| f.instrs.len() as u32).collect();
+    Ok(CompiledModule {
+        isa,
+        text,
+        data,
+        global_addrs,
+        func_offsets,
+        entry_offset: 0,
+        data_size,
+        func_sizes,
+    })
+}
+
+fn build_instr(fi: &FInstr, imm: i64) -> Instr {
+    use vulnstack_isa::op::Format;
+    match fi.op.format() {
+        Format::R => Instr::alu_rr(fi.op, fi.rd, fi.rs1, fi.rs2),
+        Format::I => Instr::alu_imm(fi.op, fi.rd, fi.rs1, imm),
+        Format::Load => Instr::load(fi.op, fi.rd, fi.rs1, imm),
+        Format::Store => Instr::store(fi.op, fi.rd, fi.rs1, imm),
+        Format::B => Instr::branch(fi.op, fi.rs1, fi.rs2, imm),
+        Format::J => Instr::jump(fi.op, imm),
+        Format::Jr => Instr::jump_reg(fi.op, fi.rs1),
+        Format::M => Instr::mov_wide(fi.op, fi.rd, imm as u16, fi.shift),
+        Format::Sys => Instr::sys(fi.op),
+        Format::Mfsr | Format::Mtsr => {
+            // The compiler never emits privileged moves; the kernel builds
+            // them directly.
+            unreachable!("compiler does not emit {:?}", fi.op)
+        }
+    }
+}
+
+/// Emits the `_start` stub: set up the stack, call the entry function,
+/// then `exit(0)`.
+fn start_stub(isa: Isa, opts: &CompileOpts, entry: FuncId) -> Vec<FInstr> {
+    let cc = vulnstack_isa::CallConv::new(isa);
+    let sp = isa.sp();
+    let mut v = Vec::new();
+    let top = opts.stack_top;
+    v.push(FInstr::simple(Op::Movz, sp, Reg(0), Reg(0), (top & 0xffff) as i64, 0));
+    if top >> 16 != 0 {
+        v.push(FInstr::simple(Op::Movk, sp, Reg(0), Reg(0), ((top >> 16) & 0xffff) as i64, 1));
+    }
+    v.push(FInstr {
+        op: Op::Call,
+        rd: Reg(0),
+        rs1: Reg(0),
+        rs2: Reg(0),
+        imm: 0,
+        shift: 0,
+        target: FTarget::Func(entry),
+    });
+    // exit(0).
+    v.push(FInstr::simple(Op::Movz, cc.arg(0), Reg(0), Reg(0), 0, 0));
+    v.push(FInstr::simple(
+        Op::Movz,
+        cc.syscall_num(),
+        Reg(0),
+        Reg(0),
+        vulnstack_isa::Syscall::Exit.number() as i64,
+        0,
+    ));
+    v.push(FInstr::simple(Op::Syscall, Reg(0), Reg(0), Reg(0), 0, 0));
+    // Unreachable safety net.
+    let mut selfloop =
+        FInstr::simple(Op::Jmp, Reg(0), Reg(0), Reg(0), 0, 0);
+    selfloop.target = FTarget::None;
+    v.push(selfloop);
+    v
+}
+
+fn emit_function(mf: &MFunction, isa: Isa, pools: &RegPools) -> Result<EmittedFn, CompileError> {
+    let live = liveness::analyze(mf);
+    let asg = allocate(&live, pools);
+    let sp = isa.sp();
+    let lr = isa.lr();
+    let word = isa.word_bytes() as i64;
+    let (st_op, ld_op) = if isa == Isa::Va64 { (Op::Sd, Op::Ld) } else { (Op::Sw, Op::Lw) };
+
+    // Frame layout: [VIR slots][spill slots][LR + callee-saved saves].
+    let spill_base = mf.slots_size;
+    let spill_area = (asg.num_spill_slots * 4 + 7) & !7;
+    let save_base = spill_base + spill_area;
+    let num_saves = asg.used_callee_saved.len() as u32 + u32::from(mf.has_calls);
+    let frame = (save_base + num_saves * word as u32 + 15) & !15;
+    assert!(frame < 8000, "{}: frame too large ({frame})", mf.name);
+    let spill_off = |slot: u32| (spill_base + slot * 4) as i64;
+
+    let mut out: Vec<FInstr> = Vec::new();
+
+    // Prologue.
+    if frame > 0 {
+        out.push(FInstr::simple(Op::Addi, sp, sp, Reg(0), -(frame as i64), 0));
+    }
+    let mut save_cursor = save_base as i64;
+    if mf.has_calls {
+        out.push(FInstr::simple(st_op, lr, sp, Reg(0), save_cursor, 0));
+        save_cursor += word;
+    }
+    for &r in &asg.used_callee_saved {
+        out.push(FInstr::simple(st_op, r, sp, Reg(0), save_cursor, 0));
+        save_cursor += word;
+    }
+
+    // Body, with spill rewriting. First pass leaves block targets pending.
+    let mut block_starts: Vec<u32> = Vec::with_capacity(mf.blocks.len());
+    for blk in &mf.blocks {
+        block_starts.push(out.len() as u32);
+        for mi in &blk.instrs {
+            rewrite_instr(mi, &asg, pools, sp, &spill_off, ld_op, &mut out);
+        }
+    }
+
+    // Epilogue.
+    let epilogue_start = out.len() as u32;
+    let mut restore_cursor = save_base as i64;
+    if mf.has_calls {
+        out.push(FInstr::simple(ld_op, lr, sp, Reg(0), restore_cursor, 0));
+        restore_cursor += word;
+    }
+    for &r in &asg.used_callee_saved {
+        out.push(FInstr::simple(ld_op, r, sp, Reg(0), restore_cursor, 0));
+        restore_cursor += word;
+    }
+    if frame > 0 {
+        out.push(FInstr::simple(Op::Addi, sp, sp, Reg(0), frame as i64, 0));
+    }
+    let mut ret = FInstr::simple(Op::Jmpr, Reg(0), lr, Reg(0), 0, 0);
+    ret.target = FTarget::None;
+    out.push(ret);
+
+    // Patch pending block targets.
+    for fi in &mut out {
+        if let FTarget::Pending(b) = fi.target {
+            fi.target = if b == u32::MAX {
+                FTarget::Local(epilogue_start)
+            } else {
+                FTarget::Local(block_starts[b as usize])
+            };
+        }
+    }
+
+    Ok(EmittedFn { name: mf.name.clone(), instrs: out })
+}
+
+/// Rewrites one machine instruction, inserting spill reloads/writebacks.
+fn rewrite_instr(
+    mi: &MInstr,
+    asg: &crate::regalloc::Assignment,
+    pools: &RegPools,
+    sp: Reg,
+    spill_off: &dyn Fn(u32) -> i64,
+    ld_op: Op,
+    out: &mut Vec<FInstr>,
+) {
+    let _ = ld_op; // spill slots are always 4 bytes; loads use LW
+    use vulnstack_isa::op::Format;
+    let fmt = mi.op.format();
+
+    // Which slots are sources/defs for this format?
+    let rd_is_src = fmt == Format::Store || (fmt == Format::M && mi.op == Op::Movk);
+    let rd_is_def = matches!(fmt, Format::R | Format::I | Format::Load | Format::M | Format::Mfsr);
+
+    let mut scratch_used = 0usize;
+    let mut reloads: Vec<(u32, Reg)> = Vec::new();
+    let mut resolve_src = |m: MReg, out: &mut Vec<FInstr>| -> Reg {
+        match m {
+            MReg::P(r) => r,
+            MReg::None => Reg(0),
+            MReg::V(v) => {
+                if let Some(&r) = asg.reg.get(&v) {
+                    r
+                } else {
+                    let slot = asg.spill[&v];
+                    if let Some(&(_, r)) = reloads.iter().find(|(sv, _)| *sv == v) {
+                        return r;
+                    }
+                    let s = pools.scratch[scratch_used.min(1)];
+                    scratch_used += 1;
+                    out.push(FInstr::simple(Op::Lw, s, sp, Reg(0), spill_off(slot), 0));
+                    reloads.push((v, s));
+                    s
+                }
+            }
+        }
+    };
+
+    let rs1 = resolve_src(mi.rs1, out);
+    let rs2 = resolve_src(mi.rs2, out);
+    let rd_src = if rd_is_src { resolve_src(mi.rd, out) } else { Reg(0) };
+
+    // Destination.
+    let (rd, def_spill) = if rd_is_def {
+        match mi.rd {
+            MReg::P(r) => (r, None),
+            MReg::None => (Reg(0), None),
+            MReg::V(v) => {
+                if let Some(&r) = asg.reg.get(&v) {
+                    (r, None)
+                } else {
+                    (pools.scratch[0], Some(asg.spill[&v]))
+                }
+            }
+        }
+    } else if rd_is_src {
+        (rd_src, None)
+    } else {
+        (Reg(0), None)
+    };
+
+    let target = match mi.target {
+        MTarget::None => FTarget::None,
+        MTarget::Block(b) => FTarget::Pending(b.0),
+        MTarget::Func(f) => FTarget::Func(f),
+        MTarget::Epilogue => FTarget::Pending(u32::MAX),
+    };
+    out.push(FInstr { op: mi.op, rd, rs1, rs2, imm: mi.imm, shift: mi.shift, target });
+
+    if let Some(slot) = def_spill {
+        out.push(FInstr::simple(Op::Sw, pools.scratch[0], sp, Reg(0), spill_off(slot), 0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompileOpts;
+    use vulnstack_vir::ModuleBuilder;
+
+    fn compile_simple(isa: Isa) -> CompiledModule {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global_words("tbl", &[1, 2, 3]);
+        let mut f = mb.function("main", 0);
+        let p = f.global_addr(g);
+        let v = f.load32(p, 4);
+        let w = f.add(v, 40);
+        f.sys_exit(w);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        compile_module(&m, isa, &CompileOpts::default()).unwrap()
+    }
+
+    #[test]
+    fn compiles_and_decodes_on_both_isas() {
+        for isa in [Isa::Va32, Isa::Va64] {
+            let c = compile_simple(isa);
+            assert!(!c.text.is_empty());
+            // Every emitted word decodes.
+            for (i, &w) in c.text.iter().enumerate() {
+                Instr::decode(w, isa)
+                    .unwrap_or_else(|e| panic!("{isa}: word {i} ({w:#010x}): {e}"));
+            }
+            assert_eq!(c.entry_offset, 0);
+            assert_eq!(c.global_addrs[0], CompileOpts::default().data_base);
+            assert_eq!(&c.data[..12], &[1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn va32_code_differs_from_va64() {
+        let a = compile_simple(Isa::Va32);
+        let b = compile_simple(Isa::Va64);
+        assert_ne!(a.text, b.text);
+    }
+
+    #[test]
+    fn start_stub_calls_entry_then_exits() {
+        let c = compile_simple(Isa::Va64);
+        // Find the CALL in the stub and check it lands on main's offset.
+        let call_pos = c
+            .text
+            .iter()
+            .position(|&w| Instr::decode(w, Isa::Va64).map(|i| i.op == Op::Call).unwrap_or(false))
+            .unwrap();
+        let call = Instr::decode(c.text[call_pos], Isa::Va64).unwrap();
+        let dest = call_pos as i64 + call.imm / 4;
+        assert_eq!(dest as u32, c.func_offsets[0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! # vulnstack-compiler
+//!
+//! Compiles VIR modules to VA32 or VA64 machine code. This is the bridge
+//! between the software-level view of a workload (the IR the LLFI-style
+//! injector sees) and the binary that executes on the microarchitectural
+//! simulator for HVF/PVF/AVF measurements.
+//!
+//! Pipeline: [`lower`] (instruction selection to machine IR over virtual
+//! registers) → [`liveness`] → [`regalloc`] (linear scan with spilling) →
+//! [`emit`] (frames, prologue/epilogue, branch resolution, binary
+//! encoding).
+//!
+//! The two backends intentionally differ the way Armv7/Armv8 differ in the
+//! paper: VA32 has 16 architectural registers (few allocatable → frequent
+//! spills, more memory traffic), VA64 has 31 plus 32-bit `W` operation
+//! forms; pointer widths and code density follow.
+//!
+//! # Example
+//!
+//! ```
+//! use vulnstack_compiler::{compile, CompileOpts};
+//! use vulnstack_isa::Isa;
+//! use vulnstack_vir::ModuleBuilder;
+//!
+//! let mut mb = ModuleBuilder::new("m");
+//! let mut f = mb.function("main", 0);
+//! f.sys_exit(0);
+//! f.ret(None);
+//! mb.finish_function(f);
+//! let module = mb.finish().unwrap();
+//!
+//! let compiled = compile(&module, Isa::Va64, &CompileOpts::default()).unwrap();
+//! assert!(!compiled.text.is_empty());
+//! ```
+
+pub mod emit;
+pub mod liveness;
+pub mod lower;
+pub mod mir;
+pub mod regalloc;
+
+use vulnstack_isa::Isa;
+use vulnstack_vir::Module;
+
+/// Compilation options: where data lives and where the user stack starts.
+#[derive(Debug, Clone)]
+pub struct CompileOpts {
+    /// Base address of the data section (globals).
+    pub data_base: u32,
+    /// Initial user stack pointer (grows down).
+    pub stack_top: u32,
+}
+
+impl Default for CompileOpts {
+    fn default() -> Self {
+        CompileOpts { data_base: 0x0010_0000, stack_top: 0x003F_FF00 }
+    }
+}
+
+/// A compiled module: encoded text, initialised data, and layout metadata.
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    /// Target ISA.
+    pub isa: Isa,
+    /// Encoded instructions. Position-independent for control flow (all
+    /// jumps are pc-relative) but data references are absolute, so the
+    /// image must honour `CompileOpts::data_base`.
+    pub text: Vec<u32>,
+    /// Initialised data section contents, to be placed at `data_base`.
+    pub data: Vec<u8>,
+    /// Absolute address assigned to each global.
+    pub global_addrs: Vec<u32>,
+    /// Word offset of each function's first instruction within `text`.
+    pub func_offsets: Vec<u32>,
+    /// Word offset of the `_start` stub (entry point).
+    pub entry_offset: u32,
+    /// End of the data section relative to `data_base` (initial heap
+    /// break).
+    pub data_size: u32,
+    /// Per-function static instruction counts (diagnostics).
+    pub func_sizes: Vec<u32>,
+}
+
+impl CompiledModule {
+    /// The text section as little-endian bytes.
+    pub fn text_bytes(&self) -> Vec<u8> {
+        self.text.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+}
+
+/// Errors produced during compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// An encoder-level failure (field overflow) — indicates a compiler
+    /// bug or an oversized function.
+    Encode(String),
+    /// A branch target ended up out of encodable range.
+    BranchOutOfRange { function: String },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Encode(e) => write!(f, "encoding failed: {e}"),
+            CompileError::BranchOutOfRange { function } => {
+                write!(f, "branch out of range in {function}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles `module` for `isa`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if an instruction cannot be encoded (e.g. a
+/// function so large a branch no longer reaches).
+pub fn compile(
+    module: &Module,
+    isa: Isa,
+    opts: &CompileOpts,
+) -> Result<CompiledModule, CompileError> {
+    emit::compile_module(module, isa, opts)
+}

@@ -1,0 +1,228 @@
+//! Live-interval computation for virtual registers.
+//!
+//! Blocks are linearised in id order; each virtual register gets one
+//! conservative `[start, end]` interval (holes are not exploited). Call
+//! sites are recorded so the allocator can keep call-crossing values in
+//! callee-saved registers.
+
+use std::collections::HashSet;
+
+use crate::mir::{MFunction, MTarget};
+
+/// A live interval over linearised instruction positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Virtual register id.
+    pub vreg: u32,
+    /// First position where the value is live (definition).
+    pub start: u32,
+    /// Last position where the value is live (inclusive).
+    pub end: u32,
+    /// True if the interval spans a `CALL` (caller-saved registers are
+    /// then unusable).
+    pub crosses_call: bool,
+}
+
+/// Result of liveness analysis.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Intervals sorted by increasing `start`.
+    pub intervals: Vec<Interval>,
+    /// Linearised positions of call instructions.
+    pub call_sites: Vec<u32>,
+    /// Linear position of the first instruction of each block.
+    pub block_starts: Vec<u32>,
+}
+
+/// Computes live intervals for `f`.
+pub fn analyze(f: &MFunction) -> Liveness {
+    let nblocks = f.blocks.len();
+    let nv = f.num_vregs as usize;
+
+    // Per-block use/def and successor sets.
+    let mut uses: Vec<HashSet<u32>> = vec![HashSet::new(); nblocks];
+    let mut defs: Vec<HashSet<u32>> = vec![HashSet::new(); nblocks];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+
+    for (b, blk) in f.blocks.iter().enumerate() {
+        for ins in &blk.instrs {
+            for s in ins.src_regs() {
+                if let Some(v) = s.virt() {
+                    if !defs[b].contains(&v) {
+                        uses[b].insert(v);
+                    }
+                }
+            }
+            if let Some(d) = ins.def_reg() {
+                if let Some(v) = d.virt() {
+                    defs[b].insert(v);
+                }
+            }
+            if let MTarget::Block(t) = ins.target {
+                succs[b].push(t.0 as usize);
+            }
+        }
+    }
+
+    // Backward dataflow to a fixed point.
+    let mut live_in: Vec<HashSet<u32>> = vec![HashSet::new(); nblocks];
+    let mut live_out: Vec<HashSet<u32>> = vec![HashSet::new(); nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nblocks).rev() {
+            let mut out = HashSet::new();
+            for &s in &succs[b] {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut inn: HashSet<u32> = uses[b].clone();
+            for &v in &out {
+                if !defs[b].contains(&v) {
+                    inn.insert(v);
+                }
+            }
+            if out != live_out[b] || inn != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // Linearise and build intervals.
+    let mut block_starts = Vec::with_capacity(nblocks);
+    let mut pos = 0u32;
+    for blk in &f.blocks {
+        block_starts.push(pos);
+        pos += blk.instrs.len() as u32;
+    }
+    let total = pos;
+
+    let mut start = vec![u32::MAX; nv];
+    let mut end = vec![0u32; nv];
+    let mut call_sites = Vec::new();
+
+    let touch = |v: u32, p: u32, start: &mut Vec<u32>, end: &mut Vec<u32>| {
+        if start[v as usize] == u32::MAX || p < start[v as usize] {
+            start[v as usize] = p;
+        }
+        if p > end[v as usize] {
+            end[v as usize] = p;
+        }
+    };
+
+    for (b, blk) in f.blocks.iter().enumerate() {
+        let bstart = block_starts[b];
+        let bend = bstart + blk.instrs.len() as u32;
+        // Values live into the block are live from its first position;
+        // values live out are live through its last position.
+        for &v in &live_in[b] {
+            touch(v, bstart, &mut start, &mut end);
+        }
+        for &v in &live_out[b] {
+            touch(v, bend.saturating_sub(1), &mut start, &mut end);
+            touch(v, bstart, &mut start, &mut end);
+        }
+        for (i, ins) in blk.instrs.iter().enumerate() {
+            let p = bstart + i as u32;
+            if ins.is_call() && matches!(ins.op, vulnstack_isa::Op::Call | vulnstack_isa::Op::Callr)
+            {
+                call_sites.push(p);
+            }
+            for s in ins.src_regs() {
+                if let Some(v) = s.virt() {
+                    touch(v, p, &mut start, &mut end);
+                }
+            }
+            if let Some(d) = ins.def_reg() {
+                if let Some(v) = d.virt() {
+                    touch(v, p, &mut start, &mut end);
+                }
+            }
+        }
+    }
+
+    let mut intervals: Vec<Interval> = (0..nv as u32)
+        .filter(|&v| start[v as usize] != u32::MAX)
+        .map(|v| {
+            let (s, e) = (start[v as usize], end[v as usize]);
+            let crosses = call_sites.iter().any(|&c| s < c && c < e);
+            Interval { vreg: v, start: s, end: e, crosses_call: crosses }
+        })
+        .collect();
+    intervals.sort_by_key(|i| (i.start, i.end));
+
+    debug_assert!(intervals.iter().all(|i| i.end < total.max(1)));
+    Liveness { intervals, call_sites, block_starts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_function;
+    use vulnstack_isa::Isa;
+    use vulnstack_vir::{ModuleBuilder, Operand};
+
+    fn analyse_main(build: impl FnOnce(&mut vulnstack_vir::FuncBuilder)) -> (MFunction, Liveness) {
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare("id", 1);
+        let mut f = mb.function("main", 0);
+        build(&mut f);
+        f.call_void(callee, &[Operand::Imm(0)]);
+        f.ret(None);
+        mb.finish_function(f);
+        let mut g = mb.function("id", 1);
+        let p = g.param(0);
+        g.ret(Some(p.into()));
+        mb.finish_function(g);
+        let m = mb.finish().unwrap();
+        let mf = lower_function(&m, m.entry_function(), Isa::Va64, &[]);
+        let l = analyze(&mf);
+        (mf, l)
+    }
+
+    #[test]
+    fn short_temp_has_short_interval() {
+        let (_, l) = analyse_main(|f| {
+            let a = f.c(1);
+            let _b = f.add(a, 1);
+        });
+        // VIR %0 is `a`: defined then used once immediately after.
+        let iv = l.intervals.iter().find(|i| i.vreg == 0).unwrap();
+        assert!(iv.end - iv.start <= 2, "{iv:?}");
+    }
+
+    #[test]
+    fn loop_variable_spans_the_loop() {
+        let (mf, l) = analyse_main(|f| {
+            let sum = f.fresh();
+            f.set_c(sum, 0);
+            f.for_range(0, 10, |f, i| {
+                let s = f.add(sum, i);
+                f.set(sum, s);
+            });
+            let _ = f.add(sum, 1);
+        });
+        // `sum` is VIR %0; its interval must cover every block of the loop.
+        let iv = l.intervals.iter().find(|i| i.vreg == 0).unwrap();
+        let loop_span: u32 = mf.blocks.iter().map(|b| b.instrs.len() as u32).sum();
+        assert!(iv.end > iv.start);
+        assert!(iv.end <= loop_span);
+        // The interval covers the backward branch region (ends after the
+        // loop body, which sits in the middle blocks).
+        assert!(iv.end >= l.block_starts[3], "interval {iv:?} vs starts {:?}", l.block_starts);
+    }
+
+    #[test]
+    fn call_crossing_is_detected() {
+        let (_, l) = analyse_main(|f| {
+            let a = f.c(7);
+            let callee = vulnstack_vir::FuncId(0); // "id" was declared first
+            f.call_void(callee, &[Operand::Imm(1)]);
+            let _ = f.add(a, 1); // `a` lives across the call
+        });
+        assert!(!l.call_sites.is_empty());
+        let iv = l.intervals.iter().find(|i| i.vreg == 0).unwrap();
+        assert!(iv.crosses_call, "{iv:?}");
+    }
+}

@@ -1,0 +1,596 @@
+//! Instruction selection: VIR → machine IR over virtual registers.
+//!
+//! VIR virtual register `%n` becomes `MReg::V(n)`; lowering temporaries are
+//! allocated above the VIR register count. ABI-fixed registers (arguments,
+//! syscall number, SP, the VA64 zero register) appear pre-colored as
+//! `MReg::P`.
+
+use vulnstack_isa::{CallConv, Isa, Op};
+use vulnstack_vir::{BinOp, CmpPred, Function, MemWidth, Module, Operand, VInstr};
+
+use crate::mir::{MBlock, MFunction, MInstr, MReg, MTarget};
+
+/// Lowers `func` to machine IR.
+pub fn lower_function(
+    _module: &Module,
+    func: &Function,
+    isa: Isa,
+    global_addrs: &[u32],
+) -> MFunction {
+    let mut cx = Cx {
+        isa,
+        cc: CallConv::new(isa),
+        global_addrs,
+        out: Vec::with_capacity(func.blocks.len()),
+        cur: Vec::new(),
+        next_vreg: func.num_vregs,
+    };
+
+    // Frame-slot layout is fixed at lowering time: slots start at sp+0.
+    let slot_offsets: Vec<u32> =
+        (0..func.slots.len()).map(|i| func.slot_offset(vulnstack_vir::SlotId(i as u32))).collect();
+    let slots_size = {
+        let mut off = 0u32;
+        for s in &func.slots {
+            off = (off + s.align - 1) & !(s.align - 1);
+            off += s.size;
+        }
+        (off + 7) & !7
+    };
+
+    let mut has_calls = false;
+    for (b, block) in func.blocks.iter().enumerate() {
+        cx.cur = Vec::new();
+        if b == 0 {
+            // Receive parameters from the argument registers.
+            for i in 0..func.num_params {
+                let src = MReg::P(cx.cc.arg(i as usize));
+                cx.push(MInstr::new(Op::Addi, MReg::V(i), src, MReg::None, 0));
+            }
+        }
+        for ins in &block.instrs {
+            if matches!(ins, VInstr::Call { .. }) {
+                has_calls = true;
+            }
+            cx.lower(ins, &slot_offsets);
+        }
+        cx.out.push(MBlock { instrs: std::mem::take(&mut cx.cur) });
+    }
+
+    MFunction {
+        name: func.name.clone(),
+        blocks: cx.out,
+        num_vregs: cx.next_vreg,
+        slots_size,
+        slot_offsets,
+        has_calls,
+    }
+}
+
+struct Cx<'a> {
+    isa: Isa,
+    cc: CallConv,
+    global_addrs: &'a [u32],
+    out: Vec<MBlock>,
+    cur: Vec<MInstr>,
+    next_vreg: u32,
+}
+
+impl Cx<'_> {
+    fn push(&mut self, i: MInstr) {
+        self.cur.push(i);
+    }
+
+    fn temp(&mut self) -> MReg {
+        let v = self.next_vreg;
+        self.next_vreg += 1;
+        MReg::V(v)
+    }
+
+    fn zero(&self) -> Option<MReg> {
+        self.isa.zero().map(MReg::P)
+    }
+
+    /// Emits a register-to-register move.
+    fn mov(&mut self, dst: MReg, src: MReg) {
+        self.push(MInstr::new(Op::Addi, dst, src, MReg::None, 0));
+    }
+
+    /// Materialises the 32-bit constant `value` (sign-extended on VA64)
+    /// into `dst`.
+    fn mat_const(&mut self, value: i32, dst: MReg) {
+        if self.isa == Isa::Va64 {
+            if (-8192..8192).contains(&(value as i64)) {
+                let z = self.zero().expect("va64 has a zero register");
+                self.push(MInstr::new(Op::Addiw, dst, z, MReg::None, value as i64));
+                return;
+            }
+            let u = value as u32;
+            let lo = (u & 0xffff) as i64;
+            let hi = ((u >> 16) & 0xffff) as i64;
+            self.push(MInstr { op: Op::Movz, rd: dst, rs1: MReg::None, rs2: MReg::None, imm: lo, shift: 0, target: MTarget::None });
+            if hi != 0 {
+                self.push(MInstr { op: Op::Movk, rd: dst, rs1: MReg::None, rs2: MReg::None, imm: hi, shift: 1, target: MTarget::None });
+            }
+            if value < 0 {
+                // Sign-extend the 32-bit pattern into the 64-bit register.
+                self.push(MInstr::new(Op::Addiw, dst, dst, MReg::None, 0));
+            }
+        } else {
+            let u = value as u32;
+            let lo = (u & 0xffff) as i64;
+            let hi = ((u >> 16) & 0xffff) as i64;
+            self.push(MInstr { op: Op::Movz, rd: dst, rs1: MReg::None, rs2: MReg::None, imm: lo, shift: 0, target: MTarget::None });
+            if hi != 0 {
+                self.push(MInstr { op: Op::Movk, rd: dst, rs1: MReg::None, rs2: MReg::None, imm: hi, shift: 1, target: MTarget::None });
+            }
+        }
+    }
+
+    /// Returns a register holding the operand's value.
+    fn val(&mut self, o: &Operand) -> MReg {
+        match o {
+            Operand::Reg(r) => MReg::V(r.0),
+            Operand::Imm(v) => {
+                let t = self.temp();
+                self.mat_const(*v, t);
+                t
+            }
+        }
+    }
+
+    /// A zero-valued register (the VA64 zero register, or a materialised 0
+    /// on VA32).
+    fn zero_reg(&mut self) -> MReg {
+        match self.zero() {
+            Some(z) => z,
+            None => {
+                let t = self.temp();
+                self.mat_const(0, t);
+                t
+            }
+        }
+    }
+
+    /// ALU op selection: `(va32_reg, va64_reg, va32_imm, va64_imm)`.
+    fn alu_ops(op: BinOp) -> (Op, Op, Option<Op>, Option<Op>) {
+        match op {
+            BinOp::Add => (Op::Add, Op::Addw, Some(Op::Addi), Some(Op::Addiw)),
+            BinOp::Sub => (Op::Sub, Op::Subw, None, None),
+            BinOp::Mul => (Op::Mul, Op::Mulw, None, None),
+            BinOp::MulHS => (Op::Mulh, Op::Mulh, None, None), // VA64 handled specially
+            BinOp::MulHU => (Op::Mulhu, Op::Mulhu, None, None), // VA64 handled specially
+            BinOp::DivS => (Op::Div, Op::Divw, None, None),
+            BinOp::DivU => (Op::Divu, Op::Divuw, None, None),
+            BinOp::RemS => (Op::Rem, Op::Remw, None, None),
+            BinOp::RemU => (Op::Remu, Op::Remuw, None, None),
+            BinOp::And => (Op::And, Op::And, Some(Op::Andi), Some(Op::Andi)),
+            BinOp::Or => (Op::Or, Op::Or, Some(Op::Ori), Some(Op::Ori)),
+            BinOp::Xor => (Op::Xor, Op::Xor, Some(Op::Xori), Some(Op::Xori)),
+            BinOp::Shl => (Op::Sll, Op::Sllw, Some(Op::Slli), Some(Op::Slliw)),
+            BinOp::ShrL => (Op::Srl, Op::Srlw, Some(Op::Srli), Some(Op::Srliw)),
+            BinOp::ShrA => (Op::Sra, Op::Sraw, Some(Op::Srai), Some(Op::Sraiw)),
+        }
+    }
+
+    fn lower_bin(&mut self, dst: MReg, op: BinOp, a: &Operand, b: &Operand) {
+        let is64 = self.isa == Isa::Va64;
+        // VA64 high-multiplies use the full 64-bit multiplier.
+        if is64 && op == BinOp::MulHS {
+            let ra = self.val(a);
+            let rb = self.val(b);
+            let t = self.temp();
+            self.push(MInstr::new(Op::Mul, t, ra, rb, 0));
+            self.push(MInstr::new(Op::Srai, dst, t, MReg::None, 32));
+            return;
+        }
+        if is64 && op == BinOp::MulHU {
+            let ra = self.val(a);
+            let rb = self.val(b);
+            let (za, zb, t) = (self.temp(), self.temp(), self.temp());
+            // Zero-extend the 32-bit operands, multiply, take the high
+            // word, re-establish the sign-extended-32 convention.
+            self.push(MInstr::new(Op::Slli, za, ra, MReg::None, 32));
+            self.push(MInstr::new(Op::Srli, za, za, MReg::None, 32));
+            self.push(MInstr::new(Op::Slli, zb, rb, MReg::None, 32));
+            self.push(MInstr::new(Op::Srli, zb, zb, MReg::None, 32));
+            self.push(MInstr::new(Op::Mul, t, za, zb, 0));
+            self.push(MInstr::new(Op::Srli, t, t, MReg::None, 32));
+            self.push(MInstr::new(Op::Addiw, dst, t, MReg::None, 0));
+            return;
+        }
+
+        let (op32, op64, imm32, imm64) = Self::alu_ops(op);
+        let (rr, ri) = if is64 { (op64, imm64) } else { (op32, imm32) };
+        // Try the immediate form.
+        if let (Operand::Imm(v), Some(imm_op)) = (b, ri) {
+            let shift_op = matches!(op, BinOp::Shl | BinOp::ShrL | BinOp::ShrA);
+            let fits = if shift_op { (0..32).contains(v) } else { (-8192..8192).contains(&(*v as i64)) };
+            if fits {
+                let ra = self.val(a);
+                self.push(MInstr::new(imm_op, dst, ra, MReg::None, *v as i64));
+                return;
+            }
+        }
+        // `a + imm` with negatable immediate avoids materialisation for Sub.
+        if op == BinOp::Sub {
+            if let Operand::Imm(v) = b {
+                let neg = -(*v as i64);
+                if (-8192..8192).contains(&neg) {
+                    let ra = self.val(a);
+                    let add_imm = if is64 { Op::Addiw } else { Op::Addi };
+                    self.push(MInstr::new(add_imm, dst, ra, MReg::None, neg));
+                    return;
+                }
+            }
+        }
+        let ra = self.val(a);
+        let rb = self.val(b);
+        self.push(MInstr::new(rr, dst, ra, rb, 0));
+    }
+
+    fn lower_cmp(&mut self, dst: MReg, pred: CmpPred, a: &Operand, b: &Operand) {
+        use CmpPred::*;
+        // Normalise greater-than forms to less-than with swapped operands.
+        let (pred, a, b) = match pred {
+            SGt => (SLt, b, a),
+            UGt => (ULt, b, a),
+            SLe => (SGe, b, a), // a<=b == b>=a == !(b<a)
+            ULe => (UGe, b, a),
+            p => (p, a, b),
+        };
+        match pred {
+            Eq | Ne => {
+                let t = self.temp();
+                // t = a ^ b (0 iff equal).
+                match b {
+                    Operand::Imm(0) => {
+                        let ra = self.val(a);
+                        self.mov(t, ra);
+                    }
+                    Operand::Imm(v) if (-8192..8192).contains(&(*v as i64)) => {
+                        let ra = self.val(a);
+                        self.push(MInstr::new(Op::Xori, t, ra, MReg::None, *v as i64));
+                    }
+                    _ => {
+                        let ra = self.val(a);
+                        let rb = self.val(b);
+                        self.push(MInstr::new(Op::Xor, t, ra, rb, 0));
+                    }
+                }
+                if pred == Eq {
+                    self.push(MInstr::new(Op::Sltiu, dst, t, MReg::None, 1));
+                } else if let Some(z) = self.zero() {
+                    // dst = (0 <u t).
+                    self.push(MInstr::new(Op::Sltu, dst, z, t, 0));
+                } else {
+                    self.push(MInstr::new(Op::Sltiu, dst, t, MReg::None, 1));
+                    self.push(MInstr::new(Op::Xori, dst, dst, MReg::None, 1));
+                }
+            }
+            SLt | ULt => {
+                let (rr, ri) = if pred == SLt { (Op::Slt, Op::Slti) } else { (Op::Sltu, Op::Sltiu) };
+                if let Operand::Imm(v) = b {
+                    if (-8192..8192).contains(&(*v as i64)) {
+                        let ra = self.val(a);
+                        self.push(MInstr::new(ri, dst, ra, MReg::None, *v as i64));
+                        return;
+                    }
+                }
+                let ra = self.val(a);
+                let rb = self.val(b);
+                self.push(MInstr::new(rr, dst, ra, rb, 0));
+            }
+            SGe | UGe => {
+                // a >= b == !(a < b).
+                let rr = if pred == SGe { Op::Slt } else { Op::Sltu };
+                let ra = self.val(a);
+                let rb = self.val(b);
+                let t = self.temp();
+                self.push(MInstr::new(rr, t, ra, rb, 0));
+                self.push(MInstr::new(Op::Xori, dst, t, MReg::None, 1));
+            }
+            _ => unreachable!("normalised above"),
+        }
+    }
+
+    fn lower(&mut self, ins: &VInstr, slot_offsets: &[u32]) {
+        match ins {
+            VInstr::Const { dst, value } => {
+                self.mat_const(*value, MReg::V(dst.0));
+            }
+            VInstr::Bin { dst, op, a, b } => self.lower_bin(MReg::V(dst.0), *op, a, b),
+            VInstr::Cmp { dst, pred, a, b } => self.lower_cmp(MReg::V(dst.0), *pred, a, b),
+            VInstr::Select { dst, cond, a, b } => {
+                // Branchless select: mask = (cond==0) - 1.
+                let c = self.val(cond);
+                let t = self.temp();
+                self.push(MInstr::new(Op::Sltiu, t, c, MReg::None, 1));
+                let m = self.temp();
+                let addi = if self.isa == Isa::Va64 { Op::Addiw } else { Op::Addi };
+                self.push(MInstr::new(addi, m, t, MReg::None, -1));
+                let ra = self.val(a);
+                let x = self.temp();
+                self.push(MInstr::new(Op::And, x, ra, m, 0));
+                let mi = self.temp();
+                self.push(MInstr::new(Op::Xori, mi, m, MReg::None, -1));
+                let rb = self.val(b);
+                let y = self.temp();
+                self.push(MInstr::new(Op::And, y, rb, mi, 0));
+                self.push(MInstr::new(Op::Or, MReg::V(dst.0), x, y, 0));
+            }
+            VInstr::Load { dst, width, base, offset } => {
+                let op = match width {
+                    MemWidth::B => Op::Lb,
+                    MemWidth::BU => Op::Lbu,
+                    MemWidth::H => Op::Lh,
+                    MemWidth::HU => Op::Lhu,
+                    MemWidth::W => Op::Lw,
+                };
+                let (rb, off) = self.base_offset(base, *offset);
+                self.push(MInstr::new(op, MReg::V(dst.0), rb, MReg::None, off));
+            }
+            VInstr::Store { width, value, base, offset } => {
+                let op = match width {
+                    MemWidth::B | MemWidth::BU => Op::Sb,
+                    MemWidth::H | MemWidth::HU => Op::Sh,
+                    MemWidth::W => Op::Sw,
+                };
+                let rv = self.val(value);
+                let (rb, off) = self.base_offset(base, *offset);
+                self.push(MInstr::new(op, rv, rb, MReg::None, off));
+            }
+            VInstr::GlobalAddr { dst, global } => {
+                let addr = self.global_addrs[global.0 as usize] as i32;
+                self.mat_const(addr, MReg::V(dst.0));
+            }
+            VInstr::SlotAddr { dst, slot } => {
+                let off = slot_offsets[slot.0 as usize] as i64;
+                let sp = MReg::P(self.isa.sp());
+                self.push(MInstr::new(Op::Addi, MReg::V(dst.0), sp, MReg::None, off));
+            }
+            VInstr::Call { dst, func, args } => {
+                assert!(args.len() <= self.cc.args().len(), "too many call args");
+                for (i, a) in args.iter().enumerate() {
+                    let p = MReg::P(self.cc.arg(i));
+                    match a {
+                        Operand::Imm(v) => self.mat_const(*v, p),
+                        Operand::Reg(r) => self.mov(p, MReg::V(r.0)),
+                    }
+                }
+                self.push(MInstr {
+                    op: Op::Call,
+                    rd: MReg::None,
+                    rs1: MReg::None,
+                    rs2: MReg::None,
+                    imm: 0,
+                    shift: 0,
+                    target: MTarget::Func(*func),
+                });
+                if let Some(d) = dst {
+                    self.mov(MReg::V(d.0), MReg::P(self.cc.ret()));
+                }
+            }
+            VInstr::Syscall { dst, sc, args } => {
+                assert!(args.len() <= self.cc.args().len());
+                for (i, a) in args.iter().enumerate() {
+                    let p = MReg::P(self.cc.arg(i));
+                    match a {
+                        Operand::Imm(v) => self.mat_const(*v, p),
+                        Operand::Reg(r) => self.mov(p, MReg::V(r.0)),
+                    }
+                }
+                self.mat_const(sc.number() as i32, MReg::P(self.cc.syscall_num()));
+                self.push(MInstr::new(Op::Syscall, MReg::None, MReg::None, MReg::None, 0));
+                if let Some(d) = dst {
+                    self.mov(MReg::V(d.0), MReg::P(self.cc.ret()));
+                }
+            }
+            VInstr::Br { target } => {
+                self.push(MInstr {
+                    op: Op::Jmp,
+                    rd: MReg::None,
+                    rs1: MReg::None,
+                    rs2: MReg::None,
+                    imm: 0,
+                    shift: 0,
+                    target: MTarget::Block(*target),
+                });
+            }
+            VInstr::CondBr { cond, then_bb, else_bb } => {
+                let c = self.val(cond);
+                let z = self.zero_reg();
+                self.push(MInstr {
+                    op: Op::Bne,
+                    rd: MReg::None,
+                    rs1: c,
+                    rs2: z,
+                    imm: 0,
+                    shift: 0,
+                    target: MTarget::Block(*then_bb),
+                });
+                self.push(MInstr {
+                    op: Op::Jmp,
+                    rd: MReg::None,
+                    rs1: MReg::None,
+                    rs2: MReg::None,
+                    imm: 0,
+                    shift: 0,
+                    target: MTarget::Block(*else_bb),
+                });
+            }
+            VInstr::Ret { value } => {
+                if let Some(v) = value {
+                    let p = MReg::P(self.cc.ret());
+                    match v {
+                        Operand::Imm(x) => self.mat_const(*x, p),
+                        Operand::Reg(r) => self.mov(p, MReg::V(r.0)),
+                    }
+                }
+                self.push(MInstr {
+                    op: Op::Jmp,
+                    rd: MReg::None,
+                    rs1: MReg::None,
+                    rs2: MReg::None,
+                    imm: 0,
+                    shift: 0,
+                    target: MTarget::Epilogue,
+                });
+            }
+        }
+    }
+
+    /// Resolves a memory operand into `(base register, encodable offset)`.
+    fn base_offset(&mut self, base: &Operand, offset: i32) -> (MReg, i64) {
+        match base {
+            Operand::Reg(r) if (-8192..8192).contains(&(offset as i64)) => {
+                (MReg::V(r.0), offset as i64)
+            }
+            Operand::Reg(r) => {
+                let t = self.temp();
+                self.mat_const(offset, t);
+                let add = if self.isa == Isa::Va64 { Op::Addw } else { Op::Add };
+                let t2 = self.temp();
+                self.push(MInstr::new(add, t2, MReg::V(r.0), t, 0));
+                (t2, 0)
+            }
+            Operand::Imm(b) => {
+                let t = self.temp();
+                self.mat_const(b.wrapping_add(offset), t);
+                (t, 0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnstack_isa::Reg;
+    use vulnstack_vir::ModuleBuilder;
+
+    fn lower_main(isa: Isa, build: impl FnOnce(&mut vulnstack_vir::FuncBuilder)) -> MFunction {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        build(&mut f);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let f = m.entry_function();
+        lower_function(&m, f, isa, &[0x10_0000])
+    }
+
+    fn all_instrs(f: &MFunction) -> Vec<MInstr> {
+        f.blocks.iter().flat_map(|b| b.instrs.clone()).collect()
+    }
+
+    #[test]
+    fn add_uses_w_form_on_va64() {
+        let f64 = lower_main(Isa::Va64, |f| {
+            let a = f.c(1);
+            let _ = f.add(a, a);
+        });
+        assert!(all_instrs(&f64).iter().any(|i| i.op == Op::Addw));
+
+        let f32 = lower_main(Isa::Va32, |f| {
+            let a = f.c(1);
+            let _ = f.add(a, a);
+        });
+        assert!(all_instrs(&f32).iter().any(|i| i.op == Op::Add));
+        assert!(!all_instrs(&f32).iter().any(|i| i.op == Op::Addw));
+    }
+
+    #[test]
+    fn small_constants_are_single_instruction_on_va64() {
+        let f = lower_main(Isa::Va64, |f| {
+            let _ = f.c(5);
+        });
+        let instrs = all_instrs(&f);
+        // main has no params, so the first instruction is the constant.
+        assert_eq!(instrs[0].op, Op::Addiw);
+        assert_eq!(instrs[0].imm, 5);
+    }
+
+    #[test]
+    fn negative_wide_constant_sign_extends_on_va64() {
+        let f = lower_main(Isa::Va64, |f| {
+            let _ = f.c(-100_000);
+        });
+        let ops: Vec<Op> = all_instrs(&f).iter().map(|i| i.op).collect();
+        assert!(ops.contains(&Op::Movz));
+        assert!(ops.contains(&Op::Movk));
+        assert!(ops.contains(&Op::Addiw));
+    }
+
+    #[test]
+    fn immediate_add_folds() {
+        let f = lower_main(Isa::Va32, |f| {
+            let a = f.c(1);
+            let _ = f.add(a, 100);
+        });
+        let instrs = all_instrs(&f);
+        assert!(instrs.iter().any(|i| i.op == Op::Addi && i.imm == 100));
+    }
+
+    #[test]
+    fn sub_immediate_becomes_negative_addi() {
+        let f = lower_main(Isa::Va64, |f| {
+            let a = f.c(1);
+            let _ = f.sub(a, 4);
+        });
+        let instrs = all_instrs(&f);
+        assert!(instrs.iter().any(|i| i.op == Op::Addiw && i.imm == -4));
+    }
+
+    #[test]
+    fn condbr_on_va32_materialises_zero() {
+        let f = lower_main(Isa::Va32, |f| {
+            let c = f.c(1);
+            let t = f.new_block();
+            let e = f.new_block();
+            f.cond_br(c, t, e);
+            f.switch_to(t);
+            f.br(e);
+            f.switch_to(e);
+        });
+        let instrs = all_instrs(&f);
+        let bne = instrs.iter().find(|i| i.op == Op::Bne).unwrap();
+        assert!(matches!(bne.rs2, MReg::V(_)), "VA32 compares against a materialised zero");
+
+        let f64 = lower_main(Isa::Va64, |f| {
+            let c = f.c(1);
+            let t = f.new_block();
+            let e = f.new_block();
+            f.cond_br(c, t, e);
+            f.switch_to(t);
+            f.br(e);
+            f.switch_to(e);
+        });
+        let instrs = all_instrs(&f64);
+        let bne = instrs.iter().find(|i| i.op == Op::Bne).unwrap();
+        assert_eq!(bne.rs2, MReg::P(Reg(31)), "VA64 uses the zero register");
+    }
+
+    #[test]
+    fn syscall_sets_number_register() {
+        let f = lower_main(Isa::Va64, |f| {
+            f.sys_exit(0);
+        });
+        let instrs = all_instrs(&f);
+        let cc = CallConv::new(Isa::Va64);
+        let pos_sys = instrs.iter().position(|i| i.op == Op::Syscall).unwrap();
+        // Some instruction before the syscall writes the number register.
+        assert!(instrs[..pos_sys]
+            .iter()
+            .any(|i| i.def_reg() == Some(MReg::P(cc.syscall_num()))));
+    }
+
+    #[test]
+    fn ret_jumps_to_epilogue() {
+        let f = lower_main(Isa::Va32, |f| {
+            let _ = f.c(3);
+        });
+        let last = all_instrs(&f).last().cloned().unwrap();
+        assert_eq!(last.target, MTarget::Epilogue);
+    }
+}

@@ -1,0 +1,165 @@
+//! Machine IR: ISA instructions over virtual registers, with symbolic
+//! control-flow targets.
+
+use vulnstack_isa::{Op, Reg};
+use vulnstack_vir::{BlockId, FuncId};
+
+/// A machine-level register operand: absent, virtual, or pre-colored
+/// physical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MReg {
+    /// No register in this slot.
+    None,
+    /// Virtual register, to be assigned by the allocator.
+    V(u32),
+    /// Fixed physical register (ABI-imposed: arguments, syscall number,
+    /// stack pointer...).
+    P(Reg),
+}
+
+impl MReg {
+    /// The virtual id, if this is a virtual register.
+    pub fn virt(self) -> Option<u32> {
+        match self {
+            MReg::V(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Symbolic control-flow target, resolved at emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MTarget {
+    /// No target.
+    None,
+    /// A basic block within the current function.
+    Block(BlockId),
+    /// Another function (for `CALL`).
+    Func(FuncId),
+    /// The function's epilogue (restore registers and return), emitted
+    /// once at the end during emission.
+    Epilogue,
+}
+
+/// One machine instruction before register allocation.
+///
+/// Semantics follow [`Op`]'s format; `rd`/`rs1`/`rs2` may be virtual. For
+/// branches/calls, `target` carries the symbolic destination and the
+/// encoded immediate is filled during emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MInstr {
+    /// Machine operation.
+    pub op: Op,
+    /// Destination (or store-data / `MTSR` sysreg index per format).
+    pub rd: MReg,
+    /// First source.
+    pub rs1: MReg,
+    /// Second source.
+    pub rs2: MReg,
+    /// Immediate (byte offsets for memory ops; resolved later for control
+    /// flow).
+    pub imm: i64,
+    /// `MOVZ`/`MOVK` shift.
+    pub shift: u8,
+    /// Symbolic control-flow target.
+    pub target: MTarget,
+}
+
+impl MInstr {
+    /// A no-target instruction.
+    pub fn new(op: Op, rd: MReg, rs1: MReg, rs2: MReg, imm: i64) -> MInstr {
+        MInstr { op, rd, rs1, rs2, imm, shift: 0, target: MTarget::None }
+    }
+
+    /// Virtual registers read by this instruction (following the ISA
+    /// format's source conventions).
+    pub fn src_regs(&self) -> Vec<MReg> {
+        use vulnstack_isa::op::Format;
+        match self.op.format() {
+            Format::R | Format::B => vec![self.rs1, self.rs2],
+            Format::I | Format::Load | Format::Jr => vec![self.rs1],
+            Format::Store => vec![self.rd, self.rs1],
+            Format::Mtsr => vec![self.rs1],
+            Format::M => {
+                if self.op == Op::Movk {
+                    vec![self.rd]
+                } else {
+                    vec![]
+                }
+            }
+            Format::J | Format::Sys | Format::Mfsr => vec![],
+        }
+    }
+
+    /// The register defined by this instruction, if any (per format; note
+    /// store's `rd` is a *source*).
+    pub fn def_reg(&self) -> Option<MReg> {
+        use vulnstack_isa::op::Format;
+        match self.op.format() {
+            Format::R | Format::I | Format::Load | Format::M | Format::Mfsr => Some(self.rd),
+            _ => None,
+        }
+    }
+
+    /// True if this is a call (clobbers caller-saved state).
+    pub fn is_call(&self) -> bool {
+        matches!(self.op, Op::Call | Op::Callr | Op::Syscall)
+    }
+}
+
+/// A lowered basic block.
+#[derive(Debug, Clone, Default)]
+pub struct MBlock {
+    /// Instructions; control flow may only appear as the final one(s).
+    pub instrs: Vec<MInstr>,
+}
+
+/// A lowered function, pre-register-allocation.
+#[derive(Debug, Clone)]
+pub struct MFunction {
+    /// Source function name.
+    pub name: String,
+    /// Blocks, same ids as the VIR function.
+    pub blocks: Vec<MBlock>,
+    /// Number of virtual registers used.
+    pub num_vregs: u32,
+    /// Size of the VIR frame-slot area in bytes.
+    pub slots_size: u32,
+    /// Byte offset of each VIR slot within the slot area.
+    pub slot_offsets: Vec<u32>,
+    /// Whether the function contains calls (needs LR saved).
+    pub has_calls: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnstack_isa::Reg;
+
+    #[test]
+    fn src_and_def_follow_format() {
+        let add = MInstr::new(Op::Add, MReg::V(1), MReg::V(2), MReg::V(3), 0);
+        assert_eq!(add.def_reg(), Some(MReg::V(1)));
+        assert_eq!(add.src_regs(), vec![MReg::V(2), MReg::V(3)]);
+
+        let st = MInstr::new(Op::Sw, MReg::V(1), MReg::V(2), MReg::None, 4);
+        assert_eq!(st.def_reg(), None);
+        assert_eq!(st.src_regs(), vec![MReg::V(1), MReg::V(2)]);
+
+        let call = MInstr {
+            op: Op::Call,
+            rd: MReg::None,
+            rs1: MReg::None,
+            rs2: MReg::None,
+            imm: 0,
+            shift: 0,
+            target: MTarget::Func(FuncId(3)),
+        };
+        assert!(call.is_call());
+        assert!(call.src_regs().is_empty());
+
+        let movk = MInstr { op: Op::Movk, rd: MReg::P(Reg(1)), ..MInstr::new(Op::Nop, MReg::None, MReg::None, MReg::None, 0) };
+        let movk = MInstr { op: Op::Movk, ..movk };
+        assert_eq!(movk.src_regs(), vec![MReg::P(Reg(1))]);
+    }
+}

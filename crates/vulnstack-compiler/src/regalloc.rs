@@ -1,0 +1,256 @@
+//! Linear-scan register allocation with spilling.
+//!
+//! The allocatable pool excludes the ABI-fixed registers (arguments,
+//! syscall number, SP/LR/zero) and two reserved spill-scratch registers
+//! per ISA. Intervals that cross a call may only take callee-saved
+//! registers. When no register is free, the interval with the furthest end
+//! point is spilled to a frame slot (Poletto & Sarkar's heuristic).
+
+use std::collections::HashMap;
+
+use vulnstack_isa::{CallConv, Isa, Reg};
+
+use crate::liveness::{Interval, Liveness};
+
+/// The register pools and reserved scratch registers for an ISA.
+#[derive(Debug, Clone)]
+pub struct RegPools {
+    /// Caller-saved allocatable registers (unusable across calls).
+    pub caller: Vec<Reg>,
+    /// Callee-saved allocatable registers.
+    pub callee: Vec<Reg>,
+    /// Two registers reserved for spill reload/writeback sequences.
+    pub scratch: [Reg; 2],
+}
+
+impl RegPools {
+    /// The pools used by this compiler for `isa`.
+    ///
+    /// VA32 ends up with 6 allocatable registers (all callee-saved), VA64
+    /// with 19 — deliberately mirroring the Armv7/Armv8 pressure gap.
+    pub fn for_isa(isa: Isa) -> RegPools {
+        let cc = CallConv::new(isa);
+        match isa {
+            Isa::Va32 => RegPools {
+                // r0-r3 args, r7 syscall, r4/r5 scratch, r6 unused by the
+                // allocator to stay a free kernel temp.
+                caller: vec![],
+                callee: cc.callee_saved(),
+                scratch: [Reg(4), Reg(5)],
+            },
+            Isa::Va64 => RegPools {
+                // x0-x5 args, x8 syscall, x6/x7 scratch.
+                caller: (10..16).map(Reg).collect(),
+                callee: cc.callee_saved(),
+                scratch: [Reg(6), Reg(7)],
+            },
+        }
+    }
+
+    /// Total allocatable register count.
+    pub fn num_allocatable(&self) -> usize {
+        self.caller.len() + self.callee.len()
+    }
+}
+
+/// The allocator's output.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Virtual register → physical register.
+    pub reg: HashMap<u32, Reg>,
+    /// Virtual register → spill slot index (4-byte slots).
+    pub spill: HashMap<u32, u32>,
+    /// Number of spill slots used.
+    pub num_spill_slots: u32,
+    /// Callee-saved registers handed out (must be saved in the prologue).
+    pub used_callee_saved: Vec<Reg>,
+}
+
+/// Runs linear scan over `liveness` using `pools`.
+pub fn allocate(liveness: &Liveness, pools: &RegPools) -> Assignment {
+    let mut free_caller = pools.caller.clone();
+    let mut free_callee = pools.callee.clone();
+    // LIFO reuse keeps register numbers dense.
+    free_caller.reverse();
+    free_callee.reverse();
+
+    #[derive(Debug, Clone, Copy)]
+    struct Active {
+        iv: Interval,
+        reg: Reg,
+        callee: bool,
+    }
+
+    let mut active: Vec<Active> = Vec::new();
+    let mut result = Assignment {
+        reg: HashMap::new(),
+        spill: HashMap::new(),
+        num_spill_slots: 0,
+        used_callee_saved: Vec::new(),
+    };
+    let mut used_callee: Vec<Reg> = Vec::new();
+
+    for &iv in &liveness.intervals {
+        // Expire finished intervals.
+        active.retain(|a| {
+            if a.iv.end < iv.start {
+                if a.callee {
+                    free_callee.push(a.reg);
+                } else {
+                    free_caller.push(a.reg);
+                }
+                false
+            } else {
+                true
+            }
+        });
+
+        // Pick a register respecting the call-crossing constraint.
+        let pick = if iv.crosses_call {
+            free_callee.pop().map(|r| (r, true))
+        } else {
+            // Prefer caller-saved to keep callee-saved (which must be
+            // saved/restored) for values that really need them.
+            free_caller.pop().map(|r| (r, false)).or_else(|| free_callee.pop().map(|r| (r, true)))
+        };
+
+        match pick {
+            Some((reg, callee)) => {
+                if callee && !used_callee.contains(&reg) {
+                    used_callee.push(reg);
+                }
+                result.reg.insert(iv.vreg, reg);
+                active.push(Active { iv, reg, callee });
+            }
+            None => {
+                // Spill: evict the compatible active interval ending last,
+                // or spill the new interval itself.
+                let victim_idx = active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| !iv.crosses_call || a.callee)
+                    .max_by_key(|(_, a)| a.iv.end)
+                    .map(|(i, _)| i);
+                match victim_idx {
+                    Some(vi) if active[vi].iv.end > iv.end => {
+                        let victim = active.remove(vi);
+                        let slot = result.num_spill_slots;
+                        result.num_spill_slots += 1;
+                        result.reg.remove(&victim.iv.vreg);
+                        result.spill.insert(victim.iv.vreg, slot);
+                        result.reg.insert(iv.vreg, victim.reg);
+                        if victim.callee && !used_callee.contains(&victim.reg) {
+                            used_callee.push(victim.reg);
+                        }
+                        active.push(Active { iv, reg: victim.reg, callee: victim.callee });
+                    }
+                    _ => {
+                        let slot = result.num_spill_slots;
+                        result.num_spill_slots += 1;
+                        result.spill.insert(iv.vreg, slot);
+                    }
+                }
+            }
+        }
+    }
+
+    result.used_callee_saved = used_callee;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liveness::Interval;
+
+    fn mk_liveness(intervals: Vec<Interval>) -> Liveness {
+        Liveness { intervals, call_sites: vec![], block_starts: vec![0] }
+    }
+
+    fn iv(vreg: u32, start: u32, end: u32) -> Interval {
+        Interval { vreg, start, end, crosses_call: false }
+    }
+
+    #[test]
+    fn disjoint_intervals_share_one_register() {
+        let pools = RegPools::for_isa(Isa::Va32);
+        let l = mk_liveness(vec![iv(0, 0, 1), iv(1, 2, 3), iv(2, 4, 5)]);
+        let a = allocate(&l, &pools);
+        assert_eq!(a.num_spill_slots, 0);
+        let r0 = a.reg[&0];
+        assert_eq!(a.reg[&1], r0);
+        assert_eq!(a.reg[&2], r0);
+    }
+
+    #[test]
+    fn overlapping_intervals_get_distinct_registers() {
+        let pools = RegPools::for_isa(Isa::Va64);
+        let l = mk_liveness(vec![iv(0, 0, 10), iv(1, 1, 9), iv(2, 2, 8)]);
+        let a = allocate(&l, &pools);
+        let regs: Vec<Reg> = (0..3).map(|v| a.reg[&v]).collect();
+        assert_ne!(regs[0], regs[1]);
+        assert_ne!(regs[1], regs[2]);
+        assert_ne!(regs[0], regs[2]);
+    }
+
+    #[test]
+    fn pressure_beyond_pool_spills_longest() {
+        let pools = RegPools::for_isa(Isa::Va32);
+        let n = pools.num_allocatable() as u32;
+        // n+1 simultaneously-live intervals; the one ending last (vreg 0)
+        // should be the spill victim.
+        let mut ivs = vec![iv(0, 0, 1000)];
+        for v in 1..=n {
+            ivs.push(iv(v, v, 50 + v));
+        }
+        let l = mk_liveness(ivs);
+        let a = allocate(&l, &pools);
+        assert_eq!(a.num_spill_slots, 1);
+        assert!(a.spill.contains_key(&0), "{:?}", a.spill);
+        assert!(!a.reg.contains_key(&0));
+    }
+
+    #[test]
+    fn call_crossing_interval_gets_callee_saved() {
+        let pools = RegPools::for_isa(Isa::Va64);
+        let l = Liveness {
+            intervals: vec![Interval { vreg: 0, start: 0, end: 10, crosses_call: true }],
+            call_sites: vec![5],
+            block_starts: vec![0],
+        };
+        let a = allocate(&l, &pools);
+        let r = a.reg[&0];
+        assert!(pools.callee.contains(&r));
+        assert!(a.used_callee_saved.contains(&r));
+    }
+
+    #[test]
+    fn assignments_never_overlap_in_time() {
+        // Property-style check with a pseudo-random interval set.
+        let pools = RegPools::for_isa(Isa::Va32);
+        let mut ivs = Vec::new();
+        let mut s = 12345u32;
+        for v in 0..60u32 {
+            s = s.wrapping_mul(1103515245).wrapping_add(12345);
+            let start = s % 500;
+            let len = 1 + (s >> 16) % 60;
+            ivs.push(iv(v, start, start + len));
+        }
+        ivs.sort_by_key(|i| (i.start, i.end));
+        let l = mk_liveness(ivs.clone());
+        let a = allocate(&l, &pools);
+        for x in &ivs {
+            for y in &ivs {
+                if x.vreg >= y.vreg {
+                    continue;
+                }
+                let overlap = x.start <= y.end && y.start <= x.end;
+                if overlap {
+                    if let (Some(rx), Some(ry)) = (a.reg.get(&x.vreg), a.reg.get(&y.vreg)) {
+                        assert_ne!(rx, ry, "{x:?} vs {y:?} share {rx:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Plain-text table rendering for the figure/table reproduction binaries.
+
+/// A simple fixed-width table builder.
+///
+/// # Example
+///
+/// ```
+/// use vulnstack_core::report::Table;
+///
+/// let mut t = Table::new(&["bench", "AVF"]);
+/// t.row(&["sha".into(), format!("{:.3}", 0.042)]);
+/// let s = t.render();
+/// assert!(s.contains("sha"));
+/// assert!(s.contains("0.042"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cells[i].len());
+                line.push_str(&cells[i]);
+                line.push_str(&" ".repeat(pad));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats a fraction as a percentage with two decimals (for small AVFs).
+pub fn pct2(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn percentage_formatting() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(pct2(0.001234), "0.12%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+}
+
+/// Writes rows as CSV (RFC-4180 quoting) for downstream plotting.
+///
+/// # Example
+///
+/// ```
+/// use vulnstack_core::report::to_csv;
+///
+/// let csv = to_csv(&["bench", "avf"], &[vec!["sha".into(), "0.04".into()]]);
+/// assert_eq!(csv, "bench,avf\nsha,0.04\n");
+/// ```
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn esc(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::to_csv;
+
+    #[test]
+    fn quotes_fields_with_commas_and_quotes() {
+        let csv = to_csv(&["a", "b"], &[vec!["x,y".into(), "he said \"hi\"".into()]]);
+        assert_eq!(csv, "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn empty_rows_are_just_the_header() {
+        assert_eq!(to_csv(&["only"], &[]), "only\n");
+    }
+}

@@ -1,0 +1,95 @@
+//! Statistical fault-sampling calculations (Leveugle et al., the paper's
+//! reference \[21\]).
+
+/// z-score for 99% confidence.
+pub const Z_99: f64 = 2.576;
+/// z-score for 95% confidence.
+pub const Z_95: f64 = 1.960;
+
+/// Margin of error for a fault-sampling campaign: `n` samples drawn
+/// without replacement from a population of `population` fault sites, with
+/// estimated proportion `p` and confidence z-score `z`.
+///
+/// `e = z * sqrt( p(1-p)/n * (N-n)/(N-1) )`
+pub fn error_margin(n: u64, population: u64, p: f64, z: f64) -> f64 {
+    if n == 0 || population <= 1 {
+        return 1.0;
+    }
+    let n_f = n as f64;
+    let big_n = population as f64;
+    let fpc = ((big_n - n_f) / (big_n - 1.0)).max(0.0);
+    z * (p * (1.0 - p) / n_f * fpc).sqrt()
+}
+
+/// Number of samples needed for margin `e` at confidence `z` with the
+/// worst-case proportion `p = 0.5`.
+pub fn samples_for_margin(population: u64, e: f64, z: f64) -> u64 {
+    // Solve n from the finite-population formula.
+    let big_n = population as f64;
+    let n0 = (z * z * 0.25) / (e * e);
+    let n = n0 / (1.0 + (n0 - 1.0) / big_n);
+    n.ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_point() {
+        // The paper: 2,000 samples -> 2.88% margin at 99% confidence
+        // (large population, p = 0.5).
+        let e = error_margin(2000, u64::MAX / 2, 0.5, Z_99);
+        assert!((e - 0.0288).abs() < 0.0003, "e = {e}");
+    }
+
+    #[test]
+    fn margin_shrinks_with_samples() {
+        let pop = 1_000_000_000;
+        let e1 = error_margin(100, pop, 0.5, Z_99);
+        let e2 = error_margin(1000, pop, 0.5, Z_99);
+        let e3 = error_margin(10000, pop, 0.5, Z_99);
+        assert!(e1 > e2 && e2 > e3);
+    }
+
+    #[test]
+    fn sample_size_roundtrip() {
+        let pop = 500_000_000u64;
+        let n = samples_for_margin(pop, 0.0288, Z_99);
+        assert!((1900..2100).contains(&n), "n = {n}");
+        let e = error_margin(n, pop, 0.5, Z_99);
+        assert!(e <= 0.0289);
+    }
+
+    #[test]
+    fn exhaustive_sampling_has_zero_margin() {
+        let e = error_margin(1000, 1000, 0.5, Z_99);
+        assert!(e.abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(error_margin(0, 100, 0.5, Z_99), 1.0);
+        assert_eq!(error_margin(10, 1, 0.5, Z_99), 1.0);
+    }
+}
+
+/// Convenience: the two-sided margin of error of a measured proportion
+/// from a campaign of `n` samples over a large population.
+pub fn proportion_margin(p: f64, n: u64, z: f64) -> f64 {
+    error_margin(n, u64::MAX / 2, p.clamp(0.0, 1.0), z)
+}
+
+#[cfg(test)]
+mod proportion_tests {
+    use super::*;
+
+    #[test]
+    fn margin_is_widest_at_half() {
+        let n = 500;
+        let mid = proportion_margin(0.5, n, Z_99);
+        for p in [0.01, 0.2, 0.8, 0.99] {
+            assert!(proportion_margin(p, n, Z_99) < mid, "p={p}");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # vulnstack-gefin
+//!
+//! Statistical fault-injection campaigns in the style of GeFIN (the
+//! paper's gem5-based injector):
+//!
+//! * **AVF/HVF campaigns** ([`avf`]) — single-bit transient faults in the
+//!   physical register file, the LSQ, or a cache data array of the
+//!   cycle-level out-of-order core, uniformly sampled over (bit × cycle)
+//!   as in Leveugle et al. Each run yields both the end-to-end fault
+//!   effect (AVF) and the first architectural manifestation (HVF + FPM).
+//! * **PVF campaigns** ([`pvf`]) — persistent single-bit faults in
+//!   *architectural* state (registers, program-flow memory, or encoded
+//!   instructions split into WD / WOI / WI populations), executed on the
+//!   functional full-system core, kernel included.
+//!
+//! Campaigns are deterministic for a given seed and embarrassingly
+//! parallel (crossbeam scoped threads).
+
+pub mod ace;
+pub mod avf;
+pub mod prepare;
+pub mod pvf;
+pub mod sweep;
+
+pub use ace::ace_analysis;
+pub use avf::{avf_campaign, AvfCampaignResult, InjectionRecord};
+pub use prepare::{FuncPrepared, Prepared};
+pub use pvf::{pvf_campaign, PvfMode};
+pub use sweep::{temporal_campaign, TemporalProfile};
+
+/// Returns the number of worker threads to use: `VULNSTACK_THREADS` or
+/// the available parallelism (capped at 16).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("VULNSTACK_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+}
+
+/// Returns the per-structure fault count: `VULNSTACK_FAULTS` or the given
+/// default. The paper used 2,000; the bench harness defaults lower to
+/// keep full-figure reproduction runs tractable.
+pub fn default_faults(default: usize) -> usize {
+    if let Ok(v) = std::env::var("VULNSTACK_FAULTS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    default
+}

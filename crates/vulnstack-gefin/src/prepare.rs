@@ -1,0 +1,144 @@
+//! Experiment preparation: compile a workload for a core model, build the
+//! system image, and take golden (fault-free) reference runs.
+
+use vulnstack_compiler::{compile, CompileOpts};
+use vulnstack_isa::Isa;
+use vulnstack_kernel::SystemImage;
+use vulnstack_microarch::func::Profile;
+use vulnstack_microarch::outcome::SimOutcome;
+use vulnstack_microarch::{CoreConfig, CoreModel, FuncCore, OooCore, RunStatus};
+use vulnstack_workloads::Workload;
+
+/// Functional-core instruction budget for golden runs.
+const FUNC_BUDGET: u64 = 400_000_000;
+
+/// Error preparing an experiment.
+#[derive(Debug, Clone)]
+pub enum PrepareError {
+    /// Compilation failed.
+    Compile(String),
+    /// Image assembly failed.
+    Image(String),
+    /// The golden run did not exit cleanly.
+    BadGolden(RunStatus),
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareError::Compile(e) => write!(f, "compile failed: {e}"),
+            PrepareError::Image(e) => write!(f, "image failed: {e}"),
+            PrepareError::BadGolden(s) => write!(f, "golden run did not exit cleanly: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// A workload prepared for microarchitecture-level (AVF/HVF) campaigns on
+/// one core model.
+#[derive(Debug)]
+pub struct Prepared {
+    /// The core configuration.
+    pub cfg: CoreConfig,
+    /// The bootable image.
+    pub image: SystemImage,
+    /// Golden cycle-level run (status must be a clean exit).
+    pub golden: SimOutcome,
+    /// Expected program output.
+    pub expected_output: Vec<u8>,
+    /// Cycle budget for faulty runs.
+    pub budget: u64,
+}
+
+impl Prepared {
+    /// Compiles and golden-runs `workload` on `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepareError`] if compilation, image assembly, or the
+    /// golden run fails.
+    pub fn new(workload: &Workload, model: CoreModel) -> Result<Prepared, PrepareError> {
+        let cfg = model.config();
+        let compiled = compile(&workload.module, cfg.isa, &CompileOpts::default())
+            .map_err(|e| PrepareError::Compile(e.to_string()))?;
+        let image = SystemImage::build(&compiled, &workload.input)
+            .map_err(|e| PrepareError::Image(e.to_string()))?;
+        let golden = OooCore::new(&cfg, &image).run(FUNC_BUDGET).sim;
+        if golden.status != RunStatus::Exited(0) {
+            return Err(PrepareError::BadGolden(golden.status));
+        }
+        let budget = golden.cycles * 8 + 500_000;
+        Ok(Prepared { cfg, image, golden, expected_output: workload.expected_output.clone(), budget })
+    }
+}
+
+/// A workload prepared for architecture-level (PVF) campaigns on one ISA
+/// (microarchitecture-independent, per the PVF definition).
+#[derive(Debug)]
+pub struct FuncPrepared {
+    /// Target ISA.
+    pub isa: Isa,
+    /// The bootable image.
+    pub image: SystemImage,
+    /// Golden functional run.
+    pub golden: SimOutcome,
+    /// Execution profile (program-flow population for WD sampling).
+    pub profile: Profile,
+    /// Expected program output.
+    pub expected_output: Vec<u8>,
+    /// Instruction budget for faulty runs.
+    pub budget: u64,
+}
+
+impl FuncPrepared {
+    /// Compiles and golden-runs `workload` functionally on `isa`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepareError`] if compilation, image assembly, or the
+    /// golden run fails.
+    pub fn new(workload: &Workload, isa: Isa) -> Result<FuncPrepared, PrepareError> {
+        let compiled = compile(&workload.module, isa, &CompileOpts::default())
+            .map_err(|e| PrepareError::Compile(e.to_string()))?;
+        let image = SystemImage::build(&compiled, &workload.input)
+            .map_err(|e| PrepareError::Image(e.to_string()))?;
+        let (golden, profile) = FuncCore::new(&image).run_with_profile(FUNC_BUDGET);
+        if golden.status != RunStatus::Exited(0) {
+            return Err(PrepareError::BadGolden(golden.status));
+        }
+        let budget = golden.instrs * 8 + 500_000;
+        Ok(FuncPrepared {
+            isa,
+            image,
+            golden,
+            profile,
+            expected_output: workload.expected_output.clone(),
+            budget,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnstack_workloads::WorkloadId;
+
+    #[test]
+    fn prepares_crc32_on_a9() {
+        let w = WorkloadId::Crc32.build();
+        let p = Prepared::new(&w, CoreModel::A9).unwrap();
+        assert_eq!(p.golden.status, RunStatus::Exited(0));
+        assert_eq!(p.golden.output, w.expected_output);
+        assert!(p.budget > p.golden.cycles);
+    }
+
+    #[test]
+    fn prepares_functional_smooth_on_va64() {
+        let w = WorkloadId::Smooth.build();
+        let p = FuncPrepared::new(&w, Isa::Va64).unwrap();
+        assert_eq!(p.golden.status, RunStatus::Exited(0));
+        assert!(!p.profile.touched_bytes.is_empty());
+        assert!(p.profile.kernel_instrs > 0, "syscalls must run kernel code");
+    }
+}

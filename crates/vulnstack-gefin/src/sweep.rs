@@ -1,0 +1,110 @@
+//! Temporal vulnerability sweeps: AVF as a function of *when* in the
+//! execution the fault strikes.
+//!
+//! The paper's case studies hinge on execution time (a 2–2.5× longer
+//! hardened run exposes state for longer); this module makes the temporal
+//! structure directly measurable by binning injections into fixed windows
+//! of the golden run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vulnstack_core::effects::Tally;
+use vulnstack_core::stack::FpmDist;
+use vulnstack_microarch::ooo::HwStructure;
+
+use crate::avf::run_one;
+use crate::prepare::Prepared;
+
+/// Per-window results of a temporal sweep.
+#[derive(Debug, Clone)]
+pub struct TemporalProfile {
+    /// Target structure.
+    pub structure: HwStructure,
+    /// Window boundaries in cycles: window `i` covers
+    /// `[bounds[i], bounds[i+1])`.
+    pub bounds: Vec<u64>,
+    /// Fault-effect tally per window.
+    pub tallies: Vec<Tally>,
+    /// FPM distribution per window.
+    pub fpms: Vec<FpmDist>,
+}
+
+impl TemporalProfile {
+    /// Total vulnerability per window.
+    pub fn series(&self) -> Vec<f64> {
+        self.tallies.iter().map(|t| t.vf().total()).collect()
+    }
+}
+
+/// Runs `per_window` injections uniformly inside each of `windows` equal
+/// slices of the golden execution. Deterministic for a given seed;
+/// single-threaded (call sites parallelise across structures/workloads).
+pub fn temporal_campaign(
+    prep: &Prepared,
+    structure: HwStructure,
+    windows: usize,
+    per_window: usize,
+    seed: u64,
+) -> TemporalProfile {
+    assert!(windows >= 1);
+    let total = prep.golden.cycles.max(windows as u64);
+    let bits = structure.bits(&prep.cfg);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E0A_11D5_11CE_0DD5);
+
+    let mut bounds = Vec::with_capacity(windows + 1);
+    for i in 0..=windows {
+        bounds.push(1 + (total - 1) * i as u64 / windows as u64);
+    }
+
+    let mut tallies = Vec::with_capacity(windows);
+    let mut fpms = Vec::with_capacity(windows);
+    for w in 0..windows {
+        let (lo, hi) = (bounds[w], bounds[w + 1].max(bounds[w] + 1));
+        let mut tally = Tally::default();
+        let mut fpm = FpmDist::new();
+        for _ in 0..per_window {
+            let cycle = rng.gen_range(lo..hi);
+            let bit = rng.gen_range(0..bits);
+            let rec = run_one(prep, structure, cycle, bit);
+            tally.add(rec.effect);
+            fpm.add(rec.fpm);
+        }
+        tallies.push(tally);
+        fpms.push(fpm);
+    }
+
+    TemporalProfile { structure, bounds, tallies, fpms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnstack_microarch::CoreModel;
+    use vulnstack_workloads::WorkloadId;
+
+    #[test]
+    fn windows_partition_the_run() {
+        let w = WorkloadId::Crc32.build();
+        let prep = Prepared::new(&w, CoreModel::A72).unwrap();
+        let p = temporal_campaign(&prep, HwStructure::L1d, 4, 8, 3);
+        assert_eq!(p.bounds.len(), 5);
+        assert!(p.bounds.windows(2).all(|b| b[0] < b[1]));
+        assert_eq!(p.tallies.len(), 4);
+        assert!(p.tallies.iter().all(|t| t.total() == 8));
+        assert_eq!(p.series().len(), 4);
+    }
+
+    #[test]
+    fn late_rf_faults_tend_to_mask() {
+        // Near the end of the run most register values are dead; the last
+        // window should not be *more* vulnerable than the whole-run
+        // average by a large factor.
+        let w = WorkloadId::Crc32.build();
+        let prep = Prepared::new(&w, CoreModel::A72).unwrap();
+        let p = temporal_campaign(&prep, HwStructure::RegisterFile, 5, 20, 9);
+        let series = p.series();
+        let avg: f64 = series.iter().sum::<f64>() / series.len() as f64;
+        let last = *series.last().unwrap();
+        assert!(last <= avg + 0.35, "last window {last:.2} vs avg {avg:.2}");
+    }
+}

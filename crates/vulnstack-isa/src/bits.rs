@@ -1,0 +1,72 @@
+//! Small bit-manipulation helpers shared by the encoder, decoder and the
+//! fault-injection layers.
+
+/// Extracts bits `[hi:lo]` (inclusive) of `word`.
+pub fn field(word: u32, hi: u32, lo: u32) -> u32 {
+    debug_assert!(hi >= lo && hi < 32);
+    (word >> lo) & ((1u32 << (hi - lo + 1)) - 1)
+}
+
+/// Inserts `value` into bits `[hi:lo]` of `word`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `value` does not fit in the field.
+pub fn insert(word: u32, hi: u32, lo: u32, value: u32) -> u32 {
+    debug_assert!(hi >= lo && hi < 32);
+    let mask = ((1u64 << (hi - lo + 1)) - 1) as u32;
+    debug_assert!(value <= mask, "field value {value:#x} exceeds [{hi}:{lo}]");
+    (word & !(mask << lo)) | ((value & mask) << lo)
+}
+
+/// Sign-extends the low `bits` bits of `v` to 64 bits.
+pub fn sext(v: u64, bits: u32) -> i64 {
+    debug_assert!(bits >= 1 && bits <= 64);
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+/// True if signed `v` fits in `bits` bits.
+pub fn fits_signed(v: i64, bits: u32) -> bool {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    v >= min && v <= max
+}
+
+/// True if unsigned `v` fits in `bits` bits.
+pub fn fits_unsigned(v: u64, bits: u32) -> bool {
+    bits >= 64 || v < (1u64 << bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_and_insert_roundtrip() {
+        let w = insert(0, 23, 19, 0b10110);
+        assert_eq!(field(w, 23, 19), 0b10110);
+        let w2 = insert(w, 13, 0, 0x3abc);
+        assert_eq!(field(w2, 13, 0), 0x3abc);
+        assert_eq!(field(w2, 23, 19), 0b10110);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sext(0b11_1111_1111_1111, 14), -1);
+        assert_eq!(sext(0b01_1111_1111_1111, 14), 8191);
+        assert_eq!(sext(0x8000_0000, 32), i32::MIN as i64);
+        assert_eq!(sext(5, 14), 5);
+    }
+
+    #[test]
+    fn fit_checks() {
+        assert!(fits_signed(8191, 14));
+        assert!(!fits_signed(8192, 14));
+        assert!(fits_signed(-8192, 14));
+        assert!(!fits_signed(-8193, 14));
+        assert!(fits_unsigned(0xffff, 16));
+        assert!(!fits_unsigned(0x1_0000, 16));
+        assert!(fits_unsigned(u64::MAX, 64));
+    }
+}

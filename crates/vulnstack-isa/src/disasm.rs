@@ -1,0 +1,85 @@
+//! Textual disassembly, mainly for debugging fault traces.
+
+use crate::instr::Instr;
+use crate::isa::Isa;
+use crate::op::Format;
+
+impl std::fmt::Display for Instr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op.format() {
+            Format::R => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.rs2),
+            Format::I => write!(f, "{m} {}, {}, {}", self.rd, self.rs1, self.imm),
+            Format::Load => write!(f, "{m} {}, [{} + {}]", self.rd, self.rs1, self.imm),
+            Format::Store => write!(f, "{m} {}, [{} + {}]", self.rd, self.rs1, self.imm),
+            Format::B => write!(f, "{m} {}, {}, pc{:+}", self.rs1, self.rs2, self.imm),
+            Format::J => write!(f, "{m} pc{:+}", self.imm),
+            Format::Jr => write!(f, "{m} {}", self.rs1),
+            Format::M => write!(f, "{m} {}, {:#x} lsl {}", self.rd, self.imm, 16 * self.shift),
+            Format::Sys => write!(f, "{m}"),
+            Format::Mfsr => {
+                write!(f, "{m} {}, {}", self.rd, self.sysreg().map_or("?".into(), |s| s.to_string()))
+            }
+            Format::Mtsr => {
+                write!(f, "{m} {}, {}", self.sysreg().map_or("?".into(), |s| s.to_string()), self.rs1)
+            }
+        }
+    }
+}
+
+/// Disassembles a raw word, or describes why it does not decode.
+pub fn disasm_word(word: u32, isa: Isa) -> String {
+    match Instr::decode(word, isa) {
+        Ok(i) => i.to_string(),
+        Err(e) => format!(".word {word:#010x} ; {e}"),
+    }
+}
+
+/// Disassembles a byte slice of encoded instructions (little-endian words).
+pub fn disasm_bytes(bytes: &[u8], base: u64, isa: Isa) -> Vec<String> {
+    bytes
+        .chunks_exact(4)
+        .enumerate()
+        .map(|(i, c)| {
+            let word = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            format!("{:#010x}: {}", base + 4 * i as u64, disasm_word(word, isa))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::reg::Reg;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instr::alu_rr(Op::Add, Reg(1), Reg(2), Reg(3)).to_string(), "add r1, r2, r3");
+        assert_eq!(Instr::load(Op::Lw, Reg(4), Reg(5), -8).to_string(), "lw r4, [r5 + -8]");
+        assert_eq!(Instr::branch(Op::Beq, Reg(1), Reg(2), 16).to_string(), "beq r1, r2, pc+16");
+        assert_eq!(Instr::sys(Op::Syscall).to_string(), "syscall");
+        assert_eq!(
+            Instr::mov_wide(Op::Movz, Reg(7), 0xBEEF, 2).to_string(),
+            "movz r7, 0xbeef lsl 32"
+        );
+    }
+
+    #[test]
+    fn disasm_invalid_word() {
+        let s = disasm_word(0xFF00_0000, Isa::Va64);
+        assert!(s.contains("invalid opcode"), "{s}");
+    }
+
+    #[test]
+    fn disasm_byte_stream() {
+        let a = Instr::alu_imm(Op::Addi, Reg(1), Reg(1), 1).encode(Isa::Va64).unwrap();
+        let b = Instr::sys(Op::Nop).encode(Isa::Va64).unwrap();
+        let mut bytes = a.to_le_bytes().to_vec();
+        bytes.extend(b.to_le_bytes());
+        let lines = disasm_bytes(&bytes, 0x1000, Isa::Va64);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("0x00001000: addi"));
+        assert!(lines[1].contains("nop"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Decoded instruction representation and constructors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::Isa;
+use crate::op::{Format, Op};
+use crate::reg::Reg;
+use crate::sysreg::SysReg;
+
+/// A decoded machine instruction.
+///
+/// Field meaning depends on [`Op::format`]:
+///
+/// | format | `rd` | `rs1` | `rs2` | `imm` | `shift` |
+/// |---|---|---|---|---|---|
+/// | R | dest | src 1 | src 2 | — | — |
+/// | I | dest | src | — | signed imm | — |
+/// | Load | dest | base | — | signed byte offset | — |
+/// | Store | data src | base | — | signed byte offset | — |
+/// | B | — | cmp 1 | cmp 2 | signed byte offset (pc-relative) | — |
+/// | J | — | — | — | signed byte offset (pc-relative) | — |
+/// | Jr | — | target | — | — | — |
+/// | M | dest | — | — | imm16 (0..=65535) | 0..=3 |
+/// | Mfsr | dest | sysreg idx | — | — | — |
+/// | Mtsr | sysreg idx | src | — | — | — |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instr {
+    /// Operation.
+    pub op: Op,
+    /// Destination register (or data source for stores, sysreg index for
+    /// `MTSR`).
+    pub rd: Reg,
+    /// First source register (base for memory ops, sysreg index for `MFSR`).
+    pub rs1: Reg,
+    /// Second source register.
+    pub rs2: Reg,
+    /// Immediate. Branch/jump immediates are *byte* offsets relative to this
+    /// instruction's address and are always multiples of 4.
+    pub imm: i64,
+    /// Shift count for `MOVZ`/`MOVK` (`imm16 << 16*shift`).
+    pub shift: u8,
+}
+
+impl Instr {
+    /// A canonical `nop`.
+    pub fn nop() -> Instr {
+        Instr::sys(Op::Nop)
+    }
+
+    /// Builds a register-register ALU instruction.
+    pub fn alu_rr(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Instr {
+        debug_assert_eq!(op.format(), Format::R);
+        Instr { op, rd, rs1, rs2, imm: 0, shift: 0 }
+    }
+
+    /// Builds a register-immediate ALU instruction.
+    pub fn alu_imm(op: Op, rd: Reg, rs1: Reg, imm: i64) -> Instr {
+        debug_assert_eq!(op.format(), Format::I);
+        Instr { op, rd, rs1, rs2: Reg(0), imm, shift: 0 }
+    }
+
+    /// Builds a load: `rd <- mem[rs1 + offset]`.
+    pub fn load(op: Op, rd: Reg, base: Reg, offset: i64) -> Instr {
+        debug_assert_eq!(op.format(), Format::Load);
+        Instr { op, rd, rs1: base, rs2: Reg(0), imm: offset, shift: 0 }
+    }
+
+    /// Builds a store: `mem[rs1 + offset] <- data`.
+    pub fn store(op: Op, data: Reg, base: Reg, offset: i64) -> Instr {
+        debug_assert_eq!(op.format(), Format::Store);
+        Instr { op, rd: data, rs1: base, rs2: Reg(0), imm: offset, shift: 0 }
+    }
+
+    /// Builds a conditional branch with a pc-relative byte offset.
+    pub fn branch(op: Op, rs1: Reg, rs2: Reg, offset: i64) -> Instr {
+        debug_assert_eq!(op.format(), Format::B);
+        Instr { op, rd: Reg(0), rs1, rs2, imm: offset, shift: 0 }
+    }
+
+    /// Builds a direct `call`/`jmp` with a pc-relative byte offset.
+    pub fn jump(op: Op, offset: i64) -> Instr {
+        debug_assert_eq!(op.format(), Format::J);
+        Instr { op, rd: Reg(0), rs1: Reg(0), rs2: Reg(0), imm: offset, shift: 0 }
+    }
+
+    /// Builds an indirect `callr`/`jmpr` through `target`.
+    pub fn jump_reg(op: Op, target: Reg) -> Instr {
+        debug_assert_eq!(op.format(), Format::Jr);
+        Instr { op, rd: Reg(0), rs1: target, rs2: Reg(0), imm: 0, shift: 0 }
+    }
+
+    /// Builds a `movz`/`movk`: `imm16` placed at bit position `16*shift`.
+    pub fn mov_wide(op: Op, rd: Reg, imm16: u16, shift: u8) -> Instr {
+        debug_assert_eq!(op.format(), Format::M);
+        debug_assert!(shift < 4);
+        Instr { op, rd, rs1: Reg(0), rs2: Reg(0), imm: imm16 as i64, shift }
+    }
+
+    /// Builds a no-operand system instruction (`syscall`, `eret`, `halt`,
+    /// `nop`).
+    pub fn sys(op: Op) -> Instr {
+        debug_assert_eq!(op.format(), Format::Sys);
+        Instr { op, rd: Reg(0), rs1: Reg(0), rs2: Reg(0), imm: 0, shift: 0 }
+    }
+
+    /// Builds `mfsr rd, sr`.
+    pub fn mfsr(rd: Reg, sr: SysReg) -> Instr {
+        Instr { op: Op::Mfsr, rd, rs1: Reg(sr.index()), rs2: Reg(0), imm: 0, shift: 0 }
+    }
+
+    /// Builds `mtsr sr, rs1`.
+    pub fn mtsr(sr: SysReg, rs1: Reg) -> Instr {
+        Instr { op: Op::Mtsr, rd: Reg(sr.index()), rs1, rs2: Reg(0), imm: 0, shift: 0 }
+    }
+
+    /// Architectural registers read by this instruction.
+    pub fn srcs(&self) -> Vec<Reg> {
+        match self.op.format() {
+            Format::R | Format::B => vec![self.rs1, self.rs2],
+            Format::I | Format::Load | Format::Jr => vec![self.rs1],
+            Format::Store => vec![self.rd, self.rs1],
+            Format::Mtsr => vec![self.rs1],
+            Format::M => {
+                if self.op == Op::Movk {
+                    vec![self.rd]
+                } else {
+                    vec![]
+                }
+            }
+            Format::J | Format::Sys | Format::Mfsr => vec![],
+        }
+    }
+
+    /// Architectural register written by this instruction, if any.
+    ///
+    /// `CALL`/`CALLR` write the ISA's link register, so the destination is
+    /// ISA-dependent.
+    pub fn dest(&self, isa: Isa) -> Option<Reg> {
+        let d = match self.op.format() {
+            Format::R | Format::I | Format::Load | Format::M | Format::Mfsr => Some(self.rd),
+            Format::J | Format::Jr if matches!(self.op, Op::Call | Op::Callr) => Some(isa.lr()),
+            _ => None,
+        };
+        // Writes to the VA64 zero register are discarded.
+        match (d, isa.zero()) {
+            (Some(r), Some(z)) if r == z => None,
+            _ => d,
+        }
+    }
+
+    /// The system register referenced by `MFSR`/`MTSR`, if any.
+    pub fn sysreg(&self) -> Option<SysReg> {
+        match self.op {
+            Op::Mfsr => SysReg::from_index(self.rs1.0),
+            Op::Mtsr => SysReg::from_index(self.rd.0),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srcs_and_dest() {
+        let i = Instr::alu_rr(Op::Add, Reg(1), Reg(2), Reg(3));
+        assert_eq!(i.srcs(), vec![Reg(2), Reg(3)]);
+        assert_eq!(i.dest(Isa::Va64), Some(Reg(1)));
+
+        let s = Instr::store(Op::Sw, Reg(4), Reg(5), 8);
+        assert_eq!(s.srcs(), vec![Reg(4), Reg(5)]);
+        assert_eq!(s.dest(Isa::Va64), None);
+
+        let c = Instr::jump(Op::Call, 64);
+        assert_eq!(c.dest(Isa::Va32), Some(Isa::Va32.lr()));
+        assert_eq!(c.dest(Isa::Va64), Some(Isa::Va64.lr()));
+
+        let j = Instr::jump(Op::Jmp, 64);
+        assert_eq!(j.dest(Isa::Va64), None);
+    }
+
+    #[test]
+    fn movk_reads_its_destination() {
+        let k = Instr::mov_wide(Op::Movk, Reg(6), 0xBEEF, 1);
+        assert_eq!(k.srcs(), vec![Reg(6)]);
+        let z = Instr::mov_wide(Op::Movz, Reg(6), 0xBEEF, 1);
+        assert!(z.srcs().is_empty());
+    }
+
+    #[test]
+    fn zero_register_write_discarded() {
+        let i = Instr::alu_rr(Op::Add, Reg(31), Reg(1), Reg(2));
+        assert_eq!(i.dest(Isa::Va64), None);
+        // On VA32 register 31 is simply invalid, but dest() itself doesn't
+        // validate; the decoder does.
+        assert_eq!(i.dest(Isa::Va32), Some(Reg(31)));
+    }
+
+    #[test]
+    fn sysreg_accessors() {
+        let m = Instr::mfsr(Reg(3), SysReg::Cause);
+        assert_eq!(m.sysreg(), Some(SysReg::Cause));
+        let t = Instr::mtsr(SysReg::Epc, Reg(4));
+        assert_eq!(t.sysreg(), Some(SysReg::Epc));
+        assert_eq!(t.srcs(), vec![Reg(4)]);
+    }
+}

@@ -1,0 +1,232 @@
+//! A tiny label-resolving assembler used to author the kernel.
+
+use std::collections::HashMap;
+
+use vulnstack_isa::{Instr, Isa, Op, Reg, SysReg};
+
+/// One assembly item: a concrete instruction or a label-relative branch.
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Instr),
+    Branch { op: Op, rs1: Reg, rs2: Reg, label: String },
+    Jump { op: Op, label: String },
+}
+
+/// A small two-pass assembler with named labels.
+///
+/// # Example
+///
+/// ```
+/// use vulnstack_isa::{Isa, Reg};
+/// use vulnstack_kernel::asm::Asm;
+///
+/// let mut a = Asm::new(Isa::Va64);
+/// a.movz(Reg(1), 0, 0);
+/// a.label("spin");
+/// a.jmp_to("spin");
+/// let words = a.assemble().unwrap();
+/// assert_eq!(words.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Asm {
+    isa: Isa,
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+}
+
+/// Assembly error: unknown label or encoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch references an undefined label.
+    UnknownLabel(String),
+    /// Encoding rejected an instruction.
+    Encode(String),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnknownLabel(l) => write!(f, "unknown label {l}"),
+            AsmError::Encode(e) => write!(f, "encode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl Asm {
+    /// Creates an assembler for `isa`.
+    pub fn new(isa: Isa) -> Asm {
+        Asm { isa, items: Vec::new(), labels: HashMap::new() }
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is redefined.
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_string(), self.items.len());
+        assert!(prev.is_none(), "label {name} redefined");
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Instr) {
+        self.items.push(Item::Fixed(i));
+    }
+
+    /// `movz rd, imm16 << 16*shift`.
+    pub fn movz(&mut self, rd: Reg, imm16: u16, shift: u8) {
+        self.emit(Instr::mov_wide(Op::Movz, rd, imm16, shift));
+    }
+
+    /// `movk rd, imm16 << 16*shift` (keep other bits).
+    pub fn movk(&mut self, rd: Reg, imm16: u16, shift: u8) {
+        self.emit(Instr::mov_wide(Op::Movk, rd, imm16, shift));
+    }
+
+    /// Materialises a full 32-bit constant.
+    pub fn mat(&mut self, rd: Reg, value: u32) {
+        self.movz(rd, (value & 0xffff) as u16, 0);
+        if value >> 16 != 0 {
+            self.movk(rd, (value >> 16) as u16, 1);
+        }
+    }
+
+    /// Register-register ALU.
+    pub fn rr(&mut self, op: Op, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::alu_rr(op, rd, rs1, rs2));
+    }
+
+    /// Register-immediate ALU.
+    pub fn ri(&mut self, op: Op, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::alu_imm(op, rd, rs1, imm));
+    }
+
+    /// Load.
+    pub fn load(&mut self, op: Op, rd: Reg, base: Reg, off: i64) {
+        self.emit(Instr::load(op, rd, base, off));
+    }
+
+    /// Store.
+    pub fn store(&mut self, op: Op, data: Reg, base: Reg, off: i64) {
+        self.emit(Instr::store(op, data, base, off));
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch_to(&mut self, op: Op, rs1: Reg, rs2: Reg, label: &str) {
+        self.items.push(Item::Branch { op, rs1, rs2, label: label.to_string() });
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp_to(&mut self, label: &str) {
+        self.items.push(Item::Jump { op: Op::Jmp, label: label.to_string() });
+    }
+
+    /// `mfsr rd, sr`.
+    pub fn mfsr(&mut self, rd: Reg, sr: SysReg) {
+        self.emit(Instr::mfsr(rd, sr));
+    }
+
+    /// `mtsr sr, rs`.
+    pub fn mtsr(&mut self, sr: SysReg, rs: Reg) {
+        self.emit(Instr::mtsr(sr, rs));
+    }
+
+    /// `eret`.
+    pub fn eret(&mut self) {
+        self.emit(Instr::sys(Op::Eret));
+    }
+
+    /// `halt`.
+    pub fn halt(&mut self) {
+        self.emit(Instr::sys(Op::Halt));
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Resolves labels and encodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] on undefined labels or encoding failures.
+    pub fn assemble(self) -> Result<Vec<u32>, AsmError> {
+        let mut words = Vec::with_capacity(self.items.len());
+        for (pos, item) in self.items.iter().enumerate() {
+            let instr = match item {
+                Item::Fixed(i) => *i,
+                Item::Branch { op, rs1, rs2, label } => {
+                    let &dest = self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UnknownLabel(label.clone()))?;
+                    Instr::branch(*op, *rs1, *rs2, (dest as i64 - pos as i64) * 4)
+                }
+                Item::Jump { op, label } => {
+                    let &dest = self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UnknownLabel(label.clone()))?;
+                    Instr::jump(*op, (dest as i64 - pos as i64) * 4)
+                }
+            };
+            words.push(instr.encode(self.isa).map_err(|e| AsmError::Encode(e.to_string()))?);
+        }
+        Ok(words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new(Isa::Va32);
+        a.label("top");
+        a.ri(Op::Addi, Reg(1), Reg(1), 1);
+        a.branch_to(Op::Beq, Reg(1), Reg(2), "end");
+        a.jmp_to("top");
+        a.label("end");
+        a.halt();
+        let words = a.assemble().unwrap();
+        assert_eq!(words.len(), 4);
+        let b = Instr::decode(words[1], Isa::Va32).unwrap();
+        assert_eq!(b.imm, 8); // beq at 1 -> end at 3: +2 words
+        let j = Instr::decode(words[2], Isa::Va32).unwrap();
+        assert_eq!(j.imm, -8); // jmp at 2 -> top at 0
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let mut a = Asm::new(Isa::Va32);
+        a.jmp_to("nowhere");
+        assert!(matches!(a.assemble(), Err(AsmError::UnknownLabel(_))));
+    }
+
+    #[test]
+    fn mat_emits_one_or_two_instructions() {
+        let mut a = Asm::new(Isa::Va64);
+        a.mat(Reg(1), 0x1234);
+        assert_eq!(a.len(), 1);
+        let mut b = Asm::new(Isa::Va64);
+        b.mat(Reg(1), 0x0010_0000);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "redefined")]
+    fn duplicate_label_panics() {
+        let mut a = Asm::new(Isa::Va32);
+        a.label("x");
+        a.label("x");
+    }
+}

@@ -1,0 +1,203 @@
+//! Bootable system images: kernel + compiled user program + input blob.
+
+use vulnstack_compiler::CompiledModule;
+use vulnstack_isa::Isa;
+
+use crate::kdata::off;
+use crate::kernel::build_kernel;
+use crate::memmap;
+
+/// A complete memory image ready to load into a simulator.
+#[derive(Debug, Clone)]
+pub struct SystemImage {
+    /// Target ISA.
+    pub isa: Isa,
+    /// `(address, bytes)` segments; unlisted memory is zero.
+    pub segments: Vec<(u32, Vec<u8>)>,
+    /// End of the loaded user text (for fetch/write protection).
+    pub user_text_end: u32,
+    /// Reset PC (kernel boot).
+    pub reset_pc: u32,
+    /// Number of input bytes loaded.
+    pub input_len: u32,
+}
+
+/// Image construction errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// User text does not fit its region.
+    TextTooLarge { words: usize },
+    /// User data does not fit its region.
+    DataTooLarge { bytes: usize },
+    /// Input exceeds the input region.
+    InputTooLarge { bytes: usize },
+    /// The module was compiled with a different data base than the memory
+    /// map expects.
+    LayoutMismatch { expected: u32, got: u32 },
+    /// Kernel assembly failed (internal bug).
+    Kernel(String),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::TextTooLarge { words } => write!(f, "user text too large: {words} words"),
+            ImageError::DataTooLarge { bytes } => write!(f, "user data too large: {bytes} bytes"),
+            ImageError::InputTooLarge { bytes } => write!(f, "input too large: {bytes} bytes"),
+            ImageError::LayoutMismatch { expected, got } => {
+                write!(f, "module compiled for data base {got:#x}, expected {expected:#x}")
+            }
+            ImageError::Kernel(e) => write!(f, "kernel assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl SystemImage {
+    /// Assembles a bootable image from a compiled module and its input.
+    ///
+    /// The module must have been compiled with the default
+    /// [`CompileOpts`](vulnstack_compiler::CompileOpts) (whose `data_base`
+    /// and `stack_top` match the memory map).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ImageError`] if a section does not fit its region.
+    pub fn build(compiled: &CompiledModule, input: &[u8]) -> Result<SystemImage, ImageError> {
+        if let Some(&g0) = compiled.global_addrs.first() {
+            if g0 < memmap::USER_DATA || g0 >= memmap::USER_STACK_LIMIT {
+                return Err(ImageError::LayoutMismatch { expected: memmap::USER_DATA, got: g0 });
+            }
+        }
+        let text_bytes = compiled.text_bytes();
+        let text_cap = (memmap::OUTPUT_BASE - memmap::USER_TEXT) as usize;
+        if text_bytes.len() > text_cap {
+            return Err(ImageError::TextTooLarge { words: compiled.text.len() });
+        }
+        let data_cap = (memmap::USER_STACK_LIMIT - memmap::USER_DATA) as usize;
+        if compiled.data.len() > data_cap {
+            return Err(ImageError::DataTooLarge { bytes: compiled.data.len() });
+        }
+        if input.len() > memmap::INPUT_CAP as usize {
+            return Err(ImageError::InputTooLarge { bytes: input.len() });
+        }
+
+        let kernel = build_kernel(compiled.isa).map_err(|e| ImageError::Kernel(e.to_string()))?;
+        let boot_bytes: Vec<u8> = kernel.boot.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let trap_bytes: Vec<u8> = kernel.trap.iter().flat_map(|w| w.to_le_bytes()).collect();
+
+        // Kernel data page: INLEN and BRK are the only nonzero words.
+        let mut kdata = vec![0u8; 64];
+        kdata[off::INLEN as usize..off::INLEN as usize + 4]
+            .copy_from_slice(&(input.len() as u32).to_le_bytes());
+        let brk = memmap::USER_DATA + compiled.data_size;
+        kdata[off::BRK as usize..off::BRK as usize + 4].copy_from_slice(&brk.to_le_bytes());
+
+        let user_text_end = memmap::USER_TEXT + text_bytes.len() as u32;
+        let mut segments = vec![
+            (memmap::KERNEL_BOOT, boot_bytes),
+            (memmap::TRAP_VEC, trap_bytes),
+            (memmap::KERNEL_DATA, kdata),
+            (memmap::USER_TEXT, text_bytes),
+        ];
+        if !compiled.data.is_empty() {
+            segments.push((memmap::USER_DATA, compiled.data.clone()));
+        }
+        if !input.is_empty() {
+            segments.push((memmap::INPUT_BASE, input.to_vec()));
+        }
+
+        Ok(SystemImage {
+            isa: compiled.isa,
+            segments,
+            user_text_end,
+            reset_pc: memmap::KERNEL_BOOT,
+            input_len: input.len() as u32,
+        })
+    }
+
+    /// Writes all segments into a flat memory buffer of
+    /// [`memmap::MEM_SIZE`] bytes.
+    pub fn write_into(&self, mem: &mut [u8]) {
+        for (addr, bytes) in &self.segments {
+            let a = *addr as usize;
+            mem[a..a + bytes.len()].copy_from_slice(bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnstack_compiler::{compile, CompileOpts};
+    use vulnstack_vir::ModuleBuilder;
+
+    fn tiny_compiled(isa: Isa) -> CompiledModule {
+        let mut mb = ModuleBuilder::new("t");
+        let _g = mb.global_words("x", &[7]);
+        let mut f = mb.function("main", 0);
+        f.sys_exit(0);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        compile(&m, isa, &CompileOpts::default()).unwrap()
+    }
+
+    #[test]
+    fn image_builds_with_expected_segments() {
+        for isa in [Isa::Va32, Isa::Va64] {
+            let c = tiny_compiled(isa);
+            let img = SystemImage::build(&c, b"hello").unwrap();
+            assert_eq!(img.reset_pc, memmap::KERNEL_BOOT);
+            assert_eq!(img.input_len, 5);
+            assert!(img.user_text_end > memmap::USER_TEXT);
+            // Segments are inside memory and non-overlapping.
+            let mut spans: Vec<(u32, u32)> =
+                img.segments.iter().map(|(a, b)| (*a, *a + b.len() as u32)).collect();
+            spans.sort();
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap: {spans:?}");
+            }
+            assert!(spans.last().unwrap().1 <= memmap::MEM_SIZE);
+        }
+    }
+
+    #[test]
+    fn write_into_places_input_and_kdata() {
+        let c = tiny_compiled(Isa::Va64);
+        let img = SystemImage::build(&c, b"abc").unwrap();
+        let mut mem = vec![0u8; memmap::MEM_SIZE as usize];
+        img.write_into(&mut mem);
+        assert_eq!(&mem[memmap::INPUT_BASE as usize..memmap::INPUT_BASE as usize + 3], b"abc");
+        let inlen = u32::from_le_bytes(
+            mem[(memmap::KERNEL_DATA + off::INLEN as u32) as usize..][..4].try_into().unwrap(),
+        );
+        assert_eq!(inlen, 3);
+        let brk = u32::from_le_bytes(
+            mem[(memmap::KERNEL_DATA + off::BRK as u32) as usize..][..4].try_into().unwrap(),
+        );
+        assert!(brk >= memmap::USER_DATA);
+    }
+
+    #[test]
+    fn mismatched_layout_is_rejected() {
+        let mut mb = ModuleBuilder::new("t");
+        let _g = mb.global_words("x", &[7]);
+        let mut f = mb.function("main", 0);
+        f.sys_exit(0);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let bad = compile(
+            &m,
+            Isa::Va64,
+            &CompileOpts { data_base: 0x0000_2000, stack_top: memmap::USER_STACK_TOP },
+        )
+        .unwrap();
+        assert!(matches!(
+            SystemImage::build(&bad, &[]),
+            Err(ImageError::LayoutMismatch { .. })
+        ));
+    }
+}

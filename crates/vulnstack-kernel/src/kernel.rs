@@ -1,0 +1,277 @@
+//! The mini-kernel: boot code and the trap/syscall handler, authored
+//! directly in machine code via [`crate::asm::Asm`].
+//!
+//! Register protocol on trap entry (hardware): `EPC` = trapping PC,
+//! `CAUSE`/`BADADDR` set, mode = kernel, PC = `TRAP_VEC`. The handler
+//! preserves every user register except the syscall result register
+//! (`a0`): `a1` is parked in the `SCRATCH0` system register and five
+//! temporaries go to the kernel save area.
+
+use vulnstack_isa::{Isa, Op, Reg, Syscall, SysReg};
+
+use crate::asm::{Asm, AsmError};
+use crate::kdata::off;
+use crate::memmap;
+
+/// Assembled kernel code.
+#[derive(Debug, Clone)]
+pub struct KernelImage {
+    /// Target ISA.
+    pub isa: Isa,
+    /// Boot code, placed at [`memmap::KERNEL_BOOT`].
+    pub boot: Vec<u32>,
+    /// Trap handler, placed at [`memmap::TRAP_VEC`].
+    pub trap: Vec<u32>,
+}
+
+struct K {
+    a0: Reg,
+    a1: Reg,
+    sysnum: Reg,
+    t: [Reg; 5],
+    word_st: Op,
+    word_ld: Op,
+    word: i64,
+}
+
+impl K {
+    fn for_isa(isa: Isa) -> K {
+        let cc = vulnstack_isa::CallConv::new(isa);
+        let (t, word_st, word_ld, word) = match isa {
+            Isa::Va32 => ([Reg(2), Reg(3), Reg(4), Reg(5), Reg(6)], Op::Sw, Op::Lw, 4),
+            Isa::Va64 => ([Reg(2), Reg(3), Reg(4), Reg(5), Reg(6)], Op::Sd, Op::Ld, 8),
+        };
+        K { a0: cc.arg(0), a1: cc.arg(1), sysnum: cc.syscall_num(), t, word_st, word_ld, word }
+    }
+}
+
+/// Builds the kernel for `isa`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] only on internal assembler bugs.
+pub fn build_kernel(isa: Isa) -> Result<KernelImage, AsmError> {
+    Ok(KernelImage { isa, boot: build_boot(isa)?, trap: build_trap(isa)? })
+}
+
+fn build_boot(isa: Isa) -> Result<Vec<u32>, AsmError> {
+    let k = K::for_isa(isa);
+    let mut a = Asm::new(isa);
+    // Jump to user _start in user mode.
+    a.mat(k.t[0], memmap::USER_TEXT);
+    a.mtsr(SysReg::Epc, k.t[0]);
+    a.eret();
+    a.assemble()
+}
+
+fn build_trap(isa: Isa) -> Result<Vec<u32>, AsmError> {
+    let k = K::for_isa(isa);
+    let (a0, a1, sysnum) = (k.a0, k.a1, k.sysnum);
+    let [t1, t2, t3, t4, tz] = k.t;
+    let mut a = Asm::new(isa);
+
+    // --- Entry: park a1, establish the kernel data pointer, save temps.
+    a.mtsr(SysReg::Scratch0, a1);
+    a.mat(a1, memmap::KERNEL_DATA);
+    for (i, &r) in k.t.iter().enumerate() {
+        a.store(k.word_st, r, a1, off::SAVE + k.word * i as i64);
+    }
+    a.movz(tz, 0, 0);
+
+    // --- Dispatch on cause, then syscall number.
+    a.mfsr(t1, SysReg::Cause);
+    a.branch_to(Op::Bne, t1, tz, "fatal"); // non-syscall trap
+    for (label, sc) in [
+        ("sys_exit", Syscall::Exit),
+        ("sys_write", Syscall::Write),
+        ("sys_read", Syscall::Read),
+        ("sys_brk", Syscall::Brk),
+        ("sys_detect", Syscall::Detect),
+    ] {
+        a.movz(t2, sc.number() as u16, 0);
+        a.branch_to(Op::Beq, sysnum, t2, label);
+    }
+    // Unknown syscall: treat as a crash with the syscall number as code.
+    a.ri(Op::Addi, t1, sysnum, 0);
+    a.jmp_to("fatal");
+
+    // --- fatal: status = Crashed, code = t1, halt.
+    a.label("fatal");
+    a.store(Op::Sw, t1, a1, off::CODE);
+    a.movz(t2, crate::kdata::KStatus::Crashed.word() as u16, 0);
+    a.store(Op::Sw, t2, a1, off::STATUS);
+    a.halt();
+
+    // fatal_af: access fault discovered inside a handler.
+    a.label("fatal_af");
+    a.movz(t1, vulnstack_isa::TrapCause::AccessFault.code() as u16, 0);
+    a.jmp_to("fatal");
+
+    // --- exit(code) / detect(code).
+    a.label("sys_exit");
+    a.store(Op::Sw, a0, a1, off::CODE);
+    a.movz(t2, crate::kdata::KStatus::Exited.word() as u16, 0);
+    a.store(Op::Sw, t2, a1, off::STATUS);
+    a.halt();
+
+    a.label("sys_detect");
+    a.store(Op::Sw, a0, a1, off::CODE);
+    a.movz(t2, crate::kdata::KStatus::Detected.word() as u16, 0);
+    a.store(Op::Sw, t2, a1, off::STATUS);
+    a.halt();
+
+    // Emits the user-buffer bounds check: fatal_af unless
+    // USER_TEXT <= a0 && a0 + t1 <= MEM_SIZE.
+    let bounds_check = |a: &mut Asm| {
+        a.mat(t2, memmap::USER_TEXT);
+        a.rr(Op::Sltu, t3, a0, t2);
+        a.branch_to(Op::Bne, t3, tz, "fatal_af");
+        a.rr(Op::Add, t2, a0, t1);
+        a.mat(t3, memmap::MEM_SIZE);
+        a.rr(Op::Sltu, t4, t3, t2);
+        a.branch_to(Op::Bne, t4, tz, "fatal_af");
+    };
+
+    // --- write(ptr=a0, len=scratch0): append to the output region.
+    a.label("sys_write");
+    a.mfsr(t1, SysReg::Scratch0);
+    bounds_check(&mut a);
+    a.load(Op::Lw, t2, a1, off::OUTLEN);
+    // Clamp to capacity: if OUTLEN + len > CAP then len = CAP - OUTLEN.
+    a.rr(Op::Add, t3, t2, t1);
+    a.mat(t4, memmap::OUTPUT_CAP);
+    a.rr(Op::Sltu, t4, t4, t3);
+    a.branch_to(Op::Beq, t4, tz, "wr_ok");
+    a.mat(t4, memmap::OUTPUT_CAP);
+    a.rr(Op::Sub, t1, t4, t2);
+    a.label("wr_ok");
+    // dst = OUTPUT_BASE + OUTLEN; OUTLEN += len.
+    a.mat(t3, memmap::OUTPUT_BASE);
+    a.rr(Op::Add, t3, t3, t2);
+    a.rr(Op::Add, t4, t2, t1);
+    a.store(Op::Sw, t4, a1, off::OUTLEN);
+    a.label("wr_loop");
+    a.branch_to(Op::Beq, t1, tz, "wr_done");
+    a.load(Op::Lbu, t4, a0, 0);
+    a.store(Op::Sb, t4, t3, 0);
+    a.ri(Op::Addi, a0, a0, 1);
+    a.ri(Op::Addi, t3, t3, 1);
+    a.ri(Op::Addi, t1, t1, -1);
+    a.jmp_to("wr_loop");
+    a.label("wr_done");
+    a.movz(a0, 0, 0);
+    a.jmp_to("done");
+
+    // --- read(ptr=a0, len=scratch0) -> bytes copied.
+    a.label("sys_read");
+    a.mfsr(t1, SysReg::Scratch0);
+    bounds_check(&mut a);
+    a.load(Op::Lw, t2, a1, off::INPOS);
+    a.load(Op::Lw, t3, a1, off::INLEN);
+    a.rr(Op::Sub, t3, t3, t2);
+    // n = min(len, remaining).
+    a.rr(Op::Sltu, t4, t3, t1);
+    a.branch_to(Op::Beq, t4, tz, "rd_n_ok");
+    a.rr(Op::Add, t1, t3, tz);
+    a.label("rd_n_ok");
+    a.store(Op::Sw, t1, a1, off::TMP0);
+    a.rr(Op::Add, t4, t2, t1);
+    a.store(Op::Sw, t4, a1, off::INPOS);
+    a.mat(t3, memmap::INPUT_BASE);
+    a.rr(Op::Add, t3, t3, t2);
+    a.label("rd_loop");
+    a.branch_to(Op::Beq, t1, tz, "rd_done");
+    a.load(Op::Lbu, t2, t3, 0);
+    a.store(Op::Sb, t2, a0, 0);
+    a.ri(Op::Addi, t3, t3, 1);
+    a.ri(Op::Addi, a0, a0, 1);
+    a.ri(Op::Addi, t1, t1, -1);
+    a.jmp_to("rd_loop");
+    a.label("rd_done");
+    a.load(Op::Lw, a0, a1, off::TMP0);
+    a.jmp_to("done");
+
+    // --- brk(delta=a0) -> old break, or -1.
+    a.label("sys_brk");
+    a.load(Op::Lw, t1, a1, off::BRK);
+    a.rr(Op::Add, t2, t1, a0);
+    a.mat(t3, memmap::USER_DATA);
+    a.rr(Op::Sltu, t4, t2, t3);
+    a.branch_to(Op::Bne, t4, tz, "brk_fail");
+    a.mat(t3, memmap::USER_STACK_LIMIT);
+    a.rr(Op::Sltu, t4, t3, t2);
+    a.branch_to(Op::Bne, t4, tz, "brk_fail");
+    a.store(Op::Sw, t2, a1, off::BRK);
+    a.rr(Op::Add, a0, t1, tz);
+    a.jmp_to("done");
+    a.label("brk_fail");
+    a.movz(a0, 0xFFFF, 0);
+    a.movk(a0, 0xFFFF, 1);
+    if isa == Isa::Va64 {
+        // Keep the sign-extended-32 register convention for -1.
+        a.ri(Op::Addiw, a0, a0, 0);
+    }
+    a.jmp_to("done");
+
+    // --- Common syscall return: EPC += 4, restore, eret.
+    a.label("done");
+    a.mfsr(t1, SysReg::Epc);
+    a.ri(Op::Addi, t1, t1, 4);
+    a.mtsr(SysReg::Epc, t1);
+    for (i, &r) in k.t.iter().enumerate() {
+        a.load(k.word_ld, r, a1, off::SAVE + k.word * i as i64);
+    }
+    a.mfsr(a1, SysReg::Scratch0);
+    a.eret();
+
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnstack_isa::Instr;
+
+    #[test]
+    fn kernel_assembles_on_both_isas() {
+        for isa in [Isa::Va32, Isa::Va64] {
+            let k = build_kernel(isa).unwrap();
+            assert!(!k.boot.is_empty());
+            assert!(k.trap.len() > 50, "{isa}: trap handler suspiciously small");
+            for (i, &w) in k.boot.iter().chain(k.trap.iter()).enumerate() {
+                Instr::decode(w, isa).unwrap_or_else(|e| panic!("{isa} word {i}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn trap_handler_fits_before_kernel_data() {
+        for isa in [Isa::Va32, Isa::Va64] {
+            let k = build_kernel(isa).unwrap();
+            let end = memmap::TRAP_VEC + 4 * k.trap.len() as u32;
+            assert!(end <= memmap::KERNEL_DATA, "{isa}: trap handler overruns kernel data");
+            let boot_end = memmap::KERNEL_BOOT + 4 * k.boot.len() as u32;
+            assert!(boot_end <= memmap::TRAP_VEC);
+        }
+    }
+
+    #[test]
+    fn trap_handler_ends_with_eret() {
+        for isa in [Isa::Va32, Isa::Va64] {
+            let k = build_kernel(isa).unwrap();
+            let last = Instr::decode(*k.trap.last().unwrap(), isa).unwrap();
+            assert_eq!(last.op, Op::Eret);
+        }
+    }
+
+    #[test]
+    fn kernel_uses_privileged_instructions() {
+        let k = build_kernel(Isa::Va64).unwrap();
+        let ops: Vec<Op> =
+            k.trap.iter().map(|&w| Instr::decode(w, Isa::Va64).unwrap().op).collect();
+        assert!(ops.contains(&Op::Mfsr));
+        assert!(ops.contains(&Op::Mtsr));
+        assert!(ops.contains(&Op::Halt));
+        assert!(ops.contains(&Op::Eret));
+    }
+}

@@ -1,0 +1,29 @@
+//! # vulnstack-kernel
+//!
+//! The full-system substrate under the compiled workloads: a memory map
+//! with user/kernel protection, a mini-kernel written directly in VA
+//! machine code (boot, trap entry, syscall handlers), and the assembly of
+//! complete bootable system images.
+//!
+//! The kernel matters to the vulnerability study in two ways that the
+//! paper highlights:
+//!
+//! 1. **Kernel instructions execute in the pipeline on behalf of the user
+//!    program** (`read`/`write` copy loops, trap entry/exit). PVF-level
+//!    analysis sees them; SVF-level (LLFI-style) analysis cannot — one of
+//!    the divergences the paper quantifies.
+//! 2. **Program output accumulates in memory and is drained by DMA** after
+//!    the program exits. A fault that lands on output bytes resident in a
+//!    cache after the program's last access corrupts the output without
+//!    ever flowing through the pipeline again — the paper's *Escaped*
+//!    (ESC) fault propagation model.
+
+pub mod asm;
+pub mod image;
+pub mod kdata;
+pub mod kernel;
+pub mod memmap;
+
+pub use image::SystemImage;
+pub use kdata::KStatus;
+pub use kernel::build_kernel;

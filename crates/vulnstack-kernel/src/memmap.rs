@@ -1,0 +1,118 @@
+//! The physical memory map and protection rules.
+//!
+//! ```text
+//! 0x0000_0000 ┌────────────────────────────┐
+//!             │ (null guard)               │
+//! 0x0000_0100 │ kernel boot code           │
+//! 0x0000_1000 │ kernel trap handler        │
+//! 0x0000_8000 │ kernel data (status, save) │
+//! 0x0001_0000 │ user text                  │ read/execute in user mode
+//! 0x0004_0000 │ output accumulation (DMA)  │ kernel only
+//! 0x0008_0000 │ input blob                 │ kernel only
+//! 0x0010_0000 │ user data + heap           │ user read/write
+//! 0x0030_0000 │ user stack (grows down)    │ user read/write
+//! 0x0040_0000 └────────────────────────────┘ top of memory
+//! ```
+
+/// Reset program counter (kernel boot).
+pub const KERNEL_BOOT: u32 = 0x0000_0100;
+/// Trap vector: PC loaded on any user-mode trap.
+pub const TRAP_VEC: u32 = 0x0000_1000;
+/// Kernel data page (see [`crate::kdata`]).
+pub const KERNEL_DATA: u32 = 0x0000_8000;
+/// Base of user text (`_start` lives here).
+pub const USER_TEXT: u32 = 0x0001_0000;
+/// Output accumulation region, drained by DMA after exit.
+pub const OUTPUT_BASE: u32 = 0x0004_0000;
+/// Capacity of the output region.
+pub const OUTPUT_CAP: u32 = 0x0004_0000;
+/// Program input blob (kernel-owned).
+pub const INPUT_BASE: u32 = 0x0008_0000;
+/// Capacity of the input region.
+pub const INPUT_CAP: u32 = 0x0008_0000;
+/// Base of user data (globals, then heap).
+pub const USER_DATA: u32 = 0x0010_0000;
+/// Lowest address the user stack may reach (also the heap ceiling).
+pub const USER_STACK_LIMIT: u32 = 0x0030_0000;
+/// Initial user stack pointer.
+pub const USER_STACK_TOP: u32 = 0x003F_FF00;
+/// Total modelled physical memory.
+pub const MEM_SIZE: u32 = 0x0040_0000;
+
+/// Kind of memory access, for protection checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// Checks whether a *user-mode* access is permitted.
+///
+/// `user_text_end` is the end of the loaded user text (image-dependent).
+/// Kernel mode is allowed everything inside the address space and is not
+/// routed through this check.
+pub fn user_access_ok(addr: u32, len: u32, kind: AccessKind, user_text_end: u32) -> bool {
+    let Some(end) = addr.checked_add(len) else {
+        return false;
+    };
+    if end > MEM_SIZE {
+        return false;
+    }
+    match kind {
+        AccessKind::Fetch => addr >= USER_TEXT && end <= user_text_end,
+        AccessKind::Read => {
+            // Text is readable (constant pools); data/stack readable.
+            (addr >= USER_TEXT && end <= user_text_end) || (addr >= USER_DATA && end <= MEM_SIZE)
+        }
+        AccessKind::Write => addr >= USER_DATA && end <= MEM_SIZE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_ordered_and_disjoint() {
+        assert!(KERNEL_BOOT < TRAP_VEC);
+        assert!(TRAP_VEC < KERNEL_DATA);
+        assert!(KERNEL_DATA < USER_TEXT);
+        assert!(USER_TEXT < OUTPUT_BASE);
+        assert_eq!(OUTPUT_BASE + OUTPUT_CAP, INPUT_BASE);
+        assert_eq!(INPUT_BASE + INPUT_CAP, USER_DATA);
+        assert!(USER_DATA < USER_STACK_LIMIT);
+        assert!(USER_STACK_LIMIT < USER_STACK_TOP);
+        assert!(USER_STACK_TOP < MEM_SIZE);
+    }
+
+    #[test]
+    fn user_cannot_touch_kernel_or_io_regions() {
+        let text_end = USER_TEXT + 0x1000;
+        assert!(!user_access_ok(KERNEL_DATA, 4, AccessKind::Read, text_end));
+        assert!(!user_access_ok(OUTPUT_BASE, 4, AccessKind::Read, text_end));
+        assert!(!user_access_ok(INPUT_BASE, 4, AccessKind::Write, text_end));
+        assert!(!user_access_ok(0x0, 4, AccessKind::Read, text_end));
+    }
+
+    #[test]
+    fn user_text_is_read_execute_but_not_write() {
+        let text_end = USER_TEXT + 0x1000;
+        assert!(user_access_ok(USER_TEXT, 4, AccessKind::Fetch, text_end));
+        assert!(user_access_ok(USER_TEXT, 4, AccessKind::Read, text_end));
+        assert!(!user_access_ok(USER_TEXT, 4, AccessKind::Write, text_end));
+        assert!(!user_access_ok(text_end, 4, AccessKind::Fetch, text_end));
+    }
+
+    #[test]
+    fn user_data_and_stack_are_read_write() {
+        let text_end = USER_TEXT + 0x1000;
+        assert!(user_access_ok(USER_DATA, 4, AccessKind::Write, text_end));
+        assert!(user_access_ok(USER_STACK_TOP - 16, 4, AccessKind::Write, text_end));
+        assert!(!user_access_ok(MEM_SIZE - 2, 4, AccessKind::Read, text_end));
+        assert!(!user_access_ok(u32::MAX - 1, 4, AccessKind::Read, text_end));
+    }
+}

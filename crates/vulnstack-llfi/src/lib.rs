@@ -1,0 +1,273 @@
+//! # vulnstack-llfi
+//!
+//! Software-level fault injection in the style of LLFI: instantaneous
+//! single-bit flips in the destination value of one dynamic IR
+//! instruction, user code only. This is the paper's **SVF** measurement:
+//! it sees neither kernel activity, nor microarchitectural residency, nor
+//! escaped faults — by construction.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vulnstack_llfi::svf_campaign;
+//! use vulnstack_workloads::WorkloadId;
+//!
+//! let w = WorkloadId::Crc32.build();
+//! let tally = svf_campaign(&w.module, &w.input, &w.expected_output, 100, 42, 4);
+//! println!("SVF = {:.3}", tally.vf().total());
+//! ```
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vulnstack_core::effects::{FaultEffect, Tally};
+use vulnstack_vir::instr::InstrClass;
+use vulnstack_vir::interp::{Interpreter, RunStatus, SwFault};
+use vulnstack_vir::Module;
+
+/// Classifies an interpreted run against the golden interpretation.
+pub fn classify(
+    status: RunStatus,
+    output: &[u8],
+    golden_status: RunStatus,
+    golden_output: &[u8],
+) -> FaultEffect {
+    match status {
+        RunStatus::Detected(_) => FaultEffect::Detected,
+        RunStatus::Trapped(_) | RunStatus::Timeout => FaultEffect::Crash,
+        RunStatus::Exited(code) => {
+            let golden_code = match golden_status {
+                RunStatus::Exited(c) => c,
+                _ => return FaultEffect::Sdc,
+            };
+            if code == golden_code && output == golden_output {
+                FaultEffect::Masked
+            } else {
+                FaultEffect::Sdc
+            }
+        }
+    }
+}
+
+/// Golden interpretation of a module: status, output and the injectable
+/// dynamic-instruction population.
+#[derive(Debug, Clone)]
+pub struct SvfGolden {
+    /// Golden status.
+    pub status: RunStatus,
+    /// Golden output.
+    pub output: Vec<u8>,
+    /// Dynamic injectable (value-producing) instruction count — the
+    /// sampling population.
+    pub injectable: u64,
+    /// Dynamic instruction budget for faulty runs.
+    pub budget: u64,
+}
+
+/// Takes the golden run.
+///
+/// # Panics
+///
+/// Panics if the module's globals do not fit the interpreter memory
+/// (workloads are sized well below the limit).
+pub fn golden_run(module: &Module, input: &[u8]) -> SvfGolden {
+    let out = Interpreter::new(module)
+        .with_input(input.to_vec())
+        .run()
+        .expect("golden interpretation");
+    SvfGolden {
+        status: out.status,
+        output: out.output,
+        injectable: out.injectable,
+        budget: out.dyn_instrs * 8 + 100_000,
+    }
+}
+
+/// Runs one software-level injection.
+pub fn run_one(module: &Module, input: &[u8], golden: &SvfGolden, fault: SwFault) -> FaultEffect {
+    run_one_classed(module, input, golden, fault).0
+}
+
+/// Runs one injection, also reporting the class of the IR instruction the
+/// fault landed on.
+pub fn run_one_classed(
+    module: &Module,
+    input: &[u8],
+    golden: &SvfGolden,
+    fault: SwFault,
+) -> (FaultEffect, Option<InstrClass>) {
+    let out = Interpreter::new(module)
+        .with_input(input.to_vec())
+        .with_budget(golden.budget)
+        .with_fault(fault)
+        .run()
+        .expect("interpretation");
+    (classify(out.status, &out.output, golden.status, &golden.output), out.injected_class)
+}
+
+/// Runs an SVF campaign and breaks the results down by the *function*
+/// containing the injected instruction — the per-code-region view
+/// software designers use to decide where to apply protection (paper
+/// §II.A's "pinpoint the vulnerability of different segments of the
+/// program").
+pub fn svf_breakdown_by_function(
+    module: &Module,
+    input: &[u8],
+    n: usize,
+    seed: u64,
+) -> BTreeMap<String, Tally> {
+    let golden = golden_run(module, input);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51F1_57AC_0DE5_EED5);
+    let mut out: BTreeMap<String, Tally> = BTreeMap::new();
+    for _ in 0..n {
+        let fault = SwFault {
+            target: rng.gen_range(0..golden.injectable.max(1)),
+            bit: rng.gen_range(0..32),
+        };
+        let run = Interpreter::new(module)
+            .with_input(input.to_vec())
+            .with_budget(golden.budget)
+            .with_fault(fault)
+            .run()
+            .expect("interpretation");
+        let effect = classify(run.status, &run.output, golden.status, &golden.output);
+        if let Some(fid) = run.injected_func {
+            let name = module.functions[fid.0 as usize].name.clone();
+            out.entry(name).or_default().add(effect);
+        }
+    }
+    out
+}
+
+/// Runs an SVF campaign and breaks the results down by the class of the
+/// injected IR instruction — which kinds of values are most fragile at
+/// the software layer.
+pub fn svf_breakdown(
+    module: &Module,
+    input: &[u8],
+    n: usize,
+    seed: u64,
+) -> BTreeMap<InstrClass, Tally> {
+    let golden = golden_run(module, input);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51F1_57AC_0DE5_EED5);
+    let mut out: BTreeMap<InstrClass, Tally> = BTreeMap::new();
+    for _ in 0..n {
+        let fault = SwFault {
+            target: rng.gen_range(0..golden.injectable.max(1)),
+            bit: rng.gen_range(0..32),
+        };
+        let (effect, class) = run_one_classed(module, input, &golden, fault);
+        if let Some(c) = class {
+            out.entry(c).or_default().add(effect);
+        }
+    }
+    out
+}
+
+/// Runs an SVF campaign of `n` uniformly-sampled faults. Deterministic
+/// for a given `seed`; parallelised over `threads` workers.
+pub fn svf_campaign(
+    module: &Module,
+    input: &[u8],
+    expected_output: &[u8],
+    n: usize,
+    seed: u64,
+    threads: usize,
+) -> Tally {
+    let golden = golden_run(module, input);
+    debug_assert_eq!(golden.output, expected_output, "golden output mismatch");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51F1_57AC_0DE5_EED5);
+    let faults: Vec<SwFault> = (0..n)
+        .map(|_| SwFault {
+            target: rng.gen_range(0..golden.injectable.max(1)),
+            bit: rng.gen_range(0..32),
+        })
+        .collect();
+
+    let threads = threads.max(1);
+    if threads == 1 || n < 8 {
+        return faults.iter().map(|&f| run_one(module, input, &golden, f)).collect();
+    }
+    let chunk = faults.len().div_ceil(threads);
+    let golden_ref = &golden;
+    let tallies: Vec<Tally> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = faults
+            .chunks(chunk.max(1))
+            .map(|part| {
+                s.spawn(move |_| {
+                    part.iter().map(|&f| run_one(module, input, golden_ref, f)).collect::<Tally>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("svf worker panicked")).collect()
+    })
+    .expect("campaign scope");
+    let mut out = Tally::default();
+    for t in &tallies {
+        out.merge(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnstack_workloads::WorkloadId;
+
+    #[test]
+    fn campaign_runs_and_is_deterministic() {
+        let w = WorkloadId::Crc32.build();
+        let a = svf_campaign(&w.module, &w.input, &w.expected_output, 40, 1, 1);
+        let b = svf_campaign(&w.module, &w.input, &w.expected_output, 40, 1, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.total(), 40);
+        // SVF injections hit live values: expect plenty of SDCs for a
+        // checksum (every bit matters).
+        assert!(a.sdc > 0, "{a:?}");
+    }
+
+    #[test]
+    fn function_breakdown_names_real_functions() {
+        let w = WorkloadId::Qsort.build();
+        let b = svf_breakdown_by_function(&w.module, &w.input, 40, 7);
+        assert!(!b.is_empty());
+        for name in b.keys() {
+            assert!(
+                w.module.functions.iter().any(|f| &f.name == name),
+                "unknown function {name}"
+            );
+        }
+        // qsort spends nearly all its time inside `quicksort`.
+        assert!(b.contains_key("quicksort"), "{b:?}");
+    }
+
+    #[test]
+    fn breakdown_covers_multiple_classes() {
+        let w = WorkloadId::Sha.build();
+        let b = svf_breakdown(&w.module, &w.input, 60, 3);
+        assert!(b.len() >= 2, "expected several instruction classes: {b:?}");
+        let total: u64 = b.values().map(|t| t.total()).sum();
+        assert!(total > 0 && total <= 60);
+        // Arithmetic is the bulk of sha's dynamic instructions.
+        assert!(b.contains_key(&InstrClass::Arith), "{b:?}");
+    }
+
+    #[test]
+    fn classification_mirrors_paper_classes() {
+        let g = RunStatus::Exited(0);
+        assert_eq!(classify(RunStatus::Exited(0), b"x", g, b"x"), FaultEffect::Masked);
+        assert_eq!(classify(RunStatus::Exited(0), b"y", g, b"x"), FaultEffect::Sdc);
+        assert_eq!(
+            classify(
+                RunStatus::Trapped(vulnstack_isa::TrapCause::AccessFault),
+                b"x",
+                g,
+                b"x"
+            ),
+            FaultEffect::Crash
+        );
+        assert_eq!(classify(RunStatus::Timeout, b"", g, b"x"), FaultEffect::Crash);
+        assert_eq!(classify(RunStatus::Detected(2), b"", g, b"x"), FaultEffect::Detected);
+    }
+}

@@ -1,0 +1,1672 @@
+//! The cycle-level out-of-order core.
+//!
+//! Pipeline: fetch (L1i + bimodal predictor + RAS) → decode → rename
+//! (R10K-style: RAT, circular free list, physical register file) →
+//! dispatch (ROB + IQ + LSQ) → issue/execute (oldest-first, FU latencies,
+//! conservative load disambiguation with store forwarding) → writeback →
+//! in-order commit (stores write the cache at commit; traps, syscalls and
+//! `ERET` serialize at the head).
+//!
+//! Branch mispredictions recover at execute from per-branch RAT + free
+//! list snapshots. Exceptions rebuild the RAT from the retirement RAT.
+//!
+//! Microarchitectural faults are injected live into the physical register
+//! file, the LSQ fields, or a cache data array (see [`OooCore::inject`]);
+//! consumption is tracked so the campaign layer can classify each fault's
+//! propagation model (WD / WI / WOI / ESC) at the first *committed* use —
+//! the paper's HVF boundary.
+
+use std::collections::VecDeque;
+
+use vulnstack_isa::{classify_bit, BitClass, Instr, Isa, Op, Reg, Trap, TrapCause};
+use vulnstack_kernel::kdata::{off, KStatus};
+use vulnstack_kernel::memmap::{self, AccessKind};
+use vulnstack_kernel::SystemImage;
+
+use crate::cache::{Level, MemSystem};
+use crate::config::CoreConfig;
+use crate::exec;
+use crate::func::Mode;
+use crate::outcome::{RunStatus, SimOutcome};
+
+/// Fault propagation model of a hardware fault's first architecturally
+/// visible manifestation (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Fpm {
+    /// Wrong Data — corrupted register/memory content consumed.
+    Wd,
+    /// Wrong Instruction — corrupted opcode or control-flow bits executed.
+    Wi,
+    /// Wrong Operand or Immediate — corrupted operand field executed.
+    Woi,
+    /// Escaped — corrupted output drained by DMA without re-entering the
+    /// pipeline.
+    Esc,
+}
+
+impl Fpm {
+    /// All models.
+    pub const ALL: [Fpm; 4] = [Fpm::Wd, Fpm::Wi, Fpm::Woi, Fpm::Esc];
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fpm::Wd => "WD",
+            Fpm::Wi => "WI",
+            Fpm::Woi => "WOI",
+            Fpm::Esc => "ESC",
+        }
+    }
+}
+
+impl std::fmt::Display for Fpm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A microarchitectural fault-injection target structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum HwStructure {
+    /// Physical integer register file.
+    RegisterFile,
+    /// Load/store queue fields (addresses and store data).
+    Lsq,
+    /// L1 instruction cache data array.
+    L1i,
+    /// L1 data cache data array.
+    L1d,
+    /// Unified L2 data array.
+    L2,
+}
+
+impl HwStructure {
+    /// All five structures studied in the paper.
+    pub const ALL: [HwStructure; 5] = [
+        HwStructure::RegisterFile,
+        HwStructure::Lsq,
+        HwStructure::L1i,
+        HwStructure::L1d,
+        HwStructure::L2,
+    ];
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HwStructure::RegisterFile => "RF",
+            HwStructure::Lsq => "LSQ",
+            HwStructure::L1i => "L1i",
+            HwStructure::L1d => "L1d",
+            HwStructure::L2 => "L2",
+        }
+    }
+
+    /// Bit population of this structure under `cfg` (the injection
+    /// sampling space).
+    pub fn bits(self, cfg: &CoreConfig) -> u64 {
+        match self {
+            HwStructure::RegisterFile => cfg.rf_bits(),
+            HwStructure::Lsq => cfg.lsq_bits(),
+            HwStructure::L1i => cfg.l1i.data_bits(),
+            HwStructure::L1d => cfg.l1d.data_bits(),
+            HwStructure::L2 => cfg.l2.data_bits(),
+        }
+    }
+}
+
+impl std::fmt::Display for HwStructure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of a microarchitecture-level run, extending [`SimOutcome`] with
+/// fault-propagation observations.
+#[derive(Debug, Clone)]
+pub struct OooOutcome {
+    /// Base run outcome.
+    pub sim: SimOutcome,
+    /// First architecturally visible manifestation of the injected fault.
+    pub fpm: Option<Fpm>,
+    /// Cycle of that first manifestation.
+    pub fpm_cycle: Option<u64>,
+}
+
+const RAS_DEPTH: usize = 16;
+/// Commit watchdog: a pipeline wedged this long counts as a hang.
+const WATCHDOG: u64 = 200_000;
+
+type PReg = u16;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RobKind {
+    Alu,
+    Load,
+    Store,
+    Branch,
+    Jump,
+    Syscall,
+    Eret,
+    Halt,
+    Nop,
+    Mfsr,
+    Mtsr,
+    Invalid,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    pc: u64,
+    instr: Instr,
+    kind: RobKind,
+    dest: Option<(Reg, PReg, PReg)>, // (arch, new phys, old phys)
+    srcs: [Option<PReg>; 2],
+    done: bool,
+    exception: Option<Trap>,
+    predicted_next: u64,
+    snapshot: Option<(Vec<PReg>, u64)>, // (RAT copy, free-list head)
+    lsq_slot: Option<usize>,
+    mtsr_value: u64,
+    taint: Option<Fpm>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IqEntry {
+    seq: u64,
+    issued: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LqEntry {
+    valid: bool,
+    /// Owning instruction (diagnostics; ordering checks use the SQ side).
+    #[allow(dead_code)]
+    seq: u64,
+    addr: u64,
+    addr_ready: bool,
+    taint: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SqEntry {
+    valid: bool,
+    seq: u64,
+    addr: u64,
+    data: u64,
+    size: u32,
+    ready: bool,
+    taint: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FetchedInstr {
+    pc: u64,
+    word: u32,
+    ok: bool, // fetch permission
+    predicted_next: u64,
+    taint_bit: Option<u32>,
+}
+
+/// The out-of-order core.
+#[derive(Debug)]
+pub struct OooCore {
+    cfg: CoreConfig,
+    isa: Isa,
+    /// Memory hierarchy (public for inspection by campaigns and tests).
+    pub mem: MemSystem,
+    user_text_end: u32,
+
+    // Frontend.
+    fetch_pc: u64,
+    fetch_stall_until: u64,
+    fetch_queue: VecDeque<FetchedInstr>,
+    fetch_halted: bool,
+    bp: Vec<u8>,
+    btb: Vec<(u64, u64)>,
+    ras: Vec<u64>,
+
+    // Rename.
+    rat: Vec<PReg>,
+    rrat: Vec<PReg>,
+    free_ring: Vec<PReg>,
+    free_head: u64,
+    free_tail: u64,
+    phys: Vec<u64>,
+    phys_ready: Vec<bool>,
+
+    // Window.
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    iq: Vec<IqEntry>,
+    lq: Vec<LqEntry>,
+    sq: Vec<SqEntry>,
+    finish: Vec<(u64, u64, PReg, u64, Option<Fpm>)>, // (cycle, seq, preg, value, taint)
+
+    // Architectural.
+    mode: Mode,
+    sysregs: [u64; vulnstack_isa::SysReg::COUNT],
+
+    // Run state.
+    cycle: u64,
+    committed: u64,
+    last_commit_cycle: u64,
+    ended: Option<RunStatus>,
+
+    // Fault tracking.
+    rf_taint: Option<(usize, u8)>,
+    fpm: Option<Fpm>,
+    fpm_cycle: Option<u64>,
+
+    // ACE lifetime tracking (optional, for analytical AVF estimates).
+    ace: Option<AceState>,
+
+    // Optional commit trace (bounded).
+    trace: Option<(usize, Vec<(u64, Instr)>)>,
+}
+
+/// Lifetime accounting for ACE-style analytical AVF estimation.
+///
+/// A physical register is counted vulnerable from a write to its last
+/// read before the next write (whole-register granularity — the classic
+/// source of ACE pessimism). LSQ vulnerability is approximated by entry
+/// occupancy.
+#[derive(Debug, Clone)]
+struct AceState {
+    rf_def: Vec<u64>,
+    rf_last_read: Vec<u64>,
+    rf_acc_cycles: u64,
+    lsq_occ_cycles: u64,
+}
+
+/// An analytical (ACE-style) AVF estimate from a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AceEstimate {
+    /// Register-file AVF upper bound (vulnerable register-cycles over
+    /// capacity-cycles).
+    pub rf_avf: f64,
+    /// LSQ AVF upper bound (occupied entry-cycles over capacity-cycles).
+    pub lsq_avf: f64,
+    /// Cycles observed.
+    pub cycles: u64,
+}
+
+impl OooCore {
+    /// Builds a core for `cfg` with `image` loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's ISA does not match the configuration.
+    pub fn new(cfg: &CoreConfig, image: &SystemImage) -> OooCore {
+        assert_eq!(cfg.isa, image.isa, "image/config ISA mismatch");
+        let nregs = cfg.isa.num_regs() as usize;
+        let nphys = cfg.phys_regs as usize;
+        assert!(nphys > nregs + 4, "need more physical than architectural registers");
+        let rat: Vec<PReg> = (0..nregs as PReg).collect();
+        let mut free_ring = vec![0 as PReg; nphys];
+        let mut free_tail = 0u64;
+        for p in nregs as PReg..nphys as PReg {
+            free_ring[free_tail as usize] = p;
+            free_tail += 1;
+        }
+        OooCore {
+            isa: cfg.isa,
+            mem: MemSystem::new(cfg, image),
+            user_text_end: image.user_text_end,
+            fetch_pc: image.reset_pc as u64,
+            fetch_stall_until: 0,
+            fetch_queue: VecDeque::new(),
+            fetch_halted: false,
+            bp: vec![1; cfg.bp_entries as usize], // weakly not-taken
+            btb: vec![(u64::MAX, 0); cfg.btb_entries as usize],
+            ras: Vec::with_capacity(RAS_DEPTH),
+            rat: rat.clone(),
+            rrat: rat,
+            free_ring,
+            free_head: 0,
+            free_tail,
+            phys: vec![0; nphys],
+            phys_ready: vec![true; nphys],
+            rob: VecDeque::with_capacity(cfg.rob_entries as usize),
+            next_seq: 0,
+            iq: Vec::with_capacity(cfg.iq_entries as usize),
+            lq: vec![LqEntry::default(); cfg.lq_entries as usize],
+            sq: vec![SqEntry::default(); cfg.sq_entries as usize],
+            finish: Vec::new(),
+            mode: Mode::Kernel,
+            sysregs: [0; vulnstack_isa::SysReg::COUNT],
+            cycle: 0,
+            committed: 0,
+            last_commit_cycle: 0,
+            ended: None,
+            rf_taint: None,
+            fpm: None,
+            fpm_cycle: None,
+            ace: None,
+            trace: None,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Records the first `n` committed instructions (pc + decoded form)
+    /// for inspection.
+    pub fn enable_trace(&mut self, n: usize) {
+        self.trace = Some((n, Vec::with_capacity(n)));
+    }
+
+    /// The committed-instruction trace collected so far.
+    pub fn trace(&self) -> &[(u64, Instr)] {
+        self.trace.as_ref().map(|(_, v)| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Enables ACE lifetime tracking (fault-free analytical runs).
+    pub fn enable_ace(&mut self) {
+        let n = self.phys.len();
+        self.ace = Some(AceState {
+            rf_def: vec![0; n],
+            rf_last_read: vec![0; n],
+            rf_acc_cycles: 0,
+            lsq_occ_cycles: 0,
+        });
+    }
+
+    /// Finalises and returns the ACE estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`OooCore::enable_ace`] was not called before the run.
+    pub fn ace_estimate(&self) -> AceEstimate {
+        let ace = self.ace.as_ref().expect("enable_ace() before running");
+        // Close out lifetimes still open at the end of the run.
+        let mut acc = ace.rf_acc_cycles;
+        for p in 0..self.phys.len() {
+            if ace.rf_last_read[p] > ace.rf_def[p] {
+                acc += ace.rf_last_read[p] - ace.rf_def[p];
+            }
+        }
+        let cyc = self.cycle.max(1);
+        let rf_capacity = (self.phys.len() as u64) * cyc;
+        let lsq_capacity = (self.lq.len() + self.sq.len()) as u64 * cyc;
+        AceEstimate {
+            rf_avf: acc as f64 / rf_capacity as f64,
+            lsq_avf: ace.lsq_occ_cycles as f64 / lsq_capacity as f64,
+            cycles: self.cycle,
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Committed instruction count.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// True once the run has reached a terminal state.
+    pub fn ended(&self) -> bool {
+        self.ended.is_some()
+    }
+
+    /// Injects a single-bit fault into `structure` at flat bit index
+    /// `bit` over the structure's bit population ([`HwStructure::bits`]).
+    pub fn inject(&mut self, structure: HwStructure, bit: u64) {
+        match structure {
+            HwStructure::RegisterFile => {
+                let xlen = self.isa.xlen() as u64;
+                let preg = (bit / xlen) as usize % self.phys.len();
+                let b = (bit % xlen) as u8;
+                self.phys[preg] ^= 1u64 << b;
+                self.phys[preg] = exec::trunc(self.isa, self.phys[preg]);
+                self.rf_taint = Some((preg, b));
+            }
+            HwStructure::Lsq => {
+                let xlen = self.isa.xlen() as u64;
+                let lq_bits = self.lq.len() as u64 * xlen;
+                if bit < lq_bits {
+                    let e = (bit / xlen) as usize;
+                    let b = bit % xlen;
+                    self.lq[e].addr ^= 1u64 << b;
+                    // The flip only matters if the AGU already wrote the
+                    // address and the load has not yet used it; a flip
+                    // before address generation is overwritten (masked).
+                    if self.lq[e].valid && self.lq[e].addr_ready {
+                        self.lq[e].taint = true;
+                    }
+                } else {
+                    let rest = bit - lq_bits;
+                    let entry_bits = 2 * xlen;
+                    let e = ((rest / entry_bits) as usize).min(self.sq.len() - 1);
+                    let fld = rest % entry_bits;
+                    if fld < xlen {
+                        self.sq[e].addr ^= 1u64 << fld;
+                    } else {
+                        self.sq[e].data ^= 1u64 << (fld - xlen);
+                    }
+                    // Same masking rule: the fields are rewritten at
+                    // execute, so only armed (executed) entries carry the
+                    // corruption to commit.
+                    if self.sq[e].valid && self.sq[e].ready {
+                        self.sq[e].taint = true;
+                    }
+                }
+            }
+            HwStructure::L1i => {
+                self.mem.flip_bit(Level::L1i, bit);
+            }
+            HwStructure::L1d => {
+                self.mem.flip_bit(Level::L1d, bit);
+            }
+            HwStructure::L2 => {
+                self.mem.flip_bit(Level::L2, bit);
+            }
+        }
+    }
+
+    fn record_fpm(&mut self, fpm: Fpm) {
+        if self.fpm.is_none() {
+            self.fpm = Some(fpm);
+            self.fpm_cycle = Some(self.cycle);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rename helpers.
+    // ------------------------------------------------------------------
+
+    fn free_count(&self) -> u64 {
+        self.free_tail - self.free_head
+    }
+
+    fn alloc_preg(&mut self) -> PReg {
+        debug_assert!(self.free_count() > 0);
+        let p = self.free_ring[(self.free_head % self.free_ring.len() as u64) as usize];
+        self.free_head += 1;
+        p
+    }
+
+    fn release_preg(&mut self, p: PReg) {
+        let cap = self.free_ring.len() as u64;
+        self.free_ring[(self.free_tail % cap) as usize] = p;
+        self.free_tail += 1;
+        debug_assert!(self.free_tail - self.free_head <= cap);
+    }
+
+    fn read_phys(&self, p: PReg, taint: &mut Option<Fpm>) -> u64 {
+        if self.rf_taint.map_or(false, |(tp, _)| tp == p as usize) {
+            taint.get_or_insert(Fpm::Wd);
+        }
+        self.phys[p as usize]
+    }
+
+    fn write_phys(&mut self, p: PReg, v: u64) {
+        // Overwriting the corrupted register repairs it (masking).
+        if self.rf_taint.map_or(false, |(tp, _)| tp == p as usize) {
+            self.rf_taint = None;
+        }
+        if let Some(ace) = &mut self.ace {
+            let i = p as usize;
+            if ace.rf_last_read[i] > ace.rf_def[i] {
+                ace.rf_acc_cycles += ace.rf_last_read[i] - ace.rf_def[i];
+            }
+            ace.rf_def[i] = self.cycle;
+            ace.rf_last_read[i] = self.cycle;
+        }
+        self.phys[p as usize] = exec::trunc(self.isa, v);
+        self.phys_ready[p as usize] = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Branch prediction.
+    // ------------------------------------------------------------------
+
+    fn bp_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.bp.len() - 1)
+    }
+
+    fn btb_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.btb.len() - 1)
+    }
+
+    fn predict(&mut self, pc: u64, instr: &Instr) -> u64 {
+        match instr.op {
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu => {
+                if self.bp[self.bp_index(pc)] >= 2 {
+                    pc.wrapping_add(instr.imm as u64)
+                } else {
+                    pc + 4
+                }
+            }
+            Op::Jmp => pc.wrapping_add(instr.imm as u64),
+            Op::Call => {
+                if self.ras.len() == RAS_DEPTH {
+                    self.ras.remove(0);
+                }
+                self.ras.push(pc + 4);
+                pc.wrapping_add(instr.imm as u64)
+            }
+            Op::Callr => {
+                if self.ras.len() == RAS_DEPTH {
+                    self.ras.remove(0);
+                }
+                self.ras.push(pc + 4);
+                let (tag, target) = self.btb[self.btb_index(pc)];
+                if tag == pc {
+                    target
+                } else {
+                    pc + 4
+                }
+            }
+            Op::Jmpr => {
+                if instr.rs1 == self.isa.lr() {
+                    self.ras.pop().unwrap_or(pc + 4)
+                } else {
+                    let (tag, target) = self.btb[self.btb_index(pc)];
+                    if tag == pc {
+                        target
+                    } else {
+                        pc + 4
+                    }
+                }
+            }
+            _ => pc + 4,
+        }
+    }
+
+    fn train(&mut self, pc: u64, instr: &Instr, taken: bool, target: u64) {
+        if instr.op.is_branch() {
+            let i = self.bp_index(pc);
+            let c = self.bp[i];
+            self.bp[i] = if taken { (c + 1).min(3) } else { c.saturating_sub(1) };
+        }
+        if matches!(instr.op, Op::Callr | Op::Jmpr) {
+            let i = self.btb_index(pc);
+            self.btb[i] = (pc, target);
+        }
+    }
+
+    fn fetchable(&self, pc: u64) -> bool {
+        pc % 4 == 0
+            && match self.mode {
+                Mode::Kernel => pc + 4 <= memmap::MEM_SIZE as u64,
+                Mode::User => {
+                    memmap::user_access_ok(pc as u32, 4, AccessKind::Fetch, self.user_text_end)
+                }
+            }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch.
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if self.fetch_halted || self.cycle < self.fetch_stall_until {
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            if self.fetch_queue.len() >= 2 * self.cfg.width as usize {
+                break;
+            }
+            let pc = self.fetch_pc;
+            if !self.fetchable(pc) {
+                self.fetch_queue.push_back(FetchedInstr {
+                    pc,
+                    word: 0,
+                    ok: false,
+                    predicted_next: pc + 4,
+                    taint_bit: None,
+                });
+                self.fetch_halted = true; // wait for the fault to commit
+                return;
+            }
+            let (lat, word, tainted) = self.mem.fetch_word(pc as u32);
+            let miss = lat > self.cfg.l1i.latency;
+            if miss {
+                self.fetch_stall_until = self.cycle + lat as u64;
+            }
+            let taint_bit = if tainted {
+                let t = self.mem.taint().expect("tainted fetch implies taint state");
+                Some((t.addr as u64 - pc) as u32 * 8 + t.bit_in_byte as u32)
+            } else {
+                None
+            };
+            let decode = Instr::decode(word, self.isa);
+            let predicted_next = match &decode {
+                Ok(i) => self.predict(pc, i),
+                Err(_) => pc + 4,
+            };
+            self.fetch_queue.push_back(FetchedInstr {
+                pc,
+                word,
+                ok: true,
+                predicted_next,
+                taint_bit,
+            });
+            self.fetch_pc = predicted_next;
+            match &decode {
+                Ok(i) if matches!(i.op, Op::Syscall | Op::Eret | Op::Halt) => {
+                    // Serialize: stop fetching until commit redirects.
+                    self.fetch_halted = true;
+                    return;
+                }
+                Err(_) => {
+                    self.fetch_halted = true;
+                    return;
+                }
+                _ => {}
+            }
+            if predicted_next != pc + 4 || miss {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch.
+    // ------------------------------------------------------------------
+
+    fn classify(instr: &Instr) -> RobKind {
+        use vulnstack_isa::op::Format;
+        match instr.op {
+            Op::Syscall => RobKind::Syscall,
+            Op::Eret => RobKind::Eret,
+            Op::Halt => RobKind::Halt,
+            Op::Nop => RobKind::Nop,
+            Op::Mfsr => RobKind::Mfsr,
+            Op::Mtsr => RobKind::Mtsr,
+            Op::Call | Op::Jmp | Op::Callr | Op::Jmpr => RobKind::Jump,
+            _ => match instr.op.format() {
+                Format::B => RobKind::Branch,
+                Format::Load => RobKind::Load,
+                Format::Store => RobKind::Store,
+                _ => RobKind::Alu,
+            },
+        }
+    }
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.width {
+            if self.rob.len() >= self.cfg.rob_entries as usize {
+                break;
+            }
+            let Some(front) = self.fetch_queue.front().copied() else { break };
+
+            let decode = if front.ok { Instr::decode(front.word, self.isa).ok() } else { None };
+            let kind = decode.as_ref().map_or(RobKind::Invalid, Self::classify);
+
+            let needs_iq = !matches!(
+                kind,
+                RobKind::Nop | RobKind::Syscall | RobKind::Eret | RobKind::Halt | RobKind::Invalid
+            );
+            if needs_iq && self.iq.len() >= self.cfg.iq_entries as usize {
+                break;
+            }
+            if kind == RobKind::Load && !self.lq.iter().any(|e| !e.valid) {
+                break;
+            }
+            if kind == RobKind::Store && !self.sq.iter().any(|e| !e.valid) {
+                break;
+            }
+            let instr = decode.unwrap_or_else(Instr::nop);
+            let has_dest = decode.is_some() && instr.dest(self.isa).is_some();
+            if has_dest && self.free_count() == 0 {
+                break;
+            }
+            self.fetch_queue.pop_front();
+
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let mut entry = RobEntry {
+                seq,
+                pc: front.pc,
+                instr,
+                kind,
+                dest: None,
+                srcs: [None; 2],
+                done: false,
+                exception: None,
+                predicted_next: front.predicted_next,
+                snapshot: None,
+                lsq_slot: None,
+                mtsr_value: 0,
+                taint: None,
+            };
+
+            if kind == RobKind::Invalid {
+                entry.exception = Some(if front.ok {
+                    Trap::new(TrapCause::UndefinedInstruction, front.pc)
+                } else {
+                    Trap::with_addr(TrapCause::FetchFault, front.pc, front.pc)
+                });
+                entry.done = true;
+                if let Some(bit) = front.taint_bit {
+                    entry.taint = Some(match classify_bit(front.word, bit) {
+                        BitClass::Instruction => Fpm::Wi,
+                        BitClass::Operand => Fpm::Woi,
+                        BitClass::Ignored => Fpm::Wi,
+                    });
+                }
+                self.rob.push_back(entry);
+                continue;
+            }
+
+            if let Some(bit) = front.taint_bit {
+                entry.taint = match classify_bit(front.word, bit) {
+                    BitClass::Instruction => Some(Fpm::Wi),
+                    BitClass::Operand => Some(Fpm::Woi),
+                    BitClass::Ignored => None, // decoder discards these bits
+                };
+            }
+
+            if kind == RobKind::Branch || kind == RobKind::Jump {
+                entry.snapshot = Some((self.rat.clone(), self.free_head));
+            }
+
+            // Rename sources (at most two architectural sources).
+            let src_order = instr.srcs();
+            for (i, r) in src_order.iter().enumerate().take(2) {
+                if self.isa.zero() == Some(*r) {
+                    entry.srcs[i] = None; // constant zero
+                } else {
+                    entry.srcs[i] = Some(self.rat[r.index()]);
+                }
+            }
+
+            if has_dest {
+                let arch = instr.dest(self.isa).expect("checked");
+                let newp = self.alloc_preg();
+                let oldp = self.rat[arch.index()];
+                self.rat[arch.index()] = newp;
+                self.phys_ready[newp as usize] = false;
+                entry.dest = Some((arch, newp, oldp));
+            }
+
+            match kind {
+                RobKind::Load => {
+                    let slot = self.lq.iter().position(|e| !e.valid).expect("checked");
+                    self.lq[slot] =
+                        LqEntry { valid: true, seq, addr: 0, addr_ready: false, taint: false };
+                    entry.lsq_slot = Some(slot);
+                }
+                RobKind::Store => {
+                    let slot = self.sq.iter().position(|e| !e.valid).expect("checked");
+                    self.sq[slot] = SqEntry {
+                        valid: true,
+                        seq,
+                        addr: 0,
+                        data: 0,
+                        size: instr.op.access_bytes() as u32,
+                        ready: false,
+                        taint: false,
+                    };
+                    entry.lsq_slot = Some(slot);
+                }
+                _ => {}
+            }
+
+            if needs_iq {
+                self.iq.push(IqEntry { seq, issued: false });
+            } else {
+                entry.done = true;
+            }
+            self.rob.push_back(entry);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue & execute.
+    // ------------------------------------------------------------------
+
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let head = self.rob.front()?.seq;
+        if seq < head {
+            return None;
+        }
+        let idx = (seq - head) as usize;
+        if idx < self.rob.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    fn rob_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let idx = self.rob_index(seq)?;
+        self.rob.get_mut(idx)
+    }
+
+    fn issue(&mut self) {
+        // Purge entries whose ROB entry is gone (squashed) or already
+        // complete (a branch that triggered recovery mid-issue).
+        let head = self.rob.front().map(|e| e.seq);
+        let rob_len = self.rob.len() as u64;
+        let rob = &self.rob;
+        self.iq.retain(|e| {
+            let Some(h) = head else { return false };
+            if e.seq < h || e.seq - h >= rob_len {
+                return false;
+            }
+            !rob[(e.seq - h) as usize].done
+        });
+
+        let mut candidates: Vec<u64> = Vec::new();
+        for e in &self.iq {
+            if e.issued {
+                continue;
+            }
+            let Some(idx) = self.rob_index(e.seq) else { continue };
+            let ready = self.rob[idx]
+                .srcs
+                .iter()
+                .flatten()
+                .all(|&p| self.phys_ready[p as usize]);
+            if ready {
+                candidates.push(e.seq);
+            }
+        }
+        candidates.sort_unstable();
+
+        let mut issued = 0u32;
+        let mut finished: Vec<u64> = Vec::new();
+        let mut squashed = false;
+        for seq in candidates {
+            if issued >= self.cfg.width {
+                break;
+            }
+            match self.execute_one(seq) {
+                ExecResult::Done => {
+                    finished.push(seq);
+                    issued += 1;
+                }
+                ExecResult::Retry => {}
+                ExecResult::Squashed => {
+                    // The mispredicted branch itself has executed; drop it
+                    // (recovery already pruned everything younger).
+                    finished.push(seq);
+                    squashed = true;
+                    break;
+                }
+            }
+        }
+        self.iq.retain(|e| !finished.contains(&e.seq));
+        let _ = squashed;
+    }
+
+    fn read_srcs(&mut self, seq: u64, taint: &mut Option<Fpm>) -> [u64; 2] {
+        let idx = self.rob_index(seq).expect("entry exists");
+        let srcs = self.rob[idx].srcs;
+        let mut vals = [0u64; 2];
+        for (i, s) in srcs.iter().enumerate() {
+            if let Some(p) = s {
+                vals[i] = self.read_phys(*p, taint);
+                if let Some(ace) = &mut self.ace {
+                    ace.rf_last_read[*p as usize] = self.cycle;
+                }
+            }
+        }
+        vals
+    }
+
+    fn execute_one(&mut self, seq: u64) -> ExecResult {
+        let idx = match self.rob_index(seq) {
+            Some(i) => i,
+            None => return ExecResult::Retry,
+        };
+        let entry = &self.rob[idx];
+        let instr = entry.instr;
+        let kind = entry.kind;
+        let pc = entry.pc;
+        let dest = entry.dest;
+        let lsq_slot = entry.lsq_slot;
+        let predicted = entry.predicted_next;
+
+        let mut taint: Option<Fpm> = None;
+        match kind {
+            RobKind::Alu => {
+                let vals = self.read_srcs(seq, &mut taint);
+                let (a, b, rd_old) = if instr.op == Op::Movk {
+                    (0, 0, vals[0])
+                } else {
+                    (vals[0], vals[1], 0)
+                };
+                let latency = instr.op.exec_latency() as u64;
+                match exec::alu(&instr, a, b, rd_old, self.isa) {
+                    Ok(v) => {
+                        if let Some((_, newp, _)) = dest {
+                            self.finish.push((self.cycle + latency, seq, newp, v, taint));
+                        } else {
+                            self.mark_done(seq, taint);
+                        }
+                    }
+                    Err(cause) => {
+                        self.mark_exception(seq, Trap::new(cause, pc), taint);
+                    }
+                }
+                ExecResult::Done
+            }
+            RobKind::Mfsr => {
+                // Value is produced at commit (serialized with sysreg
+                // state); execution just completes the entry.
+                self.mark_done(seq, taint);
+                ExecResult::Done
+            }
+            RobKind::Mtsr => {
+                let vals = self.read_srcs(seq, &mut taint);
+                let e = self.rob_mut(seq).expect("entry exists");
+                e.mtsr_value = vals[0];
+                self.mark_done(seq, taint);
+                ExecResult::Done
+            }
+            RobKind::Branch | RobKind::Jump => {
+                let vals = self.read_srcs(seq, &mut taint);
+                let actual_next = match instr.op {
+                    Op::Jmp | Op::Call => pc.wrapping_add(instr.imm as u64),
+                    Op::Jmpr | Op::Callr => exec::trunc(self.isa, vals[0]),
+                    _ => {
+                        if exec::branch_taken(instr.op, vals[0], vals[1], self.isa) {
+                            pc.wrapping_add(instr.imm as u64)
+                        } else {
+                            pc + 4
+                        }
+                    }
+                };
+                self.train(pc, &instr, actual_next != pc + 4, actual_next);
+                if let Some((_, newp, _)) = dest {
+                    // CALL/CALLR link value.
+                    self.write_phys(newp, pc + 4);
+                }
+                self.mark_done(seq, taint);
+                if actual_next != predicted {
+                    self.recover_branch(seq, actual_next);
+                    return ExecResult::Squashed;
+                }
+                ExecResult::Done
+            }
+            RobKind::Load => {
+                let vals = self.read_srcs(seq, &mut taint);
+                let slot = lsq_slot.expect("loads have LQ slots");
+                if !self.lq[slot].addr_ready {
+                    let addr0 = exec::trunc(self.isa, vals[0].wrapping_add(instr.imm as u64));
+                    self.lq[slot].addr = addr0;
+                    self.lq[slot].addr_ready = true;
+                }
+                // Conservative disambiguation: all older stores need
+                // addresses first. While the load waits, its latched
+                // address sits exposed in the LQ.
+                if self.sq.iter().any(|s| s.valid && s.seq < seq && !s.ready) {
+                    return ExecResult::Retry;
+                }
+                let addr = self.lq[slot].addr;
+                if self.lq[slot].taint {
+                    taint.get_or_insert(Fpm::Wd);
+                }
+                let size = instr.op.access_bytes() as u32;
+                if let Some(trap) = self.mem_check(addr, size, AccessKind::Read, pc) {
+                    self.mark_exception(seq, trap, taint);
+                    return ExecResult::Done;
+                }
+                // Store-to-load forwarding from the youngest fully
+                // containing older store.
+                let mut forwarded: Option<(u64, bool)> = None;
+                let mut best = 0u64;
+                for s in &self.sq {
+                    if !s.valid || s.seq >= seq || !s.ready {
+                        continue;
+                    }
+                    let s_end = s.addr + s.size as u64;
+                    let l_end = addr + size as u64;
+                    if s.addr < l_end && addr < s_end {
+                        if s.addr <= addr && l_end <= s_end {
+                            if s.seq >= best {
+                                best = s.seq;
+                                let shift = (addr - s.addr) * 8;
+                                let mask =
+                                    if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+                                forwarded = Some(((s.data >> shift) & mask, s.taint));
+                            }
+                        } else {
+                            // Partial overlap: wait for the store to drain.
+                            return ExecResult::Retry;
+                        }
+                    }
+                }
+                let (raw, latency, mem_taint) = match forwarded {
+                    Some((v, t)) => (v, 1u32, t),
+                    None => {
+                        let (lat, v, t) = self.mem.load(addr as u32, size);
+                        (v, lat, t)
+                    }
+                };
+                if mem_taint {
+                    taint.get_or_insert(Fpm::Wd);
+                }
+                let value = exec::load_extend(instr.op, raw, self.isa);
+                if let Some((_, newp, _)) = dest {
+                    self.finish.push((self.cycle + latency as u64, seq, newp, value, taint));
+                } else {
+                    self.mark_done(seq, taint);
+                }
+                ExecResult::Done
+            }
+            RobKind::Store => {
+                let vals = self.read_srcs(seq, &mut taint); // [data, base]
+                let addr = exec::trunc(self.isa, vals[1].wrapping_add(instr.imm as u64));
+                let size = instr.op.access_bytes() as u32;
+                if let Some(trap) = self.mem_check(addr, size, AccessKind::Write, pc) {
+                    self.mark_exception(seq, trap, taint);
+                    return ExecResult::Done;
+                }
+                let slot = lsq_slot.expect("stores have SQ slots");
+                let s = &mut self.sq[slot];
+                s.addr = addr;
+                s.data = vals[0];
+                s.ready = true;
+                // Rewriting the fields clears any pre-execute flip; the
+                // entry is tainted only by corrupted register sources.
+                s.taint = taint.is_some();
+                self.mark_done(seq, taint);
+                ExecResult::Done
+            }
+            _ => {
+                self.mark_done(seq, None);
+                ExecResult::Done
+            }
+        }
+    }
+
+    fn mark_done(&mut self, seq: u64, taint: Option<Fpm>) {
+        if let Some(e) = self.rob_mut(seq) {
+            e.done = true;
+            if let Some(t) = taint {
+                e.taint.get_or_insert(t);
+            }
+        }
+    }
+
+    fn mark_exception(&mut self, seq: u64, trap: Trap, taint: Option<Fpm>) {
+        if let Some(e) = self.rob_mut(seq) {
+            e.exception = Some(trap);
+            e.done = true;
+            if let Some(t) = taint {
+                e.taint.get_or_insert(t);
+            }
+        }
+    }
+
+    fn mem_check(&self, addr: u64, size: u32, kind: AccessKind, pc: u64) -> Option<Trap> {
+        if addr % size as u64 != 0 {
+            return Some(Trap::with_addr(TrapCause::MisalignedAccess, pc, addr));
+        }
+        let ok = match self.mode {
+            Mode::Kernel => addr + size as u64 <= memmap::MEM_SIZE as u64,
+            Mode::User => memmap::user_access_ok(addr as u32, size, kind, self.user_text_end),
+        };
+        if ok {
+            None
+        } else {
+            Some(Trap::with_addr(TrapCause::AccessFault, pc, addr))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback.
+    // ------------------------------------------------------------------
+
+    fn writeback(&mut self) {
+        let now = self.cycle;
+        let mut done: Vec<(u64, PReg, u64, Option<Fpm>)> = Vec::new();
+        self.finish.retain(|&(cyc, seq, preg, value, taint)| {
+            if cyc <= now {
+                done.push((seq, preg, value, taint));
+                false
+            } else {
+                true
+            }
+        });
+        for (seq, preg, value, taint) in done {
+            if self.rob_index(seq).is_none() {
+                continue; // squashed producer
+            }
+            self.write_phys(preg, value);
+            self.mark_done(seq, taint);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery.
+    // ------------------------------------------------------------------
+
+    fn recover_branch(&mut self, branch_seq: u64, target: u64) {
+        let idx = self.rob_index(branch_seq).expect("branch in ROB");
+        let (rat, free_head) =
+            self.rob[idx].snapshot.clone().expect("branches carry snapshots");
+        self.rat = rat;
+        self.free_head = free_head;
+        // The snapshot predates the branch's own destination rename
+        // (CALL's link register): re-apply it.
+        if let Some((arch, newp, _old)) = self.rob[idx].dest {
+            self.rat[arch.index()] = newp;
+            self.free_head += 1;
+        }
+        while self.rob.len() > idx + 1 {
+            let e = self.rob.pop_back().expect("len checked");
+            if let Some(slot) = e.lsq_slot {
+                match e.kind {
+                    RobKind::Load => self.lq[slot].valid = false,
+                    RobKind::Store => self.sq[slot].valid = false,
+                    _ => {}
+                }
+            }
+        }
+        // Squashed sequence numbers are reused so the ROB stays seq-
+        // contiguous (rob_index depends on it). All references to the
+        // squashed range are purged right here.
+        self.next_seq = branch_seq + 1;
+        self.iq.retain(|e| e.seq <= branch_seq);
+        self.finish.retain(|&(_, seq, _, _, _)| seq <= branch_seq);
+        self.fetch_queue.clear();
+        self.fetch_pc = target;
+        self.fetch_halted = false;
+        self.fetch_stall_until = 0;
+    }
+
+    fn flush_all(&mut self, next_pc: u64) {
+        self.rat = self.rrat.clone();
+        let nregs = self.isa.num_regs() as usize;
+        let live: Vec<PReg> = self.rrat[..nregs].to_vec();
+        let free: Vec<PReg> =
+            (0..self.phys.len() as PReg).filter(|p| !live.contains(p)).collect();
+        self.free_head = 0;
+        self.free_tail = 0;
+        for p in free {
+            let cap = self.free_ring.len() as u64;
+            self.free_ring[(self.free_tail % cap) as usize] = p;
+            self.free_tail += 1;
+        }
+        self.rob.clear();
+        self.iq.clear();
+        self.finish.clear();
+        for e in self.lq.iter_mut() {
+            e.valid = false;
+        }
+        for e in self.sq.iter_mut() {
+            e.valid = false;
+        }
+        self.fetch_queue.clear();
+        self.fetch_pc = next_pc;
+        self.fetch_halted = false;
+        self.fetch_stall_until = 0;
+        for &p in &self.rrat[..nregs] {
+            self.phys_ready[p as usize] = true;
+        }
+    }
+
+    fn raise_trap(&mut self, trap: Trap) {
+        if self.mode == Mode::Kernel {
+            self.ended = Some(RunStatus::KernelPanic);
+            return;
+        }
+        self.sysregs[vulnstack_isa::SysReg::Epc.index() as usize] = trap.pc;
+        self.sysregs[vulnstack_isa::SysReg::Cause.index() as usize] = trap.cause.code();
+        self.sysregs[vulnstack_isa::SysReg::BadAddr.index() as usize] = trap.addr;
+        self.mode = Mode::Kernel;
+        self.flush_all(memmap::TRAP_VEC as u64);
+    }
+
+    // ------------------------------------------------------------------
+    // Commit.
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.width {
+            let Some(head) = self.rob.front() else { return };
+            if !head.done {
+                return;
+            }
+            let entry = self.rob.pop_front().expect("head exists");
+            self.last_commit_cycle = self.cycle;
+
+            // Architectural visibility of the injected fault.
+            if let Some(t) = entry.taint {
+                self.record_fpm(t);
+            }
+
+            if let Some(trap) = entry.exception {
+                self.raise_trap(trap);
+                return;
+            }
+
+            self.committed += 1;
+            if let Some((cap, v)) = &mut self.trace {
+                if v.len() < *cap {
+                    v.push((entry.pc, entry.instr));
+                }
+            }
+
+            match entry.kind {
+                RobKind::Syscall => {
+                    self.raise_trap(Trap::new(TrapCause::Syscall, entry.pc));
+                    return;
+                }
+                RobKind::Halt => {
+                    if self.mode == Mode::User {
+                        self.raise_trap(Trap::new(TrapCause::PrivilegeViolation, entry.pc));
+                    } else {
+                        self.ended = Some(self.read_kernel_status());
+                    }
+                    return;
+                }
+                RobKind::Eret => {
+                    if self.mode == Mode::User {
+                        self.raise_trap(Trap::new(TrapCause::PrivilegeViolation, entry.pc));
+                        return;
+                    }
+                    self.mode = Mode::User;
+                    let epc = self.sysregs[vulnstack_isa::SysReg::Epc.index() as usize];
+                    // Update retirement state before the flush.
+                    if let Some((arch, newp, oldp)) = entry.dest {
+                        self.rrat[arch.index()] = newp;
+                        self.release_preg(oldp);
+                    }
+                    self.flush_all(epc);
+                    return;
+                }
+                RobKind::Mfsr => {
+                    if self.mode == Mode::User {
+                        self.raise_trap(Trap::new(TrapCause::PrivilegeViolation, entry.pc));
+                        return;
+                    }
+                    let sr = entry.instr.sysreg().expect("decoded");
+                    let v = self.sysregs[sr.index() as usize];
+                    if let Some((_, newp, _)) = entry.dest {
+                        self.write_phys(newp, v);
+                    }
+                }
+                RobKind::Mtsr => {
+                    if self.mode == Mode::User {
+                        self.raise_trap(Trap::new(TrapCause::PrivilegeViolation, entry.pc));
+                        return;
+                    }
+                    let sr = entry.instr.sysreg().expect("decoded");
+                    self.sysregs[sr.index() as usize] = entry.mtsr_value;
+                }
+                RobKind::Store => {
+                    let slot = entry.lsq_slot.expect("stores have slots");
+                    let s = self.sq[slot];
+                    if s.taint {
+                        self.record_fpm(Fpm::Wd);
+                    }
+                    // The address may have been corrupted in the SQ after
+                    // the execute-time check; a store to an invalid
+                    // address is a bus fault at commit.
+                    if let Some(trap) =
+                        self.mem_check(s.addr, s.size, AccessKind::Write, entry.pc)
+                    {
+                        self.sq[slot].valid = false;
+                        self.raise_trap(trap);
+                        return;
+                    }
+                    self.mem.store(s.addr as u32, s.size, s.data);
+                    self.sq[slot].valid = false;
+                }
+                RobKind::Load => {
+                    let slot = entry.lsq_slot.expect("loads have slots");
+                    self.lq[slot].valid = false;
+                }
+                _ => {}
+            }
+
+            if let Some((arch, newp, oldp)) = entry.dest {
+                self.rrat[arch.index()] = newp;
+                self.release_preg(oldp);
+            }
+        }
+    }
+
+    fn read_kernel_status(&mut self) -> RunStatus {
+        let kd = memmap::KERNEL_DATA;
+        let (status, t1) = self.mem.peek(kd + off::STATUS as u32, 4);
+        let (code, t2) = self.mem.peek(kd + off::CODE as u32, 4);
+        // A corrupted status/code word alters the observable outcome
+        // without re-entering the pipeline: the ESC path.
+        if t1 || t2 {
+            self.record_fpm(Fpm::Esc);
+        }
+        match KStatus::from_word(status as u32) {
+            Some(KStatus::Exited) => RunStatus::Exited(code as i32),
+            Some(KStatus::Detected) => RunStatus::Detected(code as i32),
+            Some(KStatus::Crashed) => RunStatus::Crashed(code as u32),
+            _ => RunStatus::KernelPanic,
+        }
+    }
+
+    fn drain_output(&mut self) -> Vec<u8> {
+        let kd = memmap::KERNEL_DATA;
+        let (outlen, len_taint) = self.mem.peek(kd + off::OUTLEN as u32, 4);
+        if len_taint {
+            self.record_fpm(Fpm::Esc);
+        }
+        let outlen = (outlen as u32).min(memmap::OUTPUT_CAP);
+        let mut out = Vec::with_capacity(outlen as usize);
+        let mut esc = false;
+        for i in 0..outlen {
+            let (b, tainted) = self.mem.peek(memmap::OUTPUT_BASE + i, 1);
+            esc |= tainted;
+            out.push(b as u8);
+        }
+        if esc {
+            self.record_fpm(Fpm::Esc);
+        }
+        out
+    }
+
+    /// Advances one cycle.
+    pub fn step_cycle(&mut self) {
+        self.cycle += 1;
+        if self.ace.is_some() {
+            let occ = self.lq.iter().filter(|e| e.valid).count()
+                + self.sq.iter().filter(|e| e.valid).count();
+            if let Some(ace) = &mut self.ace {
+                ace.lsq_occ_cycles += occ as u64;
+            }
+        }
+        self.commit();
+        if self.ended.is_some() {
+            return;
+        }
+        self.writeback();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        if self.cycle - self.last_commit_cycle > WATCHDOG {
+            self.ended = Some(RunStatus::Timeout);
+        }
+    }
+
+    /// Runs until `cycle` or a terminal state.
+    pub fn run_until(&mut self, cycle: u64) {
+        while self.ended.is_none() && self.cycle < cycle {
+            self.step_cycle();
+        }
+    }
+
+    /// Runs to completion (halt or `budget` cycles).
+    pub fn run(mut self, budget: u64) -> OooOutcome {
+        self.run_until(budget);
+        let status = self.ended.unwrap_or(RunStatus::Timeout);
+        let output = self.drain_output();
+        OooOutcome {
+            sim: SimOutcome { status, output, instrs: self.committed, cycles: self.cycle },
+            fpm: self.fpm,
+            fpm_cycle: self.fpm_cycle,
+        }
+    }
+
+    /// True when an injected fault can no longer have any effect: no
+    /// corrupted copy survives anywhere and nothing tainted is in flight.
+    /// From this point the run is bit-identical to the golden run, so
+    /// campaigns may classify it as Masked and stop early.
+    pub fn fault_extinct(&self) -> bool {
+        if self.fpm.is_some() || self.rf_taint.is_some() {
+            return false;
+        }
+        if self.mem.taint().map_or(false, |t| t.live()) {
+            return false;
+        }
+        if self.lq.iter().any(|e| e.valid && e.taint) {
+            return false;
+        }
+        if self.sq.iter().any(|e| e.valid && e.taint) {
+            return false;
+        }
+        if self.rob.iter().any(|e| e.taint.is_some()) {
+            return false;
+        }
+        if self.finish.iter().any(|(_, _, _, _, t)| t.is_some()) {
+            return false;
+        }
+        true
+    }
+
+    /// Dumps pipeline state to stderr (debugging aid).
+    pub fn dump_state(&self) {
+        eprintln!(
+            "cycle={} committed={} mode={:?} fetch_pc={:#x} halted={} stall_until={} rob={} iq={} fq={} free={}",
+            self.cycle,
+            self.committed,
+            self.mode,
+            self.fetch_pc,
+            self.fetch_halted,
+            self.fetch_stall_until,
+            self.rob.len(),
+            self.iq.len(),
+            self.fetch_queue.len(),
+            self.free_count(),
+        );
+        for (i, e) in self.rob.iter().take(6).enumerate() {
+            eprintln!(
+                "  rob[{i}] seq={} pc={:#x} {} kind={:?} done={} exc={:?} srcs={:?} dest={:?}",
+                e.seq, e.pc, e.instr, e.kind, e.done, e.exception, e.srcs, e.dest
+            );
+        }
+        for e in self.iq.iter().take(8) {
+            if let Some(idx) = self.rob_index(e.seq) {
+                let r = &self.rob[idx];
+                let ready: Vec<bool> = r
+                    .srcs
+                    .iter()
+                    .flatten()
+                    .map(|&p| self.phys_ready[p as usize])
+                    .collect();
+                eprintln!("  iq seq={} {} ready={:?}", e.seq, r.instr, ready);
+            }
+        }
+    }
+
+    /// Consumes the core after a manual stepping session, producing the
+    /// outcome (used by campaigns that inject mid-run).
+    pub fn finish(mut self) -> OooOutcome {
+        let status = self.ended.unwrap_or(RunStatus::Timeout);
+        let output = self.drain_output();
+        OooOutcome {
+            sim: SimOutcome { status, output, instrs: self.committed, cycles: self.cycle },
+            fpm: self.fpm,
+            fpm_cycle: self.fpm_cycle,
+        }
+    }
+}
+
+enum ExecResult {
+    Done,
+    Retry,
+    Squashed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreModel;
+    use vulnstack_compiler::{compile, CompileOpts};
+    use vulnstack_vir::ModuleBuilder;
+
+    fn image_for(build: impl FnOnce(&mut vulnstack_vir::FuncBuilder), isa: Isa) -> SystemImage {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        build(&mut f);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let c = compile(&m, isa, &CompileOpts::default()).unwrap();
+        SystemImage::build(&c, &[]).unwrap()
+    }
+
+    fn model_for(isa: Isa) -> CoreModel {
+        match isa {
+            Isa::Va32 => CoreModel::A9,
+            Isa::Va64 => CoreModel::A72,
+        }
+    }
+
+    #[test]
+    fn simple_program_exits_cleanly() {
+        for isa in [Isa::Va32, Isa::Va64] {
+            let img = image_for(|f| f.sys_exit(42), isa);
+            let cfg = model_for(isa).config();
+            let out = OooCore::new(&cfg, &img).run(2_000_000);
+            assert_eq!(out.sim.status, RunStatus::Exited(42), "{isa}");
+            assert!(out.fpm.is_none());
+        }
+    }
+
+    #[test]
+    fn loop_with_memory_matches_functional_core() {
+        for isa in [Isa::Va32, Isa::Va64] {
+            let img = image_for(
+                |f| {
+                    let sum = f.fresh();
+                    f.set_c(sum, 0);
+                    f.for_range(0, 100, |f, i| {
+                        let x = f.mul(i, i);
+                        let s = f.add(sum, x);
+                        f.set(sum, s);
+                    });
+                    let slot = f.stack_slot(4, 4);
+                    let p = f.slot_addr(slot);
+                    f.store32(sum, p, 0);
+                    f.sys_write(p, 4);
+                    f.sys_exit(0);
+                },
+                isa,
+            );
+            let cfg = model_for(isa).config();
+            let golden = crate::func::FuncCore::new(&img).run(10_000_000);
+            let out = OooCore::new(&cfg, &img).run(10_000_000);
+            assert_eq!(out.sim.status, golden.status, "{isa}");
+            assert_eq!(out.sim.output, golden.output, "{isa}");
+        }
+    }
+
+    #[test]
+    fn recursion_and_branches_work() {
+        for isa in [Isa::Va32, Isa::Va64] {
+            let mut mb = ModuleBuilder::new("t");
+            let fib = mb.declare("fib", 1);
+            let mut f = mb.function("main", 0);
+            let v = f.call(fib, &[vulnstack_vir::Operand::Imm(12)]);
+            f.sys_exit(v);
+            f.ret(None);
+            mb.finish_function(f);
+            let mut g = mb.function("fib", 1);
+            let n = g.param(0);
+            let res = g.fresh();
+            let base = g.slt(n, 2);
+            g.if_else(
+                base,
+                |g| g.set(res, n),
+                |g| {
+                    let a = g.sub(n, 1);
+                    let x = g.call(fib, &[a.into()]);
+                    let b = g.sub(n, 2);
+                    let y = g.call(fib, &[b.into()]);
+                    let s = g.add(x, y);
+                    g.set(res, s);
+                },
+            );
+            g.ret(Some(res.into()));
+            mb.finish_function(g);
+            let m = mb.finish().unwrap();
+            let c = compile(&m, isa, &CompileOpts::default()).unwrap();
+            let img = SystemImage::build(&c, &[]).unwrap();
+            let cfg = model_for(isa).config();
+            let out = OooCore::new(&cfg, &img).run(20_000_000);
+            assert_eq!(out.sim.status, RunStatus::Exited(144), "{isa}");
+        }
+    }
+
+    #[test]
+    fn ipc_is_plausible() {
+        let img = image_for(
+            |f| {
+                let sum = f.fresh();
+                f.set_c(sum, 0);
+                f.for_range(0, 1000, |f, i| {
+                    let s = f.add(sum, i);
+                    f.set(sum, s);
+                });
+                f.sys_exit(0);
+            },
+            Isa::Va64,
+        );
+        let cfg = CoreModel::A72.config();
+        let out = OooCore::new(&cfg, &img).run(10_000_000);
+        assert_eq!(out.sim.status, RunStatus::Exited(0));
+        let ipc = out.sim.instrs as f64 / out.sim.cycles as f64;
+        assert!(ipc > 0.3, "IPC {ipc:.2} too low — pipeline is wedged");
+        assert!(ipc <= cfg.width as f64, "IPC {ipc:.2} exceeds machine width");
+    }
+
+    #[test]
+    fn rf_fault_in_dead_register_is_masked() {
+        let img = image_for(|f| f.sys_exit(7), Isa::Va64);
+        let cfg = CoreModel::A72.config();
+        let mut core = OooCore::new(&cfg, &img);
+        core.run_until(5);
+        // The highest physical register is almost certainly unused this
+        // early.
+        let bit = (cfg.phys_regs as u64 - 1) * 64 + 17;
+        core.inject(HwStructure::RegisterFile, bit);
+        core.run_until(2_000_000);
+        let out = core.finish();
+        assert_eq!(out.sim.status, RunStatus::Exited(7));
+        assert!(out.fpm.is_none(), "fault in a dead register must be masked");
+    }
+
+    #[test]
+    fn injection_campaign_smoke_produces_mixed_outcomes() {
+        // A statistical smoke test over a compute loop: across a sweep of
+        // RF bit positions we expect at least one masked fault and at
+        // least one visible manifestation.
+        let img = image_for(
+            |f| {
+                let sum = f.fresh();
+                f.set_c(sum, 1);
+                f.for_range(0, 500, |f, i| {
+                    let x = f.xor(sum, i);
+                    let s = f.add(x, 3);
+                    f.set(sum, s);
+                });
+                let slot = f.stack_slot(4, 4);
+                let p = f.slot_addr(slot);
+                f.store32(sum, p, 0);
+                f.sys_write(p, 4);
+                f.sys_exit(0);
+            },
+            Isa::Va64,
+        );
+        let cfg = CoreModel::A72.config();
+        let golden = OooCore::new(&cfg, &img).run(10_000_000);
+        assert_eq!(golden.sim.status, RunStatus::Exited(0));
+
+        let mut masked = 0;
+        let mut visible = 0;
+        for k in 0..40u64 {
+            let mut core = OooCore::new(&cfg, &img);
+            core.run_until(200 + k * 37);
+            core.inject(HwStructure::RegisterFile, (k * 131) % cfg.rf_bits());
+            core.run_until(10_000_000);
+            let out = core.finish();
+            let same =
+                out.sim.status == golden.sim.status && out.sim.output == golden.sim.output;
+            if same && out.fpm.is_none() {
+                masked += 1;
+            }
+            if out.fpm.is_some() || !same {
+                visible += 1;
+            }
+        }
+        assert!(masked > 0, "expected some masked faults");
+        assert!(visible > 0, "expected some visible faults");
+    }
+}

@@ -1,0 +1,685 @@
+//! Ergonomic construction of VIR modules.
+//!
+//! The builder is the authoring surface for the workload suite: it keeps
+//! workload code close to the shape of the original C sources while staying
+//! plain Rust.
+
+use std::collections::HashMap;
+
+use vulnstack_isa::Syscall;
+
+use crate::instr::VInstr;
+use crate::module::{Block, FrameSlot, Function, Global, Module};
+use crate::types::{BinOp, BlockId, CmpPred, FuncId, GlobalId, MemWidth, Operand, SlotId, VReg};
+use crate::verify::{verify_module, VerifyError};
+
+/// Builds a [`Module`]: declare globals and functions, fill each function
+/// with a [`FuncBuilder`], then [`ModuleBuilder::finish`].
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    functions: Vec<Option<Function>>,
+    fn_names: HashMap<String, FuncId>,
+    fn_params: Vec<u32>,
+    globals: Vec<Global>,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty module builder.
+    pub fn new(name: impl Into<String>) -> ModuleBuilder {
+        ModuleBuilder {
+            name: name.into(),
+            functions: Vec::new(),
+            fn_names: HashMap::new(),
+            fn_params: Vec::new(),
+            globals: Vec::new(),
+        }
+    }
+
+    /// Forward-declares a function so it can be called before its body is
+    /// built. Declaring the same name twice returns the same id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if re-declared with a different parameter count.
+    pub fn declare(&mut self, name: &str, num_params: u32) -> FuncId {
+        if let Some(&id) = self.fn_names.get(name) {
+            assert_eq!(
+                self.fn_params[id.0 as usize], num_params,
+                "function {name} re-declared with different arity"
+            );
+            return id;
+        }
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(None);
+        self.fn_params.push(num_params);
+        self.fn_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Starts building the body of `name` (declaring it if necessary).
+    pub fn function(&mut self, name: &str, num_params: u32) -> FuncBuilder {
+        let id = self.declare(name, num_params);
+        FuncBuilder::new(id, name, num_params)
+    }
+
+    /// Installs a finished function body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body was already installed.
+    pub fn finish_function(&mut self, fb: FuncBuilder) {
+        let slot = &mut self.functions[fb.id.0 as usize];
+        assert!(slot.is_none(), "function {} defined twice", fb.f.name);
+        *slot = Some(fb.f);
+    }
+
+    /// Adds an initialised global.
+    pub fn global(&mut self, name: &str, init: Vec<u8>, align: u32) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global { name: name.to_string(), init, align });
+        id
+    }
+
+    /// Adds a zero-initialised global of `size` bytes.
+    pub fn global_zeroed(&mut self, name: &str, size: usize, align: u32) -> GlobalId {
+        self.global(name, vec![0; size], align)
+    }
+
+    /// Adds a global initialised from 32-bit little-endian words.
+    pub fn global_words(&mut self, name: &str, words: &[i32]) -> GlobalId {
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.global(name, bytes, 4)
+    }
+
+    /// Finalises the module, verifying it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] if a declared function has no body, `main`
+    /// is missing, or any structural rule is violated.
+    pub fn finish(self) -> Result<Module, VerifyError> {
+        let mut functions = Vec::with_capacity(self.functions.len());
+        for (i, f) in self.functions.into_iter().enumerate() {
+            match f {
+                Some(f) => functions.push(f),
+                None => {
+                    let name = self
+                        .fn_names
+                        .iter()
+                        .find(|(_, id)| id.0 as usize == i)
+                        .map(|(n, _)| n.clone())
+                        .unwrap_or_default();
+                    return Err(VerifyError::MissingBody { name });
+                }
+            }
+        }
+        let entry = *self
+            .fn_names
+            .get("main")
+            .ok_or(VerifyError::MissingBody { name: "main".into() })?;
+        let module = Module { name: self.name, functions, globals: self.globals, entry };
+        verify_module(&module)?;
+        Ok(module)
+    }
+}
+
+/// Builds one function body block-by-block.
+///
+/// Value-producing helpers allocate a fresh virtual register and return it.
+/// Loop variables are modelled by allocating a register with
+/// [`FuncBuilder::fresh`] and re-assigning it with [`FuncBuilder::set`] /
+/// [`FuncBuilder::set_c`].
+#[derive(Debug)]
+pub struct FuncBuilder {
+    id: FuncId,
+    f: Function,
+    cur: BlockId,
+}
+
+impl FuncBuilder {
+    fn new(id: FuncId, name: &str, num_params: u32) -> FuncBuilder {
+        FuncBuilder {
+            id,
+            f: Function {
+                name: name.to_string(),
+                num_params,
+                num_vregs: num_params,
+                blocks: vec![Block::default()],
+                slots: Vec::new(),
+            },
+            cur: BlockId(0),
+        }
+    }
+
+    /// This function's id (usable for recursive calls).
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The i-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: u32) -> VReg {
+        assert!(i < self.f.num_params, "param {i} out of range");
+        VReg(i)
+    }
+
+    /// Allocates a fresh virtual register (uninitialised).
+    pub fn fresh(&mut self) -> VReg {
+        let r = VReg(self.f.num_vregs);
+        self.f.num_vregs += 1;
+        r
+    }
+
+    /// Allocates a new basic block.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.f.blocks.len() as u32);
+        self.f.blocks.push(Block::default());
+        id
+    }
+
+    /// Switches the insertion point to `bb`.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.cur = bb;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Adds a frame slot of `size` bytes with `align` alignment.
+    pub fn stack_slot(&mut self, size: u32, align: u32) -> SlotId {
+        assert!(align.is_power_of_two());
+        let id = SlotId(self.f.slots.len() as u32);
+        self.f.slots.push(FrameSlot { size, align });
+        id
+    }
+
+    fn emit(&mut self, i: VInstr) {
+        self.f.blocks[self.cur.0 as usize].instrs.push(i);
+    }
+
+    fn emit_val(&mut self, mk: impl FnOnce(VReg) -> VInstr) -> VReg {
+        let dst = self.fresh();
+        self.emit(mk(dst));
+        dst
+    }
+
+    /// Emits a constant.
+    pub fn c(&mut self, value: i32) -> VReg {
+        self.emit_val(|dst| VInstr::Const { dst, value })
+    }
+
+    /// Emits a binary operation.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        let (a, b) = (a.into(), b.into());
+        self.emit_val(|dst| VInstr::Bin { dst, op, a, b })
+    }
+
+    /// Re-assigns `dst = src` (copy).
+    pub fn set(&mut self, dst: VReg, src: impl Into<Operand>) {
+        let a = src.into();
+        self.emit(VInstr::Bin { dst, op: BinOp::Add, a, b: Operand::Imm(0) });
+    }
+
+    /// Re-assigns `dst = value` (constant).
+    pub fn set_c(&mut self, dst: VReg, value: i32) {
+        self.emit(VInstr::Const { dst, value });
+    }
+
+    /// Emits a comparison producing 0/1.
+    pub fn cmp(&mut self, pred: CmpPred, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        let (a, b) = (a.into(), b.into());
+        self.emit_val(|dst| VInstr::Cmp { dst, pred, a, b })
+    }
+
+    /// Emits `select cond, a, b`.
+    pub fn select(
+        &mut self,
+        cond: impl Into<Operand>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> VReg {
+        let (cond, a, b) = (cond.into(), a.into(), b.into());
+        self.emit_val(|dst| VInstr::Select { dst, cond, a, b })
+    }
+
+    /// Emits a load.
+    pub fn load(&mut self, width: MemWidth, base: impl Into<Operand>, offset: i32) -> VReg {
+        let base = base.into();
+        self.emit_val(|dst| VInstr::Load { dst, width, base, offset })
+    }
+
+    /// Emits a store.
+    pub fn store(
+        &mut self,
+        width: MemWidth,
+        value: impl Into<Operand>,
+        base: impl Into<Operand>,
+        offset: i32,
+    ) {
+        let (value, base) = (value.into(), base.into());
+        self.emit(VInstr::Store { width, value, base, offset });
+    }
+
+    /// Emits `&global`.
+    pub fn global_addr(&mut self, global: GlobalId) -> VReg {
+        self.emit_val(|dst| VInstr::GlobalAddr { dst, global })
+    }
+
+    /// Emits `&slot`.
+    pub fn slot_addr(&mut self, slot: SlotId) -> VReg {
+        self.emit_val(|dst| VInstr::SlotAddr { dst, slot })
+    }
+
+    /// Emits a call whose result is captured.
+    pub fn call(&mut self, func: FuncId, args: &[Operand]) -> VReg {
+        let args = args.to_vec();
+        self.emit_val(|dst| VInstr::Call { dst: Some(dst), func, args })
+    }
+
+    /// Emits a call discarding any result.
+    pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
+        self.emit(VInstr::Call { dst: None, func, args: args.to_vec() });
+    }
+
+    /// Emits `write(ptr, len)`.
+    pub fn sys_write(&mut self, ptr: impl Into<Operand>, len: impl Into<Operand>) {
+        let args = vec![ptr.into(), len.into()];
+        self.emit(VInstr::Syscall { dst: None, sc: Syscall::Write, args });
+    }
+
+    /// Emits `read(ptr, len) -> copied`.
+    pub fn sys_read(&mut self, ptr: impl Into<Operand>, len: impl Into<Operand>) -> VReg {
+        let args = vec![ptr.into(), len.into()];
+        self.emit_val(|dst| VInstr::Syscall { dst: Some(dst), sc: Syscall::Read, args })
+    }
+
+    /// Emits `brk(delta) -> old_break`.
+    pub fn sys_brk(&mut self, delta: impl Into<Operand>) -> VReg {
+        let args = vec![delta.into()];
+        self.emit_val(|dst| VInstr::Syscall { dst: Some(dst), sc: Syscall::Brk, args })
+    }
+
+    /// Emits `exit(code)`.
+    pub fn sys_exit(&mut self, code: impl Into<Operand>) {
+        let args = vec![code.into()];
+        self.emit(VInstr::Syscall { dst: None, sc: Syscall::Exit, args });
+    }
+
+    /// Emits `detect(code)` — fault-tolerance check failure.
+    pub fn sys_detect(&mut self, code: impl Into<Operand>) {
+        let args = vec![code.into()];
+        self.emit(VInstr::Syscall { dst: None, sc: Syscall::Detect, args });
+    }
+
+    /// Emits an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.emit(VInstr::Br { target });
+    }
+
+    /// Emits a conditional branch on `cond != 0`.
+    pub fn cond_br(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) {
+        let cond = cond.into();
+        self.emit(VInstr::CondBr { cond, then_bb, else_bb });
+    }
+
+    /// Emits a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.emit(VInstr::Ret { value });
+    }
+
+    // Convenience arithmetic wrappers -------------------------------------
+
+    /// `a + b`.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Add, a, b)
+    }
+    /// `a - b`.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Sub, a, b)
+    }
+    /// `a * b` (low 32 bits).
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Mul, a, b)
+    }
+    /// High half of the signed product.
+    pub fn mulhs(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::MulHS, a, b)
+    }
+    /// Signed division.
+    pub fn divs(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::DivS, a, b)
+    }
+    /// Unsigned division.
+    pub fn divu(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::DivU, a, b)
+    }
+    /// Signed remainder.
+    pub fn rems(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::RemS, a, b)
+    }
+    /// Unsigned remainder.
+    pub fn remu(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::RemU, a, b)
+    }
+    /// Bitwise AND.
+    pub fn and(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::And, a, b)
+    }
+    /// Bitwise OR.
+    pub fn or(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Or, a, b)
+    }
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Xor, a, b)
+    }
+    /// Left shift.
+    pub fn shl(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Shl, a, b)
+    }
+    /// Logical right shift.
+    pub fn shrl(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::ShrL, a, b)
+    }
+    /// Arithmetic right shift.
+    pub fn shra(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::ShrA, a, b)
+    }
+
+    // Convenience comparison wrappers --------------------------------------
+
+    /// `a == b`.
+    pub fn eq(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.cmp(CmpPred::Eq, a, b)
+    }
+    /// `a != b`.
+    pub fn ne(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.cmp(CmpPred::Ne, a, b)
+    }
+    /// Signed `a < b`.
+    pub fn slt(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.cmp(CmpPred::SLt, a, b)
+    }
+    /// Signed `a >= b`.
+    pub fn sge(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.cmp(CmpPred::SGe, a, b)
+    }
+    /// Unsigned `a < b`.
+    pub fn ult(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.cmp(CmpPred::ULt, a, b)
+    }
+
+    // Convenience memory wrappers -------------------------------------------
+
+    /// 32-bit load.
+    pub fn load32(&mut self, base: impl Into<Operand>, offset: i32) -> VReg {
+        self.load(MemWidth::W, base, offset)
+    }
+    /// Unsigned byte load.
+    pub fn load8u(&mut self, base: impl Into<Operand>, offset: i32) -> VReg {
+        self.load(MemWidth::BU, base, offset)
+    }
+    /// Signed byte load.
+    pub fn load8s(&mut self, base: impl Into<Operand>, offset: i32) -> VReg {
+        self.load(MemWidth::B, base, offset)
+    }
+    /// Unsigned halfword load.
+    pub fn load16u(&mut self, base: impl Into<Operand>, offset: i32) -> VReg {
+        self.load(MemWidth::HU, base, offset)
+    }
+    // Structured control-flow helpers -------------------------------------
+
+    /// Emits `for (i = start; i < end; i++) body(i)` with a signed
+    /// comparison. `end` is evaluated once, before the loop. The insertion
+    /// point ends in the loop-exit block.
+    pub fn for_range(
+        &mut self,
+        start: impl Into<Operand>,
+        end: impl Into<Operand>,
+        body: impl FnOnce(&mut FuncBuilder, VReg),
+    ) {
+        let (start, end) = (start.into(), end.into());
+        let i = self.fresh();
+        self.set(i, start);
+        let head = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.br(head);
+        self.switch_to(head);
+        let c = self.cmp(CmpPred::SLt, i, end);
+        self.cond_br(c, body_bb, exit);
+        self.switch_to(body_bb);
+        body(self, i);
+        let i2 = self.add(i, 1);
+        self.set(i, i2);
+        self.br(head);
+        self.switch_to(exit);
+    }
+
+    /// Emits `while (cond()) body()`. `cond` runs at the loop head each
+    /// iteration and returns the loop-continue flag register. The insertion
+    /// point ends in the loop-exit block.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut FuncBuilder) -> VReg,
+        body: impl FnOnce(&mut FuncBuilder),
+    ) {
+        let head = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.br(head);
+        self.switch_to(head);
+        let c = cond(self);
+        self.cond_br(c, body_bb, exit);
+        self.switch_to(body_bb);
+        body(self);
+        self.br(head);
+        self.switch_to(exit);
+    }
+
+    /// Emits `if (cond != 0) then_body()` with no else branch. The
+    /// insertion point ends in the join block.
+    pub fn if_then(&mut self, cond: impl Into<Operand>, then_body: impl FnOnce(&mut FuncBuilder)) {
+        let cond = cond.into();
+        let then_bb = self.new_block();
+        let join = self.new_block();
+        self.cond_br(cond, then_bb, join);
+        self.switch_to(then_bb);
+        then_body(self);
+        self.br(join);
+        self.switch_to(join);
+    }
+
+    /// Emits `if (cond != 0) then_body() else else_body()`. The insertion
+    /// point ends in the join block.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Operand>,
+        then_body: impl FnOnce(&mut FuncBuilder),
+        else_body: impl FnOnce(&mut FuncBuilder),
+    ) {
+        let cond = cond.into();
+        let then_bb = self.new_block();
+        let else_bb = self.new_block();
+        let join = self.new_block();
+        self.cond_br(cond, then_bb, else_bb);
+        self.switch_to(then_bb);
+        then_body(self);
+        self.br(join);
+        self.switch_to(else_bb);
+        else_body(self);
+        self.br(join);
+        self.switch_to(join);
+    }
+
+    /// 32-bit store.
+    pub fn store32(&mut self, value: impl Into<Operand>, base: impl Into<Operand>, offset: i32) {
+        self.store(MemWidth::W, value, base, offset)
+    }
+    /// Byte store.
+    pub fn store8(&mut self, value: impl Into<Operand>, base: impl Into<Operand>, offset: i32) {
+        self.store(MemWidth::B, value, base, offset)
+    }
+    /// Halfword store.
+    pub fn store16(&mut self, value: impl Into<Operand>, base: impl Into<Operand>, offset: i32) {
+        self.store(MemWidth::H, value, base, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_minimal_module() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let a = f.c(1);
+        let b = f.add(a, 2);
+        f.sys_exit(b);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.entry_function().name, "main");
+        assert_eq!(m.num_instrs(), 4);
+    }
+
+    #[test]
+    fn missing_main_is_rejected() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("helper", 0);
+        f.ret(None);
+        mb.finish_function(f);
+        assert!(mb.finish().is_err());
+    }
+
+    #[test]
+    fn missing_body_is_rejected() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.declare("ghost", 1);
+        let mut f = mb.function("main", 0);
+        f.ret(None);
+        mb.finish_function(f);
+        assert!(matches!(mb.finish(), Err(VerifyError::MissingBody { .. })));
+    }
+
+    #[test]
+    fn declare_is_idempotent() {
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.declare("f", 2);
+        let b = mb.declare("f", 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different arity")]
+    fn declare_arity_mismatch_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.declare("f", 2);
+        mb.declare("f", 3);
+    }
+}
+
+#[cfg(test)]
+mod control_flow_tests {
+    use super::*;
+    use crate::interp::{Interpreter, RunStatus};
+
+    fn run_main(build: impl FnOnce(&mut FuncBuilder)) -> i32 {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        build(&mut f);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        match Interpreter::new(&m).run().unwrap().status {
+            RunStatus::Exited(c) => c,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_range_covers_exact_bounds() {
+        let got = run_main(|f| {
+            let acc = f.fresh();
+            f.set_c(acc, 0);
+            f.for_range(3, 7, |f, i| {
+                let s = f.add(acc, i);
+                f.set(acc, s);
+            });
+            f.sys_exit(acc);
+        });
+        assert_eq!(got, 3 + 4 + 5 + 6);
+    }
+
+    #[test]
+    fn for_range_with_empty_interval_runs_zero_times() {
+        let got = run_main(|f| {
+            let acc = f.fresh();
+            f.set_c(acc, 42);
+            f.for_range(5, 5, |f, _| f.set_c(acc, -1));
+            f.for_range(9, 2, |f, _| f.set_c(acc, -2));
+            f.sys_exit(acc);
+        });
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn while_loop_runs_until_condition_fails() {
+        let got = run_main(|f| {
+            let x = f.fresh();
+            f.set_c(x, 1);
+            f.while_loop(
+                |f| f.slt(x, 100),
+                |f| {
+                    let d = f.mul(x, 2);
+                    f.set(x, d);
+                },
+            );
+            f.sys_exit(x);
+        });
+        assert_eq!(got, 128);
+    }
+
+    #[test]
+    fn nested_if_else_joins_correctly() {
+        let got = run_main(|f| {
+            let out = f.fresh();
+            f.set_c(out, 0);
+            let a = f.c(1);
+            f.if_else(
+                a,
+                |f| {
+                    let b = f.c(0);
+                    f.if_else(b, |f| f.set_c(out, 10), |f| f.set_c(out, 20));
+                },
+                |f| f.set_c(out, 30),
+            );
+            let plus = f.add(out, 1);
+            f.sys_exit(plus);
+        });
+        assert_eq!(got, 21);
+    }
+
+    #[test]
+    fn if_then_skips_when_false() {
+        let got = run_main(|f| {
+            let out = f.fresh();
+            f.set_c(out, 5);
+            let z = f.c(0);
+            f.if_then(z, |f| f.set_c(out, 99));
+            f.sys_exit(out);
+        });
+        assert_eq!(got, 5);
+    }
+}

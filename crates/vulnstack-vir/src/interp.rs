@@ -1,0 +1,747 @@
+//! The VIR interpreter — the execution substrate for software-level (SVF)
+//! fault injection.
+//!
+//! The interpreter runs *user code only* (syscalls are serviced by the host,
+//! with no interpreted kernel instructions) which is exactly the visibility
+//! LLFI-style software injectors have: they can corrupt the destination
+//! value of one dynamic IR instruction, and they never see kernel
+//! activity, microarchitectural residency, or escaped faults.
+
+use vulnstack_isa::{Syscall, TrapCause};
+
+use crate::instr::VInstr;
+use crate::module::Module;
+use crate::types::{BlockId, FuncId, MemWidth, Operand, VReg};
+
+/// Base of the data address space (a null guard page sits below).
+pub const MEM_BASE: u32 = 0x1000;
+/// Top of the interpreter stack; frames grow downwards from here.
+pub const STACK_TOP: u32 = 0x40_0000;
+/// Total modelled memory.
+pub const MEM_SIZE: u32 = STACK_TOP;
+/// Guard gap kept between the heap break and the deepest stack frame.
+const STACK_GUARD: u32 = 0x1000;
+/// Cap on accumulated program output, bounding memory under faults.
+const OUTPUT_CAP: usize = 1 << 22;
+
+/// A single software-level fault: flip `bit` of the destination value of
+/// the `target`-th dynamic *injectable* (value-producing) instruction.
+///
+/// Bit indices are 0..=31 because VIR values have 32-bit semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwFault {
+    /// Zero-based dynamic index among injectable instructions.
+    pub target: u64,
+    /// Bit to flip in the 32-bit destination value.
+    pub bit: u8,
+}
+
+/// Terminal status of an interpreted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The program called `exit(code)` or returned from `main`.
+    Exited(i32),
+    /// A fault-tolerance check called `detect(code)`.
+    Detected(i32),
+    /// A trap was raised (the software-level analogue of a crash).
+    Trapped(TrapCause),
+    /// The instruction budget was exhausted (livelock/deadlock analogue).
+    Timeout,
+}
+
+/// Result of interpreting a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Why the run ended.
+    pub status: RunStatus,
+    /// Bytes the program wrote via the `write` syscall.
+    pub output: Vec<u8>,
+    /// Dynamic instructions executed.
+    pub dyn_instrs: u64,
+    /// Dynamic *injectable* (value-producing) instructions executed — the
+    /// sampling population for software-level fault injection.
+    pub injectable: u64,
+    /// Class of the instruction the armed fault actually hit, if it fired.
+    pub injected_class: Option<crate::instr::InstrClass>,
+    /// Function containing the injected instruction, if the fault fired.
+    pub injected_func: Option<FuncId>,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    idx: usize,
+    regs: Vec<i64>,
+    frame_base: u32,
+    ret_dst: Option<VReg>,
+}
+
+/// Interprets a verified [`Module`].
+///
+/// # Example
+///
+/// ```
+/// use vulnstack_vir::builder::ModuleBuilder;
+/// use vulnstack_vir::interp::{Interpreter, RunStatus};
+///
+/// let mut mb = ModuleBuilder::new("m");
+/// let mut f = mb.function("main", 0);
+/// f.sys_exit(7);
+/// f.ret(None);
+/// mb.finish_function(f);
+/// let m = mb.finish().unwrap();
+/// let out = Interpreter::new(&m).run().unwrap();
+/// assert_eq!(out.status, RunStatus::Exited(7));
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    mem: Vec<u8>,
+    brk: u32,
+    global_addrs: Vec<u32>,
+    input: Vec<u8>,
+    input_pos: usize,
+    output: Vec<u8>,
+    budget: u64,
+    fault: Option<SwFault>,
+    dyn_instrs: u64,
+    injectable: u64,
+    injected_class: Option<crate::instr::InstrClass>,
+    injected_func: Option<FuncId>,
+}
+
+/// Error for interpreter misconfiguration (as opposed to program traps,
+/// which are reported through [`RunStatus`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The module's globals do not fit in the modelled memory.
+    GlobalsTooLarge { needed: u32, available: u32 },
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::GlobalsTooLarge { needed, available } => {
+                write!(f, "globals need {needed} bytes, only {available} available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter for `module` with an empty input stream and a
+    /// default budget of 512M dynamic instructions.
+    pub fn new(module: &'m Module) -> Interpreter<'m> {
+        let mut mem = vec![0u8; MEM_SIZE as usize];
+        let mut global_addrs = Vec::with_capacity(module.globals.len());
+        let mut cursor = MEM_BASE;
+        for g in &module.globals {
+            let a = g.align.max(1);
+            cursor = (cursor + a - 1) & !(a - 1);
+            global_addrs.push(cursor);
+            let end = cursor as usize + g.init.len();
+            if end <= mem.len() {
+                mem[cursor as usize..end].copy_from_slice(&g.init);
+            }
+            cursor = end as u32;
+        }
+        let brk = (cursor + 15) & !15;
+        Interpreter {
+            module,
+            mem,
+            brk,
+            global_addrs,
+            input: Vec::new(),
+            input_pos: 0,
+            output: Vec::new(),
+            budget: 512_000_000,
+            fault: None,
+            dyn_instrs: 0,
+            injectable: 0,
+            injected_class: None,
+            injected_func: None,
+        }
+    }
+
+    /// Supplies the program input consumed by the `read` syscall.
+    pub fn with_input(mut self, input: Vec<u8>) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Sets the dynamic-instruction budget after which the run times out.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Arms a software-level fault.
+    pub fn with_fault(mut self, fault: SwFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The address at which `global` was placed.
+    pub fn global_addr(&self, g: crate::types::GlobalId) -> u32 {
+        self.global_addrs[g.0 as usize]
+    }
+
+    fn check_access(
+        &self,
+        addr: i64,
+        len: u64,
+        stack_floor: u32,
+    ) -> Result<u32, TrapCause> {
+        if addr < 0 || addr as u64 + len > u32::MAX as u64 {
+            return Err(TrapCause::AccessFault);
+        }
+        let a = addr as u32;
+        if a % (len as u32) != 0 {
+            return Err(TrapCause::MisalignedAccess);
+        }
+        let end = a + len as u32;
+        let in_data = a >= MEM_BASE && end <= self.brk;
+        let in_stack = a >= stack_floor && end <= STACK_TOP;
+        if in_data || in_stack {
+            Ok(a)
+        } else {
+            Err(TrapCause::AccessFault)
+        }
+    }
+
+    fn load(&self, addr: u32, width: MemWidth) -> i64 {
+        let a = addr as usize;
+        match width {
+            MemWidth::B => self.mem[a] as i8 as i64,
+            MemWidth::BU => self.mem[a] as i64,
+            MemWidth::H => i16::from_le_bytes([self.mem[a], self.mem[a + 1]]) as i64,
+            MemWidth::HU => u16::from_le_bytes([self.mem[a], self.mem[a + 1]]) as i64,
+            MemWidth::W => i32::from_le_bytes([
+                self.mem[a],
+                self.mem[a + 1],
+                self.mem[a + 2],
+                self.mem[a + 3],
+            ]) as i64,
+        }
+    }
+
+    fn store(&mut self, addr: u32, width: MemWidth, value: i64) {
+        let a = addr as usize;
+        match width.bytes() {
+            1 => self.mem[a] = value as u8,
+            2 => self.mem[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            _ => self.mem[a..a + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+        }
+    }
+
+    fn read_range(&self, addr: u32, len: u32, stack_floor: u32) -> Result<&[u8], TrapCause> {
+        if len == 0 {
+            return Ok(&[]);
+        }
+        let end = addr.checked_add(len).ok_or(TrapCause::AccessFault)?;
+        let in_data = addr >= MEM_BASE && end <= self.brk;
+        let in_stack = addr >= stack_floor && end <= STACK_TOP;
+        if in_data || in_stack {
+            Ok(&self.mem[addr as usize..end as usize])
+        } else {
+            Err(TrapCause::AccessFault)
+        }
+    }
+
+    /// Runs the module to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError`] only for setup problems; program-level traps
+    /// and timeouts are reported in the returned [`RunOutcome`].
+    pub fn run(mut self) -> Result<RunOutcome, InterpError> {
+        if self.brk >= STACK_TOP / 2 {
+            return Err(InterpError::GlobalsTooLarge {
+                needed: self.brk - MEM_BASE,
+                available: STACK_TOP / 2,
+            });
+        }
+        let entry = self.module.entry;
+        let entry_fn = &self.module.functions[entry.0 as usize];
+        let frame_base = STACK_TOP - entry_fn.frame_size();
+        let mut stack: Vec<Frame> = vec![Frame {
+            func: entry,
+            block: BlockId(0),
+            idx: 0,
+            regs: vec![0; entry_fn.num_vregs as usize],
+            frame_base,
+            ret_dst: None,
+        }];
+
+        let status = loop {
+            match self.step(&mut stack) {
+                StepResult::Continue => {}
+                StepResult::Finished(s) => break s,
+            }
+            if self.dyn_instrs > self.budget {
+                break RunStatus::Timeout;
+            }
+        };
+
+        Ok(RunOutcome {
+            status,
+            output: std::mem::take(&mut self.output),
+            dyn_instrs: self.dyn_instrs,
+            injectable: self.injectable,
+            injected_class: self.injected_class,
+            injected_func: self.injected_func,
+        })
+    }
+
+    fn step(&mut self, stack: &mut Vec<Frame>) -> StepResult {
+        let frame = stack.last_mut().expect("call stack never empty while running");
+        let func = &self.module.functions[frame.func.0 as usize];
+        let block = &func.blocks[frame.block.0 as usize];
+        let ins = &block.instrs[frame.idx];
+        self.dyn_instrs += 1;
+
+        let stack_floor = frame.frame_base;
+        let get = |regs: &[i64], o: &Operand| -> i32 {
+            match o {
+                Operand::Reg(r) => regs[r.0 as usize] as i32,
+                Operand::Imm(v) => *v,
+            }
+        };
+
+        // Compute the value (if any), detect traps, then commit.
+        let mut trap: Option<TrapCause> = None;
+        let mut wrote: Option<(VReg, i64)> = None;
+        let mut next: Option<BlockId> = None;
+
+        match ins {
+            VInstr::Const { dst, value } => wrote = Some((*dst, *value as i64)),
+            VInstr::Bin { dst, op, a, b } => {
+                let (x, y) = (get(&frame.regs, a), get(&frame.regs, b));
+                match op.eval(x, y) {
+                    Some(v) => wrote = Some((*dst, v as i64)),
+                    None => trap = Some(TrapCause::DivideByZero),
+                }
+            }
+            VInstr::Cmp { dst, pred, a, b } => {
+                let v = pred.eval(get(&frame.regs, a), get(&frame.regs, b));
+                wrote = Some((*dst, v as i64));
+            }
+            VInstr::Select { dst, cond, a, b } => {
+                let v = if get(&frame.regs, cond) != 0 {
+                    get(&frame.regs, a)
+                } else {
+                    get(&frame.regs, b)
+                };
+                wrote = Some((*dst, v as i64));
+            }
+            VInstr::Load { dst, width, base, offset } => {
+                let addr = get(&frame.regs, base) as i64 + *offset as i64;
+                match self.check_access(addr, width.bytes(), stack_floor) {
+                    Ok(a) => wrote = Some((*dst, self.load(a, *width))),
+                    Err(t) => trap = Some(t),
+                }
+            }
+            VInstr::Store { width, value, base, offset } => {
+                let addr = get(&frame.regs, base) as i64 + *offset as i64;
+                let v = get(&frame.regs, value) as i64;
+                match self.check_access(addr, width.bytes(), stack_floor) {
+                    Ok(a) => self.store(a, *width, v),
+                    Err(t) => trap = Some(t),
+                }
+            }
+            VInstr::GlobalAddr { dst, global } => {
+                wrote = Some((*dst, self.global_addrs[global.0 as usize] as i64));
+            }
+            VInstr::SlotAddr { dst, slot } => {
+                let off = func.slot_offset(*slot);
+                wrote = Some((*dst, (frame.frame_base + off) as i64));
+            }
+            VInstr::Br { target } => next = Some(*target),
+            VInstr::CondBr { cond, then_bb, else_bb } => {
+                next = Some(if get(&frame.regs, cond) != 0 { *then_bb } else { *else_bb });
+            }
+            VInstr::Call { dst, func: callee, args } => {
+                let callee_fn = &self.module.functions[callee.0 as usize];
+                let new_base = frame.frame_base.checked_sub(callee_fn.frame_size());
+                let Some(new_base) = new_base else {
+                    return StepResult::Finished(RunStatus::Trapped(TrapCause::AccessFault));
+                };
+                if new_base < self.brk + STACK_GUARD {
+                    return StepResult::Finished(RunStatus::Trapped(TrapCause::AccessFault));
+                }
+                let mut regs = vec![0i64; callee_fn.num_vregs as usize];
+                for (i, a) in args.iter().enumerate() {
+                    regs[i] = get(&frame.regs, a) as i64;
+                }
+                frame.idx += 1;
+                let new_frame = Frame {
+                    func: *callee,
+                    block: BlockId(0),
+                    idx: 0,
+                    regs,
+                    frame_base: new_base,
+                    ret_dst: *dst,
+                };
+                stack.push(new_frame);
+                return StepResult::Continue;
+            }
+            VInstr::Syscall { dst, sc, args } => {
+                let a0 = args.first().map(|a| get(&frame.regs, a)).unwrap_or(0);
+                let a1 = args.get(1).map(|a| get(&frame.regs, a)).unwrap_or(0);
+                match sc {
+                    Syscall::Exit => return StepResult::Finished(RunStatus::Exited(a0)),
+                    Syscall::Detect => return StepResult::Finished(RunStatus::Detected(a0)),
+                    Syscall::Write => {
+                        let (ptr, len) = (a0 as u32, a1 as u32);
+                        match self.read_range(ptr, len, stack_floor) {
+                            Ok(bytes) => {
+                                let room = OUTPUT_CAP.saturating_sub(self.output.len());
+                                let take = bytes.len().min(room);
+                                let chunk = bytes[..take].to_vec();
+                                self.output.extend_from_slice(&chunk);
+                            }
+                            Err(t) => trap = Some(t),
+                        }
+                    }
+                    Syscall::Read => {
+                        let (ptr, len) = (a0 as u32, a1 as u32);
+                        let remaining = self.input.len() - self.input_pos;
+                        let n = remaining.min(len as usize);
+                        let end = ptr.checked_add(n as u32);
+                        let valid = end.is_some()
+                            && ((ptr >= MEM_BASE && end.unwrap() <= self.brk)
+                                || (ptr >= stack_floor && end.unwrap() <= STACK_TOP));
+                        if n > 0 && !valid {
+                            trap = Some(TrapCause::AccessFault);
+                        } else {
+                            let src = self.input[self.input_pos..self.input_pos + n].to_vec();
+                            self.mem[ptr as usize..ptr as usize + n].copy_from_slice(&src);
+                            self.input_pos += n;
+                            if let Some(d) = dst {
+                                wrote = Some((*d, n as i64));
+                            }
+                        }
+                    }
+                    Syscall::Brk => {
+                        let old = self.brk;
+                        let delta = a0 as i64;
+                        let new = old as i64 + delta;
+                        let limit = (stack_floor.saturating_sub(STACK_GUARD)) as i64;
+                        if new >= MEM_BASE as i64 && new < limit {
+                            self.brk = new as u32;
+                            if let Some(d) = dst {
+                                wrote = Some((*d, old as i64));
+                            }
+                        } else if let Some(d) = dst {
+                            wrote = Some((*d, -1));
+                        }
+                    }
+                }
+            }
+            VInstr::Ret { value } => {
+                let v = value.as_ref().map(|o| get(&frame.regs, o) as i64);
+                let ret_dst = frame.ret_dst;
+                stack.pop();
+                match stack.last_mut() {
+                    None => {
+                        return StepResult::Finished(RunStatus::Exited(v.unwrap_or(0) as i32));
+                    }
+                    Some(caller) => {
+                        if let Some(d) = ret_dst {
+                            caller.regs[d.0 as usize] = v.unwrap_or(0);
+                        }
+                        return StepResult::Continue;
+                    }
+                }
+            }
+        }
+
+        if let Some(t) = trap {
+            return StepResult::Finished(RunStatus::Trapped(t));
+        }
+
+        // Commit the destination value, applying the armed software fault if
+        // this is the chosen dynamic injectable instruction.
+        let frame = stack.last_mut().expect("frame");
+        if let Some((dst, mut v)) = wrote {
+            if let Some(fault) = self.fault {
+                if self.injectable == fault.target {
+                    v = ((v as i32) ^ (1i32 << (fault.bit & 31))) as i64;
+                    self.injected_class = Some(ins.class());
+                    self.injected_func = Some(frame.func);
+                }
+            }
+            self.injectable += 1;
+            frame.regs[dst.0 as usize] = v;
+        } else if ins_counts_injectable(ins) {
+            // Syscalls with an unused destination still count (LLFI counts
+            // the instruction, not the register write).
+            self.injectable += 1;
+        }
+
+        match next {
+            Some(bb) => {
+                frame.block = bb;
+                frame.idx = 0;
+            }
+            None => frame.idx += 1,
+        }
+        StepResult::Continue
+    }
+}
+
+fn ins_counts_injectable(ins: &VInstr) -> bool {
+    matches!(ins, VInstr::Syscall { dst: Some(_), .. })
+}
+
+enum StepResult {
+    Continue,
+    Finished(RunStatus),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::CmpPred;
+
+    fn run(m: &Module) -> RunOutcome {
+        Interpreter::new(m).run().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_exit() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let a = f.c(20);
+        let b = f.mul(a, 2);
+        let c = f.add(b, 2);
+        f.sys_exit(c);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        assert_eq!(run(&m).status, RunStatus::Exited(42));
+    }
+
+    #[test]
+    fn loop_sums_and_writes_output() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let sum = f.fresh();
+        let i = f.fresh();
+        f.set_c(sum, 0);
+        f.set_c(i, 0);
+        let head = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        f.br(head);
+        f.switch_to(head);
+        let c = f.cmp(CmpPred::SLt, i, 10);
+        f.cond_br(c, body, done);
+        f.switch_to(body);
+        let s2 = f.add(sum, i);
+        f.set(sum, s2);
+        let i2 = f.add(i, 1);
+        f.set(i, i2);
+        f.br(head);
+        f.switch_to(done);
+        let slot = f.stack_slot(4, 4);
+        let p = f.slot_addr(slot);
+        f.store32(sum, p, 0);
+        f.sys_write(p, 4);
+        f.sys_exit(0);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let out = run(&m);
+        assert_eq!(out.status, RunStatus::Exited(0));
+        assert_eq!(out.output, 45i32.to_le_bytes());
+    }
+
+    #[test]
+    fn function_calls_pass_args_and_return() {
+        let mut mb = ModuleBuilder::new("t");
+        let sq = mb.declare("square", 1);
+        let mut f = mb.function("main", 0);
+        let v = f.call(sq, &[Operand::Imm(9)]);
+        f.sys_exit(v);
+        f.ret(None);
+        mb.finish_function(f);
+        let mut g = mb.function("square", 1);
+        let p = g.param(0);
+        let r = g.mul(p, p);
+        g.ret(Some(r.into()));
+        mb.finish_function(g);
+        let m = mb.finish().unwrap();
+        assert_eq!(run(&m).status, RunStatus::Exited(81));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let z = f.c(0);
+        let d = f.divs(5, z);
+        f.sys_exit(d);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        assert_eq!(run(&m).status, RunStatus::Trapped(TrapCause::DivideByZero));
+    }
+
+    #[test]
+    fn wild_pointer_access_faults() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let p = f.c(0x10); // inside the null guard page
+        let v = f.load32(p, 0);
+        f.sys_exit(v);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        assert_eq!(run(&m).status, RunStatus::Trapped(TrapCause::AccessFault));
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global_zeroed("buf", 8, 4);
+        let mut f = mb.function("main", 0);
+        let p = f.global_addr(g);
+        let v = f.load32(p, 2);
+        f.sys_exit(v);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        assert_eq!(run(&m).status, RunStatus::Trapped(TrapCause::MisalignedAccess));
+    }
+
+    #[test]
+    fn infinite_loop_times_out() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let spin = f.new_block();
+        f.br(spin);
+        f.switch_to(spin);
+        f.br(spin);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m).with_budget(10_000).run().unwrap();
+        assert_eq!(out.status, RunStatus::Timeout);
+    }
+
+    #[test]
+    fn globals_are_initialised_and_read() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global_words("tbl", &[10, 20, 30]);
+        let mut f = mb.function("main", 0);
+        let p = f.global_addr(g);
+        let v = f.load32(p, 8);
+        f.sys_exit(v);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        assert_eq!(run(&m).status, RunStatus::Exited(30));
+    }
+
+    #[test]
+    fn read_syscall_copies_input() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global_zeroed("buf", 16, 4);
+        let mut f = mb.function("main", 0);
+        let p = f.global_addr(g);
+        let n = f.sys_read(p, 16);
+        let v = f.load8u(p, 0);
+        let s = f.add(n, v);
+        f.sys_exit(s);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m).with_input(vec![7, 8, 9]).run().unwrap();
+        // 3 bytes copied, first byte is 7 -> exit code 10.
+        assert_eq!(out.status, RunStatus::Exited(10));
+    }
+
+    #[test]
+    fn brk_grows_heap() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let base = f.sys_brk(64);
+        f.store32(0x1234, base, 0);
+        let v = f.load32(base, 0);
+        f.sys_exit(v);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        assert_eq!(run(&m).status, RunStatus::Exited(0x1234));
+    }
+
+    #[test]
+    fn detect_syscall_reports_detected() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        f.sys_detect(3);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        assert_eq!(run(&m).status, RunStatus::Detected(3));
+    }
+
+    #[test]
+    fn software_fault_flips_destination_bit() {
+        // main: a = 0; exit(a). Fault on the Const's destination bit 5 -> 32.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let a = f.c(0);
+        f.sys_exit(a);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m)
+            .with_fault(SwFault { target: 0, bit: 5 })
+            .run()
+            .unwrap();
+        assert_eq!(out.status, RunStatus::Exited(32));
+    }
+
+    #[test]
+    fn injectable_count_is_stable() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let a = f.c(1);
+        let b = f.add(a, 2);
+        let c = f.xor(b, 3);
+        f.sys_exit(c);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let o1 = run(&m);
+        let o2 = run(&m);
+        assert_eq!(o1.injectable, 3);
+        assert_eq!(o1.injectable, o2.injectable);
+        assert_eq!(o1.dyn_instrs, o2.dyn_instrs);
+    }
+
+    #[test]
+    fn recursion_overflows_to_access_fault() {
+        let mut mb = ModuleBuilder::new("t");
+        let rec = mb.declare("rec", 1);
+        let mut f = mb.function("main", 0);
+        f.call_void(rec, &[Operand::Imm(0)]);
+        f.sys_exit(0);
+        f.ret(None);
+        mb.finish_function(f);
+        let mut g = mb.function("rec", 1);
+        let _big = g.stack_slot(4096, 4);
+        let p = g.param(0);
+        let p1 = g.add(p, 1);
+        g.call_void(rec, &[p1.into()]);
+        g.ret(None);
+        mb.finish_function(g);
+        let m = mb.finish().unwrap();
+        assert_eq!(run(&m).status, RunStatus::Trapped(TrapCause::AccessFault));
+    }
+}

@@ -1,0 +1,55 @@
+//! # vulnstack-vir
+//!
+//! **VIR** is the workspace's intermediate representation — the analogue of
+//! LLVM IR in the paper's software-level (SVF) measurement flow. The ten
+//! workloads are authored as VIR modules; from there they take two paths:
+//!
+//! 1. *Interpretation* ([`interp::Interpreter`]) — the substrate for the
+//!    LLFI-style software-level fault injector (`vulnstack-llfi`), which
+//!    flips bits in the destination values of dynamic IR instructions.
+//! 2. *Compilation* (`vulnstack-compiler`) — lowering to VA32/VA64 machine
+//!    code executed by the microarchitectural simulator for PVF/HVF/AVF
+//!    measurements.
+//!
+//! All integer arithmetic in VIR has **32-bit semantics** (results are
+//! sign-extended into the 64-bit storage cell, RISC-V "W" style). This makes
+//! a workload's output bit-identical whether interpreted, compiled for VA32,
+//! or compiled for VA64 — the property the paper relies on when comparing
+//! vulnerability factors of "the exact same source workloads" across layers
+//! and ISAs.
+//!
+//! # Example
+//!
+//! ```
+//! use vulnstack_vir::builder::ModuleBuilder;
+//! use vulnstack_vir::interp::{Interpreter, RunStatus};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let mut f = mb.function("main", 0);
+//! let v = f.c(41);
+//! let v1 = f.add(v, 1);
+//! let buf = f.stack_slot(4, 4);
+//! let p = f.slot_addr(buf);
+//! f.store32(v1, p, 0);
+//! f.sys_write(p, 4);
+//! f.sys_exit(0);
+//! f.ret(None);
+//! mb.finish_function(f);
+//! let module = mb.finish().unwrap();
+//!
+//! let out = Interpreter::new(&module).run().unwrap();
+//! assert_eq!(out.status, RunStatus::Exited(0));
+//! assert_eq!(out.output, 42i32.to_le_bytes());
+//! ```
+
+pub mod builder;
+pub mod instr;
+pub mod interp;
+pub mod module;
+pub mod types;
+pub mod verify;
+
+pub use builder::{FuncBuilder, ModuleBuilder};
+pub use instr::VInstr;
+pub use module::{Block, Function, Global, Module};
+pub use types::{BinOp, BlockId, CmpPred, FuncId, GlobalId, MemWidth, Operand, SlotId, VReg};

@@ -1,0 +1,269 @@
+//! Structural verification of VIR modules.
+
+use crate::instr::VInstr;
+use crate::module::{Function, Module};
+use crate::types::{FuncId, Operand, VReg};
+
+/// A structural defect found in a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A declared function has no body (or `main` is absent).
+    MissingBody { name: String },
+    /// A block is empty.
+    EmptyBlock { func: String, block: u32 },
+    /// A block does not end with a terminator.
+    NoTerminator { func: String, block: u32 },
+    /// A terminator appears before the end of a block.
+    EarlyTerminator { func: String, block: u32, index: usize },
+    /// A branch targets a nonexistent block.
+    BadBlockTarget { func: String, block: u32, target: u32 },
+    /// A call references a nonexistent function.
+    BadCallee { func: String, callee: u32 },
+    /// A call passes the wrong number of arguments.
+    BadArity { func: String, callee: String, expected: u32, got: usize },
+    /// A register index exceeds the function's register count.
+    BadVReg { func: String, vreg: u32 },
+    /// A global or slot reference is out of range.
+    BadRef { func: String, what: &'static str, index: u32 },
+    /// The entry function must take no parameters.
+    EntryHasParams { name: String },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::MissingBody { name } => write!(f, "function {name} has no body"),
+            VerifyError::EmptyBlock { func, block } => write!(f, "{func}: bb{block} is empty"),
+            VerifyError::NoTerminator { func, block } => {
+                write!(f, "{func}: bb{block} does not end with a terminator")
+            }
+            VerifyError::EarlyTerminator { func, block, index } => {
+                write!(f, "{func}: bb{block} has a terminator at index {index} before the end")
+            }
+            VerifyError::BadBlockTarget { func, block, target } => {
+                write!(f, "{func}: bb{block} branches to nonexistent bb{target}")
+            }
+            VerifyError::BadCallee { func, callee } => {
+                write!(f, "{func}: call to nonexistent function f{callee}")
+            }
+            VerifyError::BadArity { func, callee, expected, got } => {
+                write!(f, "{func}: call to {callee} with {got} args (expects {expected})")
+            }
+            VerifyError::BadVReg { func, vreg } => {
+                write!(f, "{func}: register %{vreg} out of range")
+            }
+            VerifyError::BadRef { func, what, index } => {
+                write!(f, "{func}: {what} reference {index} out of range")
+            }
+            VerifyError::EntryHasParams { name } => {
+                write!(f, "entry function {name} must take no parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies structural invariants of an entire module.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    let entry = m.entry_function();
+    if entry.num_params != 0 {
+        return Err(VerifyError::EntryHasParams { name: entry.name.clone() });
+    }
+    for f in &m.functions {
+        verify_function(m, f)?;
+    }
+    Ok(())
+}
+
+fn check_reg(f: &Function, r: VReg) -> Result<(), VerifyError> {
+    if r.0 < f.num_vregs {
+        Ok(())
+    } else {
+        Err(VerifyError::BadVReg { func: f.name.clone(), vreg: r.0 })
+    }
+}
+
+fn check_operand(f: &Function, o: &Operand) -> Result<(), VerifyError> {
+    match o {
+        Operand::Reg(r) => check_reg(f, *r),
+        Operand::Imm(_) => Ok(()),
+    }
+}
+
+/// Verifies one function.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    let nblocks = f.blocks.len() as u32;
+    for (b, blk) in f.blocks.iter().enumerate() {
+        let b = b as u32;
+        let Some(last) = blk.instrs.last() else {
+            return Err(VerifyError::EmptyBlock { func: f.name.clone(), block: b });
+        };
+        if !last.is_terminator() {
+            return Err(VerifyError::NoTerminator { func: f.name.clone(), block: b });
+        }
+        for (i, ins) in blk.instrs.iter().enumerate() {
+            if ins.is_terminator() && i + 1 != blk.instrs.len() {
+                return Err(VerifyError::EarlyTerminator { func: f.name.clone(), block: b, index: i });
+            }
+            if let Some(d) = ins.dst() {
+                check_reg(f, d)?;
+            }
+            for u in ins.uses() {
+                check_reg(f, u)?;
+            }
+            match ins {
+                VInstr::Br { target } => {
+                    if target.0 >= nblocks {
+                        return Err(VerifyError::BadBlockTarget {
+                            func: f.name.clone(),
+                            block: b,
+                            target: target.0,
+                        });
+                    }
+                }
+                VInstr::CondBr { cond, then_bb, else_bb } => {
+                    check_operand(f, cond)?;
+                    for t in [then_bb, else_bb] {
+                        if t.0 >= nblocks {
+                            return Err(VerifyError::BadBlockTarget {
+                                func: f.name.clone(),
+                                block: b,
+                                target: t.0,
+                            });
+                        }
+                    }
+                }
+                VInstr::Call { func: callee, args, .. } => {
+                    let Some(cf) = m.functions.get(callee.0 as usize) else {
+                        return Err(VerifyError::BadCallee { func: f.name.clone(), callee: callee.0 });
+                    };
+                    if cf.num_params as usize != args.len() {
+                        return Err(VerifyError::BadArity {
+                            func: f.name.clone(),
+                            callee: cf.name.clone(),
+                            expected: cf.num_params,
+                            got: args.len(),
+                        });
+                    }
+                }
+                VInstr::GlobalAddr { global, .. } => {
+                    if global.0 as usize >= m.globals.len() {
+                        return Err(VerifyError::BadRef {
+                            func: f.name.clone(),
+                            what: "global",
+                            index: global.0,
+                        });
+                    }
+                }
+                VInstr::SlotAddr { slot, .. } => {
+                    if slot.0 as usize >= f.slots.len() {
+                        return Err(VerifyError::BadRef {
+                            func: f.name.clone(),
+                            what: "slot",
+                            index: slot.0,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Calls are checked for arity above; also make sure FuncId values used
+    // in the module's entry are within range (already guaranteed by
+    // construction through the builder).
+    let _ = FuncId(0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::module::Block;
+    use crate::types::BlockId;
+
+    fn tiny() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        f.ret(None);
+        mb.finish_function(f);
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        assert!(verify_module(&tiny()).is_ok());
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        let mut m = tiny();
+        m.functions[0].blocks.push(Block::default());
+        assert!(matches!(verify_module(&m), Err(VerifyError::EmptyBlock { .. })));
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let mut m = tiny();
+        m.functions[0].blocks[0].instrs = vec![VInstr::Const { dst: VReg(0), value: 1 }];
+        m.functions[0].num_vregs = 1;
+        assert!(matches!(verify_module(&m), Err(VerifyError::NoTerminator { .. })));
+    }
+
+    #[test]
+    fn early_terminator_rejected() {
+        let mut m = tiny();
+        m.functions[0].blocks[0].instrs =
+            vec![VInstr::Ret { value: None }, VInstr::Ret { value: None }];
+        assert!(matches!(verify_module(&m), Err(VerifyError::EarlyTerminator { .. })));
+    }
+
+    #[test]
+    fn bad_branch_target_rejected() {
+        let mut m = tiny();
+        m.functions[0].blocks[0].instrs = vec![VInstr::Br { target: BlockId(7) }];
+        assert!(matches!(verify_module(&m), Err(VerifyError::BadBlockTarget { .. })));
+    }
+
+    #[test]
+    fn bad_vreg_rejected() {
+        let mut m = tiny();
+        m.functions[0].blocks[0].instrs = vec![
+            VInstr::Const { dst: VReg(99), value: 1 },
+            VInstr::Ret { value: None },
+        ];
+        assert!(matches!(verify_module(&m), Err(VerifyError::BadVReg { vreg: 99, .. })));
+    }
+
+    #[test]
+    fn entry_with_params_rejected() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 1);
+        f.ret(None);
+        mb.finish_function(f);
+        assert!(matches!(mb.finish(), Err(VerifyError::EntryHasParams { .. })));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare("two", 2);
+        let mut f = mb.function("main", 0);
+        f.call_void(callee, &[Operand::Imm(1)]);
+        f.ret(None);
+        mb.finish_function(f);
+        let mut g = mb.function("two", 2);
+        g.ret(None);
+        mb.finish_function(g);
+        assert!(matches!(mb.finish(), Err(VerifyError::BadArity { .. })));
+    }
+}

@@ -1,0 +1,244 @@
+//! `cjpeg` — DCT-based image compression of a 24×24 8-bit image: per-8×8
+//! block integer DCT, quantisation, zigzag scan and run-length encoding.
+
+use vulnstack_vir::{FuncBuilder, ModuleBuilder, VReg};
+
+use crate::util::{dct_table, elem_addr, input_bytes, QUANT_TABLE, ZIGZAG};
+use crate::{Workload, WorkloadId};
+
+/// Image edge length (3×3 grid of 8×8 blocks).
+pub const DIM: usize = 24;
+const SEED: u32 = 0xC19E_6024;
+/// Worst-case output: 64 coefficient triples + end marker per block.
+const OUT_CAP: usize = 9 * (64 * 3 + 1);
+
+/// Host-side compressor (also the input generator for `djpeg`).
+pub(crate) fn compress(img: &[u8]) -> Vec<u8> {
+    let t = dct_table();
+    let mut out = Vec::new();
+    for by in 0..3 {
+        for bx in 0..3 {
+            let mut s = [[0i32; 8]; 8];
+            for (y, row) in s.iter_mut().enumerate() {
+                for (x, v) in row.iter_mut().enumerate() {
+                    *v = img[(by * 8 + y) * DIM + bx * 8 + x] as i32 - 128;
+                }
+            }
+            // Separable forward DCT with the scaling documented in
+            // DESIGN.md: >>8 after the row pass, >>10 after the column
+            // pass.
+            let mut t1 = [[0i32; 8]; 8];
+            for v in 0..8 {
+                for x in 0..8 {
+                    let mut acc = 0i32;
+                    for (y, row) in s.iter().enumerate() {
+                        acc = acc.wrapping_add(row[x].wrapping_mul(t[v * 8 + y]));
+                    }
+                    t1[v][x] = acc >> 8;
+                }
+            }
+            let mut fq = [0i32; 64];
+            for v in 0..8 {
+                for u in 0..8 {
+                    let mut acc = 0i32;
+                    for x in 0..8 {
+                        acc = acc.wrapping_add(t1[v][x].wrapping_mul(t[u * 8 + x]));
+                    }
+                    fq[v * 8 + u] = (acc >> 10) / QUANT_TABLE[v * 8 + u];
+                }
+            }
+            let mut run = 0u8;
+            for &zz in ZIGZAG.iter() {
+                let c = fq[zz];
+                if c == 0 {
+                    run = run.wrapping_add(1);
+                } else {
+                    out.push(run);
+                    out.extend_from_slice(&(c as i16).to_le_bytes());
+                    run = 0;
+                }
+            }
+            out.push(0xFF);
+        }
+    }
+    out
+}
+
+/// Emits the inner product `Σ_i mem32[ap + 4*stride_a*i + off_a] *
+/// mem32[bp + 4*i + off_b]` unrolled over `i in 0..8`, matching the host
+/// model's wrapping arithmetic.
+fn emit_dot8(
+    f: &mut FuncBuilder,
+    ap: VReg,
+    a_stride_words: i32,
+    bp: VReg,
+) -> VReg {
+    let acc = f.fresh();
+    f.set_c(acc, 0);
+    for i in 0..8i32 {
+        let av = f.load32(ap, 4 * a_stride_words * i);
+        let bv = f.load32(bp, 4 * i);
+        let prod = f.mul(av, bv);
+        let s = f.add(acc, prod);
+        f.set(acc, s);
+    }
+    acc
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let img = input_bytes(SEED, DIM * DIM);
+    let expected_output = compress(&img);
+    let t = dct_table();
+
+    let mut mb = ModuleBuilder::new("cjpeg");
+    let gimg = mb.global("img", img.clone(), 4);
+    let gt = mb.global_words("dct", &t);
+    let gq = mb.global_words("quant", &QUANT_TABLE);
+    let zz_words: Vec<i32> = ZIGZAG.iter().map(|&z| z as i32).collect();
+    let gzz = mb.global_words("zigzag", &zz_words);
+    let gout = mb.global_zeroed("out", OUT_CAP, 4);
+
+    let mut f = mb.function("main", 0);
+    let imgp = f.global_addr(gimg);
+    let tp = f.global_addr(gt);
+    let qp = f.global_addr(gq);
+    let zzp = f.global_addr(gzz);
+    let outp = f.global_addr(gout);
+
+    let s_slot = f.stack_slot(64 * 4, 4); // spatial block, column-major rows
+    let t1_slot = f.stack_slot(64 * 4, 4);
+    let fq_slot = f.stack_slot(64 * 4, 4);
+    let sp = f.slot_addr(s_slot);
+    let t1p = f.slot_addr(t1_slot);
+    let fqp = f.slot_addr(fq_slot);
+
+    let pos = f.fresh();
+    f.set_c(pos, 0);
+
+    f.for_range(0, 3, |f, by| {
+        f.for_range(0, 3, |f, bx| {
+            // Load the block, centred at 0: s[y*8+x] = img[..] - 128.
+            let rowbase = f.mul(by, (8 * DIM) as i32);
+            let colbase = f.shl(bx, 3);
+            let blkbase = f.add(rowbase, colbase);
+            f.for_range(0, 8, |f, y| {
+                let yoff = f.mul(y, DIM as i32);
+                let rowp0 = f.add(blkbase, yoff);
+                let srcrow = f.add(imgp, rowp0);
+                let dstrow_idx = f.shl(y, 3);
+                let dstrow = elem_addr(f, sp, dstrow_idx, 2);
+                for x in 0..8i32 {
+                    let px = f.load8u(srcrow, x);
+                    let centred = f.sub(px, 128);
+                    f.store32(centred, dstrow, 4 * x);
+                }
+            });
+            // Row pass: t1[v*8+x] = (Σ_y s[y*8+x] * T[v*8+y]) >> 8.
+            f.for_range(0, 8, |f, v| {
+                let trow_idx = f.shl(v, 3);
+                let trow = elem_addr(f, tp, trow_idx, 2);
+                let dstrow = elem_addr(f, t1p, trow_idx, 2);
+                for x in 0..8i32 {
+                    let col0 = f.add(sp, 4 * x);
+                    let acc = emit_dot8(f, col0, 8, trow);
+                    let sh = f.shra(acc, 8);
+                    f.store32(sh, dstrow, 4 * x);
+                }
+            });
+            // Column pass + quantisation:
+            // fq[v*8+u] = ((Σ_x t1[v*8+x] * T[u*8+x]) >> 10) / Q[v*8+u].
+            f.for_range(0, 8, |f, v| {
+                let vrow_idx = f.shl(v, 3);
+                let t1row = elem_addr(f, t1p, vrow_idx, 2);
+                f.for_range(0, 8, |f, u| {
+                    let urow_idx = f.shl(u, 3);
+                    let turow = elem_addr(f, tp, urow_idx, 2);
+                    let acc = emit_dot8(f, t1row, 1, turow);
+                    let fval = f.shra(acc, 10);
+                    let qidx = f.add(vrow_idx, u);
+                    let qe = elem_addr(f, qp, qidx, 2);
+                    let qv = f.load32(qe, 0);
+                    let coef = f.divs(fval, qv);
+                    let dst = elem_addr(f, fqp, qidx, 2);
+                    f.store32(coef, dst, 0);
+                });
+            });
+            // Zigzag + RLE.
+            let run = f.fresh();
+            f.set_c(run, 0);
+            f.for_range(0, 64, |f, z| {
+                let zp = elem_addr(f, zzp, z, 2);
+                let zi = f.load32(zp, 0);
+                let cp = elem_addr(f, fqp, zi, 2);
+                let c = f.load32(cp, 0);
+                let zero = f.eq(c, 0);
+                f.if_else(
+                    zero,
+                    |f| {
+                        let r2 = f.add(run, 1);
+                        f.set(run, r2);
+                    },
+                    |f| {
+                        let dst = f.add(outp, pos);
+                        f.store8(run, dst, 0);
+                        f.store8(c, dst, 1);
+                        let hi = f.shra(c, 8);
+                        f.store8(hi, dst, 2);
+                        let p2 = f.add(pos, 3);
+                        f.set(pos, p2);
+                        f.set_c(run, 0);
+                    },
+                );
+            });
+            // End-of-block marker.
+            let dst = f.add(outp, pos);
+            f.store8(0xFF, dst, 0);
+            let p2 = f.add(pos, 1);
+            f.set(pos, p2);
+        });
+    });
+
+    f.sys_write(outp, pos);
+    f.sys_exit(0);
+    f.ret(None);
+    mb.finish_function(f);
+
+    Workload {
+        id: WorkloadId::Cjpeg,
+        module: mb.finish().expect("cjpeg module verifies"),
+        input: Vec::new(),
+        expected_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_image_compresses_to_dc_only() {
+        // A flat image has one DC coefficient per block and nothing else.
+        let flat = vec![200u8; DIM * DIM];
+        let out = compress(&flat);
+        // Per block: one triple (run=0, dc) + end marker = 4 bytes.
+        assert_eq!(out.len(), 9 * 4);
+        assert_eq!(out[0], 0); // zero run before DC
+        assert_eq!(out[3], 0xFF); // end marker
+    }
+
+    #[test]
+    fn compressed_stream_is_smaller_than_raw() {
+        let img = input_bytes(SEED, DIM * DIM);
+        let out = compress(&img);
+        assert!(out.len() <= OUT_CAP);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn interpreter_matches_golden() {
+        let w = build();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        assert_eq!(out.output, w.expected_output);
+    }
+}

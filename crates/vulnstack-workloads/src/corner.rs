@@ -1,0 +1,126 @@
+//! `corner` — SUSAN-style corner response over a 48×48 8-bit image.
+//!
+//! For every interior pixel, count the 8-neighbours whose brightness is
+//! within a threshold of the centre (the USAN area); pixels with a small
+//! USAN get a positive corner response.
+
+use vulnstack_vir::ModuleBuilder;
+
+use crate::util::{abs_diff, input_bytes};
+use crate::{Workload, WorkloadId};
+
+/// Image edge length.
+pub const DIM: usize = 48;
+/// Brightness similarity threshold.
+const T: i32 = 20;
+/// Geometric threshold: responses fire when the USAN is smaller than this.
+const G: i32 = 5;
+const SEED: u32 = 0xC04E_4012;
+
+fn golden(img: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; DIM * DIM];
+    for y in 1..DIM - 1 {
+        for x in 1..DIM - 1 {
+            let c = img[y * DIM + x] as i32;
+            let mut n = 0i32;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dy == 0 && dx == 0 {
+                        continue;
+                    }
+                    let v = img[((y as i32 + dy) as usize) * DIM + (x as i32 + dx) as usize] as i32;
+                    if (v - c).abs() <= T {
+                        n += 1;
+                    }
+                }
+            }
+            out[y * DIM + x] = if n < G { ((G - n) * 10) as u8 } else { 0 };
+        }
+    }
+    out
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let img = input_bytes(SEED, DIM * DIM);
+    let expected_output = golden(&img);
+
+    let mut mb = ModuleBuilder::new("corner");
+    let gin = mb.global("img", img.clone(), 4);
+    let gout = mb.global_zeroed("resp", DIM * DIM, 4);
+
+    let mut f = mb.function("main", 0);
+    let inp = f.global_addr(gin);
+    let outp = f.global_addr(gout);
+
+    f.for_range(1, (DIM - 1) as i32, |f, y| {
+        f.for_range(1, (DIM - 1) as i32, |f, x| {
+            let row = f.mul(y, DIM as i32);
+            let center = f.add(row, x);
+            let cp = f.add(inp, center);
+            let c = f.load8u(cp, 0);
+            let n = f.fresh();
+            f.set_c(n, 0);
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dy == 0 && dx == 0 {
+                        continue;
+                    }
+                    let off = dy * DIM as i32 + dx;
+                    let idx = f.add(center, off);
+                    let p = f.add(inp, idx);
+                    let v = f.load8u(p, 0);
+                    let d = abs_diff(f, v, c);
+                    let sim = f.cmp(vulnstack_vir::CmpPred::SLe, d, T);
+                    let n2 = f.add(n, sim);
+                    f.set(n, n2);
+                }
+            }
+            let small = f.slt(n, G);
+            let diff = f.sub(G, n);
+            let resp = f.mul(diff, 10);
+            let val = f.select(small, resp, 0);
+            let dp = f.add(outp, center);
+            f.store8(val, dp, 0);
+        });
+    });
+
+    f.sys_write(outp, (DIM * DIM) as i32);
+    f.sys_exit(0);
+    f.ret(None);
+    mb.finish_function(f);
+
+    Workload {
+        id: WorkloadId::Corner,
+        module: mb.finish().expect("corner module verifies"),
+        input: Vec::new(),
+        expected_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let flat = vec![100u8; DIM * DIM];
+        assert!(golden(&flat).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn isolated_bright_pixel_is_a_corner() {
+        let mut img = vec![10u8; DIM * DIM];
+        img[5 * DIM + 5] = 200;
+        let out = golden(&img);
+        // The bright pixel has zero similar neighbours -> response (G-0)*10.
+        assert_eq!(out[5 * DIM + 5], (G * 10) as u8);
+    }
+
+    #[test]
+    fn interpreter_matches_golden() {
+        let w = build();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        assert_eq!(out.output, w.expected_output);
+    }
+}

@@ -1,0 +1,112 @@
+//! `crc32` — table-driven CRC-32 (IEEE 802.3 polynomial) over a 4 KiB
+//! input delivered through the `read` syscall.
+//!
+//! The table is computed at run time, so the workload mixes table
+//! construction (shift/xor heavy) with a memory-bound scan.
+
+use vulnstack_vir::ModuleBuilder;
+
+use crate::util::{elem_addr, input_bytes};
+use crate::{Workload, WorkloadId};
+
+const LEN: usize = 4096;
+const POLY: i32 = 0xEDB8_8320u32 as i32;
+const SEED: u32 = 0xC0C3_2021;
+
+/// Host-side golden model.
+fn golden(data: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (i, t) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { (c >> 1) ^ POLY as u32 } else { c >> 1 };
+        }
+        *t = c;
+    }
+    let mut crc = u32::MAX;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let input = input_bytes(SEED, LEN);
+    let expected_output = golden(&input).to_le_bytes().to_vec();
+
+    let mut mb = ModuleBuilder::new("crc32");
+    let buf = mb.global_zeroed("buf", LEN, 4);
+    let table = mb.global_zeroed("table", 256 * 4, 4);
+    let out = mb.global_zeroed("out", 4, 4);
+
+    let mut f = mb.function("main", 0);
+    let bufp = f.global_addr(buf);
+    let tabp = f.global_addr(table);
+    f.sys_read(bufp, LEN as i32);
+
+    // Build the CRC table.
+    f.for_range(0, 256, |f, i| {
+        let c = f.fresh();
+        f.set(c, i);
+        f.for_range(0, 8, |f, _k| {
+            let lsb = f.and(c, 1);
+            let half = f.shrl(c, 1);
+            let mask = f.select(lsb, POLY, 0);
+            let nc = f.xor(half, mask);
+            f.set(c, nc);
+        });
+        let p = elem_addr(f, tabp, i, 2);
+        f.store32(c, p, 0);
+    });
+
+    // Scan the buffer.
+    let crc = f.fresh();
+    f.set_c(crc, -1);
+    f.for_range(0, LEN as i32, |f, i| {
+        let bp = f.add(bufp, i);
+        let b = f.load8u(bp, 0);
+        let x = f.xor(crc, b);
+        let idx = f.and(x, 0xff);
+        let tp = elem_addr(f, tabp, idx, 2);
+        let te = f.load32(tp, 0);
+        let sh = f.shrl(crc, 8);
+        let nc = f.xor(sh, te);
+        f.set(crc, nc);
+    });
+    let fin = f.xor(crc, -1);
+    let outp = f.global_addr(out);
+    f.store32(fin, outp, 0);
+    f.sys_write(outp, 4);
+    f.sys_exit(0);
+    f.ret(None);
+    mb.finish_function(f);
+
+    Workload {
+        id: WorkloadId::Crc32,
+        module: mb.finish().expect("crc32 module verifies"),
+        input,
+        expected_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_matches_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(golden(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn interpreter_matches_golden() {
+        let w = build();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module)
+            .with_input(w.input.clone())
+            .run()
+            .unwrap();
+        assert_eq!(out.output, w.expected_output);
+    }
+}

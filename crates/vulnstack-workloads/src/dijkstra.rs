@@ -1,0 +1,173 @@
+//! `dijkstra` — single-source shortest paths over a dense 48-node graph
+//! with an O(V²) scan (as in MiBench's network suite).
+
+use vulnstack_vir::ModuleBuilder;
+
+use crate::util::{elem_addr, XorShift32};
+use crate::{Workload, WorkloadId};
+
+/// Number of graph nodes.
+pub const V: usize = 48;
+const INF: i32 = 0x3FFF_FFFF;
+const SEED: u32 = 0xD17C_57A1;
+
+fn make_graph() -> Vec<u8> {
+    // Dense weight matrix, weights 1..=64; diagonal zero.
+    let mut rng = XorShift32::new(SEED);
+    let mut adj = vec![0u8; V * V];
+    for i in 0..V {
+        for j in 0..V {
+            adj[i * V + j] = if i == j { 0 } else { ((rng.next_u32() & 0x3F) + 1) as u8 };
+        }
+    }
+    adj
+}
+
+fn golden(adj: &[u8]) -> Vec<u8> {
+    let mut dist = vec![INF; V];
+    let mut visited = vec![false; V];
+    dist[0] = 0;
+    for _ in 0..V {
+        // Pick the unvisited node with the smallest distance.
+        let mut u = usize::MAX;
+        let mut best = INF + 1;
+        for (i, &d) in dist.iter().enumerate() {
+            if !visited[i] && d < best {
+                best = d;
+                u = i;
+            }
+        }
+        if u == usize::MAX {
+            break;
+        }
+        visited[u] = true;
+        for v in 0..V {
+            let w = adj[u * V + v] as i32;
+            if w > 0 && dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+            }
+        }
+    }
+    dist.iter().flat_map(|d| d.to_le_bytes()).collect()
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let adj = make_graph();
+    let expected_output = golden(&adj);
+
+    let mut mb = ModuleBuilder::new("dijkstra");
+    let gadj = mb.global("adj", adj.clone(), 4);
+    let gdist = mb.global_zeroed("dist", V * 4, 4);
+    let gvis = mb.global_zeroed("visited", V, 4);
+
+    let mut f = mb.function("main", 0);
+    let adjp = f.global_addr(gadj);
+    let distp = f.global_addr(gdist);
+    let visp = f.global_addr(gvis);
+
+    // Initialise distances.
+    f.for_range(0, V as i32, |f, i| {
+        let p = elem_addr(f, distp, i, 2);
+        f.store32(INF, p, 0);
+    });
+    f.store32(0, distp, 0);
+
+    f.for_range(0, V as i32, |f, _round| {
+        // Find unvisited minimum.
+        let u = f.fresh();
+        let best = f.fresh();
+        f.set_c(u, -1);
+        f.set_c(best, INF + 1);
+        f.for_range(0, V as i32, |f, i| {
+            let vp = f.add(visp, i);
+            let vis = f.load8u(vp, 0);
+            let unv = f.eq(vis, 0);
+            let dp = elem_addr(f, distp, i, 2);
+            let d = f.load32(dp, 0);
+            let closer = f.slt(d, best);
+            let both = f.and(unv, closer);
+            f.if_then(both, |f| {
+                f.set(best, d);
+                f.set(u, i);
+            });
+        });
+        let found = f.sge(u, 0);
+        f.if_then(found, |f| {
+            let up = f.add(visp, u);
+            f.store8(1, up, 0);
+            let du = {
+                let p = elem_addr(f, distp, u, 2);
+                f.load32(p, 0)
+            };
+            let urow = f.mul(u, V as i32);
+            f.for_range(0, V as i32, |f, v| {
+                let ep = f.add(urow, v);
+                let wp = f.add(adjp, ep);
+                let w = f.load8u(wp, 0);
+                let has_edge = f.cmp(vulnstack_vir::CmpPred::SGt, w, 0);
+                let cand = f.add(du, w);
+                let dvp = elem_addr(f, distp, v, 2);
+                let dv = f.load32(dvp, 0);
+                let better = f.slt(cand, dv);
+                let relax = f.and(has_edge, better);
+                f.if_then(relax, |f| {
+                    f.store32(cand, dvp, 0);
+                });
+            });
+        });
+    });
+
+    f.sys_write(distp, (V * 4) as i32);
+    f.sys_exit(0);
+    f.ret(None);
+    mb.finish_function(f);
+
+    Workload {
+        id: WorkloadId::Dijkstra,
+        module: mb.finish().expect("dijkstra module verifies"),
+        input: Vec::new(),
+        expected_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_distances_are_sane() {
+        let adj = make_graph();
+        let out = golden(&adj);
+        let dist: Vec<i32> = out
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        assert_eq!(dist[0], 0);
+        // All nodes reachable in a dense graph; distances bounded by a
+        // direct edge (max weight 64).
+        for (i, &d) in dist.iter().enumerate().skip(1) {
+            assert!(d >= 1 && d <= 64, "node {i} distance {d}");
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds_via_direct_edges() {
+        let adj = make_graph();
+        let out = golden(&adj);
+        let dist: Vec<i32> = out
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        for v in 1..V {
+            assert!(dist[v] <= adj[v] as i32, "shortest path beats direct edge");
+        }
+    }
+
+    #[test]
+    fn interpreter_matches_golden() {
+        let w = build();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        assert_eq!(out.output, w.expected_output);
+    }
+}

@@ -1,0 +1,243 @@
+//! `djpeg` — DCT-based image decompression: run-length decode, dezigzag,
+//! dequantise and inverse DCT back to a 24×24 8-bit image.
+//!
+//! The input stream is the output of the host-side `cjpeg` compressor,
+//! delivered through the `read` syscall.
+
+use vulnstack_vir::{FuncBuilder, ModuleBuilder, VReg};
+
+use crate::cjpeg::compress;
+use crate::util::{dct_table, elem_addr, input_bytes, QUANT_TABLE, ZIGZAG};
+use crate::{Workload, WorkloadId};
+
+/// Image edge length, matching `cjpeg`.
+pub const DIM: usize = 24;
+const SEED: u32 = 0xC19E_6024; // same source image as cjpeg
+const IN_CAP: usize = 9 * (64 * 3 + 1);
+
+/// Host-side decompressor (golden model).
+fn decompress(stream: &[u8]) -> Vec<u8> {
+    let t = dct_table();
+    let mut out = vec![0u8; DIM * DIM];
+    let mut pos = 0usize;
+    for by in 0..3 {
+        for bx in 0..3 {
+            // Run-length decode into zigzag order, then scatter.
+            let mut coefs = [0i32; 64];
+            let mut z = 0usize;
+            loop {
+                let run = stream[pos];
+                pos += 1;
+                if run == 0xFF {
+                    break;
+                }
+                z += run as usize;
+                let v = i16::from_le_bytes([stream[pos], stream[pos + 1]]) as i32;
+                pos += 2;
+                coefs[ZIGZAG[z]] = v;
+                z += 1;
+            }
+            // Dequantise.
+            let mut g = [0i32; 64];
+            for i in 0..64 {
+                g[i] = coefs[i].wrapping_mul(QUANT_TABLE[i]);
+            }
+            // Separable inverse DCT: >>13 after each pass (total 26, the
+            // inverse of the forward 18 plus the table scale; see
+            // DESIGN.md).
+            let mut r1 = [[0i32; 8]; 8];
+            for v in 0..8 {
+                for x in 0..8 {
+                    let mut acc = 0i32;
+                    for u in 0..8 {
+                        acc = acc.wrapping_add(g[v * 8 + u].wrapping_mul(t[u * 8 + x]));
+                    }
+                    r1[v][x] = acc >> 13;
+                }
+            }
+            for y in 0..8 {
+                for x in 0..8 {
+                    let mut acc = 0i32;
+                    for (v, row) in r1.iter().enumerate() {
+                        acc = acc.wrapping_add(row[x].wrapping_mul(t[v * 8 + y]));
+                    }
+                    let s = (acc >> 13) + 128;
+                    let clamped = s.clamp(0, 255);
+                    out[(by * 8 + y) * DIM + bx * 8 + x] = clamped as u8;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Emits `Σ_i mem32[ap + 4*sa*i] * mem32[bp + 4*sb*i]` over `i in 0..8`.
+fn emit_strided_dot8(f: &mut FuncBuilder, ap: VReg, sa: i32, bp: VReg, sb: i32) -> VReg {
+    let acc = f.fresh();
+    f.set_c(acc, 0);
+    for i in 0..8i32 {
+        let av = f.load32(ap, 4 * sa * i);
+        let bv = f.load32(bp, 4 * sb * i);
+        let prod = f.mul(av, bv);
+        let s = f.add(acc, prod);
+        f.set(acc, s);
+    }
+    acc
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let img = input_bytes(SEED, DIM * DIM);
+    let input = compress(&img);
+    let expected_output = decompress(&input);
+    let t = dct_table();
+
+    let mut mb = ModuleBuilder::new("djpeg");
+    let gin = mb.global_zeroed("stream", IN_CAP, 4);
+    let gt = mb.global_words("dct", &t);
+    let gq = mb.global_words("quant", &QUANT_TABLE);
+    let zz_words: Vec<i32> = ZIGZAG.iter().map(|&z| z as i32).collect();
+    let gzz = mb.global_words("zigzag", &zz_words);
+    let gout = mb.global_zeroed("img", DIM * DIM, 4);
+
+    let mut f = mb.function("main", 0);
+    let inp = f.global_addr(gin);
+    let tp = f.global_addr(gt);
+    let qp = f.global_addr(gq);
+    let zzp = f.global_addr(gzz);
+    let outp = f.global_addr(gout);
+    f.sys_read(inp, IN_CAP as i32);
+
+    let g_slot = f.stack_slot(64 * 4, 4);
+    let r1_slot = f.stack_slot(64 * 4, 4);
+    let gp = f.slot_addr(g_slot);
+    let r1p = f.slot_addr(r1_slot);
+
+    let pos = f.fresh();
+    f.set_c(pos, 0);
+
+    f.for_range(0, 3, |f, by| {
+        f.for_range(0, 3, |f, bx| {
+            // Clear the coefficient block.
+            f.for_range(0, 64, |f, i| {
+                let p = elem_addr(f, gp, i, 2);
+                f.store32(0, p, 0);
+            });
+            // RLE decode; coefficients are dequantised as they land.
+            let z = f.fresh();
+            f.set_c(z, 0);
+            let brk = f.fresh();
+            f.set_c(brk, 0);
+            f.while_loop(
+                |f| f.eq(brk, 0),
+                |f| {
+                    let bp0 = f.add(inp, pos);
+                    let run = f.load8u(bp0, 0);
+                    let p1 = f.add(pos, 1);
+                    f.set(pos, p1);
+                    let end = f.eq(run, 0xFF);
+                    f.if_else(
+                        end,
+                        |f| f.set_c(brk, 1),
+                        |f| {
+                            let z2 = f.add(z, run);
+                            f.set(z, z2);
+                            let vp = f.add(inp, pos);
+                            let lo = f.load8u(vp, 0);
+                            let hi = f.load8s(vp, 1);
+                            let hs = f.shl(hi, 8);
+                            let val = f.or(hs, lo);
+                            let p2 = f.add(pos, 2);
+                            f.set(pos, p2);
+                            let zzi = elem_addr(f, zzp, z, 2);
+                            let nat = f.load32(zzi, 0);
+                            let qe = elem_addr(f, qp, nat, 2);
+                            let qv = f.load32(qe, 0);
+                            let deq = f.mul(val, qv);
+                            let dst = elem_addr(f, gp, nat, 2);
+                            f.store32(deq, dst, 0);
+                            let z3 = f.add(z, 1);
+                            f.set(z, z3);
+                        },
+                    );
+                },
+            );
+            // Inverse DCT, first pass: r1[v*8+x] = (Σ_u g[v*8+u]*T[u*8+x]) >> 13.
+            f.for_range(0, 8, |f, v| {
+                let vrow_idx = f.shl(v, 3);
+                let grow = elem_addr(f, gp, vrow_idx, 2);
+                let dstrow = elem_addr(f, r1p, vrow_idx, 2);
+                for x in 0..8i32 {
+                    // Σ_u g[v][u] * T[u][x]: stride 1 over g, 8 over T.
+                    let tcol = f.add(tp, 4 * x);
+                    let acc = emit_strided_dot8(f, grow, 1, tcol, 8);
+                    let sh = f.shra(acc, 13);
+                    f.store32(sh, dstrow, 4 * x);
+                }
+            });
+            // Second pass + clamp + store pixels.
+            let rowbase = f.mul(by, (8 * DIM) as i32);
+            let colbase = f.shl(bx, 3);
+            let blkbase = f.add(rowbase, colbase);
+            f.for_range(0, 8, |f, y| {
+                let yoff = f.mul(y, DIM as i32);
+                let dstrow0 = f.add(blkbase, yoff);
+                let dstrow = f.add(outp, dstrow0);
+                for x in 0..8i32 {
+                    // Σ_v r1[v][x] * T[v][y]: both stride 8.
+                    let r1col = f.add(r1p, 4 * x);
+                    let tcol = {
+                        let o = f.shl(y, 2);
+                        f.add(tp, o)
+                    };
+                    let acc = emit_strided_dot8(f, r1col, 8, tcol, 8);
+                    let sh = f.shra(acc, 13);
+                    let biased = f.add(sh, 128);
+                    let neg = f.slt(biased, 0);
+                    let lo_clamped = f.select(neg, 0, biased);
+                    let over = f.cmp(vulnstack_vir::CmpPred::SGt, lo_clamped, 255);
+                    let px = f.select(over, 255, lo_clamped);
+                    f.store8(px, dstrow, x);
+                }
+            });
+        });
+    });
+
+    f.sys_write(outp, (DIM * DIM) as i32);
+    f.sys_exit(0);
+    f.ret(None);
+    mb.finish_function(f);
+
+    Workload {
+        id: WorkloadId::Djpeg,
+        module: mb.finish().expect("djpeg module verifies"),
+        input,
+        expected_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_a_reasonable_approximation() {
+        // DCT compression is lossy but the decoded image must stay close
+        // to the source for a flat image (only DC survives).
+        let flat = vec![200u8; DIM * DIM];
+        let rt = decompress(&compress(&flat));
+        for &p in &rt {
+            assert!((p as i32 - 200).abs() <= 8, "pixel {p} too far from 200");
+        }
+    }
+
+    #[test]
+    fn interpreter_matches_golden() {
+        let w = build();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module)
+            .with_input(w.input.clone())
+            .run()
+            .unwrap();
+        assert_eq!(out.output, w.expected_output);
+    }
+}

@@ -1,0 +1,213 @@
+//! `fft` — in-place radix-2 decimation-in-time FFT, N = 128, in Q17.14
+//! fixed point (MiBench's fft ported to integer arithmetic; the paper's
+//! substrate has no floating-point unit, see DESIGN.md).
+
+use vulnstack_vir::ModuleBuilder;
+
+use crate::util::{elem_addr, fft_twiddles, XorShift32};
+use crate::{Workload, WorkloadId};
+
+/// Transform length.
+pub const N: usize = 128;
+const LOG2N: u32 = 7;
+const SEED: u32 = 0xFF70_0128;
+
+fn make_signal() -> Vec<i32> {
+    // Pseudo-random samples in roughly ±16384.
+    let mut rng = XorShift32::new(SEED);
+    (0..N).map(|_| ((rng.next_u32() & 0x7FFF) as i32) - 16384).collect()
+}
+
+fn bitrev(mut x: usize, bits: u32) -> usize {
+    let mut r = 0;
+    for _ in 0..bits {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    r
+}
+
+fn golden(signal: &[i32]) -> Vec<u8> {
+    let (cos_t, sin_t) = fft_twiddles(N);
+    let mut re = signal.to_vec();
+    let mut im = vec![0i32; N];
+    for i in 0..N {
+        let j = bitrev(i, LOG2N);
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut m = 2;
+    while m <= N {
+        let half = m / 2;
+        let step = N / m;
+        let mut k = 0;
+        while k < N {
+            for j in 0..half {
+                let idx = j * step;
+                let (c, s) = (cos_t[idx], sin_t[idx]);
+                let (xr, xi) = (re[k + j + half], im[k + j + half]);
+                let tr = (c.wrapping_mul(xr).wrapping_add(s.wrapping_mul(xi))) >> 14;
+                let ti = (c.wrapping_mul(xi).wrapping_sub(s.wrapping_mul(xr))) >> 14;
+                re[k + j + half] = re[k + j].wrapping_sub(tr);
+                im[k + j + half] = im[k + j].wrapping_sub(ti);
+                re[k + j] = re[k + j].wrapping_add(tr);
+                im[k + j] = im[k + j].wrapping_add(ti);
+            }
+            k += m;
+        }
+        m *= 2;
+    }
+    let mut out = Vec::with_capacity(N * 8);
+    for v in re.iter().chain(im.iter()) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let signal = make_signal();
+    let expected_output = golden(&signal);
+    let (cos_t, sin_t) = fft_twiddles(N);
+
+    let mut mb = ModuleBuilder::new("fft");
+    let gre = mb.global_words("re", &signal);
+    let gim = mb.global_zeroed("im", N * 4, 4);
+    let gcos = mb.global_words("costab", &cos_t);
+    let gsin = mb.global_words("sintab", &sin_t);
+
+    let mut f = mb.function("main", 0);
+    let rep = f.global_addr(gre);
+    let imp = f.global_addr(gim);
+    let cosp = f.global_addr(gcos);
+    let sinp = f.global_addr(gsin);
+
+    // Bit-reversal permutation.
+    f.for_range(0, N as i32, |f, i| {
+        // j = bitrev(i, LOG2N) computed with a shift loop.
+        let j = f.fresh();
+        let x = f.fresh();
+        f.set_c(j, 0);
+        f.set(x, i);
+        f.for_range(0, LOG2N as i32, |f, _b| {
+            let j2 = f.shl(j, 1);
+            let lsb = f.and(x, 1);
+            let j3 = f.or(j2, lsb);
+            f.set(j, j3);
+            let x2 = f.shrl(x, 1);
+            f.set(x, x2);
+        });
+        let lt = f.slt(i, j);
+        f.if_then(lt, |f| {
+            for arr in [rep, imp] {
+                let pi = elem_addr(f, arr, i, 2);
+                let pj = elem_addr(f, arr, j, 2);
+                let vi = f.load32(pi, 0);
+                let vj = f.load32(pj, 0);
+                f.store32(vj, pi, 0);
+                f.store32(vi, pj, 0);
+            }
+        });
+    });
+
+    // Butterfly stages: m = 2, 4, ..., N.
+    let m = f.fresh();
+    f.set_c(m, 2);
+    f.while_loop(
+        |f| f.cmp(vulnstack_vir::CmpPred::SLe, m, N as i32),
+        |f| {
+            let half = f.shrl(m, 1);
+            let step = f.divs(N as i32, m);
+            let k = f.fresh();
+            f.set_c(k, 0);
+            f.while_loop(
+                |f| f.slt(k, N as i32),
+                |f| {
+                    f.for_range(0, half, |f, j| {
+                        let idx = f.mul(j, step);
+                        let cp = elem_addr(f, cosp, idx, 2);
+                        let sp = elem_addr(f, sinp, idx, 2);
+                        let c = f.load32(cp, 0);
+                        let s = f.load32(sp, 0);
+                        let kj = f.add(k, j);
+                        let kjh = f.add(kj, half);
+                        let prh = elem_addr(f, rep, kjh, 2);
+                        let pih = elem_addr(f, imp, kjh, 2);
+                        let xr = f.load32(prh, 0);
+                        let xi = f.load32(pih, 0);
+                        let cxr = f.mul(c, xr);
+                        let sxi = f.mul(s, xi);
+                        let trs = f.add(cxr, sxi);
+                        let tr = f.shra(trs, 14);
+                        let cxi = f.mul(c, xi);
+                        let sxr = f.mul(s, xr);
+                        let tis = f.sub(cxi, sxr);
+                        let ti = f.shra(tis, 14);
+                        let pr = elem_addr(f, rep, kj, 2);
+                        let pi = elem_addr(f, imp, kj, 2);
+                        let br = f.load32(pr, 0);
+                        let bi = f.load32(pi, 0);
+                        let nrh = f.sub(br, tr);
+                        let nih = f.sub(bi, ti);
+                        f.store32(nrh, prh, 0);
+                        f.store32(nih, pih, 0);
+                        let nr = f.add(br, tr);
+                        let ni = f.add(bi, ti);
+                        f.store32(nr, pr, 0);
+                        f.store32(ni, pi, 0);
+                    });
+                    let k2 = f.add(k, m);
+                    f.set(k, k2);
+                },
+            );
+            let m2 = f.shl(m, 1);
+            f.set(m, m2);
+        },
+    );
+
+    f.sys_write(rep, (N * 4) as i32);
+    f.sys_write(imp, (N * 4) as i32);
+    f.sys_exit(0);
+    f.ret(None);
+    mb.finish_function(f);
+
+    Workload {
+        id: WorkloadId::Fft,
+        module: mb.finish().expect("fft module verifies"),
+        input: Vec::new(),
+        expected_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let flat = vec![1000i32; N];
+        let out = golden(&flat);
+        let re0 = i32::from_le_bytes([out[0], out[1], out[2], out[3]]);
+        // DC bin accumulates ~N * 1000 (fixed-point rounding aside).
+        assert!((re0 - (N as i32) * 1000).abs() < N as i32 * 16, "re0 = {re0}");
+        // Other bins are (near) zero.
+        let re1 = i32::from_le_bytes([out[4], out[5], out[6], out[7]]);
+        assert!(re1.abs() < 2048, "re1 = {re1}");
+    }
+
+    #[test]
+    fn bitrev_is_an_involution() {
+        for i in 0..N {
+            assert_eq!(bitrev(bitrev(i, LOG2N), LOG2N), i);
+        }
+    }
+
+    #[test]
+    fn interpreter_matches_golden() {
+        let w = build();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        assert_eq!(out.output, w.expected_output);
+    }
+}

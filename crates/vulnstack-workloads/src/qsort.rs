@@ -1,0 +1,130 @@
+//! `qsort` — recursive Lomuto-partition quicksort over 256 signed 32-bit
+//! integers held in a global array.
+//!
+//! Control-flow heavy with data-dependent branches and real recursion
+//! (frames, spills, link-register traffic) — the classic qsort profile the
+//! paper contrasts against `sha`.
+
+use vulnstack_vir::{ModuleBuilder, Operand};
+
+use crate::util::{elem_addr, XorShift32};
+use crate::{Workload, WorkloadId};
+
+const N: usize = 256;
+const SEED: u32 = 0x9507_2301;
+
+fn make_data() -> Vec<i32> {
+    XorShift32::new(SEED).words(N)
+}
+
+fn golden(data: &[i32]) -> Vec<u8> {
+    let mut v = data.to_vec();
+    v.sort_unstable();
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let data = make_data();
+    let expected_output = golden(&data);
+
+    let mut mb = ModuleBuilder::new("qsort");
+    let arr = mb.global_words("data", &data);
+    let qs = mb.declare("quicksort", 2);
+
+    // quicksort(lo, hi): sorts data[lo..=hi].
+    let mut f = mb.function("quicksort", 2);
+    {
+        let lo = f.param(0);
+        let hi = f.param(1);
+        let done = f.new_block();
+        let work = f.new_block();
+        let c = f.sge(lo, hi);
+        f.cond_br(c, done, work);
+        f.switch_to(done);
+        f.ret(None);
+
+        f.switch_to(work);
+        let base = f.global_addr(arr);
+        let hip = elem_addr(&mut f, base, hi, 2);
+        let pivot = f.load32(hip, 0);
+        // Lomuto partition.
+        let i = f.fresh();
+        let dec = f.sub(lo, 1);
+        f.set(i, dec);
+        let j = f.fresh();
+        f.set(j, lo);
+        f.while_loop(
+            |f| f.slt(j, hi),
+            |f| {
+                let jp = elem_addr(f, base, j, 2);
+                let aj = f.load32(jp, 0);
+                let le = f.cmp(vulnstack_vir::CmpPred::SLe, aj, pivot);
+                f.if_then(le, |f| {
+                    let i2 = f.add(i, 1);
+                    f.set(i, i2);
+                    let ip = elem_addr(f, base, i, 2);
+                    let ai = f.load32(ip, 0);
+                    let jp2 = elem_addr(f, base, j, 2);
+                    let aj2 = f.load32(jp2, 0);
+                    f.store32(aj2, ip, 0);
+                    f.store32(ai, jp2, 0);
+                });
+                let j2 = f.add(j, 1);
+                f.set(j, j2);
+            },
+        );
+        // Swap data[i+1] and data[hi]; pivot index p = i+1.
+        let p = f.add(i, 1);
+        let pp = elem_addr(&mut f, base, p, 2);
+        let ap = f.load32(pp, 0);
+        let hp2 = elem_addr(&mut f, base, hi, 2);
+        let ah = f.load32(hp2, 0);
+        f.store32(ah, pp, 0);
+        f.store32(ap, hp2, 0);
+        // Recurse.
+        let pm1 = f.sub(p, 1);
+        f.call_void(qs, &[Operand::Reg(lo), Operand::Reg(pm1)]);
+        let pp1 = f.add(p, 1);
+        f.call_void(qs, &[Operand::Reg(pp1), Operand::Reg(hi)]);
+        f.ret(None);
+    }
+    mb.finish_function(f);
+
+    let mut m = mb.function("main", 0);
+    m.call_void(qs, &[Operand::Imm(0), Operand::Imm(N as i32 - 1)]);
+    let base = m.global_addr(arr);
+    m.sys_write(base, (N * 4) as i32);
+    m.sys_exit(0);
+    m.ret(None);
+    mb.finish_function(m);
+
+    Workload {
+        id: WorkloadId::Qsort,
+        module: mb.finish().expect("qsort module verifies"),
+        input: Vec::new(),
+        expected_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnstack_vir::interp::{Interpreter, RunStatus};
+
+    #[test]
+    fn sorts_exactly_like_host_sort() {
+        let w = build();
+        let out = Interpreter::new(&w.module).run().unwrap();
+        assert_eq!(out.status, RunStatus::Exited(0));
+        assert_eq!(out.output, w.expected_output);
+        // Output really is sorted.
+        let vals: Vec<i32> = out
+            .output
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(vals.len(), N);
+    }
+}

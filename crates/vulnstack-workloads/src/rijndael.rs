@@ -1,0 +1,334 @@
+//! `rijndael` — AES-128 ECB encryption of 512 bytes (32 blocks), with the
+//! key schedule computed at run time.
+//!
+//! Table-lookup heavy (S-box bytes), byte-granular memory traffic, and a
+//! long serial dependency through the round structure.
+
+use vulnstack_vir::{FuncBuilder, ModuleBuilder, Operand, VReg};
+
+use crate::util::{aes_sbox, input_bytes};
+use crate::{Workload, WorkloadId};
+
+const BLOCKS: usize = 32;
+const LEN: usize = BLOCKS * 16;
+const SEED: u32 = 0xAE51_2810;
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
+const KEY: [u8; 16] =
+    [0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C];
+
+/// ShiftRows source index for each destination position (column-major
+/// state, index `row + 4*col`).
+fn shift_rows_src() -> [usize; 16] {
+    let mut map = [0usize; 16];
+    for c in 0..4 {
+        for r in 0..4 {
+            map[r + 4 * c] = r + 4 * ((c + r) % 4);
+        }
+    }
+    map
+}
+
+// ---------------------------------------------------------------------
+// Host golden model.
+// ---------------------------------------------------------------------
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ if x & 0x80 != 0 { 0x1B } else { 0 }
+}
+
+fn expand_key(key: &[u8; 16], sbox: &[u8; 256]) -> [u8; 176] {
+    let mut rk = [0u8; 176];
+    rk[..16].copy_from_slice(key);
+    for i in 4..44 {
+        let prev = (i - 1) * 4;
+        let mut t = [rk[prev], rk[prev + 1], rk[prev + 2], rk[prev + 3]];
+        if i % 4 == 0 {
+            t = [
+                sbox[t[1] as usize] ^ RCON[i / 4 - 1],
+                sbox[t[2] as usize],
+                sbox[t[3] as usize],
+                sbox[t[0] as usize],
+            ];
+        }
+        for j in 0..4 {
+            rk[i * 4 + j] = rk[(i - 4) * 4 + j] ^ t[j];
+        }
+    }
+    rk
+}
+
+fn encrypt_block(block: &mut [u8; 16], rk: &[u8; 176], sbox: &[u8; 256]) {
+    let srcmap = shift_rows_src();
+    let add_rk = |s: &mut [u8; 16], r: usize| {
+        for j in 0..16 {
+            s[j] ^= rk[r * 16 + j];
+        }
+    };
+    add_rk(block, 0);
+    for round in 1..=10 {
+        // SubBytes + ShiftRows.
+        let mut t = [0u8; 16];
+        for j in 0..16 {
+            t[j] = sbox[block[srcmap[j]] as usize];
+        }
+        if round < 10 {
+            // MixColumns.
+            for c in 0..4 {
+                let a = [t[4 * c], t[4 * c + 1], t[4 * c + 2], t[4 * c + 3]];
+                block[4 * c] = xtime(a[0]) ^ (xtime(a[1]) ^ a[1]) ^ a[2] ^ a[3];
+                block[4 * c + 1] = a[0] ^ xtime(a[1]) ^ (xtime(a[2]) ^ a[2]) ^ a[3];
+                block[4 * c + 2] = a[0] ^ a[1] ^ xtime(a[2]) ^ (xtime(a[3]) ^ a[3]);
+                block[4 * c + 3] = (xtime(a[0]) ^ a[0]) ^ a[1] ^ a[2] ^ xtime(a[3]);
+            }
+        } else {
+            *block = t;
+        }
+        add_rk(block, round);
+    }
+}
+
+fn golden(data: &[u8]) -> Vec<u8> {
+    let sbox = aes_sbox();
+    let rk = expand_key(&KEY, &sbox);
+    let mut out = Vec::with_capacity(data.len());
+    for chunk in data.chunks_exact(16) {
+        let mut b: [u8; 16] = chunk.try_into().unwrap();
+        encrypt_block(&mut b, &rk, &sbox);
+        out.extend_from_slice(&b);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// VIR program.
+// ---------------------------------------------------------------------
+
+/// Emits `xtime(x)` — GF(2^8) multiplication by 2 on a byte value.
+fn emit_xtime(f: &mut FuncBuilder, x: impl Into<Operand>) -> VReg {
+    let x = x.into();
+    let dbl = f.shl(x, 1);
+    let hi = f.shrl(x, 7);
+    let hibit = f.and(hi, 1);
+    let red = f.select(hibit, 0x1B, 0);
+    let mixed = f.xor(dbl, red);
+    f.and(mixed, 0xff)
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let data = input_bytes(SEED, LEN);
+    let expected_output = golden(&data);
+    let sbox = aes_sbox();
+    let srcmap = shift_rows_src();
+
+    let mut mb = ModuleBuilder::new("rijndael");
+    let gsbox = mb.global("sbox", sbox.to_vec(), 4);
+    let grcon = mb.global("rcon", RCON.to_vec(), 4);
+    let gkey = mb.global("key", KEY.to_vec(), 4);
+    let gdata = mb.global("plain", data.clone(), 4);
+    let grk = mb.global_zeroed("rk", 176, 4);
+    let gout = mb.global_zeroed("cipher", LEN, 4);
+
+    // encrypt_block(off): encrypts plain[off..off+16] into cipher[off..].
+    let enc = mb.declare("encrypt_block", 1);
+    let mut e = mb.function("encrypt_block", 1);
+    {
+        let off = e.param(0);
+        let inp = e.global_addr(gdata);
+        let outp = e.global_addr(gout);
+        let rkp = e.global_addr(grk);
+        let sbp = e.global_addr(gsbox);
+        let st = e.stack_slot(16, 4);
+        let tmp = e.stack_slot(16, 4);
+        let stp = e.slot_addr(st);
+        let tmpp = e.slot_addr(tmp);
+        let src = e.add(inp, off);
+
+        // Load block and AddRoundKey(0).
+        for j in 0..16i32 {
+            let v = e.load8u(src, j);
+            let k = e.load8u(rkp, j);
+            let x = e.xor(v, k);
+            e.store8(x, stp, j);
+        }
+        // Rounds 1..=10.
+        let round = e.fresh();
+        e.set_c(round, 1);
+        e.while_loop(
+            |f| f.cmp(vulnstack_vir::CmpPred::SLe, round, 10),
+            |f| {
+                // SubBytes + ShiftRows into tmp.
+                for (j, &s) in srcmap.iter().enumerate() {
+                    let v = f.load8u(stp, s as i32);
+                    let p = f.add(sbp, v);
+                    let sb = f.load8u(p, 0);
+                    f.store8(sb, tmpp, j as i32);
+                }
+                let last = f.eq(round, 10);
+                f.if_else(
+                    last,
+                    |f| {
+                        for j in 0..16i32 {
+                            let v = f.load8u(tmpp, j);
+                            f.store8(v, stp, j);
+                        }
+                    },
+                    |f| {
+                        // MixColumns tmp -> state.
+                        for c in 0..4i32 {
+                            let a: Vec<VReg> =
+                                (0..4).map(|r| f.load8u(tmpp, 4 * c + r)).collect();
+                            let xt: Vec<VReg> =
+                                a.iter().map(|&x| emit_xtime(f, x)).collect();
+                            let combos: [[usize; 2]; 4] = [[0, 1], [1, 2], [2, 3], [3, 0]];
+                            for (r, combo) in combos.iter().enumerate() {
+                                // b_r = xt[i] ^ (xt[j] ^ a[j]) ^ a[k] ^ a[l]
+                                // where the pattern rotates with r.
+                                let i0 = combo[0];
+                                let i1 = combo[1];
+                                let (i2, i3) = ((i1 + 1) % 4, (i1 + 2) % 4);
+                                let t1 = f.xor(xt[i0], xt[i1]);
+                                let t2 = f.xor(t1, a[i1]);
+                                let t3 = f.xor(t2, a[i2]);
+                                let b = f.xor(t3, a[i3]);
+                                f.store8(b, stp, 4 * c + r as i32);
+                            }
+                        }
+                    },
+                );
+                // AddRoundKey(round).
+                let roff = f.shl(round, 4);
+                let rkbase = f.add(rkp, roff);
+                for j in 0..16i32 {
+                    let v = f.load8u(stp, j);
+                    let k = f.load8u(rkbase, j);
+                    let x = f.xor(v, k);
+                    f.store8(x, stp, j);
+                }
+                let r2 = f.add(round, 1);
+                f.set(round, r2);
+            },
+        );
+        // Store ciphertext.
+        let dst = e.add(outp, off);
+        for j in 0..16i32 {
+            let v = e.load8u(stp, j);
+            e.store8(v, dst, j);
+        }
+        e.ret(None);
+    }
+    mb.finish_function(e);
+
+    let mut f = mb.function("main", 0);
+    {
+        let rkp = f.global_addr(grk);
+        let keyp = f.global_addr(gkey);
+        let sbp = f.global_addr(gsbox);
+        let rconp = f.global_addr(grcon);
+        // rk[0..16] = key.
+        for j in 0..16i32 {
+            let v = f.load8u(keyp, j);
+            f.store8(v, rkp, j);
+        }
+        // Expand words 4..44.
+        f.for_range(4, 44, |f, i| {
+            let prev = f.shl(i, 2);
+            let prevp = f.add(rkp, prev);
+            let t: Vec<VReg> = (0..4).map(|j| f.load8u(prevp, j - 4)).collect();
+            let m = f.rems(i, 4);
+            let first = f.eq(m, 0);
+            let tt: Vec<VReg> = (0..4).map(|_| f.fresh()).collect();
+            f.if_else(
+                first,
+                |f| {
+                    // Rotate, substitute, fold in the round constant.
+                    let order = [1usize, 2, 3, 0];
+                    for (j, &s) in order.iter().enumerate() {
+                        let p = f.add(sbp, t[s]);
+                        let sb = f.load8u(p, 0);
+                        f.set(tt[j], sb);
+                    }
+                    let ri = f.divs(i, 4);
+                    let ridx = f.sub(ri, 1);
+                    let rp = f.add(rconp, ridx);
+                    let rc = f.load8u(rp, 0);
+                    let x = f.xor(tt[0], rc);
+                    f.set(tt[0], x);
+                },
+                |f| {
+                    for j in 0..4 {
+                        f.set(tt[j], t[j]);
+                    }
+                },
+            );
+            let cur = f.shl(i, 2);
+            let curp = f.add(rkp, cur);
+            for j in 0..4i32 {
+                let old = f.load8u(curp, j - 16);
+                let x = f.xor(old, tt[j as usize]);
+                f.store8(x, curp, j);
+            }
+        });
+        // Encrypt all blocks.
+        f.for_range(0, BLOCKS as i32, |f, b| {
+            let off = f.shl(b, 4);
+            f.call_void(enc, &[Operand::Reg(off)]);
+        });
+        let outp = f.global_addr(gout);
+        f.sys_write(outp, LEN as i32);
+        f.sys_exit(0);
+        f.ret(None);
+    }
+    mb.finish_function(f);
+
+    Workload {
+        id: WorkloadId::Rijndael,
+        module: mb.finish().expect("rijndael module verifies"),
+        input: Vec::new(),
+        expected_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_matches_fips197_vector() {
+        let key = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let sbox = aes_sbox();
+        let rk = expand_key(&key, &sbox);
+        let mut block = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        encrypt_block(&mut block, &rk, &sbox);
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn key_expansion_matches_fips197_appendix_a() {
+        let sbox = aes_sbox();
+        let rk = expand_key(&KEY, &sbox);
+        // FIPS-197 A.1: w4 = a0fafe17 for the 2b7e1516... key.
+        assert_eq!(&rk[16..20], &[0xa0, 0xfa, 0xfe, 0x17]);
+        // w43 = b6630ca6.
+        assert_eq!(&rk[172..176], &[0xb6, 0x63, 0x0c, 0xa6]);
+    }
+
+    #[test]
+    fn interpreter_matches_golden() {
+        let w = build();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        assert_eq!(out.output, w.expected_output);
+    }
+}

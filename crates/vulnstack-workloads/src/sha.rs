@@ -1,0 +1,279 @@
+//! `sha` — SHA-1 over a 2 KiB input obtained through the `read` syscall.
+//!
+//! Dataflow-heavy with long dependency chains and wide fan-in per round;
+//! the paper's case-study benchmark whose SVF/PVF looks SDC-dominated while
+//! its true AVF is crash-dominated.
+
+use vulnstack_vir::{ModuleBuilder, VReg};
+
+use crate::util::{elem_addr, input_bytes, rotl_const};
+use crate::{Workload, WorkloadId};
+
+const LEN: usize = 2048;
+const SEED: u32 = 0x5AA1_2017;
+/// Message + 0x80 pad + zero pad + 8-byte big-endian bit length.
+const PADDED: usize = LEN + 64;
+
+/// Host-side SHA-1 (reference model).
+fn golden(data: &[u8]) -> Vec<u8> {
+    let mut msg = data.to_vec();
+    let bitlen = (data.len() as u64) * 8;
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bitlen.to_be_bytes());
+
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+    for chunk in msg.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for t in 0..16 {
+            w[t] = u32::from_be_bytes([
+                chunk[4 * t],
+                chunk[4 * t + 1],
+                chunk[4 * t + 2],
+                chunk[4 * t + 3],
+            ]);
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    h.iter().flat_map(|x| x.to_be_bytes()).collect()
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let input = input_bytes(SEED, LEN);
+    let expected_output = golden(&input);
+
+    let mut mb = ModuleBuilder::new("sha");
+    let msg = mb.global_zeroed("msg", PADDED, 4);
+    let digest = mb.global_zeroed("digest", 20, 4);
+
+    let mut f = mb.function("main", 0);
+    let msgp = f.global_addr(msg);
+    f.sys_read(msgp, LEN as i32);
+    // Padding: 0x80, zeros (already zero), 64-bit big-endian bit length.
+    f.store8(0x80, msgp, LEN as i32);
+    let bitlen = (LEN * 8) as i32;
+    // High 4 bytes of the length are zero; store the low word big-endian.
+    f.store8((bitlen >> 24) & 0xff, msgp, (PADDED - 4) as i32);
+    f.store8((bitlen >> 16) & 0xff, msgp, (PADDED - 3) as i32);
+    f.store8((bitlen >> 8) & 0xff, msgp, (PADDED - 2) as i32);
+    f.store8(bitlen & 0xff, msgp, (PADDED - 1) as i32);
+
+    let h: Vec<VReg> = [0x67452301u32, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+        .iter()
+        .map(|&k| {
+            let r = f.fresh();
+            f.set_c(r, k as i32);
+            r
+        })
+        .collect();
+    let (h0, h1, h2, h3, h4) = (h[0], h[1], h[2], h[3], h[4]);
+
+    let wslot = f.stack_slot(80 * 4, 4);
+    let nchunks = (PADDED / 64) as i32;
+    f.for_range(0, nchunks, |f, chunk| {
+        let coff = f.shl(chunk, 6);
+        let base = f.add(msgp, coff);
+        let wp = f.slot_addr(wslot);
+        // Message schedule w[0..16] from big-endian bytes.
+        f.for_range(0, 16, |f, t| {
+            let boff = f.shl(t, 2);
+            let bp = f.add(base, boff);
+            let b0 = f.load8u(bp, 0);
+            let b1 = f.load8u(bp, 1);
+            let b2 = f.load8u(bp, 2);
+            let b3 = f.load8u(bp, 3);
+            let s0 = f.shl(b0, 24);
+            let s1 = f.shl(b1, 16);
+            let s2 = f.shl(b2, 8);
+            let o1 = f.or(s0, s1);
+            let o2 = f.or(o1, s2);
+            let w = f.or(o2, b3);
+            let dst = elem_addr(f, wp, t, 2);
+            f.store32(w, dst, 0);
+        });
+        // w[16..80].
+        f.for_range(16, 80, |f, t| {
+            let load_at = |f: &mut vulnstack_vir::FuncBuilder, back: i32| {
+                let idx = f.sub(t, back);
+                let p = elem_addr(f, wp, idx, 2);
+                f.load32(p, 0)
+            };
+            let a = load_at(f, 3);
+            let b = load_at(f, 8);
+            let c = load_at(f, 14);
+            let d = load_at(f, 16);
+            let x1 = f.xor(a, b);
+            let x2 = f.xor(x1, c);
+            let x3 = f.xor(x2, d);
+            let r = rotl_const(f, x3, 1);
+            let dst = elem_addr(f, wp, t, 2);
+            f.store32(r, dst, 0);
+        });
+        // Round registers.
+        let a = f.fresh();
+        let b = f.fresh();
+        let c = f.fresh();
+        let d = f.fresh();
+        let e = f.fresh();
+        f.set(a, h0);
+        f.set(b, h1);
+        f.set(c, h2);
+        f.set(d, h3);
+        f.set(e, h4);
+        f.for_range(0, 80, |f, t| {
+            let wt = {
+                let p = elem_addr(f, wp, t, 2);
+                f.load32(p, 0)
+            };
+            // Select round function and constant.
+            let fk = f.fresh();
+            let kk = f.fresh();
+            let lt20 = f.slt(t, 20);
+            let lt40 = f.slt(t, 40);
+            let lt60 = f.slt(t, 60);
+            f.if_else(
+                lt20,
+                |f| {
+                    // f = (b & c) | (~b & d)
+                    let bc = f.and(b, c);
+                    let nb = f.xor(b, -1);
+                    let nbd = f.and(nb, d);
+                    let v = f.or(bc, nbd);
+                    f.set(fk, v);
+                    f.set_c(kk, 0x5A827999u32 as i32);
+                },
+                |f| {
+                    f.if_else(
+                        lt40,
+                        |f| {
+                            let x1 = f.xor(b, c);
+                            let v = f.xor(x1, d);
+                            f.set(fk, v);
+                            f.set_c(kk, 0x6ED9EBA1);
+                        },
+                        |f| {
+                            f.if_else(
+                                lt60,
+                                |f| {
+                                    let bc = f.and(b, c);
+                                    let bd = f.and(b, d);
+                                    let cd = f.and(c, d);
+                                    let o1 = f.or(bc, bd);
+                                    let v = f.or(o1, cd);
+                                    f.set(fk, v);
+                                    f.set_c(kk, 0x8F1BBCDCu32 as i32);
+                                },
+                                |f| {
+                                    let x1 = f.xor(b, c);
+                                    let v = f.xor(x1, d);
+                                    f.set(fk, v);
+                                    f.set_c(kk, 0xCA62C1D6u32 as i32);
+                                },
+                            );
+                        },
+                    );
+                },
+            );
+            let ra = rotl_const(f, a, 5);
+            let s1 = f.add(ra, fk);
+            let s2 = f.add(s1, e);
+            let s3 = f.add(s2, kk);
+            let tmp = f.add(s3, wt);
+            f.set(e, d);
+            f.set(d, c);
+            let rb = rotl_const(f, b, 30);
+            f.set(c, rb);
+            f.set(b, a);
+            f.set(a, tmp);
+        });
+        let n0 = f.add(h0, a);
+        f.set(h0, n0);
+        let n1 = f.add(h1, b);
+        f.set(h1, n1);
+        let n2 = f.add(h2, c);
+        f.set(h2, n2);
+        let n3 = f.add(h3, d);
+        f.set(h3, n3);
+        let n4 = f.add(h4, e);
+        f.set(h4, n4);
+    });
+
+    // Emit digest big-endian.
+    let dp = f.global_addr(digest);
+    for (i, &hr) in [h0, h1, h2, h3, h4].iter().enumerate() {
+        for byte in 0..4 {
+            let sh = f.shrl(hr, 24 - 8 * byte);
+            let b = f.and(sh, 0xff);
+            f.store8(b, dp, (i * 4) as i32 + byte);
+        }
+    }
+    f.sys_write(dp, 20);
+    f.sys_exit(0);
+    f.ret(None);
+    mb.finish_function(f);
+
+    Workload {
+        id: WorkloadId::Sha,
+        module: mb.finish().expect("sha module verifies"),
+        input,
+        expected_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_matches_known_vector() {
+        // SHA-1("abc") = a9993e364706816aba3e25717850c26c9cd0d89d.
+        let d = golden(b"abc");
+        assert_eq!(
+            d,
+            [
+                0xa9, 0x99, 0x3e, 0x36, 0x47, 0x06, 0x81, 0x6a, 0xba, 0x3e, 0x25, 0x71, 0x78,
+                0x50, 0xc2, 0x6c, 0x9c, 0xd0, 0xd8, 0x9d
+            ]
+        );
+    }
+
+    #[test]
+    fn interpreter_matches_golden() {
+        let w = build();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module)
+            .with_input(w.input.clone())
+            .run()
+            .unwrap();
+        assert_eq!(out.output, w.expected_output);
+    }
+}

@@ -1,0 +1,111 @@
+//! `smooth` — 3×3 mean filter over a 48×48 8-bit image (the smoothing
+//! stage of MiBench's susan).
+//!
+//! Regular streaming access pattern with short dependency chains; the
+//! paper's second case-study benchmark.
+
+use vulnstack_vir::ModuleBuilder;
+
+use crate::util::input_bytes;
+use crate::{Workload, WorkloadId};
+
+/// Image edge length.
+pub const DIM: usize = 48;
+const SEED: u32 = 0x5300_0714;
+
+fn golden(img: &[u8]) -> Vec<u8> {
+    let mut out = img.to_vec();
+    for y in 1..DIM - 1 {
+        for x in 1..DIM - 1 {
+            let mut sum = 0u32;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    sum += img[(y + dy - 1) * DIM + (x + dx - 1)] as u32;
+                }
+            }
+            out[y * DIM + x] = (sum / 9) as u8;
+        }
+    }
+    out
+}
+
+/// Builds the workload.
+pub fn build() -> Workload {
+    let img = input_bytes(SEED, DIM * DIM);
+    let expected_output = golden(&img);
+
+    let mut mb = ModuleBuilder::new("smooth");
+    let gin = mb.global("img", img.clone(), 4);
+    let gout = mb.global_zeroed("out", DIM * DIM, 4);
+
+    let mut f = mb.function("main", 0);
+    let inp = f.global_addr(gin);
+    let outp = f.global_addr(gout);
+    let n = (DIM * DIM) as i32;
+
+    // Copy input to output (border pixels keep their value).
+    f.for_range(0, n, |f, i| {
+        let sp = f.add(inp, i);
+        let v = f.load8u(sp, 0);
+        let dp = f.add(outp, i);
+        f.store8(v, dp, 0);
+    });
+
+    // Interior mean filter.
+    f.for_range(1, (DIM - 1) as i32, |f, y| {
+        f.for_range(1, (DIM - 1) as i32, |f, x| {
+            let row = f.mul(y, DIM as i32);
+            let center = f.add(row, x);
+            let sum = f.fresh();
+            f.set_c(sum, 0);
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    let off = dy * DIM as i32 + dx;
+                    let idx = f.add(center, off);
+                    let p = f.add(inp, idx);
+                    let v = f.load8u(p, 0);
+                    let s = f.add(sum, v);
+                    f.set(sum, s);
+                }
+            }
+            let mean = f.divu(sum, 9);
+            let dp = f.add(outp, center);
+            f.store8(mean, dp, 0);
+        });
+    });
+
+    f.sys_write(outp, n);
+    f.sys_exit(0);
+    f.ret(None);
+    mb.finish_function(f);
+
+    Workload {
+        id: WorkloadId::Smooth,
+        module: mb.finish().expect("smooth module verifies"),
+        input: Vec::new(),
+        expected_output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_preserves_border_and_averages_interior() {
+        let img = input_bytes(1, DIM * DIM);
+        let out = golden(&img);
+        assert_eq!(out[0], img[0]);
+        assert_eq!(out[DIM - 1], img[DIM - 1]);
+        // A flat image stays flat.
+        let flat = vec![77u8; DIM * DIM];
+        assert_eq!(golden(&flat), flat);
+    }
+
+    #[test]
+    fn interpreter_matches_golden() {
+        let w = build();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        assert_eq!(out.output, w.expected_output);
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic input generation and shared constant tables.
+
+use vulnstack_vir::{FuncBuilder, Operand, VReg};
+
+/// A tiny xorshift32 PRNG used to generate workload inputs
+/// deterministically (never used for statistical sampling — campaigns use
+/// `rand::StdRng`).
+#[derive(Debug, Clone)]
+pub struct XorShift32 {
+    state: u32,
+}
+
+impl XorShift32 {
+    /// Creates a generator; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u32) -> XorShift32 {
+        XorShift32 { state: if seed == 0 { 0x9E3779B9 } else { seed } }
+    }
+
+    /// Next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut s = self.state;
+        s ^= s << 13;
+        s ^= s >> 17;
+        s ^= s << 5;
+        self.state = s;
+        s
+    }
+
+    /// `len` pseudo-random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| (self.next_u32() & 0xff) as u8).collect()
+    }
+
+    /// `len` pseudo-random 32-bit words.
+    pub fn words(&mut self, len: usize) -> Vec<i32> {
+        (0..len).map(|_| self.next_u32() as i32).collect()
+    }
+}
+
+/// Generates `len` deterministic bytes from `seed`.
+pub fn input_bytes(seed: u32, len: usize) -> Vec<u8> {
+    XorShift32::new(seed).bytes(len)
+}
+
+/// Computes the AES S-box (multiplicative inverse in GF(2^8) followed by
+/// the affine transform), so the table never has to be typed in.
+pub fn aes_sbox() -> [u8; 256] {
+    // Build log/antilog tables over GF(2^8) with generator 3.
+    let mut sbox = [0u8; 256];
+    let mut inv = [0u8; 256];
+    let mut p: u8 = 1;
+    let mut log = [0u8; 256];
+    let mut alog = [0u8; 256];
+    for i in 0..255 {
+        alog[i] = p;
+        log[p as usize] = i as u8;
+        // p *= 3 in GF(2^8).
+        let hi = p & 0x80;
+        let mut q = p << 1;
+        if hi != 0 {
+            q ^= 0x1B;
+        }
+        p = q ^ p;
+    }
+    for i in 1..256 {
+        inv[i] = alog[(255 - log[i] as usize) % 255];
+    }
+    for (i, s) in sbox.iter_mut().enumerate() {
+        let x = inv[i];
+        let mut y = x;
+        let mut res = x;
+        for _ in 0..4 {
+            y = y.rotate_left(1);
+            res ^= y;
+        }
+        *s = res ^ 0x63;
+    }
+    sbox
+}
+
+/// 8×8 scaled DCT basis: `T[u][x] = round(c(u) * cos((2x+1)uπ/16) * 1024)`
+/// with `c(0) = 1/√2`, `c(u>0) = 1`.
+pub fn dct_table() -> [i32; 64] {
+    let mut t = [0i32; 64];
+    for u in 0..8 {
+        let cu = if u == 0 { 1.0 / 2f64.sqrt() } else { 1.0 };
+        for x in 0..8 {
+            let v = cu * ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos();
+            t[u * 8 + x] = (v * 1024.0).round() as i32;
+        }
+    }
+    t
+}
+
+/// The JPEG luminance quantisation table (Annex K), in row-major order.
+pub const QUANT_TABLE: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Zigzag scan order for an 8×8 block.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Fixed-point FFT twiddle tables: `(cos, sin)` of `2πi/n` scaled by 2^14,
+/// for `i` in `0..n/2`.
+pub fn fft_twiddles(n: usize) -> (Vec<i32>, Vec<i32>) {
+    let mut cos_t = Vec::with_capacity(n / 2);
+    let mut sin_t = Vec::with_capacity(n / 2);
+    for i in 0..n / 2 {
+        let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        cos_t.push((a.cos() * 16384.0).round() as i32);
+        sin_t.push((a.sin() * 16384.0).round() as i32);
+    }
+    (cos_t, sin_t)
+}
+
+// ---------------------------------------------------------------------
+// Small IR-emission helpers shared by the workload builders.
+// ---------------------------------------------------------------------
+
+/// Emits `base + (idx << scale)` — the address of element `idx` of an array
+/// of `1 << scale`-byte elements.
+pub fn elem_addr(
+    f: &mut FuncBuilder,
+    base: impl Into<Operand>,
+    idx: impl Into<Operand>,
+    scale: u32,
+) -> VReg {
+    let idx = idx.into();
+    if scale == 0 {
+        return f.add(base, idx);
+    }
+    let off = f.shl(idx, scale as i32);
+    f.add(base, off)
+}
+
+/// Emits `rotl32(x, n)` for a constant rotation.
+pub fn rotl_const(f: &mut FuncBuilder, x: VReg, n: i32) -> VReg {
+    let hi = f.shl(x, n);
+    let lo = f.shrl(x, 32 - n);
+    f.or(hi, lo)
+}
+
+/// Emits `|a - b|` for 32-bit signed values.
+pub fn abs_diff(f: &mut FuncBuilder, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+    let d = f.sub(a, b);
+    let neg = f.slt(d, 0);
+    let nd = f.sub(0, d);
+    f.select(neg, nd, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_is_deterministic_and_nontrivial() {
+        let a = input_bytes(42, 64);
+        let b = input_bytes(42, 64);
+        assert_eq!(a, b);
+        let c = input_bytes(43, 64);
+        assert_ne!(a, c);
+        // Not all identical bytes.
+        assert!(a.iter().any(|&x| x != a[0]));
+    }
+
+    #[test]
+    fn sbox_matches_known_values() {
+        let s = aes_sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+        // The S-box is a permutation.
+        let mut seen = [false; 256];
+        for &v in &s {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn dct_table_symmetries() {
+        let t = dct_table();
+        // Row 0 is constant (c(0) * 1024 / sqrt2 ≈ 724).
+        for x in 0..8 {
+            assert_eq!(t[x], 724);
+        }
+        // Row 4 follows the + − − + + − − + pattern of cos((2x+1)π/4).
+        assert_eq!(t[4 * 8], t[4 * 8 + 7]);
+        assert_eq!(t[4 * 8 + 1], t[4 * 8 + 2]);
+        assert_eq!(t[4 * 8], -t[4 * 8 + 1]);
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in &ZIGZAG {
+            assert!(!seen[z]);
+            seen[z] = true;
+        }
+    }
+
+    #[test]
+    fn twiddles_have_expected_extremes() {
+        let (c, s) = fft_twiddles(128);
+        assert_eq!(c[0], 16384);
+        assert_eq!(s[0], 0);
+        assert_eq!(c[32], 0); // cos(π/2)
+        assert_eq!(s[32], 16384); // sin(π/2)
+        assert_eq!(c.len(), 64);
+    }
+}

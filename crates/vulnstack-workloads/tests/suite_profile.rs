@@ -1,0 +1,108 @@
+//! Regression guards on the workload suite's dynamic profile: the
+//! vulnerability campaigns assume workloads of a certain scale and
+//! diversity; these tests pin the envelope without over-fitting exact
+//! counts.
+
+use std::collections::HashSet;
+
+use vulnstack_vir::interp::{Interpreter, RunStatus};
+use vulnstack_vir::VInstr;
+use vulnstack_workloads::WorkloadId;
+
+#[test]
+fn suite_spans_diverse_dynamic_lengths() {
+    let mut lengths = Vec::new();
+    for id in WorkloadId::ALL {
+        let w = id.build();
+        let out = Interpreter::new(&w.module).with_input(w.input.clone()).run().unwrap();
+        assert_eq!(out.status, RunStatus::Exited(0), "{id}");
+        lengths.push((id, out.dyn_instrs));
+    }
+    let min = lengths.iter().map(|(_, n)| *n).min().unwrap();
+    let max = lengths.iter().map(|(_, n)| *n).max().unwrap();
+    assert!(max >= 2 * min, "suite too uniform: {lengths:?}");
+}
+
+#[test]
+fn workloads_exercise_distinct_instruction_mixes() {
+    // Count static ops per category; the suite must contain both
+    // multiply-heavy and logic-heavy members (the paper leans on workload
+    // diversity to show FPM variation).
+    let mut profiles = Vec::new();
+    for id in WorkloadId::ALL {
+        let w = id.build();
+        let mut mul = 0usize;
+        let mut logic = 0usize;
+        let mut mem = 0usize;
+        for f in &w.module.functions {
+            for (_, _, ins) in f.iter_instrs() {
+                match ins {
+                    VInstr::Bin { op, .. } => match op {
+                        vulnstack_vir::BinOp::Mul
+                        | vulnstack_vir::BinOp::MulHS
+                        | vulnstack_vir::BinOp::MulHU => mul += 1,
+                        vulnstack_vir::BinOp::And
+                        | vulnstack_vir::BinOp::Or
+                        | vulnstack_vir::BinOp::Xor
+                        | vulnstack_vir::BinOp::Shl
+                        | vulnstack_vir::BinOp::ShrL
+                        | vulnstack_vir::BinOp::ShrA => logic += 1,
+                        _ => {}
+                    },
+                    VInstr::Load { .. } | VInstr::Store { .. } => mem += 1,
+                    _ => {}
+                }
+            }
+        }
+        profiles.push((id, mul, logic, mem));
+    }
+    assert!(profiles.iter().any(|&(_, mul, _, _)| mul >= 10), "no multiply-heavy workload");
+    assert!(profiles.iter().any(|&(_, _, logic, _)| logic >= 40), "no logic-heavy workload");
+    assert!(profiles.iter().all(|&(_, _, _, mem)| mem >= 4), "every workload touches memory");
+}
+
+#[test]
+fn workloads_use_syscalls_consistently() {
+    // Input-consuming workloads must read; every workload must write
+    // output and exit.
+    let readers: HashSet<WorkloadId> =
+        [WorkloadId::Sha, WorkloadId::Crc32, WorkloadId::Djpeg].into_iter().collect();
+    for id in WorkloadId::ALL {
+        let w = id.build();
+        let mut has_read = false;
+        let mut has_write = false;
+        let mut has_exit = false;
+        for f in &w.module.functions {
+            for (_, _, ins) in f.iter_instrs() {
+                if let VInstr::Syscall { sc, .. } = ins {
+                    match sc {
+                        vulnstack_isa::Syscall::Read => has_read = true,
+                        vulnstack_isa::Syscall::Write => has_write = true,
+                        vulnstack_isa::Syscall::Exit => has_exit = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(has_write && has_exit, "{id}: must write output and exit");
+        assert_eq!(has_read, readers.contains(&id), "{id}: read() usage changed");
+        assert_eq!(!w.input.is_empty(), readers.contains(&id), "{id}: input mismatch");
+    }
+}
+
+#[test]
+fn expected_outputs_are_incompressible_enough() {
+    // SDC detection compares outputs byte-for-byte; outputs that are
+    // almost all zeros would under-detect corruption. Require a minimum
+    // distinct-byte diversity for the larger outputs.
+    for id in WorkloadId::ALL {
+        let w = id.build();
+        if w.expected_output.len() < 64 {
+            continue;
+        }
+        let distinct: HashSet<u8> = w.expected_output.iter().copied().collect();
+        // corner's response map is quantised to a handful of levels; the
+        // floor is correspondingly low.
+        assert!(distinct.len() >= 4, "{id}: output too uniform ({} distinct)", distinct.len());
+    }
+}

@@ -1,0 +1,27 @@
+#!/bin/bash
+# Regenerates every table and figure; writes results/*.txt
+set -u
+cd /root/repo
+BIN=target/release
+run() {
+  name=$1; shift
+  echo "=== starting $name at $(date +%T) ===" >> results/progress.log
+  "$@" > results/$name.txt 2> results/$name.err
+  echo "=== finished $name at $(date +%T) rc=$? ===" >> results/progress.log
+}
+run table2 $BIN/table2_configs
+VULNSTACK_FAULTS=200 run fig1 $BIN/fig1_motivation
+VULNSTACK_FAULTS=120 run fig4 $BIN/fig4_pvf_svf_avf
+VULNSTACK_FAULTS=120 run fig7 $BIN/fig7_pvf_per_fpm
+VULNSTACK_FAULTS=120 run fig9 $BIN/fig9_fine_grained
+VULNSTACK_FAULTS=200 run fig10 $BIN/fig10_case_sha
+VULNSTACK_FAULTS=200 run fig11 $BIN/fig11_case_smooth
+VULNSTACK_FAULTS=120 run fig5 $BIN/fig5_hvf_fpm
+VULNSTACK_FAULTS=100 run fig8 $BIN/fig8_rpvf_vs_avf
+VULNSTACK_FAULTS=100 run table3 $BIN/table3_opposite_pairs
+VULNSTACK_FAULTS=100 run fig6 $BIN/fig6_fpm_distribution
+VULNSTACK_FAULTS=80  run ablation_ace $BIN/ablation_ace
+VULNSTACK_FAULTS=150 run ablation_svf_classes $BIN/ablation_svf_classes
+VULNSTACK_FAULTS=120 run ablation_fpm_latency $BIN/ablation_fpm_latency
+VULNSTACK_FAULTS=30  run ablation_avf_over_time $BIN/ablation_avf_over_time
+echo ALL-DONE >> results/progress.log

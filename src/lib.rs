@@ -1,0 +1,17 @@
+//! Umbrella crate re-exporting the vulnstack workspace.
+//!
+//! See the individual crates for the real APIs:
+//! [`vulnstack_core`] (analysis), [`vulnstack_gefin`] / [`vulnstack_llfi`]
+//! (injection engines), [`vulnstack_microarch`] (simulators),
+//! [`vulnstack_workloads`] (benchmarks), [`vulnstack_ft`] (hardening).
+
+pub use vulnstack_compiler as compiler;
+pub use vulnstack_core as core;
+pub use vulnstack_ft as ft;
+pub use vulnstack_gefin as gefin;
+pub use vulnstack_isa as isa;
+pub use vulnstack_kernel as kernel;
+pub use vulnstack_llfi as llfi;
+pub use vulnstack_microarch as microarch;
+pub use vulnstack_vir as vir;
+pub use vulnstack_workloads as workloads;

@@ -1,0 +1,394 @@
+//! `vulnstack` — command-line front end for the cross-layer vulnerability
+//! platform.
+//!
+//! ```text
+//! vulnstack list
+//! vulnstack run      <workload> [--model A72]
+//! vulnstack avf      <workload> [--model A72] [--structure RF] [--faults N] [--seed S]
+//! vulnstack pvf      <workload> [--isa va64] [--mode wd|woi|wi] [--faults N] [--seed S]
+//! vulnstack svf      <workload> [--faults N] [--seed S] [--breakdown] [--hardened]
+//! vulnstack ace      <workload> [--model A72]
+//! vulnstack disasm   <workload> [--isa va64] [--limit N]
+//! vulnstack harden   <workload>
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use vulnstack_compiler::{compile, CompileOpts};
+use vulnstack_core::report::{pct, pct2, Table};
+use vulnstack_gefin::{avf_campaign, default_threads, pvf_campaign, FuncPrepared, Prepared, PvfMode};
+use vulnstack_isa::Isa;
+use vulnstack_microarch::ooo::HwStructure;
+use vulnstack_microarch::CoreModel;
+use vulnstack_workloads::{Workload, WorkloadId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage:");
+    eprintln!("  vulnstack list");
+    eprintln!("  vulnstack run     <workload> [--model A72]");
+    eprintln!("  vulnstack avf     <workload> [--model A72] [--structure RF|LSQ|L1i|L1d|L2]");
+    eprintln!("                    [--faults N] [--seed S]");
+    eprintln!("  vulnstack pvf     <workload> [--isa va32|va64] [--mode wd|woi|wi]");
+    eprintln!("                    [--faults N] [--seed S]");
+    eprintln!("  vulnstack svf     <workload> [--faults N] [--seed S] [--breakdown] [--hardened]");
+    eprintln!("  vulnstack ace     <workload> [--model A72]");
+    eprintln!("  vulnstack disasm  <workload> [--isa va64] [--limit N]");
+    eprintln!("  vulnstack harden  <workload>");
+    eprintln!("  vulnstack ir      <workload> [--hardened]");
+    eprintln!("  vulnstack trace   <workload> [--model A72] [--limit N]");
+}
+
+struct Opts {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+fn parse_opts(rest: &[String]) -> Result<Opts, String> {
+    let mut flags = HashMap::new();
+    let mut switches = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = &rest[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // Value-less switches.
+            if matches!(name, "breakdown" | "hardened") {
+                switches.push(name.to_string());
+                i += 1;
+                continue;
+            }
+            let v = rest.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), v.clone());
+            i += 2;
+        } else {
+            return Err(format!("unexpected argument {a}"));
+        }
+    }
+    Ok(Opts { flags, switches })
+}
+
+impl Opts {
+    fn model(&self) -> Result<CoreModel, String> {
+        let name = self.flags.get("model").map(String::as_str).unwrap_or("A72");
+        CoreModel::ALL
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown model {name}"))
+    }
+
+    fn isa(&self) -> Result<Isa, String> {
+        match self.flags.get("isa").map(String::as_str).unwrap_or("va64") {
+            "va32" => Ok(Isa::Va32),
+            "va64" => Ok(Isa::Va64),
+            other => Err(format!("unknown isa {other}")),
+        }
+    }
+
+    fn faults(&self) -> Result<usize, String> {
+        match self.flags.get("faults") {
+            None => Ok(vulnstack_gefin::default_faults(150)),
+            Some(v) => v.parse().map_err(|_| format!("bad fault count {v}")),
+        }
+    }
+
+    fn seed(&self) -> Result<u64, String> {
+        match self.flags.get("seed") {
+            None => Ok(2021),
+            Some(v) => v.parse().map_err(|_| format!("bad seed {v}")),
+        }
+    }
+
+    fn limit(&self) -> Result<usize, String> {
+        match self.flags.get("limit") {
+            None => Ok(48),
+            Some(v) => v.parse().map_err(|_| format!("bad limit {v}")),
+        }
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn workload(name: &str, hardened: bool) -> Result<Workload, String> {
+    let id = WorkloadId::from_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
+    let base = id.build();
+    if hardened {
+        let module = vulnstack_ft::harden(&base.module).map_err(|e| e.to_string())?;
+        Ok(Workload { module, ..base })
+    } else {
+        Ok(base)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let name = args.get(1).cloned().unwrap_or_default();
+    let rest = if args.len() > 2 { &args[2..] } else { &[] };
+    let opts = parse_opts(rest)?;
+
+    match cmd {
+        "list" => {
+            let mut t = Table::new(&["workload", "input bytes", "output bytes", "IR instrs"]);
+            for id in WorkloadId::ALL {
+                let w = id.build();
+                t.row(&[
+                    id.name().into(),
+                    w.input.len().to_string(),
+                    w.expected_output.len().to_string(),
+                    w.module.num_instrs().to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+            println!("core models: A9, A15 (va32); A57, A72 (va64)");
+            Ok(())
+        }
+        "run" => {
+            let w = workload(&name, opts.switch("hardened"))?;
+            let model = opts.model()?;
+            let prep = Prepared::new(&w, model).map_err(|e| e.to_string())?;
+            println!(
+                "{name} on {model}: {} instructions, {} cycles (IPC {:.2}), output {} bytes OK",
+                prep.golden.instrs,
+                prep.golden.cycles,
+                prep.golden.instrs as f64 / prep.golden.cycles as f64,
+                prep.golden.output.len()
+            );
+            Ok(())
+        }
+        "avf" => {
+            let w = workload(&name, opts.switch("hardened"))?;
+            let model = opts.model()?;
+            let faults = opts.faults()?;
+            let seed = opts.seed()?;
+            let prep = Prepared::new(&w, model).map_err(|e| e.to_string())?;
+            let structures: Vec<HwStructure> = match opts.flags.get("structure") {
+                None => HwStructure::ALL.to_vec(),
+                Some(s) => vec![HwStructure::ALL
+                    .into_iter()
+                    .find(|x| x.name().eq_ignore_ascii_case(s))
+                    .ok_or_else(|| format!("unknown structure {s}"))?],
+            };
+            let mut t = Table::new(&[
+                "structure", "bits", "masked", "SDC", "Crash", "detected", "AVF", "HVF",
+            ]);
+            for st in structures {
+                let r = avf_campaign(&prep, st, faults, seed, default_threads());
+                t.row(&[
+                    st.name().into(),
+                    r.bits.to_string(),
+                    r.tally.masked.to_string(),
+                    r.tally.sdc.to_string(),
+                    r.tally.crash.to_string(),
+                    r.tally.detected.to_string(),
+                    pct2(r.avf().total()),
+                    pct(r.hvf()),
+                ]);
+            }
+            println!("{}", t.render());
+            Ok(())
+        }
+        "pvf" => {
+            let w = workload(&name, opts.switch("hardened"))?;
+            let isa = opts.isa()?;
+            let faults = opts.faults()?;
+            let seed = opts.seed()?;
+            let mode = match opts.flags.get("mode").map(String::as_str).unwrap_or("wd") {
+                "wd" => PvfMode::Wd,
+                "woi" => PvfMode::Woi,
+                "wi" => PvfMode::Wi,
+                other => return Err(format!("unknown mode {other}")),
+            };
+            let prep = FuncPrepared::new(&w, isa).map_err(|e| e.to_string())?;
+            let tally = pvf_campaign(&prep, mode, faults, seed, default_threads());
+            let vf = tally.vf();
+            println!(
+                "{name} PVF[{mode}] on {isa}: SDC {} Crash {} detected {} total {}",
+                pct(vf.sdc),
+                pct(vf.crash),
+                pct(vf.detected),
+                pct(vf.total())
+            );
+            Ok(())
+        }
+        "svf" => {
+            let w = workload(&name, opts.switch("hardened"))?;
+            let faults = opts.faults()?;
+            let seed = opts.seed()?;
+            if opts.switch("breakdown") {
+                let b = vulnstack_llfi::svf_breakdown(&w.module, &w.input, faults, seed);
+                let mut t = Table::new(&["class", "masked", "SDC", "Crash", "detected", "SVF"]);
+                for (class, tally) in &b {
+                    t.row(&[
+                        class.name().into(),
+                        tally.masked.to_string(),
+                        tally.sdc.to_string(),
+                        tally.crash.to_string(),
+                        tally.detected.to_string(),
+                        pct(tally.vf().total()),
+                    ]);
+                }
+                println!("{}", t.render());
+            } else {
+                let tally = vulnstack_llfi::svf_campaign(
+                    &w.module,
+                    &w.input,
+                    &w.expected_output,
+                    faults,
+                    seed,
+                    default_threads(),
+                );
+                let vf = tally.vf();
+                println!(
+                    "{name} SVF: SDC {} Crash {} detected {} total {}",
+                    pct(vf.sdc),
+                    pct(vf.crash),
+                    pct(vf.detected),
+                    pct(vf.total())
+                );
+            }
+            Ok(())
+        }
+        "ace" => {
+            let w = workload(&name, opts.switch("hardened"))?;
+            let model = opts.model()?;
+            let prep = Prepared::new(&w, model).map_err(|e| e.to_string())?;
+            let ace = vulnstack_gefin::ace_analysis(&prep);
+            println!(
+                "{name} on {model}: ACE RF AVF ≈ {} | ACE LSQ AVF ≈ {} ({} cycles, analytical)",
+                pct(ace.rf_avf),
+                pct(ace.lsq_avf),
+                ace.cycles
+            );
+            println!("note: ACE is a fast upper bound; compare with `vulnstack avf`.");
+            Ok(())
+        }
+        "disasm" => {
+            let w = workload(&name, opts.switch("hardened"))?;
+            let isa = opts.isa()?;
+            let limit = opts.limit()?;
+            let compiled = compile(&w.module, isa, &CompileOpts::default())
+                .map_err(|e| e.to_string())?;
+            let bytes = compiled.text_bytes();
+            let lines = vulnstack_isa::disasm::disasm_bytes(
+                &bytes[..(limit * 4).min(bytes.len())],
+                vulnstack_kernel::memmap::USER_TEXT as u64,
+                isa,
+            );
+            for l in lines {
+                println!("{l}");
+            }
+            println!("... ({} instructions total)", compiled.text.len());
+            Ok(())
+        }
+        "trace" => {
+            let w = workload(&name, opts.switch("hardened"))?;
+            let model = opts.model()?;
+            let limit = opts.limit()?;
+            let cfg = model.config();
+            let compiled = compile(&w.module, cfg.isa, &CompileOpts::default())
+                .map_err(|e| e.to_string())?;
+            let image = vulnstack_kernel::SystemImage::build(&compiled, &w.input)
+                .map_err(|e| e.to_string())?;
+            let mut core = vulnstack_microarch::OooCore::new(&cfg, &image);
+            core.enable_trace(limit);
+            while core.trace().len() < limit && !core.ended() && core.cycle() < 10_000_000 {
+                core.step_cycle();
+            }
+            for (pc, instr) in core.trace() {
+                println!("{pc:#010x}: {instr}");
+            }
+            Ok(())
+        }
+        "ir" => {
+            let w = workload(&name, opts.switch("hardened"))?;
+            println!("{}", w.module);
+            Ok(())
+        }
+        "harden" => {
+            let base = workload(&name, false)?;
+            let hard = workload(&name, true)?;
+            let bi = vulnstack_vir::interp::Interpreter::new(&base.module)
+                .with_input(base.input.clone())
+                .run()
+                .map_err(|e| e.to_string())?;
+            let hi = vulnstack_vir::interp::Interpreter::new(&hard.module)
+                .with_input(hard.input.clone())
+                .run()
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{name}: static {} -> {} IR instrs; dynamic {} -> {} ({:.2}x); output identical: {}",
+                base.module.num_instrs(),
+                hard.module.num_instrs(),
+                bi.dyn_instrs,
+                hi.dyn_instrs,
+                hi.dyn_instrs as f64 / bi.dyn_instrs as f64,
+                bi.output == hi.output
+            );
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let o = parse_opts(&sv(&["--model", "A9", "--faults", "64", "--breakdown"])).unwrap();
+        assert_eq!(o.model().unwrap(), CoreModel::A9);
+        assert_eq!(o.faults().unwrap(), 64);
+        assert!(o.switch("breakdown"));
+        assert!(!o.switch("hardened"));
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let o = parse_opts(&[]).unwrap();
+        assert_eq!(o.model().unwrap(), CoreModel::A72);
+        assert_eq!(o.isa().unwrap(), Isa::Va64);
+        assert_eq!(o.seed().unwrap(), 2021);
+    }
+
+    #[test]
+    fn rejects_missing_values_and_junk() {
+        assert!(parse_opts(&sv(&["--model"])).is_err());
+        assert!(parse_opts(&sv(&["stray"])).is_err());
+        let o = parse_opts(&sv(&["--model", "Z80"])).unwrap();
+        assert!(o.model().is_err());
+        let o = parse_opts(&sv(&["--isa", "mips"])).unwrap();
+        assert!(o.isa().is_err());
+    }
+
+    #[test]
+    fn workload_lookup_and_hardening() {
+        assert!(workload("sha", false).is_ok());
+        assert!(workload("nope", false).is_err());
+        let h = workload("crc32", true).unwrap();
+        let b = workload("crc32", false).unwrap();
+        assert!(h.module.num_instrs() > 2 * b.module.num_instrs());
+    }
+}

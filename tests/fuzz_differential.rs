@@ -1,0 +1,296 @@
+//! Differential fuzzing of the execution layers: random VIR programs must
+//! behave identically when interpreted and when compiled for VA32/VA64
+//! and run full-system on the functional core — including *which trap*
+//! they die with, if any.
+//!
+//! This is the strongest correctness net over the ISA semantics, the
+//! compiler (instruction selection, register allocation, spilling), the
+//! kernel syscall path and the interpreter.
+
+use vulnstack_compiler::{compile, CompileOpts};
+use vulnstack_isa::{Isa, TrapCause};
+use vulnstack_kernel::SystemImage;
+use vulnstack_microarch::{FuncCore, RunStatus};
+use vulnstack_vir::interp::{Interpreter, RunStatus as IStatus};
+use vulnstack_vir::{BinOp, CmpPred, FuncBuilder, Module, ModuleBuilder, Operand, VReg};
+
+/// Simple deterministic generator.
+struct Gen {
+    s: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { s: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1 }
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.s = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn imm(&mut self) -> i32 {
+        match self.below(4) {
+            0 => self.next() as i32,
+            1 => (self.below(200) as i32) - 100,
+            2 => [0, 1, -1, i32::MAX, i32::MIN, 0x7fff, -0x8000][self.below(7) as usize],
+            _ => 1 << self.below(31),
+        }
+    }
+}
+
+const NVALS: usize = 8;
+/// Global scratch array size in words (all indices are masked into it).
+const ARR_WORDS: i32 = 64;
+
+/// Emits a random arithmetic statement over the value pool.
+fn emit_stmt(f: &mut FuncBuilder, g: &mut Gen, pool: &[VReg], arr: VReg) {
+    let pick = |g: &mut Gen| pool[g.below(NVALS as u64) as usize];
+    match g.below(10) {
+        0..=4 => {
+            // Binary op; shifts and divisions included (division by zero
+            // must trap identically everywhere).
+            let ops = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::MulHS,
+                BinOp::MulHU,
+                BinOp::And,
+                BinOp::Or,
+                BinOp::Xor,
+                BinOp::Shl,
+                BinOp::ShrL,
+                BinOp::ShrA,
+                BinOp::DivS,
+                BinOp::DivU,
+                BinOp::RemS,
+                BinOp::RemU,
+            ];
+            let op = ops[g.below(ops.len() as u64) as usize];
+            let a = pick(g);
+            let b: Operand = if g.below(3) == 0 { g.imm().into() } else { pick(g).into() };
+            // Keep divisors nonzero most of the time so programs usually
+            // finish, but let some trap.
+            let b = if op.traps_on_zero() && g.below(4) > 0 {
+                let nz = f.or(b, 1);
+                Operand::Reg(nz)
+            } else {
+                b
+            };
+            let r = f.bin(op, a, b);
+            f.set(pick(g), r);
+        }
+        5 => {
+            let preds = [
+                CmpPred::Eq,
+                CmpPred::Ne,
+                CmpPred::SLt,
+                CmpPred::SLe,
+                CmpPred::SGt,
+                CmpPred::SGe,
+                CmpPred::ULt,
+                CmpPred::ULe,
+                CmpPred::UGt,
+                CmpPred::UGe,
+            ];
+            let p = preds[g.below(preds.len() as u64) as usize];
+            let c = f.cmp(p, pick(g), pick(g));
+            f.set(pick(g), c);
+        }
+        6 => {
+            let r = f.select(pick(g), pick(g), pick(g));
+            f.set(pick(g), r);
+        }
+        7 => {
+            // Masked store into the scratch array.
+            let idx = f.and(pick(g), ARR_WORDS - 1);
+            let p = {
+                let off = f.shl(idx, 2);
+                f.add(arr, off)
+            };
+            f.store32(pick(g), p, 0);
+        }
+        8 => {
+            // Masked load from the scratch array.
+            let idx = f.and(pick(g), ARR_WORDS - 1);
+            let p = {
+                let off = f.shl(idx, 2);
+                f.add(arr, off)
+            };
+            let v = f.load32(p, 0);
+            f.set(pick(g), v);
+        }
+        _ => {
+            // Conditional update.
+            let c = f.slt(pick(g), pick(g));
+            let taken = f.select(c, pick(g), pick(g));
+            f.set(pick(g), taken);
+        }
+    }
+}
+
+/// Generates a random-but-terminating program.
+fn gen_module(seed: u64) -> Module {
+    let mut g = Gen::new(seed);
+    let mut mb = ModuleBuilder::new(format!("fuzz{seed}"));
+    let init: Vec<i32> = (0..ARR_WORDS).map(|_| g.imm()).collect();
+    let garr = mb.global_words("scratch", &init);
+    let gout = mb.global_zeroed("out", (ARR_WORDS * 4) as usize, 4);
+
+    // Optional helper function exercising the call path.
+    let helper = mb.declare("helper", 2);
+    {
+        let mut h = mb.function("helper", 2);
+        let a = h.param(0);
+        let b = h.param(1);
+        let x = h.mul(a, 17);
+        let y = h.xor(x, b);
+        let z = h.shra(y, 3);
+        h.ret(Some(z.into()));
+        mb.finish_function(h);
+    }
+
+    let mut f = mb.function("main", 0);
+    let arr = f.global_addr(garr);
+    let pool: Vec<VReg> = (0..NVALS)
+        .map(|_| {
+            let v = f.fresh();
+            let c = g.imm();
+            f.set_c(v, c);
+            v
+        })
+        .collect();
+
+    // Straight-line prologue.
+    for _ in 0..g.below(12) + 4 {
+        emit_stmt(&mut f, &mut g, &pool, arr);
+    }
+    // A couple of bounded loops with random bodies.
+    for _ in 0..g.below(3) + 1 {
+        let iters = (g.below(20) + 2) as i32;
+        let body_len = g.below(8) + 2;
+        let seed2 = g.next();
+        f.for_range(0, iters, |f, i| {
+            let mut g2 = Gen::new(seed2);
+            let s = f.add(pool[0], i);
+            f.set(pool[0], s);
+            for _ in 0..body_len {
+                emit_stmt(f, &mut g2, &pool, arr);
+            }
+        });
+    }
+    // Call the helper with two pool values.
+    let r = f.call(helper, &[pool[1].into(), pool[2].into()]);
+    f.set(pool[3], r);
+    // Epilogue: dump pool + array to the output.
+    let outp = f.global_addr(gout);
+    for (i, &v) in pool.iter().enumerate() {
+        f.store32(v, outp, (i * 4) as i32);
+    }
+    f.for_range(0, ARR_WORDS - NVALS as i32, |f, i| {
+        let off = f.shl(i, 2);
+        let src = f.add(arr, off);
+        let v = f.load32(src, 0);
+        let dstoff = f.add(off, (NVALS * 4) as i32);
+        let dst = f.add(outp, dstoff);
+        f.store32(v, dst, 0);
+    });
+    f.sys_write(outp, ARR_WORDS * 4);
+    f.sys_exit(0);
+    f.ret(None);
+    mb.finish_function(f);
+    mb.finish().expect("generated module verifies")
+}
+
+/// Normalised terminal state for comparison across engines.
+#[derive(Debug, PartialEq, Eq)]
+enum Norm {
+    Exit(i32, Vec<u8>),
+    Trap(TrapCause),
+    Hang,
+}
+
+fn norm_interp(s: IStatus, out: Vec<u8>) -> Norm {
+    match s {
+        IStatus::Exited(c) => Norm::Exit(c, out),
+        IStatus::Detected(c) => Norm::Exit(c | 0x4000_0000u32 as i32, out),
+        IStatus::Trapped(t) => Norm::Trap(t),
+        IStatus::Timeout => Norm::Hang,
+    }
+}
+
+fn norm_func(s: RunStatus, out: Vec<u8>) -> Norm {
+    match s {
+        RunStatus::Exited(c) => Norm::Exit(c, out),
+        RunStatus::Detected(c) => Norm::Exit(c | 0x4000_0000u32 as i32, out),
+        RunStatus::Crashed(code) => {
+            Norm::Trap(TrapCause::from_code(code as u64).unwrap_or(TrapCause::AccessFault))
+        }
+        RunStatus::KernelPanic => Norm::Trap(TrapCause::AccessFault),
+        RunStatus::Timeout => Norm::Hang,
+    }
+}
+
+#[test]
+fn random_programs_agree_across_all_layers() {
+    let mut mismatches = Vec::new();
+    for seed in 0..120u64 {
+        let module = gen_module(seed);
+        let i = Interpreter::new(&module).with_budget(20_000_000).run().unwrap();
+        let reference = norm_interp(i.status, i.output);
+        for isa in [Isa::Va32, Isa::Va64] {
+            let compiled = match compile(&module, isa, &CompileOpts::default()) {
+                Ok(c) => c,
+                Err(e) => {
+                    mismatches.push(format!("seed {seed}/{isa}: compile error {e}"));
+                    continue;
+                }
+            };
+            let image = SystemImage::build(&compiled, &[]).unwrap();
+            let f = FuncCore::new(&image).run(200_000_000);
+            let got = norm_func(f.status, f.output);
+            if got != reference {
+                mismatches.push(format!(
+                    "seed {seed}/{isa}: interpreter {reference:?} vs compiled {got:?}"
+                ));
+            }
+        }
+    }
+    assert!(mismatches.is_empty(), "{} mismatches:\n{}", mismatches.len(), mismatches.join("\n"));
+}
+
+#[test]
+fn random_programs_trap_identically_on_division_by_zero() {
+    // Focused generator variant where divisors are frequently zero.
+    let mut both_trapped = 0;
+    for seed in 1000..1060u64 {
+        let mut mb = ModuleBuilder::new("div");
+        let mut f = mb.function("main", 0);
+        let mut g = Gen::new(seed);
+        let a = f.c(g.imm());
+        let b = f.c(if g.below(2) == 0 { 0 } else { g.imm() });
+        let d = f.divs(a, b);
+        f.sys_exit(d);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let i = Interpreter::new(&m).run().unwrap();
+        let reference = norm_interp(i.status, i.output);
+        if matches!(reference, Norm::Trap(TrapCause::DivideByZero)) {
+            both_trapped += 1;
+        }
+        for isa in [Isa::Va32, Isa::Va64] {
+            let c = compile(&m, isa, &CompileOpts::default()).unwrap();
+            let img = SystemImage::build(&c, &[]).unwrap();
+            let out = FuncCore::new(&img).run(10_000_000);
+            assert_eq!(norm_func(out.status, out.output), reference, "seed {seed}/{isa}");
+        }
+    }
+    assert!(both_trapped > 5, "generator never produced zero divisors");
+}
