@@ -1,0 +1,274 @@
+//! Cross-layer lint pass over a recovered CFG and its liveness results.
+//!
+//! Each lint is a *static* symptom of wasted or suspicious architectural
+//! state — exactly the state transient faults exploit: a dead store keeps
+//! a register ACE-looking for the analytical bound while being provably
+//! un-architecturally-required; an unreachable block inflates the static
+//! footprint; an undecodable word in `.text` would trap if control ever
+//! reached it; a read of a never-written register consumes whatever the
+//! previous occupant left behind.
+//!
+//! The pass runs over every compiled workload in the suite as a test (see
+//! `tests/` in this crate), so compiler regressions that start emitting
+//! dead or unreachable code are caught at the binary level.
+
+use vulnstack_isa::Op;
+
+use crate::cfg::ModuleCfg;
+use crate::liveness::{defs_of, FuncLiveness};
+use vulnstack_isa::CallConv;
+
+/// Category of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// A register written by an explicit destination operand and never
+    /// read before its next (re)definition on any path.
+    DeadStore,
+    /// A basic block unreachable from its function entry.
+    UnreachableBlock,
+    /// A text-section word that does not decode on the target ISA.
+    UndecodableWord,
+    /// A read of a register with no reaching definition on any path
+    /// (neither an instruction nor the ABI defines it).
+    UninitRead,
+}
+
+impl std::fmt::Display for LintKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LintKind::DeadStore => "dead-store",
+            LintKind::UnreachableBlock => "unreachable-block",
+            LintKind::UndecodableWord => "undecodable-word",
+            LintKind::UninitRead => "uninit-read",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint finding, anchored to an absolute text word offset.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Enclosing function symbol.
+    pub func: String,
+    /// Absolute word offset of the enclosing function's first instruction.
+    pub func_start_word: u32,
+    /// Absolute word offset in the text section.
+    pub word_off: u32,
+    /// Finding category.
+    pub kind: LintKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rel = (self.word_off - self.func_start_word) * 4;
+        write!(
+            f,
+            "[{}] {}+{:#x}: {}",
+            self.kind, self.func, rel, self.message
+        )
+    }
+}
+
+/// Runs every lint over the module. `liveness` must be parallel to
+/// `cfg.funcs`.
+pub fn lint_module(cfg: &ModuleCfg, liveness: &[FuncLiveness]) -> Vec<Lint> {
+    let isa = cfg.isa;
+    let cc = CallConv::new(isa);
+    let mut lints = Vec::new();
+
+    for (f, live) in cfg.funcs.iter().zip(liveness.iter()) {
+        // Dead stores: explicit defs with zero live-out width, in
+        // reachable code. Writes to the hardwired zero register are the
+        // ISA's discard idiom, not a bug.
+        for b in f.blocks.iter().filter(|b| b.reachable) {
+            for i in b.range.clone() {
+                let Some(instr) = &f.instrs[i].instr else {
+                    continue;
+                };
+                // The link register written by a call is consumed by the
+                // callee's return, which an intraprocedural analysis
+                // cannot see; defs_of marks it (and syscall clobbers)
+                // non-explicit.
+                for (r, explicit) in defs_of(instr, isa, &cc) {
+                    if !explicit || isa.zero() == Some(r) {
+                        continue;
+                    }
+                    if live.live_after[i][r.0 as usize] == 0 {
+                        lints.push(Lint {
+                            func: f.name.clone(),
+                            func_start_word: f.start_word,
+                            word_off: f.instrs[i].word_off,
+                            kind: LintKind::DeadStore,
+                            message: format!(
+                                "{:?} writes r{} but the value is never read",
+                                instr.op, r.0
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Unreachable blocks (one finding per block, at its first word).
+        for b in f.blocks.iter().filter(|b| !b.reachable) {
+            let first = b.range.start;
+            lints.push(Lint {
+                func: f.name.clone(),
+                func_start_word: f.start_word,
+                word_off: f.instrs[first].word_off,
+                kind: LintKind::UnreachableBlock,
+                message: format!("{}-instruction block is unreachable", b.range.len()),
+            });
+        }
+
+        // Definitely-uninitialised reads.
+        for &(i, r) in &live.uninit_reads {
+            if !f.instr_reachable(i) {
+                continue;
+            }
+            let op = f.instrs[i].instr.as_ref().map(|ins| ins.op);
+            lints.push(Lint {
+                func: f.name.clone(),
+                func_start_word: f.start_word,
+                word_off: f.instrs[i].word_off,
+                kind: LintKind::UninitRead,
+                message: format!(
+                    "{:?} reads r{} which no path ever writes",
+                    op.unwrap_or(Op::Nop),
+                    r
+                ),
+            });
+        }
+    }
+
+    // Undecodable words in the text section.
+    for &w in &cfg.undecodable {
+        let (func, start) = cfg
+            .funcs
+            .iter()
+            .rev()
+            .find(|f| f.start_word <= w)
+            .map_or(("?", w), |f| (f.name.as_str(), f.start_word));
+        lints.push(Lint {
+            func: func.to_string(),
+            func_start_word: start,
+            word_off: w,
+            kind: LintKind::UndecodableWord,
+            message: "word does not decode on this ISA".to_string(),
+        });
+    }
+
+    lints.sort_by_key(|l| l.word_off);
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use crate::liveness::analyze_func;
+    use vulnstack_compiler::CompiledModule;
+    use vulnstack_isa::{Instr, Isa, Reg};
+
+    fn lints_of(instrs: &[Instr], isa: Isa) -> Vec<Lint> {
+        let text: Vec<u32> = instrs.iter().map(|i| i.encode(isa).unwrap()).collect();
+        let entry = text.len() as u32;
+        let m = CompiledModule {
+            isa,
+            text,
+            data: Vec::new(),
+            global_addrs: Vec::new(),
+            func_offsets: vec![0],
+            func_names: vec!["f".to_string()],
+            entry_offset: entry,
+            data_size: 0,
+            func_sizes: vec![instrs.len() as u32],
+        };
+        let cfg = build_cfg(&m);
+        let live: Vec<_> = cfg.funcs.iter().map(|f| analyze_func(f, isa)).collect();
+        lint_module(&cfg, &live)
+    }
+
+    #[test]
+    fn clean_function_has_no_lints() {
+        let isa = Isa::Va32;
+        let prog = [
+            Instr::alu_imm(Op::Addi, Reg(0), Reg(1), 1),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        assert!(lints_of(&prog, isa).is_empty());
+    }
+
+    #[test]
+    fn dead_store_is_reported() {
+        let isa = Isa::Va32;
+        // r4 written, immediately overwritten without a read.
+        let prog = [
+            Instr::alu_imm(Op::Addi, Reg(4), Reg(1), 1),
+            Instr::alu_imm(Op::Addi, Reg(4), Reg(2), 2),
+            Instr::alu_rr(Op::Add, Reg(0), Reg(4), Reg(4)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let lints = lints_of(&prog, isa);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].kind, LintKind::DeadStore);
+        assert_eq!(lints[0].word_off, 0);
+    }
+
+    #[test]
+    fn zero_register_discard_is_not_a_dead_store() {
+        let isa = Isa::Va64;
+        let z = isa.zero().unwrap();
+        let prog = [
+            Instr::alu_rr(Op::Add, z, Reg(1), Reg(2)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        assert!(lints_of(&prog, isa).is_empty());
+    }
+
+    #[test]
+    fn unreachable_and_undecodable_are_reported() {
+        let isa = Isa::Va32;
+        let mut prog: Vec<u32> = [
+            Instr::jump(Op::Jmp, 8),
+            Instr::alu_imm(Op::Addi, Reg(0), Reg(1), 1), // unreachable
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ]
+        .iter()
+        .map(|i| i.encode(isa).unwrap())
+        .collect();
+        prog.push(0xFFFF_FFFF); // undecodable, also unreachable
+        let entry = prog.len() as u32;
+        let m = CompiledModule {
+            isa,
+            text: prog,
+            data: Vec::new(),
+            global_addrs: Vec::new(),
+            func_offsets: vec![0],
+            func_names: vec!["f".to_string()],
+            entry_offset: entry,
+            data_size: 0,
+            func_sizes: vec![4],
+        };
+        let cfg = build_cfg(&m);
+        let live: Vec<_> = cfg.funcs.iter().map(|f| analyze_func(f, isa)).collect();
+        let lints = lint_module(&cfg, &live);
+        let kinds: Vec<LintKind> = lints.iter().map(|l| l.kind).collect();
+        assert!(kinds.contains(&LintKind::UnreachableBlock), "{lints:?}");
+        assert!(kinds.contains(&LintKind::UndecodableWord), "{lints:?}");
+    }
+
+    #[test]
+    fn uninit_read_is_reported() {
+        let isa = Isa::Va32;
+        let prog = [
+            Instr::alu_rr(Op::Add, Reg(0), Reg(6), Reg(1)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let lints = lints_of(&prog, isa);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].kind, LintKind::UninitRead);
+    }
+}

@@ -1,0 +1,482 @@
+//! Backward register-liveness dataflow over a recovered [`FuncCfg`].
+//!
+//! The analysis is bit-width aware: each register's liveness at a program
+//! point is the maximum number of low-order bits any downstream consumer
+//! can observe (from [`Instr::src_widths`]), so a value only ever read by
+//! `ADDW` counts 32 live bits on VA64, and a shift amount counts 5 or 6.
+//!
+//! Calls are handled by ABI convention rather than interprocedurally: a
+//! call *uses* every argument register (pessimistic — the callee's true
+//! arity is unknown at the binary level) and *defines* (clobbers) every
+//! caller-saved register plus the link register. Function exits treat the
+//! return-value register, the stack pointer, and all callee-saved
+//! registers as live-out, which keeps epilogue restores live.
+//!
+//! A forward reaching-definitions pass over the same CFG produces def-use
+//! chains and definitely-uninitialised reads for the lint pass.
+
+use std::collections::BTreeMap;
+
+use vulnstack_isa::{CallConv, Instr, Isa, Op, Reg};
+
+use crate::cfg::FuncCfg;
+
+/// Per-register live widths in bits (`0` = dead). Indexed by register
+/// number; lattice join is the element-wise maximum.
+pub type LiveSet = Vec<u8>;
+
+/// Def-use chains: `(def instruction, register) -> use instructions`.
+pub type DefUseMap = BTreeMap<(usize, u8), Vec<usize>>;
+
+/// Callback invoked per register use during the reaching-defs walk:
+/// `(instruction, register, is_explicit_operand, reaching def sites)`.
+type UseSink<'a> = &'a mut dyn FnMut(usize, Reg, bool, &[usize]);
+
+/// Sentinel "definition site" for registers the ABI defines at function
+/// entry (arguments, `sp`, `lr`, callee-saved).
+pub const DEF_ENTRY: usize = usize::MAX;
+/// Sentinel definition site for ABI clobbers at call/syscall sites.
+pub const DEF_CLOBBER: usize = usize::MAX - 1;
+
+/// Liveness results for one function.
+#[derive(Debug, Clone)]
+pub struct FuncLiveness {
+    /// Live set at each block entry.
+    pub live_in: Vec<LiveSet>,
+    /// Live set at each block exit.
+    pub live_out: Vec<LiveSet>,
+    /// Live set immediately before each instruction.
+    pub live_before: Vec<LiveSet>,
+    /// Live set immediately after each instruction.
+    pub live_after: Vec<LiveSet>,
+    /// Def-use chains: `(def instruction, register) -> use instructions`.
+    /// ABI entry definitions and call clobbers are not listed.
+    pub def_use: DefUseMap,
+    /// Reads `(instruction, register)` with no reaching definition on any
+    /// path — definitely-uninitialised uses.
+    pub uninit_reads: Vec<(usize, u8)>,
+}
+
+/// `(register, observable width in bits)` pairs an instruction reads,
+/// including ABI-implied uses at calls and syscalls: a call may read every
+/// argument register (its true arity is unknown at the binary level) and
+/// the callee dereferences the stack pointer. Implied uses keep liveness
+/// pessimistic; they are *not* definite reads, so the uninitialised-read
+/// lint only considers the instruction's own operands ([`Instr::regs_read`]).
+pub fn uses_of(instr: &Instr, isa: Isa, cc: &CallConv) -> Vec<(Reg, u32)> {
+    let xlen = isa.xlen();
+    let call_implied = || -> Vec<(Reg, u32)> {
+        let mut u: Vec<(Reg, u32)> = cc.args().into_iter().map(|r| (r, xlen)).collect();
+        u.push((isa.sp(), xlen));
+        u
+    };
+    match instr.op {
+        Op::Call => call_implied(),
+        Op::Callr => {
+            let mut u = call_implied();
+            u.push((instr.rs1, xlen));
+            u
+        }
+        Op::Syscall => {
+            let mut u: Vec<(Reg, u32)> = cc.args().into_iter().map(|r| (r, xlen)).collect();
+            u.push((cc.syscall_num(), xlen));
+            u
+        }
+        _ => instr
+            .regs_read()
+            .into_iter()
+            .zip(instr.src_widths(isa))
+            .collect(),
+    }
+}
+
+/// Registers an instruction defines (kills), including ABI clobbers at
+/// calls and syscalls. The second element is `true` for *explicit*
+/// definitions (the instruction's own destination) and `false` for ABI
+/// clobbers — the lint pass only reports explicit dead definitions.
+pub fn defs_of(instr: &Instr, isa: Isa, cc: &CallConv) -> Vec<(Reg, bool)> {
+    match instr.op {
+        Op::Call | Op::Callr => {
+            let mut d: Vec<(Reg, bool)> =
+                cc.caller_saved().into_iter().map(|r| (r, false)).collect();
+            d.push((isa.lr(), false));
+            d
+        }
+        Op::Syscall => vec![(cc.ret(), false)],
+        _ => instr
+            .regs_written(isa)
+            .into_iter()
+            .map(|r| (r, true))
+            .collect(),
+    }
+}
+
+/// The live-out set at a function exit: return value, stack pointer, and
+/// callee-saved registers (all full width). `_start` never returns, so it
+/// gets an empty exit set.
+fn exit_live_set(isa: Isa, cc: &CallConv, is_start: bool, nregs: usize) -> LiveSet {
+    let mut s = vec![0u8; nregs];
+    if is_start {
+        return s;
+    }
+    let w = isa.xlen() as u8;
+    s[cc.ret().0 as usize] = w;
+    s[isa.sp().0 as usize] = w;
+    for r in cc.callee_saved() {
+        s[r.0 as usize] = w;
+    }
+    s
+}
+
+fn join_into(dst: &mut LiveSet, src: &LiveSet) -> bool {
+    let mut changed = false;
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        if s > *d {
+            *d = s;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Applies the backward transfer function of one instruction to `live`
+/// (the set after the instruction), yielding the set before it.
+fn transfer(instr: &Option<Instr>, isa: Isa, cc: &CallConv, live: &mut LiveSet) {
+    let Some(instr) = instr else { return }; // trap: nothing beyond it
+    let zero = isa.zero();
+    for (r, _) in defs_of(instr, isa, cc) {
+        live[r.0 as usize] = 0;
+    }
+    for (r, w) in uses_of(instr, isa, cc) {
+        if zero == Some(r) {
+            continue; // reads of the hardwired zero register observe nothing
+        }
+        let w = w.min(255) as u8;
+        if w > live[r.0 as usize] {
+            live[r.0 as usize] = w;
+        }
+    }
+    if let Some(z) = zero {
+        live[z.0 as usize] = 0; // writes to the zero register are discarded
+    }
+}
+
+/// Runs the backward liveness fixed point and the forward reaching-defs
+/// pass for one function.
+pub fn analyze_func(f: &FuncCfg, isa: Isa) -> FuncLiveness {
+    let cc = CallConv::new(isa);
+    let nregs = isa.num_regs() as usize;
+    let nblocks = f.blocks.len();
+    let n = f.instrs.len();
+    let exit_set = exit_live_set(isa, &cc, f.name == "_start", nregs);
+
+    let mut live_in = vec![vec![0u8; nregs]; nblocks];
+    let mut live_out = vec![vec![0u8; nregs]; nblocks];
+
+    // Backward fixed point: iterate until no live-in changes. Block count
+    // per function is small, so a simple round-robin sweep suffices.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nblocks).rev() {
+            let mut out = if f.blocks[b].succs.is_empty() {
+                exit_set.clone()
+            } else {
+                let mut out = vec![0u8; nregs];
+                for &s in &f.blocks[b].succs {
+                    join_into(&mut out, &live_in[s]);
+                }
+                out
+            };
+            live_out[b] = out.clone();
+            for i in f.blocks[b].range.clone().rev() {
+                transfer(&f.instrs[i].instr, isa, &cc, &mut out);
+            }
+            if join_into(&mut live_in[b], &out) {
+                changed = true;
+            }
+        }
+    }
+
+    // Per-instruction sets from the converged block states.
+    let mut live_before = vec![vec![0u8; nregs]; n];
+    let mut live_after = vec![vec![0u8; nregs]; n];
+    for (block, out) in f.blocks.iter().zip(live_out.iter()) {
+        let mut cur = out.clone();
+        for i in block.range.clone().rev() {
+            live_after[i] = cur.clone();
+            transfer(&f.instrs[i].instr, isa, &cc, &mut cur);
+            live_before[i] = cur.clone();
+        }
+    }
+
+    let (def_use, uninit_reads) = reaching_defs(f, isa, &cc, nregs);
+
+    FuncLiveness {
+        live_in,
+        live_out,
+        live_before,
+        live_after,
+        def_use,
+        uninit_reads,
+    }
+}
+
+/// Forward reaching-definitions over the reachable subgraph: produces
+/// def-use chains and definitely-uninitialised reads.
+fn reaching_defs(
+    f: &FuncCfg,
+    isa: Isa,
+    cc: &CallConv,
+    nregs: usize,
+) -> (DefUseMap, Vec<(usize, u8)>) {
+    type State = Vec<Vec<usize>>; // per register, sorted def sites
+    let nblocks = f.blocks.len();
+
+    let insert = |v: &mut Vec<usize>, d: usize| {
+        if let Err(pos) = v.binary_search(&d) {
+            v.insert(pos, d);
+        }
+    };
+    let union_into = |dst: &mut State, src: &State| -> bool {
+        let mut changed = false;
+        for (dv, sv) in dst.iter_mut().zip(src.iter()) {
+            for &d in sv {
+                if let Err(pos) = dv.binary_search(&d) {
+                    dv.insert(pos, d);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    };
+
+    // ABI-defined registers at function entry. `_start` is entered from
+    // reset with no defined registers at all.
+    let mut entry: State = vec![Vec::new(); nregs];
+    if f.name != "_start" {
+        let mut abi_defined: Vec<Reg> = cc.args();
+        abi_defined.push(isa.sp());
+        abi_defined.push(isa.lr());
+        abi_defined.extend(cc.callee_saved());
+        abi_defined.extend(isa.zero());
+        for r in abi_defined {
+            entry[r.0 as usize] = vec![DEF_ENTRY];
+        }
+    } else if let Some(z) = isa.zero() {
+        entry[z.0 as usize] = vec![DEF_ENTRY];
+    }
+
+    let mut in_states: Vec<Option<State>> = vec![None; nblocks];
+    if nblocks > 0 {
+        in_states[0] = Some(entry);
+    }
+
+    let apply_block = |state: &mut State, b: usize, mut on_use: Option<UseSink<'_>>| {
+        for i in f.blocks[b].range.clone() {
+            let Some(instr) = &f.instrs[i].instr else {
+                return;
+            };
+            let explicit_reads = instr.regs_read();
+            for (r, _w) in uses_of(instr, isa, cc) {
+                if isa.zero() == Some(r) {
+                    continue;
+                }
+                if let Some(cb) = on_use.as_mut() {
+                    cb(i, r, explicit_reads.contains(&r), &state[r.0 as usize]);
+                }
+            }
+            for (r, explicit) in defs_of(instr, isa, cc) {
+                state[r.0 as usize] = vec![if explicit { i } else { DEF_CLOBBER }];
+            }
+        }
+    };
+
+    // Fixed point over block input states.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nblocks {
+            if !f.blocks[b].reachable {
+                continue;
+            }
+            let Some(in_state) = in_states[b].clone() else {
+                continue;
+            };
+            let mut state = in_state;
+            apply_block(&mut state, b, None);
+            for &s in &f.blocks[b].succs {
+                match &mut in_states[s] {
+                    Some(existing) => {
+                        if union_into(existing, &state) {
+                            changed = true;
+                        }
+                    }
+                    slot @ None => {
+                        *slot = Some(state.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Final pass: record def-use edges and uninitialised reads.
+    let mut def_use: DefUseMap = BTreeMap::new();
+    let mut uninit: Vec<(usize, u8)> = Vec::new();
+    for (b, block) in f.blocks.iter().enumerate() {
+        if !block.reachable {
+            continue;
+        }
+        let Some(in_state) = in_states[b].clone() else {
+            continue;
+        };
+        let mut state = in_state;
+        let mut on_use = |i: usize, r: Reg, explicit: bool, defs: &[usize]| {
+            if defs.is_empty() {
+                // Only the instruction's own operands are *definite*
+                // reads; ABI-implied call/syscall argument uses are an
+                // over-approximation and must not be reported.
+                if explicit {
+                    uninit.push((i, r.0));
+                }
+                return;
+            }
+            for &d in defs {
+                if d < DEF_CLOBBER {
+                    let sites = def_use.entry((d, r.0)).or_default();
+                    insert(sites, i);
+                }
+            }
+        };
+        apply_block(&mut state, b, Some(&mut on_use));
+    }
+    uninit.sort_unstable();
+    uninit.dedup();
+
+    (def_use, uninit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use vulnstack_compiler::CompiledModule;
+
+    fn func_of(instrs: &[Instr], isa: Isa) -> (FuncCfg, FuncLiveness) {
+        let text: Vec<u32> = instrs.iter().map(|i| i.encode(isa).unwrap()).collect();
+        let entry = text.len() as u32;
+        let m = CompiledModule {
+            isa,
+            text,
+            data: Vec::new(),
+            global_addrs: Vec::new(),
+            func_offsets: vec![0],
+            func_names: vec!["f".to_string()],
+            entry_offset: entry,
+            data_size: 0,
+            func_sizes: vec![instrs.len() as u32],
+        };
+        let cfg = build_cfg(&m);
+        let f = cfg.funcs.into_iter().next().unwrap();
+        let live = analyze_func(&f, isa);
+        (f, live)
+    }
+
+    #[test]
+    fn straight_line_liveness_chains() {
+        let isa = Isa::Va32;
+        // 0: addi r4, r1, 1    (r1 is arg -> defined)
+        // 1: add  r0, r4, r4   (return value)
+        // 2: jmpr lr
+        let prog = [
+            Instr::alu_imm(Op::Addi, Reg(4), Reg(1), 1),
+            Instr::alu_rr(Op::Add, Reg(0), Reg(4), Reg(4)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let (_, live) = func_of(&prog, isa);
+        // r4 live between instr 0 and instr 1, dead after.
+        assert_eq!(live.live_after[0][4], 32);
+        assert_eq!(live.live_after[1][4], 0);
+        // r0 live at exit (return value).
+        assert_eq!(live.live_after[1][0], 32);
+        // Def-use: instr 0's r4 is used at instr 1.
+        assert_eq!(live.def_use.get(&(0, 4)), Some(&vec![1]));
+        assert!(live.uninit_reads.is_empty());
+    }
+
+    #[test]
+    fn partial_width_liveness_on_va64() {
+        let isa = Isa::Va64;
+        // 0: addi x6, x0, 5
+        // 1: addw x0, x6, x6   (only low 32 bits of x6 observable)
+        // 2: jmpr lr
+        let prog = [
+            Instr::alu_imm(Op::Addi, Reg(6), Reg(0), 5),
+            Instr::alu_rr(Op::Addw, Reg(0), Reg(6), Reg(6)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let (_, live) = func_of(&prog, isa);
+        assert_eq!(live.live_after[0][6], 32);
+        // Shift amount reads observe even fewer bits.
+        let prog2 = [
+            Instr::alu_imm(Op::Addi, Reg(6), Reg(0), 5),
+            Instr::alu_rr(Op::Sll, Reg(0), Reg(1), Reg(6)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let (_, live2) = func_of(&prog2, isa);
+        assert_eq!(live2.live_after[0][6], 6); // 6-bit shift amount on VA64
+    }
+
+    #[test]
+    fn call_clobbers_caller_saved_and_uses_args() {
+        let isa = Isa::Va32;
+        // 0: addi r4, r1, 0   (r4 caller-saved temp, killed by the call)
+        // 1: addi r0, r2, 0   (arg 0 of the call: stays live into it)
+        // 2: call +0
+        // 3: jmpr lr
+        let prog = [
+            Instr::alu_imm(Op::Addi, Reg(4), Reg(1), 0),
+            Instr::alu_imm(Op::Addi, Reg(0), Reg(2), 0),
+            Instr::jump(Op::Call, 0),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let (_, live) = func_of(&prog, isa);
+        // r4 dead after its def (call kills it before any use).
+        assert_eq!(live.live_after[0][4], 0);
+        // r0 live after instr 1 (the call reads it as an argument).
+        assert_eq!(live.live_after[1][0], 32);
+    }
+
+    #[test]
+    fn uninitialised_read_is_flagged() {
+        let isa = Isa::Va32;
+        // r5 is a caller-saved temp, never written before this read.
+        let prog = [
+            Instr::alu_rr(Op::Add, Reg(0), Reg(5), Reg(1)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let (_, live) = func_of(&prog, isa);
+        assert_eq!(live.uninit_reads, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn loop_carried_liveness_reaches_fixed_point() {
+        let isa = Isa::Va32;
+        // 0: addi r4, r4, -1
+        // 1: bne r4, r2, -4
+        // 2: add r0, r4, r4
+        // 3: jmpr lr
+        // r4 is live around the back edge; r2 (arg) live throughout.
+        let prog = [
+            Instr::alu_imm(Op::Addi, Reg(4), Reg(4), -1),
+            Instr::branch(Op::Bne, Reg(4), Reg(2), -4),
+            Instr::alu_rr(Op::Add, Reg(0), Reg(4), Reg(4)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let (f, live) = func_of(&prog, isa);
+        let header = f.block_of[0];
+        assert_eq!(live.live_in[header][4], 32);
+        assert_eq!(live.live_in[header][2], 32);
+    }
+}

@@ -1,0 +1,179 @@
+//! Static PVF estimation from liveness intervals and a static
+//! block-frequency model.
+//!
+//! The dynamic PVF campaigns in `vulnstack-gefin` measure architectural
+//! vulnerability by injecting into a *running* program. This module
+//! produces the zero-execution analogue: every instruction point is
+//! weighted by `LOOP_WEIGHT^depth` (the classic static branch-frequency
+//! heuristic — each loop level is assumed to iterate [`LOOP_WEIGHT`]
+//! times), and a register's static PVF is its weighted live-bit fraction
+//! across all reachable instruction points.
+//!
+//! Like hardware ACE analysis, the result is deliberately *pessimistic*
+//! relative to measurement: liveness cannot see logical masking (a live
+//! bit that never changes the output still counts), the block-frequency
+//! model cannot see early exits, and call-site argument liveness is
+//! over-approximated to the full ABI argument set. The companion
+//! cross-check test in the workspace root asserts the resulting ordering
+//! `static PVF >= dynamic ACE >= injection AVF` on real workloads.
+
+use vulnstack_isa::Isa;
+
+use crate::cfg::ModuleCfg;
+use crate::liveness::FuncLiveness;
+
+/// Assumed iteration count per loop-nesting level in the static
+/// block-frequency model.
+pub const LOOP_WEIGHT: f64 = 10.0;
+
+/// Loop depths beyond this are clamped so weights stay finite.
+pub const MAX_LOOP_DEPTH: u32 = 6;
+
+/// Static PVF results for one compiled module.
+#[derive(Debug, Clone)]
+pub struct StaticPvf {
+    /// Target ISA.
+    pub isa: Isa,
+    /// Per-architectural-register static PVF (weighted live-bit fraction).
+    pub per_reg: Vec<f64>,
+    /// Whole-register-file static PVF: weighted live bits over weighted
+    /// capacity bits.
+    pub rf_pvf: f64,
+    /// Per-function whole-RF static PVF, `(name, pvf, weight)`.
+    pub per_func: Vec<(String, f64, f64)>,
+    /// Total static weight (weighted instruction count) across the module.
+    pub total_weight: f64,
+}
+
+/// Weight of one instruction point at loop `depth`.
+pub fn block_weight(depth: u32) -> f64 {
+    LOOP_WEIGHT.powi(depth.min(MAX_LOOP_DEPTH) as i32)
+}
+
+/// Computes static PVF for a module from its CFG and per-function liveness.
+///
+/// `liveness` must be parallel to `cfg.funcs` (as produced by
+/// [`crate::analyze`]). Unreachable blocks contribute nothing.
+pub fn static_pvf(cfg: &ModuleCfg, liveness: &[FuncLiveness]) -> StaticPvf {
+    let isa = cfg.isa;
+    let nregs = isa.num_regs() as usize;
+    let xlen = f64::from(isa.xlen());
+
+    let mut reg_weighted_bits = vec![0.0f64; nregs];
+    let mut total_weight = 0.0f64;
+    let mut per_func = Vec::with_capacity(cfg.funcs.len());
+
+    for (f, live) in cfg.funcs.iter().zip(liveness.iter()) {
+        let mut f_bits = 0.0f64;
+        let mut f_weight = 0.0f64;
+        for b in &f.blocks {
+            if !b.reachable {
+                continue;
+            }
+            let w = block_weight(b.loop_depth);
+            for i in b.range.clone() {
+                f_weight += w;
+                for (r, &width) in live.live_before[i].iter().enumerate() {
+                    let bits = w * f64::from(width);
+                    reg_weighted_bits[r] += bits;
+                    f_bits += bits;
+                }
+            }
+        }
+        let f_pvf = if f_weight > 0.0 {
+            f_bits / (f_weight * nregs as f64 * xlen)
+        } else {
+            0.0
+        };
+        per_func.push((f.name.clone(), f_pvf, f_weight));
+        total_weight += f_weight;
+    }
+
+    let per_reg: Vec<f64> = reg_weighted_bits
+        .iter()
+        .map(|&bits| {
+            if total_weight > 0.0 {
+                bits / (total_weight * xlen)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let rf_pvf = per_reg.iter().sum::<f64>() / nregs as f64;
+
+    StaticPvf {
+        isa,
+        per_reg,
+        rf_pvf,
+        per_func,
+        total_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use crate::liveness::analyze_func;
+    use vulnstack_compiler::CompiledModule;
+    use vulnstack_isa::{Instr, Op, Reg};
+
+    fn pvf_of(instrs: &[Instr], isa: Isa) -> StaticPvf {
+        let text: Vec<u32> = instrs.iter().map(|i| i.encode(isa).unwrap()).collect();
+        let entry = text.len() as u32;
+        let m = CompiledModule {
+            isa,
+            text,
+            data: Vec::new(),
+            global_addrs: Vec::new(),
+            func_offsets: vec![0],
+            func_names: vec!["f".to_string()],
+            entry_offset: entry,
+            data_size: 0,
+            func_sizes: vec![instrs.len() as u32],
+        };
+        let cfg = build_cfg(&m);
+        let live: Vec<_> = cfg.funcs.iter().map(|f| analyze_func(f, isa)).collect();
+        static_pvf(&cfg, &live)
+    }
+
+    #[test]
+    fn pvf_is_a_fraction_and_tracks_liveness() {
+        let isa = Isa::Va32;
+        let prog = [
+            Instr::alu_imm(Op::Addi, Reg(4), Reg(1), 1),
+            Instr::alu_rr(Op::Add, Reg(0), Reg(4), Reg(4)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let p = pvf_of(&prog, isa);
+        assert!(p.rf_pvf > 0.0 && p.rf_pvf <= 1.0, "{}", p.rf_pvf);
+        // r4 is live for part of the function; sp/lr/callee-saved are live
+        // throughout (exit set), so their PVF dominates r4's.
+        assert!(p.per_reg[4] > 0.0);
+        assert!(p.per_reg[isa.sp().0 as usize] > p.per_reg[4]);
+    }
+
+    #[test]
+    fn loop_bodies_dominate_the_weight() {
+        let isa = Isa::Va32;
+        // A 2-instruction loop plus a 2-instruction tail: the loop should
+        // carry LOOP_WEIGHT times the weight of straight-line code.
+        let prog = [
+            Instr::alu_imm(Op::Addi, Reg(4), Reg(4), -1),
+            Instr::branch(Op::Bne, Reg(4), Reg(2), -4),
+            Instr::alu_rr(Op::Add, Reg(0), Reg(4), Reg(4)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let p = pvf_of(&prog, isa);
+        // total = 2 instrs * 10 + 2 instrs * 1 = 22.
+        assert!((p.total_weight - 22.0).abs() < 1e-9, "{}", p.total_weight);
+    }
+
+    #[test]
+    fn weight_clamps_at_max_depth() {
+        assert_eq!(
+            block_weight(MAX_LOOP_DEPTH),
+            block_weight(MAX_LOOP_DEPTH + 5)
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Runs the full static pipeline over every workload in the suite on both
+//! ISAs — the lint pass doubles as a binary-level regression test on the
+//! compiler: it must not emit dead stores, unreachable blocks,
+//! undecodable words, or uninitialised reads.
+
+use vulnstack_analyze::analyze;
+use vulnstack_compiler::{compile, CompileOpts};
+use vulnstack_isa::Isa;
+use vulnstack_workloads::WorkloadId;
+
+#[test]
+fn all_workloads_analyze_clean_on_both_isas() {
+    for &isa in &[Isa::Va32, Isa::Va64] {
+        for id in WorkloadId::ALL {
+            let w = id.build();
+            let compiled = compile(&w.module, isa, &CompileOpts::default()).unwrap();
+            let sa = analyze(&compiled);
+
+            assert!(
+                sa.cfg.undecodable.is_empty(),
+                "{} {}: undecodable words {:?}",
+                isa.name(),
+                id.name(),
+                sa.cfg.undecodable
+            );
+            assert!(
+                sa.lints.is_empty(),
+                "{} {}: {} lints:\n{}",
+                isa.name(),
+                id.name(),
+                sa.lints.len(),
+                sa.lints
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+
+            // Every function decodes fully and has a reachable entry.
+            for f in &sa.cfg.funcs {
+                assert!(
+                    !f.blocks.is_empty(),
+                    "{}: empty function {}",
+                    id.name(),
+                    f.name
+                );
+                assert!(f.blocks[0].reachable);
+            }
+
+            // Static PVF is a meaningful fraction; real workloads keep a
+            // few registers live most of the time.
+            assert!(
+                sa.pvf.rf_pvf > 0.02 && sa.pvf.rf_pvf < 1.0,
+                "{} {}: static RF PVF {}",
+                isa.name(),
+                id.name(),
+                sa.pvf.rf_pvf
+            );
+            // Loops exist in every workload in the suite.
+            let max_depth = sa
+                .cfg
+                .funcs
+                .iter()
+                .flat_map(|f| f.blocks.iter().map(|b| b.loop_depth))
+                .max()
+                .unwrap_or(0);
+            assert!(
+                max_depth >= 1,
+                "{} {}: no loops detected",
+                isa.name(),
+                id.name()
+            );
+            eprintln!(
+                "{} {}: {}",
+                isa.name(),
+                id.name(),
+                sa.summary().trim().replace('\n', " | ")
+            );
+        }
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let w = WorkloadId::Crc32.build();
+    let compiled = compile(&w.module, Isa::Va64, &CompileOpts::default()).unwrap();
+    let a = analyze(&compiled);
+    let b = analyze(&compiled);
+    assert_eq!(a.pvf.per_reg, b.pvf.per_reg);
+    assert_eq!(a.lints.len(), b.lints.len());
+}

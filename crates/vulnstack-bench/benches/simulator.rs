@@ -19,13 +19,17 @@ fn bench_ooo_core(c: &mut Criterion) {
         let w = WorkloadId::Crc32.build();
         let compiled = compile(&w.module, cfg.isa, &CompileOpts::default()).unwrap();
         let image = SystemImage::build(&compiled, &w.input).unwrap();
-        g.bench_with_input(BenchmarkId::new("crc32", model.name()), &image, |b, image| {
-            b.iter(|| {
-                let out = OooCore::new(&cfg, image).run(100_000_000);
-                assert!(out.sim.instrs > 0);
-                out.sim.cycles
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("crc32", model.name()),
+            &image,
+            |b, image| {
+                b.iter(|| {
+                    let out = OooCore::new(&cfg, image).run(100_000_000);
+                    assert!(out.sim.instrs > 0);
+                    out.sim.cycles
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -38,7 +42,7 @@ fn bench_func_core(c: &mut Criterion) {
         let compiled = compile(&w.module, isa, &CompileOpts::default()).unwrap();
         let image = SystemImage::build(&compiled, &w.input).unwrap();
         g.bench_with_input(BenchmarkId::new("crc32", isa.name()), &image, |b, image| {
-            b.iter(|| FuncCore::new(image).run(100_000_000).instrs)
+            b.iter(|| FuncCore::new(image).run(100_000_000).instrs);
         });
     }
     g.finish();
@@ -56,7 +60,7 @@ fn bench_interpreter(c: &mut Criterion) {
                     .run()
                     .unwrap()
                     .dyn_instrs
-            })
+            });
         });
     }
     g.finish();
@@ -67,7 +71,12 @@ fn bench_compiler(c: &mut Criterion) {
     let w = WorkloadId::Rijndael.build();
     for isa in [vulnstack_isa::Isa::Va32, vulnstack_isa::Isa::Va64] {
         g.bench_with_input(BenchmarkId::new("rijndael", isa.name()), &w, |b, w| {
-            b.iter(|| compile(&w.module, isa, &CompileOpts::default()).unwrap().text.len())
+            b.iter(|| {
+                compile(&w.module, isa, &CompileOpts::default())
+                    .unwrap()
+                    .text
+                    .len()
+            });
         });
     }
     g.finish();
@@ -89,13 +98,21 @@ fn bench_ft_slowdown(c: &mut Criterion) {
                     .run()
                     .unwrap()
                     .dyn_instrs
-            })
+            });
         });
-        g.bench_with_input(BenchmarkId::new("hardened", id.name()), &(&h, &w), |b, (h, w)| {
-            b.iter(|| {
-                Interpreter::new(h).with_input(w.input.clone()).run().unwrap().dyn_instrs
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("hardened", id.name()),
+            &(&h, &w),
+            |b, (h, w)| {
+                b.iter(|| {
+                    Interpreter::new(h)
+                        .with_input(w.input.clone())
+                        .run()
+                        .unwrap()
+                        .dyn_instrs
+                });
+            },
+        );
     }
     g.finish();
 }

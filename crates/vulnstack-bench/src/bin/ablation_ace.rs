@@ -11,10 +11,19 @@ use vulnstack_microarch::CoreModel;
 fn main() {
     let faults = default_faults(150);
     let seed = master_seed();
-    figure_header("Ablation — ACE analytical estimate vs fault injection (A72)", faults);
+    figure_header(
+        "Ablation — ACE analytical estimate vs fault injection (A72)",
+        faults,
+    );
 
     let mut t = Table::new(&[
-        "bench", "RF ACE", "RF injected", "RF ratio", "LSQ ACE", "LSQ injected", "LSQ ratio",
+        "bench",
+        "RF ACE",
+        "RF injected",
+        "RF ratio",
+        "LSQ ACE",
+        "LSQ injected",
+        "LSQ ratio",
     ]);
     let mut pessimistic = 0;
     let mut total = 0;
@@ -42,7 +51,10 @@ fn main() {
                 "-".to_string()
             }
         };
-        for (a, b) in [(ace.rf_avf, rf.avf().total()), (ace.lsq_avf, lsq.avf().total())] {
+        for (a, b) in [
+            (ace.rf_avf, rf.avf().total()),
+            (ace.lsq_avf, lsq.avf().total()),
+        ] {
             total += 1;
             if a >= b {
                 pessimistic += 1;

@@ -13,7 +13,10 @@ fn main() {
     let per_window = default_faults(40);
     let windows = 5;
     let seed = master_seed();
-    figure_header("Ablation — AVF per execution-time quintile (A72)", per_window * windows);
+    figure_header(
+        "Ablation — AVF per execution-time quintile (A72)",
+        per_window * windows,
+    );
 
     let mut t = Table::new(&["bench", "structure", "Q1", "Q2", "Q3", "Q4", "Q5"]);
     for id in [WorkloadId::Sha, WorkloadId::Qsort, WorkloadId::Smooth] {

@@ -14,16 +14,28 @@ use vulnstack_workloads::WorkloadId;
 fn main() {
     let faults = default_faults(200);
     let seed = master_seed();
-    figure_header("Ablation — injection-to-manifestation latency (A72)", faults);
+    figure_header(
+        "Ablation — injection-to-manifestation latency (A72)",
+        faults,
+    );
 
     let mut t = Table::new(&[
-        "bench", "structure", "visible", "median lat (cyc)", "p90 lat (cyc)", "max",
+        "bench",
+        "structure",
+        "visible",
+        "median lat (cyc)",
+        "p90 lat (cyc)",
+        "max",
     ]);
     for id in [WorkloadId::Sha, WorkloadId::Qsort, WorkloadId::Fft] {
         let w = id.build();
         let prep = Prepared::new(&w, CoreModel::A72).unwrap();
-        for st in [HwStructure::RegisterFile, HwStructure::Lsq, HwStructure::L1d, HwStructure::L1i]
-        {
+        for st in [
+            HwStructure::RegisterFile,
+            HwStructure::Lsq,
+            HwStructure::L1d,
+            HwStructure::L1i,
+        ] {
             let r = avf_campaign(
                 &prep,
                 st,

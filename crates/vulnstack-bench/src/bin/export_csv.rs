@@ -54,14 +54,32 @@ fn main() -> std::io::Result<()> {
     fs::write(
         dir.join("layers.csv"),
         to_csv(
-            &["bench", "svf_sdc", "svf_crash", "pvf_sdc", "pvf_crash", "avf_sdc", "avf_crash"],
+            &[
+                "bench",
+                "svf_sdc",
+                "svf_crash",
+                "pvf_sdc",
+                "pvf_crash",
+                "avf_sdc",
+                "avf_crash",
+            ],
             &layer_rows,
         ),
     )?;
     fs::write(
         dir.join("structures.csv"),
         to_csv(
-            &["bench", "structure", "bits", "avf", "hvf", "wd", "wi", "woi", "esc"],
+            &[
+                "bench",
+                "structure",
+                "bits",
+                "avf",
+                "hvf",
+                "wd",
+                "wi",
+                "woi",
+                "esc",
+            ],
             &structure_rows,
         ),
     )?;

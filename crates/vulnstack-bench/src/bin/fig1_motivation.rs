@@ -12,20 +12,37 @@ use vulnstack_workloads::WorkloadId;
 fn main() {
     let faults = default_faults(200);
     let seed = master_seed();
-    figure_header("Fig. 1 — SVF (software-layer) vs AVF (cross-layer), sha & qsort", faults);
+    figure_header(
+        "Fig. 1 — SVF (software-layer) vs AVF (cross-layer), sha & qsort",
+        faults,
+    );
 
     let mut svf_table = Table::new(&["bench", "SVF SDC", "SVF Crash", "SVF total"]);
-    let mut avf_table =
-        Table::new(&["bench", "AVF SDC", "AVF Crash", "AVF total (A72, size-weighted)"]);
+    let mut avf_table = Table::new(&[
+        "bench",
+        "AVF SDC",
+        "AVF Crash",
+        "AVF total (A72, size-weighted)",
+    ]);
     let mut totals = Vec::new();
 
     for id in [WorkloadId::Sha, WorkloadId::Qsort] {
         let w = id.build();
         let svf = svf_suite(&w, faults, seed).vf();
-        svf_table.row(&[id.name().into(), pct(svf.sdc), pct(svf.crash), pct(svf.total())]);
+        svf_table.row(&[
+            id.name().into(),
+            pct(svf.sdc),
+            pct(svf.crash),
+            pct(svf.total()),
+        ]);
 
         let avf = AvfSuite::run(&w, CoreModel::A72, faults, seed).weighted_avf();
-        avf_table.row(&[id.name().into(), pct2(avf.sdc), pct2(avf.crash), pct2(avf.total())]);
+        avf_table.row(&[
+            id.name().into(),
+            pct2(avf.sdc),
+            pct2(avf.crash),
+            pct2(avf.total()),
+        ]);
         totals.push((id, svf, avf));
     }
 
@@ -36,17 +53,33 @@ fn main() {
     println!("Paper's observations to check:");
     println!(
         "  - SVF orders sha {} qsort ({} vs {}); AVF orders sha {} qsort ({} vs {})",
-        if sha.1.total() > qsort.1.total() { ">" } else { "<" },
+        if sha.1.total() > qsort.1.total() {
+            ">"
+        } else {
+            "<"
+        },
         pct(sha.1.total()),
         pct(qsort.1.total()),
-        if sha.2.total() > qsort.2.total() { ">" } else { "<" },
+        if sha.2.total() > qsort.2.total() {
+            ">"
+        } else {
+            "<"
+        },
         pct2(sha.2.total()),
         pct2(qsort.2.total()),
     );
     println!(
         "  - sha under SVF is {}-dominated; under AVF it is {}-dominated",
-        if sha.1.sdc > sha.1.crash { "SDC" } else { "Crash" },
-        if sha.2.sdc > sha.2.crash { "SDC" } else { "Crash" },
+        if sha.1.sdc > sha.1.crash {
+            "SDC"
+        } else {
+            "Crash"
+        },
+        if sha.2.sdc > sha.2.crash {
+            "SDC"
+        } else {
+            "Crash"
+        },
     );
     println!("  - absolute AVF values are far smaller than SVF values (hardware masking)");
 }

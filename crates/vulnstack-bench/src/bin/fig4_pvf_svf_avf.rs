@@ -12,11 +12,22 @@ use vulnstack_microarch::CoreModel;
 fn main() {
     let faults = default_faults(150);
     let seed = master_seed();
-    figure_header("Fig. 4 — PVF, SVF and cross-layer AVF per benchmark (A72)", faults);
+    figure_header(
+        "Fig. 4 — PVF, SVF and cross-layer AVF per benchmark (A72)",
+        faults,
+    );
 
     let mut t = Table::new(&[
-        "bench", "PVF SDC", "PVF Crash", "PVF tot", "SVF SDC", "SVF Crash", "SVF tot",
-        "AVF SDC", "AVF Crash", "AVF tot",
+        "bench",
+        "PVF SDC",
+        "PVF Crash",
+        "PVF tot",
+        "SVF SDC",
+        "SVF Crash",
+        "SVF tot",
+        "AVF SDC",
+        "AVF Crash",
+        "AVF tot",
     ]);
     let mut pvf_tot = Vec::new();
     let mut svf_tot = Vec::new();

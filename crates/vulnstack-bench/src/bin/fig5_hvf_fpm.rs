@@ -11,15 +11,21 @@ use vulnstack_microarch::CoreModel;
 fn main() {
     let faults = default_faults(150);
     let seed = master_seed();
-    figure_header("Fig. 5 — HVF per FPM for RF/L1i/L1d/L2 on A9 and A15", faults);
+    figure_header(
+        "Fig. 5 — HVF per FPM for RF/L1i/L1d/L2 on A9 and A15",
+        faults,
+    );
 
-    let structures =
-        [HwStructure::RegisterFile, HwStructure::L1i, HwStructure::L1d, HwStructure::L2];
+    let structures = [
+        HwStructure::RegisterFile,
+        HwStructure::L1i,
+        HwStructure::L1d,
+        HwStructure::L2,
+    ];
     for model in [CoreModel::A9, CoreModel::A15] {
         println!("--- {model} ---");
         for st in structures {
-            let mut t =
-                Table::new(&["bench", "WD", "WI", "WOI", "ESC", "HVF"]);
+            let mut t = Table::new(&["bench", "WD", "WI", "WOI", "ESC", "HVF"]);
             for w in all_workloads() {
                 let prep = Prepared::new(&w, model).unwrap();
                 let r = avf_campaign(

@@ -22,7 +22,11 @@ fn main() {
             let shares = suite.weighted_fpm();
             let g = |f: Fpm| shares.get(&f).copied().unwrap_or(0.0);
             let visible: f64 = Fpm::ALL.iter().map(|&f| g(f)).sum();
-            let esc_share = if visible > 0.0 { g(Fpm::Esc) / visible } else { 0.0 };
+            let esc_share = if visible > 0.0 {
+                g(Fpm::Esc) / visible
+            } else {
+                0.0
+            };
             t.row(&[
                 w.id.name().into(),
                 pct(g(Fpm::Wd)),

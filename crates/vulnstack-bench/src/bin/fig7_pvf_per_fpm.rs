@@ -10,10 +10,19 @@ use vulnstack_isa::Isa;
 fn main() {
     let faults = default_faults(150);
     let seed = master_seed();
-    figure_header("Fig. 7 — PVF per FPM (WD / WOI / WI), SDC and Crash split (va64)", faults);
+    figure_header(
+        "Fig. 7 — PVF per FPM (WD / WOI / WI), SDC and Crash split (va64)",
+        faults,
+    );
 
     let mut t = Table::new(&[
-        "bench", "WD SDC", "WD Crash", "WOI SDC", "WOI Crash", "WI SDC", "WI Crash",
+        "bench",
+        "WD SDC",
+        "WD Crash",
+        "WOI SDC",
+        "WOI Crash",
+        "WI SDC",
+        "WI Crash",
     ]);
     let mut wd_totals = Vec::new();
     let mut wi_totals = Vec::new();

@@ -14,13 +14,21 @@ use vulnstack_workloads::WorkloadId;
 
 /// The benchmark subset shown (the paper's Fig. 8 also shows a subset and
 /// notes the others behave identically).
-const BENCHES: [WorkloadId; 5] =
-    [WorkloadId::Fft, WorkloadId::Sha, WorkloadId::Qsort, WorkloadId::Djpeg, WorkloadId::Smooth];
+const BENCHES: [WorkloadId; 5] = [
+    WorkloadId::Fft,
+    WorkloadId::Sha,
+    WorkloadId::Qsort,
+    WorkloadId::Djpeg,
+    WorkloadId::Smooth,
+];
 
 fn main() {
     let faults = default_faults(100);
     let seed = master_seed();
-    figure_header("Fig. 8 — rPVF (left) vs cross-layer AVF (right), all four cores", faults);
+    figure_header(
+        "Fig. 8 — rPVF (left) vs cross-layer AVF (right), all four cores",
+        faults,
+    );
 
     let mut rpvf_t = Table::new(&["bench", "A9", "A15", "A57", "A72"]);
     let mut avf_t = Table::new(&["bench", "A9", "A15", "A57", "A72"]);

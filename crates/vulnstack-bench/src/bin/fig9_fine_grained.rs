@@ -11,7 +11,10 @@ use vulnstack_microarch::CoreModel;
 fn main() {
     let faults = default_faults(150);
     let seed = master_seed();
-    figure_header("Fig. 9 — Crash and SDC across SVF / PVF / AVF layers", faults);
+    figure_header(
+        "Fig. 9 — Crash and SDC across SVF / PVF / AVF layers",
+        faults,
+    );
 
     let mut sdc_t = Table::new(&["bench", "SVF SDC", "PVF SDC", "AVF SDC"]);
     let mut crash_t = Table::new(&["bench", "SVF Crash", "PVF Crash", "AVF Crash"]);
@@ -20,8 +23,18 @@ fn main() {
         let svf = svf_suite(&w, faults, seed).vf();
         let pvf = PvfSuite::run_wd_only(&w, Isa::Va64, faults, seed).vf();
         let avf = AvfSuite::run(&w, CoreModel::A72, faults, seed).weighted_avf();
-        sdc_t.row(&[w.id.name().into(), pct(svf.sdc), pct(pvf.sdc), pct2(avf.sdc)]);
-        crash_t.row(&[w.id.name().into(), pct(svf.crash), pct(pvf.crash), pct2(avf.crash)]);
+        sdc_t.row(&[
+            w.id.name().into(),
+            pct(svf.sdc),
+            pct(pvf.sdc),
+            pct2(avf.sdc),
+        ]);
+        crash_t.row(&[
+            w.id.name().into(),
+            pct(svf.crash),
+            pct(pvf.crash),
+            pct2(avf.crash),
+        ]);
         if (svf.sdc > svf.crash) != (avf.sdc > avf.crash) {
             flips += 1;
         }

@@ -6,13 +6,11 @@ use vulnstack_microarch::CoreModel;
 
 fn main() {
     println!("=== Table II — simulated hardware parameters ===\n");
-    let mut t = Table::new(&[
-        "parameter", "A9", "A15", "A57", "A72",
-    ]);
+    let mut t = Table::new(&["parameter", "A9", "A15", "A57", "A72"]);
     let cfgs: Vec<_> = CoreModel::ALL.iter().map(|m| m.config()).collect();
     let row = |name: &str, f: &dyn Fn(&vulnstack_microarch::CoreConfig) -> String| {
         let mut cells = vec![name.to_string()];
-        cells.extend(cfgs.iter().map(|c| f(c)));
+        cells.extend(cfgs.iter().map(f));
         cells
     };
     let kb = |b: u32| format!("{} KB", b / 1024);
@@ -21,14 +19,18 @@ fn main() {
     t.row(&row("pipeline width", &|c| c.width.to_string()));
     t.row(&row("ROB entries", &|c| c.rob_entries.to_string()));
     t.row(&row("IQ entries", &|c| c.iq_entries.to_string()));
-    t.row(&row("LQ/SQ entries", &|c| format!("{}/{}", c.lq_entries, c.sq_entries)));
+    t.row(&row("LQ/SQ entries", &|c| {
+        format!("{}/{}", c.lq_entries, c.sq_entries)
+    }));
     t.row(&row("physical registers", &|c| {
         format!("{} x {}bit", c.phys_regs, c.isa.xlen())
     }));
     t.row(&row("L1i", &|c| kb(c.l1i.size)));
     t.row(&row("L1d", &|c| kb(c.l1d.size)));
     t.row(&row("L2", &|c| kb(c.l2.size)));
-    t.row(&row("memory latency", &|c| format!("{} cyc", c.mem_latency)));
+    t.row(&row("memory latency", &|c| {
+        format!("{} cyc", c.mem_latency)
+    }));
     t.row(&row("RF bits (inject)", &|c| c.rf_bits().to_string()));
     t.row(&row("LSQ bits (inject)", &|c| c.lsq_bits().to_string()));
     println!("{}", t.render());

@@ -11,16 +11,27 @@ use vulnstack_microarch::CoreModel;
 fn main() {
     let faults = default_faults(100);
     let seed = master_seed();
-    figure_header("Table III — opposite relative-vulnerability comparisons", faults);
+    figure_header(
+        "Table III — opposite relative-vulnerability comparisons",
+        faults,
+    );
 
     let workloads = all_workloads();
     // SVF is ISA/microarchitecture-independent: one campaign set.
-    let svf: Vec<_> = workloads.iter().map(|w| svf_suite(w, faults, seed).vf()).collect();
+    let svf: Vec<_> = workloads
+        .iter()
+        .map(|w| svf_suite(w, faults, seed).vf())
+        .collect();
     eprintln!("  [svf] done");
 
     let mut t = Table::new(&[
-        "core", "PVF-AVF total", "PVF-AVF effect", "SVF-AVF total", "SVF-AVF effect",
-        "SVF-PVF total", "SVF-PVF effect",
+        "core",
+        "PVF-AVF total",
+        "PVF-AVF effect",
+        "SVF-AVF total",
+        "SVF-AVF effect",
+        "SVF-PVF total",
+        "SVF-PVF effect",
     ]);
     for model in CoreModel::ALL {
         let cfg = model.config();

@@ -12,7 +12,9 @@ use std::collections::BTreeMap;
 use vulnstack_core::effects::{Tally, VulnFactor};
 use vulnstack_core::stack::{FpmDist, StructureAvf, WeightedAvf};
 use vulnstack_gefin::avf::AvfCampaignResult;
-use vulnstack_gefin::{avf_campaign, default_threads, pvf_campaign, FuncPrepared, Prepared, PvfMode};
+use vulnstack_gefin::{
+    avf_campaign, default_threads, pvf_campaign, FuncPrepared, Prepared, PvfMode,
+};
 use vulnstack_isa::Isa;
 use vulnstack_microarch::ooo::HwStructure;
 use vulnstack_microarch::CoreModel;
@@ -20,7 +22,10 @@ use vulnstack_workloads::{Workload, WorkloadId};
 
 /// Master seed for all campaigns (override with `VULNSTACK_SEED`).
 pub fn master_seed() -> u64 {
-    std::env::var("VULNSTACK_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(2021)
+    std::env::var("VULNSTACK_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2021)
 }
 
 /// Derives a sub-seed for a named campaign.
@@ -60,7 +65,10 @@ impl AvfSuite {
                 avf_campaign(&prep, st, faults, s, threads)
             })
             .collect();
-        AvfSuite { model, per_structure }
+        AvfSuite {
+            model,
+            per_structure,
+        }
     }
 
     /// The size-weighted AVF across the five structures.
@@ -68,21 +76,31 @@ impl AvfSuite {
         let structures = self
             .per_structure
             .iter()
-            .map(|r| StructureAvf { structure: r.structure, bits: r.bits, tally: r.tally })
+            .map(|r| StructureAvf {
+                structure: r.structure,
+                bits: r.bits,
+                tally: r.tally,
+            })
             .collect();
         WeightedAvf::new(structures).weighted()
     }
 
     /// The size-weighted FPM distribution across structures (paper Fig. 6).
     pub fn weighted_fpm(&self) -> BTreeMap<vulnstack_microarch::ooo::Fpm, f64> {
-        let parts: Vec<(u64, &FpmDist)> =
-            self.per_structure.iter().map(|r| (r.bits, &r.fpm)).collect();
+        let parts: Vec<(u64, &FpmDist)> = self
+            .per_structure
+            .iter()
+            .map(|r| (r.bits, &r.fpm))
+            .collect();
         FpmDist::weighted_combine(&parts)
     }
 
     /// The campaign result for one structure.
     pub fn structure(&self, st: HwStructure) -> &AvfCampaignResult {
-        self.per_structure.iter().find(|r| r.structure == st).expect("all structures present")
+        self.per_structure
+            .iter()
+            .find(|r| r.structure == st)
+            .expect("all structures present")
     }
 }
 
@@ -142,7 +160,11 @@ impl PvfSuite {
                 threads,
             )
         };
-        PvfSuite { wd: run(PvfMode::Wd), woi: run(PvfMode::Woi), wi: run(PvfMode::Wi) }
+        PvfSuite {
+            wd: run(PvfMode::Wd),
+            woi: run(PvfMode::Woi),
+            wi: run(PvfMode::Wi),
+        }
     }
 }
 
@@ -169,8 +191,12 @@ pub fn figure_header(name: &str, faults: usize) {
     println!(
         "(faults/campaign = {faults}; error margin ≈ {:.1}% at 99% confidence; \
          set VULNSTACK_FAULTS=2000 for the paper's 2.88%)",
-        vulnstack_core::stats::error_margin(faults as u64, u64::MAX / 2, 0.5, vulnstack_core::stats::Z_99)
-            * 100.0
+        vulnstack_core::stats::error_margin(
+            faults as u64,
+            u64::MAX / 2,
+            0.5,
+            vulnstack_core::stats::Z_99
+        ) * 100.0
     );
     println!();
 }
@@ -214,7 +240,13 @@ pub mod case_study {
         let suite_w = AvfSuite::run(&hard, CoreModel::A72, faults, seed);
         eprintln!("  [avf w/] done");
         let mut t = Table::new(&[
-            "structure", "w/o SDC", "w/o Crash", "w/o tot", "w/ SDC", "w/ Crash", "w/ tot",
+            "structure",
+            "w/o SDC",
+            "w/o Crash",
+            "w/o tot",
+            "w/ SDC",
+            "w/ Crash",
+            "w/ tot",
             "w/ detected",
         ]);
         for (a, b) in suite_wo.per_structure.iter().zip(&suite_w.per_structure) {
@@ -240,7 +272,11 @@ pub mod case_study {
         t.row(&["w/".into(), pct2(ah.sdc), pct2(ah.crash), pct2(ah.total())]);
         println!("(b) size-weighted cross-layer AVF");
         println!("{}", t.render());
-        let delta = if aw.total() > 0.0 { ah.total() / aw.total() - 1.0 } else { 0.0 };
+        let delta = if aw.total() > 0.0 {
+            ah.total() / aw.total() - 1.0
+        } else {
+            0.0
+        };
         println!("    AVF change with hardening: {:+.0}%\n", delta * 100.0);
 
         // Panel (c): PVF (WD population, va64).
@@ -248,8 +284,20 @@ pub mod case_study {
         let ph = PvfSuite::run_wd_only(&hard, vulnstack_isa::Isa::Va64, faults, seed).vf();
         eprintln!("  [pvf] done");
         let mut t = Table::new(&["variant", "SDC", "Crash", "total", "detected"]);
-        t.row(&["w/o".into(), pct(pw.sdc), pct(pw.crash), pct(pw.total()), pct(pw.detected)]);
-        t.row(&["w/".into(), pct(ph.sdc), pct(ph.crash), pct(ph.total()), pct(ph.detected)]);
+        t.row(&[
+            "w/o".into(),
+            pct(pw.sdc),
+            pct(pw.crash),
+            pct(pw.total()),
+            pct(pw.detected),
+        ]);
+        t.row(&[
+            "w/".into(),
+            pct(ph.sdc),
+            pct(ph.crash),
+            pct(ph.total()),
+            pct(ph.detected),
+        ]);
         println!("(c) PVF");
         println!("{}", t.render());
         if ph.total() > 0.0 {
@@ -261,8 +309,20 @@ pub mod case_study {
         let sh = svf_suite(&hard, faults, seed).vf();
         eprintln!("  [svf] done");
         let mut t = Table::new(&["variant", "SDC", "Crash", "total", "detected"]);
-        t.row(&["w/o".into(), pct(sw.sdc), pct(sw.crash), pct(sw.total()), pct(sw.detected)]);
-        t.row(&["w/".into(), pct(sh.sdc), pct(sh.crash), pct(sh.total()), pct(sh.detected)]);
+        t.row(&[
+            "w/o".into(),
+            pct(sw.sdc),
+            pct(sw.crash),
+            pct(sw.total()),
+            pct(sw.detected),
+        ]);
+        t.row(&[
+            "w/".into(),
+            pct(sh.sdc),
+            pct(sh.crash),
+            pct(sh.total()),
+            pct(sh.detected),
+        ]);
         println!("(d) SVF");
         println!("{}", t.render());
         if sh.total() > 0.0 {
@@ -316,8 +376,10 @@ mod tests {
         for _ in 0..1 {
             d.add(Some(Fpm::Esc));
         }
-        let sw: f64 =
-            [Fpm::Wd, Fpm::Woi, Fpm::Wi].iter().map(|&f| d.software_share(f)).sum();
+        let sw: f64 = [Fpm::Wd, Fpm::Woi, Fpm::Wi]
+            .iter()
+            .map(|&f| d.software_share(f))
+            .sum();
         assert!((sw - 1.0).abs() < 1e-12);
     }
 

@@ -36,7 +36,15 @@ struct FInstr {
 
 impl FInstr {
     fn simple(op: Op, rd: Reg, rs1: Reg, rs2: Reg, imm: i64, shift: u8) -> FInstr {
-        FInstr { op, rd, rs1, rs2, imm, shift, target: FTarget::None }
+        FInstr {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+            shift,
+            target: FTarget::None,
+        }
     }
 }
 
@@ -58,7 +66,7 @@ pub fn compile_module(
     let mut global_addrs = Vec::with_capacity(module.globals.len());
     for g in &module.globals {
         let align = g.align.max(1);
-        while (opts.data_base as usize + data.len()) % align as usize != 0 {
+        while !(opts.data_base as usize + data.len()).is_multiple_of(align as usize) {
             data.push(0);
         }
         global_addrs.push(opts.data_base + data.len() as u32);
@@ -97,9 +105,7 @@ pub fn compile_module(
             let imm = match fi.target {
                 FTarget::None => fi.imm,
                 FTarget::Local(l) => ((base + l) as i64 - pos as i64) * 4,
-                FTarget::Func(fid) => {
-                    (func_offsets[fid.0 as usize] as i64 - pos as i64) * 4
-                }
+                FTarget::Func(fid) => (func_offsets[fid.0 as usize] as i64 - pos as i64) * 4,
                 FTarget::Pending(_) => {
                     unreachable!("unpatched branch target in {name}")
                 }
@@ -112,7 +118,9 @@ pub fn compile_module(
                         | vulnstack_isa::encode::EncodeError::MisalignedOffset { .. }
                 ) && fi.target != FTarget::None
                 {
-                    CompileError::BranchOutOfRange { function: name.clone() }
+                    CompileError::BranchOutOfRange {
+                        function: name.clone(),
+                    }
                 } else {
                     CompileError::Encode(format!("{name}[{i}] {e}"))
                 }
@@ -122,12 +130,14 @@ pub fn compile_module(
     }
 
     let func_sizes = emitted.iter().map(|f| f.instrs.len() as u32).collect();
+    let func_names = emitted.iter().map(|f| f.name.clone()).collect();
     Ok(CompiledModule {
         isa,
         text,
         data,
         global_addrs,
         func_offsets,
+        func_names,
         entry_offset: 0,
         data_size,
         func_sizes,
@@ -161,9 +171,23 @@ fn start_stub(isa: Isa, opts: &CompileOpts, entry: FuncId) -> Vec<FInstr> {
     let sp = isa.sp();
     let mut v = Vec::new();
     let top = opts.stack_top;
-    v.push(FInstr::simple(Op::Movz, sp, Reg(0), Reg(0), (top & 0xffff) as i64, 0));
+    v.push(FInstr::simple(
+        Op::Movz,
+        sp,
+        Reg(0),
+        Reg(0),
+        (top & 0xffff) as i64,
+        0,
+    ));
     if top >> 16 != 0 {
-        v.push(FInstr::simple(Op::Movk, sp, Reg(0), Reg(0), ((top >> 16) & 0xffff) as i64, 1));
+        v.push(FInstr::simple(
+            Op::Movk,
+            sp,
+            Reg(0),
+            Reg(0),
+            ((top >> 16) & 0xffff) as i64,
+            1,
+        ));
     }
     v.push(FInstr {
         op: Op::Call,
@@ -186,8 +210,7 @@ fn start_stub(isa: Isa, opts: &CompileOpts, entry: FuncId) -> Vec<FInstr> {
     ));
     v.push(FInstr::simple(Op::Syscall, Reg(0), Reg(0), Reg(0), 0, 0));
     // Unreachable safety net.
-    let mut selfloop =
-        FInstr::simple(Op::Jmp, Reg(0), Reg(0), Reg(0), 0, 0);
+    let mut selfloop = FInstr::simple(Op::Jmp, Reg(0), Reg(0), Reg(0), 0, 0);
     selfloop.target = FTarget::None;
     v.push(selfloop);
     v
@@ -199,7 +222,11 @@ fn emit_function(mf: &MFunction, isa: Isa, pools: &RegPools) -> Result<EmittedFn
     let sp = isa.sp();
     let lr = isa.lr();
     let word = isa.word_bytes() as i64;
-    let (st_op, ld_op) = if isa == Isa::Va64 { (Op::Sd, Op::Ld) } else { (Op::Sw, Op::Lw) };
+    let (st_op, ld_op) = if isa == Isa::Va64 {
+        (Op::Sd, Op::Ld)
+    } else {
+        (Op::Sw, Op::Lw)
+    };
 
     // Frame layout: [VIR slots][spill slots][LR + callee-saved saves].
     let spill_base = mf.slots_size;
@@ -264,7 +291,10 @@ fn emit_function(mf: &MFunction, isa: Isa, pools: &RegPools) -> Result<EmittedFn
         }
     }
 
-    Ok(EmittedFn { name: mf.name.clone(), instrs: out })
+    Ok(EmittedFn {
+        name: mf.name.clone(),
+        instrs: out,
+    })
 }
 
 /// Rewrites one machine instruction, inserting spill reloads/writebacks.
@@ -283,7 +313,10 @@ fn rewrite_instr(
 
     // Which slots are sources/defs for this format?
     let rd_is_src = fmt == Format::Store || (fmt == Format::M && mi.op == Op::Movk);
-    let rd_is_def = matches!(fmt, Format::R | Format::I | Format::Load | Format::M | Format::Mfsr);
+    let rd_is_def = matches!(
+        fmt,
+        Format::R | Format::I | Format::Load | Format::M | Format::Mfsr
+    );
 
     let mut scratch_used = 0usize;
     let mut reloads: Vec<(u32, Reg)> = Vec::new();
@@ -311,7 +344,11 @@ fn rewrite_instr(
 
     let rs1 = resolve_src(mi.rs1, out);
     let rs2 = resolve_src(mi.rs2, out);
-    let rd_src = if rd_is_src { resolve_src(mi.rd, out) } else { Reg(0) };
+    let rd_src = if rd_is_src {
+        resolve_src(mi.rd, out)
+    } else {
+        Reg(0)
+    };
 
     // Destination.
     let (rd, def_spill) = if rd_is_def {
@@ -338,10 +375,25 @@ fn rewrite_instr(
         MTarget::Func(f) => FTarget::Func(f),
         MTarget::Epilogue => FTarget::Pending(u32::MAX),
     };
-    out.push(FInstr { op: mi.op, rd, rs1, rs2, imm: mi.imm, shift: mi.shift, target });
+    out.push(FInstr {
+        op: mi.op,
+        rd,
+        rs1,
+        rs2,
+        imm: mi.imm,
+        shift: mi.shift,
+        target,
+    });
 
     if let Some(slot) = def_spill {
-        out.push(FInstr::simple(Op::Sw, pools.scratch[0], sp, Reg(0), spill_off(slot), 0));
+        out.push(FInstr::simple(
+            Op::Sw,
+            pools.scratch[0],
+            sp,
+            Reg(0),
+            spill_off(slot),
+            0,
+        ));
     }
 }
 
@@ -395,7 +447,7 @@ mod tests {
         let call_pos = c
             .text
             .iter()
-            .position(|&w| Instr::decode(w, Isa::Va64).map(|i| i.op == Op::Call).unwrap_or(false))
+            .position(|&w| Instr::decode(w, Isa::Va64).is_ok_and(|i| i.op == Op::Call))
             .unwrap();
         let call = Instr::decode(c.text[call_pos], Isa::Va64).unwrap();
         let dest = call_pos as i64 + call.imm / 4;

@@ -53,7 +53,10 @@ pub struct CompileOpts {
 
 impl Default for CompileOpts {
     fn default() -> Self {
-        CompileOpts { data_base: 0x0010_0000, stack_top: 0x003F_FF00 }
+        CompileOpts {
+            data_base: 0x0010_0000,
+            stack_top: 0x003F_FF00,
+        }
     }
 }
 
@@ -72,6 +75,9 @@ pub struct CompiledModule {
     pub global_addrs: Vec<u32>,
     /// Word offset of each function's first instruction within `text`.
     pub func_offsets: Vec<u32>,
+    /// Source-level name of each function, parallel to `func_offsets`.
+    /// The `_start` stub at `entry_offset` is not listed here.
+    pub func_names: Vec<String>,
     /// Word offset of the `_start` stub (entry point).
     pub entry_offset: u32,
     /// End of the data section relative to `data_base` (initial heap
@@ -85,6 +91,29 @@ impl CompiledModule {
     /// The text section as little-endian bytes.
     pub fn text_bytes(&self) -> Vec<u8> {
         self.text.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// `(word offset, name)` of every symbol in the text section, sorted by
+    /// offset: the `_start` stub plus every function. This is the symbol
+    /// table the static analyzer's CFG builder keys on.
+    pub fn symbols(&self) -> Vec<(u32, &str)> {
+        let mut syms: Vec<(u32, &str)> = vec![(self.entry_offset, "_start")];
+        syms.extend(
+            self.func_offsets
+                .iter()
+                .zip(self.func_names.iter())
+                .map(|(&o, n)| (o, n.as_str())),
+        );
+        syms.sort_by_key(|&(o, _)| o);
+        syms
+    }
+
+    /// The symbol containing word offset `word`, if any.
+    pub fn symbol_at(&self, word: u32) -> Option<(u32, &str)> {
+        self.symbols()
+            .into_iter()
+            .take_while(|&(o, _)| o <= word)
+            .last()
     }
 }
 

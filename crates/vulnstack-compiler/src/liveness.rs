@@ -147,13 +147,22 @@ pub fn analyze(f: &MFunction) -> Liveness {
         .map(|v| {
             let (s, e) = (start[v as usize], end[v as usize]);
             let crosses = call_sites.iter().any(|&c| s < c && c < e);
-            Interval { vreg: v, start: s, end: e, crosses_call: crosses }
+            Interval {
+                vreg: v,
+                start: s,
+                end: e,
+                crosses_call: crosses,
+            }
         })
         .collect();
     intervals.sort_by_key(|i| (i.start, i.end));
 
     debug_assert!(intervals.iter().all(|i| i.end < total.max(1)));
-    Liveness { intervals, call_sites, block_starts }
+    Liveness {
+        intervals,
+        call_sites,
+        block_starts,
+    }
 }
 
 #[cfg(test)]
@@ -163,13 +172,17 @@ mod tests {
     use vulnstack_isa::Isa;
     use vulnstack_vir::{ModuleBuilder, Operand};
 
-    fn analyse_main(build: impl FnOnce(&mut vulnstack_vir::FuncBuilder)) -> (MFunction, Liveness) {
+    // The closure returns the value the function should return, keeping
+    // it live past dead-definition elimination in lowering.
+    fn analyse_main(
+        build: impl FnOnce(&mut vulnstack_vir::FuncBuilder) -> Option<vulnstack_vir::VReg>,
+    ) -> (MFunction, Liveness) {
         let mut mb = ModuleBuilder::new("t");
         let callee = mb.declare("id", 1);
         let mut f = mb.function("main", 0);
-        build(&mut f);
+        let r = build(&mut f);
         f.call_void(callee, &[Operand::Imm(0)]);
-        f.ret(None);
+        f.ret(r.map(Into::into));
         mb.finish_function(f);
         let mut g = mb.function("id", 1);
         let p = g.param(0);
@@ -185,7 +198,7 @@ mod tests {
     fn short_temp_has_short_interval() {
         let (_, l) = analyse_main(|f| {
             let a = f.c(1);
-            let _b = f.add(a, 1);
+            Some(f.add(a, 1))
         });
         // VIR %0 is `a`: defined then used once immediately after.
         let iv = l.intervals.iter().find(|i| i.vreg == 0).unwrap();
@@ -201,7 +214,7 @@ mod tests {
                 let s = f.add(sum, i);
                 f.set(sum, s);
             });
-            let _ = f.add(sum, 1);
+            Some(f.add(sum, 1))
         });
         // `sum` is VIR %0; its interval must cover every block of the loop.
         let iv = l.intervals.iter().find(|i| i.vreg == 0).unwrap();
@@ -210,7 +223,11 @@ mod tests {
         assert!(iv.end <= loop_span);
         // The interval covers the backward branch region (ends after the
         // loop body, which sits in the middle blocks).
-        assert!(iv.end >= l.block_starts[3], "interval {iv:?} vs starts {:?}", l.block_starts);
+        assert!(
+            iv.end >= l.block_starts[3],
+            "interval {iv:?} vs starts {:?}",
+            l.block_starts
+        );
     }
 
     #[test]
@@ -219,7 +236,7 @@ mod tests {
             let a = f.c(7);
             let callee = vulnstack_vir::FuncId(0); // "id" was declared first
             f.call_void(callee, &[Operand::Imm(1)]);
-            let _ = f.add(a, 1); // `a` lives across the call
+            Some(f.add(a, 1)) // `a` lives across the call
         });
         assert!(!l.call_sites.is_empty());
         let iv = l.intervals.iter().find(|i| i.vreg == 0).unwrap();

@@ -27,8 +27,9 @@ pub fn lower_function(
     };
 
     // Frame-slot layout is fixed at lowering time: slots start at sp+0.
-    let slot_offsets: Vec<u32> =
-        (0..func.slots.len()).map(|i| func.slot_offset(vulnstack_vir::SlotId(i as u32))).collect();
+    let slot_offsets: Vec<u32> = (0..func.slots.len())
+        .map(|i| func.slot_offset(vulnstack_vir::SlotId(i as u32)))
+        .collect();
     let slots_size = {
         let mut off = 0u32;
         for s in &func.slots {
@@ -54,8 +55,12 @@ pub fn lower_function(
             }
             cx.lower(ins, &slot_offsets);
         }
-        cx.out.push(MBlock { instrs: std::mem::take(&mut cx.cur) });
+        cx.out.push(MBlock {
+            instrs: std::mem::take(&mut cx.cur),
+        });
     }
+
+    eliminate_dead_vreg_defs(&mut cx.out);
 
     MFunction {
         name: func.name.clone(),
@@ -64,6 +69,41 @@ pub fn lower_function(
         slots_size,
         slot_offsets,
         has_calls,
+    }
+}
+
+/// Removes pure computations whose virtual destination is never read
+/// anywhere in the function — chiefly the ABI result copy after a call or
+/// syscall whose value the source program discards, and the parameter
+/// receive of an unused parameter. Runs to a fixed point so a
+/// constant-materialisation chain feeding only a dead copy collapses too.
+///
+/// Only side-effect-free formats are candidates (`R`/`I` ALU and `M` wide
+/// moves); loads are kept because a removed load could hide an
+/// address-fault difference between the binary and the VIR interpreter.
+fn eliminate_dead_vreg_defs(blocks: &mut [MBlock]) {
+    use vulnstack_isa::op::Format;
+    loop {
+        let mut read: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for b in blocks.iter() {
+            for i in &b.instrs {
+                read.extend(i.src_regs().iter().filter_map(|r| r.virt()));
+            }
+        }
+        let mut removed = false;
+        for b in blocks.iter_mut() {
+            b.instrs.retain(|i| {
+                let dead = matches!(i.op.format(), Format::R | Format::I | Format::M)
+                    && i.def_reg()
+                        .and_then(MReg::virt)
+                        .is_some_and(|v| !read.contains(&v));
+                removed |= dead;
+                !dead
+            });
+        }
+        if !removed {
+            return;
+        }
     }
 }
 
@@ -108,9 +148,25 @@ impl Cx<'_> {
             let u = value as u32;
             let lo = (u & 0xffff) as i64;
             let hi = ((u >> 16) & 0xffff) as i64;
-            self.push(MInstr { op: Op::Movz, rd: dst, rs1: MReg::None, rs2: MReg::None, imm: lo, shift: 0, target: MTarget::None });
+            self.push(MInstr {
+                op: Op::Movz,
+                rd: dst,
+                rs1: MReg::None,
+                rs2: MReg::None,
+                imm: lo,
+                shift: 0,
+                target: MTarget::None,
+            });
             if hi != 0 {
-                self.push(MInstr { op: Op::Movk, rd: dst, rs1: MReg::None, rs2: MReg::None, imm: hi, shift: 1, target: MTarget::None });
+                self.push(MInstr {
+                    op: Op::Movk,
+                    rd: dst,
+                    rs1: MReg::None,
+                    rs2: MReg::None,
+                    imm: hi,
+                    shift: 1,
+                    target: MTarget::None,
+                });
             }
             if value < 0 {
                 // Sign-extend the 32-bit pattern into the 64-bit register.
@@ -120,9 +176,25 @@ impl Cx<'_> {
             let u = value as u32;
             let lo = (u & 0xffff) as i64;
             let hi = ((u >> 16) & 0xffff) as i64;
-            self.push(MInstr { op: Op::Movz, rd: dst, rs1: MReg::None, rs2: MReg::None, imm: lo, shift: 0, target: MTarget::None });
+            self.push(MInstr {
+                op: Op::Movz,
+                rd: dst,
+                rs1: MReg::None,
+                rs2: MReg::None,
+                imm: lo,
+                shift: 0,
+                target: MTarget::None,
+            });
             if hi != 0 {
-                self.push(MInstr { op: Op::Movk, rd: dst, rs1: MReg::None, rs2: MReg::None, imm: hi, shift: 1, target: MTarget::None });
+                self.push(MInstr {
+                    op: Op::Movk,
+                    rd: dst,
+                    rs1: MReg::None,
+                    rs2: MReg::None,
+                    imm: hi,
+                    shift: 1,
+                    target: MTarget::None,
+                });
             }
         }
     }
@@ -205,7 +277,11 @@ impl Cx<'_> {
         // Try the immediate form.
         if let (Operand::Imm(v), Some(imm_op)) = (b, ri) {
             let shift_op = matches!(op, BinOp::Shl | BinOp::ShrL | BinOp::ShrA);
-            let fits = if shift_op { (0..32).contains(v) } else { (-8192..8192).contains(&(*v as i64)) };
+            let fits = if shift_op {
+                (0..32).contains(v)
+            } else {
+                (-8192..8192).contains(&(*v as i64))
+            };
             if fits {
                 let ra = self.val(a);
                 self.push(MInstr::new(imm_op, dst, ra, MReg::None, *v as i64));
@@ -269,7 +345,11 @@ impl Cx<'_> {
                 }
             }
             SLt | ULt => {
-                let (rr, ri) = if pred == SLt { (Op::Slt, Op::Slti) } else { (Op::Sltu, Op::Sltiu) };
+                let (rr, ri) = if pred == SLt {
+                    (Op::Slt, Op::Slti)
+                } else {
+                    (Op::Sltu, Op::Sltiu)
+                };
                 if let Operand::Imm(v) = b {
                     if (-8192..8192).contains(&(*v as i64)) {
                         let ra = self.val(a);
@@ -307,7 +387,11 @@ impl Cx<'_> {
                 let t = self.temp();
                 self.push(MInstr::new(Op::Sltiu, t, c, MReg::None, 1));
                 let m = self.temp();
-                let addi = if self.isa == Isa::Va64 { Op::Addiw } else { Op::Addi };
+                let addi = if self.isa == Isa::Va64 {
+                    Op::Addiw
+                } else {
+                    Op::Addi
+                };
                 self.push(MInstr::new(addi, m, t, MReg::None, -1));
                 let ra = self.val(a);
                 let x = self.temp();
@@ -319,7 +403,12 @@ impl Cx<'_> {
                 self.push(MInstr::new(Op::And, y, rb, mi, 0));
                 self.push(MInstr::new(Op::Or, MReg::V(dst.0), x, y, 0));
             }
-            VInstr::Load { dst, width, base, offset } => {
+            VInstr::Load {
+                dst,
+                width,
+                base,
+                offset,
+            } => {
                 let op = match width {
                     MemWidth::B => Op::Lb,
                     MemWidth::BU => Op::Lbu,
@@ -330,7 +419,12 @@ impl Cx<'_> {
                 let (rb, off) = self.base_offset(base, *offset);
                 self.push(MInstr::new(op, MReg::V(dst.0), rb, MReg::None, off));
             }
-            VInstr::Store { width, value, base, offset } => {
+            VInstr::Store {
+                width,
+                value,
+                base,
+                offset,
+            } => {
                 let op = match width {
                     MemWidth::B | MemWidth::BU => Op::Sb,
                     MemWidth::H | MemWidth::HU => Op::Sh,
@@ -381,7 +475,13 @@ impl Cx<'_> {
                     }
                 }
                 self.mat_const(sc.number() as i32, MReg::P(self.cc.syscall_num()));
-                self.push(MInstr::new(Op::Syscall, MReg::None, MReg::None, MReg::None, 0));
+                self.push(MInstr::new(
+                    Op::Syscall,
+                    MReg::None,
+                    MReg::None,
+                    MReg::None,
+                    0,
+                ));
                 if let Some(d) = dst {
                     self.mov(MReg::V(d.0), MReg::P(self.cc.ret()));
                 }
@@ -397,7 +497,11 @@ impl Cx<'_> {
                     target: MTarget::Block(*target),
                 });
             }
-            VInstr::CondBr { cond, then_bb, else_bb } => {
+            VInstr::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let c = self.val(cond);
                 let z = self.zero_reg();
                 self.push(MInstr {
@@ -449,7 +553,11 @@ impl Cx<'_> {
             Operand::Reg(r) => {
                 let t = self.temp();
                 self.mat_const(offset, t);
-                let add = if self.isa == Isa::Va64 { Op::Addw } else { Op::Add };
+                let add = if self.isa == Isa::Va64 {
+                    Op::Addw
+                } else {
+                    Op::Add
+                };
                 let t2 = self.temp();
                 self.push(MInstr::new(add, t2, MReg::V(r.0), t, 0));
                 (t2, 0)
@@ -469,11 +577,16 @@ mod tests {
     use vulnstack_isa::Reg;
     use vulnstack_vir::ModuleBuilder;
 
-    fn lower_main(isa: Isa, build: impl FnOnce(&mut vulnstack_vir::FuncBuilder)) -> MFunction {
+    // The closure returns the value the function should return, keeping
+    // it (and its inputs) alive past dead-definition elimination.
+    fn lower_main(
+        isa: Isa,
+        build: impl FnOnce(&mut vulnstack_vir::FuncBuilder) -> Option<vulnstack_vir::VReg>,
+    ) -> MFunction {
         let mut mb = ModuleBuilder::new("t");
         let mut f = mb.function("main", 0);
-        build(&mut f);
-        f.ret(None);
+        let r = build(&mut f);
+        f.ret(r.map(Into::into));
         mb.finish_function(f);
         let m = mb.finish().unwrap();
         let f = m.entry_function();
@@ -488,13 +601,13 @@ mod tests {
     fn add_uses_w_form_on_va64() {
         let f64 = lower_main(Isa::Va64, |f| {
             let a = f.c(1);
-            let _ = f.add(a, a);
+            Some(f.add(a, a))
         });
         assert!(all_instrs(&f64).iter().any(|i| i.op == Op::Addw));
 
         let f32 = lower_main(Isa::Va32, |f| {
             let a = f.c(1);
-            let _ = f.add(a, a);
+            Some(f.add(a, a))
         });
         assert!(all_instrs(&f32).iter().any(|i| i.op == Op::Add));
         assert!(!all_instrs(&f32).iter().any(|i| i.op == Op::Addw));
@@ -502,9 +615,7 @@ mod tests {
 
     #[test]
     fn small_constants_are_single_instruction_on_va64() {
-        let f = lower_main(Isa::Va64, |f| {
-            let _ = f.c(5);
-        });
+        let f = lower_main(Isa::Va64, |f| Some(f.c(5)));
         let instrs = all_instrs(&f);
         // main has no params, so the first instruction is the constant.
         assert_eq!(instrs[0].op, Op::Addiw);
@@ -513,9 +624,7 @@ mod tests {
 
     #[test]
     fn negative_wide_constant_sign_extends_on_va64() {
-        let f = lower_main(Isa::Va64, |f| {
-            let _ = f.c(-100_000);
-        });
+        let f = lower_main(Isa::Va64, |f| Some(f.c(-100_000)));
         let ops: Vec<Op> = all_instrs(&f).iter().map(|i| i.op).collect();
         assert!(ops.contains(&Op::Movz));
         assert!(ops.contains(&Op::Movk));
@@ -526,7 +635,7 @@ mod tests {
     fn immediate_add_folds() {
         let f = lower_main(Isa::Va32, |f| {
             let a = f.c(1);
-            let _ = f.add(a, 100);
+            Some(f.add(a, 100))
         });
         let instrs = all_instrs(&f);
         assert!(instrs.iter().any(|i| i.op == Op::Addi && i.imm == 100));
@@ -536,7 +645,7 @@ mod tests {
     fn sub_immediate_becomes_negative_addi() {
         let f = lower_main(Isa::Va64, |f| {
             let a = f.c(1);
-            let _ = f.sub(a, 4);
+            Some(f.sub(a, 4))
         });
         let instrs = all_instrs(&f);
         assert!(instrs.iter().any(|i| i.op == Op::Addiw && i.imm == -4));
@@ -552,10 +661,14 @@ mod tests {
             f.switch_to(t);
             f.br(e);
             f.switch_to(e);
+            None
         });
         let instrs = all_instrs(&f);
         let bne = instrs.iter().find(|i| i.op == Op::Bne).unwrap();
-        assert!(matches!(bne.rs2, MReg::V(_)), "VA32 compares against a materialised zero");
+        assert!(
+            matches!(bne.rs2, MReg::V(_)),
+            "VA32 compares against a materialised zero"
+        );
 
         let f64 = lower_main(Isa::Va64, |f| {
             let c = f.c(1);
@@ -565,6 +678,7 @@ mod tests {
             f.switch_to(t);
             f.br(e);
             f.switch_to(e);
+            None
         });
         let instrs = all_instrs(&f64);
         let bne = instrs.iter().find(|i| i.op == Op::Bne).unwrap();
@@ -575,6 +689,7 @@ mod tests {
     fn syscall_sets_number_register() {
         let f = lower_main(Isa::Va64, |f| {
             f.sys_exit(0);
+            None
         });
         let instrs = all_instrs(&f);
         let cc = CallConv::new(Isa::Va64);
@@ -588,7 +703,8 @@ mod tests {
     #[test]
     fn ret_jumps_to_epilogue() {
         let f = lower_main(Isa::Va32, |f| {
-            let _ = f.c(3);
+            let _ = f.c(3); // dead: eliminated, leaving just the return
+            None
         });
         let last = all_instrs(&f).last().cloned().unwrap();
         assert_eq!(last.target, MTarget::Epilogue);

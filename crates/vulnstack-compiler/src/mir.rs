@@ -68,7 +68,15 @@ pub struct MInstr {
 impl MInstr {
     /// A no-target instruction.
     pub fn new(op: Op, rd: MReg, rs1: MReg, rs2: MReg, imm: i64) -> MInstr {
-        MInstr { op, rd, rs1, rs2, imm, shift: 0, target: MTarget::None }
+        MInstr {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+            shift: 0,
+            target: MTarget::None,
+        }
     }
 
     /// Virtual registers read by this instruction (following the ISA
@@ -158,8 +166,15 @@ mod tests {
         assert!(call.is_call());
         assert!(call.src_regs().is_empty());
 
-        let movk = MInstr { op: Op::Movk, rd: MReg::P(Reg(1)), ..MInstr::new(Op::Nop, MReg::None, MReg::None, MReg::None, 0) };
-        let movk = MInstr { op: Op::Movk, ..movk };
+        let movk = MInstr {
+            op: Op::Movk,
+            rd: MReg::P(Reg(1)),
+            ..MInstr::new(Op::Nop, MReg::None, MReg::None, MReg::None, 0)
+        };
+        let movk = MInstr {
+            op: Op::Movk,
+            ..movk
+        };
         assert_eq!(movk.src_regs(), vec![MReg::P(Reg(1))]);
     }
 }

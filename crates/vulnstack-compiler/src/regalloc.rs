@@ -111,7 +111,10 @@ pub fn allocate(liveness: &Liveness, pools: &RegPools) -> Assignment {
         } else {
             // Prefer caller-saved to keep callee-saved (which must be
             // saved/restored) for values that really need them.
-            free_caller.pop().map(|r| (r, false)).or_else(|| free_callee.pop().map(|r| (r, true)))
+            free_caller
+                .pop()
+                .map(|r| (r, false))
+                .or_else(|| free_callee.pop().map(|r| (r, true)))
         };
 
         match pick {
@@ -142,7 +145,11 @@ pub fn allocate(liveness: &Liveness, pools: &RegPools) -> Assignment {
                         if victim.callee && !used_callee.contains(&victim.reg) {
                             used_callee.push(victim.reg);
                         }
-                        active.push(Active { iv, reg: victim.reg, callee: victim.callee });
+                        active.push(Active {
+                            iv,
+                            reg: victim.reg,
+                            callee: victim.callee,
+                        });
                     }
                     _ => {
                         let slot = result.num_spill_slots;
@@ -164,11 +171,20 @@ mod tests {
     use crate::liveness::Interval;
 
     fn mk_liveness(intervals: Vec<Interval>) -> Liveness {
-        Liveness { intervals, call_sites: vec![], block_starts: vec![0] }
+        Liveness {
+            intervals,
+            call_sites: vec![],
+            block_starts: vec![0],
+        }
     }
 
     fn iv(vreg: u32, start: u32, end: u32) -> Interval {
-        Interval { vreg, start, end, crosses_call: false }
+        Interval {
+            vreg,
+            start,
+            end,
+            crosses_call: false,
+        }
     }
 
     #[test]
@@ -214,7 +230,12 @@ mod tests {
     fn call_crossing_interval_gets_callee_saved() {
         let pools = RegPools::for_isa(Isa::Va64);
         let l = Liveness {
-            intervals: vec![Interval { vreg: 0, start: 0, end: 10, crosses_call: true }],
+            intervals: vec![Interval {
+                vreg: 0,
+                start: 0,
+                end: 10,
+                crosses_call: true,
+            }],
             call_sites: vec![5],
             block_starts: vec![0],
         };

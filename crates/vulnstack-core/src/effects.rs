@@ -20,8 +20,12 @@ pub enum FaultEffect {
 
 impl FaultEffect {
     /// All classes.
-    pub const ALL: [FaultEffect; 4] =
-        [FaultEffect::Masked, FaultEffect::Sdc, FaultEffect::Crash, FaultEffect::Detected];
+    pub const ALL: [FaultEffect; 4] = [
+        FaultEffect::Masked,
+        FaultEffect::Sdc,
+        FaultEffect::Crash,
+        FaultEffect::Detected,
+    ];
 
     /// Report name.
     pub fn name(self) -> &'static str {
@@ -151,7 +155,11 @@ impl VulnFactor {
 
     /// Scales both components (used for HVF×PVF compositions).
     pub fn scaled(&self, k: f64) -> VulnFactor {
-        VulnFactor { sdc: self.sdc * k, crash: self.crash * k, detected: self.detected * k }
+        VulnFactor {
+            sdc: self.sdc * k,
+            crash: self.crash * k,
+            detected: self.detected * k,
+        }
     }
 
     /// Component-wise sum.
@@ -230,7 +238,9 @@ mod tests {
     #[test]
     fn merge_adds_counts() {
         let mut a: Tally = [FaultEffect::Sdc].into_iter().collect();
-        let b: Tally = [FaultEffect::Crash, FaultEffect::Masked].into_iter().collect();
+        let b: Tally = [FaultEffect::Crash, FaultEffect::Masked]
+            .into_iter()
+            .collect();
         a.merge(&b);
         assert_eq!(a.total(), 3);
         assert_eq!(a.crash, 1);

@@ -131,7 +131,10 @@ impl FpmDist {
     /// Share of `fpm` among faults that reached the software layer
     /// (WD/WI/WOI only — ESC by definition bypasses software).
     pub fn software_share(&self, fpm: Fpm) -> f64 {
-        let sw: u64 = [Fpm::Wd, Fpm::Wi, Fpm::Woi].iter().map(|&f| self.count(f)).sum();
+        let sw: u64 = [Fpm::Wd, Fpm::Wi, Fpm::Woi]
+            .iter()
+            .map(|&f| self.count(f))
+            .sum();
         if sw == 0 {
             return 0.0;
         }
@@ -169,7 +172,12 @@ impl FpmDist {
 /// using the HVF-measured FPM distribution. ESC is excluded (it cannot be
 /// modelled above the hardware layer); the remaining shares are taken
 /// *conditional on reaching software*.
-pub fn rpvf(dist: &FpmDist, pvf_wd: VulnFactor, pvf_woi: VulnFactor, pvf_wi: VulnFactor) -> VulnFactor {
+pub fn rpvf(
+    dist: &FpmDist,
+    pvf_wd: VulnFactor,
+    pvf_woi: VulnFactor,
+    pvf_wi: VulnFactor,
+) -> VulnFactor {
     let mut acc = VulnFactor::default();
     for (fpm, pvf) in [(Fpm::Wd, pvf_wd), (Fpm::Woi, pvf_woi), (Fpm::Wi, pvf_wi)] {
         acc = acc.plus(&pvf.scaled(dist.software_share(fpm)));
@@ -266,8 +274,16 @@ mod tests {
         for _ in 0..40 {
             d.add(Some(Fpm::Wi));
         }
-        let wd = VulnFactor { sdc: 0.5, crash: 0.0, detected: 0.0 };
-        let wi = VulnFactor { sdc: 0.0, crash: 0.5, detected: 0.0 };
+        let wd = VulnFactor {
+            sdc: 0.5,
+            crash: 0.0,
+            detected: 0.0,
+        };
+        let wi = VulnFactor {
+            sdc: 0.0,
+            crash: 0.5,
+            detected: 0.0,
+        };
         let woi = VulnFactor::default();
         let r = rpvf(&d, wd, woi, wi);
         assert!((r.sdc - 0.3).abs() < 1e-12);

@@ -133,7 +133,10 @@ fn harden_function(f: &mut Function) {
             match ins {
                 VInstr::Const { dst, value } => {
                     sp.cur.push(ins.clone());
-                    sp.cur.push(VInstr::Const { dst: shadow(*dst, n), value: *value });
+                    sp.cur.push(VInstr::Const {
+                        dst: shadow(*dst, n),
+                        value: *value,
+                    });
                 }
                 VInstr::Bin { dst, op, a, b } => {
                     sp.cur.push(ins.clone());
@@ -162,7 +165,12 @@ fn harden_function(f: &mut Function) {
                         b: shadow_op(b, n),
                     });
                 }
-                VInstr::Load { dst, width, base, offset } => {
+                VInstr::Load {
+                    dst,
+                    width,
+                    base,
+                    offset,
+                } => {
                     sp.cur.push(ins.clone());
                     // Shadow load re-reads memory through the shadow base.
                     sp.cur.push(VInstr::Load {
@@ -174,13 +182,24 @@ fn harden_function(f: &mut Function) {
                 }
                 VInstr::GlobalAddr { dst, global } => {
                     sp.cur.push(ins.clone());
-                    sp.cur.push(VInstr::GlobalAddr { dst: shadow(*dst, n), global: *global });
+                    sp.cur.push(VInstr::GlobalAddr {
+                        dst: shadow(*dst, n),
+                        global: *global,
+                    });
                 }
                 VInstr::SlotAddr { dst, slot } => {
                     sp.cur.push(ins.clone());
-                    sp.cur.push(VInstr::SlotAddr { dst: shadow(*dst, n), slot: *slot });
+                    sp.cur.push(VInstr::SlotAddr {
+                        dst: shadow(*dst, n),
+                        slot: *slot,
+                    });
                 }
-                VInstr::Store { width, value, base, offset } => {
+                VInstr::Store {
+                    width,
+                    value,
+                    base,
+                    offset,
+                } => {
                     sp.check(value);
                     sp.check(base);
                     sp.cur.push(VInstr::Store {
@@ -194,7 +213,11 @@ fn harden_function(f: &mut Function) {
                     for a in args {
                         sp.check(a);
                     }
-                    sp.cur.push(VInstr::Call { dst: *dst, func: *func, args: args.clone() });
+                    sp.cur.push(VInstr::Call {
+                        dst: *dst,
+                        func: *func,
+                        args: args.clone(),
+                    });
                     if let Some(d) = dst {
                         // The call boundary is unprotected (SWIFT-style):
                         // re-seed the shadow from the returned value.
@@ -205,12 +228,20 @@ fn harden_function(f: &mut Function) {
                     for a in args {
                         sp.check(a);
                     }
-                    sp.cur.push(VInstr::Syscall { dst: *dst, sc: *sc, args: args.clone() });
+                    sp.cur.push(VInstr::Syscall {
+                        dst: *dst,
+                        sc: *sc,
+                        args: args.clone(),
+                    });
                     if let Some(d) = dst {
                         Splitter::reseed(&mut sp.cur, *d, n);
                     }
                 }
-                VInstr::CondBr { cond, then_bb, else_bb } => {
+                VInstr::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     sp.check(cond);
                     sp.cur.push(VInstr::CondBr {
                         cond: *cond,
@@ -261,8 +292,10 @@ fn harden_function(f: &mut Function) {
     replaced[0] = entry;
 
     // Assemble: originals, detect block, appended segments.
-    let mut new_blocks: Vec<Block> =
-        replaced.into_iter().map(|instrs| Block { instrs }).collect();
+    let mut new_blocks: Vec<Block> = replaced
+        .into_iter()
+        .map(|instrs| Block { instrs })
+        .collect();
     new_blocks.push(Block {
         instrs: vec![
             VInstr::Syscall {
@@ -287,7 +320,12 @@ mod tests {
 
     #[test]
     fn hardened_workloads_still_produce_golden_output() {
-        for id in [WorkloadId::Sha, WorkloadId::Smooth, WorkloadId::Crc32, WorkloadId::Qsort] {
+        for id in [
+            WorkloadId::Sha,
+            WorkloadId::Smooth,
+            WorkloadId::Crc32,
+            WorkloadId::Qsort,
+        ] {
             let w = id.build();
             let h = harden(&w.module).unwrap_or_else(|e| panic!("{id}: {e}"));
             let out = Interpreter::new(&h)
@@ -295,7 +333,10 @@ mod tests {
                 .run()
                 .unwrap_or_else(|e| panic!("{id}: {e}"));
             assert_eq!(out.status, RunStatus::Exited(0), "{id}");
-            assert_eq!(out.output, w.expected_output, "{id}: hardened output differs");
+            assert_eq!(
+                out.output, w.expected_output,
+                "{id}: hardened output differs"
+            );
         }
     }
 
@@ -303,8 +344,14 @@ mod tests {
     fn hardening_roughly_doubles_dynamic_length() {
         let w = WorkloadId::Sha.build();
         let h = harden(&w.module).unwrap();
-        let base = Interpreter::new(&w.module).with_input(w.input.clone()).run().unwrap();
-        let hard = Interpreter::new(&h).with_input(w.input.clone()).run().unwrap();
+        let base = Interpreter::new(&w.module)
+            .with_input(w.input.clone())
+            .run()
+            .unwrap();
+        let hard = Interpreter::new(&h)
+            .with_input(w.input.clone())
+            .run()
+            .unwrap();
         let ratio = hard.dyn_instrs as f64 / base.dyn_instrs as f64;
         assert!(
             (1.8..4.5).contains(&ratio),
@@ -318,7 +365,10 @@ mod tests {
         // solid fraction must be caught by the checks.
         let w = WorkloadId::Crc32.build();
         let h = harden(&w.module).unwrap();
-        let golden = Interpreter::new(&h).with_input(w.input.clone()).run().unwrap();
+        let golden = Interpreter::new(&h)
+            .with_input(w.input.clone())
+            .run()
+            .unwrap();
         assert_eq!(golden.status, RunStatus::Exited(0));
         let mut detected = 0;
         let mut sdc = 0;
@@ -328,7 +378,10 @@ mod tests {
             let out = Interpreter::new(&h)
                 .with_input(w.input.clone())
                 .with_budget(golden.dyn_instrs * 8)
-                .with_fault(SwFault { target, bit: (i % 31) as u8 })
+                .with_fault(SwFault {
+                    target,
+                    bit: (i % 31) as u8,
+                })
                 .run()
                 .unwrap();
             match out.status {

@@ -86,7 +86,13 @@ pub fn run_one(prep: &Prepared, structure: HwStructure, cycle: u64, bit: u64) ->
         prep.golden.status,
         &prep.expected_output,
     );
-    InjectionRecord { cycle, bit, effect, fpm: out.fpm, fpm_cycle: out.fpm_cycle }
+    InjectionRecord {
+        cycle,
+        bit,
+        effect,
+        fpm: out.fpm,
+        fpm_cycle: out.fpm_cycle,
+    }
 }
 
 /// Runs a campaign of `n` uniformly-sampled single-bit faults in
@@ -104,7 +110,12 @@ pub fn avf_campaign(
     // independent of the thread count.
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let sites: Vec<(u64, u64)> = (0..n)
-        .map(|_| (rng.gen_range(1..=prep.golden.cycles), rng.gen_range(0..bits)))
+        .map(|_| {
+            (
+                rng.gen_range(1..=prep.golden.cycles),
+                rng.gen_range(0..bits),
+            )
+        })
         .collect();
 
     let threads = threads.max(1);
@@ -118,11 +129,18 @@ pub fn avf_campaign(
         let results: Vec<Vec<InjectionRecord>> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = sites
                 .chunks(chunk.max(1))
-                .map(|part| s.spawn(move |_| {
-                    part.iter().map(|&(c, b)| run_one(prep, structure, c, b)).collect::<Vec<_>>()
-                }))
+                .map(|part| {
+                    s.spawn(move |_| {
+                        part.iter()
+                            .map(|&(c, b)| run_one(prep, structure, c, b))
+                            .collect::<Vec<_>>()
+                    })
+                })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("injection worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("injection worker panicked"))
+                .collect()
         })
         .expect("campaign scope");
         for r in results {
@@ -135,7 +153,13 @@ pub fn avf_campaign(
     for r in &records {
         fpm.add(r.fpm);
     }
-    AvfCampaignResult { structure, bits, tally, fpm, records }
+    AvfCampaignResult {
+        structure,
+        bits,
+        tally,
+        fpm,
+        records,
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +174,10 @@ mod tests {
         let prep = Prepared::new(&w, CoreModel::A72).unwrap();
         let a = avf_campaign(&prep, HwStructure::RegisterFile, 24, 7, 4);
         let b = avf_campaign(&prep, HwStructure::RegisterFile, 24, 7, 2);
-        assert_eq!(a.tally, b.tally, "same seed must give the same tally regardless of threads");
+        assert_eq!(
+            a.tally, b.tally,
+            "same seed must give the same tally regardless of threads"
+        );
         assert_eq!(a.tally.total(), 24);
         // The register file is mostly dead space: expect masking.
         assert!(a.tally.masked > 0);

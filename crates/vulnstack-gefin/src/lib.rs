@@ -18,12 +18,14 @@
 
 pub mod ace;
 pub mod avf;
+pub mod compare;
 pub mod prepare;
 pub mod pvf;
 pub mod sweep;
 
 pub use ace::ace_analysis;
 pub use avf::{avf_campaign, AvfCampaignResult, InjectionRecord};
+pub use compare::{static_vs_dynamic, StaticDynamicComparison};
 pub use prepare::{FuncPrepared, Prepared};
 pub use pvf::{pvf_campaign, PvfMode};
 pub use sweep::{temporal_campaign, TemporalProfile};
@@ -36,7 +38,9 @@ pub fn default_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(16)
 }
 
 /// Returns the per-structure fault count: `VULNSTACK_FAULTS` or the given

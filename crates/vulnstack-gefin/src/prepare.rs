@@ -69,7 +69,13 @@ impl Prepared {
             return Err(PrepareError::BadGolden(golden.status));
         }
         let budget = golden.cycles * 8 + 500_000;
-        Ok(Prepared { cfg, image, golden, expected_output: workload.expected_output.clone(), budget })
+        Ok(Prepared {
+            cfg,
+            image,
+            golden,
+            expected_output: workload.expected_output.clone(),
+            budget,
+        })
     }
 }
 

@@ -52,7 +52,12 @@ impl std::fmt::Display for PvfMode {
 }
 
 fn classify_outcome(prep: &FuncPrepared, out: &vulnstack_microarch::SimOutcome) -> FaultEffect {
-    FaultEffect::classify(out.status, &out.output, prep.golden.status, &prep.expected_output)
+    FaultEffect::classify(
+        out.status,
+        &out.output,
+        prep.golden.status,
+        &prep.expected_output,
+    )
 }
 
 /// Runs one WD injection: flip a register or program-flow memory bit at a
@@ -76,7 +81,10 @@ fn run_wd(prep: &FuncPrepared, rng: &mut StdRng) -> FaultEffect {
     } else {
         let m = rng.gen_range(0..mem_bits);
         let idx = (m / 8) as usize % prep.profile.touched_bytes.len().max(1);
-        PvfMutation::FlipMem { addr: prep.profile.touched_bytes[idx], bit: (m % 8) as u8 }
+        PvfMutation::FlipMem {
+            addr: prep.profile.touched_bytes[idx],
+            bit: (m % 8) as u8,
+        }
     };
     let out = FuncCore::new(&prep.image)
         .with_fault(PvfFault { at_instr, mutation })
@@ -143,11 +151,12 @@ pub fn pvf_campaign(
     let tallies: Vec<Tally> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = indices
             .chunks(chunk.max(1))
-            .map(|part| {
-                s.spawn(move |_| part.iter().map(|&i| run_idx(i)).collect::<Tally>())
-            })
+            .map(|part| s.spawn(move |_| part.iter().map(|&i| run_idx(i)).collect::<Tally>()))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("pvf worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pvf worker panicked"))
+            .collect()
     })
     .expect("campaign scope");
     let mut out = Tally::default();

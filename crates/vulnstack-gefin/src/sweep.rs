@@ -73,7 +73,12 @@ pub fn temporal_campaign(
         fpms.push(fpm);
     }
 
-    TemporalProfile { structure, bounds, tallies, fpms }
+    TemporalProfile {
+        structure,
+        bounds,
+        tallies,
+        fpms,
+    }
 }
 
 #[cfg(test)]

@@ -137,7 +137,13 @@ mod tests {
 
     #[test]
     fn syscall_numbers_roundtrip() {
-        for s in [Syscall::Exit, Syscall::Write, Syscall::Read, Syscall::Brk, Syscall::Detect] {
+        for s in [
+            Syscall::Exit,
+            Syscall::Write,
+            Syscall::Read,
+            Syscall::Brk,
+            Syscall::Detect,
+        ] {
             assert_eq!(Syscall::from_number(s.number()), Some(s));
         }
         assert_eq!(Syscall::from_number(0), None);

@@ -21,7 +21,7 @@ pub fn insert(word: u32, hi: u32, lo: u32, value: u32) -> u32 {
 
 /// Sign-extends the low `bits` bits of `v` to 64 bits.
 pub fn sext(v: u64, bits: u32) -> i64 {
-    debug_assert!(bits >= 1 && bits <= 64);
+    debug_assert!((1..=64).contains(&bits));
     let shift = 64 - bits;
     ((v << shift) as i64) >> shift
 }

@@ -15,13 +15,29 @@ impl std::fmt::Display for Instr {
             Format::B => write!(f, "{m} {}, {}, pc{:+}", self.rs1, self.rs2, self.imm),
             Format::J => write!(f, "{m} pc{:+}", self.imm),
             Format::Jr => write!(f, "{m} {}", self.rs1),
-            Format::M => write!(f, "{m} {}, {:#x} lsl {}", self.rd, self.imm, 16 * self.shift),
+            Format::M => write!(
+                f,
+                "{m} {}, {:#x} lsl {}",
+                self.rd,
+                self.imm,
+                16 * self.shift
+            ),
             Format::Sys => write!(f, "{m}"),
             Format::Mfsr => {
-                write!(f, "{m} {}, {}", self.rd, self.sysreg().map_or("?".into(), |s| s.to_string()))
+                write!(
+                    f,
+                    "{m} {}, {}",
+                    self.rd,
+                    self.sysreg().map_or("?".into(), |s| s.to_string())
+                )
             }
             Format::Mtsr => {
-                write!(f, "{m} {}, {}", self.sysreg().map_or("?".into(), |s| s.to_string()), self.rs1)
+                write!(
+                    f,
+                    "{m} {}, {}",
+                    self.sysreg().map_or("?".into(), |s| s.to_string()),
+                    self.rs1
+                )
             }
         }
     }
@@ -55,9 +71,18 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Instr::alu_rr(Op::Add, Reg(1), Reg(2), Reg(3)).to_string(), "add r1, r2, r3");
-        assert_eq!(Instr::load(Op::Lw, Reg(4), Reg(5), -8).to_string(), "lw r4, [r5 + -8]");
-        assert_eq!(Instr::branch(Op::Beq, Reg(1), Reg(2), 16).to_string(), "beq r1, r2, pc+16");
+        assert_eq!(
+            Instr::alu_rr(Op::Add, Reg(1), Reg(2), Reg(3)).to_string(),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            Instr::load(Op::Lw, Reg(4), Reg(5), -8).to_string(),
+            "lw r4, [r5 + -8]"
+        );
+        assert_eq!(
+            Instr::branch(Op::Beq, Reg(1), Reg(2), 16).to_string(),
+            "beq r1, r2, pc+16"
+        );
         assert_eq!(Instr::sys(Op::Syscall).to_string(), "syscall");
         assert_eq!(
             Instr::mov_wide(Op::Movz, Reg(7), 0xBEEF, 2).to_string(),
@@ -73,7 +98,9 @@ mod tests {
 
     #[test]
     fn disasm_byte_stream() {
-        let a = Instr::alu_imm(Op::Addi, Reg(1), Reg(1), 1).encode(Isa::Va64).unwrap();
+        let a = Instr::alu_imm(Op::Addi, Reg(1), Reg(1), 1)
+            .encode(Isa::Va64)
+            .unwrap();
         let b = Instr::sys(Op::Nop).encode(Isa::Va64).unwrap();
         let mut bytes = a.to_le_bytes().to_vec();
         bytes.extend(b.to_le_bytes());

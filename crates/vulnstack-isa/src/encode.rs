@@ -165,7 +165,10 @@ impl Instr {
                     return Err(EncodeError::ShiftOutOfRange { shift: self.shift });
                 }
                 if !(0..=0xffff).contains(&self.imm) {
-                    return Err(EncodeError::ImmOutOfRange { imm: self.imm, bits: 16 });
+                    return Err(EncodeError::ImmOutOfRange {
+                        imm: self.imm,
+                        bits: 16,
+                    });
                 }
                 w = insert(w, 23, 19, check_reg(self.rd)?);
                 w = insert(w, 18, 17, self.shift as u32);
@@ -215,7 +218,14 @@ impl Instr {
         };
         let imm14 = sext(field(word, 13, 0) as u64, 14);
 
-        let mut i = Instr { op, rd: Reg(0), rs1: Reg(0), rs2: Reg(0), imm: 0, shift: 0 };
+        let mut i = Instr {
+            op,
+            rd: Reg(0),
+            rs1: Reg(0),
+            rs2: Reg(0),
+            imm: 0,
+            shift: 0,
+        };
         match op.format() {
             Format::R => {
                 i.rd = reg(23, 19)?;
@@ -268,7 +278,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn roundtrip(i: Instr, isa: Isa) {
-        let w = i.encode(isa).unwrap_or_else(|e| panic!("encode {i:?} on {isa}: {e}"));
+        let w = i
+            .encode(isa)
+            .unwrap_or_else(|e| panic!("encode {i:?} on {isa}: {e}"));
         let back = Instr::decode(w, isa).unwrap_or_else(|e| panic!("decode {w:#x} on {isa}: {e}"));
         assert_eq!(i, back, "roundtrip failed for {i:?} on {isa}");
     }
@@ -300,21 +312,36 @@ mod tests {
     #[test]
     fn encode_rejects_out_of_range() {
         let i = Instr::alu_rr(Op::Add, Reg(20), Reg(1), Reg(2));
-        assert!(matches!(i.encode(Isa::Va32), Err(EncodeError::RegOutOfRange { .. })));
+        assert!(matches!(
+            i.encode(Isa::Va32),
+            Err(EncodeError::RegOutOfRange { .. })
+        ));
         assert!(i.encode(Isa::Va64).is_ok());
 
         let i = Instr::alu_imm(Op::Addi, Reg(1), Reg(2), 8192);
-        assert!(matches!(i.encode(Isa::Va64), Err(EncodeError::ImmOutOfRange { .. })));
+        assert!(matches!(
+            i.encode(Isa::Va64),
+            Err(EncodeError::ImmOutOfRange { .. })
+        ));
 
         let i = Instr::branch(Op::Beq, Reg(1), Reg(2), 6);
-        assert!(matches!(i.encode(Isa::Va64), Err(EncodeError::MisalignedOffset { .. })));
+        assert!(matches!(
+            i.encode(Isa::Va64),
+            Err(EncodeError::MisalignedOffset { .. })
+        ));
 
         let i = Instr::load(Op::Ld, Reg(1), Reg(2), 0);
-        assert!(matches!(i.encode(Isa::Va32), Err(EncodeError::OpInvalidForIsa { .. })));
+        assert!(matches!(
+            i.encode(Isa::Va32),
+            Err(EncodeError::OpInvalidForIsa { .. })
+        ));
 
         let mut i = Instr::mov_wide(Op::Movz, Reg(1), 1, 0);
         i.shift = 4;
-        assert!(matches!(i.encode(Isa::Va64), Err(EncodeError::ShiftOutOfRange { .. })));
+        assert!(matches!(
+            i.encode(Isa::Va64),
+            Err(EncodeError::ShiftOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -325,8 +352,13 @@ mod tests {
             Err(DecodeError::BadOpcode { code: 0 })
         ));
         // LD on VA32.
-        let w = Instr::load(Op::Ld, Reg(1), Reg(2), 0).encode(Isa::Va64).unwrap();
-        assert!(matches!(Instr::decode(w, Isa::Va32), Err(DecodeError::OpInvalidForIsa { .. })));
+        let w = Instr::load(Op::Ld, Reg(1), Reg(2), 0)
+            .encode(Isa::Va64)
+            .unwrap();
+        assert!(matches!(
+            Instr::decode(w, Isa::Va32),
+            Err(DecodeError::OpInvalidForIsa { .. })
+        ));
         // Register 31 is invalid on VA32: craft `add r16, r0, r0`.
         let w = crate::bits::insert(
             crate::bits::insert(0, 31, 24, Op::Add.code() as u32),
@@ -334,12 +366,17 @@ mod tests {
             19,
             16,
         );
-        assert!(matches!(Instr::decode(w, Isa::Va32), Err(DecodeError::BadReg { index: 16 })));
+        assert!(matches!(
+            Instr::decode(w, Isa::Va32),
+            Err(DecodeError::BadReg { index: 16 })
+        ));
     }
 
     #[test]
     fn ignored_bits_are_dont_care() {
-        let base = Instr::alu_rr(Op::Add, Reg(1), Reg(2), Reg(3)).encode(Isa::Va64).unwrap();
+        let base = Instr::alu_rr(Op::Add, Reg(1), Reg(2), Reg(3))
+            .encode(Isa::Va64)
+            .unwrap();
         for bit in 0..9 {
             let flipped = base ^ (1 << bit);
             let d = Instr::decode(flipped, Isa::Va64).unwrap();

@@ -80,7 +80,9 @@ pub fn classify_bit(word: u32, bit: u32) -> BitClass {
 
 /// Returns the bit indices of `word` belonging to `class`.
 pub fn bits_of_class(word: u32, class: BitClass) -> Vec<u32> {
-    (0..32).filter(|&b| classify_bit(word, b) == class).collect()
+    (0..32)
+        .filter(|&b| classify_bit(word, b) == class)
+        .collect()
 }
 
 #[cfg(test)]
@@ -99,7 +101,9 @@ mod tests {
 
     #[test]
     fn alu_imm_operands() {
-        let w = Instr::alu_imm(Op::Addi, Reg(1), Reg(2), 5).encode(Isa::Va64).unwrap();
+        let w = Instr::alu_imm(Op::Addi, Reg(1), Reg(2), 5)
+            .encode(Isa::Va64)
+            .unwrap();
         assert_eq!(classify_bit(w, 0), BitClass::Operand); // imm LSB
         assert_eq!(classify_bit(w, 20), BitClass::Operand); // rd field
         assert_eq!(classify_bit(w, 25), BitClass::Instruction);
@@ -107,7 +111,9 @@ mod tests {
 
     #[test]
     fn branch_target_bits_are_wi() {
-        let w = Instr::branch(Op::Beq, Reg(1), Reg(2), 8).encode(Isa::Va64).unwrap();
+        let w = Instr::branch(Op::Beq, Reg(1), Reg(2), 8)
+            .encode(Isa::Va64)
+            .unwrap();
         assert_eq!(classify_bit(w, 0), BitClass::Instruction); // offset
         assert_eq!(classify_bit(w, 13), BitClass::Instruction); // offset sign
         assert_eq!(classify_bit(w, 15), BitClass::Operand); // rs2 field
@@ -124,7 +130,9 @@ mod tests {
 
     #[test]
     fn r_format_low_bits_ignored() {
-        let w = Instr::alu_rr(Op::Add, Reg(1), Reg(2), Reg(3)).encode(Isa::Va64).unwrap();
+        let w = Instr::alu_rr(Op::Add, Reg(1), Reg(2), Reg(3))
+            .encode(Isa::Va64)
+            .unwrap();
         for bit in 0..9 {
             assert_eq!(classify_bit(w, bit), BitClass::Ignored);
         }
@@ -148,7 +156,9 @@ mod tests {
 
     #[test]
     fn bits_of_class_partition() {
-        let w = Instr::load(Op::Lw, Reg(1), Reg(2), 16).encode(Isa::Va64).unwrap();
+        let w = Instr::load(Op::Lw, Reg(1), Reg(2), 16)
+            .encode(Isa::Va64)
+            .unwrap();
         let n_i = bits_of_class(w, BitClass::Instruction).len();
         let n_o = bits_of_class(w, BitClass::Operand).len();
         let n_x = bits_of_class(w, BitClass::Ignored).len();

@@ -50,71 +50,153 @@ impl Instr {
     /// Builds a register-register ALU instruction.
     pub fn alu_rr(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Instr {
         debug_assert_eq!(op.format(), Format::R);
-        Instr { op, rd, rs1, rs2, imm: 0, shift: 0 }
+        Instr {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+            shift: 0,
+        }
     }
 
     /// Builds a register-immediate ALU instruction.
     pub fn alu_imm(op: Op, rd: Reg, rs1: Reg, imm: i64) -> Instr {
         debug_assert_eq!(op.format(), Format::I);
-        Instr { op, rd, rs1, rs2: Reg(0), imm, shift: 0 }
+        Instr {
+            op,
+            rd,
+            rs1,
+            rs2: Reg(0),
+            imm,
+            shift: 0,
+        }
     }
 
     /// Builds a load: `rd <- mem[rs1 + offset]`.
     pub fn load(op: Op, rd: Reg, base: Reg, offset: i64) -> Instr {
         debug_assert_eq!(op.format(), Format::Load);
-        Instr { op, rd, rs1: base, rs2: Reg(0), imm: offset, shift: 0 }
+        Instr {
+            op,
+            rd,
+            rs1: base,
+            rs2: Reg(0),
+            imm: offset,
+            shift: 0,
+        }
     }
 
     /// Builds a store: `mem[rs1 + offset] <- data`.
     pub fn store(op: Op, data: Reg, base: Reg, offset: i64) -> Instr {
         debug_assert_eq!(op.format(), Format::Store);
-        Instr { op, rd: data, rs1: base, rs2: Reg(0), imm: offset, shift: 0 }
+        Instr {
+            op,
+            rd: data,
+            rs1: base,
+            rs2: Reg(0),
+            imm: offset,
+            shift: 0,
+        }
     }
 
     /// Builds a conditional branch with a pc-relative byte offset.
     pub fn branch(op: Op, rs1: Reg, rs2: Reg, offset: i64) -> Instr {
         debug_assert_eq!(op.format(), Format::B);
-        Instr { op, rd: Reg(0), rs1, rs2, imm: offset, shift: 0 }
+        Instr {
+            op,
+            rd: Reg(0),
+            rs1,
+            rs2,
+            imm: offset,
+            shift: 0,
+        }
     }
 
     /// Builds a direct `call`/`jmp` with a pc-relative byte offset.
     pub fn jump(op: Op, offset: i64) -> Instr {
         debug_assert_eq!(op.format(), Format::J);
-        Instr { op, rd: Reg(0), rs1: Reg(0), rs2: Reg(0), imm: offset, shift: 0 }
+        Instr {
+            op,
+            rd: Reg(0),
+            rs1: Reg(0),
+            rs2: Reg(0),
+            imm: offset,
+            shift: 0,
+        }
     }
 
     /// Builds an indirect `callr`/`jmpr` through `target`.
     pub fn jump_reg(op: Op, target: Reg) -> Instr {
         debug_assert_eq!(op.format(), Format::Jr);
-        Instr { op, rd: Reg(0), rs1: target, rs2: Reg(0), imm: 0, shift: 0 }
+        Instr {
+            op,
+            rd: Reg(0),
+            rs1: target,
+            rs2: Reg(0),
+            imm: 0,
+            shift: 0,
+        }
     }
 
     /// Builds a `movz`/`movk`: `imm16` placed at bit position `16*shift`.
     pub fn mov_wide(op: Op, rd: Reg, imm16: u16, shift: u8) -> Instr {
         debug_assert_eq!(op.format(), Format::M);
         debug_assert!(shift < 4);
-        Instr { op, rd, rs1: Reg(0), rs2: Reg(0), imm: imm16 as i64, shift }
+        Instr {
+            op,
+            rd,
+            rs1: Reg(0),
+            rs2: Reg(0),
+            imm: imm16 as i64,
+            shift,
+        }
     }
 
     /// Builds a no-operand system instruction (`syscall`, `eret`, `halt`,
     /// `nop`).
     pub fn sys(op: Op) -> Instr {
         debug_assert_eq!(op.format(), Format::Sys);
-        Instr { op, rd: Reg(0), rs1: Reg(0), rs2: Reg(0), imm: 0, shift: 0 }
+        Instr {
+            op,
+            rd: Reg(0),
+            rs1: Reg(0),
+            rs2: Reg(0),
+            imm: 0,
+            shift: 0,
+        }
     }
 
     /// Builds `mfsr rd, sr`.
     pub fn mfsr(rd: Reg, sr: SysReg) -> Instr {
-        Instr { op: Op::Mfsr, rd, rs1: Reg(sr.index()), rs2: Reg(0), imm: 0, shift: 0 }
+        Instr {
+            op: Op::Mfsr,
+            rd,
+            rs1: Reg(sr.index()),
+            rs2: Reg(0),
+            imm: 0,
+            shift: 0,
+        }
     }
 
     /// Builds `mtsr sr, rs1`.
     pub fn mtsr(sr: SysReg, rs1: Reg) -> Instr {
-        Instr { op: Op::Mtsr, rd: Reg(sr.index()), rs1, rs2: Reg(0), imm: 0, shift: 0 }
+        Instr {
+            op: Op::Mtsr,
+            rd: Reg(sr.index()),
+            rs1,
+            rs2: Reg(0),
+            imm: 0,
+            shift: 0,
+        }
     }
 
-    /// Architectural registers read by this instruction.
-    pub fn srcs(&self) -> Vec<Reg> {
+    /// Architectural registers read by this instruction, in operand order.
+    ///
+    /// This is the decode-metadata entry point used by the static analyzer
+    /// (`vulnstack-analyze`), the rename stage of the out-of-order core,
+    /// and anything else that needs the read set without interpreting the
+    /// instruction.
+    pub fn regs_read(&self) -> Vec<Reg> {
         match self.op.format() {
             Format::R | Format::B => vec![self.rs1, self.rs2],
             Format::I | Format::Load | Format::Jr => vec![self.rs1],
@@ -128,6 +210,56 @@ impl Instr {
                 }
             }
             Format::J | Format::Sys | Format::Mfsr => vec![],
+        }
+    }
+
+    /// Architectural registers written by this instruction (empty or one
+    /// element; a `Vec` keeps the API symmetric with [`Instr::regs_read`]).
+    ///
+    /// Writes to the VA64 zero register are excluded, matching
+    /// [`Instr::dest`].
+    pub fn regs_written(&self, isa: Isa) -> Vec<Reg> {
+        self.dest(isa).into_iter().collect()
+    }
+
+    /// Architectural registers read by this instruction.
+    ///
+    /// Alias of [`Instr::regs_read`], kept for the simulator call sites
+    /// that predate the static-analysis layer.
+    pub fn srcs(&self) -> Vec<Reg> {
+        self.regs_read()
+    }
+
+    /// How many low bits of each source register this instruction actually
+    /// observes, parallel to [`Instr::regs_read`].
+    ///
+    /// This is an *upper bound* (an instruction may mask further at
+    /// runtime), which keeps analyses built on it pessimism-safe:
+    ///
+    /// * `W`-suffixed VA64 ops observe the low 32 bits of their value
+    ///   operands;
+    /// * register shift amounts are observed modulo the word width (5 or
+    ///   6 bits);
+    /// * a store observes `8 × access_bytes` bits of its data register;
+    /// * everything else observes the full architectural word.
+    pub fn src_widths(&self, isa: Isa) -> Vec<u32> {
+        use Op::*;
+        let xlen = isa.xlen();
+        let shamt_bits = if isa.xlen() == 64 { 6 } else { 5 };
+        match self.op {
+            // VA64 32-bit forms: value operands are observed at 32 bits.
+            Addw | Subw | Mulw | Divw | Divuw | Remw | Remuw => vec![32, 32],
+            Sllw | Srlw | Sraw => vec![32, 5],
+            Addiw | Slliw | Srliw | Sraiw => vec![32],
+            // Full-width register shifts observe only the shift amount of
+            // rs2.
+            Sll | Srl | Sra => vec![xlen, shamt_bits],
+            // Stores observe only the accessed bytes of the data register
+            // (first source), and the full base.
+            Sb | Sh | Sw | Sd => {
+                vec![(self.op.access_bytes() * 8) as u32, xlen]
+            }
+            _ => self.regs_read().iter().map(|_| xlen).collect(),
         }
     }
 
@@ -178,6 +310,56 @@ mod tests {
 
         let j = Instr::jump(Op::Jmp, 64);
         assert_eq!(j.dest(Isa::Va64), None);
+    }
+
+    #[test]
+    fn regs_read_written_match_srcs_dest() {
+        let cases = [
+            Instr::alu_rr(Op::Add, Reg(1), Reg(2), Reg(3)),
+            Instr::alu_imm(Op::Addi, Reg(4), Reg(5), 10),
+            Instr::load(Op::Lw, Reg(6), Reg(7), 0),
+            Instr::store(Op::Sw, Reg(8), Reg(9), 0),
+            Instr::branch(Op::Beq, Reg(1), Reg(2), 8),
+            Instr::jump(Op::Call, 16),
+            Instr::jump_reg(Op::Jmpr, Reg(14)),
+            Instr::mov_wide(Op::Movk, Reg(3), 0xAB, 1),
+            Instr::sys(Op::Syscall),
+            Instr::mfsr(Reg(3), SysReg::Epc),
+            Instr::mtsr(SysReg::Ksp, Reg(4)),
+        ];
+        for i in cases {
+            assert_eq!(i.regs_read(), i.srcs(), "{i:?}");
+            for isa in [Isa::Va32, Isa::Va64] {
+                assert_eq!(
+                    i.regs_written(isa),
+                    i.dest(isa).into_iter().collect::<Vec<_>>()
+                );
+                // Widths are parallel to the read set and bounded by xlen.
+                let widths = i.src_widths(isa);
+                assert_eq!(widths.len(), i.regs_read().len(), "{i:?} on {isa}");
+                assert!(
+                    widths.iter().all(|&w| w >= 1 && w <= isa.xlen()),
+                    "{i:?}: {widths:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn src_widths_partial_cases() {
+        // Store data register: only the accessed bytes are observed.
+        let sb = Instr::store(Op::Sb, Reg(1), Reg(2), 0);
+        assert_eq!(sb.src_widths(Isa::Va64), vec![8, 64]);
+        // W-form arithmetic observes 32 bits.
+        let addw = Instr::alu_rr(Op::Addw, Reg(1), Reg(2), Reg(3));
+        assert_eq!(addw.src_widths(Isa::Va64), vec![32, 32]);
+        // Register shift amount is observed mod the word width.
+        let sll = Instr::alu_rr(Op::Sll, Reg(1), Reg(2), Reg(3));
+        assert_eq!(sll.src_widths(Isa::Va32), vec![32, 5]);
+        assert_eq!(sll.src_widths(Isa::Va64), vec![64, 6]);
+        // A VA64 zero-register write disappears from regs_written.
+        let i = Instr::alu_rr(Op::Add, Reg(31), Reg(1), Reg(2));
+        assert!(i.regs_written(Isa::Va64).is_empty());
     }
 
     #[test]

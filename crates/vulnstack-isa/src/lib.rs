@@ -40,7 +40,7 @@ pub mod sysreg;
 pub mod trap;
 
 pub use abi::{CallConv, Syscall};
-pub use fields::{BitClass, classify_bit};
+pub use fields::{classify_bit, BitClass};
 pub use instr::Instr;
 pub use isa::Isa;
 pub use op::Op;

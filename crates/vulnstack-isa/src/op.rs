@@ -221,8 +221,8 @@ impl Op {
     pub fn format(self) -> Format {
         use Op::*;
         match self {
-            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Mul | Mulh | Mulhu | Div | Divu | Rem
-            | Remu | Slt | Sltu | Addw | Subw | Mulw | Divw | Divuw | Remw | Remuw | Sllw
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Mul | Mulh | Mulhu | Div | Divu
+            | Rem | Remu | Slt | Sltu | Addw | Subw | Mulw | Divw | Divuw | Remw | Remuw | Sllw
             | Srlw | Sraw => Format::R,
             Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Sltiu | Addiw | Slliw
             | Srliw | Sraiw => Format::I,
@@ -296,7 +296,13 @@ impl Op {
     pub fn exec_latency(self) -> u32 {
         match self {
             Op::Mul | Op::Mulh | Op::Mulhu | Op::Mulw => 3,
-            Op::Div | Op::Divu | Op::Rem | Op::Remu | Op::Divw | Op::Divuw | Op::Remw
+            Op::Div
+            | Op::Divu
+            | Op::Rem
+            | Op::Remu
+            | Op::Divw
+            | Op::Divuw
+            | Op::Remw
             | Op::Remuw => 12,
             _ => 1,
         }

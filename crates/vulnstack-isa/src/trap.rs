@@ -100,7 +100,11 @@ impl Trap {
 
 impl std::fmt::Display for Trap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} at pc={:#x} (addr={:#x})", self.cause, self.pc, self.addr)
+        write!(
+            f,
+            "{} at pc={:#x} (addr={:#x})",
+            self.cause, self.pc, self.addr
+        )
     }
 }
 

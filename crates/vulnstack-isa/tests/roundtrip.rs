@@ -1,0 +1,99 @@
+//! Property test: encode → decode → re-encode is the identity for every
+//! instruction format on both ISAs. This is the contract the whole stack
+//! leans on — the compiler emits words the simulators decode, and the
+//! static analyzer (`vulnstack-analyze`) re-derives program structure from
+//! nothing but those words.
+
+use proptest::prelude::*;
+use vulnstack_isa::op::Format;
+use vulnstack_isa::{Instr, Isa, Op, SysReg};
+
+/// Builds a canonical instruction for `op` from raw generator values,
+/// clamping every field into its encodable range. Unused fields stay at
+/// their `Instr` defaults so decode must reproduce the value exactly.
+fn make_instr(op: Op, isa: Isa, rd: u8, rs1: u8, rs2: u8, imm_raw: u64, shift: u8) -> Instr {
+    let nregs = isa.num_regs();
+    let r = |x: u8| vulnstack_isa::Reg(x % nregs);
+    let sr = |x: u8| vulnstack_isa::Reg(x % SysReg::COUNT as u8);
+    let imm14 = (imm_raw % (1 << 14)) as i64 - (1 << 13);
+    match op.format() {
+        Format::R => Instr::alu_rr(op, r(rd), r(rs1), r(rs2)),
+        Format::I => Instr::alu_imm(op, r(rd), r(rs1), imm14),
+        Format::Load => Instr::load(op, r(rd), r(rs1), imm14),
+        Format::Store => Instr::store(op, r(rd), r(rs1), imm14),
+        Format::B => Instr::branch(op, r(rs1), r(rs2), imm14 * 4),
+        Format::J => {
+            let words = (imm_raw % (1 << 24)) as i64 - (1 << 23);
+            Instr::jump(op, words * 4)
+        }
+        Format::Jr => Instr::jump_reg(op, r(rs1)),
+        Format::M => Instr::mov_wide(op, r(rd), (imm_raw % (1 << 16)) as u16, shift % 4),
+        Format::Sys => Instr::sys(op),
+        Format::Mfsr => Instr::mfsr(r(rd), SysReg::from_index(sr(rs1).0).unwrap()),
+        Format::Mtsr => Instr::mtsr(SysReg::from_index(sr(rd).0).unwrap(), r(rs1)),
+    }
+}
+
+fn roundtrip(instr: Instr, isa: Isa) -> Result<(), TestCaseError> {
+    let word = match instr.encode(isa) {
+        Ok(w) => w,
+        Err(e) => return Err(TestCaseError::fail(format!("{instr:?} on {isa:?}: {e:?}"))),
+    };
+    let decoded = match Instr::decode(word, isa) {
+        Ok(d) => d,
+        Err(e) => {
+            return Err(TestCaseError::fail(format!(
+                "{instr:?} encoded to {word:#010x} but does not decode: {e:?}"
+            )))
+        }
+    };
+    prop_assert_eq!(decoded, instr, "decode changed the instruction");
+    let word2 = decoded
+        .encode(isa)
+        .map_err(|e| TestCaseError::fail(format!("re-encode failed: {e:?}")))?;
+    prop_assert_eq!(word2, word, "re-encode changed the word");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn encode_decode_reencode_roundtrips(
+        op_idx in 0usize..Op::ALL.len(),
+        rd in 0u8..32,
+        rs1 in 0u8..32,
+        rs2 in 0u8..32,
+        imm_raw in any::<u64>(),
+        shift in 0u8..4,
+    ) {
+        let op = Op::ALL[op_idx];
+        for isa in [Isa::Va32, Isa::Va64] {
+            if !op.valid_on(isa) {
+                continue;
+            }
+            let instr = make_instr(op, isa, rd, rs1, rs2, imm_raw, shift);
+            roundtrip(instr, isa)?;
+        }
+    }
+}
+
+/// Exhaustive companion to the property: every op (hence every format) on
+/// both ISAs round-trips at least once with boundary immediates.
+#[test]
+fn every_format_roundtrips_on_both_isas() {
+    let mut formats_seen = std::collections::HashSet::new();
+    for &op in Op::ALL {
+        for isa in [Isa::Va32, Isa::Va64] {
+            if !op.valid_on(isa) {
+                continue;
+            }
+            for imm_raw in [0u64, 1, (1 << 13) - 1, (1 << 14) - 1, u64::MAX] {
+                let instr = make_instr(op, isa, 1, 2, 3, imm_raw, 1);
+                roundtrip(instr, isa).unwrap();
+            }
+            formats_seen.insert(op.format());
+        }
+    }
+    // All eleven formats must have been exercised.
+    assert_eq!(formats_seen.len(), 11, "{formats_seen:?}");
+}

@@ -8,8 +8,16 @@ use vulnstack_isa::{Instr, Isa, Op, Reg, SysReg};
 #[derive(Debug, Clone)]
 enum Item {
     Fixed(Instr),
-    Branch { op: Op, rs1: Reg, rs2: Reg, label: String },
-    Jump { op: Op, label: String },
+    Branch {
+        op: Op,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    Jump {
+        op: Op,
+        label: String,
+    },
 }
 
 /// A small two-pass assembler with named labels.
@@ -57,7 +65,11 @@ impl std::error::Error for AsmError {}
 impl Asm {
     /// Creates an assembler for `isa`.
     pub fn new(isa: Isa) -> Asm {
-        Asm { isa, items: Vec::new(), labels: HashMap::new() }
+        Asm {
+            isa,
+            items: Vec::new(),
+            labels: HashMap::new(),
+        }
     }
 
     /// Defines a label at the current position.
@@ -115,12 +127,20 @@ impl Asm {
 
     /// Conditional branch to a label.
     pub fn branch_to(&mut self, op: Op, rs1: Reg, rs2: Reg, label: &str) {
-        self.items.push(Item::Branch { op, rs1, rs2, label: label.to_string() });
+        self.items.push(Item::Branch {
+            op,
+            rs1,
+            rs2,
+            label: label.to_string(),
+        });
     }
 
     /// Unconditional jump to a label.
     pub fn jmp_to(&mut self, label: &str) {
-        self.items.push(Item::Jump { op: Op::Jmp, label: label.to_string() });
+        self.items.push(Item::Jump {
+            op: Op::Jmp,
+            label: label.to_string(),
+        });
     }
 
     /// `mfsr rd, sr`.
@@ -163,7 +183,12 @@ impl Asm {
         for (pos, item) in self.items.iter().enumerate() {
             let instr = match item {
                 Item::Fixed(i) => *i,
-                Item::Branch { op, rs1, rs2, label } => {
+                Item::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let &dest = self
                         .labels
                         .get(label)
@@ -178,7 +203,11 @@ impl Asm {
                     Instr::jump(*op, (dest as i64 - pos as i64) * 4)
                 }
             };
-            words.push(instr.encode(self.isa).map_err(|e| AsmError::Encode(e.to_string()))?);
+            words.push(
+                instr
+                    .encode(self.isa)
+                    .map_err(|e| AsmError::Encode(e.to_string()))?,
+            );
         }
         Ok(words)
     }

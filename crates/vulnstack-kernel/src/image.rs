@@ -45,7 +45,10 @@ impl std::fmt::Display for ImageError {
             ImageError::DataTooLarge { bytes } => write!(f, "user data too large: {bytes} bytes"),
             ImageError::InputTooLarge { bytes } => write!(f, "input too large: {bytes} bytes"),
             ImageError::LayoutMismatch { expected, got } => {
-                write!(f, "module compiled for data base {got:#x}, expected {expected:#x}")
+                write!(
+                    f,
+                    "module compiled for data base {got:#x}, expected {expected:#x}"
+                )
             }
             ImageError::Kernel(e) => write!(f, "kernel assembly failed: {e}"),
         }
@@ -66,18 +69,25 @@ impl SystemImage {
     /// Returns an [`ImageError`] if a section does not fit its region.
     pub fn build(compiled: &CompiledModule, input: &[u8]) -> Result<SystemImage, ImageError> {
         if let Some(&g0) = compiled.global_addrs.first() {
-            if g0 < memmap::USER_DATA || g0 >= memmap::USER_STACK_LIMIT {
-                return Err(ImageError::LayoutMismatch { expected: memmap::USER_DATA, got: g0 });
+            if !(memmap::USER_DATA..memmap::USER_STACK_LIMIT).contains(&g0) {
+                return Err(ImageError::LayoutMismatch {
+                    expected: memmap::USER_DATA,
+                    got: g0,
+                });
             }
         }
         let text_bytes = compiled.text_bytes();
         let text_cap = (memmap::OUTPUT_BASE - memmap::USER_TEXT) as usize;
         if text_bytes.len() > text_cap {
-            return Err(ImageError::TextTooLarge { words: compiled.text.len() });
+            return Err(ImageError::TextTooLarge {
+                words: compiled.text.len(),
+            });
         }
         let data_cap = (memmap::USER_STACK_LIMIT - memmap::USER_DATA) as usize;
         if compiled.data.len() > data_cap {
-            return Err(ImageError::DataTooLarge { bytes: compiled.data.len() });
+            return Err(ImageError::DataTooLarge {
+                bytes: compiled.data.len(),
+            });
         }
         if input.len() > memmap::INPUT_CAP as usize {
             return Err(ImageError::InputTooLarge { bytes: input.len() });
@@ -153,8 +163,11 @@ mod tests {
             assert_eq!(img.input_len, 5);
             assert!(img.user_text_end > memmap::USER_TEXT);
             // Segments are inside memory and non-overlapping.
-            let mut spans: Vec<(u32, u32)> =
-                img.segments.iter().map(|(a, b)| (*a, *a + b.len() as u32)).collect();
+            let mut spans: Vec<(u32, u32)> = img
+                .segments
+                .iter()
+                .map(|(a, b)| (*a, *a + b.len() as u32))
+                .collect();
             spans.sort();
             for w in spans.windows(2) {
                 assert!(w[0].1 <= w[1].0, "overlap: {spans:?}");
@@ -169,13 +182,20 @@ mod tests {
         let img = SystemImage::build(&c, b"abc").unwrap();
         let mut mem = vec![0u8; memmap::MEM_SIZE as usize];
         img.write_into(&mut mem);
-        assert_eq!(&mem[memmap::INPUT_BASE as usize..memmap::INPUT_BASE as usize + 3], b"abc");
+        assert_eq!(
+            &mem[memmap::INPUT_BASE as usize..memmap::INPUT_BASE as usize + 3],
+            b"abc"
+        );
         let inlen = u32::from_le_bytes(
-            mem[(memmap::KERNEL_DATA + off::INLEN as u32) as usize..][..4].try_into().unwrap(),
+            mem[(memmap::KERNEL_DATA + off::INLEN as u32) as usize..][..4]
+                .try_into()
+                .unwrap(),
         );
         assert_eq!(inlen, 3);
         let brk = u32::from_le_bytes(
-            mem[(memmap::KERNEL_DATA + off::BRK as u32) as usize..][..4].try_into().unwrap(),
+            mem[(memmap::KERNEL_DATA + off::BRK as u32) as usize..][..4]
+                .try_into()
+                .unwrap(),
         );
         assert!(brk >= memmap::USER_DATA);
     }
@@ -192,7 +212,10 @@ mod tests {
         let bad = compile(
             &m,
             Isa::Va64,
-            &CompileOpts { data_base: 0x0000_2000, stack_top: memmap::USER_STACK_TOP },
+            &CompileOpts {
+                data_base: 0x0000_2000,
+                stack_top: memmap::USER_STACK_TOP,
+            },
         )
         .unwrap();
         assert!(matches!(

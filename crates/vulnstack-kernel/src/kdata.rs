@@ -62,7 +62,12 @@ mod tests {
 
     #[test]
     fn status_roundtrip() {
-        for s in [KStatus::Running, KStatus::Exited, KStatus::Crashed, KStatus::Detected] {
+        for s in [
+            KStatus::Running,
+            KStatus::Exited,
+            KStatus::Crashed,
+            KStatus::Detected,
+        ] {
             assert_eq!(KStatus::from_word(s.word()), Some(s));
         }
         assert_eq!(KStatus::from_word(9), None);
@@ -70,7 +75,9 @@ mod tests {
 
     #[test]
     fn offsets_do_not_collide_with_save_area() {
-        assert!(off::TMP0 < off::SAVE);
-        assert!(off::SAVE >= 32);
+        const {
+            assert!(off::TMP0 < off::SAVE);
+            assert!(off::SAVE >= 32);
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! (`a0`): `a1` is parked in the `SCRATCH0` system register and five
 //! temporaries go to the kernel save area.
 
-use vulnstack_isa::{Isa, Op, Reg, Syscall, SysReg};
+use vulnstack_isa::{Isa, Op, Reg, SysReg, Syscall};
 
 use crate::asm::{Asm, AsmError};
 use crate::kdata::off;
@@ -41,7 +41,15 @@ impl K {
             Isa::Va32 => ([Reg(2), Reg(3), Reg(4), Reg(5), Reg(6)], Op::Sw, Op::Lw, 4),
             Isa::Va64 => ([Reg(2), Reg(3), Reg(4), Reg(5), Reg(6)], Op::Sd, Op::Ld, 8),
         };
-        K { a0: cc.arg(0), a1: cc.arg(1), sysnum: cc.syscall_num(), t, word_st, word_ld, word }
+        K {
+            a0: cc.arg(0),
+            a1: cc.arg(1),
+            sysnum: cc.syscall_num(),
+            t,
+            word_st,
+            word_ld,
+            word,
+        }
     }
 }
 
@@ -51,7 +59,11 @@ impl K {
 ///
 /// Returns [`AsmError`] only on internal assembler bugs.
 pub fn build_kernel(isa: Isa) -> Result<KernelImage, AsmError> {
-    Ok(KernelImage { isa, boot: build_boot(isa)?, trap: build_trap(isa)? })
+    Ok(KernelImage {
+        isa,
+        boot: build_boot(isa)?,
+        trap: build_trap(isa)?,
+    })
 }
 
 fn build_boot(isa: Isa) -> Result<Vec<u32>, AsmError> {
@@ -249,7 +261,10 @@ mod tests {
         for isa in [Isa::Va32, Isa::Va64] {
             let k = build_kernel(isa).unwrap();
             let end = memmap::TRAP_VEC + 4 * k.trap.len() as u32;
-            assert!(end <= memmap::KERNEL_DATA, "{isa}: trap handler overruns kernel data");
+            assert!(
+                end <= memmap::KERNEL_DATA,
+                "{isa}: trap handler overruns kernel data"
+            );
             let boot_end = memmap::KERNEL_BOOT + 4 * k.boot.len() as u32;
             assert!(boot_end <= memmap::TRAP_VEC);
         }
@@ -267,8 +282,11 @@ mod tests {
     #[test]
     fn kernel_uses_privileged_instructions() {
         let k = build_kernel(Isa::Va64).unwrap();
-        let ops: Vec<Op> =
-            k.trap.iter().map(|&w| Instr::decode(w, Isa::Va64).unwrap().op).collect();
+        let ops: Vec<Op> = k
+            .trap
+            .iter()
+            .map(|&w| Instr::decode(w, Isa::Va64).unwrap().op)
+            .collect();
         assert!(ops.contains(&Op::Mfsr));
         assert!(ops.contains(&Op::Mtsr));
         assert!(ops.contains(&Op::Halt));

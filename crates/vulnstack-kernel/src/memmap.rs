@@ -78,15 +78,17 @@ mod tests {
 
     #[test]
     fn regions_are_ordered_and_disjoint() {
-        assert!(KERNEL_BOOT < TRAP_VEC);
-        assert!(TRAP_VEC < KERNEL_DATA);
-        assert!(KERNEL_DATA < USER_TEXT);
-        assert!(USER_TEXT < OUTPUT_BASE);
-        assert_eq!(OUTPUT_BASE + OUTPUT_CAP, INPUT_BASE);
-        assert_eq!(INPUT_BASE + INPUT_CAP, USER_DATA);
-        assert!(USER_DATA < USER_STACK_LIMIT);
-        assert!(USER_STACK_LIMIT < USER_STACK_TOP);
-        assert!(USER_STACK_TOP < MEM_SIZE);
+        const {
+            assert!(KERNEL_BOOT < TRAP_VEC);
+            assert!(TRAP_VEC < KERNEL_DATA);
+            assert!(KERNEL_DATA < USER_TEXT);
+            assert!(USER_TEXT < OUTPUT_BASE);
+            assert!(OUTPUT_BASE + OUTPUT_CAP == INPUT_BASE);
+            assert!(INPUT_BASE + INPUT_CAP == USER_DATA);
+            assert!(USER_DATA < USER_STACK_LIMIT);
+            assert!(USER_STACK_LIMIT < USER_STACK_TOP);
+            assert!(USER_STACK_TOP < MEM_SIZE);
+        }
     }
 
     #[test]
@@ -111,7 +113,12 @@ mod tests {
     fn user_data_and_stack_are_read_write() {
         let text_end = USER_TEXT + 0x1000;
         assert!(user_access_ok(USER_DATA, 4, AccessKind::Write, text_end));
-        assert!(user_access_ok(USER_STACK_TOP - 16, 4, AccessKind::Write, text_end));
+        assert!(user_access_ok(
+            USER_STACK_TOP - 16,
+            4,
+            AccessKind::Write,
+            text_end
+        ));
         assert!(!user_access_ok(MEM_SIZE - 2, 4, AccessKind::Read, text_end));
         assert!(!user_access_ok(u32::MAX - 1, 4, AccessKind::Read, text_end));
     }

@@ -103,7 +103,10 @@ pub fn run_one_classed(
         .with_fault(fault)
         .run()
         .expect("interpretation");
-    (classify(out.status, &out.output, golden.status, &golden.output), out.injected_class)
+    (
+        classify(out.status, &out.output, golden.status, &golden.output),
+        out.injected_class,
+    )
 }
 
 /// Runs an SVF campaign and breaks the results down by the *function*
@@ -187,7 +190,10 @@ pub fn svf_campaign(
 
     let threads = threads.max(1);
     if threads == 1 || n < 8 {
-        return faults.iter().map(|&f| run_one(module, input, &golden, f)).collect();
+        return faults
+            .iter()
+            .map(|&f| run_one(module, input, &golden, f))
+            .collect();
     }
     let chunk = faults.len().div_ceil(threads);
     let golden_ref = &golden;
@@ -196,11 +202,16 @@ pub fn svf_campaign(
             .chunks(chunk.max(1))
             .map(|part| {
                 s.spawn(move |_| {
-                    part.iter().map(|&f| run_one(module, input, golden_ref, f)).collect::<Tally>()
+                    part.iter()
+                        .map(|&f| run_one(module, input, golden_ref, f))
+                        .collect::<Tally>()
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("svf worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("svf worker panicked"))
+            .collect()
     })
     .expect("campaign scope");
     let mut out = Tally::default();
@@ -256,8 +267,14 @@ mod tests {
     #[test]
     fn classification_mirrors_paper_classes() {
         let g = RunStatus::Exited(0);
-        assert_eq!(classify(RunStatus::Exited(0), b"x", g, b"x"), FaultEffect::Masked);
-        assert_eq!(classify(RunStatus::Exited(0), b"y", g, b"x"), FaultEffect::Sdc);
+        assert_eq!(
+            classify(RunStatus::Exited(0), b"x", g, b"x"),
+            FaultEffect::Masked
+        );
+        assert_eq!(
+            classify(RunStatus::Exited(0), b"y", g, b"x"),
+            FaultEffect::Sdc
+        );
         assert_eq!(
             classify(
                 RunStatus::Trapped(vulnstack_isa::TrapCause::AccessFault),
@@ -267,7 +284,13 @@ mod tests {
             ),
             FaultEffect::Crash
         );
-        assert_eq!(classify(RunStatus::Timeout, b"", g, b"x"), FaultEffect::Crash);
-        assert_eq!(classify(RunStatus::Detected(2), b"", g, b"x"), FaultEffect::Detected);
+        assert_eq!(
+            classify(RunStatus::Timeout, b"", g, b"x"),
+            FaultEffect::Crash
+        );
+        assert_eq!(
+            classify(RunStatus::Detected(2), b"", g, b"x"),
+            FaultEffect::Detected
+        );
     }
 }

@@ -76,7 +76,13 @@ struct CacheLine {
 
 impl Default for CacheLine {
     fn default() -> Self {
-        CacheLine { valid: false, dirty: false, tag: 0, last_use: 0, data: [0; LINE as usize] }
+        CacheLine {
+            valid: false,
+            dirty: false,
+            tag: 0,
+            last_use: 0,
+            data: [0; LINE as usize],
+        }
     }
 }
 
@@ -208,7 +214,7 @@ impl MemSystem {
     }
 
     fn taint_line_overlap(taint: &Option<MemTaint>, line_addr: u32) -> bool {
-        taint.map_or(false, |t| t.addr / LINE == line_addr / LINE)
+        taint.is_some_and(|t| t.addr / LINE == line_addr / LINE)
     }
 
     fn set_taint(&mut self, level: Level, line_addr: u32, value: bool) {
@@ -231,7 +237,7 @@ impl MemSystem {
             let data = self.l2.lines[slot].data;
             let tainted = self
                 .taint
-                .map_or(false, |t| t.at(Level::L2) && t.addr / LINE == line_addr / LINE);
+                .is_some_and(|t| t.at(Level::L2) && t.addr / LINE == line_addr / LINE);
             return (data, self.l2.latency, tainted);
         }
         self.stats.l2_misses += 1;
@@ -240,17 +246,26 @@ impl MemSystem {
         data.copy_from_slice(&self.mem[line_addr as usize..(line_addr + LINE) as usize]);
         let from_mem_tainted = self
             .taint
-            .map_or(false, |t| t.at(Level::Mem) && t.addr / LINE == line_addr / LINE);
+            .is_some_and(|t| t.at(Level::Mem) && t.addr / LINE == line_addr / LINE);
         self.install_l2(line_addr, data, false, from_mem_tainted);
         let tainted = from_mem_tainted;
         (data, self.l2.latency + self.mem_latency, tainted)
     }
 
-    fn install_l2(&mut self, line_addr: u32, data: [u8; LINE as usize], dirty: bool, tainted: bool) {
+    fn install_l2(
+        &mut self,
+        line_addr: u32,
+        data: [u8; LINE as usize],
+        dirty: bool,
+        tainted: bool,
+    ) {
         self.tick += 1;
         let set = self.l2.set_of(line_addr);
         let tag = self.l2.tag_of(line_addr);
-        let way = self.l2.lookup(line_addr).unwrap_or_else(|| self.l2.victim_way(set));
+        let way = self
+            .l2
+            .lookup(line_addr)
+            .unwrap_or_else(|| self.l2.victim_way(set));
         let victim_addr = {
             let l = &self.l2.lines[self.l2.slot(set, way)];
             if l.valid {
@@ -262,7 +277,7 @@ impl MemSystem {
         if let Some((vaddr, vdirty)) = victim_addr {
             if vaddr != line_addr {
                 let vtainted = Self::taint_line_overlap(&self.taint, vaddr)
-                    && self.taint.map_or(false, |t| t.at(Level::L2));
+                    && self.taint.is_some_and(|t| t.at(Level::L2));
                 if vdirty {
                     self.stats.writebacks += 1;
                     let vdata = self.l2.lines[self.l2.slot(set, way)].data;
@@ -308,8 +323,8 @@ impl MemSystem {
             let l = &c.lines[slot];
             if l.valid {
                 let vaddr = c.line_addr(set, l.tag);
-                let vtainted = taint_snapshot
-                    .map_or(false, |t| t.at(which) && t.addr / LINE == vaddr / LINE);
+                let vtainted =
+                    taint_snapshot.is_some_and(|t| t.at(which) && t.addr / LINE == vaddr / LINE);
                 if l.dirty {
                     wb = Some((vaddr, l.data, vtainted));
                 }
@@ -367,7 +382,7 @@ impl MemSystem {
         let off = (addr & (LINE - 1)) as usize;
         let d = &self.l1i.lines[slot].data;
         let word = u32::from_le_bytes([d[off], d[off + 1], d[off + 2], d[off + 3]]);
-        let tainted = self.taint.map_or(false, |t| {
+        let tainted = self.taint.is_some_and(|t| {
             t.at(Level::L1i)
                 && t.addr / LINE == line_addr / LINE
                 && t.addr >= addr
@@ -382,7 +397,10 @@ impl MemSystem {
     /// Data load of `len` bytes (little-endian). Returns
     /// `(latency, value, served_from_tainted_copy)`.
     pub fn load(&mut self, addr: u32, len: u32) -> (u32, u64, bool) {
-        debug_assert!(len <= 8 && (addr & (LINE - 1)) + len <= LINE, "no line-crossing loads");
+        debug_assert!(
+            len <= 8 && (addr & (LINE - 1)) + len <= LINE,
+            "no line-crossing loads"
+        );
         self.tick += 1;
         let line_addr = addr & !(LINE - 1);
         let (way, lat) = match self.l1d.lookup(addr) {
@@ -405,7 +423,7 @@ impl MemSystem {
         for i in (0..len as usize).rev() {
             v = (v << 8) | d[off + i] as u64;
         }
-        let tainted = self.taint.map_or(false, |t| {
+        let tainted = self.taint.is_some_and(|t| {
             t.at(Level::L1d)
                 && t.addr / LINE == line_addr / LINE
                 && t.addr >= addr
@@ -416,7 +434,10 @@ impl MemSystem {
 
     /// Data store of `len` bytes. Write-allocate, write-back.
     pub fn store(&mut self, addr: u32, len: u32, value: u64) -> u32 {
-        debug_assert!(len <= 8 && (addr & (LINE - 1)) + len <= LINE, "no line-crossing stores");
+        debug_assert!(
+            len <= 8 && (addr & (LINE - 1)) + len <= LINE,
+            "no line-crossing stores"
+        );
         self.tick += 1;
         let (way, lat) = match self.l1d.lookup(addr) {
             Some(w) => {
@@ -461,7 +482,7 @@ impl MemSystem {
             for i in (0..len as usize).rev() {
                 v = (v << 8) | d[off + i] as u64;
             }
-            let t = self.taint.as_ref().map_or(false, |t| {
+            let t = self.taint.as_ref().is_some_and(|t| {
                 t.at(Level::L1d) && t.addr / LINE == line_addr / LINE && overlap(t)
             });
             return (v, t);
@@ -473,7 +494,7 @@ impl MemSystem {
             for i in (0..len as usize).rev() {
                 v = (v << 8) | d[off + i] as u64;
             }
-            let t = self.taint.as_ref().map_or(false, |t| {
+            let t = self.taint.as_ref().is_some_and(|t| {
                 t.at(Level::L2) && t.addr / LINE == line_addr / LINE && overlap(t)
             });
             return (v, t);
@@ -481,7 +502,10 @@ impl MemSystem {
         for i in (0..len as usize).rev() {
             v = (v << 8) | self.mem[addr as usize + i] as u64;
         }
-        let t = self.taint.as_ref().map_or(false, |t| t.at(Level::Mem) && overlap(t));
+        let t = self
+            .taint
+            .as_ref()
+            .is_some_and(|t| t.at(Level::Mem) && overlap(t));
         (v, t)
     }
 
@@ -504,7 +528,12 @@ impl MemSystem {
         let slot = c.slot(set, way);
         c.lines[slot].data[byte] ^= 1 << bit;
         if !c.lines[slot].valid {
-            return FlipResult { valid: false, addr: None, bit_in_byte: bit, word_after: None };
+            return FlipResult {
+                valid: false,
+                addr: None,
+                bit_in_byte: bit,
+                word_after: None,
+            };
         }
         let addr = c.line_addr(set, c.lines[slot].tag) + byte as u32;
         let line = &c.lines[slot];
@@ -518,7 +547,11 @@ impl MemSystem {
             line.data[woff + 3],
         ]);
         let bit_in_word = ((byte & 3) * 8) as u32 + bit as u32;
-        self.taint = Some(MemTaint { addr, bit_in_byte: bit, at: [false; 4] });
+        self.taint = Some(MemTaint {
+            addr,
+            bit_in_byte: bit,
+            at: [false; 4],
+        });
         if let Some(t) = &mut self.taint {
             t.at[level.idx()] = true;
         }

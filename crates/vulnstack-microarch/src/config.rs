@@ -18,7 +18,12 @@ pub enum CoreModel {
 
 impl CoreModel {
     /// All four models.
-    pub const ALL: [CoreModel; 4] = [CoreModel::A9, CoreModel::A15, CoreModel::A57, CoreModel::A72];
+    pub const ALL: [CoreModel; 4] = [
+        CoreModel::A9,
+        CoreModel::A15,
+        CoreModel::A57,
+        CoreModel::A72,
+    ];
 
     /// Report name.
     pub fn name(self) -> &'static str {
@@ -104,8 +109,18 @@ pub struct CoreConfig {
 impl CoreConfig {
     /// The configuration for `model` (paper Table II analogue).
     pub fn for_model(model: CoreModel) -> CoreConfig {
-        let l1 = |size: u32| CacheConfig { size, ways: 4, line: 64, latency: 2 };
-        let l2 = |size: u32, latency: u32| CacheConfig { size, ways: 16, line: 64, latency };
+        let l1 = |size: u32| CacheConfig {
+            size,
+            ways: 4,
+            line: 64,
+            latency: 2,
+        };
+        let l2 = |size: u32, latency: u32| CacheConfig {
+            size,
+            ways: 16,
+            line: 64,
+            latency,
+        };
         match model {
             CoreModel::A9 => CoreConfig {
                 model,
@@ -148,7 +163,12 @@ impl CoreConfig {
                 lq_entries: 16,
                 sq_entries: 16,
                 phys_regs: 128,
-                l1i: CacheConfig { size: 48 * 1024, ways: 3, line: 64, latency: 2 },
+                l1i: CacheConfig {
+                    size: 48 * 1024,
+                    ways: 3,
+                    line: 64,
+                    latency: 2,
+                },
                 l1d: l1(32 * 1024),
                 l2: l2(1024 * 1024, 10),
                 mem_latency: 90,
@@ -164,7 +184,12 @@ impl CoreConfig {
                 lq_entries: 16,
                 sq_entries: 16,
                 phys_regs: 128,
-                l1i: CacheConfig { size: 48 * 1024, ways: 3, line: 64, latency: 2 },
+                l1i: CacheConfig {
+                    size: 48 * 1024,
+                    ways: 3,
+                    line: 64,
+                    latency: 2,
+                },
                 l1d: l1(32 * 1024),
                 l2: l2(2048 * 1024, 12),
                 mem_latency: 100,
@@ -206,7 +231,10 @@ mod tests {
             let c = m.config();
             for cc in [c.l1i, c.l1d, c.l2] {
                 assert_eq!(cc.sets() * cc.ways * cc.line, cc.size, "{m}");
-                assert!(cc.sets().is_power_of_two(), "{m}: sets must be a power of two");
+                assert!(
+                    cc.sets().is_power_of_two(),
+                    "{m}: sets must be a power of two"
+                );
             }
         }
     }

@@ -52,7 +52,7 @@ pub fn alu(i: &Instr, rs1: u64, rs2: u64, rd_old: u64, isa: Isa) -> Result<u64, 
             Isa::Va64 => (((rs1 as i64 as i128) * (rs2 as i64 as i128)) >> 64) as u64,
         },
         Mulhu => match isa {
-            Isa::Va32 => (((v32(rs1) as u64) * (v32(rs2) as u64)) >> 32) as u64,
+            Isa::Va32 => ((v32(rs1) as u64) * (v32(rs2) as u64)) >> 32,
             Isa::Va64 => (((rs1 as u128) * (rs2 as u128)) >> 64) as u64,
         },
         Div => match isa {
@@ -251,17 +251,29 @@ mod tests {
 
     #[test]
     fn w_forms_sign_extend() {
-        assert_eq!(alu_rr(Op::Addw, 0x7fff_ffff, 1, Isa::Va64), 0xffff_ffff_8000_0000);
+        assert_eq!(
+            alu_rr(Op::Addw, 0x7fff_ffff, 1, Isa::Va64),
+            0xffff_ffff_8000_0000
+        );
         assert_eq!(alu_rr(Op::Subw, 0, 1, Isa::Va64), u64::MAX);
         assert_eq!(alu_rr(Op::Sllw, 1, 31, Isa::Va64), 0xffff_ffff_8000_0000);
         assert_eq!(alu_rr(Op::Srlw, 0xffff_ffff_8000_0000, 31, Isa::Va64), 1);
-        assert_eq!(alu_rr(Op::Sraw, 0xffff_ffff_8000_0000, 31, Isa::Va64), u64::MAX);
+        assert_eq!(
+            alu_rr(Op::Sraw, 0xffff_ffff_8000_0000, 31, Isa::Va64),
+            u64::MAX
+        );
     }
 
     #[test]
     fn division_semantics() {
         assert!(matches!(
-            alu(&Instr::alu_rr(Op::Div, Reg(1), Reg(2), Reg(3)), 5, 0, 0, Isa::Va32),
+            alu(
+                &Instr::alu_rr(Op::Div, Reg(1), Reg(2), Reg(3)),
+                5,
+                0,
+                0,
+                Isa::Va32
+            ),
             Err(TrapCause::DivideByZero)
         ));
         // i32::MIN / -1 wraps.
@@ -269,8 +281,14 @@ mod tests {
             alu_rr(Op::Divw, 0xffff_ffff_8000_0000, u64::MAX, Isa::Va64),
             0xffff_ffff_8000_0000
         );
-        assert_eq!(alu_rr(Op::Remw, 0xffff_ffff_8000_0000, u64::MAX, Isa::Va64), 0);
-        assert_eq!(alu_rr(Op::Div, 0x8000_0000, 0xffff_ffff, Isa::Va32), 0x8000_0000);
+        assert_eq!(
+            alu_rr(Op::Remw, 0xffff_ffff_8000_0000, u64::MAX, Isa::Va64),
+            0
+        );
+        assert_eq!(
+            alu_rr(Op::Div, 0x8000_0000, 0xffff_ffff, Isa::Va32),
+            0x8000_0000
+        );
     }
 
     #[test]
@@ -305,7 +323,10 @@ mod tests {
         assert_eq!(load_extend(Op::Lb, 0x80, Isa::Va64), 0xffff_ffff_ffff_ff80);
         assert_eq!(load_extend(Op::Lbu, 0x80, Isa::Va64), 0x80);
         assert_eq!(load_extend(Op::Lh, 0x8000, Isa::Va32), 0xffff_8000);
-        assert_eq!(load_extend(Op::Lw, 0x8000_0000, Isa::Va64), 0xffff_ffff_8000_0000);
+        assert_eq!(
+            load_extend(Op::Lw, 0x8000_0000, Isa::Va64),
+            0xffff_ffff_8000_0000
+        );
         assert_eq!(load_extend(Op::Lw, 0x8000_0000, Isa::Va32), 0x8000_0000);
         assert_eq!(load_extend(Op::Lwu, 0x8000_0000, Isa::Va64), 0x8000_0000);
     }

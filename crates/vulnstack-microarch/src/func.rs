@@ -187,7 +187,10 @@ impl FuncCore {
     }
 
     fn access_ok(&self, addr: u64, len: u32, kind: AccessKind) -> bool {
-        if addr.checked_add(len as u64).map_or(true, |e| e > memmap::MEM_SIZE as u64) {
+        if addr
+            .checked_add(len as u64)
+            .is_none_or(|e| e > memmap::MEM_SIZE as u64)
+        {
             return false;
         }
         match self.mode {
@@ -255,7 +258,7 @@ impl FuncCore {
         }
 
         // Fetch.
-        if pc % 4 != 0 || !self.access_ok(pc, 4, AccessKind::Fetch) {
+        if !pc.is_multiple_of(4) || !self.access_ok(pc, 4, AccessKind::Fetch) {
             self.trap(Trap::with_addr(TrapCause::FetchFault, pc, pc));
             return self.ended.is_none();
         }
@@ -296,7 +299,7 @@ impl FuncCore {
             Format::Load => {
                 let addr = exec::trunc(isa, self.reg(instr.rs1).wrapping_add(instr.imm as u64));
                 let len = instr.op.access_bytes() as u32;
-                if addr % len as u64 != 0 {
+                if !addr.is_multiple_of(len as u64) {
                     self.trap(Trap::with_addr(TrapCause::MisalignedAccess, pc, addr));
                     return;
                 }
@@ -315,7 +318,7 @@ impl FuncCore {
             Format::Store => {
                 let addr = exec::trunc(isa, self.reg(instr.rs1).wrapping_add(instr.imm as u64));
                 let len = instr.op.access_bytes() as u32;
-                if addr % len as u64 != 0 {
+                if !addr.is_multiple_of(len as u64) {
                     self.trap(Trap::with_addr(TrapCause::MisalignedAccess, pc, addr));
                     return;
                 }
@@ -408,8 +411,7 @@ impl FuncCore {
 
     fn drain_output(&self) -> Vec<u8> {
         let kd = memmap::KERNEL_DATA;
-        let outlen =
-            (self.read_le(kd + off::OUTLEN as u32, 4) as u32).min(memmap::OUTPUT_CAP);
+        let outlen = (self.read_le(kd + off::OUTLEN as u32, 4) as u32).min(memmap::OUTPUT_CAP);
         self.mem[memmap::OUTPUT_BASE as usize..(memmap::OUTPUT_BASE + outlen) as usize].to_vec()
     }
 
@@ -529,7 +531,10 @@ mod tests {
             Isa::Va64,
         );
         let out = FuncCore::new(&img).run(1_000_000);
-        assert_eq!(out.status, RunStatus::Crashed(TrapCause::DivideByZero.code() as u32));
+        assert_eq!(
+            out.status,
+            RunStatus::Crashed(TrapCause::DivideByZero.code() as u32)
+        );
     }
 
     #[test]
@@ -610,14 +615,20 @@ mod tests {
         for at in 0..40 {
             let f = PvfFault {
                 at_instr: at,
-                mutation: PvfMutation::FlipReg { reg: Reg(0), bit: 3 },
+                mutation: PvfMutation::FlipReg {
+                    reg: Reg(0),
+                    bit: 3,
+                },
             };
             let out = FuncCore::new(&img).with_fault(f).run(1_000_000);
             if out.status == RunStatus::Exited(8) {
                 changed = true;
             }
         }
-        assert!(changed, "no register flip surfaced as a corrupted exit code");
+        assert!(
+            changed,
+            "no register flip surfaced as a corrupted exit code"
+        );
     }
 
     #[test]
@@ -628,7 +639,10 @@ mod tests {
         // opcode: flip the top opcode bit.
         let f = PvfFault {
             at_instr: 0,
-            mutation: PvfMutation::FlipMem { addr: memmap::USER_TEXT + 3, bit: 7 },
+            mutation: PvfMutation::FlipMem {
+                addr: memmap::USER_TEXT + 3,
+                bit: 7,
+            },
         };
         let out = FuncCore::new(&img).with_fault(f).run(1_000_000);
         assert!(

@@ -31,7 +31,9 @@ use crate::outcome::{RunStatus, SimOutcome};
 
 /// Fault propagation model of a hardware fault's first architecturally
 /// visible manifestation (paper Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Fpm {
     /// Wrong Data — corrupted register/memory content consumed.
     Wd,
@@ -66,7 +68,9 @@ impl std::fmt::Display for Fpm {
 }
 
 /// A microarchitectural fault-injection target structure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum HwStructure {
     /// Physical integer register file.
     RegisterFile,
@@ -301,7 +305,10 @@ impl OooCore {
         assert_eq!(cfg.isa, image.isa, "image/config ISA mismatch");
         let nregs = cfg.isa.num_regs() as usize;
         let nphys = cfg.phys_regs as usize;
-        assert!(nphys > nregs + 4, "need more physical than architectural registers");
+        assert!(
+            nphys > nregs + 4,
+            "need more physical than architectural registers"
+        );
         let rat: Vec<PReg> = (0..nregs as PReg).collect();
         let mut free_ring = vec![0 as PReg; nphys];
         let mut free_tail = 0u64;
@@ -356,7 +363,7 @@ impl OooCore {
 
     /// The committed-instruction trace collected so far.
     pub fn trace(&self) -> &[(u64, Instr)] {
-        self.trace.as_ref().map(|(_, v)| v.as_slice()).unwrap_or(&[])
+        self.trace.as_ref().map_or(&[], |(_, v)| v.as_slice())
     }
 
     /// Enables ACE lifetime tracking (fault-free analytical runs).
@@ -494,7 +501,7 @@ impl OooCore {
     }
 
     fn read_phys(&self, p: PReg, taint: &mut Option<Fpm>) -> u64 {
-        if self.rf_taint.map_or(false, |(tp, _)| tp == p as usize) {
+        if self.rf_taint.is_some_and(|(tp, _)| tp == p as usize) {
             taint.get_or_insert(Fpm::Wd);
         }
         self.phys[p as usize]
@@ -502,7 +509,7 @@ impl OooCore {
 
     fn write_phys(&mut self, p: PReg, v: u64) {
         // Overwriting the corrupted register repairs it (masking).
-        if self.rf_taint.map_or(false, |(tp, _)| tp == p as usize) {
+        if self.rf_taint.is_some_and(|(tp, _)| tp == p as usize) {
             self.rf_taint = None;
         }
         if let Some(ace) = &mut self.ace {
@@ -578,7 +585,11 @@ impl OooCore {
         if instr.op.is_branch() {
             let i = self.bp_index(pc);
             let c = self.bp[i];
-            self.bp[i] = if taken { (c + 1).min(3) } else { c.saturating_sub(1) };
+            self.bp[i] = if taken {
+                (c + 1).min(3)
+            } else {
+                c.saturating_sub(1)
+            };
         }
         if matches!(instr.op, Op::Callr | Op::Jmpr) {
             let i = self.btb_index(pc);
@@ -587,7 +598,7 @@ impl OooCore {
     }
 
     fn fetchable(&self, pc: u64) -> bool {
-        pc % 4 == 0
+        pc.is_multiple_of(4)
             && match self.mode {
                 Mode::Kernel => pc + 4 <= memmap::MEM_SIZE as u64,
                 Mode::User => {
@@ -690,9 +701,15 @@ impl OooCore {
             if self.rob.len() >= self.cfg.rob_entries as usize {
                 break;
             }
-            let Some(front) = self.fetch_queue.front().copied() else { break };
+            let Some(front) = self.fetch_queue.front().copied() else {
+                break;
+            };
 
-            let decode = if front.ok { Instr::decode(front.word, self.isa).ok() } else { None };
+            let decode = if front.ok {
+                Instr::decode(front.word, self.isa).ok()
+            } else {
+                None
+            };
             let kind = decode.as_ref().map_or(RobKind::Invalid, Self::classify);
 
             let needs_iq = !matches!(
@@ -765,7 +782,7 @@ impl OooCore {
             }
 
             // Rename sources (at most two architectural sources).
-            let src_order = instr.srcs();
+            let src_order = instr.regs_read();
             for (i, r) in src_order.iter().enumerate().take(2) {
                 if self.isa.zero() == Some(*r) {
                     entry.srcs[i] = None; // constant zero
@@ -786,8 +803,13 @@ impl OooCore {
             match kind {
                 RobKind::Load => {
                     let slot = self.lq.iter().position(|e| !e.valid).expect("checked");
-                    self.lq[slot] =
-                        LqEntry { valid: true, seq, addr: 0, addr_ready: false, taint: false };
+                    self.lq[slot] = LqEntry {
+                        valid: true,
+                        seq,
+                        addr: 0,
+                        addr_ready: false,
+                        taint: false,
+                    };
                     entry.lsq_slot = Some(slot);
                 }
                 RobKind::Store => {
@@ -856,7 +878,9 @@ impl OooCore {
             if e.issued {
                 continue;
             }
-            let Some(idx) = self.rob_index(e.seq) else { continue };
+            let Some(idx) = self.rob_index(e.seq) else {
+                continue;
+            };
             let ready = self.rob[idx]
                 .srcs
                 .iter()
@@ -935,7 +959,8 @@ impl OooCore {
                 match exec::alu(&instr, a, b, rd_old, self.isa) {
                     Ok(v) => {
                         if let Some((_, newp, _)) = dest {
-                            self.finish.push((self.cycle + latency, seq, newp, v, taint));
+                            self.finish
+                                .push((self.cycle + latency, seq, newp, v, taint));
                         } else {
                             self.mark_done(seq, taint);
                         }
@@ -1022,8 +1047,11 @@ impl OooCore {
                             if s.seq >= best {
                                 best = s.seq;
                                 let shift = (addr - s.addr) * 8;
-                                let mask =
-                                    if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+                                let mask = if size == 8 {
+                                    u64::MAX
+                                } else {
+                                    (1u64 << (size * 8)) - 1
+                                };
                                 forwarded = Some(((s.data >> shift) & mask, s.taint));
                             }
                         } else {
@@ -1044,7 +1072,8 @@ impl OooCore {
                 }
                 let value = exec::load_extend(instr.op, raw, self.isa);
                 if let Some((_, newp, _)) = dest {
-                    self.finish.push((self.cycle + latency as u64, seq, newp, value, taint));
+                    self.finish
+                        .push((self.cycle + latency as u64, seq, newp, value, taint));
                 } else {
                     self.mark_done(seq, taint);
                 }
@@ -1096,7 +1125,7 @@ impl OooCore {
     }
 
     fn mem_check(&self, addr: u64, size: u32, kind: AccessKind, pc: u64) -> Option<Trap> {
-        if addr % size as u64 != 0 {
+        if !addr.is_multiple_of(size as u64) {
             return Some(Trap::with_addr(TrapCause::MisalignedAccess, pc, addr));
         }
         let ok = match self.mode {
@@ -1140,8 +1169,10 @@ impl OooCore {
 
     fn recover_branch(&mut self, branch_seq: u64, target: u64) {
         let idx = self.rob_index(branch_seq).expect("branch in ROB");
-        let (rat, free_head) =
-            self.rob[idx].snapshot.clone().expect("branches carry snapshots");
+        let (rat, free_head) = self.rob[idx]
+            .snapshot
+            .clone()
+            .expect("branches carry snapshots");
         self.rat = rat;
         self.free_head = free_head;
         // The snapshot predates the branch's own destination rename
@@ -1176,8 +1207,9 @@ impl OooCore {
         self.rat = self.rrat.clone();
         let nregs = self.isa.num_regs() as usize;
         let live: Vec<PReg> = self.rrat[..nregs].to_vec();
-        let free: Vec<PReg> =
-            (0..self.phys.len() as PReg).filter(|p| !live.contains(p)).collect();
+        let free: Vec<PReg> = (0..self.phys.len() as PReg)
+            .filter(|p| !live.contains(p))
+            .collect();
         self.free_head = 0;
         self.free_tail = 0;
         for p in free {
@@ -1301,8 +1333,7 @@ impl OooCore {
                     // The address may have been corrupted in the SQ after
                     // the execute-time check; a store to an invalid
                     // address is a bus fault at commit.
-                    if let Some(trap) =
-                        self.mem_check(s.addr, s.size, AccessKind::Write, entry.pc)
+                    if let Some(trap) = self.mem_check(s.addr, s.size, AccessKind::Write, entry.pc)
                     {
                         self.sq[slot].valid = false;
                         self.raise_trap(trap);
@@ -1398,7 +1429,12 @@ impl OooCore {
         let status = self.ended.unwrap_or(RunStatus::Timeout);
         let output = self.drain_output();
         OooOutcome {
-            sim: SimOutcome { status, output, instrs: self.committed, cycles: self.cycle },
+            sim: SimOutcome {
+                status,
+                output,
+                instrs: self.committed,
+                cycles: self.cycle,
+            },
             fpm: self.fpm,
             fpm_cycle: self.fpm_cycle,
         }
@@ -1412,7 +1448,7 @@ impl OooCore {
         if self.fpm.is_some() || self.rf_taint.is_some() {
             return false;
         }
-        if self.mem.taint().map_or(false, |t| t.live()) {
+        if self.mem.taint().is_some_and(|t| t.live()) {
             return false;
         }
         if self.lq.iter().any(|e| e.valid && e.taint) {
@@ -1471,7 +1507,12 @@ impl OooCore {
         let status = self.ended.unwrap_or(RunStatus::Timeout);
         let output = self.drain_output();
         OooOutcome {
-            sim: SimOutcome { status, output, instrs: self.committed, cycles: self.cycle },
+            sim: SimOutcome {
+                status,
+                output,
+                instrs: self.committed,
+                cycles: self.cycle,
+            },
             fpm: self.fpm,
             fpm_cycle: self.fpm_cycle,
         }
@@ -1604,7 +1645,10 @@ mod tests {
         assert_eq!(out.sim.status, RunStatus::Exited(0));
         let ipc = out.sim.instrs as f64 / out.sim.cycles as f64;
         assert!(ipc > 0.3, "IPC {ipc:.2} too low — pipeline is wedged");
-        assert!(ipc <= cfg.width as f64, "IPC {ipc:.2} exceeds machine width");
+        assert!(
+            ipc <= cfg.width as f64,
+            "IPC {ipc:.2} exceeds machine width"
+        );
     }
 
     #[test]
@@ -1657,8 +1701,7 @@ mod tests {
             core.inject(HwStructure::RegisterFile, (k * 131) % cfg.rf_bits());
             core.run_until(10_000_000);
             let out = core.finish();
-            let same =
-                out.sim.status == golden.sim.status && out.sim.output == golden.sim.output;
+            let same = out.sim.status == golden.sim.status && out.sim.output == golden.sim.output;
             if same && out.fpm.is_none() {
                 masked += 1;
             }

@@ -23,7 +23,10 @@ impl RunStatus {
     /// True for any crash-class ending (kernel-reported crash, panic, or
     /// timeout) — the paper's "Crash" fault-effect class.
     pub fn is_crash(self) -> bool {
-        matches!(self, RunStatus::Crashed(_) | RunStatus::KernelPanic | RunStatus::Timeout)
+        matches!(
+            self,
+            RunStatus::Crashed(_) | RunStatus::KernelPanic | RunStatus::Timeout
+        )
     }
 }
 

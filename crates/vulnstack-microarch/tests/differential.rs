@@ -27,7 +27,11 @@ fn all_workloads_match_golden_on_va64() {
     for id in WorkloadId::ALL {
         let w = id.build();
         let (status, output, instrs) = run_compiled(id, Isa::Va64);
-        assert_eq!(status, RunStatus::Exited(0), "{id}: bad status after {instrs} instrs");
+        assert_eq!(
+            status,
+            RunStatus::Exited(0),
+            "{id}: bad status after {instrs} instrs"
+        );
         assert_eq!(output, w.expected_output, "{id}: output mismatch on va64");
     }
 }
@@ -37,7 +41,11 @@ fn all_workloads_match_golden_on_va32() {
     for id in WorkloadId::ALL {
         let w = id.build();
         let (status, output, instrs) = run_compiled(id, Isa::Va32);
-        assert_eq!(status, RunStatus::Exited(0), "{id}: bad status after {instrs} instrs");
+        assert_eq!(
+            status,
+            RunStatus::Exited(0),
+            "{id}: bad status after {instrs} instrs"
+        );
         assert_eq!(output, w.expected_output, "{id}: output mismatch on va32");
     }
 }
@@ -87,10 +95,19 @@ mod ooo_diff {
                     out.sim.instrs,
                     out.sim.cycles
                 );
-                assert_eq!(out.sim.output, w.expected_output, "{id}/{model}: output mismatch");
-                assert!(out.fpm.is_none(), "{id}/{model}: phantom FPM with no injection");
+                assert_eq!(
+                    out.sim.output, w.expected_output,
+                    "{id}/{model}: output mismatch"
+                );
+                assert!(
+                    out.fpm.is_none(),
+                    "{id}/{model}: phantom FPM with no injection"
+                );
                 let ipc = out.sim.instrs as f64 / out.sim.cycles as f64;
-                assert!(ipc > 0.1 && ipc <= cfg.width as f64, "{id}/{model}: IPC {ipc:.2}");
+                assert!(
+                    ipc > 0.1 && ipc <= cfg.width as f64,
+                    "{id}/{model}: IPC {ipc:.2}"
+                );
             }
         }
     }

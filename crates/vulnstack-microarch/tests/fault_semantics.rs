@@ -48,7 +48,10 @@ fn l1d_corruption_of_live_data_manifests_as_wd_sdc() {
     // Let the store commit and the loop start.
     core.run_until(2000);
     let addr = marker_addr(&core);
-    let r = core.mem.flip_addr_bit(Level::L1d, addr, 1).expect("marker line resident in L1d");
+    let r = core
+        .mem
+        .flip_addr_bit(Level::L1d, addr, 1)
+        .expect("marker line resident in L1d");
     assert_eq!(r.addr, Some(addr));
     core.run_until(10_000_000);
     let out = core.finish();
@@ -83,11 +86,16 @@ fn overwrite_before_use_masks_the_fault() {
     let cfg = CoreModel::A72.config();
     let mut core = OooCore::new(&cfg, &img);
     core.run_until(2000);
-    core.mem.flip_addr_bit(Level::L1d, memmap::USER_DATA, 3).expect("resident");
+    core.mem
+        .flip_addr_bit(Level::L1d, memmap::USER_DATA, 3)
+        .expect("resident");
     core.run_until(10_000_000);
     let out = core.finish();
     assert_eq!(out.sim.status, RunStatus::Exited(0x77));
-    assert!(out.fpm.is_none(), "overwritten corruption must stay invisible");
+    assert!(
+        out.fpm.is_none(),
+        "overwritten corruption must stay invisible"
+    );
 }
 
 #[test]
@@ -153,7 +161,9 @@ fn writeback_carries_corruption_into_l2_and_back() {
     let cfg = CoreModel::A9.config();
     let mut core = OooCore::new(&cfg, &img);
     core.run_until(1000); // store committed, still spinning
-    core.mem.flip_addr_bit(Level::L1d, memmap::USER_DATA, 2).expect("resident");
+    core.mem
+        .flip_addr_bit(Level::L1d, memmap::USER_DATA, 2)
+        .expect("resident");
     core.run_until(10_000_000);
     let out = core.finish();
     assert_eq!(

@@ -104,7 +104,11 @@ fn store_load_forwarding_preserves_values_under_pressure() {
     );
     let cfg = CoreModel::A72.config();
     let out = OooCore::new(&cfg, &img).run(50_000_000);
-    assert_eq!(out.sim.status, RunStatus::Exited(0), "forwarding corrupted a value");
+    assert_eq!(
+        out.sim.status,
+        RunStatus::Exited(0),
+        "forwarding corrupted a value"
+    );
 }
 
 #[test]
@@ -138,8 +142,12 @@ fn wider_machine_is_not_slower() {
     let w = vulnstack_workloads::WorkloadId::Fft.build();
     let c = compile(&w.module, Isa::Va32, &CompileOpts::default()).unwrap();
     let img = SystemImage::build(&c, &w.input).unwrap();
-    let a9 = OooCore::new(&CoreModel::A9.config(), &img).run(400_000_000).sim;
-    let a15 = OooCore::new(&CoreModel::A15.config(), &img).run(400_000_000).sim;
+    let a9 = OooCore::new(&CoreModel::A9.config(), &img)
+        .run(400_000_000)
+        .sim;
+    let a15 = OooCore::new(&CoreModel::A15.config(), &img)
+        .run(400_000_000)
+        .sim;
     assert_eq!(a9.instrs, a15.instrs);
     assert!(
         (a15.cycles as f64) < (a9.cycles as f64) * 1.10,
@@ -266,10 +274,10 @@ mod targeted_l1i {
         let cfg = CoreModel::A72.config();
         let mut core = OooCore::new(&cfg, &img);
         core.run_until(3000); // loop is hot, its line sits in L1i
-        // The loop body lives a few instructions after _start; find a
-        // cached text address by scanning.
-        // Address the byte holding the desired word bit (little-endian:
-        // byte 3 carries the opcode bits 31:24).
+                              // The loop body lives a few instructions after _start; find a
+                              // cached text address by scanning.
+                              // Address the byte holding the desired word bit (little-endian:
+                              // byte 3 carries the opcode bits 31:24).
         let byte = (bit_in_word / 8) as u32;
         let bit = bit_in_word % 8;
         let mut flipped = false;

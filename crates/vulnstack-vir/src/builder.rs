@@ -77,7 +77,11 @@ impl ModuleBuilder {
     /// Adds an initialised global.
     pub fn global(&mut self, name: &str, init: Vec<u8>, align: u32) -> GlobalId {
         let id = GlobalId(self.globals.len() as u32);
-        self.globals.push(Global { name: name.to_string(), init, align });
+        self.globals.push(Global {
+            name: name.to_string(),
+            init,
+            align,
+        });
         id
     }
 
@@ -117,11 +121,15 @@ impl ModuleBuilder {
                 }
             }
         }
-        let entry = *self
-            .fn_names
-            .get("main")
-            .ok_or(VerifyError::MissingBody { name: "main".into() })?;
-        let module = Module { name: self.name, functions, globals: self.globals, entry };
+        let entry = *self.fn_names.get("main").ok_or(VerifyError::MissingBody {
+            name: "main".into(),
+        })?;
+        let module = Module {
+            name: self.name,
+            functions,
+            globals: self.globals,
+            entry,
+        };
         verify_module(&module)?;
         Ok(module)
     }
@@ -226,7 +234,12 @@ impl FuncBuilder {
     /// Re-assigns `dst = src` (copy).
     pub fn set(&mut self, dst: VReg, src: impl Into<Operand>) {
         let a = src.into();
-        self.emit(VInstr::Bin { dst, op: BinOp::Add, a, b: Operand::Imm(0) });
+        self.emit(VInstr::Bin {
+            dst,
+            op: BinOp::Add,
+            a,
+            b: Operand::Imm(0),
+        });
     }
 
     /// Re-assigns `dst = value` (constant).
@@ -254,7 +267,12 @@ impl FuncBuilder {
     /// Emits a load.
     pub fn load(&mut self, width: MemWidth, base: impl Into<Operand>, offset: i32) -> VReg {
         let base = base.into();
-        self.emit_val(|dst| VInstr::Load { dst, width, base, offset })
+        self.emit_val(|dst| VInstr::Load {
+            dst,
+            width,
+            base,
+            offset,
+        })
     }
 
     /// Emits a store.
@@ -266,7 +284,12 @@ impl FuncBuilder {
         offset: i32,
     ) {
         let (value, base) = (value.into(), base.into());
-        self.emit(VInstr::Store { width, value, base, offset });
+        self.emit(VInstr::Store {
+            width,
+            value,
+            base,
+            offset,
+        });
     }
 
     /// Emits `&global`.
@@ -282,42 +305,70 @@ impl FuncBuilder {
     /// Emits a call whose result is captured.
     pub fn call(&mut self, func: FuncId, args: &[Operand]) -> VReg {
         let args = args.to_vec();
-        self.emit_val(|dst| VInstr::Call { dst: Some(dst), func, args })
+        self.emit_val(|dst| VInstr::Call {
+            dst: Some(dst),
+            func,
+            args,
+        })
     }
 
     /// Emits a call discarding any result.
     pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
-        self.emit(VInstr::Call { dst: None, func, args: args.to_vec() });
+        self.emit(VInstr::Call {
+            dst: None,
+            func,
+            args: args.to_vec(),
+        });
     }
 
     /// Emits `write(ptr, len)`.
     pub fn sys_write(&mut self, ptr: impl Into<Operand>, len: impl Into<Operand>) {
         let args = vec![ptr.into(), len.into()];
-        self.emit(VInstr::Syscall { dst: None, sc: Syscall::Write, args });
+        self.emit(VInstr::Syscall {
+            dst: None,
+            sc: Syscall::Write,
+            args,
+        });
     }
 
     /// Emits `read(ptr, len) -> copied`.
     pub fn sys_read(&mut self, ptr: impl Into<Operand>, len: impl Into<Operand>) -> VReg {
         let args = vec![ptr.into(), len.into()];
-        self.emit_val(|dst| VInstr::Syscall { dst: Some(dst), sc: Syscall::Read, args })
+        self.emit_val(|dst| VInstr::Syscall {
+            dst: Some(dst),
+            sc: Syscall::Read,
+            args,
+        })
     }
 
     /// Emits `brk(delta) -> old_break`.
     pub fn sys_brk(&mut self, delta: impl Into<Operand>) -> VReg {
         let args = vec![delta.into()];
-        self.emit_val(|dst| VInstr::Syscall { dst: Some(dst), sc: Syscall::Brk, args })
+        self.emit_val(|dst| VInstr::Syscall {
+            dst: Some(dst),
+            sc: Syscall::Brk,
+            args,
+        })
     }
 
     /// Emits `exit(code)`.
     pub fn sys_exit(&mut self, code: impl Into<Operand>) {
         let args = vec![code.into()];
-        self.emit(VInstr::Syscall { dst: None, sc: Syscall::Exit, args });
+        self.emit(VInstr::Syscall {
+            dst: None,
+            sc: Syscall::Exit,
+            args,
+        });
     }
 
     /// Emits `detect(code)` — fault-tolerance check failure.
     pub fn sys_detect(&mut self, code: impl Into<Operand>) {
         let args = vec![code.into()];
-        self.emit(VInstr::Syscall { dst: None, sc: Syscall::Detect, args });
+        self.emit(VInstr::Syscall {
+            dst: None,
+            sc: Syscall::Detect,
+            args,
+        });
     }
 
     /// Emits an unconditional branch.
@@ -328,7 +379,11 @@ impl FuncBuilder {
     /// Emits a conditional branch on `cond != 0`.
     pub fn cond_br(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) {
         let cond = cond.into();
-        self.emit(VInstr::CondBr { cond, then_bb, else_bb });
+        self.emit(VInstr::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Emits a return.
@@ -523,15 +578,15 @@ impl FuncBuilder {
 
     /// 32-bit store.
     pub fn store32(&mut self, value: impl Into<Operand>, base: impl Into<Operand>, offset: i32) {
-        self.store(MemWidth::W, value, base, offset)
+        self.store(MemWidth::W, value, base, offset);
     }
     /// Byte store.
     pub fn store8(&mut self, value: impl Into<Operand>, base: impl Into<Operand>, offset: i32) {
-        self.store(MemWidth::B, value, base, offset)
+        self.store(MemWidth::B, value, base, offset);
     }
     /// Halfword store.
     pub fn store16(&mut self, value: impl Into<Operand>, base: impl Into<Operand>, offset: i32) {
-        self.store(MemWidth::H, value, base, offset)
+        self.store(MemWidth::H, value, base, offset);
     }
 }
 

@@ -59,28 +59,65 @@ pub enum VInstr {
     /// `dst = value`.
     Const { dst: VReg, value: i32 },
     /// `dst = a <op> b`.
-    Bin { dst: VReg, op: BinOp, a: Operand, b: Operand },
+    Bin {
+        dst: VReg,
+        op: BinOp,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = (a <pred> b) ? 1 : 0`.
-    Cmp { dst: VReg, pred: CmpPred, a: Operand, b: Operand },
+    Cmp {
+        dst: VReg,
+        pred: CmpPred,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = cond != 0 ? a : b`.
-    Select { dst: VReg, cond: Operand, a: Operand, b: Operand },
+    Select {
+        dst: VReg,
+        cond: Operand,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = mem[base + offset]` with `width` extension.
-    Load { dst: VReg, width: MemWidth, base: Operand, offset: i32 },
+    Load {
+        dst: VReg,
+        width: MemWidth,
+        base: Operand,
+        offset: i32,
+    },
     /// `mem[base + offset] = value` (low `width` bytes).
-    Store { width: MemWidth, value: Operand, base: Operand, offset: i32 },
+    Store {
+        width: MemWidth,
+        value: Operand,
+        base: Operand,
+        offset: i32,
+    },
     /// `dst = &global`.
     GlobalAddr { dst: VReg, global: GlobalId },
     /// `dst = &frame_slot`.
     SlotAddr { dst: VReg, slot: SlotId },
     /// Call `func(args...)`; the callee's return value (if any) lands in
     /// `dst`.
-    Call { dst: Option<VReg>, func: FuncId, args: Vec<Operand> },
+    Call {
+        dst: Option<VReg>,
+        func: FuncId,
+        args: Vec<Operand>,
+    },
     /// Invoke a kernel service.
-    Syscall { dst: Option<VReg>, sc: Syscall, args: Vec<Operand> },
+    Syscall {
+        dst: Option<VReg>,
+        sc: Syscall,
+        args: Vec<Operand>,
+    },
     /// Unconditional jump.
     Br { target: BlockId },
     /// Two-way conditional jump on `cond != 0`.
-    CondBr { cond: Operand, then_bb: BlockId, else_bb: BlockId },
+    CondBr {
+        cond: Operand,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
     /// Return from the current function.
     Ret { value: Option<Operand> },
 }
@@ -138,7 +175,10 @@ impl VInstr {
 
     /// True if this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, VInstr::Br { .. } | VInstr::CondBr { .. } | VInstr::Ret { .. })
+        matches!(
+            self,
+            VInstr::Br { .. } | VInstr::CondBr { .. } | VInstr::Ret { .. }
+        )
     }
 
     /// True if a software-level (LLFI-style) injector may target this
@@ -173,10 +213,20 @@ impl std::fmt::Display for VInstr {
                 write!(f, "{dst} = cmp.{} {a}, {b}", pred.mnemonic())
             }
             VInstr::Select { dst, cond, a, b } => write!(f, "{dst} = select {cond}, {a}, {b}"),
-            VInstr::Load { dst, width, base, offset } => {
+            VInstr::Load {
+                dst,
+                width,
+                base,
+                offset,
+            } => {
                 write!(f, "{dst} = load.{:?} [{base} + {offset}]", width)
             }
-            VInstr::Store { width, value, base, offset } => {
+            VInstr::Store {
+                width,
+                value,
+                base,
+                offset,
+            } => {
                 write!(f, "store.{:?} {value}, [{base} + {offset}]", width)
             }
             VInstr::GlobalAddr { dst, global } => write!(f, "{dst} = &g{}", global.0),
@@ -208,7 +258,11 @@ impl std::fmt::Display for VInstr {
                 write!(f, ")")
             }
             VInstr::Br { target } => write!(f, "br {target}"),
-            VInstr::CondBr { cond, then_bb, else_bb } => {
+            VInstr::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 write!(f, "condbr {cond}, {then_bb}, {else_bb}")
             }
             VInstr::Ret { value } => match value {
@@ -246,14 +300,20 @@ mod tests {
         assert_eq!(s.uses(), vec![VReg(2), VReg(3)]);
         assert!(!s.is_injectable());
 
-        let r = VInstr::Ret { value: Some(Operand::Reg(VReg(9))) };
+        let r = VInstr::Ret {
+            value: Some(Operand::Reg(VReg(9))),
+        };
         assert!(r.is_terminator());
         assert_eq!(r.uses(), vec![VReg(9)]);
     }
 
     #[test]
     fn display_is_nonempty() {
-        let i = VInstr::Call { dst: Some(VReg(1)), func: FuncId(2), args: vec![Operand::Imm(3)] };
+        let i = VInstr::Call {
+            dst: Some(VReg(1)),
+            func: FuncId(2),
+            args: vec![Operand::Imm(3)],
+        };
         assert_eq!(i.to_string(), "%1 = call f2(3)");
     }
 }

@@ -189,17 +189,12 @@ impl<'m> Interpreter<'m> {
         self.global_addrs[g.0 as usize]
     }
 
-    fn check_access(
-        &self,
-        addr: i64,
-        len: u64,
-        stack_floor: u32,
-    ) -> Result<u32, TrapCause> {
+    fn check_access(&self, addr: i64, len: u64, stack_floor: u32) -> Result<u32, TrapCause> {
         if addr < 0 || addr as u64 + len > u32::MAX as u64 {
             return Err(TrapCause::AccessFault);
         }
         let a = addr as u32;
-        if a % (len as u32) != 0 {
+        if !a.is_multiple_of(len as u32) {
             return Err(TrapCause::MisalignedAccess);
         }
         let end = a + len as u32;
@@ -297,7 +292,9 @@ impl<'m> Interpreter<'m> {
     }
 
     fn step(&mut self, stack: &mut Vec<Frame>) -> StepResult {
-        let frame = stack.last_mut().expect("call stack never empty while running");
+        let frame = stack
+            .last_mut()
+            .expect("call stack never empty while running");
         let func = &self.module.functions[frame.func.0 as usize];
         let block = &func.blocks[frame.block.0 as usize];
         let ins = &block.instrs[frame.idx];
@@ -337,14 +334,24 @@ impl<'m> Interpreter<'m> {
                 };
                 wrote = Some((*dst, v as i64));
             }
-            VInstr::Load { dst, width, base, offset } => {
+            VInstr::Load {
+                dst,
+                width,
+                base,
+                offset,
+            } => {
                 let addr = get(&frame.regs, base) as i64 + *offset as i64;
                 match self.check_access(addr, width.bytes(), stack_floor) {
                     Ok(a) => wrote = Some((*dst, self.load(a, *width))),
                     Err(t) => trap = Some(t),
                 }
             }
-            VInstr::Store { width, value, base, offset } => {
+            VInstr::Store {
+                width,
+                value,
+                base,
+                offset,
+            } => {
                 let addr = get(&frame.regs, base) as i64 + *offset as i64;
                 let v = get(&frame.regs, value) as i64;
                 match self.check_access(addr, width.bytes(), stack_floor) {
@@ -360,10 +367,22 @@ impl<'m> Interpreter<'m> {
                 wrote = Some((*dst, (frame.frame_base + off) as i64));
             }
             VInstr::Br { target } => next = Some(*target),
-            VInstr::CondBr { cond, then_bb, else_bb } => {
-                next = Some(if get(&frame.regs, cond) != 0 { *then_bb } else { *else_bb });
+            VInstr::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                next = Some(if get(&frame.regs, cond) != 0 {
+                    *then_bb
+                } else {
+                    *else_bb
+                });
             }
-            VInstr::Call { dst, func: callee, args } => {
+            VInstr::Call {
+                dst,
+                func: callee,
+                args,
+            } => {
                 let callee_fn = &self.module.functions[callee.0 as usize];
                 let new_base = frame.frame_base.checked_sub(callee_fn.frame_size());
                 let Some(new_base) = new_base else {
@@ -389,8 +408,8 @@ impl<'m> Interpreter<'m> {
                 return StepResult::Continue;
             }
             VInstr::Syscall { dst, sc, args } => {
-                let a0 = args.first().map(|a| get(&frame.regs, a)).unwrap_or(0);
-                let a1 = args.get(1).map(|a| get(&frame.regs, a)).unwrap_or(0);
+                let a0 = args.first().map_or(0, |a| get(&frame.regs, a));
+                let a1 = args.get(1).map_or(0, |a| get(&frame.regs, a));
                 match sc {
                     Syscall::Exit => return StepResult::Finished(RunStatus::Exited(a0)),
                     Syscall::Detect => return StepResult::Finished(RunStatus::Detected(a0)),
@@ -616,7 +635,10 @@ mod tests {
         f.ret(None);
         mb.finish_function(f);
         let m = mb.finish().unwrap();
-        assert_eq!(run(&m).status, RunStatus::Trapped(TrapCause::MisalignedAccess));
+        assert_eq!(
+            run(&m).status,
+            RunStatus::Trapped(TrapCause::MisalignedAccess)
+        );
     }
 
     #[test]
@@ -660,7 +682,10 @@ mod tests {
         f.ret(None);
         mb.finish_function(f);
         let m = mb.finish().unwrap();
-        let out = Interpreter::new(&m).with_input(vec![7, 8, 9]).run().unwrap();
+        let out = Interpreter::new(&m)
+            .with_input(vec![7, 8, 9])
+            .run()
+            .unwrap();
         // 3 bytes copied, first byte is 7 -> exit code 10.
         assert_eq!(out.status, RunStatus::Exited(10));
     }

@@ -41,7 +41,10 @@ impl Function {
     /// Iterates over `(block id, instruction index, instruction)`.
     pub fn iter_instrs(&self) -> impl Iterator<Item = (BlockId, usize, &VInstr)> {
         self.blocks.iter().enumerate().flat_map(|(b, blk)| {
-            blk.instrs.iter().enumerate().map(move |(i, ins)| (BlockId(b as u32), i, ins))
+            blk.instrs
+                .iter()
+                .enumerate()
+                .map(move |(i, ins)| (BlockId(b as u32), i, ins))
         })
     }
 
@@ -167,7 +170,11 @@ mod tests {
 
 impl std::fmt::Display for Function {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "fn {}({} params, {} vregs) {{", self.name, self.num_params, self.num_vregs)?;
+        writeln!(
+            f,
+            "fn {}({} params, {} vregs) {{",
+            self.name, self.num_params, self.num_vregs
+        )?;
         for (i, s) in self.slots.iter().enumerate() {
             writeln!(f, "  slot{i}: {} bytes align {}", s.size, s.align)?;
         }
@@ -183,9 +190,21 @@ impl std::fmt::Display for Function {
 
 impl std::fmt::Display for Module {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "module {} ({} functions, {} globals)", self.name, self.functions.len(), self.globals.len())?;
+        writeln!(
+            f,
+            "module {} ({} functions, {} globals)",
+            self.name,
+            self.functions.len(),
+            self.globals.len()
+        )?;
         for (i, g) in self.globals.iter().enumerate() {
-            writeln!(f, "g{i}: {} = {} bytes align {}", g.name, g.init.len(), g.align)?;
+            writeln!(
+                f,
+                "g{i}: {} = {} bytes align {}",
+                g.name,
+                g.init.len(),
+                g.align
+            )?;
         }
         for func in &self.functions {
             writeln!(f, "{func}")?;

@@ -14,17 +14,34 @@ pub enum VerifyError {
     /// A block does not end with a terminator.
     NoTerminator { func: String, block: u32 },
     /// A terminator appears before the end of a block.
-    EarlyTerminator { func: String, block: u32, index: usize },
+    EarlyTerminator {
+        func: String,
+        block: u32,
+        index: usize,
+    },
     /// A branch targets a nonexistent block.
-    BadBlockTarget { func: String, block: u32, target: u32 },
+    BadBlockTarget {
+        func: String,
+        block: u32,
+        target: u32,
+    },
     /// A call references a nonexistent function.
     BadCallee { func: String, callee: u32 },
     /// A call passes the wrong number of arguments.
-    BadArity { func: String, callee: String, expected: u32, got: usize },
+    BadArity {
+        func: String,
+        callee: String,
+        expected: u32,
+        got: usize,
+    },
     /// A register index exceeds the function's register count.
     BadVReg { func: String, vreg: u32 },
     /// A global or slot reference is out of range.
-    BadRef { func: String, what: &'static str, index: u32 },
+    BadRef {
+        func: String,
+        what: &'static str,
+        index: u32,
+    },
     /// The entry function must take no parameters.
     EntryHasParams { name: String },
 }
@@ -38,16 +55,31 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "{func}: bb{block} does not end with a terminator")
             }
             VerifyError::EarlyTerminator { func, block, index } => {
-                write!(f, "{func}: bb{block} has a terminator at index {index} before the end")
+                write!(
+                    f,
+                    "{func}: bb{block} has a terminator at index {index} before the end"
+                )
             }
-            VerifyError::BadBlockTarget { func, block, target } => {
+            VerifyError::BadBlockTarget {
+                func,
+                block,
+                target,
+            } => {
                 write!(f, "{func}: bb{block} branches to nonexistent bb{target}")
             }
             VerifyError::BadCallee { func, callee } => {
                 write!(f, "{func}: call to nonexistent function f{callee}")
             }
-            VerifyError::BadArity { func, callee, expected, got } => {
-                write!(f, "{func}: call to {callee} with {got} args (expects {expected})")
+            VerifyError::BadArity {
+                func,
+                callee,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{func}: call to {callee} with {got} args (expects {expected})"
+                )
             }
             VerifyError::BadVReg { func, vreg } => {
                 write!(f, "{func}: register %{vreg} out of range")
@@ -72,7 +104,9 @@ impl std::error::Error for VerifyError {}
 pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
     let entry = m.entry_function();
     if entry.num_params != 0 {
-        return Err(VerifyError::EntryHasParams { name: entry.name.clone() });
+        return Err(VerifyError::EntryHasParams {
+            name: entry.name.clone(),
+        });
     }
     for f in &m.functions {
         verify_function(m, f)?;
@@ -84,7 +118,10 @@ fn check_reg(f: &Function, r: VReg) -> Result<(), VerifyError> {
     if r.0 < f.num_vregs {
         Ok(())
     } else {
-        Err(VerifyError::BadVReg { func: f.name.clone(), vreg: r.0 })
+        Err(VerifyError::BadVReg {
+            func: f.name.clone(),
+            vreg: r.0,
+        })
     }
 }
 
@@ -105,14 +142,24 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
     for (b, blk) in f.blocks.iter().enumerate() {
         let b = b as u32;
         let Some(last) = blk.instrs.last() else {
-            return Err(VerifyError::EmptyBlock { func: f.name.clone(), block: b });
+            return Err(VerifyError::EmptyBlock {
+                func: f.name.clone(),
+                block: b,
+            });
         };
         if !last.is_terminator() {
-            return Err(VerifyError::NoTerminator { func: f.name.clone(), block: b });
+            return Err(VerifyError::NoTerminator {
+                func: f.name.clone(),
+                block: b,
+            });
         }
         for (i, ins) in blk.instrs.iter().enumerate() {
             if ins.is_terminator() && i + 1 != blk.instrs.len() {
-                return Err(VerifyError::EarlyTerminator { func: f.name.clone(), block: b, index: i });
+                return Err(VerifyError::EarlyTerminator {
+                    func: f.name.clone(),
+                    block: b,
+                    index: i,
+                });
             }
             if let Some(d) = ins.dst() {
                 check_reg(f, d)?;
@@ -121,16 +168,18 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                 check_reg(f, u)?;
             }
             match ins {
-                VInstr::Br { target } => {
-                    if target.0 >= nblocks {
-                        return Err(VerifyError::BadBlockTarget {
-                            func: f.name.clone(),
-                            block: b,
-                            target: target.0,
-                        });
-                    }
+                VInstr::Br { target } if target.0 >= nblocks => {
+                    return Err(VerifyError::BadBlockTarget {
+                        func: f.name.clone(),
+                        block: b,
+                        target: target.0,
+                    });
                 }
-                VInstr::CondBr { cond, then_bb, else_bb } => {
+                VInstr::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     check_operand(f, cond)?;
                     for t in [then_bb, else_bb] {
                         if t.0 >= nblocks {
@@ -142,9 +191,14 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                         }
                     }
                 }
-                VInstr::Call { func: callee, args, .. } => {
+                VInstr::Call {
+                    func: callee, args, ..
+                } => {
                     let Some(cf) = m.functions.get(callee.0 as usize) else {
-                        return Err(VerifyError::BadCallee { func: f.name.clone(), callee: callee.0 });
+                        return Err(VerifyError::BadCallee {
+                            func: f.name.clone(),
+                            callee: callee.0,
+                        });
                     };
                     if cf.num_params as usize != args.len() {
                         return Err(VerifyError::BadArity {
@@ -155,23 +209,19 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                         });
                     }
                 }
-                VInstr::GlobalAddr { global, .. } => {
-                    if global.0 as usize >= m.globals.len() {
-                        return Err(VerifyError::BadRef {
-                            func: f.name.clone(),
-                            what: "global",
-                            index: global.0,
-                        });
-                    }
+                VInstr::GlobalAddr { global, .. } if global.0 as usize >= m.globals.len() => {
+                    return Err(VerifyError::BadRef {
+                        func: f.name.clone(),
+                        what: "global",
+                        index: global.0,
+                    });
                 }
-                VInstr::SlotAddr { slot, .. } => {
-                    if slot.0 as usize >= f.slots.len() {
-                        return Err(VerifyError::BadRef {
-                            func: f.name.clone(),
-                            what: "slot",
-                            index: slot.0,
-                        });
-                    }
+                VInstr::SlotAddr { slot, .. } if slot.0 as usize >= f.slots.len() => {
+                    return Err(VerifyError::BadRef {
+                        func: f.name.clone(),
+                        what: "slot",
+                        index: slot.0,
+                    });
                 }
                 _ => {}
             }
@@ -208,15 +258,24 @@ mod tests {
     fn empty_block_rejected() {
         let mut m = tiny();
         m.functions[0].blocks.push(Block::default());
-        assert!(matches!(verify_module(&m), Err(VerifyError::EmptyBlock { .. })));
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::EmptyBlock { .. })
+        ));
     }
 
     #[test]
     fn missing_terminator_rejected() {
         let mut m = tiny();
-        m.functions[0].blocks[0].instrs = vec![VInstr::Const { dst: VReg(0), value: 1 }];
+        m.functions[0].blocks[0].instrs = vec![VInstr::Const {
+            dst: VReg(0),
+            value: 1,
+        }];
         m.functions[0].num_vregs = 1;
-        assert!(matches!(verify_module(&m), Err(VerifyError::NoTerminator { .. })));
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::NoTerminator { .. })
+        ));
     }
 
     #[test]
@@ -224,24 +283,36 @@ mod tests {
         let mut m = tiny();
         m.functions[0].blocks[0].instrs =
             vec![VInstr::Ret { value: None }, VInstr::Ret { value: None }];
-        assert!(matches!(verify_module(&m), Err(VerifyError::EarlyTerminator { .. })));
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::EarlyTerminator { .. })
+        ));
     }
 
     #[test]
     fn bad_branch_target_rejected() {
         let mut m = tiny();
         m.functions[0].blocks[0].instrs = vec![VInstr::Br { target: BlockId(7) }];
-        assert!(matches!(verify_module(&m), Err(VerifyError::BadBlockTarget { .. })));
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::BadBlockTarget { .. })
+        ));
     }
 
     #[test]
     fn bad_vreg_rejected() {
         let mut m = tiny();
         m.functions[0].blocks[0].instrs = vec![
-            VInstr::Const { dst: VReg(99), value: 1 },
+            VInstr::Const {
+                dst: VReg(99),
+                value: 1,
+            },
             VInstr::Ret { value: None },
         ];
-        assert!(matches!(verify_module(&m), Err(VerifyError::BadVReg { vreg: 99, .. })));
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::BadVReg { vreg: 99, .. })
+        ));
     }
 
     #[test]
@@ -250,7 +321,10 @@ mod tests {
         let mut f = mb.function("main", 1);
         f.ret(None);
         mb.finish_function(f);
-        assert!(matches!(mb.finish(), Err(VerifyError::EntryHasParams { .. })));
+        assert!(matches!(
+            mb.finish(),
+            Err(VerifyError::EntryHasParams { .. })
+        ));
     }
 
     #[test]

@@ -67,12 +67,7 @@ pub(crate) fn compress(img: &[u8]) -> Vec<u8> {
 /// Emits the inner product `Σ_i mem32[ap + 4*stride_a*i + off_a] *
 /// mem32[bp + 4*i + off_b]` unrolled over `i in 0..8`, matching the host
 /// model's wrapping arithmetic.
-fn emit_dot8(
-    f: &mut FuncBuilder,
-    ap: VReg,
-    a_stride_words: i32,
-    bp: VReg,
-) -> VReg {
+fn emit_dot8(f: &mut FuncBuilder, ap: VReg, a_stride_words: i32, bp: VReg) -> VReg {
     let acc = f.fresh();
     f.set_c(acc, 0);
     for i in 0..8i32 {
@@ -238,7 +233,9 @@ mod tests {
     #[test]
     fn interpreter_matches_golden() {
         let w = build();
-        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module)
+            .run()
+            .unwrap();
         assert_eq!(out.output, w.expected_output);
     }
 }

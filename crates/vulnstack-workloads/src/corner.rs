@@ -120,7 +120,9 @@ mod tests {
     #[test]
     fn interpreter_matches_golden() {
         let w = build();
-        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module)
+            .run()
+            .unwrap();
         assert_eq!(out.output, w.expected_output);
     }
 }

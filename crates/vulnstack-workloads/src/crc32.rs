@@ -19,7 +19,11 @@ fn golden(data: &[u8]) -> u32 {
     for (i, t) in table.iter_mut().enumerate() {
         let mut c = i as u32;
         for _ in 0..8 {
-            c = if c & 1 != 0 { (c >> 1) ^ POLY as u32 } else { c >> 1 };
+            c = if c & 1 != 0 {
+                (c >> 1) ^ POLY as u32
+            } else {
+                c >> 1
+            };
         }
         *t = c;
     }

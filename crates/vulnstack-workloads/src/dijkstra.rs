@@ -17,15 +17,19 @@ fn make_graph() -> Vec<u8> {
     let mut adj = vec![0u8; V * V];
     for i in 0..V {
         for j in 0..V {
-            adj[i * V + j] = if i == j { 0 } else { ((rng.next_u32() & 0x3F) + 1) as u8 };
+            adj[i * V + j] = if i == j {
+                0
+            } else {
+                ((rng.next_u32() & 0x3F) + 1) as u8
+            };
         }
     }
     adj
 }
 
 fn golden(adj: &[u8]) -> Vec<u8> {
-    let mut dist = vec![INF; V];
-    let mut visited = vec![false; V];
+    let mut dist = [INF; V];
+    let mut visited = [false; V];
     dist[0] = 0;
     for _ in 0..V {
         // Pick the unvisited node with the smallest distance.
@@ -147,7 +151,7 @@ mod tests {
         // All nodes reachable in a dense graph; distances bounded by a
         // direct edge (max weight 64).
         for (i, &d) in dist.iter().enumerate().skip(1) {
-            assert!(d >= 1 && d <= 64, "node {i} distance {d}");
+            assert!((1..=64).contains(&d), "node {i} distance {d}");
         }
     }
 
@@ -167,7 +171,9 @@ mod tests {
     #[test]
     fn interpreter_matches_golden() {
         let w = build();
-        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module)
+            .run()
+            .unwrap();
         assert_eq!(out.output, w.expected_output);
     }
 }

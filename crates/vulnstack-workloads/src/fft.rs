@@ -15,7 +15,9 @@ const SEED: u32 = 0xFF70_0128;
 fn make_signal() -> Vec<i32> {
     // Pseudo-random samples in roughly ±16384.
     let mut rng = XorShift32::new(SEED);
-    (0..N).map(|_| ((rng.next_u32() & 0x7FFF) as i32) - 16384).collect()
+    (0..N)
+        .map(|_| ((rng.next_u32() & 0x7FFF) as i32) - 16384)
+        .collect()
 }
 
 fn bitrev(mut x: usize, bits: u32) -> usize {
@@ -191,7 +193,10 @@ mod tests {
         let out = golden(&flat);
         let re0 = i32::from_le_bytes([out[0], out[1], out[2], out[3]]);
         // DC bin accumulates ~N * 1000 (fixed-point rounding aside).
-        assert!((re0 - (N as i32) * 1000).abs() < N as i32 * 16, "re0 = {re0}");
+        assert!(
+            (re0 - (N as i32) * 1000).abs() < N as i32 * 16,
+            "re0 = {re0}"
+        );
         // Other bins are (near) zero.
         let re1 = i32::from_le_bytes([out[4], out[5], out[6], out[7]]);
         assert!(re1.abs() < 2048, "re1 = {re1}");
@@ -207,7 +212,9 @@ mod tests {
     #[test]
     fn interpreter_matches_golden() {
         let w = build();
-        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module)
+            .run()
+            .unwrap();
         assert_eq!(out.output, w.expected_output);
     }
 }

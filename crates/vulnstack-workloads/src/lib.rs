@@ -174,7 +174,10 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{id}: {e}"));
             assert_eq!(out.status, RunStatus::Exited(0), "{id}: bad exit status");
             assert!(!w.expected_output.is_empty(), "{id}: empty golden output");
-            assert_eq!(out.output, w.expected_output, "{id}: output mismatch vs golden model");
+            assert_eq!(
+                out.output, w.expected_output,
+                "{id}: output mismatch vs golden model"
+            );
         }
     }
 
@@ -195,7 +198,10 @@ mod tests {
         // microarchitectural injection runs.
         for id in WorkloadId::ALL {
             let w = id.build();
-            let out = Interpreter::new(&w.module).with_input(w.input.clone()).run().unwrap();
+            let out = Interpreter::new(&w.module)
+                .with_input(w.input.clone())
+                .run()
+                .unwrap();
             assert!(
                 out.dyn_instrs > 10_000,
                 "{id}: suspiciously tiny ({} instrs)",

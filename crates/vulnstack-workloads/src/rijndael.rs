@@ -13,8 +13,9 @@ const BLOCKS: usize = 32;
 const LEN: usize = BLOCKS * 16;
 const SEED: u32 = 0xAE51_2810;
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
-const KEY: [u8; 16] =
-    [0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C];
+const KEY: [u8; 16] = [
+    0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF, 0x4F, 0x3C,
+];
 
 /// ShiftRows source index for each destination position (column-major
 /// state, index `row + 4*col`).
@@ -176,10 +177,8 @@ pub fn build() -> Workload {
                     |f| {
                         // MixColumns tmp -> state.
                         for c in 0..4i32 {
-                            let a: Vec<VReg> =
-                                (0..4).map(|r| f.load8u(tmpp, 4 * c + r)).collect();
-                            let xt: Vec<VReg> =
-                                a.iter().map(|&x| emit_xtime(f, x)).collect();
+                            let a: Vec<VReg> = (0..4).map(|r| f.load8u(tmpp, 4 * c + r)).collect();
+                            let xt: Vec<VReg> = a.iter().map(|&x| emit_xtime(f, x)).collect();
                             let combos: [[usize; 2]; 4] = [[0, 1], [1, 2], [2, 3], [3, 0]];
                             for (r, combo) in combos.iter().enumerate() {
                                 // b_r = xt[i] ^ (xt[j] ^ a[j]) ^ a[k] ^ a[l]
@@ -309,8 +308,8 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
-                0xb4, 0xc5, 0x5a
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
             ]
         );
     }
@@ -328,7 +327,9 @@ mod tests {
     #[test]
     fn interpreter_matches_golden() {
         let w = build();
-        let out = vulnstack_vir::interp::Interpreter::new(&w.module).run().unwrap();
+        let out = vulnstack_vir::interp::Interpreter::new(&w.module)
+            .run()
+            .unwrap();
         assert_eq!(out.output, w.expected_output);
     }
 }

@@ -88,14 +88,20 @@ pub fn build() -> Workload {
     f.store8((bitlen >> 8) & 0xff, msgp, (PADDED - 2) as i32);
     f.store8(bitlen & 0xff, msgp, (PADDED - 1) as i32);
 
-    let h: Vec<VReg> = [0x67452301u32, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
-        .iter()
-        .map(|&k| {
-            let r = f.fresh();
-            f.set_c(r, k as i32);
-            r
-        })
-        .collect();
+    let h: Vec<VReg> = [
+        0x67452301u32,
+        0xEFCDAB89,
+        0x98BADCFE,
+        0x10325476,
+        0xC3D2E1F0,
+    ]
+    .iter()
+    .map(|&k| {
+        let r = f.fresh();
+        f.set_c(r, k as i32);
+        r
+    })
+    .collect();
     let (h0, h1, h2, h3, h4) = (h[0], h[1], h[2], h[3], h[4]);
 
     let wslot = f.stack_slot(80 * 4, 4);
@@ -261,8 +267,8 @@ mod tests {
         assert_eq!(
             d,
             [
-                0xa9, 0x99, 0x3e, 0x36, 0x47, 0x06, 0x81, 0x6a, 0xba, 0x3e, 0x25, 0x71, 0x78,
-                0x50, 0xc2, 0x6c, 0x9c, 0xd0, 0xd8, 0x9d
+                0xa9, 0x99, 0x3e, 0x36, 0x47, 0x06, 0x81, 0x6a, 0xba, 0x3e, 0x25, 0x71, 0x78, 0x50,
+                0xc2, 0x6c, 0x9c, 0xd0, 0xd8, 0x9d
             ]
         );
     }

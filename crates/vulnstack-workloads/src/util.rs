@@ -13,7 +13,9 @@ pub struct XorShift32 {
 impl XorShift32 {
     /// Creates a generator; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u32) -> XorShift32 {
-        XorShift32 { state: if seed == 0 { 0x9E3779B9 } else { seed } }
+        XorShift32 {
+            state: if seed == 0 { 0x9E3779B9 } else { seed },
+        }
     }
 
     /// Next 32-bit value.
@@ -51,8 +53,8 @@ pub fn aes_sbox() -> [u8; 256] {
     let mut p: u8 = 1;
     let mut log = [0u8; 256];
     let mut alog = [0u8; 256];
-    for i in 0..255 {
-        alog[i] = p;
+    for (i, a) in alog.iter_mut().enumerate().take(255) {
+        *a = p;
         log[p as usize] = i as u8;
         // p *= 3 in GF(2^8).
         let hi = p & 0x80;
@@ -60,7 +62,7 @@ pub fn aes_sbox() -> [u8; 256] {
         if hi != 0 {
             q ^= 0x1B;
         }
-        p = q ^ p;
+        p ^= q;
     }
     for i in 1..256 {
         inv[i] = alog[(255 - log[i] as usize) % 255];
@@ -106,9 +108,9 @@ pub const QUANT_TABLE: [i32; 64] = [
 
 /// Zigzag scan order for an 8×8 block.
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Fixed-point FFT twiddle tables: `(cos, sin)` of `2πi/n` scaled by 2^14,
@@ -193,8 +195,8 @@ mod tests {
     fn dct_table_symmetries() {
         let t = dct_table();
         // Row 0 is constant (c(0) * 1024 / sqrt2 ≈ 724).
-        for x in 0..8 {
-            assert_eq!(t[x], 724);
+        for &v in &t[..8] {
+            assert_eq!(v, 724);
         }
         // Row 4 follows the + − − + + − − + pattern of cos((2x+1)π/4).
         assert_eq!(t[4 * 8], t[4 * 8 + 7]);

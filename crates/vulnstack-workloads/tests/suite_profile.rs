@@ -14,7 +14,10 @@ fn suite_spans_diverse_dynamic_lengths() {
     let mut lengths = Vec::new();
     for id in WorkloadId::ALL {
         let w = id.build();
-        let out = Interpreter::new(&w.module).with_input(w.input.clone()).run().unwrap();
+        let out = Interpreter::new(&w.module)
+            .with_input(w.input.clone())
+            .run()
+            .unwrap();
         assert_eq!(out.status, RunStatus::Exited(0), "{id}");
         lengths.push((id, out.dyn_instrs));
     }
@@ -56,17 +59,27 @@ fn workloads_exercise_distinct_instruction_mixes() {
         }
         profiles.push((id, mul, logic, mem));
     }
-    assert!(profiles.iter().any(|&(_, mul, _, _)| mul >= 10), "no multiply-heavy workload");
-    assert!(profiles.iter().any(|&(_, _, logic, _)| logic >= 40), "no logic-heavy workload");
-    assert!(profiles.iter().all(|&(_, _, _, mem)| mem >= 4), "every workload touches memory");
+    assert!(
+        profiles.iter().any(|&(_, mul, _, _)| mul >= 10),
+        "no multiply-heavy workload"
+    );
+    assert!(
+        profiles.iter().any(|&(_, _, logic, _)| logic >= 40),
+        "no logic-heavy workload"
+    );
+    assert!(
+        profiles.iter().all(|&(_, _, _, mem)| mem >= 4),
+        "every workload touches memory"
+    );
 }
 
 #[test]
 fn workloads_use_syscalls_consistently() {
     // Input-consuming workloads must read; every workload must write
     // output and exit.
-    let readers: HashSet<WorkloadId> =
-        [WorkloadId::Sha, WorkloadId::Crc32, WorkloadId::Djpeg].into_iter().collect();
+    let readers: HashSet<WorkloadId> = [WorkloadId::Sha, WorkloadId::Crc32, WorkloadId::Djpeg]
+        .into_iter()
+        .collect();
     for id in WorkloadId::ALL {
         let w = id.build();
         let mut has_read = false;
@@ -85,8 +98,16 @@ fn workloads_use_syscalls_consistently() {
             }
         }
         assert!(has_write && has_exit, "{id}: must write output and exit");
-        assert_eq!(has_read, readers.contains(&id), "{id}: read() usage changed");
-        assert_eq!(!w.input.is_empty(), readers.contains(&id), "{id}: input mismatch");
+        assert_eq!(
+            has_read,
+            readers.contains(&id),
+            "{id}: read() usage changed"
+        );
+        assert_eq!(
+            !w.input.is_empty(),
+            readers.contains(&id),
+            "{id}: input mismatch"
+        );
     }
 }
 
@@ -103,6 +124,10 @@ fn expected_outputs_are_incompressible_enough() {
         let distinct: HashSet<u8> = w.expected_output.iter().copied().collect();
         // corner's response map is quantised to a handful of levels; the
         // floor is correspondingly low.
-        assert!(distinct.len() >= 4, "{id}: output too uniform ({} distinct)", distinct.len());
+        assert!(
+            distinct.len() >= 4,
+            "{id}: output too uniform ({} distinct)",
+            distinct.len()
+        );
     }
 }

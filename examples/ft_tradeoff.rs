@@ -17,14 +17,29 @@ fn main() {
     let faults = 100;
     let threads = default_threads();
     let base = WorkloadId::Sha.build();
-    let hard = Workload { module: harden(&base.module).unwrap(), ..base.clone() };
+    let hard = Workload {
+        module: harden(&base.module).unwrap(),
+        ..base.clone()
+    };
 
     // Software-level view (what a developer using an LLFI-style tool
     // sees).
-    let svf_base =
-        vulnstack_llfi::svf_campaign(&base.module, &base.input, &base.expected_output, faults, 7, threads);
-    let svf_hard =
-        vulnstack_llfi::svf_campaign(&hard.module, &hard.input, &hard.expected_output, faults, 7, threads);
+    let svf_base = vulnstack_llfi::svf_campaign(
+        &base.module,
+        &base.input,
+        &base.expected_output,
+        faults,
+        7,
+        threads,
+    );
+    let svf_hard = vulnstack_llfi::svf_campaign(
+        &hard.module,
+        &hard.input,
+        &hard.expected_output,
+        faults,
+        7,
+        threads,
+    );
 
     // Cross-layer view (ground truth): weighted over the five structures.
     let weighted = |w: &Workload| {
@@ -38,7 +53,10 @@ fn main() {
                 tally: r.tally,
             });
         }
-        (vulnstack_core::stack::WeightedAvf::new(structs).weighted(), prep.golden.cycles)
+        (
+            vulnstack_core::stack::WeightedAvf::new(structs).weighted(),
+            prep.golden.cycles,
+        )
     };
     let (avf_base, cyc_base) = weighted(&base);
     let (avf_hard, cyc_hard) = weighted(&hard);
@@ -50,13 +68,23 @@ fn main() {
         "SVF (software view)".into(),
         pct(sv_b),
         pct(sv_h),
-        format!("{:.1}x lower", if sv_h > 0.0 { sv_b / sv_h } else { f64::INFINITY }),
+        format!(
+            "{:.1}x lower",
+            if sv_h > 0.0 {
+                sv_b / sv_h
+            } else {
+                f64::INFINITY
+            }
+        ),
     ]);
     t.row(&[
         "AVF (cross-layer truth)".into(),
         pct2(avf_base.total()),
         pct2(avf_hard.total()),
-        format!("{:+.0}%", (avf_hard.total() / avf_base.total().max(1e-9) - 1.0) * 100.0),
+        format!(
+            "{:+.0}%",
+            (avf_hard.total() / avf_base.total().max(1e-9) - 1.0) * 100.0
+        ),
     ]);
     t.row(&[
         "execution cycles".into(),
@@ -65,7 +93,10 @@ fn main() {
         format!("{:.1}x", cyc_hard as f64 / cyc_base as f64),
     ]);
     println!("{}", t.render());
-    println!("Detected-by-checks at the software layer: {}", pct(svf_hard.vf().detected));
+    println!(
+        "Detected-by-checks at the software layer: {}",
+        pct(svf_hard.vf().detected)
+    );
     println!("\nThe software view says the program got much safer. The cross-layer");
     println!("truth barely moves (or worsens): the 3.6x longer, duplicated run");
     println!("exposes hardware state for longer — the paper's protection pitfall.");

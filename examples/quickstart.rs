@@ -6,7 +6,9 @@
 //! ```
 
 use vulnstack_core::report::{pct, pct2, Table};
-use vulnstack_gefin::{avf_campaign, default_threads, pvf_campaign, FuncPrepared, Prepared, PvfMode};
+use vulnstack_gefin::{
+    avf_campaign, default_threads, pvf_campaign, FuncPrepared, Prepared, PvfMode,
+};
 use vulnstack_isa::Isa;
 use vulnstack_microarch::ooo::HwStructure;
 use vulnstack_microarch::CoreModel;
@@ -19,7 +21,8 @@ fn main() {
     println!("workload: {} ({} bytes of input)", w.id, w.input.len());
 
     // Software layer (SVF): LLFI-style IR injection.
-    let svf = vulnstack_llfi::svf_campaign(&w.module, &w.input, &w.expected_output, faults, 1, threads);
+    let svf =
+        vulnstack_llfi::svf_campaign(&w.module, &w.input, &w.expected_output, faults, 1, threads);
     println!("SVF  (software layer)      = {}", pct(svf.vf().total()));
 
     // Architecture layer (PVF): persistent architectural-state faults on

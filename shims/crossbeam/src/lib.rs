@@ -1,0 +1,81 @@
+//! Offline stand-in for `crossbeam::thread::scope`, implemented over
+//! `std::thread::scope` (stable since Rust 1.63). Only the scoped-spawn
+//! surface this workspace uses is provided. See `shims/README.md`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result type matching `crossbeam::thread`'s panicking-child payloads.
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    ///
+    /// Spawned closures receive a fresh `&Scope` argument (crossbeam's
+    /// signature); nested spawning from inside a child is not supported by
+    /// this shim and panics.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: Option<&'scope std::thread::Scope<'scope, 'env>>,
+    }
+
+    /// Join handle for a scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> ScopeResult<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure's `&Scope` argument is a
+        /// detached handle that cannot spawn (all in-tree callers ignore
+        /// it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self
+                .inner
+                .expect("crossbeam shim: nested spawn from a child thread is unsupported");
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner: None })))
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All children are joined before this returns.
+    ///
+    /// Unlike `crossbeam`, a child panic propagates out of `scope` (via
+    /// `std::thread::scope`) instead of being collected into the `Err`
+    /// variant; in-tree callers `.expect()` the result either way.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: Some(s) })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let sums: Vec<u64> = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(3)
+                .map(|part| s.spawn(move |_| part.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        })
+        .expect("scope");
+        assert_eq!(sums.iter().sum::<u64>(), 36);
+    }
+}

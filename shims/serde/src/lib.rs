@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! but never serializes them through serde at runtime; this shim re-exports
+//! no-op derive macros so those annotations compile without the real crate
+//! (the build environment has no registry access). See `shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace only uses serde derives as annotations — nothing in the
+//! tree serializes through serde at runtime — so in the offline build the
+//! derives expand to nothing. See `shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the annotated type gains no impls.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the annotated type gains no impls.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -8,6 +8,7 @@
 //! vulnstack pvf      <workload> [--isa va64] [--mode wd|woi|wi] [--faults N] [--seed S]
 //! vulnstack svf      <workload> [--faults N] [--seed S] [--breakdown] [--hardened]
 //! vulnstack ace      <workload> [--model A72]
+//! vulnstack analyze  <workload> [--isa va64]
 //! vulnstack disasm   <workload> [--isa va64] [--limit N]
 //! vulnstack harden   <workload>
 //! ```
@@ -17,7 +18,9 @@ use std::process::ExitCode;
 
 use vulnstack_compiler::{compile, CompileOpts};
 use vulnstack_core::report::{pct, pct2, Table};
-use vulnstack_gefin::{avf_campaign, default_threads, pvf_campaign, FuncPrepared, Prepared, PvfMode};
+use vulnstack_gefin::{
+    avf_campaign, default_threads, pvf_campaign, FuncPrepared, Prepared, PvfMode,
+};
 use vulnstack_isa::Isa;
 use vulnstack_microarch::ooo::HwStructure;
 use vulnstack_microarch::CoreModel;
@@ -46,6 +49,7 @@ fn usage() {
     eprintln!("                    [--faults N] [--seed S]");
     eprintln!("  vulnstack svf     <workload> [--faults N] [--seed S] [--breakdown] [--hardened]");
     eprintln!("  vulnstack ace     <workload> [--model A72]");
+    eprintln!("  vulnstack analyze <workload> [--isa va32|va64] [--hardened]");
     eprintln!("  vulnstack disasm  <workload> [--isa va64] [--limit N]");
     eprintln!("  vulnstack harden  <workload>");
     eprintln!("  vulnstack ir      <workload> [--hardened]");
@@ -70,7 +74,9 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
                 i += 1;
                 continue;
             }
-            let v = rest.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+            let v = rest
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_string(), v.clone());
             i += 2;
         } else {
@@ -82,7 +88,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
 
 impl Opts {
     fn model(&self) -> Result<CoreModel, String> {
-        let name = self.flags.get("model").map(String::as_str).unwrap_or("A72");
+        let name = self.flags.get("model").map_or("A72", String::as_str);
         CoreModel::ALL
             .into_iter()
             .find(|m| m.name().eq_ignore_ascii_case(name))
@@ -90,7 +96,7 @@ impl Opts {
     }
 
     fn isa(&self) -> Result<Isa, String> {
-        match self.flags.get("isa").map(String::as_str).unwrap_or("va64") {
+        match self.flags.get("isa").map_or("va64", String::as_str) {
             "va32" => Ok(Isa::Va32),
             "va64" => Ok(Isa::Va64),
             other => Err(format!("unknown isa {other}")),
@@ -135,7 +141,7 @@ fn workload(name: &str, hardened: bool) -> Result<Workload, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let cmd = args.first().map_or("help", String::as_str);
     let name = args.get(1).cloned().unwrap_or_default();
     let rest = if args.len() > 2 { &args[2..] } else { &[] };
     let opts = parse_opts(rest)?;
@@ -183,7 +189,14 @@ fn run(args: &[String]) -> Result<(), String> {
                     .ok_or_else(|| format!("unknown structure {s}"))?],
             };
             let mut t = Table::new(&[
-                "structure", "bits", "masked", "SDC", "Crash", "detected", "AVF", "HVF",
+                "structure",
+                "bits",
+                "masked",
+                "SDC",
+                "Crash",
+                "detected",
+                "AVF",
+                "HVF",
             ]);
             for st in structures {
                 let r = avf_campaign(&prep, st, faults, seed, default_threads());
@@ -206,7 +219,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let isa = opts.isa()?;
             let faults = opts.faults()?;
             let seed = opts.seed()?;
-            let mode = match opts.flags.get("mode").map(String::as_str).unwrap_or("wd") {
+            let mode = match opts.flags.get("mode").map_or("wd", String::as_str) {
                 "wd" => PvfMode::Wd,
                 "woi" => PvfMode::Woi,
                 "wi" => PvfMode::Wi,
@@ -276,12 +289,49 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("note: ACE is a fast upper bound; compare with `vulnstack avf`.");
             Ok(())
         }
+        "analyze" => {
+            let w = workload(&name, opts.switch("hardened"))?;
+            let isa = opts.isa()?;
+            let compiled =
+                compile(&w.module, isa, &CompileOpts::default()).map_err(|e| e.to_string())?;
+            let sa = vulnstack_analyze::analyze(&compiled);
+            print!("{}", sa.summary());
+            let mut t = Table::new(&["function", "instrs", "blocks", "max depth", "static PVF"]);
+            for (f, (fname, fpvf, _)) in sa.cfg.funcs.iter().zip(sa.pvf.per_func.iter()) {
+                let depth = f.blocks.iter().map(|b| b.loop_depth).max().unwrap_or(0);
+                t.row(&[
+                    fname.clone(),
+                    f.instrs.len().to_string(),
+                    f.blocks.len().to_string(),
+                    depth.to_string(),
+                    pct2(*fpvf),
+                ]);
+            }
+            println!("{}", t.render());
+            let mut regs: Vec<(usize, f64)> = sa.pvf.per_reg.iter().copied().enumerate().collect();
+            regs.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let top: Vec<String> = regs
+                .iter()
+                .take(6)
+                .map(|(r, p)| format!("r{r}={}", pct2(*p)))
+                .collect();
+            println!("hottest registers: {}", top.join(" "));
+            if sa.lints.is_empty() {
+                println!("lint: clean");
+            } else {
+                for l in &sa.lints {
+                    println!("lint: {l}");
+                }
+            }
+            println!("(static analysis only: zero instructions executed)");
+            Ok(())
+        }
         "disasm" => {
             let w = workload(&name, opts.switch("hardened"))?;
             let isa = opts.isa()?;
             let limit = opts.limit()?;
-            let compiled = compile(&w.module, isa, &CompileOpts::default())
-                .map_err(|e| e.to_string())?;
+            let compiled =
+                compile(&w.module, isa, &CompileOpts::default()).map_err(|e| e.to_string())?;
             let bytes = compiled.text_bytes();
             let lines = vulnstack_isa::disasm::disasm_bytes(
                 &bytes[..(limit * 4).min(bytes.len())],
@@ -299,8 +349,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let model = opts.model()?;
             let limit = opts.limit()?;
             let cfg = model.config();
-            let compiled = compile(&w.module, cfg.isa, &CompileOpts::default())
-                .map_err(|e| e.to_string())?;
+            let compiled =
+                compile(&w.module, cfg.isa, &CompileOpts::default()).map_err(|e| e.to_string())?;
             let image = vulnstack_kernel::SystemImage::build(&compiled, &w.input)
                 .map_err(|e| e.to_string())?;
             let mut core = vulnstack_microarch::OooCore::new(&cfg, &image);

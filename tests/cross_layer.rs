@@ -16,7 +16,10 @@ use vulnstack_workloads::{Workload, WorkloadId};
 fn hardened_workloads_run_clean_on_the_ooo_core() {
     for id in [WorkloadId::Sha, WorkloadId::Smooth] {
         let base = id.build();
-        let hard = Workload { module: harden(&base.module).unwrap(), ..base.clone() };
+        let hard = Workload {
+            module: harden(&base.module).unwrap(),
+            ..base.clone()
+        };
         for model in [CoreModel::A9, CoreModel::A72] {
             let cfg = model.config();
             let compiled = compile(&hard.module, cfg.isa, &CompileOpts::default()).unwrap();
@@ -31,11 +34,17 @@ fn hardened_workloads_run_clean_on_the_ooo_core() {
 #[test]
 fn hardening_increases_cycle_count_in_the_paper_envelope() {
     let base = WorkloadId::Sha.build();
-    let hard = Workload { module: harden(&base.module).unwrap(), ..base.clone() };
+    let hard = Workload {
+        module: harden(&base.module).unwrap(),
+        ..base.clone()
+    };
     let p0 = Prepared::new(&base, CoreModel::A72).unwrap();
     let p1 = Prepared::new(&hard, CoreModel::A72).unwrap();
     let ratio = p1.golden.cycles as f64 / p0.golden.cycles as f64;
-    assert!((1.5..5.0).contains(&ratio), "cycle inflation {ratio:.2} out of envelope");
+    assert!(
+        (1.5..5.0).contains(&ratio),
+        "cycle inflation {ratio:.2} out of envelope"
+    );
 }
 
 #[test]
@@ -58,13 +67,21 @@ fn avf_is_orders_of_magnitude_below_svf() {
 #[test]
 fn detected_outcomes_only_appear_with_hardening() {
     let base = WorkloadId::Smooth.build();
-    let hard = Workload { module: harden(&base.module).unwrap(), ..base.clone() };
+    let hard = Workload {
+        module: harden(&base.module).unwrap(),
+        ..base.clone()
+    };
 
-    let t_base = vulnstack_llfi::svf_campaign(&base.module, &base.input, &base.expected_output, 50, 5, 4);
+    let t_base =
+        vulnstack_llfi::svf_campaign(&base.module, &base.input, &base.expected_output, 50, 5, 4);
     assert_eq!(t_base.detected, 0, "unhardened code cannot detect");
 
-    let t_hard = vulnstack_llfi::svf_campaign(&hard.module, &hard.input, &hard.expected_output, 50, 5, 4);
-    assert!(t_hard.detected > 0, "hardened code should detect some faults: {t_hard:?}");
+    let t_hard =
+        vulnstack_llfi::svf_campaign(&hard.module, &hard.input, &hard.expected_output, 50, 5, 4);
+    assert!(
+        t_hard.detected > 0,
+        "hardened code should detect some faults: {t_hard:?}"
+    );
 }
 
 #[test]
@@ -77,7 +94,10 @@ fn pvf_sees_kernel_faults_that_svf_cannot() {
     let prep = FuncPrepared::new(&w, Isa::Va64).unwrap();
     let kernel_share = prep.profile.kernel_instrs as f64
         / (prep.profile.kernel_instrs + prep.profile.user_instrs) as f64;
-    assert!(kernel_share > 0.001, "kernel share {kernel_share:.4} suspiciously low");
+    assert!(
+        kernel_share > 0.001,
+        "kernel share {kernel_share:.4} suspiciously low"
+    );
     // And a WI campaign must run (exercising text corruption incl. kernel).
     let t = pvf_campaign(&prep, PvfMode::Wi, 12, 1, 4);
     assert_eq!(t.total(), 12);
@@ -111,7 +131,11 @@ fn esc_faults_never_have_a_prior_software_manifestation() {
     let r = avf_campaign(&prep, HwStructure::L1d, 80, 13, 4);
     for rec in &r.records {
         if rec.fpm == Some(vulnstack_microarch::ooo::Fpm::Esc) {
-            assert_ne!(rec.effect, FaultEffect::Masked, "ESC faults corrupt the output");
+            assert_ne!(
+                rec.effect,
+                FaultEffect::Masked,
+                "ESC faults corrupt the output"
+            );
         }
     }
 }

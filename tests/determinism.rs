@@ -15,8 +15,16 @@ fn avf_campaigns_repeat_bit_for_bit() {
     let a = avf_campaign(&prep, HwStructure::L1d, 30, 77, 1);
     let b = avf_campaign(&prep, HwStructure::L1d, 30, 77, 3);
     assert_eq!(a.tally, b.tally);
-    let pa: Vec<_> = a.records.iter().map(|r| (r.cycle, r.bit, r.effect, r.fpm)).collect();
-    let pb: Vec<_> = b.records.iter().map(|r| (r.cycle, r.bit, r.effect, r.fpm)).collect();
+    let pa: Vec<_> = a
+        .records
+        .iter()
+        .map(|r| (r.cycle, r.bit, r.effect, r.fpm))
+        .collect();
+    let pb: Vec<_> = b
+        .records
+        .iter()
+        .map(|r| (r.cycle, r.bit, r.effect, r.fpm))
+        .collect();
     assert_eq!(pa, pb, "per-record results must match across thread counts");
 }
 

@@ -21,7 +21,9 @@ struct Gen {
 
 impl Gen {
     fn new(seed: u64) -> Gen {
-        Gen { s: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1 }
+        Gen {
+            s: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
     }
     fn next(&mut self) -> u64 {
         let mut x = self.s;
@@ -74,7 +76,11 @@ fn emit_stmt(f: &mut FuncBuilder, g: &mut Gen, pool: &[VReg], arr: VReg) {
             ];
             let op = ops[g.below(ops.len() as u64) as usize];
             let a = pick(g);
-            let b: Operand = if g.below(3) == 0 { g.imm().into() } else { pick(g).into() };
+            let b: Operand = if g.below(3) == 0 {
+                g.imm().into()
+            } else {
+                pick(g).into()
+            };
             // Keep divisors nonzero most of the time so programs usually
             // finish, but let some trap.
             let b = if op.traps_on_zero() && g.below(4) > 0 {
@@ -242,7 +248,10 @@ fn random_programs_agree_across_all_layers() {
     let mut mismatches = Vec::new();
     for seed in 0..120u64 {
         let module = gen_module(seed);
-        let i = Interpreter::new(&module).with_budget(20_000_000).run().unwrap();
+        let i = Interpreter::new(&module)
+            .with_budget(20_000_000)
+            .run()
+            .unwrap();
         let reference = norm_interp(i.status, i.output);
         for isa in [Isa::Va32, Isa::Va64] {
             let compiled = match compile(&module, isa, &CompileOpts::default()) {
@@ -262,7 +271,12 @@ fn random_programs_agree_across_all_layers() {
             }
         }
     }
-    assert!(mismatches.is_empty(), "{} mismatches:\n{}", mismatches.len(), mismatches.join("\n"));
+    assert!(
+        mismatches.is_empty(),
+        "{} mismatches:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
 }
 
 #[test]
@@ -289,7 +303,11 @@ fn random_programs_trap_identically_on_division_by_zero() {
             let c = compile(&m, isa, &CompileOpts::default()).unwrap();
             let img = SystemImage::build(&c, &[]).unwrap();
             let out = FuncCore::new(&img).run(10_000_000);
-            assert_eq!(norm_func(out.status, out.output), reference, "seed {seed}/{isa}");
+            assert_eq!(
+                norm_func(out.status, out.output),
+                reference,
+                "seed {seed}/{isa}"
+            );
         }
     }
     assert!(both_trapped > 5, "generator never produced zero divisors");

@@ -6,8 +6,8 @@ use vulnstack_compiler::{compile, CompileOpts};
 use vulnstack_isa::{Isa, TrapCause};
 use vulnstack_kernel::memmap;
 use vulnstack_kernel::SystemImage;
-use vulnstack_microarch::{FuncCore, OooCore, RunStatus};
 use vulnstack_microarch::CoreModel;
+use vulnstack_microarch::{FuncCore, OooCore, RunStatus};
 use vulnstack_vir::ModuleBuilder;
 
 fn run_prog(
@@ -60,7 +60,10 @@ fn write_spanning_past_memory_end_is_killed() {
         Isa::Va64,
         &[],
     );
-    assert_eq!(out.status, RunStatus::Crashed(TrapCause::AccessFault.code() as u32));
+    assert_eq!(
+        out.status,
+        RunStatus::Crashed(TrapCause::AccessFault.code() as u32)
+    );
 }
 
 #[test]
@@ -137,7 +140,10 @@ fn unknown_syscall_number_is_fatal() {
         Isa::Va32,
         &[],
     );
-    assert_eq!(out.status, RunStatus::Crashed(TrapCause::AccessFault.code() as u32));
+    assert_eq!(
+        out.status,
+        RunStatus::Crashed(TrapCause::AccessFault.code() as u32)
+    );
 }
 
 #[test]
@@ -183,7 +189,9 @@ fn kernel_work_is_visible_in_cycle_level_runs_too() {
     let c = compile(&m, Isa::Va32, &CompileOpts::default()).unwrap();
     let img = SystemImage::build(&c, &[]).unwrap();
     let a = FuncCore::new(&img).run(50_000_000);
-    let b = OooCore::new(&CoreModel::A9.config(), &img).run(50_000_000).sim;
+    let b = OooCore::new(&CoreModel::A9.config(), &img)
+        .run(50_000_000)
+        .sim;
     assert_eq!(a.status, RunStatus::Exited(0));
     assert_eq!(a.status, b.status);
     assert_eq!(a.output, b.output);

@@ -71,7 +71,10 @@ fn va32_actually_spills_under_pressure() {
         .filter_map(|&w| Instr::decode(w, Isa::Va32).ok())
         .filter(|i| matches!(i.op, Op::Lw | Op::Sw) && i.rs1 == sp)
         .count();
-    assert!(spills > 20, "expected heavy spill traffic, found {spills} sp-relative accesses");
+    assert!(
+        spills > 20,
+        "expected heavy spill traffic, found {spills} sp-relative accesses"
+    );
 
     // VA64 has three times the registers: materially fewer spill accesses.
     let c64 = compile(&m, Isa::Va64, &CompileOpts::default()).unwrap();

@@ -1,0 +1,93 @@
+//! Cross-layer pessimism ordering (the paper's §II.A): the cheaper an
+//! estimation method, the more pessimistic its answer must be. For the
+//! register file that means
+//!
+//! ```text
+//! static PVF (zero runs)  >=  dynamic ACE (one run)  >=  injection AVF
+//! ```
+//!
+//! Static PVF comes from `vulnstack-analyze` (pure binary analysis:
+//! liveness over a recovered CFG, weighted by a static loop model); ACE
+//! from one fault-free instrumented run; injection from a sampled
+//! campaign. The lower comparison carries a 0.8 slack for sampling noise,
+//! matching the tolerance the ACE-vs-injection seed test uses.
+
+use vulnstack_gefin::static_vs_dynamic;
+use vulnstack_microarch::CoreModel;
+use vulnstack_workloads::WorkloadId;
+
+const FAULTS: usize = 60;
+const SAMPLING_SLACK: f64 = 0.8;
+
+fn check(id: WorkloadId, model: CoreModel, seed: u64) {
+    let w = id.build();
+    let cmp = static_vs_dynamic(&w, model, FAULTS, seed, 4).unwrap();
+    let inj = cmp.injected_rf_avf.unwrap();
+
+    // All three are meaningful fractions.
+    assert!(
+        cmp.static_rf_pvf > 0.0 && cmp.static_rf_pvf < 1.0,
+        "{cmp:?}"
+    );
+    assert!(cmp.ace_rf_avf > 0.0 && cmp.ace_rf_avf < 1.0, "{cmp:?}");
+    assert!((0.0..=1.0).contains(&inj), "{cmp:?}");
+
+    // Static analysis must not lose the analytical bound: it cannot see
+    // logical masking at all, so it sits strictly above the ACE estimate.
+    assert!(
+        cmp.static_rf_pvf >= cmp.ace_rf_avf,
+        "{} on {}: static PVF {:.4} < dynamic ACE {:.4}",
+        id.name(),
+        model.name(),
+        cmp.static_rf_pvf,
+        cmp.ace_rf_avf
+    );
+    // ACE in turn bounds measured AVF (slack for sampling noise).
+    assert!(
+        cmp.ace_rf_avf >= SAMPLING_SLACK * inj,
+        "{} on {}: ACE {:.4} < injection {:.4}",
+        id.name(),
+        model.name(),
+        cmp.ace_rf_avf,
+        inj
+    );
+    assert!(cmp.ordering_holds(SAMPLING_SLACK));
+
+    // The static pass also certifies the binary is lint-clean.
+    assert_eq!(
+        cmp.lint_count,
+        0,
+        "{} on {}: lints",
+        id.name(),
+        model.name()
+    );
+}
+
+#[test]
+fn ordering_holds_for_crc32_on_va64() {
+    check(WorkloadId::Crc32, CoreModel::A72, 11);
+}
+
+#[test]
+fn ordering_holds_for_qsort_on_va32() {
+    check(WorkloadId::Qsort, CoreModel::A9, 12);
+}
+
+#[test]
+fn ordering_holds_for_sha_on_va32() {
+    check(WorkloadId::Sha, CoreModel::A9, 13);
+}
+
+#[test]
+fn static_pvf_is_isa_sensitive_but_model_insensitive() {
+    // PVF is an architectural measure: it may differ between ISAs but must
+    // be identical across core models of the same ISA (A57 vs A72), since
+    // the static analyzer never looks at the microarchitecture.
+    let w = WorkloadId::Fft.build();
+    let a57 = static_vs_dynamic(&w, CoreModel::A57, 0, 1, 1).unwrap();
+    let a72 = static_vs_dynamic(&w, CoreModel::A72, 0, 1, 1).unwrap();
+    assert_eq!(a57.static_rf_pvf, a72.static_rf_pvf);
+
+    let a9 = static_vs_dynamic(&w, CoreModel::A9, 0, 1, 1).unwrap();
+    assert_ne!(a9.static_rf_pvf, a72.static_rf_pvf);
+}
