@@ -4,7 +4,7 @@
 
 use vulnstack_bench::{figure_header, master_seed, sub_seed};
 use vulnstack_core::report::{pct, Table};
-use vulnstack_gefin::{default_faults, temporal_campaign, Prepared};
+use vulnstack_gefin::{default_faults, default_threads, temporal_campaign, Prepared};
 use vulnstack_microarch::ooo::HwStructure;
 use vulnstack_microarch::CoreModel;
 use vulnstack_workloads::WorkloadId;
@@ -29,6 +29,7 @@ fn main() {
                 windows,
                 per_window,
                 sub_seed(seed, &[id.name(), st.name(), "temporal"]),
+                default_threads(),
             );
             let mut row = vec![id.name().to_string(), st.name().to_string()];
             row.extend(p.series().iter().map(|v| pct(*v)));

@@ -1,0 +1,103 @@
+//! Ablation: wall-clock speedup of the checkpoint-and-restore injection
+//! engine over from-scratch prefix re-simulation, on a representative
+//! campaign (Qsort/A72/RegisterFile, n = 200 by default). Verifies along
+//! the way that both engines produce identical per-injection records
+//! (the determinism contract), then writes a JSON speedup record under
+//! `results/` so the bench trajectory (`BENCH_*.json`) accumulates.
+
+use std::time::Instant;
+
+use vulnstack_bench::{figure_header, master_seed, sub_seed};
+use vulnstack_core::report::Table;
+use vulnstack_gefin::{avf_campaign_with, default_faults, default_threads, InjectEngine, Prepared};
+use vulnstack_microarch::ooo::HwStructure;
+use vulnstack_microarch::CoreModel;
+use vulnstack_workloads::WorkloadId;
+
+fn main() {
+    let n = default_faults(200);
+    let threads = default_threads();
+    let master = master_seed();
+    figure_header(
+        "Ablation — checkpointed vs from-scratch injection engine",
+        n,
+    );
+
+    let id = WorkloadId::Qsort;
+    let model = CoreModel::A72;
+    let structure = HwStructure::RegisterFile;
+    let w = id.build();
+
+    let prep_start = Instant::now();
+    let prep = Prepared::new(&w, model).unwrap();
+    let prep_secs = prep_start.elapsed().as_secs_f64();
+    eprintln!(
+        "  [{id}/{model}] golden = {} cycles, {} checkpoints every {} cycles \
+         (prepared in {prep_secs:.2}s)",
+        prep.golden.cycles,
+        prep.checkpoints.len(),
+        prep.checkpoints.interval(),
+    );
+
+    let seed = sub_seed(master, &[id.name(), model.name(), structure.name(), "ckpt"]);
+    let run = |engine: InjectEngine| {
+        let t = Instant::now();
+        let r = avf_campaign_with(&prep, structure, n, seed, threads, engine);
+        (t.elapsed().as_secs_f64(), r)
+    };
+    let (scratch_secs, scratch) = run(InjectEngine::FromScratch);
+    let (ckpt_secs, ckpt) = run(InjectEngine::Checkpointed);
+
+    assert_eq!(
+        scratch.records, ckpt.records,
+        "engines must produce bit-identical per-injection records"
+    );
+    assert_eq!(scratch.tally, ckpt.tally);
+
+    let speedup = scratch_secs / ckpt_secs.max(1e-9);
+    let mut t = Table::new(&["engine", "seconds", "inj/s", "speedup"]);
+    t.row(&[
+        "from-scratch".to_string(),
+        format!("{scratch_secs:.3}"),
+        format!("{:.1}", n as f64 / scratch_secs),
+        "1.00x".to_string(),
+    ]);
+    t.row(&[
+        "checkpointed".to_string(),
+        format!("{ckpt_secs:.3}"),
+        format!("{:.1}", n as f64 / ckpt_secs),
+        format!("{speedup:.2}x"),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "AVF identical under both engines: {:.3} over {} injections.",
+        ckpt.avf().total(),
+        n
+    );
+
+    let json = format!(
+        "{{\"bench\":\"checkpoint_speedup\",\"workload\":\"{}\",\"model\":\"{}\",\
+         \"structure\":\"{}\",\"n\":{},\"threads\":{},\"golden_cycles\":{},\
+         \"checkpoints\":{},\"interval\":{},\"prep_secs\":{:.4},\
+         \"scratch_secs\":{:.4},\"ckpt_secs\":{:.4},\"speedup\":{:.3},\
+         \"records_identical\":true}}\n",
+        id.name(),
+        model.name(),
+        structure.name(),
+        n,
+        threads,
+        prep.golden.cycles,
+        prep.checkpoints.len(),
+        prep.checkpoints.interval(),
+        prep_secs,
+        scratch_secs,
+        ckpt_secs,
+        speedup,
+    );
+    let path = "results/BENCH_checkpoint_speedup.json";
+    if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &json)) {
+        eprintln!("  (could not write {path}: {e})");
+    } else {
+        eprintln!("  wrote {path}");
+    }
+}

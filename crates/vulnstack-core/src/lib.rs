@@ -29,6 +29,7 @@
 pub mod effects;
 pub mod pairs;
 pub mod report;
+pub mod sched;
 pub mod stack;
 pub mod stats;
 

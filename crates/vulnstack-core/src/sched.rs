@@ -1,0 +1,168 @@
+//! Work-stealing campaign scheduler.
+//!
+//! Every injection campaign in the workspace has the same shape: a
+//! pre-drawn list of fault sites, one expensive independent simulation
+//! per site, and a determinism requirement — the same seed must produce
+//! the same records at any thread count. The static-chunk pattern the
+//! campaigns used to carry (split the sites into `threads` equal slices)
+//! satisfies determinism but load-balances badly: faulty-run lifetimes
+//! vary by orders of magnitude (a masked fault can exit after a few
+//! thousand cycles, a hang burns the whole watchdog budget), so one
+//! unlucky chunk routinely serialises the campaign.
+//!
+//! [`map`] replaces the chunks with an atomic-counter work queue: each
+//! worker repeatedly claims the next unclaimed index and runs it, so no
+//! worker idles while work remains. Results are scattered back to their
+//! input index, which makes the output *identical* to a sequential map
+//! regardless of thread count or claim order — determinism is preserved
+//! by construction, not by scheduling.
+//!
+//! [`map_ordered`] additionally decouples the *processing* order from
+//! the *result* order: campaigns sort their fault sites by injection
+//! cycle and pass the sorted permutation, so neighbouring claims restore
+//! from the same warm checkpoint (see `vulnstack-microarch::snapshot`)
+//! while the returned records stay in sampling order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over every item on `threads` workers with work stealing.
+///
+/// Returns the results in input order: `out[i] == f(i, &items[i])`.
+/// Deterministic for deterministic `f` at any thread count.
+pub fn map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let order: Vec<usize> = (0..items.len()).collect();
+    map_ordered(items, &order, threads, f)
+}
+
+/// Runs `f` over every item on `threads` workers with work stealing,
+/// *claiming* items in `order` while still returning results in input
+/// order (`out[i] == f(i, &items[i])`).
+///
+/// `order` must be a permutation of `0..items.len()`; campaigns pass the
+/// fault sites sorted by injection cycle so that consecutive claims share
+/// checkpoint locality.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..items.len()`, or if a
+/// worker panics.
+pub fn map_ordered<T, R, F>(items: &[T], order: &[usize], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert_eq!(order.len(), items.len(), "order must cover every item");
+    let threads = threads.clamp(1, items.len().max(1));
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    if threads == 1 {
+        for &i in order {
+            let r = f(i, &items[i]);
+            *slots[i].lock().expect("unpoisoned") = Some(r);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= order.len() {
+                        break;
+                    }
+                    let i = order[k];
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().expect("unpoisoned") = Some(r);
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("unpoisoned")
+                .expect("order visited every index exactly once")
+        })
+        .collect()
+}
+
+/// Sorting permutation of `keys`: `out[k]` is the index of the `k`-th
+/// smallest key (ties in input order). The standard way to build the
+/// claim order for [`map_ordered`] from per-site injection cycles.
+pub fn sort_order_by_key<K: Ord>(keys: &[K]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by_key(|&i| &keys[i]);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_matches_sequential_at_any_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let par = map(&items, threads, |_, &x| x * x + 1);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_ordered_claims_in_order_but_returns_in_place() {
+        let items: Vec<u64> = vec![30, 10, 20, 40];
+        let order = sort_order_by_key(&items);
+        assert_eq!(order, vec![1, 2, 0, 3]);
+        let claimed = Mutex::new(Vec::new());
+        let out = map_ordered(&items, &order, 1, |i, &x| {
+            claimed.lock().unwrap().push(x);
+            (i, x)
+        });
+        assert_eq!(*claimed.lock().unwrap(), vec![10, 20, 30, 40]);
+        assert_eq!(out, vec![(0, 30), (1, 10), (2, 20), (3, 40)]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let n = 257;
+        let items: Vec<usize> = (0..n).collect();
+        let calls = AtomicUsize::new(0);
+        let out = map(&items, 7, |i, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), n);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(map(&[5u32], 4, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs: with static chunks the first
+        // chunk would carry nearly all the work; stealing spreads it.
+        let items: Vec<u64> = (0..64).map(|i| if i < 8 { 200_000 } else { 10 }).collect();
+        let out = map(&items, 8, |_, &spin| {
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+    }
+}

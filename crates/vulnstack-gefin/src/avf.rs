@@ -5,14 +5,28 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vulnstack_core::effects::{FaultEffect, Tally};
+use vulnstack_core::sched;
 use vulnstack_core::stack::FpmDist;
 use vulnstack_microarch::ooo::{Fpm, HwStructure};
 use vulnstack_microarch::OooCore;
 
 use crate::prepare::Prepared;
 
+/// How an injection run reaches its injection cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectEngine {
+    /// Build a fresh core and simulate the whole fault-free prefix from
+    /// cycle 0 (the un-accelerated reference path).
+    FromScratch,
+    /// Restore the nearest golden-run checkpoint at or before the
+    /// injection cycle and simulate only the delta. Bit-identical
+    /// results to [`InjectEngine::FromScratch`]; see
+    /// `tests/checkpoint_equivalence.rs`.
+    Checkpointed,
+}
+
 /// One injection's observation.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InjectionRecord {
     /// Injection cycle.
     pub cycle: u64,
@@ -54,17 +68,39 @@ impl AvfCampaignResult {
     }
 }
 
-/// Runs one injection: advance to `cycle`, flip `bit`, run to completion,
-/// classify.
+/// Runs one injection: advance to `cycle` (warm-started from the nearest
+/// golden checkpoint), flip `bit`, run to completion, classify.
 pub fn run_one(prep: &Prepared, structure: HwStructure, cycle: u64, bit: u64) -> InjectionRecord {
-    let mut core = OooCore::new(&prep.cfg, &prep.image);
+    run_one_with(prep, structure, cycle, bit, InjectEngine::Checkpointed)
+}
+
+/// [`run_one`] with an explicit prefix engine.
+pub fn run_one_with(
+    prep: &Prepared,
+    structure: HwStructure,
+    cycle: u64,
+    bit: u64,
+    engine: InjectEngine,
+) -> InjectionRecord {
+    let mut core = match engine {
+        InjectEngine::FromScratch => OooCore::new(&prep.cfg, &prep.image),
+        InjectEngine::Checkpointed => prep.checkpoints.restore(cycle),
+    };
     core.run_until(cycle);
     core.inject(structure, bit);
     // Run in slices; once every corrupted copy is gone and nothing
     // tainted is in flight, the rest of the run is identical to the
     // golden run, so it can be classified Masked without simulating it.
+    // Slices grow exponentially: most masked faults go extinct within a
+    // few hundred cycles of injection, so checking early bounds the
+    // wasted post-extinction simulation, while the doubling keeps scan
+    // overhead negligible for long-lived faults. The schedule is
+    // engine-independent, so both engines classify every site
+    // identically.
+    let mut slice = 256u64;
     loop {
-        let next = (core.cycle() + 8_192).min(prep.budget);
+        let next = (core.cycle() + slice).min(prep.budget);
+        slice = (slice * 2).min(4_096);
         core.run_until(next);
         if core.ended() || core.cycle() >= prep.budget {
             break;
@@ -96,14 +132,34 @@ pub fn run_one(prep: &Prepared, structure: HwStructure, cycle: u64, bit: u64) ->
 }
 
 /// Runs a campaign of `n` uniformly-sampled single-bit faults in
-/// `structure`, parallelised over `threads` workers. Deterministic for a
-/// given `seed`.
+/// `structure`, parallelised over `threads` workers with work stealing.
+/// Deterministic for a given `seed`.
 pub fn avf_campaign(
     prep: &Prepared,
     structure: HwStructure,
     n: usize,
     seed: u64,
     threads: usize,
+) -> AvfCampaignResult {
+    avf_campaign_with(
+        prep,
+        structure,
+        n,
+        seed,
+        threads,
+        InjectEngine::Checkpointed,
+    )
+}
+
+/// [`avf_campaign`] with an explicit prefix engine. Both engines produce
+/// bit-identical records for the same seed.
+pub fn avf_campaign_with(
+    prep: &Prepared,
+    structure: HwStructure,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    engine: InjectEngine,
 ) -> AvfCampaignResult {
     let bits = structure.bits(&prep.cfg);
     // Pre-draw all fault sites from one seeded stream so the sample set is
@@ -118,35 +174,15 @@ pub fn avf_campaign(
         })
         .collect();
 
-    let threads = threads.max(1);
-    let chunk = sites.len().div_ceil(threads);
-    let mut records: Vec<InjectionRecord> = Vec::with_capacity(n);
-    if threads == 1 || sites.len() < 8 {
-        for &(c, b) in &sites {
-            records.push(run_one(prep, structure, c, b));
-        }
-    } else {
-        let results: Vec<Vec<InjectionRecord>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = sites
-                .chunks(chunk.max(1))
-                .map(|part| {
-                    s.spawn(move |_| {
-                        part.iter()
-                            .map(|&(c, b)| run_one(prep, structure, c, b))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("injection worker panicked"))
-                .collect()
-        })
-        .expect("campaign scope");
-        for r in results {
-            records.extend(r);
-        }
-    }
+    // Claim the sites in injection-cycle order (consecutive claims restore
+    // from the same warm checkpoint); records come back in sampling order,
+    // so the output is independent of both ordering and thread count.
+    let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
+    let order = sched::sort_order_by_key(&cycles);
+    let records: Vec<InjectionRecord> =
+        sched::map_ordered(&sites, &order, threads, |_, &(c, b)| {
+            run_one_with(prep, structure, c, b, engine)
+        });
 
     let tally: Tally = records.iter().map(|r| r.effect).collect();
     let mut fpm = FpmDist::new();
@@ -177,6 +213,10 @@ mod tests {
         assert_eq!(
             a.tally, b.tally,
             "same seed must give the same tally regardless of threads"
+        );
+        assert_eq!(
+            a.records, b.records,
+            "per-injection records must be independent of the thread count"
         );
         assert_eq!(a.tally.total(), 24);
         // The register file is mostly dead space: expect masking.

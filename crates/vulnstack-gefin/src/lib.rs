@@ -14,7 +14,13 @@
 //!   functional full-system core, kernel included.
 //!
 //! Campaigns are deterministic for a given seed and embarrassingly
-//! parallel (crossbeam scoped threads).
+//! parallel: fault sites are pre-drawn, sorted by injection cycle for
+//! checkpoint locality, and distributed over a work-stealing scheduler
+//! (`vulnstack_core::sched`) whose results are scattered back to
+//! sampling order — so the output is bit-identical at any thread count.
+//! Microarchitectural runs warm-start from golden-run checkpoints
+//! (`vulnstack_microarch::snapshot`) instead of re-simulating the
+//! fault-free prefix from cycle 0.
 
 pub mod ace;
 pub mod avf;
@@ -24,7 +30,7 @@ pub mod pvf;
 pub mod sweep;
 
 pub use ace::ace_analysis;
-pub use avf::{avf_campaign, AvfCampaignResult, InjectionRecord};
+pub use avf::{avf_campaign, avf_campaign_with, AvfCampaignResult, InjectEngine, InjectionRecord};
 pub use compare::{static_vs_dynamic, StaticDynamicComparison};
 pub use prepare::{FuncPrepared, Prepared};
 pub use pvf::{pvf_campaign, PvfMode};

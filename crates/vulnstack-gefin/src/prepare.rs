@@ -6,11 +6,41 @@ use vulnstack_isa::Isa;
 use vulnstack_kernel::SystemImage;
 use vulnstack_microarch::func::Profile;
 use vulnstack_microarch::outcome::SimOutcome;
+use vulnstack_microarch::snapshot::{self, CheckpointStore};
 use vulnstack_microarch::{CoreConfig, CoreModel, FuncCore, OooCore, RunStatus};
 use vulnstack_workloads::Workload;
 
-/// Functional-core instruction budget for golden runs.
-const FUNC_BUDGET: u64 = 400_000_000;
+/// Golden-run budget for the *functional* core, in dynamic
+/// **instructions** ([`FuncCore::run`] counts instructions).
+const FUNC_INSTR_BUDGET: u64 = 400_000_000;
+
+/// Golden-run budget for the *cycle-level* core, in **cycles**
+/// ([`OooCore::run`] counts cycles). Kept separate from
+/// [`FUNC_INSTR_BUDGET`]: the two cores meter different units, and a
+/// cycle budget must out-size an instruction budget by the worst-case
+/// CPI to cover the same program.
+const GOLDEN_CYCLE_BUDGET: u64 = 2_000_000_000;
+
+/// Checkpoint interval (cycles) before adaptive doubling, overridable
+/// with `VULNSTACK_CKPT_INTERVAL`.
+fn checkpoint_interval() -> u64 {
+    std::env::var("VULNSTACK_CKPT_INTERVAL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(snapshot::DEFAULT_INTERVAL)
+}
+
+/// Checkpoint count cap (memory budget), overridable with
+/// `VULNSTACK_CKPTS`. `VULNSTACK_CKPTS=1` keeps only the reset state,
+/// which degrades every restore to a from-scratch run.
+fn checkpoint_cap() -> usize {
+    std::env::var("VULNSTACK_CKPTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(snapshot::DEFAULT_MAX_SNAPSHOTS)
+}
 
 /// Error preparing an experiment.
 #[derive(Debug, Clone)]
@@ -49,10 +79,14 @@ pub struct Prepared {
     pub expected_output: Vec<u8>,
     /// Cycle budget for faulty runs.
     pub budget: u64,
+    /// Fault-free core snapshots taken along the golden run, for
+    /// warm-starting injections near their injection cycle.
+    pub checkpoints: CheckpointStore,
 }
 
 impl Prepared {
-    /// Compiles and golden-runs `workload` on `model`.
+    /// Compiles and golden-runs `workload` on `model`, recording
+    /// periodic checkpoints of the fault-free core along the way.
     ///
     /// # Errors
     ///
@@ -64,7 +98,14 @@ impl Prepared {
             .map_err(|e| PrepareError::Compile(e.to_string()))?;
         let image = SystemImage::build(&compiled, &workload.input)
             .map_err(|e| PrepareError::Image(e.to_string()))?;
-        let golden = OooCore::new(&cfg, &image).run(FUNC_BUDGET).sim;
+        let (checkpoints, out) = CheckpointStore::record(
+            &cfg,
+            &image,
+            checkpoint_interval(),
+            checkpoint_cap(),
+            GOLDEN_CYCLE_BUDGET,
+        );
+        let golden = out.sim;
         if golden.status != RunStatus::Exited(0) {
             return Err(PrepareError::BadGolden(golden.status));
         }
@@ -75,7 +116,23 @@ impl Prepared {
             golden,
             expected_output: workload.expected_output.clone(),
             budget,
+            checkpoints,
         })
+    }
+
+    /// A fault-free core advanced to exactly `cycle`, warm-started from
+    /// the nearest checkpoint at or before it. Bit-identical to
+    /// [`Prepared::core_from_scratch`] advanced to the same cycle.
+    pub fn core_at(&self, cycle: u64) -> OooCore {
+        let mut core = self.checkpoints.restore(cycle);
+        core.run_until(cycle);
+        core
+    }
+
+    /// A fresh core at cycle 0 (the un-accelerated path, kept for
+    /// equivalence testing and speedup measurement).
+    pub fn core_from_scratch(&self) -> OooCore {
+        OooCore::new(&self.cfg, &self.image)
     }
 }
 
@@ -93,7 +150,7 @@ pub struct FuncPrepared {
     pub profile: Profile,
     /// Expected program output.
     pub expected_output: Vec<u8>,
-    /// Instruction budget for faulty runs.
+    /// Dynamic-instruction budget for faulty runs.
     pub budget: u64,
 }
 
@@ -109,7 +166,7 @@ impl FuncPrepared {
             .map_err(|e| PrepareError::Compile(e.to_string()))?;
         let image = SystemImage::build(&compiled, &workload.input)
             .map_err(|e| PrepareError::Image(e.to_string()))?;
-        let (golden, profile) = FuncCore::new(&image).run_with_profile(FUNC_BUDGET);
+        let (golden, profile) = FuncCore::new(&image).run_with_profile(FUNC_INSTR_BUDGET);
         if golden.status != RunStatus::Exited(0) {
             return Err(PrepareError::BadGolden(golden.status));
         }
@@ -137,6 +194,10 @@ mod tests {
         assert_eq!(p.golden.status, RunStatus::Exited(0));
         assert_eq!(p.golden.output, w.expected_output);
         assert!(p.budget > p.golden.cycles);
+        assert!(!p.checkpoints.is_empty(), "golden run must checkpoint");
+        let mid = p.golden.cycles / 2;
+        assert!(p.checkpoints.nearest_cycle(mid) <= mid);
+        assert_eq!(p.core_at(mid).cycle(), mid);
     }
 
     #[test]

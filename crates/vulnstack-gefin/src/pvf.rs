@@ -125,7 +125,9 @@ fn run_encoding(prep: &FuncPrepared, class: BitClass, rng: &mut StdRng) -> Fault
 }
 
 /// Runs an architecture-level campaign of `n` faults in `mode`,
-/// parallelised over `threads` workers. Deterministic for a given `seed`.
+/// parallelised over `threads` workers with work stealing. Each fault is
+/// seeded per-index, so the result is deterministic for a given `seed`
+/// at any thread count.
 pub fn pvf_campaign(
     prep: &FuncPrepared,
     mode: PvfMode,
@@ -133,37 +135,17 @@ pub fn pvf_campaign(
     seed: u64,
     threads: usize,
 ) -> Tally {
-    let run_idx = |i: usize| -> FaultEffect {
+    let indices: Vec<usize> = (0..n).collect();
+    vulnstack_core::sched::map(&indices, threads, |_, &i| {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(i as u64));
         match mode {
             PvfMode::Wd => run_wd(prep, &mut rng),
             PvfMode::Woi => run_encoding(prep, BitClass::Operand, &mut rng),
             PvfMode::Wi => run_encoding(prep, BitClass::Instruction, &mut rng),
         }
-    };
-
-    let threads = threads.max(1);
-    if threads == 1 || n < 8 {
-        return (0..n).map(run_idx).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let indices: Vec<usize> = (0..n).collect();
-    let tallies: Vec<Tally> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = indices
-            .chunks(chunk.max(1))
-            .map(|part| s.spawn(move |_| part.iter().map(|&i| run_idx(i)).collect::<Tally>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("pvf worker panicked"))
-            .collect()
     })
-    .expect("campaign scope");
-    let mut out = Tally::default();
-    for t in &tallies {
-        out.merge(t);
-    }
-    out
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vulnstack_core::effects::Tally;
+use vulnstack_core::sched;
 use vulnstack_core::stack::FpmDist;
 use vulnstack_microarch::ooo::HwStructure;
 
@@ -37,14 +38,17 @@ impl TemporalProfile {
 }
 
 /// Runs `per_window` injections uniformly inside each of `windows` equal
-/// slices of the golden execution. Deterministic for a given seed;
-/// single-threaded (call sites parallelise across structures/workloads).
+/// slices of the golden execution, parallelised over `threads` workers
+/// with work stealing. Deterministic for a given seed at any thread
+/// count. Windowed sites are the checkpoint layer's best case: every
+/// injection in a window restores from the same few golden snapshots.
 pub fn temporal_campaign(
     prep: &Prepared,
     structure: HwStructure,
     windows: usize,
     per_window: usize,
     seed: u64,
+    threads: usize,
 ) -> TemporalProfile {
     assert!(windows >= 1);
     let total = prep.golden.cycles.max(windows as u64);
@@ -56,21 +60,29 @@ pub fn temporal_campaign(
         bounds.push(1 + (total - 1) * i as u64 / windows as u64);
     }
 
-    let mut tallies = Vec::with_capacity(windows);
-    let mut fpms = Vec::with_capacity(windows);
-    for w in 0..windows {
-        let (lo, hi) = (bounds[w], bounds[w + 1].max(bounds[w] + 1));
-        let mut tally = Tally::default();
-        let mut fpm = FpmDist::new();
-        for _ in 0..per_window {
-            let cycle = rng.gen_range(lo..hi);
-            let bit = rng.gen_range(0..bits);
-            let rec = run_one(prep, structure, cycle, bit);
-            tally.add(rec.effect);
-            fpm.add(rec.fpm);
-        }
-        tallies.push(tally);
-        fpms.push(fpm);
+    // Pre-draw every site from the single seeded stream, in window order
+    // (the same draw order the sequential loop used, so the sample set —
+    // and thus the result — is unchanged by the parallelisation).
+    let sites: Vec<(usize, u64, u64)> = (0..windows)
+        .flat_map(|w| {
+            let (lo, hi) = (bounds[w], bounds[w + 1].max(bounds[w] + 1));
+            (0..per_window)
+                .map(|_| (w, rng.gen_range(lo..hi), rng.gen_range(0..bits)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let cycles: Vec<u64> = sites.iter().map(|&(_, c, _)| c).collect();
+    let order = sched::sort_order_by_key(&cycles);
+    let records = sched::map_ordered(&sites, &order, threads, |_, &(w, cycle, bit)| {
+        (w, run_one(prep, structure, cycle, bit))
+    });
+
+    let mut tallies = vec![Tally::default(); windows];
+    let mut fpms = vec![FpmDist::new(); windows];
+    for (w, rec) in records {
+        tallies[w].add(rec.effect);
+        fpms[w].add(rec.fpm);
     }
 
     TemporalProfile {
@@ -91,12 +103,22 @@ mod tests {
     fn windows_partition_the_run() {
         let w = WorkloadId::Crc32.build();
         let prep = Prepared::new(&w, CoreModel::A72).unwrap();
-        let p = temporal_campaign(&prep, HwStructure::L1d, 4, 8, 3);
+        let p = temporal_campaign(&prep, HwStructure::L1d, 4, 8, 3, 2);
         assert_eq!(p.bounds.len(), 5);
         assert!(p.bounds.windows(2).all(|b| b[0] < b[1]));
         assert_eq!(p.tallies.len(), 4);
         assert!(p.tallies.iter().all(|t| t.total() == 8));
         assert_eq!(p.series().len(), 4);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let w = WorkloadId::Crc32.build();
+        let prep = Prepared::new(&w, CoreModel::A72).unwrap();
+        let a = temporal_campaign(&prep, HwStructure::Lsq, 3, 6, 5, 1);
+        let b = temporal_campaign(&prep, HwStructure::Lsq, 3, 6, 5, 4);
+        assert_eq!(a.tallies, b.tallies);
+        assert_eq!(a.bounds, b.bounds);
     }
 
     #[test]
@@ -106,7 +128,7 @@ mod tests {
         // average by a large factor.
         let w = WorkloadId::Crc32.build();
         let prep = Prepared::new(&w, CoreModel::A72).unwrap();
-        let p = temporal_campaign(&prep, HwStructure::RegisterFile, 5, 20, 9);
+        let p = temporal_campaign(&prep, HwStructure::RegisterFile, 5, 20, 9, 4);
         let series = p.series();
         let avg: f64 = series.iter().sum::<f64>() / series.len() as f64;
         let last = *series.last().unwrap();

@@ -169,7 +169,8 @@ pub fn svf_breakdown(
 }
 
 /// Runs an SVF campaign of `n` uniformly-sampled faults. Deterministic
-/// for a given `seed`; parallelised over `threads` workers.
+/// for a given `seed` at any thread count; parallelised over `threads`
+/// workers with work stealing (`vulnstack_core::sched`).
 pub fn svf_campaign(
     module: &Module,
     input: &[u8],
@@ -188,37 +189,9 @@ pub fn svf_campaign(
         })
         .collect();
 
-    let threads = threads.max(1);
-    if threads == 1 || n < 8 {
-        return faults
-            .iter()
-            .map(|&f| run_one(module, input, &golden, f))
-            .collect();
-    }
-    let chunk = faults.len().div_ceil(threads);
-    let golden_ref = &golden;
-    let tallies: Vec<Tally> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = faults
-            .chunks(chunk.max(1))
-            .map(|part| {
-                s.spawn(move |_| {
-                    part.iter()
-                        .map(|&f| run_one(module, input, golden_ref, f))
-                        .collect::<Tally>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("svf worker panicked"))
-            .collect()
-    })
-    .expect("campaign scope");
-    let mut out = Tally::default();
-    for t in &tallies {
-        out.merge(t);
-    }
-    out
+    vulnstack_core::sched::map(&faults, threads, |_, &f| run_one(module, input, &golden, f))
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]

@@ -11,6 +11,8 @@
 //! byte are corrupted ([`MemTaint`]), so the campaign layer can classify
 //! the first architectural consumption of the fault (WD vs WI/WOI vs ESC).
 
+use std::sync::Arc;
+
 use vulnstack_kernel::memmap;
 use vulnstack_kernel::SystemImage;
 
@@ -18,6 +20,69 @@ use crate::config::{CacheConfig, CoreConfig};
 
 /// Fixed line size across the hierarchy.
 pub const LINE: u32 = 64;
+
+/// Page size of the copy-on-write main-memory image. A multiple of
+/// [`LINE`], so line-granular fills and writebacks never straddle a page.
+const COW_PAGE: usize = 4096;
+
+/// Flat physical memory stored as reference-counted pages.
+///
+/// Checkpointing clones whole cores, and a deep copy of the 4 MiB image
+/// would dominate both snapshot cost and restore cost. Pages make the
+/// copy lazy: cloning copies one `Arc` per page (8 KiB of pointers for a
+/// 4 MiB image), snapshots share every page the run never rewrites, and a
+/// write to a shared page copies just that 4 KiB ([`Arc::make_mut`]).
+#[derive(Debug, Clone)]
+struct CowMem {
+    pages: Vec<Arc<[u8; COW_PAGE]>>,
+}
+
+impl PartialEq for CowMem {
+    fn eq(&self, other: &Self) -> bool {
+        self.pages.len() == other.pages.len()
+            && self
+                .pages
+                .iter()
+                .zip(&other.pages)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+    }
+}
+
+impl Eq for CowMem {}
+
+impl CowMem {
+    fn new(flat: &[u8]) -> CowMem {
+        assert!(flat.len().is_multiple_of(COW_PAGE));
+        let pages = flat
+            .chunks_exact(COW_PAGE)
+            .map(|c| {
+                let mut p = [0u8; COW_PAGE];
+                p.copy_from_slice(c);
+                Arc::new(p)
+            })
+            .collect();
+        CowMem { pages }
+    }
+
+    fn byte(&self, addr: usize) -> u8 {
+        self.pages[addr / COW_PAGE][addr % COW_PAGE]
+    }
+
+    /// Reads `out.len()` bytes at `addr`; the span must not cross a page.
+    fn read(&self, addr: usize, out: &mut [u8]) {
+        let (page, off) = (addr / COW_PAGE, addr % COW_PAGE);
+        debug_assert!(off + out.len() <= COW_PAGE);
+        out.copy_from_slice(&self.pages[page][off..off + out.len()]);
+    }
+
+    /// Writes `data` at `addr`, copying the page first if it is shared
+    /// with a snapshot; the span must not cross a page.
+    fn write(&mut self, addr: usize, data: &[u8]) {
+        let (page, off) = (addr / COW_PAGE, addr % COW_PAGE);
+        debug_assert!(off + data.len() <= COW_PAGE);
+        Arc::make_mut(&mut self.pages[page])[off..off + data.len()].copy_from_slice(data);
+    }
+}
 
 /// A cache level (or memory) in the hierarchy, used for taint tracking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +109,7 @@ impl Level {
 }
 
 /// Which copies of the corrupted byte are currently corrupted.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemTaint {
     /// The corrupted byte's physical address.
     pub addr: u32,
@@ -65,7 +130,7 @@ impl MemTaint {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct CacheLine {
     valid: bool,
     dirty: bool,
@@ -86,7 +151,7 @@ impl Default for CacheLine {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Cache {
     sets: u32,
     ways: u32,
@@ -178,12 +243,12 @@ pub struct FlipResult {
 }
 
 /// The full memory system: L1i + L1d + unified L2 + flat memory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemSystem {
     l1i: Cache,
     l1d: Cache,
     l2: Cache,
-    mem: Vec<u8>,
+    mem: CowMem,
     mem_latency: u32,
     tick: u64,
     taint: Option<MemTaint>,
@@ -200,7 +265,7 @@ impl MemSystem {
             l1i: Cache::new(&cfg.l1i),
             l1d: Cache::new(&cfg.l1d),
             l2: Cache::new(&cfg.l2),
-            mem,
+            mem: CowMem::new(&mem),
             mem_latency: cfg.mem_latency,
             tick: 0,
             taint: None,
@@ -243,7 +308,7 @@ impl MemSystem {
         self.stats.l2_misses += 1;
         // Fill from memory.
         let mut data = [0u8; LINE as usize];
-        data.copy_from_slice(&self.mem[line_addr as usize..(line_addr + LINE) as usize]);
+        self.mem.read(line_addr as usize, &mut data);
         let from_mem_tainted = self
             .taint
             .is_some_and(|t| t.at(Level::Mem) && t.addr / LINE == line_addr / LINE);
@@ -281,7 +346,7 @@ impl MemSystem {
                 if vdirty {
                     self.stats.writebacks += 1;
                     let vdata = self.l2.lines[self.l2.slot(set, way)].data;
-                    self.mem[vaddr as usize..(vaddr + LINE) as usize].copy_from_slice(&vdata);
+                    self.mem.write(vaddr as usize, &vdata);
                     self.set_taint(Level::Mem, vaddr, vtainted);
                 }
                 // Corrupted copy dropped (or moved); either way it leaves L2.
@@ -500,7 +565,7 @@ impl MemSystem {
             return (v, t);
         }
         for i in (0..len as usize).rev() {
-            v = (v << 8) | self.mem[addr as usize + i] as u64;
+            v = (v << 8) | self.mem.byte(addr as usize + i) as u64;
         }
         let t = self
             .taint

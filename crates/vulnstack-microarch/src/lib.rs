@@ -22,8 +22,10 @@ pub mod exec;
 pub mod func;
 pub mod ooo;
 pub mod outcome;
+pub mod snapshot;
 
 pub use config::{CoreConfig, CoreModel};
 pub use func::FuncCore;
 pub use ooo::OooCore;
 pub use outcome::{RunStatus, SimOutcome};
+pub use snapshot::CheckpointStore;

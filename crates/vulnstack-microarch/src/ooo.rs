@@ -158,7 +158,7 @@ enum RobKind {
     Invalid,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct RobEntry {
     seq: u64,
     pc: u64,
@@ -175,13 +175,13 @@ struct RobEntry {
     taint: Option<Fpm>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct IqEntry {
     seq: u64,
     issued: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 struct LqEntry {
     valid: bool,
     /// Owning instruction (diagnostics; ordering checks use the SQ side).
@@ -192,7 +192,7 @@ struct LqEntry {
     taint: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 struct SqEntry {
     valid: bool,
     seq: u64,
@@ -203,7 +203,7 @@ struct SqEntry {
     taint: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct FetchedInstr {
     pc: u64,
     word: u32,
@@ -213,7 +213,14 @@ struct FetchedInstr {
 }
 
 /// The out-of-order core.
-#[derive(Debug)]
+///
+/// The struct owns *every* bit of simulation state — pipeline structures,
+/// rename tables, physical register file, caches, flat memory, branch
+/// predictor, taint tracking — and the simulation draws on no external
+/// entropy, so `Clone` is a perfect checkpoint: a clone stepped forward
+/// is bit-identical to the original stepped forward (`PartialEq` makes
+/// that directly checkable). See [`crate::snapshot::CheckpointStore`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct OooCore {
     cfg: CoreConfig,
     isa: Isa,
@@ -275,7 +282,7 @@ pub struct OooCore {
 /// read before the next write (whole-register granularity — the classic
 /// source of ACE pessimism). LSQ vulnerability is approximated by entry
 /// occupancy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct AceState {
     rf_def: Vec<u64>,
     rf_last_read: Vec<u64>,
@@ -353,6 +360,14 @@ impl OooCore {
             trace: None,
             cfg: cfg.clone(),
         }
+    }
+
+    /// Builds a core from a previously taken checkpoint (a clone of a
+    /// fault-free core mid-run). The returned core resumes at the
+    /// checkpoint's cycle and, stepped forward, is bit-identical to the
+    /// core the checkpoint was taken from.
+    pub fn from_checkpoint(checkpoint: &OooCore) -> OooCore {
+        checkpoint.clone()
     }
 
     /// Records the first `n` committed instructions (pc + decoded form)
