@@ -9,7 +9,11 @@ use std::time::Instant;
 
 use vulnstack_bench::{figure_header, master_seed, sub_seed};
 use vulnstack_core::report::Table;
-use vulnstack_gefin::{avf_campaign_with, default_faults, default_threads, InjectEngine, Prepared};
+use vulnstack_core::trace::CampaignMetrics;
+use vulnstack_gefin::{
+    avf_campaign_metered, avf_campaign_with, default_faults, default_threads, InjectEngine,
+    Prepared,
+};
 use vulnstack_microarch::ooo::HwStructure;
 use vulnstack_microarch::CoreModel;
 use vulnstack_workloads::WorkloadId;
@@ -46,7 +50,25 @@ fn main() {
         (t.elapsed().as_secs_f64(), r)
     };
     let (scratch_secs, scratch) = run(InjectEngine::FromScratch);
-    let (ckpt_secs, ckpt) = run(InjectEngine::Checkpointed);
+    // The checkpointed pass carries the campaign-metrics collector:
+    // per-worker spans, restore-distance histogram, extinct-early and
+    // watchdog counters. Metrics never change the records (asserted below
+    // against the unmetered from-scratch pass).
+    let metrics = CampaignMetrics::new(&format!(
+        "{id}/{model}/{} checkpointed n={n}",
+        structure.name()
+    ));
+    let ckpt_t = Instant::now();
+    let ckpt = avf_campaign_metered(
+        &prep,
+        structure,
+        n,
+        seed,
+        threads,
+        InjectEngine::Checkpointed,
+        Some(&metrics),
+    );
+    let ckpt_secs = ckpt_t.elapsed().as_secs_f64();
 
     assert_eq!(
         scratch.records, ckpt.records,
@@ -99,5 +121,20 @@ fn main() {
         eprintln!("  (could not write {path}: {e})");
     } else {
         eprintln!("  wrote {path}");
+    }
+
+    let report = metrics.report();
+    println!(
+        "campaign metrics: {:.1} inj/s over {} workers | extinct-early {:.0}% | \
+         watchdog expiries {} | mean restore distance {:.0} cycles",
+        report.throughput(),
+        report.per_worker.len(),
+        report.extinct_rate() * 100.0,
+        report.watchdog_expiries,
+        report.mean_restore_distance(),
+    );
+    match report.write_files("results", "checkpoint_speedup") {
+        Ok((mp, tp)) => eprintln!("  wrote {mp} and {tp} (open in chrome://tracing or Perfetto)"),
+        Err(e) => eprintln!("  (could not write metrics files: {e})"),
     }
 }

@@ -32,6 +32,8 @@ pub mod report;
 pub mod sched;
 pub mod stack;
 pub mod stats;
+pub mod trace;
 
 pub use effects::{FaultEffect, Tally, VulnFactor};
 pub use stack::{FpmDist, StructureAvf, WeightedAvf};
+pub use trace::{CampaignMetrics, MetricsReport, Span, WorkerReport};

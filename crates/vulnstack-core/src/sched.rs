@@ -26,6 +26,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::trace::CampaignMetrics;
+
 /// Runs `f` over every item on `threads` workers with work stealing.
 ///
 /// Returns the results in input order: `out[i] == f(i, &items[i])`.
@@ -58,26 +60,57 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    assert_eq!(order.len(), items.len(), "order must cover every item");
+    map_ordered_metered(items, order, threads, f, None)
+}
+
+/// [`map_ordered`] with optional campaign metrics: when `metrics` is
+/// given, every claim is recorded as a per-worker timeline span in the
+/// collector (worker id = spawn index, or 0 on the sequential path).
+/// Instrumentation never affects the results — they stay identical to
+/// [`map_ordered`] with `metrics = None`.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..items.len()`, or if a
+/// worker panics.
+pub fn map_ordered_metered<T, R, F>(
+    items: &[T],
+    order: &[usize],
+    threads: usize,
+    f: F,
+    metrics: Option<&CampaignMetrics>,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert_permutation(order, items.len());
     let threads = threads.clamp(1, items.len().max(1));
     let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let run_one = |worker: usize, i: usize| {
+        let start = metrics.map(|m| m.now_us());
+        let r = f(i, &items[i]);
+        if let (Some(m), Some(s)) = (metrics, start) {
+            m.record_span(worker, i, s, m.now_us());
+        }
+        *slots[i].lock().expect("unpoisoned") = Some(r);
+    };
     if threads == 1 {
         for &i in order {
-            let r = f(i, &items[i]);
-            *slots[i].lock().expect("unpoisoned") = Some(r);
+            run_one(0, i);
         }
     } else {
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
+            for worker in 0..threads {
+                let (run_one, next) = (&run_one, &next);
+                s.spawn(move || loop {
                     let k = next.fetch_add(1, Ordering::Relaxed);
                     if k >= order.len() {
                         break;
                     }
-                    let i = order[k];
-                    let r = f(i, &items[i]);
-                    *slots[i].lock().expect("unpoisoned") = Some(r);
+                    run_one(worker, order[k]);
                 });
             }
         });
@@ -87,9 +120,22 @@ where
         .map(|m| {
             m.into_inner()
                 .expect("unpoisoned")
-                .expect("order visited every index exactly once")
+                .expect("validated permutation")
         })
         .collect()
+}
+
+/// Panics with a precise message unless `order` is a permutation of
+/// `0..n` — checked up front so a bad order fails before any work runs,
+/// not at collect time with an empty slot.
+fn assert_permutation(order: &[usize], n: usize) {
+    assert_eq!(order.len(), n, "order must cover every item");
+    let mut seen = vec![false; n];
+    for &i in order {
+        assert!(i < n, "order contains out-of-range index {i} (len {n})");
+        assert!(!seen[i], "order contains duplicate index {i}");
+        seen[i] = true;
+    }
 }
 
 /// Sorting permutation of `keys`: `out[k]` is the index of the `k`-th
@@ -149,6 +195,43 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(map(&empty, 4, |_, &x| x).is_empty());
         assert_eq!(map(&[5u32], 4, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate index 1")]
+    fn duplicate_index_in_order_panics_up_front() {
+        let items = [10u32, 20, 30];
+        map_ordered(&items, &[0, 1, 1], 2, |_, &x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range index 3")]
+    fn out_of_range_index_in_order_panics_up_front() {
+        let items = [10u32, 20, 30];
+        map_ordered(&items, &[0, 1, 3], 2, |_, &x| x);
+    }
+
+    #[test]
+    fn metered_map_records_every_site_and_matches_unmetered() {
+        let items: Vec<u64> = (0..40).collect();
+        let order = sort_order_by_key(&items);
+        let plain = map_ordered(&items, &order, 4, |i, &x| (i as u64) * 1000 + x);
+        let metrics = CampaignMetrics::new("sched-test");
+        let metered = map_ordered_metered(
+            &items,
+            &order,
+            4,
+            |i, &x| (i as u64) * 1000 + x,
+            Some(&metrics),
+        );
+        assert_eq!(metered, plain);
+        let report = metrics.report();
+        assert_eq!(report.sites, 40);
+        assert_eq!(report.spans.len(), 40);
+        let mut indices: Vec<usize> = report.spans.iter().map(|s| s.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..40).collect::<Vec<_>>());
+        assert!(report.per_worker.iter().map(|w| w.sites).sum::<u64>() == 40);
     }
 
     #[test]

@@ -23,12 +23,25 @@ pub fn error_margin(n: u64, population: u64, p: f64, z: f64) -> f64 {
 
 /// Number of samples needed for margin `e` at confidence `z` with the
 /// worst-case proportion `p = 0.5`.
+///
+/// Degenerate inputs are guarded (mirroring [`error_margin`]): a
+/// population of 0 or 1 needs at most `population` samples, and a
+/// non-positive (or NaN) margin can only be met by exhaustive sampling —
+/// both return `population` instead of dividing by zero and casting
+/// NaN/inf to a garbage `u64`.
 pub fn samples_for_margin(population: u64, e: f64, z: f64) -> u64 {
+    if population <= 1 {
+        return population;
+    }
+    if e.is_nan() || e <= 0.0 {
+        // e <= 0 or NaN: no finite sample count reaches it; exhaust.
+        return population;
+    }
     // Solve n from the finite-population formula.
     let big_n = population as f64;
     let n0 = (z * z * 0.25) / (e * e);
     let n = n0 / (1.0 + (n0 - 1.0) / big_n);
-    n.ceil() as u64
+    (n.ceil() as u64).clamp(1, population)
 }
 
 #[cfg(test)]
@@ -71,6 +84,36 @@ mod tests {
     fn degenerate_inputs() {
         assert_eq!(error_margin(0, 100, 0.5, Z_99), 1.0);
         assert_eq!(error_margin(10, 1, 0.5, Z_99), 1.0);
+    }
+
+    #[test]
+    fn samples_for_margin_guards_degenerate_inputs() {
+        // Zero margin used to divide by zero -> inf -> garbage cast.
+        assert_eq!(samples_for_margin(1000, 0.0, Z_99), 1000);
+        assert_eq!(samples_for_margin(1000, -0.5, Z_99), 1000);
+        assert_eq!(samples_for_margin(1000, f64::NAN, Z_99), 1000);
+        // population <= 1 used to divide by big_n with n0 - 1 terms
+        // meaningless; now: at most the whole population.
+        assert_eq!(samples_for_margin(0, 0.01, Z_99), 0);
+        assert_eq!(samples_for_margin(1, 0.01, Z_99), 1);
+    }
+
+    #[test]
+    fn samples_for_margin_never_exceeds_population() {
+        for pop in [2u64, 10, 100, 5000] {
+            for e in [1e-6, 0.001, 0.01, 0.1, 10.0] {
+                let n = samples_for_margin(pop, e, Z_99);
+                assert!((1..=pop).contains(&n), "pop={pop} e={e} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn samples_for_margin_monotone_in_margin() {
+        let pop = 1_000_000u64;
+        let n_tight = samples_for_margin(pop, 0.01, Z_99);
+        let n_loose = samples_for_margin(pop, 0.05, Z_99);
+        assert!(n_tight > n_loose, "{n_tight} vs {n_loose}");
     }
 }
 

@@ -7,8 +7,10 @@ use serde::{Deserialize, Serialize};
 use vulnstack_core::effects::{FaultEffect, Tally};
 use vulnstack_core::sched;
 use vulnstack_core::stack::FpmDist;
+use vulnstack_core::trace::CampaignMetrics;
+use vulnstack_microarch::lifetime::DEFAULT_EVENT_CAP;
 use vulnstack_microarch::ooo::{Fpm, HwStructure};
-use vulnstack_microarch::OooCore;
+use vulnstack_microarch::{FaultTrace, OooCore, RunStatus};
 
 use crate::prepare::Prepared;
 
@@ -82,11 +84,52 @@ pub fn run_one_with(
     bit: u64,
     engine: InjectEngine,
 ) -> InjectionRecord {
+    run_one_inner(prep, structure, cycle, bit, engine, None, None).0
+}
+
+/// [`run_one_with`] with fault-lifetime tracing enabled: also returns the
+/// event trace of the injection (ring capacity `cap`). The record is
+/// identical to the untraced run.
+pub fn run_one_traced(
+    prep: &Prepared,
+    structure: HwStructure,
+    cycle: u64,
+    bit: u64,
+    engine: InjectEngine,
+    cap: usize,
+) -> (InjectionRecord, Option<FaultTrace>) {
+    run_one_inner(prep, structure, cycle, bit, engine, Some(cap), None)
+}
+
+/// The shared injection runner: optional lifetime tracing, optional
+/// campaign-metrics recording. Tracing and metrics never influence the
+/// returned record (asserted by `tests/trace_reconciliation.rs` and the
+/// engine-equivalence test).
+pub(crate) fn run_one_inner(
+    prep: &Prepared,
+    structure: HwStructure,
+    cycle: u64,
+    bit: u64,
+    engine: InjectEngine,
+    trace_cap: Option<usize>,
+    metrics: Option<&CampaignMetrics>,
+) -> (InjectionRecord, Option<FaultTrace>) {
     let mut core = match engine {
         InjectEngine::FromScratch => OooCore::new(&prep.cfg, &prep.image),
         InjectEngine::Checkpointed => prep.checkpoints.restore(cycle),
     };
+    if let Some(m) = metrics {
+        // Restore distance: cycles of fault-free prefix this run must
+        // re-simulate. FromScratch always pays the full prefix.
+        m.record_restore_distance(match engine {
+            InjectEngine::FromScratch => cycle,
+            InjectEngine::Checkpointed => prep.checkpoints.restore_distance(cycle),
+        });
+    }
     core.run_until(cycle);
+    if let Some(cap) = trace_cap {
+        core.enable_fault_trace(cap);
+    }
     core.inject(structure, bit);
     // Run in slices; once every corrupted copy is gone and nothing
     // tainted is in flight, the rest of the run is identical to the
@@ -106,29 +149,45 @@ pub fn run_one_with(
             break;
         }
         if core.fault_extinct() {
-            return InjectionRecord {
-                cycle,
-                bit,
-                effect: FaultEffect::Masked,
-                fpm: None,
-                fpm_cycle: None,
-            };
+            if let Some(m) = metrics {
+                m.record_extinct_early();
+            }
+            core.note_fault_extinct();
+            let trace = core.fault_trace().cloned();
+            return (
+                InjectionRecord {
+                    cycle,
+                    bit,
+                    effect: FaultEffect::Masked,
+                    fpm: None,
+                    fpm_cycle: None,
+                },
+                trace,
+            );
         }
     }
     let out = core.finish();
+    if let Some(m) = metrics {
+        if out.sim.status == RunStatus::Timeout {
+            m.record_watchdog_expiry();
+        }
+    }
     let effect = FaultEffect::classify(
         out.sim.status,
         &out.sim.output,
         prep.golden.status,
         &prep.expected_output,
     );
-    InjectionRecord {
-        cycle,
-        bit,
-        effect,
-        fpm: out.fpm,
-        fpm_cycle: out.fpm_cycle,
-    }
+    (
+        InjectionRecord {
+            cycle,
+            bit,
+            effect,
+            fpm: out.fpm,
+            fpm_cycle: out.fpm_cycle,
+        },
+        out.ftrace,
+    )
 }
 
 /// Runs a campaign of `n` uniformly-sampled single-bit faults in
@@ -161,29 +220,105 @@ pub fn avf_campaign_with(
     threads: usize,
     engine: InjectEngine,
 ) -> AvfCampaignResult {
+    avf_campaign_metered(prep, structure, n, seed, threads, engine, None)
+}
+
+/// Draws the campaign's fault sites — `(cycle, bit)` pairs, uniformly
+/// sampled over the golden run and the structure's bit population — from
+/// one seeded stream, so the sample set is independent of the thread
+/// count. `avf_campaign(…, seed, …)` injects exactly these sites in this
+/// (sampling) order; index `k` here is site `k` of the campaign, which is
+/// how `vulnstack trace --site k` replays a specific campaign injection.
+pub fn draw_sites(prep: &Prepared, structure: HwStructure, n: usize, seed: u64) -> Vec<(u64, u64)> {
     let bits = structure.bits(&prep.cfg);
-    // Pre-draw all fault sites from one seeded stream so the sample set is
-    // independent of the thread count.
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-    let sites: Vec<(u64, u64)> = (0..n)
+    (0..n)
         .map(|_| {
             (
                 rng.gen_range(1..=prep.golden.cycles),
                 rng.gen_range(0..bits),
             )
         })
-        .collect();
+        .collect()
+}
+
+/// [`avf_campaign_with`] with optional campaign metrics: per-worker
+/// timeline spans, restore-distance histogram, extinct-early and watchdog
+/// counters are recorded into `metrics`. Results are identical to the
+/// unmetered campaign.
+pub fn avf_campaign_metered(
+    prep: &Prepared,
+    structure: HwStructure,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    engine: InjectEngine,
+    metrics: Option<&CampaignMetrics>,
+) -> AvfCampaignResult {
+    let bits = structure.bits(&prep.cfg);
+    let sites = draw_sites(prep, structure, n, seed);
 
     // Claim the sites in injection-cycle order (consecutive claims restore
     // from the same warm checkpoint); records come back in sampling order,
     // so the output is independent of both ordering and thread count.
     let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
     let order = sched::sort_order_by_key(&cycles);
-    let records: Vec<InjectionRecord> =
-        sched::map_ordered(&sites, &order, threads, |_, &(c, b)| {
-            run_one_with(prep, structure, c, b, engine)
-        });
+    let records: Vec<InjectionRecord> = sched::map_ordered_metered(
+        &sites,
+        &order,
+        threads,
+        |_, &(c, b)| run_one_inner(prep, structure, c, b, engine, None, metrics).0,
+        metrics,
+    );
 
+    collect_result(structure, bits, records)
+}
+
+/// [`avf_campaign_with`] with per-injection fault-lifetime traces: also
+/// returns one [`FaultTrace`] per record, in the same (sampling) order.
+/// The campaign result is identical to the untraced campaign — the
+/// reconciliation test sums each trace's first-visible FPM and compares
+/// against the campaign's [`FpmDist`].
+pub fn avf_campaign_traced(
+    prep: &Prepared,
+    structure: HwStructure,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    engine: InjectEngine,
+    metrics: Option<&CampaignMetrics>,
+) -> (AvfCampaignResult, Vec<FaultTrace>) {
+    let bits = structure.bits(&prep.cfg);
+    let sites = draw_sites(prep, structure, n, seed);
+    let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
+    let order = sched::sort_order_by_key(&cycles);
+    let pairs: Vec<(InjectionRecord, FaultTrace)> = sched::map_ordered_metered(
+        &sites,
+        &order,
+        threads,
+        |_, &(c, b)| {
+            let (rec, trace) = run_one_inner(
+                prep,
+                structure,
+                c,
+                b,
+                engine,
+                Some(DEFAULT_EVENT_CAP),
+                metrics,
+            );
+            (rec, trace.expect("tracing was enabled"))
+        },
+        metrics,
+    );
+    let (records, traces): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+    (collect_result(structure, bits, records), traces)
+}
+
+fn collect_result(
+    structure: HwStructure,
+    bits: u64,
+    records: Vec<InjectionRecord>,
+) -> AvfCampaignResult {
     let tally: Tally = records.iter().map(|r| r.effect).collect();
     let mut fpm = FpmDist::new();
     for r in &records {

@@ -30,19 +30,36 @@ pub mod pvf;
 pub mod sweep;
 
 pub use ace::ace_analysis;
-pub use avf::{avf_campaign, avf_campaign_with, AvfCampaignResult, InjectEngine, InjectionRecord};
+pub use avf::{
+    avf_campaign, avf_campaign_metered, avf_campaign_traced, avf_campaign_with, draw_sites,
+    run_one_traced, AvfCampaignResult, InjectEngine, InjectionRecord,
+};
 pub use compare::{static_vs_dynamic, StaticDynamicComparison};
 pub use prepare::{FuncPrepared, Prepared};
-pub use pvf::{pvf_campaign, PvfMode};
-pub use sweep::{temporal_campaign, TemporalProfile};
+pub use pvf::{pvf_campaign, pvf_campaign_metered, PvfMode};
+pub use sweep::{temporal_campaign, temporal_campaign_metered, TemporalProfile};
+
+/// Parses an env knob, distinguishing *unset* (silent fallback) from
+/// *malformed* (warn on stderr, then fall back): a typo'd
+/// `VULNSTACK_THREADS=8x` must not silently run a different experiment
+/// than the one asked for.
+pub(crate) fn env_knob<T: std::str::FromStr>(name: &str, what: &str) -> Option<T> {
+    let v = std::env::var(name).ok()?;
+    match v.parse::<T>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("warning: ignoring {name}={v:?}: not a valid {what}; using default");
+            None
+        }
+    }
+}
 
 /// Returns the number of worker threads to use: `VULNSTACK_THREADS` or
-/// the available parallelism (capped at 16).
+/// the available parallelism (capped at 16). A malformed value warns on
+/// stderr and falls back.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("VULNSTACK_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
+    if let Some(n) = env_knob::<usize>("VULNSTACK_THREADS", "thread count") {
+        return n.max(1);
     }
     std::thread::available_parallelism()
         .map_or(4, |n| n.get())
@@ -51,12 +68,11 @@ pub fn default_threads() -> usize {
 
 /// Returns the per-structure fault count: `VULNSTACK_FAULTS` or the given
 /// default. The paper used 2,000; the bench harness defaults lower to
-/// keep full-figure reproduction runs tractable.
+/// keep full-figure reproduction runs tractable. A malformed value warns
+/// on stderr and falls back.
 pub fn default_faults(default: usize) -> usize {
-    if let Ok(v) = std::env::var("VULNSTACK_FAULTS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
+    if let Some(n) = env_knob::<usize>("VULNSTACK_FAULTS", "fault count") {
+        return n.max(1);
     }
     default
 }

@@ -21,24 +21,34 @@ const FUNC_INSTR_BUDGET: u64 = 400_000_000;
 /// CPI to cover the same program.
 const GOLDEN_CYCLE_BUDGET: u64 = 2_000_000_000;
 
+/// Rejects a zero env-knob value with a stderr warning (zero would mean
+/// "checkpoint never" / "keep no checkpoints", neither of which the
+/// snapshot layer supports) — previously a `filter` dropped it silently.
+fn nonzero_or_warn<T: PartialEq + Default + std::fmt::Display>(name: &str, v: T) -> Option<T> {
+    if v == T::default() {
+        eprintln!("warning: ignoring {name}=0: must be positive; using default");
+        None
+    } else {
+        Some(v)
+    }
+}
+
 /// Checkpoint interval (cycles) before adaptive doubling, overridable
-/// with `VULNSTACK_CKPT_INTERVAL`.
+/// with `VULNSTACK_CKPT_INTERVAL`. Malformed or zero values warn on
+/// stderr and fall back.
 fn checkpoint_interval() -> u64 {
-    std::env::var("VULNSTACK_CKPT_INTERVAL")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
+    crate::env_knob::<u64>("VULNSTACK_CKPT_INTERVAL", "cycle interval")
+        .and_then(|v| nonzero_or_warn("VULNSTACK_CKPT_INTERVAL", v))
         .unwrap_or(snapshot::DEFAULT_INTERVAL)
 }
 
 /// Checkpoint count cap (memory budget), overridable with
 /// `VULNSTACK_CKPTS`. `VULNSTACK_CKPTS=1` keeps only the reset state,
-/// which degrades every restore to a from-scratch run.
+/// which degrades every restore to a from-scratch run. Malformed or zero
+/// values warn on stderr and fall back.
 fn checkpoint_cap() -> usize {
-    std::env::var("VULNSTACK_CKPTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
+    crate::env_knob::<usize>("VULNSTACK_CKPTS", "checkpoint count")
+        .and_then(|v| nonzero_or_warn("VULNSTACK_CKPTS", v))
         .unwrap_or(snapshot::DEFAULT_MAX_SNAPSHOTS)
 }
 

@@ -135,15 +135,37 @@ pub fn pvf_campaign(
     seed: u64,
     threads: usize,
 ) -> Tally {
+    pvf_campaign_metered(prep, mode, n, seed, threads, None)
+}
+
+/// [`pvf_campaign`] with optional campaign metrics: each injection is
+/// recorded as a worker span in `metrics` (the functional engine has no
+/// checkpoints, so no restore distances are recorded). Results are
+/// identical to the unmetered campaign.
+pub fn pvf_campaign_metered(
+    prep: &FuncPrepared,
+    mode: PvfMode,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    metrics: Option<&vulnstack_core::trace::CampaignMetrics>,
+) -> Tally {
     let indices: Vec<usize> = (0..n).collect();
-    vulnstack_core::sched::map(&indices, threads, |_, &i| {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(i as u64));
-        match mode {
-            PvfMode::Wd => run_wd(prep, &mut rng),
-            PvfMode::Woi => run_encoding(prep, BitClass::Operand, &mut rng),
-            PvfMode::Wi => run_encoding(prep, BitClass::Instruction, &mut rng),
-        }
-    })
+    let order: Vec<usize> = (0..n).collect();
+    vulnstack_core::sched::map_ordered_metered(
+        &indices,
+        &order,
+        threads,
+        |_, &i| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(i as u64));
+            match mode {
+                PvfMode::Wd => run_wd(prep, &mut rng),
+                PvfMode::Woi => run_encoding(prep, BitClass::Operand, &mut rng),
+                PvfMode::Wi => run_encoding(prep, BitClass::Instruction, &mut rng),
+            }
+        },
+        metrics,
+    )
     .into_iter()
     .collect()
 }

@@ -11,9 +11,10 @@ use rand::{Rng, SeedableRng};
 use vulnstack_core::effects::Tally;
 use vulnstack_core::sched;
 use vulnstack_core::stack::FpmDist;
+use vulnstack_core::trace::CampaignMetrics;
 use vulnstack_microarch::ooo::HwStructure;
 
-use crate::avf::run_one;
+use crate::avf::{run_one_inner, InjectEngine};
 use crate::prepare::Prepared;
 
 /// Per-window results of a temporal sweep.
@@ -50,6 +51,22 @@ pub fn temporal_campaign(
     seed: u64,
     threads: usize,
 ) -> TemporalProfile {
+    temporal_campaign_metered(prep, structure, windows, per_window, seed, threads, None)
+}
+
+/// [`temporal_campaign`] with optional campaign metrics (worker spans,
+/// restore distances, extinct-early and watchdog counters). Results are
+/// identical to the unmetered sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn temporal_campaign_metered(
+    prep: &Prepared,
+    structure: HwStructure,
+    windows: usize,
+    per_window: usize,
+    seed: u64,
+    threads: usize,
+    metrics: Option<&CampaignMetrics>,
+) -> TemporalProfile {
     assert!(windows >= 1);
     let total = prep.golden.cycles.max(windows as u64);
     let bits = structure.bits(&prep.cfg);
@@ -74,9 +91,24 @@ pub fn temporal_campaign(
 
     let cycles: Vec<u64> = sites.iter().map(|&(_, c, _)| c).collect();
     let order = sched::sort_order_by_key(&cycles);
-    let records = sched::map_ordered(&sites, &order, threads, |_, &(w, cycle, bit)| {
-        (w, run_one(prep, structure, cycle, bit))
-    });
+    let records = sched::map_ordered_metered(
+        &sites,
+        &order,
+        threads,
+        |_, &(w, cycle, bit)| {
+            let (rec, _) = run_one_inner(
+                prep,
+                structure,
+                cycle,
+                bit,
+                InjectEngine::Checkpointed,
+                None,
+                metrics,
+            );
+            (w, rec)
+        },
+        metrics,
+    );
 
     let mut tallies = vec![Tally::default(); windows];
     let mut fpms = vec![FpmDist::new(); windows];

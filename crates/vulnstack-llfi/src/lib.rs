@@ -179,6 +179,24 @@ pub fn svf_campaign(
     seed: u64,
     threads: usize,
 ) -> Tally {
+    svf_campaign_metered(module, input, expected_output, n, seed, threads, None)
+}
+
+/// [`svf_campaign`] with optional campaign metrics: each injection is
+/// recorded as a worker span in `metrics` (the software layer has no
+/// checkpoints or microarchitectural extinction, so only throughput and
+/// load-balance telemetry applies). Results are identical to the
+/// unmetered campaign.
+#[allow(clippy::too_many_arguments)]
+pub fn svf_campaign_metered(
+    module: &Module,
+    input: &[u8],
+    expected_output: &[u8],
+    n: usize,
+    seed: u64,
+    threads: usize,
+    metrics: Option<&vulnstack_core::trace::CampaignMetrics>,
+) -> Tally {
     let golden = golden_run(module, input);
     debug_assert_eq!(golden.output, expected_output, "golden output mismatch");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x51F1_57AC_0DE5_EED5);
@@ -189,9 +207,16 @@ pub fn svf_campaign(
         })
         .collect();
 
-    vulnstack_core::sched::map(&faults, threads, |_, &f| run_one(module, input, &golden, f))
-        .into_iter()
-        .collect()
+    let order: Vec<usize> = (0..faults.len()).collect();
+    vulnstack_core::sched::map_ordered_metered(
+        &faults,
+        &order,
+        threads,
+        |_, &f| run_one(module, input, &golden, f),
+        metrics,
+    )
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -20,12 +20,14 @@ pub mod cache;
 pub mod config;
 pub mod exec;
 pub mod func;
+pub mod lifetime;
 pub mod ooo;
 pub mod outcome;
 pub mod snapshot;
 
 pub use config::{CoreConfig, CoreModel};
 pub use func::FuncCore;
+pub use lifetime::{FaultEvent, FaultEventKind, FaultTrace, LifetimeCounts};
 pub use ooo::OooCore;
 pub use outcome::{RunStatus, SimOutcome};
 pub use snapshot::CheckpointStore;

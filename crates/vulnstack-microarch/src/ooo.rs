@@ -27,6 +27,7 @@ use crate::cache::{Level, MemSystem};
 use crate::config::CoreConfig;
 use crate::exec;
 use crate::func::Mode;
+use crate::lifetime::{FaultEventKind, FaultTrace, FaultUnit};
 use crate::outcome::{RunStatus, SimOutcome};
 
 /// Fault propagation model of a hardware fault's first architecturally
@@ -134,6 +135,9 @@ pub struct OooOutcome {
     pub fpm: Option<Fpm>,
     /// Cycle of that first manifestation.
     pub fpm_cycle: Option<u64>,
+    /// Fault-lifetime event log, if [`OooCore::enable_fault_trace`] was
+    /// called before the run.
+    pub ftrace: Option<FaultTrace>,
 }
 
 const RAS_DEPTH: usize = 16;
@@ -268,6 +272,9 @@ pub struct OooCore {
     rf_taint: Option<(usize, u8)>,
     fpm: Option<Fpm>,
     fpm_cycle: Option<u64>,
+    // Fault-lifetime event trace (optional; `None` costs nothing — every
+    // emission site is behind a taint branch or this gate).
+    ftrace: Option<FaultTrace>,
 
     // ACE lifetime tracking (optional, for analytical AVF estimates).
     ace: Option<AceState>,
@@ -356,6 +363,7 @@ impl OooCore {
             rf_taint: None,
             fpm: None,
             fpm_cycle: None,
+            ftrace: None,
             ace: None,
             trace: None,
             cfg: cfg.clone(),
@@ -379,6 +387,31 @@ impl OooCore {
     /// The committed-instruction trace collected so far.
     pub fn trace(&self) -> &[(u64, Instr)] {
         self.trace.as_ref().map_or(&[], |(_, v)| v.as_slice())
+    }
+
+    /// Enables the fault-lifetime event trace with ring capacity `cap`
+    /// (see [`crate::lifetime`]). Call before [`OooCore::inject`]; the
+    /// log is returned in [`OooOutcome::ftrace`].
+    pub fn enable_fault_trace(&mut self, cap: usize) {
+        self.ftrace = Some(FaultTrace::new(cap));
+    }
+
+    /// The fault-lifetime trace collected so far, if enabled.
+    pub fn fault_trace(&self) -> Option<&FaultTrace> {
+        self.ftrace.as_ref()
+    }
+
+    /// Records that the campaign layer observed [`OooCore::fault_extinct`]
+    /// and stopped simulating (the trace's terminal Masked milestone).
+    pub fn note_fault_extinct(&mut self) {
+        self.ftrace_push(FaultEventKind::Extinct);
+    }
+
+    #[inline]
+    fn ftrace_push(&mut self, kind: FaultEventKind) {
+        if let Some(ft) = &mut self.ftrace {
+            ft.push(self.cycle, kind);
+        }
     }
 
     /// Enables ACE lifetime tracking (fault-free analytical runs).
@@ -484,12 +517,18 @@ impl OooCore {
                 self.mem.flip_bit(Level::L2, bit);
             }
         }
+        if let Some(ft) = &mut self.ftrace {
+            ft.push(self.cycle, FaultEventKind::Injected { structure, bit });
+            let live = self.mem.taint().is_some_and(|t| t.live());
+            ft.note_mem_state(self.cycle, live);
+        }
     }
 
     fn record_fpm(&mut self, fpm: Fpm) {
         if self.fpm.is_none() {
             self.fpm = Some(fpm);
             self.fpm_cycle = Some(self.cycle);
+            self.ftrace_push(FaultEventKind::ArchVisible { fpm });
         }
     }
 
@@ -515,9 +554,13 @@ impl OooCore {
         debug_assert!(self.free_tail - self.free_head <= cap);
     }
 
-    fn read_phys(&self, p: PReg, taint: &mut Option<Fpm>) -> u64 {
+    fn read_phys(&mut self, p: PReg, taint: &mut Option<Fpm>) -> u64 {
         if self.rf_taint.is_some_and(|(tp, _)| tp == p as usize) {
             taint.get_or_insert(Fpm::Wd);
+            self.ftrace_push(FaultEventKind::Consumed {
+                fpm: Fpm::Wd,
+                unit: FaultUnit::Rf,
+            });
         }
         self.phys[p as usize]
     }
@@ -526,6 +569,7 @@ impl OooCore {
         // Overwriting the corrupted register repairs it (masking).
         if self.rf_taint.is_some_and(|(tp, _)| tp == p as usize) {
             self.rf_taint = None;
+            self.ftrace_push(FaultEventKind::Repaired);
         }
         if let Some(ace) = &mut self.ace {
             let i = p as usize;
@@ -774,10 +818,15 @@ impl OooCore {
                 });
                 entry.done = true;
                 if let Some(bit) = front.taint_bit {
-                    entry.taint = Some(match classify_bit(front.word, bit) {
+                    let fpm = match classify_bit(front.word, bit) {
                         BitClass::Instruction => Fpm::Wi,
                         BitClass::Operand => Fpm::Woi,
                         BitClass::Ignored => Fpm::Wi,
+                    };
+                    entry.taint = Some(fpm);
+                    self.ftrace_push(FaultEventKind::Consumed {
+                        fpm,
+                        unit: FaultUnit::Fetch,
                     });
                 }
                 self.rob.push_back(entry);
@@ -790,6 +839,12 @@ impl OooCore {
                     BitClass::Operand => Some(Fpm::Woi),
                     BitClass::Ignored => None, // decoder discards these bits
                 };
+                if let Some(fpm) = entry.taint {
+                    self.ftrace_push(FaultEventKind::Consumed {
+                        fpm,
+                        unit: FaultUnit::Fetch,
+                    });
+                }
             }
 
             if kind == RobKind::Branch || kind == RobKind::Jump {
@@ -1041,6 +1096,10 @@ impl OooCore {
                 let addr = self.lq[slot].addr;
                 if self.lq[slot].taint {
                     taint.get_or_insert(Fpm::Wd);
+                    self.ftrace_push(FaultEventKind::Consumed {
+                        fpm: Fpm::Wd,
+                        unit: FaultUnit::Lq,
+                    });
                 }
                 let size = instr.op.access_bytes() as u32;
                 if let Some(trap) = self.mem_check(addr, size, AccessKind::Read, pc) {
@@ -1084,6 +1143,10 @@ impl OooCore {
                 };
                 if mem_taint {
                     taint.get_or_insert(Fpm::Wd);
+                    self.ftrace_push(FaultEventKind::Consumed {
+                        fpm: Fpm::Wd,
+                        unit: FaultUnit::Mem,
+                    });
                 }
                 let value = exec::load_extend(instr.op, raw, self.isa);
                 if let Some((_, newp, _)) = dest {
@@ -1196,8 +1259,12 @@ impl OooCore {
             self.rat[arch.index()] = newp;
             self.free_head += 1;
         }
+        let mut squashed_taint = 0u32;
         while self.rob.len() > idx + 1 {
             let e = self.rob.pop_back().expect("len checked");
+            if e.taint.is_some() {
+                squashed_taint += 1;
+            }
             if let Some(slot) = e.lsq_slot {
                 match e.kind {
                     RobKind::Load => self.lq[slot].valid = false,
@@ -1205,6 +1272,11 @@ impl OooCore {
                     _ => {}
                 }
             }
+        }
+        if squashed_taint > 0 {
+            self.ftrace_push(FaultEventKind::Squashed {
+                tainted: squashed_taint,
+            });
         }
         // Squashed sequence numbers are reused so the ROB stays seq-
         // contiguous (rob_index depends on it). All references to the
@@ -1219,6 +1291,12 @@ impl OooCore {
     }
 
     fn flush_all(&mut self, next_pc: u64) {
+        if self.ftrace.is_some() {
+            let tainted = self.rob.iter().filter(|e| e.taint.is_some()).count() as u32;
+            if tainted > 0 {
+                self.ftrace_push(FaultEventKind::Squashed { tainted });
+            }
+        }
         self.rat = self.rrat.clone();
         let nregs = self.isa.num_regs() as usize;
         let live: Vec<PReg> = self.rrat[..nregs].to_vec();
@@ -1344,6 +1422,7 @@ impl OooCore {
                     let s = self.sq[slot];
                     if s.taint {
                         self.record_fpm(Fpm::Wd);
+                        self.ftrace_push(FaultEventKind::TaintedStoreCommit { addr: s.addr });
                     }
                     // The address may have been corrupted in the SQ after
                     // the execute-time check; a store to an invalid
@@ -1426,6 +1505,13 @@ impl OooCore {
         self.issue();
         self.dispatch();
         self.fetch();
+        if self.ftrace.is_some() {
+            let live = self.mem.taint().is_some_and(|t| t.live());
+            let cycle = self.cycle;
+            if let Some(ft) = &mut self.ftrace {
+                ft.note_mem_state(cycle, live);
+            }
+        }
         if self.cycle - self.last_commit_cycle > WATCHDOG {
             self.ended = Some(RunStatus::Timeout);
         }
@@ -1441,18 +1527,7 @@ impl OooCore {
     /// Runs to completion (halt or `budget` cycles).
     pub fn run(mut self, budget: u64) -> OooOutcome {
         self.run_until(budget);
-        let status = self.ended.unwrap_or(RunStatus::Timeout);
-        let output = self.drain_output();
-        OooOutcome {
-            sim: SimOutcome {
-                status,
-                output,
-                instrs: self.committed,
-                cycles: self.cycle,
-            },
-            fpm: self.fpm,
-            fpm_cycle: self.fpm_cycle,
-        }
+        self.finish()
     }
 
     /// True when an injected fault can no longer have any effect: no
@@ -1521,6 +1596,7 @@ impl OooCore {
     pub fn finish(mut self) -> OooOutcome {
         let status = self.ended.unwrap_or(RunStatus::Timeout);
         let output = self.drain_output();
+        self.ftrace_push(FaultEventKind::Ended { status });
         OooOutcome {
             sim: SimOutcome {
                 status,
@@ -1530,6 +1606,7 @@ impl OooCore {
             },
             fpm: self.fpm,
             fpm_cycle: self.fpm_cycle,
+            ftrace: self.ftrace,
         }
     }
 }

@@ -30,6 +30,18 @@ impl RunStatus {
     }
 }
 
+impl std::fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunStatus::Exited(c) => write!(f, "exited({c})"),
+            RunStatus::Detected(c) => write!(f, "detected({c})"),
+            RunStatus::Crashed(c) => write!(f, "crashed(cause {c})"),
+            RunStatus::KernelPanic => f.write_str("kernel panic"),
+            RunStatus::Timeout => f.write_str("timeout (watchdog/budget)"),
+        }
+    }
+}
+
 /// Result of one full-system run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimOutcome {

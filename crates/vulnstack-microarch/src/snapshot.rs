@@ -129,6 +129,13 @@ impl CheckpointStore {
         self.nearest(cycle).cycle()
     }
 
+    /// Cycles of fault-free prefix a restore targeting `cycle` must
+    /// re-simulate (the campaign-metrics "restore distance": the quantity
+    /// the adaptive interval trades memory against).
+    pub fn restore_distance(&self, cycle: u64) -> u64 {
+        cycle.saturating_sub(self.nearest_cycle(cycle))
+    }
+
     /// The nearest checkpoint at or before `cycle`.
     pub fn nearest(&self, cycle: u64) -> &OooCore {
         let idx = ((cycle / self.interval) as usize).min(self.snaps.len() - 1);

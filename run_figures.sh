@@ -1,13 +1,37 @@
 #!/bin/bash
 # Regenerates every table and figure; writes results/*.txt
 set -u
-cd /root/repo
+
+# Run from wherever the script lives, not a hardcoded path.
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+cd "$ROOT"
 BIN=target/release
+
+# Build first: a stale or missing binary must fail the whole run up
+# front, not leave an empty results/*.txt with the error buried in
+# progress.log. (--workspace: the figure binaries live in
+# crates/vulnstack-bench, which the root package build does not cover.)
+cargo build --release --workspace \
+  || { echo "error: cargo build --release --workspace failed" >&2; exit 1; }
+
+mkdir -p results
+
 run() {
   name=$1; shift
+  bin=$1
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable (for $name)" >&2
+    echo "=== MISSING BINARY for $name: $bin ===" >> results/progress.log
+    exit 1
+  fi
   echo "=== starting $name at $(date +%T) ===" >> results/progress.log
   "$@" > results/$name.txt 2> results/$name.err
-  echo "=== finished $name at $(date +%T) rc=$? ===" >> results/progress.log
+  rc=$?
+  echo "=== finished $name at $(date +%T) rc=$rc ===" >> results/progress.log
+  if [ $rc -ne 0 ]; then
+    echo "error: $name failed with rc=$rc; see results/$name.err" >&2
+    exit $rc
+  fi
 }
 run table2 $BIN/table2_configs
 VULNSTACK_FAULTS=200 run fig1 $BIN/fig1_motivation
@@ -24,4 +48,7 @@ VULNSTACK_FAULTS=80  run ablation_ace $BIN/ablation_ace
 VULNSTACK_FAULTS=150 run ablation_svf_classes $BIN/ablation_svf_classes
 VULNSTACK_FAULTS=120 run ablation_fpm_latency $BIN/ablation_fpm_latency
 VULNSTACK_FAULTS=30  run ablation_avf_over_time $BIN/ablation_avf_over_time
+# Also emits results/checkpoint_speedup.metrics.json and .trace.json
+# (campaign telemetry + Perfetto timeline).
+VULNSTACK_FAULTS=100 run ablation_checkpoint_speedup $BIN/ablation_checkpoint_speedup
 echo ALL-DONE >> results/progress.log

@@ -54,6 +54,8 @@ fn usage() {
     eprintln!("  vulnstack harden  <workload>");
     eprintln!("  vulnstack ir      <workload> [--hardened]");
     eprintln!("  vulnstack trace   <workload> [--model A72] [--limit N]");
+    eprintln!("  vulnstack trace   <workload> --structure RF|LSQ|L1i|L1d|L2");
+    eprintln!("                    [--cycle C --bit B | --site K [--faults N] [--seed S]]");
 }
 
 struct Opts {
@@ -348,6 +350,66 @@ fn run(args: &[String]) -> Result<(), String> {
             let w = workload(&name, opts.switch("hardened"))?;
             let model = opts.model()?;
             let limit = opts.limit()?;
+            if let Some(s) = opts.flags.get("structure") {
+                // Fault-lifetime replay: inject one fault and print its
+                // full event log (injection → consumption → squash /
+                // repair → architectural corruption → outcome).
+                let st = HwStructure::ALL
+                    .into_iter()
+                    .find(|x| x.name().eq_ignore_ascii_case(s))
+                    .ok_or_else(|| format!("unknown structure {s}"))?;
+                let prep = Prepared::new(&w, model).map_err(|e| e.to_string())?;
+                let (cycle, bit) = match opts.flags.get("site") {
+                    Some(k) => {
+                        // Replay site K of the campaign `vulnstack avf`
+                        // would run with the same --faults/--seed.
+                        let k: usize = k.parse().map_err(|_| format!("bad site {k}"))?;
+                        let sites =
+                            vulnstack_gefin::draw_sites(&prep, st, opts.faults()?, opts.seed()?);
+                        *sites.get(k).ok_or_else(|| {
+                            format!("site {k} out of range (campaign has {})", sites.len())
+                        })?
+                    }
+                    None => {
+                        let cycle = match opts.flags.get("cycle") {
+                            Some(v) => v.parse().map_err(|_| format!("bad cycle {v}"))?,
+                            None => prep.golden.cycles / 2,
+                        };
+                        let bit = match opts.flags.get("bit") {
+                            Some(v) => v.parse().map_err(|_| format!("bad bit {v}"))?,
+                            None => 0,
+                        };
+                        (cycle, bit)
+                    }
+                };
+                let (rec, trace) = vulnstack_gefin::run_one_traced(
+                    &prep,
+                    st,
+                    cycle,
+                    bit,
+                    vulnstack_gefin::InjectEngine::Checkpointed,
+                    limit.max(16),
+                );
+                println!(
+                    "{name} on {model}: inject {} bit {bit} @ cycle {cycle} -> {:?} (FPM {})",
+                    st.name(),
+                    rec.effect,
+                    rec.fpm.map_or("none".into(), |f| f.to_string()),
+                );
+                let trace = trace.ok_or("no trace recorded")?;
+                if trace.dropped() > 0 {
+                    println!("({} early events dropped from the ring)", trace.dropped());
+                }
+                for ev in trace.events() {
+                    println!("  cycle {:>10}: {}", ev.cycle, ev.kind);
+                }
+                let c = trace.counts();
+                println!(
+                    "consumed {} | repaired {} | squashed {} | tainted stores {}",
+                    c.consumed, c.repaired, c.squashed, c.tainted_store_commits
+                );
+                return Ok(());
+            }
             let cfg = model.config();
             let compiled =
                 compile(&w.module, cfg.isa, &CompileOpts::default()).map_err(|e| e.to_string())?;

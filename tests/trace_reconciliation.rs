@@ -1,0 +1,127 @@
+//! The trace layer's contract with the campaign layer: per-injection
+//! fault-lifetime traces are a *refinement* of the campaign's
+//! classification, never a different story. Each trace's first
+//! architecturally-visible FPM must equal the record's FPM, their sums
+//! must reconcile exactly with the campaign's [`FpmDist`], and enabling
+//! tracing or metrics must not change a single record.
+
+use vulnstack_core::trace::CampaignMetrics;
+use vulnstack_gefin::{
+    avf_campaign_metered, avf_campaign_traced, avf_campaign_with, InjectEngine, Prepared,
+};
+use vulnstack_microarch::ooo::{Fpm, HwStructure};
+use vulnstack_microarch::CoreModel;
+use vulnstack_workloads::WorkloadId;
+
+const N: usize = 48;
+const SEED: u64 = 2021;
+
+fn prepared() -> Prepared {
+    Prepared::new(&WorkloadId::Qsort.build(), CoreModel::A72).unwrap()
+}
+
+#[test]
+fn trace_fpm_transitions_reconcile_exactly_with_campaign_counts() {
+    let prep = prepared();
+    let structure = HwStructure::RegisterFile;
+    let (result, traces) = avf_campaign_traced(
+        &prep,
+        structure,
+        N,
+        SEED,
+        4,
+        InjectEngine::Checkpointed,
+        None,
+    );
+    assert_eq!(traces.len(), result.records.len());
+
+    // Per-injection: the trace's first ArchVisible event is the record's
+    // FPM classification (same fault, same cycle).
+    for (rec, trace) in result.records.iter().zip(&traces) {
+        assert_eq!(
+            trace.first_visible(),
+            rec.fpm,
+            "trace and record disagree for site @{} bit {}",
+            rec.cycle,
+            rec.bit
+        );
+        if let (Some((_, tc)), Some(rc)) = (trace.counts().first_visible, rec.fpm_cycle) {
+            assert_eq!(tc, rc, "manifestation cycle mismatch");
+        }
+    }
+
+    // Aggregate: trace-derived FPM transition counts sum exactly to the
+    // campaign's FpmDist — the Fig. 6 reconciliation.
+    for fpm in Fpm::ALL {
+        let from_traces = traces
+            .iter()
+            .filter(|t| t.first_visible() == Some(fpm))
+            .count() as u64;
+        assert_eq!(
+            from_traces,
+            result.fpm.count(fpm),
+            "FPM {fpm} does not reconcile"
+        );
+    }
+    let masked_traces = traces
+        .iter()
+        .filter(|t| t.first_visible().is_none())
+        .count() as u64;
+    assert_eq!(masked_traces, result.fpm.masked());
+
+    // And the traced campaign classifies identically to the plain one.
+    let plain = avf_campaign_with(&prep, structure, N, SEED, 4, InjectEngine::Checkpointed);
+    assert_eq!(result.records, plain.records);
+    assert_eq!(result.tally, plain.tally);
+}
+
+#[test]
+fn metrics_collection_does_not_perturb_results() {
+    let prep = prepared();
+    let structure = HwStructure::Lsq;
+    let metrics = CampaignMetrics::new("reconciliation-test");
+    let metered = avf_campaign_metered(
+        &prep,
+        structure,
+        N,
+        SEED,
+        3,
+        InjectEngine::Checkpointed,
+        Some(&metrics),
+    );
+    let plain = avf_campaign_with(&prep, structure, N, SEED, 3, InjectEngine::Checkpointed);
+    assert_eq!(metered.records, plain.records);
+
+    let report = metrics.report();
+    assert_eq!(report.sites, N as u64, "one span per injection");
+    assert_eq!(
+        report.per_worker.iter().map(|w| w.sites).sum::<u64>(),
+        N as u64
+    );
+    // One restore distance per injection; every distance fits the golden
+    // run's cycle range.
+    assert_eq!(report.restore_hist.iter().sum::<u64>(), N as u64);
+    assert!(report.mean_restore_distance() <= prep.golden.cycles as f64);
+    // Extinct early exits are a subset of masked classifications.
+    assert!(report.extinct_early <= metered.tally.masked);
+    // Spans are well-formed (monotone, non-negative durations).
+    for s in &report.spans {
+        assert!(s.end_us >= s.start_us);
+    }
+}
+
+#[test]
+fn disabled_tracing_is_structurally_free() {
+    // The <2% wall-clock criterion is asserted against the bench binary;
+    // here the smoke check is structural: an untraced run carries no
+    // trace state at all, and the traced run of the same site yields the
+    // same record (the emission sites only *observe*).
+    let prep = prepared();
+    let structure = HwStructure::RegisterFile;
+    let plain = avf_campaign_with(&prep, structure, 12, 7, 2, InjectEngine::Checkpointed);
+    let (traced, traces) =
+        avf_campaign_traced(&prep, structure, 12, 7, 2, InjectEngine::Checkpointed, None);
+    assert_eq!(plain.records, traced.records);
+    // Every traced run at minimum logged its injection.
+    assert!(traces.iter().all(|t| !t.is_empty()));
+}
