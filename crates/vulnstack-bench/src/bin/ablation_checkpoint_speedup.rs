@@ -117,11 +117,15 @@ fn main() {
         speedup,
     );
     let path = "results/BENCH_checkpoint_speedup.json";
-    if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &json)) {
-        eprintln!("  (could not write {path}: {e})");
-    } else {
-        eprintln!("  wrote {path}");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| vulnstack_core::report::write_atomic(path, json.as_bytes()))
+    {
+        // A missing bench artifact must fail the run (CI checks the file
+        // exists and is non-empty), not just warn.
+        eprintln!("error: could not write {path}: {e}");
+        std::process::exit(1);
     }
+    eprintln!("  wrote {path}");
 
     let report = metrics.report();
     println!(

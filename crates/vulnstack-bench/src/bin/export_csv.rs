@@ -6,17 +6,30 @@ use std::fs;
 use std::path::Path;
 
 use vulnstack_bench::{all_workloads, master_seed, svf_suite, AvfSuite, PvfSuite};
-use vulnstack_core::report::to_csv;
+use vulnstack_core::report::{to_csv, write_atomic};
 use vulnstack_gefin::default_faults;
 use vulnstack_isa::Isa;
 use vulnstack_microarch::ooo::Fpm;
 use vulnstack_microarch::CoreModel;
 
-fn main() -> std::io::Result<()> {
+/// Writes a results artifact atomically, naming the path on failure and
+/// exiting nonzero — a partially exported dataset must not look like a
+/// successful run to downstream plotting.
+fn write_or_die(path: &Path, data: &str) {
+    if let Err(e) = write_atomic(path, data.as_bytes()) {
+        eprintln!("error: could not write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+fn main() {
     let faults = default_faults(120);
     let seed = master_seed();
     let dir = Path::new("results/csv");
-    fs::create_dir_all(dir)?;
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("error: could not create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
 
     let mut layer_rows = Vec::new();
     let mut structure_rows = Vec::new();
@@ -51,9 +64,9 @@ fn main() -> std::io::Result<()> {
         eprintln!("  [{}] done", w.id);
     }
 
-    fs::write(
-        dir.join("layers.csv"),
-        to_csv(
+    write_or_die(
+        &dir.join("layers.csv"),
+        &to_csv(
             &[
                 "bench",
                 "svf_sdc",
@@ -65,10 +78,10 @@ fn main() -> std::io::Result<()> {
             ],
             &layer_rows,
         ),
-    )?;
-    fs::write(
-        dir.join("structures.csv"),
-        to_csv(
+    );
+    write_or_die(
+        &dir.join("structures.csv"),
+        &to_csv(
             &[
                 "bench",
                 "structure",
@@ -82,7 +95,6 @@ fn main() -> std::io::Result<()> {
             ],
             &structure_rows,
         ),
-    )?;
+    );
     println!("wrote results/csv/layers.csv and results/csv/structures.csv");
-    Ok(())
 }

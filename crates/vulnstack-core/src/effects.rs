@@ -37,6 +37,12 @@ impl FaultEffect {
         }
     }
 
+    /// Inverse of [`FaultEffect::name`] (used to decode journaled
+    /// campaign records).
+    pub fn from_name(s: &str) -> Option<FaultEffect> {
+        FaultEffect::ALL.into_iter().find(|e| e.name() == s)
+    }
+
     /// Classifies a faulty run against the golden run.
     ///
     /// `golden_status` is compared for exit-code changes; outputs are

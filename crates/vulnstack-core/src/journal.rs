@@ -1,0 +1,992 @@
+//! Durable, crash-resumable campaign journals.
+//!
+//! A statistical campaign at paper scale (2,000 injections per structure
+//! × workload × core) runs for a long time, and until this module existed
+//! it was all-or-nothing: one OOM kill, machine preemption, or panicking
+//! injection run lost every completed record. The journal makes each
+//! record durable the moment its site settles:
+//!
+//! * **Append-only record journal** ([`Journal`]) — one checksummed line
+//!   per settled fault site, fsync'd before the worker claims its next
+//!   site. A crash (even `SIGKILL`) loses at most the sites that were
+//!   in flight; a torn final line is detected by its checksum and
+//!   truncated away on the next open.
+//! * **Campaign fingerprint** ([`Fingerprint`]) — the journal header
+//!   records what campaign the records belong to (engine, workload, core
+//!   config, structure, seed, sample count, engine schema version).
+//!   Resuming against a journal whose fingerprint differs is *refused*:
+//!   mixing records from two different campaigns would silently corrupt
+//!   the statistics.
+//! * **Resumable orchestration** ([`ResumableCampaign`]) — replays the
+//!   journal's completed sites instantly, runs only the missing ones
+//!   (under the panic isolation and quarantine/retry of
+//!   [`sched::map_ordered_resilient`]), and journals each new outcome
+//!   in-worker. The merged outcome vector is bit-identical to an
+//!   uninterrupted run at any thread count — the contract
+//!   `tests/resume_equivalence.rs` enforces for both injection engines.
+//!
+//! ## File format
+//!
+//! Plain UTF-8 lines, fields separated by `|` (field values are escaped
+//! so they never contain `|` or newlines), each line ending in the
+//! FNV-1a-64 checksum of everything before it:
+//!
+//! ```text
+//! vulnstack-journal|1|<fingerprint digest>|<canonical fingerprint>|<cksum>
+//! R|<site index>|<record payload>|<cksum>
+//! Q|<site index>|<attempts>|<panic message>|<cksum>
+//! ```
+//!
+//! `R` lines carry an engine-encoded record; `Q` lines record a
+//! quarantined site (every attempt panicked). Entries may appear in any
+//! order (workers append as sites complete) and duplicates keep the
+//! first occurrence. On open, the first line that fails its checksum —
+//! or an unterminated final line — marks the torn tail: the file is
+//! truncated back to the last good line and the campaign re-runs
+//! everything from there.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::sched::{self, Quarantine, RunPolicy, SiteResult};
+use crate::trace::CampaignMetrics;
+
+/// Journal file-format version (the `1` in the header line).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the journal's line checksum and fingerprint
+/// digest. Not cryptographic; it detects torn writes and bit rot, which
+/// is all a single-writer journal needs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn checksum(body: &str) -> String {
+    format!("{:016x}", fnv1a64(body.as_bytes()))
+}
+
+/// Escapes a field value so it contains neither the `|` separator nor
+/// line terminators.
+fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\p"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_field`] (lenient: unknown escapes pass through).
+fn unescape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('p') => out.push('|'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Identity of one campaign: everything that determines its record
+/// stream. Two runs with equal fingerprints draw the same sites and
+/// produce bit-identical records, so their journals are interchangeable;
+/// any difference makes resuming unsound and is refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Engine / campaign kind, e.g. `gefin-avf`, `llfi-svf`.
+    pub engine: String,
+    /// Workload name.
+    pub workload: String,
+    /// Core model or ISA name.
+    pub config: String,
+    /// Target structure (`-` for engines without one).
+    pub structure: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Sample (fault-site) count.
+    pub samples: u64,
+    /// Extra engine parameters (PVF mode, sweep windows, …); empty if
+    /// none.
+    pub params: String,
+    /// Engine record-schema version: bump when the record encoding or
+    /// the injection semantics change, so stale journals are refused.
+    pub version: u32,
+}
+
+impl Fingerprint {
+    /// The canonical single-line rendering stored in the journal header
+    /// and compared verbatim on resume.
+    pub fn canonical(&self) -> String {
+        format!(
+            "engine={};workload={};config={};structure={};seed={};samples={};params={};version={}",
+            escape_field(&self.engine),
+            escape_field(&self.workload),
+            escape_field(&self.config),
+            escape_field(&self.structure),
+            self.seed,
+            self.samples,
+            escape_field(&self.params),
+            self.version,
+        )
+    }
+
+    /// FNV-1a-64 digest of the canonical rendering.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(self.canonical().as_bytes())
+    }
+}
+
+/// Why a journal could not be created, resumed, or appended to. Every
+/// variant names the offending path.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(PathBuf, std::io::Error),
+    /// Resume was required but the journal file does not exist.
+    Missing(PathBuf),
+    /// The journal belongs to a different campaign.
+    Mismatch {
+        /// Journal path.
+        path: PathBuf,
+        /// Canonical fingerprint of the campaign being run.
+        expected: String,
+        /// Canonical fingerprint found in the journal header.
+        found: String,
+    },
+    /// The journal is structurally unusable (bad header, out-of-range
+    /// entry, undecodable payload).
+    Corrupt {
+        /// Journal path.
+        path: PathBuf,
+        /// What was wrong.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(p, e) => write!(f, "journal {}: {e}", p.display()),
+            JournalError::Missing(p) => {
+                write!(f, "journal {}: not found (nothing to resume)", p.display())
+            }
+            JournalError::Mismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "journal {}: fingerprint mismatch — refusing to resume a different campaign\n  \
+                 running: {expected}\n  journal: {found}",
+                path.display()
+            ),
+            JournalError::Corrupt { path, why } => {
+                write!(f, "journal {}: corrupt: {why}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// One replayed journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Site index within the campaign (sampling order).
+    pub index: u64,
+    /// What the journal recorded for the site.
+    pub kind: EntryKind,
+}
+
+/// The two durable outcomes a site can have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Completed record, engine-encoded.
+    Done(String),
+    /// Quarantined site (every attempt panicked).
+    Quarantined {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Panic message of the last attempt.
+        message: String,
+    },
+}
+
+/// What [`Journal::resume`] recovered from disk.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Valid entries, duplicates removed (first occurrence wins).
+    pub entries: Vec<Entry>,
+    /// Bytes of torn/corrupt tail truncated away.
+    pub truncated_bytes: u64,
+    /// Complete lines discarded because they followed the first bad line.
+    pub dropped_lines: usize,
+}
+
+/// An open, append-only campaign journal. Appends are thread-safe and
+/// fsync'd: once [`Journal::append_done`] returns, the record survives
+/// `SIGKILL` and power loss (modulo the filesystem's own guarantees).
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Creates (or truncates) the journal at `path` and writes the
+    /// fingerprint header durably.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failure.
+    pub fn create(path: &Path, fp: &Fingerprint) -> Result<Journal, JournalError> {
+        let io = |e| JournalError::Io(path.to_path_buf(), e);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(io)?;
+            }
+        }
+        let mut file = File::create(path).map_err(io)?;
+        let body = format!(
+            "vulnstack-journal|{FORMAT_VERSION}|{:016x}|{}",
+            fp.digest(),
+            fp.canonical()
+        );
+        let line = format!("{body}|{}\n", checksum(&body));
+        file.write_all(line.as_bytes()).map_err(io)?;
+        file.sync_all().map_err(io)?;
+        sync_parent_dir(path);
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Opens an existing journal, verifies its fingerprint against `fp`,
+    /// replays every valid entry, and truncates any torn or corrupt tail
+    /// so subsequent appends restart from the last good line.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Missing`] if the file does not exist,
+    /// [`JournalError::Mismatch`] if it records a different campaign,
+    /// [`JournalError::Corrupt`] if the header itself is unusable,
+    /// [`JournalError::Io`] on filesystem failure.
+    pub fn resume(path: &Path, fp: &Fingerprint) -> Result<(Journal, Replay), JournalError> {
+        let io = |e| JournalError::Io(path.to_path_buf(), e);
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(JournalError::Missing(path.to_path_buf()))
+            }
+            Err(e) => return Err(io(e)),
+        };
+        let corrupt = |why: String| JournalError::Corrupt {
+            path: path.to_path_buf(),
+            why,
+        };
+
+        // Split into complete lines, tracking the byte offset of each so
+        // the torn tail can be truncated precisely.
+        let mut lines: Vec<(usize, &[u8])> = Vec::new();
+        let mut pos = 0usize;
+        let mut torn_at: Option<usize> = None;
+        while pos < bytes.len() {
+            match bytes[pos..].iter().position(|&b| b == b'\n') {
+                Some(rel) => {
+                    lines.push((pos, &bytes[pos..pos + rel]));
+                    pos += rel + 1;
+                }
+                None => {
+                    torn_at = Some(pos);
+                    break;
+                }
+            }
+        }
+
+        let (_, header) = *lines
+            .first()
+            .ok_or_else(|| corrupt("missing header line".to_string()))?;
+        let header =
+            std::str::from_utf8(header).map_err(|_| corrupt("header is not UTF-8".to_string()))?;
+        let found = parse_header(header).ok_or_else(|| corrupt("unparsable header".to_string()))?;
+        let expected = fp.canonical();
+        if found != expected {
+            return Err(JournalError::Mismatch {
+                path: path.to_path_buf(),
+                expected,
+                found,
+            });
+        }
+
+        // Replay entries up to the first bad line; everything at and
+        // after it is conservatively discarded.
+        let mut replay = Replay::default();
+        let mut seen = std::collections::HashSet::new();
+        let mut truncate_at: Option<usize> = torn_at;
+        for (j, &(offset, raw)) in lines.iter().enumerate().skip(1) {
+            let entry = std::str::from_utf8(raw).ok().and_then(parse_entry);
+            match entry {
+                Some(e) => {
+                    if seen.insert(e.index) {
+                        replay.entries.push(e);
+                    }
+                }
+                None => {
+                    truncate_at = Some(offset);
+                    replay.dropped_lines = lines.len() - j - 1;
+                    break;
+                }
+            }
+        }
+
+        if let Some(at) = truncate_at {
+            replay.truncated_bytes = (bytes.len() - at) as u64;
+            let f = OpenOptions::new().write(true).open(path).map_err(io)?;
+            f.set_len(at as u64).map_err(io)?;
+            f.sync_all().map_err(io)?;
+        }
+
+        let file = OpenOptions::new().append(true).open(path).map_err(io)?;
+        Ok((
+            Journal {
+                path: path.to_path_buf(),
+                file: Mutex::new(file),
+            },
+            replay,
+        ))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Durably appends a completed record for site `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write or sync failure.
+    pub fn append_done(&self, index: u64, payload: &str) -> Result<(), JournalError> {
+        self.append_line(&format!("R|{index}|{}", escape_field(payload)))
+    }
+
+    /// Durably appends a quarantine marker for site `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write or sync failure.
+    pub fn append_quarantined(
+        &self,
+        index: u64,
+        attempts: u32,
+        message: &str,
+    ) -> Result<(), JournalError> {
+        self.append_line(&format!("Q|{index}|{attempts}|{}", escape_field(message)))
+    }
+
+    fn append_line(&self, body: &str) -> Result<(), JournalError> {
+        let line = format!("{body}|{}\n", checksum(body));
+        let mut file = self.file.lock().expect("unpoisoned");
+        // One write call per line keeps a torn append to a prefix of a
+        // single line — exactly what checksum-truncation recovers from.
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| JournalError::Io(self.path.clone(), e))
+    }
+}
+
+/// Best-effort directory fsync so a freshly created journal survives a
+/// crash of the directory entry itself.
+fn sync_parent_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+/// Parses and checksum-verifies the header line, returning the canonical
+/// fingerprint it records.
+fn parse_header(line: &str) -> Option<String> {
+    let (body, ck) = line.rsplit_once('|')?;
+    if checksum(body) != ck {
+        return None;
+    }
+    let mut parts = body.split('|');
+    if parts.next()? != "vulnstack-journal" {
+        return None;
+    }
+    let version: u32 = parts.next()?.parse().ok()?;
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let digest = parts.next()?;
+    let canonical = parts.next()?.to_string();
+    if parts.next().is_some() || format!("{:016x}", fnv1a64(canonical.as_bytes())) != digest {
+        return None;
+    }
+    Some(canonical)
+}
+
+/// Parses and checksum-verifies one entry line.
+fn parse_entry(line: &str) -> Option<Entry> {
+    let (body, ck) = line.rsplit_once('|')?;
+    if checksum(body) != ck {
+        return None;
+    }
+    let mut parts = body.split('|');
+    let kind = parts.next()?;
+    let index: u64 = parts.next()?.parse().ok()?;
+    let entry = match kind {
+        "R" => Entry {
+            index,
+            kind: EntryKind::Done(unescape_field(parts.next()?)),
+        },
+        "Q" => Entry {
+            index,
+            kind: EntryKind::Quarantined {
+                attempts: parts.next()?.parse().ok()?,
+                message: unescape_field(parts.next()?),
+            },
+        },
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(entry)
+}
+
+/// Caller-facing journaling options threaded through the engine-level
+/// resumable campaign wrappers (`vulnstack-gefin`, `vulnstack-llfi`):
+/// where the journal lives, how an existing file is treated, the panic
+/// retry policy, and the workload label recorded in the campaign
+/// fingerprint. Engines derive the rest of the fingerprint themselves
+/// (core config, structure, seed, sample count, schema version).
+#[derive(Debug, Clone, Copy)]
+pub struct JournalOpts<'a> {
+    /// Journal file path.
+    pub path: &'a Path,
+    /// Treatment of an existing journal file.
+    pub mode: ResumeMode,
+    /// Panic retry/quarantine policy.
+    pub policy: RunPolicy,
+    /// Workload label for the fingerprint.
+    pub workload: &'a str,
+}
+
+/// How an existing journal file at the target path is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeMode {
+    /// Start a new journal, truncating any existing file.
+    Fresh,
+    /// Resume if a journal exists (refusing a fingerprint mismatch),
+    /// otherwise start a new one.
+    ResumeOrStart,
+    /// Require an existing journal; error if the file is missing.
+    ResumeRequired,
+}
+
+/// Accounting for one resumable run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResumeStats {
+    /// Sites replayed instantly from the journal.
+    pub replayed: usize,
+    /// Sites actually executed this run.
+    pub executed: usize,
+    /// Sites quarantined in the final outcome (replayed or new).
+    pub quarantined: usize,
+    /// Worker claim loops respawned after dying outside site isolation.
+    pub respawns: u64,
+    /// Torn/corrupt bytes truncated from the journal tail on open.
+    pub truncated_bytes: u64,
+    /// Complete-but-suspect lines discarded after the first bad line.
+    pub dropped_lines: usize,
+}
+
+/// Outcome of a resumable run: the merged per-site results (replayed +
+/// freshly executed, in sampling order) and the resume accounting.
+#[derive(Debug)]
+pub struct ResumedCampaign<R> {
+    /// `outcomes[i]` is site `i` of the campaign.
+    pub outcomes: Vec<SiteResult<R>>,
+    /// What was replayed vs executed.
+    pub stats: ResumeStats,
+}
+
+impl<R> ResumedCampaign<R> {
+    /// The completed records in sampling order, skipping quarantined
+    /// sites.
+    pub fn records(&self) -> Vec<&R> {
+        self.outcomes.iter().filter_map(SiteResult::done).collect()
+    }
+
+    /// The quarantined sites, in sampling order.
+    pub fn quarantined(&self) -> Vec<&Quarantine> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                SiteResult::Quarantined(q) => Some(q),
+                SiteResult::Done(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// A journaled, crash-resumable, panic-isolated campaign over a fixed
+/// site list. The engine-specific wrappers (`vulnstack-gefin`,
+/// `vulnstack-llfi`) construct one of these with their drawn sites and
+/// record codecs; everything durable and resumable lives here.
+#[derive(Debug)]
+pub struct ResumableCampaign<'a, T> {
+    /// Journal file path.
+    pub path: &'a Path,
+    /// Campaign identity (checked against the journal header on resume).
+    pub fingerprint: Fingerprint,
+    /// Treatment of an existing journal file.
+    pub mode: ResumeMode,
+    /// The campaign's fault sites, in sampling order.
+    pub items: &'a [T],
+    /// Claim order (a permutation of `0..items.len()`, usually
+    /// injection-cycle-sorted for checkpoint locality).
+    pub order: &'a [usize],
+    /// Worker threads.
+    pub threads: usize,
+    /// Panic retry/quarantine policy.
+    pub policy: RunPolicy,
+}
+
+impl<T: Sync> ResumableCampaign<'_, T> {
+    /// Runs the campaign: replays journaled sites, executes the missing
+    /// ones with `runner` (journaling each settled outcome in-worker via
+    /// `encode`), and returns the merged outcomes in sampling order.
+    /// `decode` must invert `encode`; a journal whose payloads do not
+    /// decode is reported corrupt rather than silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// Any [`JournalError`]: filesystem failures, a missing journal in
+    /// [`ResumeMode::ResumeRequired`], a fingerprint mismatch, or a
+    /// corrupt/out-of-range entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fingerprint's `samples` differs from `items.len()`
+    /// or `order` is not a permutation of `0..items.len()` (caller bugs).
+    pub fn run<R, F, E, D>(
+        &self,
+        runner: F,
+        encode: E,
+        decode: D,
+        metrics: Option<&CampaignMetrics>,
+    ) -> Result<ResumedCampaign<R>, JournalError>
+    where
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        E: Fn(&R) -> String + Sync,
+        D: Fn(&str) -> Option<R>,
+    {
+        assert_eq!(
+            self.fingerprint.samples,
+            self.items.len() as u64,
+            "fingerprint samples must match the site count"
+        );
+        let (journal, replay) = match self.mode {
+            ResumeMode::Fresh => (
+                Journal::create(self.path, &self.fingerprint)?,
+                Replay::default(),
+            ),
+            ResumeMode::ResumeOrStart => {
+                // A zero-length file means the previous run died before
+                // the header write became durable: nothing to resume.
+                let has_content = std::fs::metadata(self.path).map(|m| m.len() > 0);
+                if matches!(has_content, Ok(true)) {
+                    Journal::resume(self.path, &self.fingerprint)?
+                } else {
+                    (
+                        Journal::create(self.path, &self.fingerprint)?,
+                        Replay::default(),
+                    )
+                }
+            }
+            ResumeMode::ResumeRequired => Journal::resume(self.path, &self.fingerprint)?,
+        };
+
+        let corrupt = |why: String| JournalError::Corrupt {
+            path: self.path.to_path_buf(),
+            why,
+        };
+        let mut slots: Vec<Option<SiteResult<R>>> = (0..self.items.len()).map(|_| None).collect();
+        let mut replayed = 0usize;
+        for e in replay.entries {
+            let i = usize::try_from(e.index).unwrap_or(usize::MAX);
+            if i >= self.items.len() {
+                return Err(corrupt(format!(
+                    "entry index {} out of range (campaign has {} sites)",
+                    e.index,
+                    self.items.len()
+                )));
+            }
+            slots[i] = Some(match e.kind {
+                EntryKind::Done(payload) => SiteResult::Done(
+                    decode(&payload)
+                        .ok_or_else(|| corrupt(format!("site {i}: undecodable record payload")))?,
+                ),
+                EntryKind::Quarantined { attempts, message } => {
+                    SiteResult::Quarantined(Quarantine {
+                        index: i,
+                        attempts,
+                        message,
+                    })
+                }
+            });
+            replayed += 1;
+        }
+
+        // Only the missing sites run, claimed in the caller's order
+        // (which preserves checkpoint locality among what remains).
+        let missing: Vec<usize> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|&i| slots[i].is_none())
+            .collect();
+        let sub_order: Vec<usize> = (0..missing.len()).collect();
+        let append_err: Mutex<Option<JournalError>> = Mutex::new(None);
+        let out = sched::map_ordered_resilient(
+            &missing,
+            &sub_order,
+            self.threads,
+            self.policy,
+            |_, &orig| runner(orig, &self.items[orig]),
+            |k, outcome| {
+                if append_err.lock().expect("unpoisoned").is_some() {
+                    return;
+                }
+                let orig = missing[k] as u64;
+                let res = match outcome {
+                    SiteResult::Done(r) => journal.append_done(orig, &encode(r)),
+                    SiteResult::Quarantined(q) => {
+                        journal.append_quarantined(orig, q.attempts, &q.message)
+                    }
+                };
+                if let Err(e) = res {
+                    *append_err.lock().expect("unpoisoned") = Some(e);
+                }
+            },
+            metrics,
+        );
+        if let Some(e) = append_err.into_inner().expect("unpoisoned") {
+            return Err(e);
+        }
+
+        let executed = missing.len();
+        for (k, outcome) in out.outcomes.into_iter().enumerate() {
+            let orig = missing[k];
+            slots[orig] = Some(match outcome {
+                // Quarantine indices come back in sub-list coordinates;
+                // restore the campaign's sampling index.
+                SiteResult::Quarantined(mut q) => {
+                    q.index = orig;
+                    SiteResult::Quarantined(q)
+                }
+                done => done,
+            });
+        }
+        let outcomes: Vec<SiteResult<R>> = slots
+            .into_iter()
+            .map(|s| s.expect("every site replayed or executed"))
+            .collect();
+        let quarantined = outcomes.iter().filter(|o| o.is_quarantined()).count();
+        Ok(ResumedCampaign {
+            outcomes,
+            stats: ResumeStats {
+                replayed,
+                executed,
+                quarantined,
+                respawns: out.respawns,
+                truncated_bytes: replay.truncated_bytes,
+                dropped_lines: replay.dropped_lines,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(samples: u64) -> Fingerprint {
+        Fingerprint {
+            engine: "test-engine".into(),
+            workload: "crc32".into(),
+            config: "A72".into(),
+            structure: "RF".into(),
+            seed: 7,
+            samples,
+            params: String::new(),
+            version: 1,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vulnstack-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn escape_roundtrips_awkward_strings() {
+        for s in [
+            "plain",
+            "pipe|pipe",
+            "back\\slash",
+            "new\nline",
+            "\r\n|\\",
+            "",
+        ] {
+            assert_eq!(unescape_field(&escape_field(s)), s, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn create_append_resume_roundtrip() {
+        let path = tmp("roundtrip.journal");
+        let f = fp(4);
+        let j = Journal::create(&path, &f).unwrap();
+        j.append_done(0, "a,b,c").unwrap();
+        j.append_quarantined(2, 3, "panicked: boom | with pipe")
+            .unwrap();
+        j.append_done(1, "x|y\nz").unwrap();
+        drop(j);
+        let (_, replay) = Journal::resume(&path, &f).unwrap();
+        assert_eq!(replay.truncated_bytes, 0);
+        assert_eq!(replay.entries.len(), 3);
+        assert_eq!(replay.entries[0].kind, EntryKind::Done("a,b,c".into()));
+        assert_eq!(
+            replay.entries[1].kind,
+            EntryKind::Quarantined {
+                attempts: 3,
+                message: "panicked: boom | with pipe".into()
+            }
+        );
+        assert_eq!(replay.entries[2].kind, EntryKind::Done("x|y\nz".into()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let path = tmp("torn.journal");
+        let f = fp(8);
+        let j = Journal::create(&path, &f).unwrap();
+        j.append_done(0, "zero").unwrap();
+        j.append_done(1, "one").unwrap();
+        drop(j);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate SIGKILL mid-append: a prefix of a record line with no
+        // terminating newline.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"R|2|half-writ");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (j, replay) = Journal::resume(&path, &f).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert_eq!(replay.truncated_bytes, 13);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        j.append_done(2, "two").unwrap();
+        drop(j);
+        let (_, replay) = Journal::resume(&path, &f).unwrap();
+        assert_eq!(replay.entries.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_mid_file_drops_everything_after_it() {
+        let path = tmp("corrupt.journal");
+        let f = fp(8);
+        let j = Journal::create(&path, &f).unwrap();
+        for i in 0..4 {
+            j.append_done(i, &format!("r{i}")).unwrap();
+        }
+        drop(j);
+        // Flip a payload byte in the second entry line (line index 2).
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = content.lines().map(String::from).collect();
+        lines[2] = lines[2].replace("r1", "rX");
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let (_, replay) = Journal::resume(&path, &f).unwrap();
+        assert_eq!(replay.entries.len(), 1, "only the entry before the damage");
+        assert_eq!(replay.dropped_lines, 2);
+        assert!(replay.truncated_bytes > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_indices_keep_first() {
+        let path = tmp("dup.journal");
+        let f = fp(4);
+        let j = Journal::create(&path, &f).unwrap();
+        j.append_done(1, "first").unwrap();
+        j.append_done(1, "second").unwrap();
+        drop(j);
+        let (_, replay) = Journal::resume(&path, &f).unwrap();
+        assert_eq!(replay.entries.len(), 1);
+        assert_eq!(replay.entries[0].kind, EntryKind::Done("first".into()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let path = tmp("mismatch.journal");
+        let f = fp(4);
+        Journal::create(&path, &f).unwrap();
+        let other = Fingerprint { seed: 8, ..fp(4) };
+        match Journal::resume(&path, &other) {
+            Err(JournalError::Mismatch {
+                expected, found, ..
+            }) => {
+                assert!(expected.contains("seed=8"));
+                assert!(found.contains("seed=7"));
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_a_distinct_error() {
+        let path = tmp("never-created.journal");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            Journal::resume(&path, &fp(1)),
+            Err(JournalError::Missing(_))
+        ));
+    }
+
+    #[test]
+    fn resumable_campaign_replays_and_completes() {
+        let path = tmp("campaign.journal");
+        let _ = std::fs::remove_file(&path);
+        let items: Vec<u64> = (0..12).collect();
+        let order: Vec<usize> = (0..items.len()).collect();
+        let mk = |mode| ResumableCampaign {
+            path: &path,
+            fingerprint: fp(12),
+            mode,
+            items: &items,
+            order: &order,
+            threads: 3,
+            policy: RunPolicy::default(),
+        };
+        let runner = |_: usize, &x: &u64| x * 10;
+        let encode = |r: &u64| r.to_string();
+        let decode = |s: &str| s.parse::<u64>().ok();
+
+        let full = mk(ResumeMode::Fresh)
+            .run(runner, encode, decode, None)
+            .unwrap();
+        assert_eq!(full.stats.executed, 12);
+        assert_eq!(full.stats.replayed, 0);
+        let expect: Vec<u64> = items.iter().map(|x| x * 10).collect();
+        let got: Vec<u64> = full.records().into_iter().copied().collect();
+        assert_eq!(got, expect);
+
+        // Drop the last 5 record lines (keep header + 7) to simulate an
+        // interrupted run, then require a resume.
+        let content = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = content.lines().take(8).collect();
+        std::fs::write(&path, format!("{}\n", keep.join("\n"))).unwrap();
+        let resumed = mk(ResumeMode::ResumeRequired)
+            .run(runner, encode, decode, None)
+            .unwrap();
+        assert_eq!(resumed.stats.replayed, 7);
+        assert_eq!(resumed.stats.executed, 5);
+        let got: Vec<u64> = resumed.records().into_iter().copied().collect();
+        assert_eq!(got, expect, "resumed records must be bit-identical");
+
+        // A third run replays everything.
+        let noop = mk(ResumeMode::ResumeOrStart)
+            .run(runner, encode, decode, None)
+            .unwrap();
+        assert_eq!(noop.stats.executed, 0);
+        assert_eq!(noop.stats.replayed, 12);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumable_campaign_journals_quarantines() {
+        let path = tmp("quarantine.journal");
+        let _ = std::fs::remove_file(&path);
+        let items: Vec<u64> = (0..8).collect();
+        let order: Vec<usize> = (0..items.len()).collect();
+        let campaign = ResumableCampaign {
+            path: &path,
+            fingerprint: fp(8),
+            mode: ResumeMode::Fresh,
+            items: &items,
+            order: &order,
+            threads: 2,
+            policy: RunPolicy { max_retries: 1 },
+        };
+        let runner = |i: usize, &x: &u64| {
+            assert!(i != 5, "site 5 is poisoned");
+            x
+        };
+        let out = campaign
+            .run(runner, |r| r.to_string(), |s| s.parse::<u64>().ok(), None)
+            .unwrap();
+        assert_eq!(out.quarantined().len(), 1);
+        assert_eq!(out.quarantined()[0].index, 5);
+        assert_eq!(out.quarantined()[0].attempts, 2);
+        assert_eq!(out.records().len(), 7);
+
+        // Resume replays the quarantine marker instead of re-running the
+        // poison site: the campaign still completes with zero executions.
+        let resumed = ResumableCampaign {
+            mode: ResumeMode::ResumeRequired,
+            ..campaign
+        }
+        .run(
+            |_: usize, &x: &u64| x,
+            |r| r.to_string(),
+            |s| s.parse::<u64>().ok(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed.stats.executed, 0);
+        assert_eq!(resumed.stats.quarantined, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

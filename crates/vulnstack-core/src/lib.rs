@@ -27,6 +27,7 @@
 //! ```
 
 pub mod effects;
+pub mod journal;
 pub mod pairs;
 pub mod report;
 pub mod sched;
@@ -35,5 +36,10 @@ pub mod stats;
 pub mod trace;
 
 pub use effects::{FaultEffect, Tally, VulnFactor};
+pub use journal::{
+    Fingerprint, Journal, JournalError, JournalOpts, ResumableCampaign, ResumeMode, ResumeStats,
+    ResumedCampaign,
+};
+pub use sched::{Quarantine, RunPolicy, SiteResult};
 pub use stack::{FpmDist, StructureAvf, WeightedAvf};
 pub use trace::{CampaignMetrics, MetricsReport, Span, WorkerReport};

@@ -1,4 +1,51 @@
-//! Plain-text table rendering for the figure/table reproduction binaries.
+//! Plain-text table rendering for the figure/table reproduction binaries,
+//! plus the atomic file-write helper every results artifact goes through.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `data` to `path` atomically: the bytes land in a temporary file
+/// in the same directory (same filesystem, so the rename is atomic), are
+/// fsync'd, and are then renamed over the destination. A crash at any
+/// point leaves either the old file or the new one — never a torn
+/// half-written artifact. Used for every `results/*` write.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; on failure the temporary file is
+/// removed (best-effort) and `path` is untouched.
+pub fn write_atomic(path: impl AsRef<Path>, data: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("{} has no file name", path.display())))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable (best-effort: some filesystems
+        // reject directory fsync).
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
 
 /// A simple fixed-width table builder.
 ///
@@ -138,6 +185,41 @@ pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     }
     out
+}
+
+#[cfg(test)]
+mod atomic_tests {
+    use super::write_atomic;
+
+    #[test]
+    fn writes_and_replaces_without_leaving_temp_files() {
+        let dir = std::env::temp_dir().join(format!("vulnstack-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":1}");
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":2}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_errors_and_leaves_no_destination() {
+        let path = std::env::temp_dir()
+            .join("vulnstack-atomic-nonexistent-dir")
+            .join("out.json");
+        assert!(write_atomic(&path, b"x").is_err());
+        assert!(!path.exists());
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,16 @@
 //! from the same warm checkpoint (see `vulnstack-microarch::snapshot`)
 //! while the returned records stay in sampling order.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! [`map_ordered_resilient`] adds **fault domains** around the fault
+//! injector itself: each site runs under `catch_unwind` with bounded
+//! retry, a panicking site degrades to a [`SiteResult::Quarantined`]
+//! record instead of killing the campaign, and a worker whose claim loop
+//! dies outside the per-site isolation is respawned so the queue always
+//! drains.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::trace::CampaignMetrics;
@@ -123,6 +132,211 @@ where
                 .expect("validated permutation")
         })
         .collect()
+}
+
+/// Retry policy for panic-isolated campaign execution
+/// ([`map_ordered_resilient`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// How many times a panicking site is re-run before it is
+    /// quarantined. `0` quarantines on the first panic; the default
+    /// retries twice (three attempts total), which shakes out
+    /// scheduling-dependent flakes without letting a deterministic
+    /// poison site burn unbounded time.
+    pub max_retries: u32,
+}
+
+impl Default for RunPolicy {
+    fn default() -> RunPolicy {
+        RunPolicy { max_retries: 2 }
+    }
+}
+
+/// Why a fault site produced no result: every attempt panicked (or the
+/// site was lost to a worker failure outside the per-site isolation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Input index of the poisoned site.
+    pub index: usize,
+    /// Attempts made (`1 + retries`); `0` if the site was claimed but
+    /// lost to a worker failure before isolation could classify it.
+    pub attempts: u32,
+    /// The panic payload of the last attempt, if it was a string.
+    pub message: String,
+}
+
+/// Outcome of one fault site under panic isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteResult<R> {
+    /// The site ran to completion.
+    Done(R),
+    /// Every attempt panicked; the campaign carried on without it.
+    Quarantined(Quarantine),
+}
+
+impl<R> SiteResult<R> {
+    /// The completed result, if any.
+    pub fn done(&self) -> Option<&R> {
+        match self {
+            SiteResult::Done(r) => Some(r),
+            SiteResult::Quarantined(_) => None,
+        }
+    }
+
+    /// Whether the site was quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, SiteResult::Quarantined(_))
+    }
+}
+
+/// Results of a panic-isolated map.
+#[derive(Debug)]
+pub struct ResilientOutput<R> {
+    /// Per-site outcomes in input order (`outcomes[i]` is site `i`).
+    pub outcomes: Vec<SiteResult<R>>,
+    /// Worker claim loops that died outside the per-site isolation and
+    /// were respawned.
+    pub respawns: u64,
+}
+
+impl<R> ResilientOutput<R> {
+    /// The quarantined sites, in input order.
+    pub fn quarantined(&self) -> Vec<&Quarantine> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                SiteResult::Quarantined(q) => Some(q),
+                SiteResult::Done(_) => None,
+            })
+            .collect()
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`map_ordered_metered`] with per-site panic isolation: each `f` call
+/// runs under `catch_unwind` and is retried up to `policy.max_retries`
+/// times; a site that panics on every attempt degrades to
+/// [`SiteResult::Quarantined`] instead of killing the campaign.
+/// `on_outcome` is invoked in-worker right after each site settles
+/// (completed or quarantined) — the hook the journal layer uses to make
+/// every record durable before the next claim.
+///
+/// Two further fault domains back the per-site one: a worker whose claim
+/// loop dies *outside* the site isolation (e.g. a panicking `on_outcome`)
+/// is respawned and the in-flight site is reported as a zero-attempt
+/// [`Quarantine`]; and completed outcomes are scattered to their input
+/// index exactly like [`map_ordered`], so the surviving results are
+/// bit-identical to a run without any poison sites, at any thread count.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..items.len()`.
+pub fn map_ordered_resilient<T, R, F, C>(
+    items: &[T],
+    order: &[usize],
+    threads: usize,
+    policy: RunPolicy,
+    f: F,
+    on_outcome: C,
+    metrics: Option<&CampaignMetrics>,
+) -> ResilientOutput<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    C: Fn(usize, &SiteResult<R>) + Sync,
+{
+    assert_permutation(order, items.len());
+    let threads = threads.clamp(1, items.len().max(1));
+    let slots: Vec<Mutex<Option<SiteResult<R>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let respawns = AtomicU64::new(0);
+    let run_one = |worker: usize, i: usize| {
+        let start = metrics.map(|m| m.now_us());
+        let mut attempts = 0u32;
+        let outcome = loop {
+            attempts += 1;
+            match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                Ok(r) => break SiteResult::Done(r),
+                Err(payload) => {
+                    if attempts > policy.max_retries {
+                        break SiteResult::Quarantined(Quarantine {
+                            index: i,
+                            attempts,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                }
+            }
+        };
+        if let (Some(m), Some(s)) = (metrics, start) {
+            m.record_span(worker, i, s, m.now_us());
+        }
+        on_outcome(i, &outcome);
+        *slots[i].lock().expect("unpoisoned") = Some(outcome);
+    };
+    if threads == 1 {
+        for &i in order {
+            run_one(0, i);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for worker in 0..threads {
+                let (run_one, next, respawns) = (&run_one, &next, &respawns);
+                s.spawn(move || loop {
+                    // Supervisor: if the claim loop unwinds outside the
+                    // per-site isolation, count a respawn and re-enter it.
+                    // Progress is guaranteed — every claim advances the
+                    // shared counter, so at most `order.len()` claims ever
+                    // happen across all workers and respawns.
+                    let alive = catch_unwind(AssertUnwindSafe(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= order.len() {
+                            break;
+                        }
+                        run_one(worker, order[k]);
+                    }));
+                    match alive {
+                        Ok(()) => break,
+                        Err(_) => {
+                            respawns.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let outcomes = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| {
+            // A site claimed by a worker that then died outside the site
+            // isolation never filled its slot: surface it as a
+            // zero-attempt quarantine rather than panicking at collect
+            // time (the resume layer will re-run it).
+            m.into_inner().expect("unpoisoned").unwrap_or_else(|| {
+                SiteResult::Quarantined(Quarantine {
+                    index: i,
+                    attempts: 0,
+                    message: "site lost to a worker failure".to_string(),
+                })
+            })
+        })
+        .collect();
+    ResilientOutput {
+        outcomes,
+        respawns: respawns.load(Ordering::Relaxed),
+    }
 }
 
 /// Panics with a precise message unless `order` is a permutation of
@@ -232,6 +446,130 @@ mod tests {
         indices.sort_unstable();
         assert_eq!(indices, (0..40).collect::<Vec<_>>());
         assert!(report.per_worker.iter().map(|w| w.sites).sum::<u64>() == 40);
+    }
+
+    #[test]
+    fn resilient_map_matches_plain_map_without_panics() {
+        let items: Vec<u64> = (0..50).collect();
+        let order = sort_order_by_key(&items);
+        let plain = map_ordered(&items, &order, 4, |i, &x| (i as u64, x * 3));
+        for threads in [1, 4] {
+            let out = map_ordered_resilient(
+                &items,
+                &order,
+                threads,
+                RunPolicy::default(),
+                |i, &x| (i as u64, x * 3),
+                |_, _| {},
+                None,
+            );
+            assert_eq!(out.respawns, 0);
+            let done: Vec<_> = out
+                .outcomes
+                .iter()
+                .map(|o| *o.done().expect("no panics injected"))
+                .collect();
+            assert_eq!(done, plain, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panicking_site_is_quarantined_and_campaign_completes() {
+        let items: Vec<u64> = (0..20).collect();
+        let order: Vec<usize> = (0..items.len()).collect();
+        let attempts_on_7 = AtomicUsize::new(0);
+        let out = map_ordered_resilient(
+            &items,
+            &order,
+            4,
+            RunPolicy { max_retries: 2 },
+            |i, &x| {
+                if i == 7 {
+                    attempts_on_7.fetch_add(1, Ordering::Relaxed);
+                    panic!("poison site {i}");
+                }
+                x + 1
+            },
+            |_, _| {},
+            None,
+        );
+        assert_eq!(out.outcomes.len(), 20);
+        assert_eq!(
+            attempts_on_7.load(Ordering::Relaxed),
+            3,
+            "1 try + 2 retries"
+        );
+        match &out.outcomes[7] {
+            SiteResult::Quarantined(q) => {
+                assert_eq!(q.index, 7);
+                assert_eq!(q.attempts, 3);
+                assert!(q.message.contains("poison site 7"), "{q:?}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        for (i, o) in out.outcomes.iter().enumerate() {
+            if i != 7 {
+                assert_eq!(o.done(), Some(&(i as u64 + 1)), "site {i}");
+            }
+        }
+        assert_eq!(out.quarantined().len(), 1);
+    }
+
+    #[test]
+    fn flaky_site_succeeds_within_retry_budget() {
+        let items = [0u32; 9];
+        let order: Vec<usize> = (0..items.len()).collect();
+        let tries = AtomicUsize::new(0);
+        let out = map_ordered_resilient(
+            &items,
+            &order,
+            3,
+            RunPolicy { max_retries: 2 },
+            |i, _| {
+                // Site 4 panics on its first two attempts, then succeeds.
+                if i == 4 && tries.fetch_add(1, Ordering::Relaxed) < 2 {
+                    panic!("transient");
+                }
+                i
+            },
+            |_, _| {},
+            None,
+        );
+        assert_eq!(out.outcomes[4].done(), Some(&4));
+        assert!(out.quarantined().is_empty());
+    }
+
+    #[test]
+    fn worker_death_outside_site_isolation_respawns_and_loses_only_that_site() {
+        let items: Vec<u64> = (0..30).collect();
+        let order: Vec<usize> = (0..items.len()).collect();
+        let fired = AtomicUsize::new(0);
+        let out = map_ordered_resilient(
+            &items,
+            &order,
+            4,
+            RunPolicy::default(),
+            |_, &x| x,
+            |i, _| {
+                // A poisoned outcome hook escapes the per-site isolation
+                // exactly once: the supervisor must respawn the worker's
+                // claim loop and the campaign must still drain.
+                if i == 11 && fired.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("hook failure");
+                }
+            },
+            None,
+        );
+        assert_eq!(out.respawns, 1);
+        match &out.outcomes[11] {
+            SiteResult::Quarantined(q) => assert_eq!(q.attempts, 0),
+            other => panic!("expected lost site, got {other:?}"),
+        }
+        for (i, o) in out.outcomes.iter().enumerate() {
+            if i != 11 {
+                assert_eq!(o.done(), Some(&(i as u64)), "site {i}");
+            }
+        }
     }
 
     #[test]

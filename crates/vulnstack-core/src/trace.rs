@@ -274,6 +274,9 @@ impl MetricsReport {
     }
 
     /// Writes `<stem>.metrics.json` and `<stem>.trace.json` under `dir`.
+    /// Both writes are atomic (temp file + rename,
+    /// [`crate::report::write_atomic`]): a crash mid-write can never leave
+    /// torn JSON in `results/`.
     ///
     /// # Errors
     ///
@@ -282,8 +285,8 @@ impl MetricsReport {
         std::fs::create_dir_all(dir)?;
         let metrics_path = format!("{dir}/{stem}.metrics.json");
         let trace_path = format!("{dir}/{stem}.trace.json");
-        std::fs::write(&metrics_path, self.to_json())?;
-        std::fs::write(&trace_path, self.chrome_trace_json())?;
+        crate::report::write_atomic(&metrics_path, self.to_json().as_bytes())?;
+        crate::report::write_atomic(&trace_path, self.chrome_trace_json().as_bytes())?;
         Ok((metrics_path, trace_path))
     }
 }

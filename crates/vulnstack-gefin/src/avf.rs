@@ -5,9 +5,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vulnstack_core::effects::{FaultEffect, Tally};
-use vulnstack_core::sched;
+use vulnstack_core::journal::{fnv1a64, Fingerprint, JournalError, JournalOpts, ResumableCampaign};
+use vulnstack_core::sched::{self, Quarantine};
 use vulnstack_core::stack::FpmDist;
 use vulnstack_core::trace::CampaignMetrics;
+use vulnstack_core::ResumeStats;
 use vulnstack_microarch::lifetime::DEFAULT_EVENT_CAP;
 use vulnstack_microarch::ooo::{Fpm, HwStructure};
 use vulnstack_microarch::{FaultTrace, OooCore, RunStatus};
@@ -314,6 +316,154 @@ pub fn avf_campaign_traced(
     (collect_result(structure, bits, records), traces)
 }
 
+/// Journal record-schema version for gefin campaigns: bump when the
+/// record encoding or the injection semantics change, so journals written
+/// by an older engine are refused rather than silently mixed in.
+pub(crate) const RECORD_VERSION: u32 = 1;
+
+/// Encodes an [`InjectionRecord`] as the journal payload
+/// (`cycle,bit,effect,fpm,fpm_cycle`, with `-` for the masked/`None`
+/// fields).
+pub(crate) fn encode_record(r: &InjectionRecord) -> String {
+    format!(
+        "{},{},{},{},{}",
+        r.cycle,
+        r.bit,
+        r.effect.name(),
+        r.fpm.map_or("-", Fpm::name),
+        r.fpm_cycle
+            .map_or_else(|| "-".to_string(), |c| c.to_string()),
+    )
+}
+
+/// Inverse of [`encode_record`]; `None` marks a journal written by an
+/// incompatible engine (surfaced as corruption, never silently dropped).
+pub(crate) fn decode_record(s: &str) -> Option<InjectionRecord> {
+    let mut it = s.split(',');
+    let cycle = it.next()?.parse().ok()?;
+    let bit = it.next()?.parse().ok()?;
+    let effect = FaultEffect::from_name(it.next()?)?;
+    let fpm = match it.next()? {
+        "-" => None,
+        name => Some(Fpm::from_name(name)?),
+    };
+    let fpm_cycle = match it.next()? {
+        "-" => None,
+        c => Some(c.parse().ok()?),
+    };
+    if it.next().is_some() {
+        return None;
+    }
+    Some(InjectionRecord {
+        cycle,
+        bit,
+        effect,
+        fpm,
+        fpm_cycle,
+    })
+}
+
+fn avf_fingerprint(
+    prep: &Prepared,
+    structure: HwStructure,
+    n: usize,
+    seed: u64,
+    workload: &str,
+) -> Fingerprint {
+    Fingerprint {
+        engine: "gefin-avf".to_string(),
+        workload: workload.to_string(),
+        config: prep.cfg.model.name().to_string(),
+        structure: structure.name().to_string(),
+        seed,
+        samples: n as u64,
+        // Tie the identity to the actual golden run, not just the
+        // workload's name: a same-named workload whose input or compiled
+        // image changed draws different sites and must be refused.
+        params: format!(
+            "golden_cycles={};output={:016x}",
+            prep.golden.cycles,
+            fnv1a64(&prep.expected_output)
+        ),
+        version: RECORD_VERSION,
+    }
+}
+
+/// Results of a resumable AVF campaign: the aggregate over completed
+/// records, the quarantined sites (excluded from the aggregate), and the
+/// replay/execute accounting.
+#[derive(Debug)]
+pub struct AvfResumed {
+    /// Aggregate over the completed records.
+    pub result: AvfCampaignResult,
+    /// Sites whose every injection attempt panicked.
+    pub quarantined: Vec<Quarantine>,
+    /// Resume accounting (replayed vs executed, respawns, torn bytes).
+    pub stats: ResumeStats,
+}
+
+/// Journaled, crash-resumable [`avf_campaign_metered`]: every settled
+/// site is appended durably to the journal at `opts.path` before the
+/// worker claims its next site, a panicking site degrades to a
+/// quarantine record instead of killing the campaign, and resuming
+/// replays the journal's sites instantly and runs only the rest. The
+/// merged records are bit-identical to an uninterrupted run at any
+/// thread count (`tests/resume_equivalence.rs`).
+///
+/// # Errors
+///
+/// Any [`JournalError`]: filesystem failures, a missing journal in
+/// [`vulnstack_core::ResumeMode::ResumeRequired`], a fingerprint
+/// mismatch against a journal from a different campaign, or a corrupt
+/// journal body.
+pub fn avf_campaign_resumable(
+    prep: &Prepared,
+    structure: HwStructure,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    opts: &JournalOpts<'_>,
+    metrics: Option<&CampaignMetrics>,
+) -> Result<AvfResumed, JournalError> {
+    let bits = structure.bits(&prep.cfg);
+    let sites = draw_sites(prep, structure, n, seed);
+    let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
+    let order = sched::sort_order_by_key(&cycles);
+    let resumed = ResumableCampaign {
+        path: opts.path,
+        fingerprint: avf_fingerprint(prep, structure, n, seed, opts.workload),
+        mode: opts.mode,
+        items: &sites,
+        order: &order,
+        threads,
+        policy: opts.policy,
+    }
+    .run(
+        |_, &(c, b)| {
+            run_one_inner(
+                prep,
+                structure,
+                c,
+                b,
+                InjectEngine::Checkpointed,
+                None,
+                metrics,
+            )
+            .0
+        },
+        encode_record,
+        decode_record,
+        metrics,
+    )?;
+    let records: Vec<InjectionRecord> = resumed.records().into_iter().copied().collect();
+    let quarantined: Vec<Quarantine> = resumed.quarantined().into_iter().cloned().collect();
+    Ok(AvfResumed {
+        result: collect_result(structure, bits, records),
+        quarantined,
+        stats: resumed.stats,
+    })
+}
+
 fn collect_result(
     structure: HwStructure,
     bits: u64,
@@ -369,6 +519,39 @@ mod tests {
         // HVF must be consistent with the FPM distribution.
         let visible = r.records.iter().filter(|x| x.fpm.is_some()).count() as f64;
         assert!((r.hvf() - visible / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_codec_roundtrips() {
+        let recs = [
+            InjectionRecord {
+                cycle: 12,
+                bit: 3,
+                effect: FaultEffect::Masked,
+                fpm: None,
+                fpm_cycle: None,
+            },
+            InjectionRecord {
+                cycle: 999,
+                bit: 0,
+                effect: FaultEffect::Sdc,
+                fpm: Some(Fpm::Wd),
+                fpm_cycle: Some(1004),
+            },
+            InjectionRecord {
+                cycle: 1,
+                bit: u64::MAX,
+                effect: FaultEffect::Crash,
+                fpm: Some(Fpm::Esc),
+                fpm_cycle: Some(0),
+            },
+        ];
+        for r in recs {
+            assert_eq!(decode_record(&encode_record(&r)), Some(r));
+        }
+        assert_eq!(decode_record("nonsense"), None);
+        assert_eq!(decode_record("1,2,NotAnEffect,-,-"), None);
+        assert_eq!(decode_record("1,2,SDC,-,-,extra"), None);
     }
 
     #[test]

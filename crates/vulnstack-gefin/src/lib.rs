@@ -31,28 +31,22 @@ pub mod sweep;
 
 pub use ace::ace_analysis;
 pub use avf::{
-    avf_campaign, avf_campaign_metered, avf_campaign_traced, avf_campaign_with, draw_sites,
-    run_one_traced, AvfCampaignResult, InjectEngine, InjectionRecord,
+    avf_campaign, avf_campaign_metered, avf_campaign_resumable, avf_campaign_traced,
+    avf_campaign_with, draw_sites, run_one_traced, AvfCampaignResult, AvfResumed, InjectEngine,
+    InjectionRecord,
 };
 pub use compare::{static_vs_dynamic, StaticDynamicComparison};
 pub use prepare::{FuncPrepared, Prepared};
-pub use pvf::{pvf_campaign, pvf_campaign_metered, PvfMode};
-pub use sweep::{temporal_campaign, temporal_campaign_metered, TemporalProfile};
+pub use pvf::{pvf_campaign, pvf_campaign_metered, pvf_campaign_resumable, PvfMode, PvfResumed};
+pub use sweep::{
+    temporal_campaign, temporal_campaign_metered, temporal_campaign_resumable, TemporalProfile,
+    TemporalResumed,
+};
 
-/// Parses an env knob, distinguishing *unset* (silent fallback) from
-/// *malformed* (warn on stderr, then fall back): a typo'd
-/// `VULNSTACK_THREADS=8x` must not silently run a different experiment
-/// than the one asked for.
-pub(crate) fn env_knob<T: std::str::FromStr>(name: &str, what: &str) -> Option<T> {
-    let v = std::env::var(name).ok()?;
-    match v.parse::<T>() {
-        Ok(n) => Some(n),
-        Err(_) => {
-            eprintln!("warning: ignoring {name}={v:?}: not a valid {what}; using default");
-            None
-        }
-    }
-}
+// The warn-on-malformed env-knob parser now lives in `vulnstack-microarch`
+// (the one crate every engine already depends on), so the CLI and the
+// microarchitecture's own knobs share it.
+pub(crate) use vulnstack_microarch::env_knob;
 
 /// Returns the number of worker threads to use: `VULNSTACK_THREADS` or
 /// the available parallelism (capped at 16). A malformed value warns on

@@ -12,6 +12,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vulnstack_core::effects::{FaultEffect, Tally};
+use vulnstack_core::journal::{fnv1a64, Fingerprint, JournalError, JournalOpts, ResumableCampaign};
+use vulnstack_core::sched::Quarantine;
+use vulnstack_core::ResumeStats;
 use vulnstack_isa::fields::bits_of_class;
 use vulnstack_isa::{BitClass, Reg};
 use vulnstack_microarch::func::{FuncCore, PvfFault, PvfMutation};
@@ -156,18 +159,93 @@ pub fn pvf_campaign_metered(
         &indices,
         &order,
         threads,
-        |_, &i| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(i as u64));
-            match mode {
-                PvfMode::Wd => run_wd(prep, &mut rng),
-                PvfMode::Woi => run_encoding(prep, BitClass::Operand, &mut rng),
-                PvfMode::Wi => run_encoding(prep, BitClass::Instruction, &mut rng),
-            }
-        },
+        |_, &i| run_indexed(prep, mode, seed, i),
         metrics,
     )
     .into_iter()
     .collect()
+}
+
+/// Runs one PVF injection for campaign index `i` (the per-index seeding
+/// shared by the parallel and resumable campaign paths).
+fn run_indexed(prep: &FuncPrepared, mode: PvfMode, seed: u64, i: usize) -> FaultEffect {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(i as u64));
+    match mode {
+        PvfMode::Wd => run_wd(prep, &mut rng),
+        PvfMode::Woi => run_encoding(prep, BitClass::Operand, &mut rng),
+        PvfMode::Wi => run_encoding(prep, BitClass::Instruction, &mut rng),
+    }
+}
+
+/// Results of a resumable PVF campaign: the tally over completed
+/// injections, the quarantined sites (excluded from the tally), and the
+/// replay/execute accounting.
+#[derive(Debug)]
+pub struct PvfResumed {
+    /// Tally over the completed injections.
+    pub tally: Tally,
+    /// Sites whose every injection attempt panicked.
+    pub quarantined: Vec<Quarantine>,
+    /// Resume accounting.
+    pub stats: ResumeStats,
+}
+
+/// Journaled, crash-resumable [`pvf_campaign_metered`]: each settled
+/// injection is appended durably to the journal at `opts.path`, and a
+/// resume replays the journaled injections instantly, running only the
+/// rest. The merged tally is identical to an uninterrupted campaign at
+/// any thread count.
+///
+/// # Errors
+///
+/// Any [`JournalError`] (see
+/// [`avf_campaign_resumable`](crate::avf::avf_campaign_resumable)).
+pub fn pvf_campaign_resumable(
+    prep: &FuncPrepared,
+    mode: PvfMode,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    opts: &JournalOpts<'_>,
+    metrics: Option<&vulnstack_core::trace::CampaignMetrics>,
+) -> Result<PvfResumed, JournalError> {
+    let indices: Vec<usize> = (0..n).collect();
+    let order: Vec<usize> = (0..n).collect();
+    let fingerprint = Fingerprint {
+        engine: "gefin-pvf".to_string(),
+        workload: opts.workload.to_string(),
+        config: prep.isa.name().to_string(),
+        structure: "-".to_string(),
+        seed,
+        samples: n as u64,
+        params: format!(
+            "mode={};golden_instrs={};output={:016x}",
+            mode.name(),
+            prep.golden.instrs,
+            fnv1a64(&prep.expected_output)
+        ),
+        version: crate::avf::RECORD_VERSION,
+    };
+    let resumed = ResumableCampaign {
+        path: opts.path,
+        fingerprint,
+        mode: opts.mode,
+        items: &indices,
+        order: &order,
+        threads,
+        policy: opts.policy,
+    }
+    .run(
+        |_, &i| run_indexed(prep, mode, seed, i),
+        |e| e.name().to_string(),
+        FaultEffect::from_name,
+        metrics,
+    )?;
+    Ok(PvfResumed {
+        tally: resumed.records().into_iter().copied().collect(),
+        quarantined: resumed.quarantined().into_iter().cloned().collect(),
+        stats: resumed.stats,
+    })
 }
 
 #[cfg(test)]

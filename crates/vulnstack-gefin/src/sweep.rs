@@ -9,12 +9,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vulnstack_core::effects::Tally;
-use vulnstack_core::sched;
+use vulnstack_core::journal::{fnv1a64, Fingerprint, JournalError, JournalOpts, ResumableCampaign};
+use vulnstack_core::sched::{self, Quarantine};
 use vulnstack_core::stack::FpmDist;
 use vulnstack_core::trace::CampaignMetrics;
+use vulnstack_core::ResumeStats;
 use vulnstack_microarch::ooo::HwStructure;
 
-use crate::avf::{run_one_inner, InjectEngine};
+use crate::avf::{decode_record, encode_record, run_one_inner, InjectEngine, RECORD_VERSION};
 use crate::prepare::Prepared;
 
 /// Per-window results of a temporal sweep.
@@ -67,28 +69,7 @@ pub fn temporal_campaign_metered(
     threads: usize,
     metrics: Option<&CampaignMetrics>,
 ) -> TemporalProfile {
-    assert!(windows >= 1);
-    let total = prep.golden.cycles.max(windows as u64);
-    let bits = structure.bits(&prep.cfg);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E0A_11D5_11CE_0DD5);
-
-    let mut bounds = Vec::with_capacity(windows + 1);
-    for i in 0..=windows {
-        bounds.push(1 + (total - 1) * i as u64 / windows as u64);
-    }
-
-    // Pre-draw every site from the single seeded stream, in window order
-    // (the same draw order the sequential loop used, so the sample set —
-    // and thus the result — is unchanged by the parallelisation).
-    let sites: Vec<(usize, u64, u64)> = (0..windows)
-        .flat_map(|w| {
-            let (lo, hi) = (bounds[w], bounds[w + 1].max(bounds[w] + 1));
-            (0..per_window)
-                .map(|_| (w, rng.gen_range(lo..hi), rng.gen_range(0..bits)))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-
+    let (bounds, sites) = draw_windowed_sites(prep, structure, windows, per_window, seed);
     let cycles: Vec<u64> = sites.iter().map(|&(_, c, _)| c).collect();
     let order = sched::sort_order_by_key(&cycles);
     let records = sched::map_ordered_metered(
@@ -123,6 +104,138 @@ pub fn temporal_campaign_metered(
         tallies,
         fpms,
     }
+}
+
+/// Draws the sweep's window bounds and fault sites — `(window, cycle,
+/// bit)` triples, in window order from a single seeded stream, so the
+/// sample set is independent of the thread count and of whether the
+/// journaled or plain campaign path runs it.
+fn draw_windowed_sites(
+    prep: &Prepared,
+    structure: HwStructure,
+    windows: usize,
+    per_window: usize,
+    seed: u64,
+) -> (Vec<u64>, Vec<(usize, u64, u64)>) {
+    assert!(windows >= 1);
+    let total = prep.golden.cycles.max(windows as u64);
+    let bits = structure.bits(&prep.cfg);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E0A_11D5_11CE_0DD5);
+
+    let mut bounds = Vec::with_capacity(windows + 1);
+    for i in 0..=windows {
+        bounds.push(1 + (total - 1) * i as u64 / windows as u64);
+    }
+
+    let sites: Vec<(usize, u64, u64)> = (0..windows)
+        .flat_map(|w| {
+            let (lo, hi) = (bounds[w], bounds[w + 1].max(bounds[w] + 1));
+            (0..per_window)
+                .map(|_| (w, rng.gen_range(lo..hi), rng.gen_range(0..bits)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    (bounds, sites)
+}
+
+/// Results of a resumable temporal sweep: the per-window profile over
+/// completed records, the quarantined sites (excluded from their
+/// window's tally), and the replay/execute accounting.
+#[derive(Debug)]
+pub struct TemporalResumed {
+    /// Per-window profile over the completed records.
+    pub profile: TemporalProfile,
+    /// Sites whose every injection attempt panicked.
+    pub quarantined: Vec<Quarantine>,
+    /// Resume accounting.
+    pub stats: ResumeStats,
+}
+
+/// Journaled, crash-resumable [`temporal_campaign_metered`]: each
+/// settled site is appended durably to the journal at `opts.path`, and
+/// a resume replays the journaled sites instantly, running only the
+/// rest. Sites are drawn in window order, so a record's window is
+/// recovered from its campaign index (`index / per_window`) without
+/// journaling it.
+///
+/// # Errors
+///
+/// Any [`JournalError`] (see
+/// [`avf_campaign_resumable`](crate::avf::avf_campaign_resumable)).
+#[allow(clippy::too_many_arguments)]
+pub fn temporal_campaign_resumable(
+    prep: &Prepared,
+    structure: HwStructure,
+    windows: usize,
+    per_window: usize,
+    seed: u64,
+    threads: usize,
+    opts: &JournalOpts<'_>,
+    metrics: Option<&CampaignMetrics>,
+) -> Result<TemporalResumed, JournalError> {
+    let (bounds, sites) = draw_windowed_sites(prep, structure, windows, per_window, seed);
+    let cycles: Vec<u64> = sites.iter().map(|&(_, c, _)| c).collect();
+    let order = sched::sort_order_by_key(&cycles);
+    let fingerprint = Fingerprint {
+        engine: "gefin-sweep".to_string(),
+        workload: opts.workload.to_string(),
+        config: prep.cfg.model.name().to_string(),
+        structure: structure.name().to_string(),
+        seed,
+        samples: sites.len() as u64,
+        params: format!(
+            "windows={windows};per_window={per_window};golden_cycles={};output={:016x}",
+            prep.golden.cycles,
+            fnv1a64(&prep.expected_output)
+        ),
+        version: RECORD_VERSION,
+    };
+    let resumed = ResumableCampaign {
+        path: opts.path,
+        fingerprint,
+        mode: opts.mode,
+        items: &sites,
+        order: &order,
+        threads,
+        policy: opts.policy,
+    }
+    .run(
+        |_, &(_, cycle, bit)| {
+            run_one_inner(
+                prep,
+                structure,
+                cycle,
+                bit,
+                InjectEngine::Checkpointed,
+                None,
+                metrics,
+            )
+            .0
+        },
+        encode_record,
+        decode_record,
+        metrics,
+    )?;
+
+    let mut tallies = vec![Tally::default(); windows];
+    let mut fpms = vec![FpmDist::new(); windows];
+    for (i, outcome) in resumed.outcomes.iter().enumerate() {
+        if let Some(rec) = outcome.done() {
+            let w = i / per_window.max(1);
+            tallies[w].add(rec.effect);
+            fpms[w].add(rec.fpm);
+        }
+    }
+    Ok(TemporalResumed {
+        profile: TemporalProfile {
+            structure,
+            bounds,
+            tallies,
+            fpms,
+        },
+        quarantined: resumed.quarantined().into_iter().cloned().collect(),
+        stats: resumed.stats,
+    })
 }
 
 #[cfg(test)]

@@ -89,6 +89,31 @@ pub fn run_one(module: &Module, input: &[u8], golden: &SvfGolden, fault: SwFault
     run_one_classed(module, input, golden, fault).0
 }
 
+/// [`run_one`] with campaign-metrics recording: a faulty run that burns
+/// its whole dynamic-instruction budget (the software layer's watchdog)
+/// is counted as a `watchdog_expiries` metric in addition to its
+/// Crash-class record. The returned effect is identical to [`run_one`].
+pub fn run_one_metered(
+    module: &Module,
+    input: &[u8],
+    golden: &SvfGolden,
+    fault: SwFault,
+    metrics: Option<&vulnstack_core::trace::CampaignMetrics>,
+) -> FaultEffect {
+    let out = Interpreter::new(module)
+        .with_input(input.to_vec())
+        .with_budget(golden.budget)
+        .with_fault(fault)
+        .run()
+        .expect("interpretation");
+    if out.status == RunStatus::Timeout {
+        if let Some(m) = metrics {
+            m.record_watchdog_expiry();
+        }
+    }
+    classify(out.status, &out.output, golden.status, &golden.output)
+}
+
 /// Runs one injection, also reporting the class of the IR instruction the
 /// fault landed on.
 pub fn run_one_classed(
@@ -199,24 +224,109 @@ pub fn svf_campaign_metered(
 ) -> Tally {
     let golden = golden_run(module, input);
     debug_assert_eq!(golden.output, expected_output, "golden output mismatch");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x51F1_57AC_0DE5_EED5);
-    let faults: Vec<SwFault> = (0..n)
-        .map(|_| SwFault {
-            target: rng.gen_range(0..golden.injectable.max(1)),
-            bit: rng.gen_range(0..32),
-        })
-        .collect();
+    let faults = draw_faults(&golden, n, seed);
 
     let order: Vec<usize> = (0..faults.len()).collect();
     vulnstack_core::sched::map_ordered_metered(
         &faults,
         &order,
         threads,
-        |_, &f| run_one(module, input, &golden, f),
+        |_, &f| run_one_metered(module, input, &golden, f, metrics),
         metrics,
     )
     .into_iter()
     .collect()
+}
+
+/// Draws the campaign's fault sites from one seeded stream — the same
+/// stream every SVF entry point uses, so journaled, metered and plain
+/// campaigns inject identical sites for the same seed.
+pub fn draw_faults(golden: &SvfGolden, n: usize, seed: u64) -> Vec<SwFault> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51F1_57AC_0DE5_EED5);
+    (0..n)
+        .map(|_| SwFault {
+            target: rng.gen_range(0..golden.injectable.max(1)),
+            bit: rng.gen_range(0..32),
+        })
+        .collect()
+}
+
+/// Results of a resumable SVF campaign: the tally over completed
+/// injections, the quarantined sites (excluded from the tally), and the
+/// replay/execute accounting.
+#[derive(Debug)]
+pub struct SvfResumed {
+    /// Tally over the completed injections.
+    pub tally: Tally,
+    /// Sites whose every injection attempt panicked.
+    pub quarantined: Vec<vulnstack_core::sched::Quarantine>,
+    /// Resume accounting.
+    pub stats: vulnstack_core::ResumeStats,
+}
+
+/// Journaled, crash-resumable [`svf_campaign_metered`]: each settled
+/// injection is appended durably to the journal at `opts.path` before
+/// the worker claims its next site, a panicking injection degrades to a
+/// quarantine record instead of killing the campaign, and a resume
+/// replays the journaled injections instantly, refusing a journal whose
+/// fingerprint (workload, seed, sample count, golden run, schema
+/// version) does not match. The merged tally is identical to an
+/// uninterrupted campaign at any thread count.
+///
+/// # Errors
+///
+/// Any [`vulnstack_core::JournalError`]: filesystem failures, a missing
+/// journal when resume is required, a fingerprint mismatch, or a corrupt
+/// journal body.
+#[allow(clippy::too_many_arguments)]
+pub fn svf_campaign_resumable(
+    module: &Module,
+    input: &[u8],
+    expected_output: &[u8],
+    n: usize,
+    seed: u64,
+    threads: usize,
+    opts: &vulnstack_core::JournalOpts<'_>,
+    metrics: Option<&vulnstack_core::trace::CampaignMetrics>,
+) -> Result<SvfResumed, vulnstack_core::JournalError> {
+    let golden = golden_run(module, input);
+    debug_assert_eq!(golden.output, expected_output, "golden output mismatch");
+    let faults = draw_faults(&golden, n, seed);
+    let order: Vec<usize> = (0..faults.len()).collect();
+    let fingerprint = vulnstack_core::Fingerprint {
+        engine: "llfi-svf".to_string(),
+        workload: opts.workload.to_string(),
+        config: "vir".to_string(),
+        structure: "-".to_string(),
+        seed,
+        samples: n as u64,
+        params: format!(
+            "injectable={};output={:016x}",
+            golden.injectable,
+            vulnstack_core::journal::fnv1a64(&golden.output)
+        ),
+        version: 1,
+    };
+    let resumed = vulnstack_core::ResumableCampaign {
+        path: opts.path,
+        fingerprint,
+        mode: opts.mode,
+        items: &faults,
+        order: &order,
+        threads,
+        policy: opts.policy,
+    }
+    .run(
+        |_, &f| run_one_metered(module, input, &golden, f, metrics),
+        |e| e.name().to_string(),
+        FaultEffect::from_name,
+        metrics,
+    )?;
+    Ok(SvfResumed {
+        tally: resumed.records().into_iter().copied().collect(),
+        quarantined: resumed.quarantined().into_iter().cloned().collect(),
+        stats: resumed.stats,
+    })
 }
 
 #[cfg(test)]

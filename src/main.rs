@@ -14,12 +14,15 @@
 //! ```
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 use vulnstack_compiler::{compile, CompileOpts};
 use vulnstack_core::report::{pct, pct2, Table};
+use vulnstack_core::{JournalOpts, ResumeMode, ResumeStats, RunPolicy};
 use vulnstack_gefin::{
-    avf_campaign, default_threads, pvf_campaign, FuncPrepared, Prepared, PvfMode,
+    avf_campaign, avf_campaign_resumable, default_threads, pvf_campaign, pvf_campaign_resumable,
+    FuncPrepared, Prepared, PvfMode,
 };
 use vulnstack_isa::Isa;
 use vulnstack_microarch::ooo::HwStructure;
@@ -44,10 +47,11 @@ fn usage() {
     eprintln!("  vulnstack list");
     eprintln!("  vulnstack run     <workload> [--model A72]");
     eprintln!("  vulnstack avf     <workload> [--model A72] [--structure RF|LSQ|L1i|L1d|L2]");
-    eprintln!("                    [--faults N] [--seed S]");
+    eprintln!("                    [--faults N] [--seed S] [--journal PATH [--resume]]");
     eprintln!("  vulnstack pvf     <workload> [--isa va32|va64] [--mode wd|woi|wi]");
-    eprintln!("                    [--faults N] [--seed S]");
+    eprintln!("                    [--faults N] [--seed S] [--journal PATH [--resume]]");
     eprintln!("  vulnstack svf     <workload> [--faults N] [--seed S] [--breakdown] [--hardened]");
+    eprintln!("                    [--journal PATH [--resume]]");
     eprintln!("  vulnstack ace     <workload> [--model A72]");
     eprintln!("  vulnstack analyze <workload> [--isa va32|va64] [--hardened]");
     eprintln!("  vulnstack disasm  <workload> [--isa va64] [--limit N]");
@@ -71,7 +75,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
         let a = &rest[i];
         if let Some(name) = a.strip_prefix("--") {
             // Value-less switches.
-            if matches!(name, "breakdown" | "hardened") {
+            if matches!(name, "breakdown" | "hardened" | "resume") {
                 switches.push(name.to_string());
                 i += 1;
                 continue;
@@ -129,6 +133,49 @@ impl Opts {
     fn switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
     }
+
+    /// Journaling options from `--journal PATH` / `--resume`: `--journal`
+    /// alone resumes an existing journal or starts one; adding `--resume`
+    /// insists the journal already exists (a typo'd path fails loudly
+    /// instead of silently restarting the campaign from scratch).
+    fn journal<'a>(&'a self, workload: &'a str) -> Result<Option<JournalOpts<'a>>, String> {
+        match self.flags.get("journal") {
+            None if self.switch("resume") => Err("--resume requires --journal PATH".to_string()),
+            None => Ok(None),
+            Some(p) => Ok(Some(JournalOpts {
+                path: Path::new(p),
+                mode: if self.switch("resume") {
+                    ResumeMode::ResumeRequired
+                } else {
+                    ResumeMode::ResumeOrStart
+                },
+                policy: RunPolicy::default(),
+                workload,
+            })),
+        }
+    }
+}
+
+/// Prints the resume accounting and any quarantined sites of a journaled
+/// campaign.
+fn report_resume(journal: &Path, stats: &ResumeStats, quarantined: &[vulnstack_core::Quarantine]) {
+    println!(
+        "journal {}: {} replayed, {} executed{}",
+        journal.display(),
+        stats.replayed,
+        stats.executed,
+        if stats.truncated_bytes > 0 {
+            format!(" ({} torn bytes truncated)", stats.truncated_bytes)
+        } else {
+            String::new()
+        }
+    );
+    for q in quarantined {
+        eprintln!(
+            "warning: site {} quarantined after {} attempt(s): {}",
+            q.index, q.attempts, q.message
+        );
+    }
 }
 
 fn workload(name: &str, hardened: bool) -> Result<Workload, String> {
@@ -178,7 +225,13 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "avf" => {
-            let w = workload(&name, opts.switch("hardened"))?;
+            let hardened = opts.switch("hardened");
+            let w = workload(&name, hardened)?;
+            let label = if hardened {
+                format!("{name}+ft")
+            } else {
+                name.clone()
+            };
             let model = opts.model()?;
             let faults = opts.faults()?;
             let seed = opts.seed()?;
@@ -190,6 +243,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     .find(|x| x.name().eq_ignore_ascii_case(s))
                     .ok_or_else(|| format!("unknown structure {s}"))?],
             };
+            let journal = opts.journal(&label)?;
+            if journal.is_some() && !opts.flags.contains_key("structure") {
+                // A journal records exactly one campaign; one file cannot
+                // hold the whole all-structures sweep.
+                return Err("--journal requires --structure (one journal per campaign)".into());
+            }
             let mut t = Table::new(&[
                 "structure",
                 "bits",
@@ -200,8 +259,25 @@ fn run(args: &[String]) -> Result<(), String> {
                 "AVF",
                 "HVF",
             ]);
+            let mut resume_report: Option<(ResumeStats, Vec<vulnstack_core::Quarantine>)> = None;
             for st in structures {
-                let r = avf_campaign(&prep, st, faults, seed, default_threads());
+                let r = match &journal {
+                    Some(jopts) => {
+                        let out = avf_campaign_resumable(
+                            &prep,
+                            st,
+                            faults,
+                            seed,
+                            default_threads(),
+                            jopts,
+                            None,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        resume_report = Some((out.stats, out.quarantined));
+                        out.result
+                    }
+                    None => avf_campaign(&prep, st, faults, seed, default_threads()),
+                };
                 t.row(&[
                     st.name().into(),
                     r.bits.to_string(),
@@ -214,10 +290,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 ]);
             }
             println!("{}", t.render());
+            if let (Some(jopts), Some((stats, quarantined))) = (&journal, &resume_report) {
+                report_resume(jopts.path, stats, quarantined);
+            }
             Ok(())
         }
         "pvf" => {
-            let w = workload(&name, opts.switch("hardened"))?;
+            let hardened = opts.switch("hardened");
+            let w = workload(&name, hardened)?;
+            let label = if hardened {
+                format!("{name}+ft")
+            } else {
+                name.clone()
+            };
             let isa = opts.isa()?;
             let faults = opts.faults()?;
             let seed = opts.seed()?;
@@ -228,7 +313,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 other => return Err(format!("unknown mode {other}")),
             };
             let prep = FuncPrepared::new(&w, isa).map_err(|e| e.to_string())?;
-            let tally = pvf_campaign(&prep, mode, faults, seed, default_threads());
+            let tally = match opts.journal(&label)? {
+                Some(jopts) => {
+                    let out = pvf_campaign_resumable(
+                        &prep,
+                        mode,
+                        faults,
+                        seed,
+                        default_threads(),
+                        &jopts,
+                        None,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    report_resume(jopts.path, &out.stats, &out.quarantined);
+                    out.tally
+                }
+                None => pvf_campaign(&prep, mode, faults, seed, default_threads()),
+            };
             let vf = tally.vf();
             println!(
                 "{name} PVF[{mode}] on {isa}: SDC {} Crash {} detected {} total {}",
@@ -240,10 +341,22 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "svf" => {
-            let w = workload(&name, opts.switch("hardened"))?;
+            let hardened = opts.switch("hardened");
+            let w = workload(&name, hardened)?;
+            let label = if hardened {
+                format!("{name}+ft")
+            } else {
+                name.clone()
+            };
             let faults = opts.faults()?;
             let seed = opts.seed()?;
+            let journal = opts.journal(&label)?;
             if opts.switch("breakdown") {
+                if journal.is_some() {
+                    // The breakdown path re-runs every injection to read
+                    // its landing site; journaled records don't carry it.
+                    return Err("--journal is not supported with --breakdown".into());
+                }
                 let b = vulnstack_llfi::svf_breakdown(&w.module, &w.input, faults, seed);
                 let mut t = Table::new(&["class", "masked", "SDC", "Crash", "detected", "SVF"]);
                 for (class, tally) in &b {
@@ -258,14 +371,31 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 println!("{}", t.render());
             } else {
-                let tally = vulnstack_llfi::svf_campaign(
-                    &w.module,
-                    &w.input,
-                    &w.expected_output,
-                    faults,
-                    seed,
-                    default_threads(),
-                );
+                let tally = match &journal {
+                    Some(jopts) => {
+                        let out = vulnstack_llfi::svf_campaign_resumable(
+                            &w.module,
+                            &w.input,
+                            &w.expected_output,
+                            faults,
+                            seed,
+                            default_threads(),
+                            jopts,
+                            None,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        report_resume(jopts.path, &out.stats, &out.quarantined);
+                        out.tally
+                    }
+                    None => vulnstack_llfi::svf_campaign(
+                        &w.module,
+                        &w.input,
+                        &w.expected_output,
+                        faults,
+                        seed,
+                        default_threads(),
+                    ),
+                };
                 let vf = tally.vf();
                 println!(
                     "{name} SVF: SDC {} Crash {} detected {} total {}",
@@ -493,6 +623,25 @@ mod tests {
         assert!(o.model().is_err());
         let o = parse_opts(&sv(&["--isa", "mips"])).unwrap();
         assert!(o.isa().is_err());
+    }
+
+    #[test]
+    fn journal_flags_parse_and_validate() {
+        let o = parse_opts(&sv(&["--journal", "j.log", "--resume"])).unwrap();
+        let j = o.journal("crc32").unwrap().unwrap();
+        assert_eq!(j.mode, ResumeMode::ResumeRequired);
+        assert_eq!(j.path, Path::new("j.log"));
+        assert_eq!(j.workload, "crc32");
+
+        let o = parse_opts(&sv(&["--journal", "j.log"])).unwrap();
+        assert_eq!(
+            o.journal("x").unwrap().unwrap().mode,
+            ResumeMode::ResumeOrStart
+        );
+
+        let o = parse_opts(&sv(&["--resume"])).unwrap();
+        assert!(o.journal("x").is_err(), "--resume alone must be rejected");
+        assert!(parse_opts(&[]).unwrap().journal("x").unwrap().is_none());
     }
 
     #[test]

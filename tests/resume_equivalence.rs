@@ -1,0 +1,420 @@
+//! Kill-and-resume equivalence for journaled campaigns.
+//!
+//! The durability contract of `vulnstack_core::journal`: a campaign
+//! interrupted at an arbitrary point — mid-record, even — and resumed at
+//! a *different* thread count produces records bit-identical to an
+//! uninterrupted run. Verified here for both injection engines (gefin
+//! AVF and llfi SVF) by truncating a completed journal back to a torn
+//! prefix, resuming, and comparing records and journal contents; plus
+//! the fingerprint refusal and panic-quarantine guarantees.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use vulnstack_core::journal::fnv1a64;
+use vulnstack_core::{
+    FaultEffect, Fingerprint, JournalError, JournalOpts, ResumableCampaign, ResumeMode, RunPolicy,
+};
+use vulnstack_gefin::{
+    avf_campaign, avf_campaign_resumable, draw_sites, InjectionRecord, Prepared,
+};
+use vulnstack_llfi::{svf_campaign, svf_campaign_resumable};
+use vulnstack_microarch::ooo::{Fpm, HwStructure};
+use vulnstack_microarch::CoreModel;
+use vulnstack_workloads::{Workload, WorkloadId};
+
+const N: usize = 24;
+const SEED: u64 = 11;
+const STRUCTURE: HwStructure = HwStructure::RegisterFile;
+
+fn prep() -> &'static Prepared {
+    static PREP: OnceLock<Prepared> = OnceLock::new();
+    PREP.get_or_init(|| {
+        let w = WorkloadId::Crc32.build();
+        Prepared::new(&w, CoreModel::A72).expect("prepare crc32/A72")
+    })
+}
+
+fn crc32() -> &'static Workload {
+    static W: OnceLock<Workload> = OnceLock::new();
+    W.get_or_init(|| WorkloadId::Crc32.build())
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vulnstack-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn opts<'a>(path: &'a Path, mode: ResumeMode) -> JournalOpts<'a> {
+    JournalOpts {
+        path,
+        mode,
+        policy: RunPolicy::default(),
+        workload: "crc32",
+    }
+}
+
+/// The journal's entry lines, sorted (workers append in completion
+/// order, which varies with the thread count; the *set* of records must
+/// not).
+fn sorted_entries(path: &Path) -> Vec<String> {
+    let content = std::fs::read_to_string(path).unwrap();
+    let mut lines: Vec<String> = content.lines().skip(1).map(String::from).collect();
+    lines.sort();
+    lines
+}
+
+/// Truncates a completed journal back to its header plus `keep` entry
+/// lines, then appends a torn half-record with no terminating newline —
+/// the on-disk state a SIGKILL mid-append leaves behind.
+fn interrupt_journal(full: &Path, target: &Path, keep: usize) {
+    let content = std::fs::read_to_string(full).unwrap();
+    let kept: Vec<&str> = content.lines().take(1 + keep).collect();
+    let mut torn = format!("{}\n", kept.join("\n"));
+    torn.push_str("R|999|half-written");
+    std::fs::write(target, torn).unwrap();
+}
+
+#[test]
+fn gefin_kill_and_resume_is_bit_identical_across_thread_counts() {
+    let prep = prep();
+    let baseline = avf_campaign(prep, STRUCTURE, N, SEED, 4);
+
+    // Uninterrupted journaled run: records match the plain campaign.
+    let full = tmp("gefin-full.journal");
+    let _ = std::fs::remove_file(&full);
+    let out = avf_campaign_resumable(
+        prep,
+        STRUCTURE,
+        N,
+        SEED,
+        4,
+        &opts(&full, ResumeMode::Fresh),
+        None,
+    )
+    .unwrap();
+    assert_eq!(out.result.records, baseline.records);
+    assert_eq!(out.stats.executed, N);
+    assert!(out.quarantined.is_empty());
+
+    // Interrupt after 9 records and resume at several thread counts:
+    // every resume must reconstruct the identical record vector AND the
+    // identical journal contents.
+    for threads in [2, 4] {
+        let path = tmp(&format!("gefin-killed-t{threads}.journal"));
+        interrupt_journal(&full, &path, 9);
+        let resumed = avf_campaign_resumable(
+            prep,
+            STRUCTURE,
+            N,
+            SEED,
+            threads,
+            &opts(&path, ResumeMode::ResumeRequired),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.result.records, baseline.records,
+            "threads={threads}: resumed records must be bit-identical"
+        );
+        assert_eq!(resumed.stats.replayed, 9, "threads={threads}");
+        assert_eq!(resumed.stats.executed, N - 9, "threads={threads}");
+        assert!(
+            resumed.stats.truncated_bytes > 0,
+            "the torn tail must be detected and truncated"
+        );
+        assert_eq!(
+            sorted_entries(&path),
+            sorted_entries(&full),
+            "threads={threads}: completed journals must hold the same records"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_file(&full);
+}
+
+#[test]
+fn gefin_resume_refuses_a_mismatched_fingerprint() {
+    let prep = prep();
+    let path = tmp("gefin-mismatch.journal");
+    let _ = std::fs::remove_file(&path);
+    avf_campaign_resumable(
+        prep,
+        STRUCTURE,
+        N,
+        SEED,
+        2,
+        &opts(&path, ResumeMode::Fresh),
+        None,
+    )
+    .unwrap();
+    // Same journal, different seed: a different campaign entirely.
+    let err = avf_campaign_resumable(
+        prep,
+        STRUCTURE,
+        N,
+        SEED + 1,
+        2,
+        &opts(&path, ResumeMode::ResumeRequired),
+        None,
+    )
+    .unwrap_err();
+    match err {
+        JournalError::Mismatch {
+            expected, found, ..
+        } => {
+            assert!(expected.contains(&format!("seed={}", SEED + 1)));
+            assert!(found.contains(&format!("seed={SEED}")));
+        }
+        other => panic!("expected a fingerprint mismatch, got {other}"),
+    }
+    // Resume against a missing journal is refused too.
+    let missing = tmp("gefin-missing.journal");
+    let _ = std::fs::remove_file(&missing);
+    assert!(matches!(
+        avf_campaign_resumable(
+            prep,
+            STRUCTURE,
+            N,
+            SEED,
+            2,
+            &opts(&missing, ResumeMode::ResumeRequired),
+            None,
+        ),
+        Err(JournalError::Missing(_))
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn llfi_kill_and_resume_is_bit_identical_across_thread_counts() {
+    let w = crc32();
+    let n = 30;
+    let baseline = svf_campaign(&w.module, &w.input, &w.expected_output, n, SEED, 4);
+
+    let full = tmp("llfi-full.journal");
+    let _ = std::fs::remove_file(&full);
+    let out = svf_campaign_resumable(
+        &w.module,
+        &w.input,
+        &w.expected_output,
+        n,
+        SEED,
+        4,
+        &opts(&full, ResumeMode::Fresh),
+        None,
+    )
+    .unwrap();
+    assert_eq!(out.tally, baseline);
+    assert_eq!(out.stats.executed, n);
+
+    for threads in [2, 4] {
+        let path = tmp(&format!("llfi-killed-t{threads}.journal"));
+        interrupt_journal(&full, &path, 11);
+        let resumed = svf_campaign_resumable(
+            &w.module,
+            &w.input,
+            &w.expected_output,
+            n,
+            SEED,
+            threads,
+            &opts(&path, ResumeMode::ResumeRequired),
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed.tally, baseline, "threads={threads}");
+        assert_eq!(resumed.stats.replayed, 11);
+        assert_eq!(resumed.stats.executed, n - 11);
+        assert!(resumed.stats.truncated_bytes > 0);
+        assert_eq!(
+            sorted_entries(&path),
+            sorted_entries(&full),
+            "threads={threads}: completed journals must hold the same records"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // A mismatched sample count is refused (records from a shorter
+    // campaign must never seed a longer one).
+    let err = svf_campaign_resumable(
+        &w.module,
+        &w.input,
+        &w.expected_output,
+        n + 1,
+        SEED,
+        2,
+        &opts(&full, ResumeMode::ResumeRequired),
+        None,
+    )
+    .unwrap_err();
+    assert!(matches!(err, JournalError::Mismatch { .. }), "{err}");
+    let _ = std::fs::remove_file(&full);
+}
+
+/// Journal codec for [`InjectionRecord`] mirroring the engine's own
+/// (`cycle,bit,effect,fpm,fpm_cycle`) — the integration test drives the
+/// core orchestrator directly so it can poison one site.
+fn encode(r: &InjectionRecord) -> String {
+    format!(
+        "{},{},{},{},{}",
+        r.cycle,
+        r.bit,
+        r.effect.name(),
+        r.fpm.map_or("-", Fpm::name),
+        r.fpm_cycle
+            .map_or_else(|| "-".to_string(), |c| c.to_string()),
+    )
+}
+
+fn decode(s: &str) -> Option<InjectionRecord> {
+    let mut it = s.split(',');
+    let cycle = it.next()?.parse().ok()?;
+    let bit = it.next()?.parse().ok()?;
+    let effect = FaultEffect::from_name(it.next()?)?;
+    let fpm = match it.next()? {
+        "-" => None,
+        name => Some(Fpm::from_name(name)?),
+    };
+    let fpm_cycle = match it.next()? {
+        "-" => None,
+        c => Some(c.parse().ok()?),
+    };
+    Some(InjectionRecord {
+        cycle,
+        bit,
+        effect,
+        fpm,
+        fpm_cycle,
+    })
+}
+
+#[test]
+fn a_panicking_injection_is_quarantined_and_the_campaign_completes() {
+    let prep = prep();
+    let sites = draw_sites(prep, STRUCTURE, N, SEED);
+    let order: Vec<usize> = (0..sites.len()).collect();
+    let baseline = avf_campaign(prep, STRUCTURE, N, SEED, 4);
+    let path = tmp("gefin-poison.journal");
+    let _ = std::fs::remove_file(&path);
+    let fingerprint = Fingerprint {
+        engine: "test-poisoned-avf".to_string(),
+        workload: "crc32".to_string(),
+        config: "A72".to_string(),
+        structure: STRUCTURE.name().to_string(),
+        seed: SEED,
+        samples: N as u64,
+        params: String::new(),
+        version: 1,
+    };
+    let campaign = ResumableCampaign {
+        path: &path,
+        fingerprint,
+        mode: ResumeMode::Fresh,
+        items: &sites,
+        order: &order,
+        threads: 4,
+        policy: RunPolicy { max_retries: 1 },
+    };
+    let poisoned = 3usize;
+    let out = campaign
+        .run(
+            |i, &(cycle, bit)| {
+                // One deliberately poisoned injection among real runs.
+                assert!(i != poisoned, "injector blew up on site {i}");
+                vulnstack_gefin::avf::run_one(prep, STRUCTURE, cycle, bit)
+            },
+            encode,
+            decode,
+            None,
+        )
+        .unwrap();
+
+    // The campaign completed: every healthy site carries its real
+    // record, the poisoned one a quarantine marker.
+    assert_eq!(out.outcomes.len(), N);
+    let quarantined = out.quarantined();
+    assert_eq!(quarantined.len(), 1);
+    assert_eq!(quarantined[0].index, poisoned);
+    assert_eq!(quarantined[0].attempts, 2, "1 try + 1 retry");
+    assert!(quarantined[0].message.contains("blew up on site 3"));
+    for (i, outcome) in out.outcomes.iter().enumerate() {
+        if i != poisoned {
+            assert_eq!(outcome.done(), Some(&baseline.records[i]), "site {i}");
+        }
+    }
+
+    // Resuming replays the quarantine durably instead of re-running the
+    // poison site: zero executions, same outcome.
+    let resumed = ResumableCampaign {
+        mode: ResumeMode::ResumeRequired,
+        ..campaign
+    }
+    .run(
+        |_, &(cycle, bit)| vulnstack_gefin::avf::run_one(prep, STRUCTURE, cycle, bit),
+        encode,
+        decode,
+        None,
+    )
+    .unwrap();
+    assert_eq!(resumed.stats.executed, 0);
+    assert_eq!(resumed.stats.replayed, N);
+    assert_eq!(resumed.stats.quarantined, 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The journal header binds the campaign to the golden run itself, not
+/// just its labels: fingerprints with identical labels but different
+/// sample counts hash differently.
+#[test]
+fn fingerprint_digest_tracks_every_field() {
+    let base = Fingerprint {
+        engine: "e".into(),
+        workload: "w".into(),
+        config: "c".into(),
+        structure: "s".into(),
+        seed: 1,
+        samples: 2,
+        params: "p".into(),
+        version: 3,
+    };
+    let variants = [
+        Fingerprint {
+            engine: "e2".into(),
+            ..base.clone()
+        },
+        Fingerprint {
+            workload: "w2".into(),
+            ..base.clone()
+        },
+        Fingerprint {
+            config: "c2".into(),
+            ..base.clone()
+        },
+        Fingerprint {
+            structure: "s2".into(),
+            ..base.clone()
+        },
+        Fingerprint {
+            seed: 9,
+            ..base.clone()
+        },
+        Fingerprint {
+            samples: 9,
+            ..base.clone()
+        },
+        Fingerprint {
+            params: "p2".into(),
+            ..base.clone()
+        },
+        Fingerprint {
+            version: 9,
+            ..base.clone()
+        },
+    ];
+    for v in &variants {
+        assert_ne!(v.canonical(), base.canonical());
+        assert_ne!(v.digest(), base.digest());
+    }
+    assert_eq!(base.digest(), fnv1a64(base.canonical().as_bytes()));
+}
