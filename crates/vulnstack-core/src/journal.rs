@@ -33,10 +33,18 @@
 //!
 //! ```text
 //! vulnstack-journal|1|<fingerprint digest>|<canonical fingerprint>|<cksum>
+//! M|<key>|<payload>|<cksum>
 //! R|<site index>|<record payload>|<cksum>
 //! Q|<site index>|<attempts>|<panic message>|<cksum>
 //! ```
 //!
+//! `M` lines carry campaign **metadata** — engine-derived identity that
+//! is too large for the fingerprint proper (e.g. the pruning layer's
+//! equivalence-class-table digest). They are written right after the
+//! header on create; on resume the engine's expected metadata must match
+//! what the journal replays, or the resume is refused
+//! ([`JournalError::MetaMismatch`]) — a pruned campaign must never be
+//! resumed against records pruned with a different class table.
 //! `R` lines carry an engine-encoded record; `Q` lines record a
 //! quarantined site (every attempt panicked). Entries may appear in any
 //! order (workers append as sites complete) and duplicates keep the
@@ -186,6 +194,20 @@ pub enum JournalError {
         /// What was wrong.
         why: String,
     },
+    /// A metadata record required for sound resumption (e.g. the pruning
+    /// layer's class-table digest) is missing from the journal or
+    /// disagrees with the campaign being run.
+    MetaMismatch {
+        /// Journal path.
+        path: PathBuf,
+        /// Metadata key.
+        key: String,
+        /// Payload the running campaign derived.
+        expected: String,
+        /// Payload the journal replayed (`None` if the key is absent —
+        /// e.g. its line was truncated away as corrupt).
+        found: Option<String>,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -208,6 +230,18 @@ impl std::fmt::Display for JournalError {
             JournalError::Corrupt { path, why } => {
                 write!(f, "journal {}: corrupt: {why}", path.display())
             }
+            JournalError::MetaMismatch {
+                path,
+                key,
+                expected,
+                found,
+            } => write!(
+                f,
+                "journal {}: metadata `{key}` mismatch — refusing to resume\n  \
+                 running: {expected}\n  journal: {}",
+                path.display(),
+                found.as_deref().unwrap_or("<missing>"),
+            ),
         }
     }
 }
@@ -242,10 +276,23 @@ pub enum EntryKind {
 pub struct Replay {
     /// Valid entries, duplicates removed (first occurrence wins).
     pub entries: Vec<Entry>,
+    /// Valid metadata records, in file order (duplicate keys keep the
+    /// first occurrence when looked up via [`Replay::meta`]).
+    pub metas: Vec<(String, String)>,
     /// Bytes of torn/corrupt tail truncated away.
     pub truncated_bytes: u64,
     /// Complete lines discarded because they followed the first bad line.
     pub dropped_lines: usize,
+}
+
+impl Replay {
+    /// The payload of the first metadata record with `key`, if any.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.metas
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// An open, append-only campaign journal. Appends are thread-safe and
@@ -350,13 +397,14 @@ impl Journal {
         let mut seen = std::collections::HashSet::new();
         let mut truncate_at: Option<usize> = torn_at;
         for (j, &(offset, raw)) in lines.iter().enumerate().skip(1) {
-            let entry = std::str::from_utf8(raw).ok().and_then(parse_entry);
-            match entry {
-                Some(e) => {
+            let parsed = std::str::from_utf8(raw).ok().and_then(parse_line);
+            match parsed {
+                Some(ParsedLine::Entry(e)) => {
                     if seen.insert(e.index) {
                         replay.entries.push(e);
                     }
                 }
+                Some(ParsedLine::Meta(key, payload)) => replay.metas.push((key, payload)),
                 None => {
                     truncate_at = Some(offset);
                     replay.dropped_lines = lines.len() - j - 1;
@@ -385,6 +433,21 @@ impl Journal {
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Durably appends a campaign metadata record (written right after
+    /// the header on create; verified against the engine's expectation
+    /// on resume).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write or sync failure.
+    pub fn append_meta(&self, key: &str, payload: &str) -> Result<(), JournalError> {
+        self.append_line(&format!(
+            "M|{}|{}",
+            escape_field(key),
+            escape_field(payload)
+        ))
     }
 
     /// Durably appends a completed record for site `index`.
@@ -459,33 +522,41 @@ fn parse_header(line: &str) -> Option<String> {
     Some(canonical)
 }
 
-/// Parses and checksum-verifies one entry line.
-fn parse_entry(line: &str) -> Option<Entry> {
+/// One parsed journal body line.
+enum ParsedLine {
+    /// A site entry (`R` or `Q`).
+    Entry(Entry),
+    /// A metadata record (`M`): `(key, payload)`.
+    Meta(String, String),
+}
+
+/// Parses and checksum-verifies one entry or metadata line.
+fn parse_line(line: &str) -> Option<ParsedLine> {
     let (body, ck) = line.rsplit_once('|')?;
     if checksum(body) != ck {
         return None;
     }
     let mut parts = body.split('|');
     let kind = parts.next()?;
-    let index: u64 = parts.next()?.parse().ok()?;
-    let entry = match kind {
-        "R" => Entry {
-            index,
+    let parsed = match kind {
+        "M" => ParsedLine::Meta(unescape_field(parts.next()?), unescape_field(parts.next()?)),
+        "R" => ParsedLine::Entry(Entry {
+            index: parts.next()?.parse().ok()?,
             kind: EntryKind::Done(unescape_field(parts.next()?)),
-        },
-        "Q" => Entry {
-            index,
+        }),
+        "Q" => ParsedLine::Entry(Entry {
+            index: parts.next()?.parse().ok()?,
             kind: EntryKind::Quarantined {
                 attempts: parts.next()?.parse().ok()?,
                 message: unescape_field(parts.next()?),
             },
-        },
+        }),
         _ => return None,
     };
     if parts.next().is_some() {
         return None;
     }
-    Some(entry)
+    Some(parsed)
 }
 
 /// Caller-facing journaling options threaded through the engine-level
@@ -585,6 +656,13 @@ pub struct ResumableCampaign<'a, T> {
     pub threads: usize,
     /// Panic retry/quarantine policy.
     pub policy: RunPolicy,
+    /// Campaign metadata `(key, payload)` pairs: engine-derived identity
+    /// too large for the fingerprint proper (e.g. a pruning class-table
+    /// digest). Written after the header on create; on resume, each pair
+    /// must match what the journal replays or the resume is refused with
+    /// [`JournalError::MetaMismatch`]. Empty for engines without extra
+    /// identity.
+    pub meta: &'a [(String, String)],
 }
 
 impl<T: Sync> ResumableCampaign<'_, T> {
@@ -622,26 +700,54 @@ impl<T: Sync> ResumableCampaign<'_, T> {
             self.items.len() as u64,
             "fingerprint samples must match the site count"
         );
-        let (journal, replay) = match self.mode {
+        let (journal, replay, created) = match self.mode {
             ResumeMode::Fresh => (
                 Journal::create(self.path, &self.fingerprint)?,
                 Replay::default(),
+                true,
             ),
             ResumeMode::ResumeOrStart => {
                 // A zero-length file means the previous run died before
                 // the header write became durable: nothing to resume.
                 let has_content = std::fs::metadata(self.path).map(|m| m.len() > 0);
                 if matches!(has_content, Ok(true)) {
-                    Journal::resume(self.path, &self.fingerprint)?
+                    let (j, r) = Journal::resume(self.path, &self.fingerprint)?;
+                    (j, r, false)
                 } else {
                     (
                         Journal::create(self.path, &self.fingerprint)?,
                         Replay::default(),
+                        true,
                     )
                 }
             }
-            ResumeMode::ResumeRequired => Journal::resume(self.path, &self.fingerprint)?,
+            ResumeMode::ResumeRequired => {
+                let (j, r) = Journal::resume(self.path, &self.fingerprint)?;
+                (j, r, false)
+            }
         };
+
+        if created {
+            for (key, payload) in self.meta {
+                journal.append_meta(key, payload)?;
+            }
+        } else {
+            // Verify every expected metadata pair against the replay. A
+            // missing key (e.g. its line was corrupt and truncated away)
+            // is as fatal as a mismatch: resuming without agreeing on the
+            // engine's derived identity would silently mix records.
+            for (key, payload) in self.meta {
+                let found = replay.meta(key);
+                if found != Some(payload.as_str()) {
+                    return Err(JournalError::MetaMismatch {
+                        path: self.path.to_path_buf(),
+                        key: key.clone(),
+                        expected: payload.clone(),
+                        found: found.map(String::from),
+                    });
+                }
+            }
+        }
 
         let corrupt = |why: String| JournalError::Corrupt {
             path: self.path.to_path_buf(),
@@ -909,6 +1015,7 @@ mod tests {
             order: &order,
             threads: 3,
             policy: RunPolicy::default(),
+            meta: &[],
         };
         let runner = |_: usize, &x: &u64| x * 10;
         let encode = |r: &u64| r.to_string();
@@ -946,6 +1053,166 @@ mod tests {
     }
 
     #[test]
+    fn meta_roundtrips_and_verifies_on_resume() {
+        let path = tmp("meta.journal");
+        let _ = std::fs::remove_file(&path);
+        let items: Vec<u64> = (0..6).collect();
+        let order: Vec<usize> = (0..items.len()).collect();
+        let meta = vec![("class-table".to_string(), "fnv=00ddc0ffee".to_string())];
+        let mk = |mode| ResumableCampaign {
+            path: &path,
+            fingerprint: fp(6),
+            mode,
+            items: &items,
+            order: &order,
+            threads: 2,
+            policy: RunPolicy::default(),
+            meta: &meta,
+        };
+        let runner = |_: usize, &x: &u64| x + 1;
+        let encode = |r: &u64| r.to_string();
+        let decode = |s: &str| s.parse::<u64>().ok();
+        let full = mk(ResumeMode::Fresh)
+            .run(runner, encode, decode, None)
+            .unwrap();
+        let resumed = mk(ResumeMode::ResumeRequired)
+            .run(runner, encode, decode, None)
+            .unwrap();
+        assert_eq!(resumed.stats.executed, 0);
+        assert_eq!(resumed.stats.replayed, 6);
+        let a: Vec<u64> = full.records().into_iter().copied().collect();
+        let b: Vec<u64> = resumed.records().into_iter().copied().collect();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_meta_refuses_resume_naming_both_digests() {
+        let path = tmp("meta-mismatch.journal");
+        let _ = std::fs::remove_file(&path);
+        let items: Vec<u64> = (0..4).collect();
+        let order: Vec<usize> = (0..items.len()).collect();
+        let mk = |mode, payload: &str| {
+            let meta = vec![("class-table".to_string(), payload.to_string())];
+            let campaign = ResumableCampaign {
+                path: &path,
+                fingerprint: fp(4),
+                mode,
+                items: &items,
+                order: &order,
+                threads: 1,
+                policy: RunPolicy::default(),
+                meta: &meta,
+            };
+            campaign.run(
+                |_: usize, &x: &u64| x,
+                |r| r.to_string(),
+                |s| s.parse::<u64>().ok(),
+                None,
+            )
+        };
+        mk(ResumeMode::Fresh, "fnv=1111111111111111").unwrap();
+        match mk(ResumeMode::ResumeRequired, "fnv=2222222222222222") {
+            Err(JournalError::MetaMismatch {
+                key,
+                expected,
+                found,
+                ..
+            }) => {
+                assert_eq!(key, "class-table");
+                assert_eq!(expected, "fnv=2222222222222222");
+                assert_eq!(found.as_deref(), Some("fnv=1111111111111111"));
+            }
+            other => panic!("expected MetaMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fuzzed_meta_line_damage_never_resumes_silently() {
+        // Fuzz-style: damage the class-table `M` line many different ways
+        // (byte flips at every position, truncations at every length).
+        // Every damaged journal must either (a) replay the meta intact
+        // (damage hit only later lines) or (b) refuse the resume with the
+        // key and both payloads named — never silently resume with a
+        // different class table.
+        let items: Vec<u64> = (0..5).collect();
+        let order: Vec<usize> = (0..items.len()).collect();
+        let meta = vec![(
+            "class-table".to_string(),
+            "fnv=deadbeef01234567".to_string(),
+        )];
+        let path = tmp("meta-fuzz.journal");
+        let _ = std::fs::remove_file(&path);
+        let campaign = |mode| ResumableCampaign {
+            path: &path,
+            fingerprint: fp(5),
+            mode,
+            items: &items,
+            order: &order,
+            threads: 1,
+            policy: RunPolicy::default(),
+            meta: &meta,
+        };
+        let run = |mode| {
+            campaign(mode).run(
+                |_: usize, &x: &u64| x * 3,
+                |r| r.to_string(),
+                |s| s.parse::<u64>().ok(),
+                None,
+            )
+        };
+        run(ResumeMode::Fresh).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        let text = String::from_utf8(pristine.clone()).unwrap();
+        let header_len = text.find('\n').unwrap() + 1;
+        let meta_len = text[header_len..].find('\n').unwrap() + 1;
+
+        let mut cases = 0;
+        // Byte flips across the M line (excluding its newline).
+        for off in 0..meta_len - 1 {
+            let mut bytes = pristine.clone();
+            bytes[header_len + off] ^= 0x01;
+            // Keep the damage on one line: never flip into '\n' or '|',
+            // which would change the line structure rather than its
+            // content (those are covered by the truncation cases).
+            if bytes[header_len + off] == b'\n' || bytes[header_len + off] == b'|' {
+                continue;
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            match run(ResumeMode::ResumeRequired) {
+                Err(JournalError::MetaMismatch { key, found, .. }) => {
+                    assert_eq!(key, "class-table");
+                    assert_ne!(found.as_deref(), Some("fnv=deadbeef01234567"));
+                }
+                Err(other) => panic!("flip at {off}: unexpected error {other}"),
+                Ok(_) => panic!("flip at {off}: damaged meta resumed silently"),
+            }
+            cases += 1;
+        }
+        // Truncations mid-M-line (torn write of the meta record).
+        for keep in 1..meta_len - 1 {
+            let mut bytes = pristine.clone();
+            bytes.truncate(header_len + keep);
+            std::fs::write(&path, &bytes).unwrap();
+            match run(ResumeMode::ResumeRequired) {
+                Err(JournalError::MetaMismatch { key, found, .. }) => {
+                    assert_eq!(key, "class-table");
+                    assert!(
+                        found.is_none(),
+                        "keep={keep}: truncated meta must be absent, got {found:?}"
+                    );
+                }
+                Err(other) => panic!("keep={keep}: unexpected error {other}"),
+                Ok(_) => panic!("keep={keep}: truncated meta resumed silently"),
+            }
+            cases += 1;
+        }
+        assert!(cases > 20, "fuzz loop must exercise many damage shapes");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn resumable_campaign_journals_quarantines() {
         let path = tmp("quarantine.journal");
         let _ = std::fs::remove_file(&path);
@@ -959,6 +1226,7 @@ mod tests {
             order: &order,
             threads: 2,
             policy: RunPolicy { max_retries: 1 },
+            meta: &[],
         };
         let runner = |i: usize, &x: &u64| {
             assert!(i != 5, "site 5 is poisoned");

@@ -49,6 +49,8 @@ pub struct CampaignMetrics {
     sites: AtomicU64,
     extinct_early: AtomicU64,
     watchdog_expiries: AtomicU64,
+    pruned_dead: AtomicU64,
+    early_terminated: AtomicU64,
     /// Bucket `i` counts restore distances `d` with `bit_length(d) == i`
     /// (i.e. `d == 0` → bucket 0, `1..=1` → 1, `2..=3` → 2, ...).
     restore_hist: Mutex<[u64; 64]>,
@@ -64,6 +66,8 @@ impl CampaignMetrics {
             sites: AtomicU64::new(0),
             extinct_early: AtomicU64::new(0),
             watchdog_expiries: AtomicU64::new(0),
+            pruned_dead: AtomicU64::new(0),
+            early_terminated: AtomicU64::new(0),
             restore_hist: Mutex::new([0; 64]),
             spans: Mutex::new(Vec::new()),
         }
@@ -103,6 +107,18 @@ impl CampaignMetrics {
         self.watchdog_expiries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a site classified Masked by the pruning layer without any
+    /// simulation (dead def-use interval or un-armed LSQ entry).
+    pub fn record_pruned_dead(&self) {
+        self.pruned_dead.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an injection ended early because its architectural state
+    /// re-converged with the golden checkpoint at the same cycle.
+    pub fn record_early_terminated(&self) {
+        self.early_terminated.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshots the collected metrics into a serializable report.
     pub fn report(&self) -> MetricsReport {
         let spans = self.spans.lock().expect("unpoisoned").clone();
@@ -116,10 +132,14 @@ impl CampaignMetrics {
         let restore_hist = *self.restore_hist.lock().expect("unpoisoned");
         MetricsReport {
             label: self.label.clone(),
-            wall_us: self.now_us(),
+            // At least 1µs: a snapshot taken within the clock's
+            // resolution must still yield a finite, nonzero throughput.
+            wall_us: self.now_us().max(1),
             sites: self.sites.load(Ordering::Relaxed),
             extinct_early: self.extinct_early.load(Ordering::Relaxed),
             watchdog_expiries: self.watchdog_expiries.load(Ordering::Relaxed),
+            pruned_dead: self.pruned_dead.load(Ordering::Relaxed),
+            early_terminated: self.early_terminated.load(Ordering::Relaxed),
             per_worker,
             restore_hist,
             spans,
@@ -149,6 +169,10 @@ pub struct MetricsReport {
     pub extinct_early: u64,
     /// Sites whose faulty run expired the commit watchdog.
     pub watchdog_expiries: u64,
+    /// Sites classified Masked by the pruning layer with zero simulation.
+    pub pruned_dead: u64,
+    /// Injections ended early by golden-state re-convergence.
+    pub early_terminated: u64,
     /// Per-worker accounting, indexed by worker id.
     pub per_worker: Vec<WorkerReport>,
     /// Restore-distance histogram (bucket `i` = bit length of distance).
@@ -228,6 +252,7 @@ impl MetricsReport {
             "{{\"label\":{},\"wall_secs\":{:.6},\"sites\":{},\
              \"throughput_per_sec\":{:.3},\"extinct_early\":{},\
              \"extinct_early_rate\":{:.6},\"watchdog_expiries\":{},\
+             \"pruned_dead\":{},\"early_terminated\":{},\
              \"mean_restore_distance_cycles\":{:.1},\
              \"restore_distance_hist\":[{}],\"workers\":[{}]}}",
             json_string(&self.label),
@@ -237,6 +262,8 @@ impl MetricsReport {
             self.extinct_early,
             self.extinct_rate(),
             self.watchdog_expiries,
+            self.pruned_dead,
+            self.early_terminated,
             self.mean_restore_distance(),
             hist.join(","),
             workers.join(","),

@@ -15,6 +15,7 @@ use vulnstack_microarch::ooo::{Fpm, HwStructure};
 use vulnstack_microarch::{FaultTrace, OooCore, RunStatus};
 
 use crate::prepare::Prepared;
+use crate::prune::{plan_sites, InjectionPlan, PruneStats, Pruner};
 
 /// How an injection run reaches its injection cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -276,6 +277,57 @@ pub fn avf_campaign_metered(
     collect_result(structure, bits, records)
 }
 
+/// [`avf_campaign_metered`] behind an [`InjectionPlan`]: materialises
+/// the plan's sites and, for [`InjectionPlan::Pruned`], executes them
+/// through the equivalence-class [`Pruner`] instead of one simulation
+/// per site. Records are bit-identical to unpruned execution of the
+/// same sites (`tests/prune_equivalence.rs`); the second return value is
+/// the pruner's accounting when one ran.
+pub fn avf_campaign_planned(
+    prep: &Prepared,
+    structure: HwStructure,
+    plan: &InjectionPlan,
+    threads: usize,
+    metrics: Option<&CampaignMetrics>,
+) -> (AvfCampaignResult, Option<PruneStats>) {
+    let bits = structure.bits(&prep.cfg);
+    let sites = plan_sites(prep, structure, plan);
+    let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
+    let order = sched::sort_order_by_key(&cycles);
+    if plan.is_pruned() {
+        let pruner = Pruner::new(prep, structure);
+        let records = sched::map_ordered_metered(
+            &sites,
+            &order,
+            threads,
+            |_, &(c, b)| pruner.run_site(c, b, metrics),
+            metrics,
+        );
+        let stats = pruner.stats();
+        (collect_result(structure, bits, records), Some(stats))
+    } else {
+        let records = sched::map_ordered_metered(
+            &sites,
+            &order,
+            threads,
+            |_, &(c, b)| {
+                run_one_inner(
+                    prep,
+                    structure,
+                    c,
+                    b,
+                    InjectEngine::Checkpointed,
+                    None,
+                    metrics,
+                )
+                .0
+            },
+            metrics,
+        );
+        (collect_result(structure, bits, records), None)
+    }
+}
+
 /// [`avf_campaign_with`] with per-injection fault-lifetime traces: also
 /// returns one [`FaultTrace`] per record, in the same (sampling) order.
 /// The campaign result is identical to the untraced campaign — the
@@ -437,6 +489,7 @@ pub fn avf_campaign_resumable(
         order: &order,
         threads,
         policy: opts.policy,
+        meta: &[],
     }
     .run(
         |_, &(c, b)| {
@@ -462,6 +515,94 @@ pub fn avf_campaign_resumable(
         quarantined,
         stats: resumed.stats,
     })
+}
+
+/// [`avf_campaign_resumable`] behind an [`InjectionPlan`]. The plan is
+/// part of the journal's identity (`params` carries its name, and an
+/// exhaustive plan its fixed cycle), so a journal written under one plan
+/// refuses a resume under another. A pruned resume additionally journals
+/// the class-table digest as `class-table` metadata: the table is
+/// rebuilt deterministically on resume, and any disagreement (a changed
+/// classifier, workload image, or golden run) is refused with both
+/// digests named rather than silently re-pruned
+/// ([`JournalError::MetaMismatch`]).
+///
+/// # Errors
+///
+/// Any [`JournalError`] (see [`avf_campaign_resumable`]), plus
+/// [`JournalError::MetaMismatch`] when the journal's class-table digest
+/// disagrees with the rebuilt table's.
+pub fn avf_campaign_resumable_planned(
+    prep: &Prepared,
+    structure: HwStructure,
+    plan: &InjectionPlan,
+    threads: usize,
+    opts: &JournalOpts<'_>,
+    metrics: Option<&CampaignMetrics>,
+) -> Result<(AvfResumed, Option<PruneStats>), JournalError> {
+    let bits = structure.bits(&prep.cfg);
+    let sites = plan_sites(prep, structure, plan);
+    let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
+    let order = sched::sort_order_by_key(&cycles);
+    let (seed, plan_detail) = match *plan {
+        InjectionPlan::Exhaustive { cycle } => (0, format!("exhaustive@{cycle}")),
+        InjectionPlan::Sampled { n: _, seed } => (seed, "sampled".to_string()),
+        InjectionPlan::Pruned { n: _, seed } => (seed, "pruned".to_string()),
+    };
+    let mut fingerprint = avf_fingerprint(prep, structure, sites.len(), seed, opts.workload);
+    fingerprint.params.push_str(&format!(";plan={plan_detail}"));
+
+    let pruner = plan.is_pruned().then(|| Pruner::new(prep, structure));
+    let meta: Vec<(String, String)> = pruner
+        .as_ref()
+        .map(|p| {
+            vec![(
+                "class-table".to_string(),
+                format!("fnv={:016x}", p.table().digest()),
+            )]
+        })
+        .unwrap_or_default();
+
+    let resumed = ResumableCampaign {
+        path: opts.path,
+        fingerprint,
+        mode: opts.mode,
+        items: &sites,
+        order: &order,
+        threads,
+        policy: opts.policy,
+        meta: &meta,
+    }
+    .run(
+        |_, &(c, b)| match &pruner {
+            Some(p) => p.run_site(c, b, metrics),
+            None => {
+                run_one_inner(
+                    prep,
+                    structure,
+                    c,
+                    b,
+                    InjectEngine::Checkpointed,
+                    None,
+                    metrics,
+                )
+                .0
+            }
+        },
+        encode_record,
+        decode_record,
+        metrics,
+    )?;
+    let records: Vec<InjectionRecord> = resumed.records().into_iter().copied().collect();
+    let quarantined: Vec<Quarantine> = resumed.quarantined().into_iter().cloned().collect();
+    Ok((
+        AvfResumed {
+            result: collect_result(structure, bits, records),
+            quarantined,
+            stats: resumed.stats,
+        },
+        pruner.map(|p| p.stats()),
+    ))
 }
 
 fn collect_result(

@@ -26,20 +26,26 @@ pub mod ace;
 pub mod avf;
 pub mod compare;
 pub mod prepare;
+pub mod prune;
 pub mod pvf;
 pub mod sweep;
 
 pub use ace::ace_analysis;
 pub use avf::{
-    avf_campaign, avf_campaign_metered, avf_campaign_resumable, avf_campaign_traced,
-    avf_campaign_with, draw_sites, run_one_traced, AvfCampaignResult, AvfResumed, InjectEngine,
-    InjectionRecord,
+    avf_campaign, avf_campaign_metered, avf_campaign_planned, avf_campaign_resumable,
+    avf_campaign_resumable_planned, avf_campaign_traced, avf_campaign_with, draw_sites,
+    run_one_traced, AvfCampaignResult, AvfResumed, InjectEngine, InjectionRecord,
 };
 pub use compare::{static_vs_dynamic, StaticDynamicComparison};
 pub use prepare::{FuncPrepared, Prepared};
+pub use prune::{
+    early_term_enabled, plan_sites, prune_default, ClassKey, ClassTable, InjectionPlan, PruneStats,
+    Pruner, SiteClass,
+};
 pub use pvf::{pvf_campaign, pvf_campaign_metered, pvf_campaign_resumable, PvfMode, PvfResumed};
 pub use sweep::{
-    temporal_campaign, temporal_campaign_metered, temporal_campaign_resumable, TemporalProfile,
+    temporal_campaign, temporal_campaign_metered, temporal_campaign_pruned,
+    temporal_campaign_resumable, temporal_campaign_resumable_pruned, TemporalProfile,
     TemporalResumed,
 };
 

@@ -234,6 +234,7 @@ pub fn pvf_campaign_resumable(
         order: &order,
         threads,
         policy: opts.policy,
+        meta: &[],
     }
     .run(
         |_, &i| run_indexed(prep, mode, seed, i),

@@ -18,6 +18,7 @@ use vulnstack_microarch::ooo::HwStructure;
 
 use crate::avf::{decode_record, encode_record, run_one_inner, InjectEngine, RECORD_VERSION};
 use crate::prepare::Prepared;
+use crate::prune::{PruneStats, Pruner};
 
 /// Per-window results of a temporal sweep.
 #[derive(Debug, Clone)]
@@ -106,6 +107,51 @@ pub fn temporal_campaign_metered(
     }
 }
 
+/// [`temporal_campaign_metered`] executed through the equivalence-class
+/// [`Pruner`]: the same windowed sites, served from the class table
+/// where provable and early-terminating simulations elsewhere. Per-site
+/// records are bit-identical to the unpruned sweep, so the per-window
+/// tallies and FPM distributions are too.
+#[allow(clippy::too_many_arguments)]
+pub fn temporal_campaign_pruned(
+    prep: &Prepared,
+    structure: HwStructure,
+    windows: usize,
+    per_window: usize,
+    seed: u64,
+    threads: usize,
+    metrics: Option<&CampaignMetrics>,
+) -> (TemporalProfile, PruneStats) {
+    let (bounds, sites) = draw_windowed_sites(prep, structure, windows, per_window, seed);
+    let cycles: Vec<u64> = sites.iter().map(|&(_, c, _)| c).collect();
+    let order = sched::sort_order_by_key(&cycles);
+    let pruner = Pruner::new(prep, structure);
+    let records = sched::map_ordered_metered(
+        &sites,
+        &order,
+        threads,
+        |_, &(w, cycle, bit)| (w, pruner.run_site(cycle, bit, metrics)),
+        metrics,
+    );
+
+    let mut tallies = vec![Tally::default(); windows];
+    let mut fpms = vec![FpmDist::new(); windows];
+    for (w, rec) in records {
+        tallies[w].add(rec.effect);
+        fpms[w].add(rec.fpm);
+    }
+
+    (
+        TemporalProfile {
+            structure,
+            bounds,
+            tallies,
+            fpms,
+        },
+        pruner.stats(),
+    )
+}
+
 /// Draws the sweep's window bounds and fault sites — `(window, cycle,
 /// bit)` triples, in window order from a single seeded stream, so the
 /// sample set is independent of the thread count and of whether the
@@ -173,9 +219,64 @@ pub fn temporal_campaign_resumable(
     opts: &JournalOpts<'_>,
     metrics: Option<&CampaignMetrics>,
 ) -> Result<TemporalResumed, JournalError> {
+    temporal_resumable_inner(
+        prep, structure, windows, per_window, seed, threads, opts, metrics, None,
+    )
+}
+
+/// [`temporal_campaign_resumable`] executed through the
+/// equivalence-class [`Pruner`]. The plan is part of the journal
+/// identity (`params` gains `;plan=pruned`), and the class-table digest
+/// is journaled as `class-table` metadata — a resume whose rebuilt
+/// table disagrees is refused
+/// ([`vulnstack_core::journal::JournalError::MetaMismatch`]) rather
+/// than silently re-pruned.
+///
+/// # Errors
+///
+/// Any [`JournalError`], including a class-table metadata mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn temporal_campaign_resumable_pruned(
+    prep: &Prepared,
+    structure: HwStructure,
+    windows: usize,
+    per_window: usize,
+    seed: u64,
+    threads: usize,
+    opts: &JournalOpts<'_>,
+    metrics: Option<&CampaignMetrics>,
+) -> Result<(TemporalResumed, PruneStats), JournalError> {
+    let pruner = Pruner::new(prep, structure);
+    let resumed = temporal_resumable_inner(
+        prep,
+        structure,
+        windows,
+        per_window,
+        seed,
+        threads,
+        opts,
+        metrics,
+        Some(&pruner),
+    )?;
+    Ok((resumed, pruner.stats()))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn temporal_resumable_inner(
+    prep: &Prepared,
+    structure: HwStructure,
+    windows: usize,
+    per_window: usize,
+    seed: u64,
+    threads: usize,
+    opts: &JournalOpts<'_>,
+    metrics: Option<&CampaignMetrics>,
+    pruner: Option<&Pruner<'_>>,
+) -> Result<TemporalResumed, JournalError> {
     let (bounds, sites) = draw_windowed_sites(prep, structure, windows, per_window, seed);
     let cycles: Vec<u64> = sites.iter().map(|&(_, c, _)| c).collect();
     let order = sched::sort_order_by_key(&cycles);
+    let plan_suffix = if pruner.is_some() { ";plan=pruned" } else { "" };
     let fingerprint = Fingerprint {
         engine: "gefin-sweep".to_string(),
         workload: opts.workload.to_string(),
@@ -184,12 +285,20 @@ pub fn temporal_campaign_resumable(
         seed,
         samples: sites.len() as u64,
         params: format!(
-            "windows={windows};per_window={per_window};golden_cycles={};output={:016x}",
+            "windows={windows};per_window={per_window};golden_cycles={};output={:016x}{plan_suffix}",
             prep.golden.cycles,
             fnv1a64(&prep.expected_output)
         ),
         version: RECORD_VERSION,
     };
+    let meta: Vec<(String, String)> = pruner
+        .map(|p| {
+            vec![(
+                "class-table".to_string(),
+                format!("fnv={:016x}", p.table().digest()),
+            )]
+        })
+        .unwrap_or_default();
     let resumed = ResumableCampaign {
         path: opts.path,
         fingerprint,
@@ -198,19 +307,23 @@ pub fn temporal_campaign_resumable(
         order: &order,
         threads,
         policy: opts.policy,
+        meta: &meta,
     }
     .run(
-        |_, &(_, cycle, bit)| {
-            run_one_inner(
-                prep,
-                structure,
-                cycle,
-                bit,
-                InjectEngine::Checkpointed,
-                None,
-                metrics,
-            )
-            .0
+        |_, &(_, cycle, bit)| match pruner {
+            Some(p) => p.run_site(cycle, bit, metrics),
+            None => {
+                run_one_inner(
+                    prep,
+                    structure,
+                    cycle,
+                    bit,
+                    InjectEngine::Checkpointed,
+                    None,
+                    metrics,
+                )
+                .0
+            }
         },
         encode_record,
         decode_record,

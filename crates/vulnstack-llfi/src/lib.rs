@@ -315,6 +315,7 @@ pub fn svf_campaign_resumable(
         order: &order,
         threads,
         policy: opts.policy,
+        meta: &[],
     }
     .run(
         |_, &f| run_one_metered(module, input, &golden, f, metrics),

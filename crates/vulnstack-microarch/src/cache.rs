@@ -278,6 +278,37 @@ impl MemSystem {
         self.taint.as_ref()
     }
 
+    /// True if this (possibly faulty) memory system is *behaviorally
+    /// identical* to `golden`: every future access returns the same data
+    /// with the same latency in both.
+    ///
+    /// This is the memory half of the early-termination convergence
+    /// check. It compares the behavioral state — the interleaved LRU
+    /// clock (`tick`), all three cache arrays (valid/dirty/tag/`last_use`/
+    /// data), and main memory (`CowMem::eq` short-circuits on shared
+    /// pages) — and deliberately *excludes* two observer-only fields:
+    ///
+    /// * `stats` — hit/miss counters are never read by the simulation, so
+    ///   divergent counts cannot change future behavior;
+    /// * a **dead** taint record (`!live()`) — once every level's taint
+    ///   flag is clear no corrupted copy exists anywhere, and taint can
+    ///   only spread from an existing live copy, so a dead record is
+    ///   inert bookkeeping.
+    ///
+    /// A **live** taint is an immediate `false`: some copy of the flipped
+    /// line still differs from golden (or could be re-exposed by an
+    /// eviction), so behavioral identity cannot hold.
+    pub fn converged_with(&self, golden: &MemSystem) -> bool {
+        if self.taint.as_ref().is_some_and(|t| t.live()) {
+            return false;
+        }
+        self.tick == golden.tick
+            && self.l1i == golden.l1i
+            && self.l1d == golden.l1d
+            && self.l2 == golden.l2
+            && self.mem == golden.mem
+    }
+
     fn taint_line_overlap(taint: &Option<MemTaint>, line_addr: u32) -> bool {
         taint.is_some_and(|t| t.addr / LINE == line_addr / LINE)
     }

@@ -23,6 +23,7 @@ pub mod func;
 pub mod lifetime;
 pub mod ooo;
 pub mod outcome;
+mod runaway;
 pub mod snapshot;
 
 pub use config::{CoreConfig, CoreModel};

@@ -113,6 +113,16 @@ pub enum FaultEventKind {
     /// Every corrupted copy is gone and nothing tainted is in flight:
     /// the remainder of the run is bit-identical to the golden run.
     Extinct,
+    /// The early-termination engine proved extinction by comparing the
+    /// full architectural state against the golden checkpoint at the same
+    /// cycle: the remainder of the run is bit-identical to the golden
+    /// run, so it was ended here instead of simulated to completion.
+    PrunedExtinct,
+    /// The early-termination engine proved the run *cannot* reach a
+    /// terminal state before its cycle budget (a frozen pipeline or an
+    /// inescapable affine loop), so it was ended here as the Timeout it
+    /// was always going to be.
+    ProvenHang,
     /// The run reached a terminal state.
     Ended {
         /// Terminal status.
@@ -141,6 +151,15 @@ impl std::fmt::Display for FaultEventKind {
                 write!(f, "architecturally visible as {fpm}")
             }
             FaultEventKind::Extinct => write!(f, "fault extinct (run now equals golden)"),
+            FaultEventKind::PrunedExtinct => {
+                write!(
+                    f,
+                    "fault extinct by golden-state re-convergence (run ended early)"
+                )
+            }
+            FaultEventKind::ProvenHang => {
+                write!(f, "hang proven (run ended early as Timeout)")
+            }
             FaultEventKind::Ended { status } => write!(f, "run ended: {status}"),
         }
     }
@@ -227,7 +246,9 @@ impl FaultTrace {
             FaultEventKind::ArchVisible { fpm } if self.counts.first_visible.is_none() => {
                 self.counts.first_visible = Some((fpm, cycle));
             }
-            FaultEventKind::Extinct if self.counts.extinct_cycle.is_none() => {
+            FaultEventKind::Extinct | FaultEventKind::PrunedExtinct
+                if self.counts.extinct_cycle.is_none() =>
+            {
                 self.counts.extinct_cycle = Some(cycle);
             }
             _ => {}

@@ -242,6 +242,58 @@ struct FetchedInstr {
     taint_bit: Option<u32>,
 }
 
+/// One access to a physical register during an instrumented golden run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfAccess {
+    /// Core cycle of the access.
+    pub cycle: u64,
+    /// True for a write (rename-stage allocation targets count when the
+    /// value arrives at writeback), false for a read (including
+    /// speculative reads that are later squashed — a flipped bit those
+    /// reads observed *was* consumed, so they bound dead intervals).
+    pub write: bool,
+}
+
+/// Per-physical-register access log recorded during an instrumented
+/// golden run ([`OooCore::enable_rf_log`]).
+///
+/// `read_phys`/`write_phys` are the sole funnels for register-file
+/// values in the core (operand reads, writeback, CALL link writes, MFSR
+/// commit), so the log is a complete def-use record: between two
+/// consecutive entries for a register nothing reads or writes it, and a
+/// bit flipped anywhere in that interval has exactly the same future as
+/// a flip anywhere else in it. The pruning layer
+/// (`vulnstack-gefin::prune`) builds fault-equivalence classes from
+/// these intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RfAccessLog {
+    events: Vec<Vec<RfAccess>>,
+}
+
+impl RfAccessLog {
+    fn new(nphys: usize) -> RfAccessLog {
+        RfAccessLog {
+            events: vec![Vec::new(); nphys],
+        }
+    }
+
+    #[inline]
+    fn note(&mut self, preg: usize, cycle: u64, write: bool) {
+        self.events[preg].push(RfAccess { cycle, write });
+    }
+
+    /// Number of physical registers covered.
+    pub fn num_pregs(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The access events of physical register `preg`, in execution order
+    /// (cycles are nondecreasing; within a cycle, occurrence order).
+    pub fn events(&self, preg: usize) -> &[RfAccess] {
+        &self.events[preg]
+    }
+}
+
 /// The out-of-order core.
 ///
 /// The struct owns *every* bit of simulation state — pipeline structures,
@@ -307,6 +359,11 @@ pub struct OooCore {
 
     // Optional commit trace (bounded).
     trace: Option<(usize, Vec<(u64, Instr)>)>,
+
+    // Optional per-preg access log for fault-equivalence pruning
+    // (fault-free instrumented runs only; `None` costs one branch in
+    // read_phys/write_phys).
+    rf_log: Option<Box<RfAccessLog>>,
 }
 
 /// Lifetime accounting for ACE-style analytical AVF estimation.
@@ -392,6 +449,7 @@ impl OooCore {
             ftrace: None,
             ace: None,
             trace: None,
+            rf_log: None,
             cfg: cfg.clone(),
         }
     }
@@ -431,6 +489,63 @@ impl OooCore {
     /// and stopped simulating (the trace's terminal Masked milestone).
     pub fn note_fault_extinct(&mut self) {
         self.ftrace_push(FaultEventKind::Extinct);
+    }
+
+    /// Records that the early-termination engine proved extinction via
+    /// [`OooCore::converged_with`] against a golden checkpoint and ended
+    /// the run here.
+    pub fn note_pruned_extinct(&mut self) {
+        self.ftrace_push(FaultEventKind::PrunedExtinct);
+    }
+
+    /// Enables the per-preg access log (fault-free instrumented golden
+    /// runs only; see [`RfAccessLog`]).
+    pub fn enable_rf_log(&mut self) {
+        self.rf_log = Some(Box::new(RfAccessLog::new(self.phys.len())));
+    }
+
+    /// Takes the access log collected so far, if enabled.
+    pub fn take_rf_log(&mut self) -> Option<Box<RfAccessLog>> {
+        self.rf_log.take()
+    }
+
+    /// First architecturally visible manifestation of the injected fault
+    /// so far, if any.
+    pub fn fpm(&self) -> Option<Fpm> {
+        self.fpm
+    }
+
+    /// Cycle of that first manifestation.
+    pub fn fpm_cycle(&self) -> Option<u64> {
+        self.fpm_cycle
+    }
+
+    /// Bitmask of load-queue entries whose flat-bit flips are *armed*
+    /// (entry valid with a generated address): exactly the entries whose
+    /// flips [`OooCore::inject`] taints. Flips into any other LQ entry
+    /// are rewritten before use or never read — provably Masked.
+    pub fn lq_armed(&self) -> u32 {
+        debug_assert!(self.lq.len() <= 32);
+        let mut m = 0u32;
+        for (i, e) in self.lq.iter().enumerate() {
+            if e.valid && e.addr_ready {
+                m |= 1u32 << i;
+            }
+        }
+        m
+    }
+
+    /// Bitmask of store-queue entries whose flat-bit flips are armed
+    /// (entry valid and executed); see [`OooCore::lq_armed`].
+    pub fn sq_armed(&self) -> u32 {
+        debug_assert!(self.sq.len() <= 32);
+        let mut m = 0u32;
+        for (i, e) in self.sq.iter().enumerate() {
+            if e.valid && e.ready {
+                m |= 1u32 << i;
+            }
+        }
+        m
     }
 
     #[inline]
@@ -581,6 +696,9 @@ impl OooCore {
     }
 
     fn read_phys(&mut self, p: PReg, taint: &mut Option<Fpm>) -> u64 {
+        if let Some(log) = &mut self.rf_log {
+            log.note(p as usize, self.cycle, false);
+        }
         if self.rf_taint.is_some_and(|(tp, _)| tp == p as usize) {
             taint.get_or_insert(Fpm::Wd);
             self.ftrace_push(FaultEventKind::Consumed {
@@ -592,6 +710,9 @@ impl OooCore {
     }
 
     fn write_phys(&mut self, p: PReg, v: u64) {
+        if let Some(log) = &mut self.rf_log {
+            log.note(p as usize, self.cycle, true);
+        }
         // Overwriting the corrupted register repairs it (masking).
         if self.rf_taint.is_some_and(|(tp, _)| tp == p as usize) {
             self.rf_taint = None;
@@ -1580,6 +1701,200 @@ impl OooCore {
             return false;
         }
         true
+    }
+
+    /// Normalized LSQ comparison for [`OooCore::converged_with`]: valid
+    /// flags must match and valid entries must be field-identical, but
+    /// *invalid* entries are behaviorally empty — a squash clears only
+    /// `valid` and dispatch rewrites every field before any read — so
+    /// their stale contents are ignored.
+    fn lsq_converged(&self, golden: &OooCore) -> bool {
+        self.lq.len() == golden.lq.len()
+            && self.sq.len() == golden.sq.len()
+            && self
+                .lq
+                .iter()
+                .zip(&golden.lq)
+                .all(|(a, b)| a.valid == b.valid && (!a.valid || a == b))
+            && self
+                .sq
+                .iter()
+                .zip(&golden.sq)
+                .all(|(a, b)| a.valid == b.valid && (!a.valid || a == b))
+    }
+
+    /// True if this (possibly faulty) core is *behaviorally identical* to
+    /// `golden` — a fault-free core at the same cycle: every subsequent
+    /// cycle of both cores is bit-identical, so the run's terminal status
+    /// and output are already known to equal the golden run's.
+    ///
+    /// This is the early-termination convergence check. It is a
+    /// hand-written comparison rather than the derived `PartialEq`
+    /// because it must *exclude* observer-only state (`fpm`/`fpm_cycle`,
+    /// the fault trace, ACE accounting, commit trace, RF access log,
+    /// memory hit/miss counters, a dead memory-taint record) that a
+    /// faulty run legitimately accumulates without diverging
+    /// behaviorally, and *normalize* LSQ entries whose stale invalid
+    /// contents are never read. Every behavioral field is compared
+    /// exactly; any live tainted state anywhere is an immediate `false`.
+    ///
+    /// Conservative by design: a `false` never lies (the caller just
+    /// keeps simulating), and a `true` is exact.
+    pub fn converged_with(&self, golden: &OooCore) -> bool {
+        // Cheap discriminators first.
+        if self.cycle != golden.cycle
+            || self.committed != golden.committed
+            || self.ended != golden.ended
+            || self.last_commit_cycle != golden.last_commit_cycle
+        {
+            return false;
+        }
+        // Live tainted state can still change the future.
+        if self.rf_taint.is_some() {
+            return false;
+        }
+        if !self.mem.converged_with(&golden.mem) {
+            return false;
+        }
+        // Full behavioral-state comparison. Comparing against the golden
+        // core also enforces taint freedom in flight: golden LSQ/ROB/
+        // finish/fetch entries carry no taint, so any tainted in-flight
+        // entry fails its field comparison.
+        self.mode == golden.mode
+            && self.sysregs == golden.sysregs
+            && self.fetch_pc == golden.fetch_pc
+            && self.fetch_stall_until == golden.fetch_stall_until
+            && self.fetch_halted == golden.fetch_halted
+            && self.fetch_queue == golden.fetch_queue
+            && self.bp == golden.bp
+            && self.btb == golden.btb
+            && self.ras == golden.ras
+            && self.rat == golden.rat
+            && self.rrat == golden.rrat
+            && self.free_ring == golden.free_ring
+            && self.free_head == golden.free_head
+            && self.free_tail == golden.free_tail
+            && self.phys == golden.phys
+            && self.phys_ready == golden.phys_ready
+            && self.next_seq == golden.next_seq
+            && self.iq == golden.iq
+            && self.rob == golden.rob
+            && self.finish == golden.finish
+            && self.lsq_converged(golden)
+    }
+
+    /// Architectural (retirement-RAT) value of register `r` — the value
+    /// the next committed instruction reading `r` will observe.
+    pub(crate) fn arch_value(&self, r: Reg) -> u64 {
+        self.phys[self.rrat[r.index()] as usize]
+    }
+
+    /// The core's ISA.
+    pub(crate) fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Maximum commits per cycle (the pipeline width).
+    pub(crate) fn commit_width(&self) -> u32 {
+        self.cfg.width
+    }
+
+    /// True while the core executes unprivileged user code.
+    pub fn in_user_mode(&self) -> bool {
+        self.mode == Mode::User
+    }
+
+    /// True while the commit trace is armed and below capacity: its last
+    /// entry is the most recent commit, so trace-tail analyses line up
+    /// with current retirement state ([`OooCore::arch_value`]).
+    pub(crate) fn trace_recording(&self) -> bool {
+        self.trace.as_ref().is_some_and(|(cap, v)| v.len() < *cap)
+    }
+
+    /// True if this core is provably *frozen*: `anchor` is a clone of
+    /// this same run taken at an earlier cycle, and every behavioral
+    /// field is identical, which proves the pipeline can never commit
+    /// again — the run's terminal status is certainly `Timeout`.
+    ///
+    /// Soundness: the cycle transition function reads absolute time only
+    /// through `fetch_stall_until` comparisons, `finish` completion
+    /// cycles, and the commit watchdog. With the stall expired before the
+    /// anchor (`fetch_stall_until <= anchor.cycle`; a re-arm inside the
+    /// window would have left it *above* the anchor cycle, contradicting
+    /// equality), `finish` empty at both endpoints, and no commits in the
+    /// window (`committed`/`last_commit_cycle` equal), every intra-window
+    /// event is cycle-shift covariant — so the state trajectory from
+    /// `self` replays the anchor→self window forever. No commit can ever
+    /// happen (one period has none), so `HALT` never retires and the
+    /// watchdog's `Timeout` is the only reachable ending.
+    ///
+    /// Observer-only state (fault/commit traces, ACE, RF log, cache
+    /// hit/miss counters via `MemSystem`'s derived equality — its access
+    /// tick is part of the comparison, proving the window made *no*
+    /// memory accesses) is deliberately strict here: extra strictness
+    /// only costs missed detections, never soundness.
+    pub fn frozen_with(&self, anchor: &OooCore) -> bool {
+        self.cycle > anchor.cycle
+            && self.ended.is_none()
+            && anchor.ended.is_none()
+            && self.committed == anchor.committed
+            && self.last_commit_cycle == anchor.last_commit_cycle
+            && self.fetch_stall_until == anchor.fetch_stall_until
+            && self.fetch_stall_until <= anchor.cycle
+            && self.finish.is_empty()
+            && anchor.finish.is_empty()
+            && self.mode == anchor.mode
+            && self.sysregs == anchor.sysregs
+            && self.fetch_pc == anchor.fetch_pc
+            && self.fetch_halted == anchor.fetch_halted
+            && self.fetch_queue == anchor.fetch_queue
+            && self.bp == anchor.bp
+            && self.btb == anchor.btb
+            && self.ras == anchor.ras
+            && self.rat == anchor.rat
+            && self.rrat == anchor.rrat
+            && self.free_ring == anchor.free_ring
+            && self.free_head == anchor.free_head
+            && self.free_tail == anchor.free_tail
+            && self.phys == anchor.phys
+            && self.phys_ready == anchor.phys_ready
+            && self.next_seq == anchor.next_seq
+            && self.iq == anchor.iq
+            && self.rob == anchor.rob
+            && self.lq == anchor.lq
+            && self.sq == anchor.sq
+            && self.rf_taint == anchor.rf_taint
+            && self.fpm == anchor.fpm
+            && self.fpm_cycle == anchor.fpm_cycle
+            && self.mem == anchor.mem
+    }
+
+    /// Records that the early-termination engine proved the run cannot
+    /// end before its budget ([`OooCore::frozen_with`] or
+    /// [`OooCore::timeout_proven`]) and ended it here as the `Timeout` it
+    /// was always going to be.
+    pub fn note_proven_hang(&mut self) {
+        self.ftrace_push(FaultEventKind::ProvenHang);
+    }
+
+    /// True if the affine non-termination prover ([`crate::runaway`])
+    /// certifies that this run's terminal status is `Timeout`: the
+    /// committed stream is locked into a loop that provably cannot
+    /// branch out, trap, or halt before `budget` cycles elapse. Requires
+    /// a recording commit trace ([`OooCore::enable_trace`]); returns
+    /// `false` — never a wrong `true` — when the proof does not apply.
+    ///
+    /// Only sound while the *instruction* side of the memory system is
+    /// pristine (no L1i/L2 fault that could make a future re-fetch of a
+    /// loop pc decode differently than the trace recorded); the caller
+    /// gates on the injected structure. Applies in both privilege modes
+    /// — kernel hangs (e.g. a corrupted count in the output-copy loop)
+    /// are proven under stricter store-range obligations.
+    pub fn timeout_proven(&self, budget: u64) -> bool {
+        if self.ended.is_some() || self.cycle >= budget {
+            return false;
+        }
+        crate::runaway::cannot_end_before(self, budget)
     }
 
     /// Dumps pipeline state to stderr (debugging aid).

@@ -1,0 +1,572 @@
+//! Affine non-termination proofs: certifying, from a committed-trace
+//! tail and the current architectural state, that a faulty run *cannot*
+//! reach any terminal state except the cycle-budget `Timeout`.
+//!
+//! A fault that perturbs a loop counter can leave the pipeline healthy
+//! and committing at full speed — just around a loop whose exit is now
+//! hundreds of thousands of iterations away. Such runs are the most
+//! expensive outcome a campaign can draw (they simulate to the full
+//! budget), yet their classification is already decided:
+//! [`FaultEffect::classify`] maps `Timeout` to `Crash` without ever
+//! consulting the output, and `fpm`/`fpm_cycle` latch at first
+//! manifestation. So an *exact* record needs only a proof of the
+//! terminal status, not the simulation itself.
+//!
+//! The proof ([`cannot_end_before`]) works on the committed instruction
+//! stream, which is architecturally determined — microarchitectural
+//! noise (mispredictions, stalls, replays) can delay commits but never
+//! change them:
+//!
+//! 1. The bounded commit trace tail must end in a repeating *body* of
+//!    `p` instructions (two consecutive periods, byte-identical).
+//! 2. A symbolic pass over one body iteration expresses each register
+//!    at iteration end as `start(reg) + δ` ([`Sym`]), `Const`, or
+//!    `Dirty` (loads and non-affine ops). Registers that map to
+//!    themselves have a per-iteration affine delta.
+//! 3. A second pass discharges, for every future iteration `k` below a
+//!    pessimistic horizon (`remaining-cycles × commit-width / p + 1`, an
+//!    upper bound on how many iterations can still commit before the
+//!    budget):
+//!    * the control chain: every instruction's successor pc is the next
+//!      body entry (direct jumps and current-outcome branches only);
+//!    * branch stability: `BEQ`/`BNE` over affine operands flip exactly
+//!      at solutions of `k·s ≡ r (mod 2^xlen)` — solved exactly via a
+//!      Newton–Hensel modular inverse — and the first solution must lie
+//!      beyond the horizon. Inequality branches are only stable when
+//!      both deltas vanish: `a < b` is *not* a function of `a − b`, and
+//!      equal nonzero deltas still flip comparisons at wraparound.
+//!    * memory safety: every load/store address is affine, stays
+//!      aligned (the step divides the access size) and marches inside
+//!      `[USER_DATA, MEM_SIZE)` for the whole horizon (checked in
+//!      `i128`, so the march provably never wraps the xlen space
+//!      either);
+//!    * trap freedom: division, system, indirect-jump and privileged
+//!      ops anywhere in the body defeat the proof.
+//!
+//! If all obligations hold, no future committed instruction can trap,
+//! halt, or leave the loop before the budget — and if commits *stall*
+//! instead, the commit watchdog also yields `Timeout`. Either way the
+//! terminal status is `Timeout`, which is all the caller records.
+//!
+//! The prover is deliberately one-sided: `false` only costs the caller
+//! more simulation; `true` must be exact. Anything outside the model —
+//! kernel mode, W-form affine updates (sign-extension is not affine),
+//! cross-register renamings, dirty operands — fails the proof.
+//!
+//! [`FaultEffect::classify`]: ../../vulnstack_core/effects/enum.FaultEffect.html
+
+use vulnstack_isa::op::Format;
+use vulnstack_isa::{Instr, Isa, Op, Reg};
+use vulnstack_kernel::memmap::{MEM_SIZE, OUTPUT_BASE, USER_DATA};
+
+use crate::exec;
+use crate::ooo::OooCore;
+
+/// Minimum committed-trace tail length before a period is searched: two
+/// full copies of any provable body must fit, and tiny windows make
+/// spurious periods likelier (they still cannot make the proof unsound —
+/// only waste its time).
+const MIN_WINDOW: usize = 32;
+
+/// Longest loop body considered. Longer periods exist but cost
+/// quadratically in the period search and describe loops too slow to
+/// dominate a campaign.
+const MAX_PERIOD: usize = 256;
+
+/// Proves that `core`'s run cannot reach any terminal state before
+/// `cycle == budget`, i.e. its status is certainly `Timeout`.
+///
+/// Requires a *recording* commit trace (`enable_trace` below capacity,
+/// so the tail is the most recent commits and lines up with the
+/// retirement RAT). The caller has already checked `cycle < budget`, and
+/// gates on injected structures that cannot corrupt the instruction side
+/// of the memory system (a poisoned L1i/L2 line could make a future
+/// re-fetch decode differently than the trace recorded, breaking the
+/// committed-stream extrapolation).
+///
+/// Works in both privilege modes — the mode is invariant along a
+/// provable body (`SYSCALL`/`ERET`/`HALT` are rejected) and the memory
+/// windows adapt: user accesses must stay in the hardware-writable
+/// `[USER_DATA, MEM_SIZE)`; kernel loads may read the whole address
+/// space but kernel *stores* are confined to `[OUTPUT_BASE, MEM_SIZE)`
+/// and every body pc must lie below `OUTPUT_BASE`, so no future store
+/// can rewrite the text the loop executes out from under the proof
+/// (kernel hangs are real: a corrupted count in the kernel's output-copy
+/// loop is among the most expensive faults a campaign draws).
+pub(crate) fn cannot_end_before(core: &OooCore, budget: u64) -> bool {
+    if !core.trace_recording() {
+        return false;
+    }
+    let trace = core.trace();
+    if trace.len() < MIN_WINDOW {
+        return false;
+    }
+    let Some(p) = find_period(trace) else {
+        return false;
+    };
+    let body = &trace[trace.len() - p..];
+    // Iterations that could still commit before the budget: the pipeline
+    // commits at most `width` instructions per cycle, so `remaining ×
+    // width` bounds the commit count and `/ p (+1)` the iteration count.
+    let remaining = (budget - core.cycle()) as u128;
+    let horizon = (remaining * core.commit_width() as u128).div_ceil(p as u128) + 1;
+    prove(core, body, horizon)
+}
+
+/// Smallest `p` such that the last two `p`-windows of the trace are
+/// identical `(pc, instr)` sequences.
+fn find_period(trace: &[(u64, Instr)]) -> Option<usize> {
+    let t = trace.len();
+    (1..=(t / 2).min(MAX_PERIOD)).find(|&p| trace[t - 2 * p..t - p] == trace[t - p..])
+}
+
+/// Symbolic value of an architectural register within one loop
+/// iteration, relative to the iteration's start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sym {
+    /// `start_value(src) + off` (wrapping; truncation happens at use,
+    /// which agrees with per-step truncation because stored values keep
+    /// their high bits zero on VA32).
+    Reg { src: Reg, off: u64 },
+    /// A known constant (already truncated by `exec::alu`).
+    Const(u64),
+    /// Unconstrained (loads, non-affine ops). Dirty values may feed
+    /// stores freely but defeat the proof if they reach a branch or an
+    /// address.
+    Dirty,
+}
+
+/// One branch/address operand as a function of the iteration number:
+/// `value(k) = trunc(v0 + k·d)`.
+#[derive(Debug, Clone, Copy)]
+struct Affine {
+    v0: u64,
+    d: u64,
+}
+
+fn xlen_mask(isa: Isa) -> u64 {
+    match isa.xlen() {
+        64 => u64::MAX,
+        w => (1u64 << w) - 1,
+    }
+}
+
+/// Applies one instruction's effect to the symbolic register state.
+/// `false` means the op is outside the provable fragment (can trap,
+/// leave user mode, or redirect control through a register).
+fn transfer(syms: &mut [Sym], i: &Instr, isa: Isa) -> bool {
+    use Op::*;
+    match i.op {
+        // Division traps on zero; system/indirect/privileged ops can end
+        // the run or leave the loop in ways the model cannot see.
+        Div | Divu | Rem | Remu | Divw | Divuw | Remw | Remuw | Call | Callr | Jmpr | Syscall
+        | Eret | Halt | Mfsr | Mtsr => return false,
+        _ => {}
+    }
+    if i.op.is_branch() || i.op == Jmp || i.op == Nop || i.op.is_store() {
+        // No register effect; control and memory obligations are
+        // discharged by the caller.
+        return true;
+    }
+    let Some(dest) = i.dest(isa) else {
+        // Zero-register writes are architecturally discarded.
+        return true;
+    };
+    let d = dest.index();
+    if i.op.is_load() {
+        syms[d] = Sym::Dirty;
+        return true;
+    }
+    let rs1 = syms[i.rs1.index()];
+    let rs2 = syms[i.rs2.index()];
+    let fold = |a: u64, b: u64, old: u64| exec::alu(i, a, b, old, isa).ok().map(Sym::Const);
+    let new = match i.op {
+        // The affine fragment: offsets accumulate wrapping; truncation
+        // composes (`trunc(trunc(v + a) + b) == trunc(v + a + b)`).
+        Add => match (rs1, rs2) {
+            (Sym::Const(a), Sym::Const(b)) => fold(a, b, 0),
+            (Sym::Reg { src, off }, Sym::Const(c)) | (Sym::Const(c), Sym::Reg { src, off }) => {
+                Some(Sym::Reg {
+                    src,
+                    off: off.wrapping_add(c),
+                })
+            }
+            _ => Some(Sym::Dirty),
+        },
+        Sub => match (rs1, rs2) {
+            (Sym::Const(a), Sym::Const(b)) => fold(a, b, 0),
+            (Sym::Reg { src, off }, Sym::Const(c)) => Some(Sym::Reg {
+                src,
+                off: off.wrapping_sub(c),
+            }),
+            _ => Some(Sym::Dirty),
+        },
+        Addi => match rs1 {
+            Sym::Const(a) => fold(a, 0, 0),
+            Sym::Reg { src, off } => Some(Sym::Reg {
+                src,
+                off: off.wrapping_add(i.imm as u64),
+            }),
+            Sym::Dirty => Some(Sym::Dirty),
+        },
+        // Wide moves: MOVZ is a pure constant; MOVK folds over a known
+        // old destination value.
+        Movz => fold(0, 0, 0),
+        Movk => match syms[d] {
+            Sym::Const(old) => fold(0, 0, old),
+            _ => Some(Sym::Dirty),
+        },
+        // Everything else (logic, shifts, multiplies, compares, W-forms
+        // — sign-extension is not affine) const-folds or goes dirty.
+        op => match op.format() {
+            Format::R => match (rs1, rs2) {
+                (Sym::Const(a), Sym::Const(b)) => fold(a, b, 0),
+                _ => Some(Sym::Dirty),
+            },
+            Format::I => match rs1 {
+                Sym::Const(a) => fold(a, 0, 0),
+                _ => Some(Sym::Dirty),
+            },
+            // Unreachable: every other format was dispatched above.
+            _ => None,
+        },
+    };
+    match new {
+        Some(s) => {
+            syms[d] = s;
+            true
+        }
+        None => false,
+    }
+}
+
+/// Per-iteration delta of register `r`, from the end-of-iteration
+/// symbolic state: `r → r + δ` yields `δ`; a constant that matches the
+/// current architectural value (the previous iteration must have
+/// produced it) yields `0`; renamings and dirty values have none.
+fn delta_of(end: &[Sym], core: &OooCore, r: Reg) -> Option<u64> {
+    match end[r.index()] {
+        Sym::Reg { src, off } if src == r => Some(off),
+        Sym::Const(c) if core.arch_value(r) == c => Some(0),
+        _ => None,
+    }
+}
+
+/// Evaluates an operand to an affine function of the iteration number,
+/// if the register's cross-iteration behavior is affine.
+fn affine(syms: &[Sym], deltas: &[Option<u64>], core: &OooCore, r: Reg) -> Option<Affine> {
+    match syms[r.index()] {
+        Sym::Const(c) => Some(Affine { v0: c, d: 0 }),
+        Sym::Reg { src, off } => deltas[src.index()].map(|d| Affine {
+            v0: core.arch_value(src).wrapping_add(off),
+            d,
+        }),
+        Sym::Dirty => None,
+    }
+}
+
+/// True if the branch's outcome at iteration 0 persists for every
+/// iteration below `horizon`.
+fn outcome_stable(op: Op, a: Affine, b: Affine, isa: Isa, horizon: u128) -> bool {
+    let mask = xlen_mask(isa);
+    let (da, db) = (a.d & mask, b.d & mask);
+    if da == 0 && db == 0 {
+        return true;
+    }
+    match op {
+        Op::Beq | Op::Bne => {
+            let s = da.wrapping_sub(db) & mask;
+            if s == 0 {
+                // Constant difference: equality status never changes.
+                return true;
+            }
+            let r = b.v0.wrapping_sub(a.v0) & mask;
+            if r == 0 {
+                // Equal now but drifting apart: the outcome flips at k=1.
+                return false;
+            }
+            first_coincidence(s, r, isa.xlen()) > horizon
+        }
+        // `a < b` is not a function of `a − b`: even equal nonzero
+        // deltas flip comparisons when one side wraps before the other.
+        _ => false,
+    }
+}
+
+/// Smallest `k ≥ 1` with `k·s ≡ r (mod 2^xlen)` for `s, r ≢ 0`, or
+/// `u128::MAX` when no solution exists. Writing `s = odd · 2^tz`, a
+/// solution requires `2^tz | r` and is then unique modulo `2^(xlen−tz)`.
+fn first_coincidence(s: u64, r: u64, xlen: u32) -> u128 {
+    let tz = s.trailing_zeros(); // s != 0 within xlen bits, so tz < xlen
+    if tz > 0 && r & ((1u64 << tz) - 1) != 0 {
+        return u128::MAX;
+    }
+    let n = xlen - tz;
+    let nmask = match n {
+        64 => u64::MAX,
+        n => (1u64 << n) - 1,
+    };
+    let inv = modinv_pow2(s >> tz, n);
+    let k = ((r >> tz) as u128).wrapping_mul(inv as u128) as u64 & nmask;
+    if k == 0 {
+        // `k ≡ 0`: the smallest *positive* solution is the modulus.
+        1u128 << n
+    } else {
+        k as u128
+    }
+}
+
+/// Inverse of odd `a` modulo `2^nbits` by Newton–Hensel iteration
+/// (`x ← x(2 − ax)` doubles the number of correct low bits; 7 rounds
+/// cover 64 from the seed's 1).
+fn modinv_pow2(a: u64, nbits: u32) -> u64 {
+    debug_assert_eq!(a & 1, 1, "inverse of an even number mod 2^n");
+    let a = a as u128;
+    let mut x: u128 = 1;
+    for _ in 0..7 {
+        x = x.wrapping_mul(2u128.wrapping_sub(a.wrapping_mul(x)));
+    }
+    let m = match nbits {
+        64 => u64::MAX,
+        n => (1u64 << n) - 1,
+    };
+    (x as u64) & m
+}
+
+/// Discharges one memory access for every iteration below `horizon`:
+/// the address must be affine, stay aligned, and march entirely inside
+/// `[lo, MEM_SIZE)` (staying below `MEM_SIZE` also proves it never wraps
+/// the xlen space, so the affine model and the truncating AGU agree).
+fn access_ok_forever(
+    syms: &[Sym],
+    deltas: &[Option<u64>],
+    core: &OooCore,
+    i: &Instr,
+    lo: u64,
+    horizon: u128,
+) -> bool {
+    let isa = core.isa();
+    let Some(base) = affine(syms, deltas, core, i.rs1) else {
+        return false;
+    };
+    let size = i.op.access_bytes();
+    let addr0 = exec::trunc(isa, base.v0.wrapping_add(i.imm as u64));
+    let d = base.d & xlen_mask(isa);
+    // Access sizes are powers of two dividing 2^xlen, so alignment at
+    // every k needs exactly: start aligned, step a multiple of the size.
+    if !addr0.is_multiple_of(size) || !d.is_multiple_of(size) {
+        return false;
+    }
+    let step: i128 = match isa.xlen() {
+        64 => (d as i64) as i128,
+        _ => (d as u32 as i32) as i128,
+    };
+    let Ok(h) = i128::try_from(horizon) else {
+        return false;
+    };
+    let Some(travel) = step.checked_mul(h) else {
+        return false;
+    };
+    let a0 = addr0 as i128;
+    let Some(last) = a0.checked_add(travel) else {
+        return false;
+    };
+    let (first, hi) = (a0.min(last), a0.max(last));
+    first >= lo as i128 && hi + size as i128 <= MEM_SIZE as i128
+}
+
+/// Runs both symbolic passes over the loop body and discharges every
+/// obligation up to `horizon` iterations.
+fn prove(core: &OooCore, body: &[(u64, Instr)], horizon: u128) -> bool {
+    let isa = core.isa();
+    let nregs = isa.num_regs() as usize;
+    // Mode-dependent access windows (mode is invariant along a provable
+    // body). User stores cannot reach text by hardware protection;
+    // kernel stores are confined above every text region the body could
+    // execute, enforced *directly* against the body's own pcs below.
+    let (load_lo, store_lo) = if core.in_user_mode() {
+        (USER_DATA as u64, USER_DATA as u64)
+    } else {
+        (0u64, OUTPUT_BASE as u64)
+    };
+    if body.iter().any(|&(pc, _)| pc.wrapping_add(4) > store_lo) {
+        return false;
+    }
+    let identity = |_: ()| -> Vec<Sym> {
+        (0..nregs)
+            .map(|r| Sym::Reg {
+                src: Reg(r as u8),
+                off: 0,
+            })
+            .collect()
+    };
+    // Pass 1: whole-iteration transfer → per-register deltas.
+    let mut syms = identity(());
+    for (_, instr) in body {
+        if !transfer(&mut syms, instr, isa) {
+            return false;
+        }
+    }
+    let deltas: Vec<Option<u64>> = (0..nregs)
+        .map(|r| delta_of(&syms, core, Reg(r as u8)))
+        .collect();
+
+    // Pass 2: control chain, branch stability, and access obligations at
+    // each body position, against the intra-iteration symbolic state.
+    let mut syms = identity(());
+    for (j, &(pc, ref instr)) in body.iter().enumerate() {
+        let next_pc = body[(j + 1) % body.len()].0;
+        if instr.op.is_branch() {
+            let (Some(a), Some(b)) = (
+                affine(&syms, &deltas, core, instr.rs1),
+                affine(&syms, &deltas, core, instr.rs2),
+            ) else {
+                return false;
+            };
+            let taken = exec::branch_taken(instr.op, a.v0, b.v0, isa);
+            let succ = if taken {
+                pc.wrapping_add(instr.imm as u64)
+            } else {
+                pc.wrapping_add(4)
+            };
+            if succ != next_pc || !outcome_stable(instr.op, a, b, isa, horizon) {
+                return false;
+            }
+        } else if instr.op == Op::Jmp {
+            if pc.wrapping_add(instr.imm as u64) != next_pc {
+                return false;
+            }
+        } else {
+            if pc.wrapping_add(4) != next_pc {
+                return false;
+            }
+            if instr.op.is_mem() {
+                let lo = if instr.op.is_store() {
+                    store_lo
+                } else {
+                    load_lo
+                };
+                if !access_ok_forever(&syms, &deltas, core, instr, lo, horizon) {
+                    return false;
+                }
+            }
+            if !transfer(&mut syms, instr, isa) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modinv_inverts_odd_numbers() {
+        for nbits in [1u32, 2, 3, 8, 31, 32, 63, 64] {
+            let m = match nbits {
+                64 => u64::MAX,
+                n => (1u64 << n) - 1,
+            };
+            for a in [1u64, 3, 5, 0x1234_5679, u64::MAX, 0xdead_beef_cafe_babb] {
+                let a = a & m | 1;
+                let inv = modinv_pow2(a, nbits);
+                assert_eq!(
+                    a.wrapping_mul(inv) & m,
+                    1 & m,
+                    "a={a:#x} nbits={nbits} inv={inv:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_coincidence_solves_the_congruence() {
+        // Brute-force cross-check on a small modulus: every (s, r) pair.
+        let xlen = 8u32; // model an 8-bit word via masking
+        let m = (1u64 << xlen) - 1;
+        for s in 1..=m {
+            for r in 1..=m {
+                let brute = (1..=1u128 << xlen)
+                    .find(|&k| (k as u64).wrapping_mul(s) & m == r)
+                    .unwrap_or(u128::MAX);
+                // first_coincidence assumes inputs masked to xlen.
+                let got = first_coincidence(s, r, xlen);
+                assert_eq!(got, brute, "s={s} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_coincidence_64bit_spot_checks() {
+        // k·1 ≡ r: first solution is r itself.
+        assert_eq!(first_coincidence(1, 12345, 64), 12345);
+        // s = 2^19 (the classic flipped-counter delta), r = 2^19 · q:
+        // solution q.
+        assert_eq!(first_coincidence(1 << 19, (1 << 19) * 524_287, 64), 524_287);
+        // r not divisible by the 2-power of s: no solution ever.
+        assert_eq!(first_coincidence(1 << 19, 3, 64), u128::MAX);
+        // s = -1 (decrementing counter): k ≡ -r, i.e. 2^64 - r.
+        assert_eq!(first_coincidence(u64::MAX, 10, 64), (1u128 << 64) - 10);
+    }
+
+    #[test]
+    fn find_period_smallest_and_none() {
+        let i = Instr::alu_imm(Op::Addi, Reg(1), Reg(1), 1);
+        let j = Instr::alu_imm(Op::Addi, Reg(2), Reg(2), 1);
+        // Alternating 2-cycle: period 2, not 1.
+        let t: Vec<(u64, Instr)> = (0..40)
+            .map(|k| if k % 2 == 0 { (100, i) } else { (104, j) })
+            .collect();
+        assert_eq!(find_period(&t), Some(2));
+        // Uniform stream: period 1.
+        let u: Vec<(u64, Instr)> = (0..40).map(|_| (100, i)).collect();
+        assert_eq!(find_period(&u), Some(1));
+        // Aperiodic tail: distinct pcs.
+        let a: Vec<(u64, Instr)> = (0..40).map(|k| (100 + 4 * k, i)).collect();
+        assert_eq!(find_period(&a), None);
+    }
+
+    #[test]
+    fn inequality_branches_need_zero_deltas() {
+        // Equal nonzero deltas keep a - b constant, but Bltu still flips
+        // at wraparound — the prover must refuse it.
+        let a = Affine { v0: 10, d: 1 };
+        let b = Affine { v0: 1000, d: 1 };
+        assert!(!outcome_stable(Op::Bltu, a, b, Isa::Va64, 1 << 40));
+        assert!(outcome_stable(
+            Op::Bltu,
+            Affine { v0: 10, d: 0 },
+            Affine { v0: 1000, d: 0 },
+            Isa::Va64,
+            1 << 40
+        ));
+    }
+
+    #[test]
+    fn equality_branch_flip_solved_exactly() {
+        // a starts 0 and climbs by 1; b fixed at 1000: Bne stays taken
+        // until k = 1000 exactly.
+        let a = Affine { v0: 0, d: 1 };
+        let b = Affine { v0: 1000, d: 0 };
+        assert!(outcome_stable(Op::Bne, a, b, Isa::Va64, 999));
+        assert!(!outcome_stable(Op::Bne, a, b, Isa::Va64, 1000));
+        // Currently equal and drifting: flips immediately.
+        assert!(!outcome_stable(
+            Op::Beq,
+            Affine { v0: 7, d: 2 },
+            Affine { v0: 7, d: 0 },
+            Isa::Va64,
+            2
+        ));
+        // Constant difference: stable at any horizon.
+        assert!(outcome_stable(
+            Op::Bne,
+            Affine { v0: 7, d: 5 },
+            Affine { v0: 9, d: 5 },
+            Isa::Va64,
+            u128::MAX
+        ));
+    }
+}

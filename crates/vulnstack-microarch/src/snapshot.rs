@@ -136,6 +136,17 @@ impl CheckpointStore {
         cycle.saturating_sub(self.nearest_cycle(cycle))
     }
 
+    /// The snapshot taken exactly at `cycle`, if the store holds one
+    /// (i.e. `cycle` is an interval boundary within the recorded run).
+    /// Used by the early-termination engine, which may only compare a
+    /// faulty core against golden state at the *same* cycle.
+    pub fn at_cycle(&self, cycle: u64) -> Option<&OooCore> {
+        if !cycle.is_multiple_of(self.interval) {
+            return None;
+        }
+        self.snaps.get((cycle / self.interval) as usize)
+    }
+
     /// The nearest checkpoint at or before `cycle`.
     pub fn nearest(&self, cycle: u64) -> &OooCore {
         let idx = ((cycle / self.interval) as usize).min(self.snaps.len() - 1);

@@ -21,8 +21,9 @@ use vulnstack_compiler::{compile, CompileOpts};
 use vulnstack_core::report::{pct, pct2, Table};
 use vulnstack_core::{JournalOpts, ResumeMode, ResumeStats, RunPolicy};
 use vulnstack_gefin::{
-    avf_campaign, avf_campaign_resumable, default_threads, pvf_campaign, pvf_campaign_resumable,
-    FuncPrepared, Prepared, PvfMode,
+    avf_campaign, avf_campaign_planned, avf_campaign_resumable, avf_campaign_resumable_planned,
+    default_threads, pvf_campaign, pvf_campaign_resumable, FuncPrepared, InjectionPlan, Prepared,
+    PruneStats, PvfMode,
 };
 use vulnstack_isa::Isa;
 use vulnstack_microarch::ooo::HwStructure;
@@ -47,7 +48,8 @@ fn usage() {
     eprintln!("  vulnstack list");
     eprintln!("  vulnstack run     <workload> [--model A72]");
     eprintln!("  vulnstack avf     <workload> [--model A72] [--structure RF|LSQ|L1i|L1d|L2]");
-    eprintln!("                    [--faults N] [--seed S] [--journal PATH [--resume]]");
+    eprintln!("                    [--faults N] [--seed S] [--plan sampled|pruned]");
+    eprintln!("                    [--journal PATH [--resume]]");
     eprintln!("  vulnstack pvf     <workload> [--isa va32|va64] [--mode wd|woi|wi]");
     eprintln!("                    [--faults N] [--seed S] [--journal PATH [--resume]]");
     eprintln!("  vulnstack svf     <workload> [--faults N] [--seed S] [--breakdown] [--hardened]");
@@ -132,6 +134,18 @@ impl Opts {
 
     fn switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
+    }
+
+    /// Whether the campaign runs through the exactness-preserving pruned
+    /// executor. `--plan sampled|pruned` wins; without the flag the
+    /// `VULNSTACK_PRUNE` environment knob decides (default: sampled).
+    fn plan_pruned(&self) -> Result<bool, String> {
+        match self.flags.get("plan").map(String::as_str) {
+            None => Ok(vulnstack_gefin::prune_default()),
+            Some("sampled") => Ok(false),
+            Some("pruned") => Ok(true),
+            Some(other) => Err(format!("unknown plan {other} (expected sampled|pruned)")),
+        }
     }
 
     /// Journaling options from `--journal PATH` / `--resume`: `--journal`
@@ -259,10 +273,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 "AVF",
                 "HVF",
             ]);
+            let pruned = opts.plan_pruned()?;
+            let plan = InjectionPlan::Pruned { n: faults, seed };
             let mut resume_report: Option<(ResumeStats, Vec<vulnstack_core::Quarantine>)> = None;
+            let mut prune_report: Vec<(&'static str, PruneStats)> = Vec::new();
             for st in structures {
-                let r = match &journal {
-                    Some(jopts) => {
+                let r = match (&journal, pruned) {
+                    (Some(jopts), false) => {
                         let out = avf_campaign_resumable(
                             &prep,
                             st,
@@ -276,7 +293,31 @@ fn run(args: &[String]) -> Result<(), String> {
                         resume_report = Some((out.stats, out.quarantined));
                         out.result
                     }
-                    None => avf_campaign(&prep, st, faults, seed, default_threads()),
+                    (Some(jopts), true) => {
+                        let (out, stats) = avf_campaign_resumable_planned(
+                            &prep,
+                            st,
+                            &plan,
+                            default_threads(),
+                            jopts,
+                            None,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        resume_report = Some((out.stats, out.quarantined));
+                        if let Some(s) = stats {
+                            prune_report.push((st.name(), s));
+                        }
+                        out.result
+                    }
+                    (None, false) => avf_campaign(&prep, st, faults, seed, default_threads()),
+                    (None, true) => {
+                        let (out, stats) =
+                            avf_campaign_planned(&prep, st, &plan, default_threads(), None);
+                        if let Some(s) = stats {
+                            prune_report.push((st.name(), s));
+                        }
+                        out
+                    }
                 };
                 t.row(&[
                     st.name().into(),
@@ -290,6 +331,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 ]);
             }
             println!("{}", t.render());
+            for (st, s) in &prune_report {
+                println!(
+                    "{st} pruning: {} sites = {} dead + {} memoized ({} pilots) + {} singletons; \
+                     {} early-terminated, {} proven hangs",
+                    s.sites,
+                    s.dead_masked,
+                    s.memo_hits,
+                    s.pilot_runs,
+                    s.singleton_runs,
+                    s.early_terminated,
+                    s.runaway_terminated
+                );
+            }
             if let (Some(jopts), Some((stats, quarantined))) = (&journal, &resume_report) {
                 report_resume(jopts.path, stats, quarantined);
             }
@@ -623,6 +677,19 @@ mod tests {
         assert!(o.model().is_err());
         let o = parse_opts(&sv(&["--isa", "mips"])).unwrap();
         assert!(o.isa().is_err());
+    }
+
+    #[test]
+    fn plan_flag_parses_and_rejects_junk() {
+        let o = parse_opts(&sv(&["--plan", "pruned"])).unwrap();
+        assert!(o.plan_pruned().unwrap());
+        let o = parse_opts(&sv(&["--plan", "sampled"])).unwrap();
+        assert!(!o.plan_pruned().unwrap());
+        let o = parse_opts(&sv(&["--plan", "psychic"])).unwrap();
+        assert!(o.plan_pruned().is_err());
+        // Without the flag the VULNSTACK_PRUNE knob decides; the test
+        // runner does not set it, so the default is the sampled plan.
+        assert!(!parse_opts(&[]).unwrap().plan_pruned().unwrap());
     }
 
     #[test]

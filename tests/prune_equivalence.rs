@@ -1,0 +1,238 @@
+//! Exactness of equivalence-class pruning: the pruned campaign must be a
+//! pure optimisation, producing per-site records — and therefore AVF
+//! tallies and FPM distributions — bit-identical to the full campaign's,
+//! across workloads, core models, thread counts, and a kill-and-resume
+//! of the pruned campaign itself. This is the test the speedup bench
+//! (`ablation_pruning_speedup`) leans on: any wall-clock win it reports
+//! is only meaningful because these assertions hold.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use vulnstack_core::{JournalError, JournalOpts, ResumeMode, RunPolicy};
+use vulnstack_gefin::{
+    avf_campaign, avf_campaign_planned, avf_campaign_resumable_planned, temporal_campaign,
+    temporal_campaign_pruned, InjectionPlan, Prepared,
+};
+use vulnstack_microarch::ooo::HwStructure;
+use vulnstack_microarch::CoreModel;
+use vulnstack_workloads::WorkloadId;
+
+const N: usize = 32;
+const SEED: u64 = 17;
+const STRUCTURE: HwStructure = HwStructure::RegisterFile;
+
+fn prep_crc32_a72() -> &'static Prepared {
+    static PREP: OnceLock<Prepared> = OnceLock::new();
+    PREP.get_or_init(|| {
+        let w = WorkloadId::Crc32.build();
+        Prepared::new(&w, CoreModel::A72).expect("prepare crc32/A72")
+    })
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vulnstack-prune-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn opts<'a>(path: &'a Path, mode: ResumeMode) -> JournalOpts<'a> {
+    JournalOpts {
+        path,
+        mode,
+        policy: RunPolicy::default(),
+        workload: "crc32",
+    }
+}
+
+/// Sorted journal body lines (header excluded): completion order varies
+/// with the thread count, the record *set* must not.
+fn sorted_entries(path: &Path) -> Vec<String> {
+    let content = std::fs::read_to_string(path).unwrap();
+    let mut lines: Vec<String> = content.lines().skip(1).map(String::from).collect();
+    lines.sort();
+    lines
+}
+
+/// Truncates a completed *pruned* journal back to its header, its
+/// `class-table` metadata line, and `keep` record lines, then appends a
+/// torn half-record — the on-disk state a SIGKILL mid-append leaves.
+fn interrupt_pruned_journal(full: &Path, target: &Path, keep: usize) {
+    let content = std::fs::read_to_string(full).unwrap();
+    assert!(
+        content.lines().nth(1).is_some_and(|l| l.starts_with("M|")),
+        "pruned journal must carry its class-table metadata line"
+    );
+    let kept: Vec<&str> = content.lines().take(2 + keep).collect();
+    let mut torn = format!("{}\n", kept.join("\n"));
+    torn.push_str("R|999|half-written");
+    std::fs::write(target, torn).unwrap();
+}
+
+#[test]
+fn pruned_campaign_is_bit_identical_across_workloads_models_and_threads() {
+    for (wid, model) in [
+        (WorkloadId::Qsort, CoreModel::A9),
+        (WorkloadId::Qsort, CoreModel::A72),
+        (WorkloadId::Crc32, CoreModel::A9),
+        (WorkloadId::Crc32, CoreModel::A72),
+    ] {
+        let w = wid.build();
+        let prep = Prepared::new(&w, model).unwrap();
+        let full = avf_campaign(&prep, STRUCTURE, N, SEED, 4);
+        for threads in [1, 4] {
+            let (pruned, stats) = avf_campaign_planned(
+                &prep,
+                STRUCTURE,
+                &InjectionPlan::Pruned { n: N, seed: SEED },
+                threads,
+                None,
+            );
+            let label = format!("{}/{} threads={threads}", wid.name(), model.name());
+            assert_eq!(
+                pruned.records, full.records,
+                "{label}: pruned records must be bit-identical to the full campaign"
+            );
+            assert_eq!(pruned.tally, full.tally, "{label}");
+            // FpmDist carries no equality; record equality already pins
+            // the distribution, spot-check the derived HVF too.
+            assert!((pruned.hvf() - full.hvf()).abs() < 1e-12, "{label}");
+            let stats = stats.expect("pruned plan reports stats");
+            assert_eq!(stats.sites, N as u64, "{label}");
+            assert!(
+                stats.sites_pruned() > 0,
+                "{label}: a register-file campaign must prune something: {stats:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pruned_temporal_sweep_matches_full_sweep() {
+    let prep = prep_crc32_a72();
+    let full = temporal_campaign(prep, STRUCTURE, 4, 8, SEED, 4);
+    for threads in [1, 4] {
+        let (pruned, stats) = temporal_campaign_pruned(prep, STRUCTURE, 4, 8, SEED, threads, None);
+        assert_eq!(pruned.tallies, full.tallies, "threads={threads}");
+        assert_eq!(pruned.bounds, full.bounds);
+        assert_eq!(stats.sites, 32);
+    }
+}
+
+#[test]
+fn pruned_kill_and_resume_is_bit_identical() {
+    let prep = prep_crc32_a72();
+    let plan = InjectionPlan::Pruned { n: N, seed: SEED };
+    let baseline = avf_campaign(prep, STRUCTURE, N, SEED, 4);
+
+    // Uninterrupted pruned journaled run matches the plain full campaign.
+    let full = tmp("pruned-full.journal");
+    let _ = std::fs::remove_file(&full);
+    let (out, stats) = avf_campaign_resumable_planned(
+        prep,
+        STRUCTURE,
+        &plan,
+        4,
+        &opts(&full, ResumeMode::Fresh),
+        None,
+    )
+    .unwrap();
+    assert_eq!(out.result.records, baseline.records);
+    assert_eq!(out.stats.executed, N);
+    assert!(out.quarantined.is_empty());
+    assert!(stats.expect("pruned stats").sites_pruned() > 0);
+
+    // Kill mid-campaign, resume at different thread counts: identical
+    // records, identical journal contents, and the class-table metadata
+    // must agree (the resumed run rebuilds the table and verifies).
+    for threads in [1, 4] {
+        let path = tmp(&format!("pruned-killed-t{threads}.journal"));
+        interrupt_pruned_journal(&full, &path, 9);
+        let (resumed, _) = avf_campaign_resumable_planned(
+            prep,
+            STRUCTURE,
+            &plan,
+            threads,
+            &opts(&path, ResumeMode::ResumeRequired),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.result.records, baseline.records,
+            "threads={threads}: resumed pruned records must be bit-identical"
+        );
+        assert_eq!(resumed.stats.replayed, 9, "threads={threads}");
+        assert_eq!(resumed.stats.executed, N - 9, "threads={threads}");
+        assert!(resumed.stats.truncated_bytes > 0);
+        assert_eq!(
+            sorted_entries(&path),
+            sorted_entries(&full),
+            "threads={threads}: completed journals must hold the same records"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_file(&full);
+}
+
+#[test]
+fn pruned_resume_refuses_a_damaged_class_table() {
+    let prep = prep_crc32_a72();
+    let plan = InjectionPlan::Pruned { n: N, seed: SEED };
+    let path = tmp("pruned-damaged-meta.journal");
+    let _ = std::fs::remove_file(&path);
+    avf_campaign_resumable_planned(
+        prep,
+        STRUCTURE,
+        &plan,
+        4,
+        &opts(&path, ResumeMode::Fresh),
+        None,
+    )
+    .unwrap();
+
+    // Corrupt one byte of the class-table metadata payload. The line
+    // checksum no longer verifies, the journal truncates there, and the
+    // resume must refuse — naming the digest it expected — rather than
+    // silently re-prune over unverifiable records.
+    let content = std::fs::read_to_string(&path).unwrap();
+    let damaged: Vec<String> = content
+        .lines()
+        .map(|l| {
+            if let Some(rest) = l.strip_prefix("M|class-table|fnv=") {
+                let flipped =
+                    rest.replacen(&rest[..1], if &rest[..1] == "0" { "1" } else { "0" }, 1);
+                format!("M|class-table|fnv={flipped}")
+            } else {
+                l.to_string()
+            }
+        })
+        .collect();
+    std::fs::write(&path, format!("{}\n", damaged.join("\n"))).unwrap();
+
+    let err = avf_campaign_resumable_planned(
+        prep,
+        STRUCTURE,
+        &plan,
+        4,
+        &opts(&path, ResumeMode::ResumeRequired),
+        None,
+    )
+    .unwrap_err();
+    match err {
+        JournalError::MetaMismatch {
+            key,
+            expected,
+            found,
+            ..
+        } => {
+            assert_eq!(key, "class-table");
+            assert!(expected.starts_with("fnv="));
+            assert_eq!(
+                found, None,
+                "a damaged metadata line must truncate, not parse"
+            );
+        }
+        other => panic!("expected a class-table metadata mismatch, got {other}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}

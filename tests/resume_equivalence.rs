@@ -315,6 +315,7 @@ fn a_panicking_injection_is_quarantined_and_the_campaign_completes() {
         order: &order,
         threads: 4,
         policy: RunPolicy { max_retries: 1 },
+        meta: &[],
     };
     let poisoned = 3usize;
     let out = campaign
