@@ -84,6 +84,134 @@ pub struct ModuleCfg {
     pub undecodable: Vec<u32>,
 }
 
+/// A raw executable text segment, for analysing images that never went
+/// through [`CompiledModule`] — e.g. the kernel's boot stub and trap
+/// handler, which are authored directly in assembly.
+#[derive(Debug, Clone)]
+pub struct TextSegment {
+    /// Symbol-like name for reports.
+    pub name: String,
+    /// Absolute word offset of the segment's first instruction (byte
+    /// address / 4).
+    pub start_word: u32,
+    /// Encoded instruction words in layout order.
+    pub words: Vec<u32>,
+}
+
+/// Recovers a CFG per raw text segment, treating each segment as one
+/// function. Branch targets are resolved segment-locally (the kernel's
+/// handlers never branch across segments); jumps that leave the segment
+/// become exit edges, exactly like [`build_cfg`]'s out-of-symbol case.
+pub fn build_cfg_segments(isa: Isa, segments: &[TextSegment]) -> ModuleCfg {
+    let mut funcs = Vec::with_capacity(segments.len());
+    let mut undecodable = Vec::new();
+    for seg in segments {
+        let instrs: Vec<DecodedWord> = seg
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, &raw)| DecodedWord {
+                word_off: seg.start_word + i as u32,
+                raw,
+                instr: Instr::decode(raw, isa).ok(),
+            })
+            .collect();
+        for dw in &instrs {
+            if dw.instr.is_none() {
+                undecodable.push(dw.word_off);
+            }
+        }
+        funcs.push(build_func_cfg(
+            seg.name.clone(),
+            seg.start_word,
+            instrs,
+            isa,
+        ));
+    }
+    ModuleCfg {
+        isa,
+        funcs,
+        undecodable,
+    }
+}
+
+/// One call instruction in the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Index of the calling function in [`ModuleCfg::funcs`].
+    pub caller: usize,
+    /// Local instruction index of the `CALL`/`CALLR` within the caller.
+    pub instr: usize,
+    /// Resolved callee function index, or `None` for indirect calls and
+    /// direct targets that match no function entry.
+    pub callee: Option<usize>,
+}
+
+/// The module's call graph, recovered statically from `CALL` immediates.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Every call site in the module, in (caller, instruction) order.
+    pub sites: Vec<CallSite>,
+    /// Resolved callee indices per caller (deduplicated, sorted).
+    pub callees: Vec<Vec<usize>>,
+    /// Caller indices per callee (deduplicated, sorted).
+    pub callers: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Call sites that could not be resolved to a function entry.
+    pub fn unresolved(&self) -> usize {
+        self.sites.iter().filter(|s| s.callee.is_none()).count()
+    }
+}
+
+/// Recovers the call graph: a `CALL`'s target word is its own position
+/// plus the encoded byte offset / 4; it resolves to the function whose
+/// entry sits exactly there. `CALLR` is always unresolved (the target
+/// lives in a register).
+pub fn call_graph(m: &ModuleCfg) -> CallGraph {
+    let n = m.funcs.len();
+    let mut sites = Vec::new();
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (fi, f) in m.funcs.iter().enumerate() {
+        for (i, dw) in f.instrs.iter().enumerate() {
+            let Some(instr) = &dw.instr else { continue };
+            let callee = match instr.op {
+                Op::Call => {
+                    let target = dw.word_off as i64 + instr.imm / 4;
+                    m.funcs
+                        .iter()
+                        .position(|g| g.start_word as i64 == target && !g.instrs.is_empty())
+                }
+                Op::Callr => None,
+                _ => continue,
+            };
+            sites.push(CallSite {
+                caller: fi,
+                instr: i,
+                callee,
+            });
+            if let Some(c) = callee {
+                if !callees[fi].contains(&c) {
+                    callees[fi].push(c);
+                }
+                if !callers[c].contains(&fi) {
+                    callers[c].push(fi);
+                }
+            }
+        }
+    }
+    for v in callees.iter_mut().chain(callers.iter_mut()) {
+        v.sort_unstable();
+    }
+    CallGraph {
+        sites,
+        callees,
+        callers,
+    }
+}
+
 /// How an instruction terminates (or does not terminate) a basic block.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Term {
@@ -529,6 +657,81 @@ mod tests {
         // return below it is unreachable.
         let f = &cfg.funcs[0];
         assert!(!f.blocks[1].reachable);
+    }
+
+    #[test]
+    fn call_graph_resolves_direct_calls() {
+        let isa = Isa::Va32;
+        // Two functions: f at word 0 calls g at word 2; g returns.
+        // f: 0: call +8 (-> word 2)   1: jmpr lr
+        // g: 2: addi r0, r1, 1        3: jmpr lr
+        let instrs = [
+            Instr::jump(Op::Call, 8),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+            Instr::alu_imm(Op::Addi, Reg(0), Reg(1), 1),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let text: Vec<u32> = instrs.iter().map(|i| i.encode(isa).unwrap()).collect();
+        let m = CompiledModule {
+            isa,
+            text,
+            data: Vec::new(),
+            global_addrs: Vec::new(),
+            func_offsets: vec![0, 2],
+            func_names: vec!["f".to_string(), "g".to_string()],
+            entry_offset: 4,
+            data_size: 0,
+            func_sizes: vec![2, 2],
+        };
+        let cfg = build_cfg(&m);
+        let cg = call_graph(&cfg);
+        assert_eq!(cg.sites.len(), 1);
+        let f_idx = cfg.funcs.iter().position(|f| f.name == "f").unwrap();
+        let g_idx = cfg.funcs.iter().position(|f| f.name == "g").unwrap();
+        assert_eq!(cg.sites[0].caller, f_idx);
+        assert_eq!(cg.sites[0].callee, Some(g_idx));
+        assert_eq!(cg.callees[f_idx], vec![g_idx]);
+        assert_eq!(cg.callers[g_idx], vec![f_idx]);
+        assert_eq!(cg.unresolved(), 0);
+    }
+
+    #[test]
+    fn callr_is_unresolved() {
+        let isa = Isa::Va32;
+        let prog = [
+            Instr::jump_reg(Op::Callr, Reg(5)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let cfg = build_cfg(&module_of(&prog, isa));
+        let cg = call_graph(&cfg);
+        assert_eq!(cg.sites.len(), 1);
+        assert_eq!(cg.sites[0].callee, None);
+        assert_eq!(cg.unresolved(), 1);
+    }
+
+    #[test]
+    fn segments_build_standalone_cfgs() {
+        let isa = Isa::Va64;
+        // A two-instruction segment at a nonzero base, ending in a halt.
+        let words = vec![
+            Instr::alu_imm(Op::Addi, Reg(1), Reg(2), 1)
+                .encode(isa)
+                .unwrap(),
+            Instr::sys(Op::Halt).encode(isa).unwrap(),
+        ];
+        let seg = TextSegment {
+            name: "kboot".to_string(),
+            start_word: 0x100,
+            words,
+        };
+        let cfg = build_cfg_segments(isa, &[seg]);
+        assert_eq!(cfg.funcs.len(), 1);
+        let f = &cfg.funcs[0];
+        assert_eq!(f.name, "kboot");
+        assert_eq!(f.start_word, 0x100);
+        assert_eq!(f.instrs[0].word_off, 0x100);
+        assert!(f.blocks[0].reachable);
+        assert!(cfg.undecodable.is_empty());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! A *statically-proven* pruning oracle for register-file fault sites.
+//!
+//! The dynamic pruning layer (`ClassTable` in `vulnstack-gefin`) proves a
+//! site Masked from a recorded access trace: no read before the next
+//! write means the flipped bit is dead. This module proves a strictly
+//! smaller set of sites Masked from the *program text alone*, with no
+//! simulation at all, giving the soundness lattice the tests enforce:
+//!
+//! ```text
+//! static-dead  ⊆  dynamic-dead (ClassTable)  ⊆  injection-Masked
+//! ```
+//!
+//! # The claim, and why it is sound
+//!
+//! [`StaticClassifier`] marks architectural register `r` *dead* only if
+//! **no executable word anywhere in the image** (user text, kernel boot
+//! stub, trap handler) names `r` as a source or a destination. The
+//! out-of-order core's rename table starts as the identity map
+//! (`rat[r] = PReg(r)`) and the free ring starts at `nregs..nphys`, so:
+//!
+//! * `rat[r]` can only change when an instruction *writes* `r` — never
+//!   happens, so physical register `r` backs `r` forever;
+//! * physical register `r` can only enter the free ring when a write to
+//!   some architectural register retires and frees the previous mapping
+//!   — since `PReg(r)` is never a previous mapping of any written
+//!   register and never allocated from the ring, it is never recycled;
+//! * the value of `PReg(r)` is only observable through `read_phys`,
+//!   which is only reached from instructions that *read* `r` — never
+//!   happens, on the right path or any mispredicted wrong path, because
+//!   the scan covers every decodable word of every executable segment,
+//!   not just the statically-reachable ones.
+//!
+//! Hence flipping any bit of `PReg(r)` at any cycle perturbs state that
+//! no future architectural event depends on: the faulted run and the
+//! golden run retire identical instruction streams, and the site is
+//! Masked. Two deliberate pessimisms keep the claim airtight:
+//!
+//! * the hardwired zero register is excluded (its physical register
+//!   backs every constant-zero *read*, which `regs_read` reports anyway,
+//!   but excluding it costs nothing and documents intent);
+//! * undecodable words mark **nothing** dead on their own, but the scan
+//!   is per-register across all words, so a register named only by an
+//!   undecodable word is still treated as accessed — we conservatively
+//!   decode-or-give-up per word and treat a failed decode as "could be
+//!   anything": any register may be accessed by it.
+//!
+//! The one assumption inherited from the platform is W^X: executable
+//! segments are not rewritten at run time. The compiler and kernel
+//! never do this; the cross-check lives in the lattice property test,
+//! which injects into statically-dead sites and asserts Masked.
+
+use vulnstack_isa::{Instr, Isa, Reg};
+
+/// Statically proven facts about which architectural registers an image
+/// can never access.
+#[derive(Debug, Clone)]
+pub struct StaticClassifier {
+    isa: Isa,
+    /// `accessed[r]` — some executable word reads or writes `r`, or a
+    /// word failed to decode (then all registers are marked).
+    accessed: Vec<bool>,
+}
+
+impl StaticClassifier {
+    /// Scans every word of every executable segment.
+    pub fn build<'a>(isa: Isa, segments: impl IntoIterator<Item = &'a [u32]>) -> StaticClassifier {
+        let nregs = isa.num_regs() as usize;
+        let mut accessed = vec![false; nregs];
+        // The zero register's physical register backs constant reads;
+        // never claim it dead.
+        if let Some(z) = isa.zero() {
+            accessed[z.0 as usize] = true;
+        }
+        for seg in segments {
+            for &word in seg {
+                match Instr::decode(word, isa) {
+                    Ok(instr) => {
+                        for r in instr.regs_read() {
+                            accessed[r.0 as usize] = true;
+                        }
+                        for r in instr.regs_written(isa) {
+                            accessed[r.0 as usize] = true;
+                        }
+                    }
+                    Err(_) => {
+                        // A word we cannot decode could, under a fetch
+                        // corruption, decode as anything; give up on the
+                        // whole claim rather than risk unsoundness.
+                        accessed.iter_mut().for_each(|a| *a = true);
+                        return StaticClassifier { isa, accessed };
+                    }
+                }
+            }
+        }
+        StaticClassifier { isa, accessed }
+    }
+
+    /// The ISA this classifier was built for.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// True if no executable word names `r` at all.
+    pub fn never_accessed(&self, r: Reg) -> bool {
+        !self.accessed[r.0 as usize]
+    }
+
+    /// Every architectural register proven dead.
+    pub fn dead_regs(&self) -> Vec<Reg> {
+        (0..self.accessed.len() as u8)
+            .map(Reg)
+            .filter(|r| self.never_accessed(*r))
+            .collect()
+    }
+
+    /// Whether a register-file fault site (a flat bit index into the
+    /// physical register file, as used by `inject(RegisterFile, bit)`)
+    /// lands in a statically-dead physical register.
+    ///
+    /// Only the identity-mapped low physical registers (`PReg(r)` for a
+    /// never-accessed architectural `r`) are claimable: higher physical
+    /// registers circulate through the free ring and hold live values.
+    pub fn rf_bit_dead(&self, bit: u64, nphys: usize) -> bool {
+        let xlen = self.isa.xlen() as u64;
+        let preg = (bit / xlen) as usize % nphys;
+        preg < self.accessed.len() && !self.accessed[preg]
+    }
+
+    /// Fraction of register-file fault sites proven dead, for a core
+    /// with `nphys` physical registers.
+    pub fn static_dead_fraction(&self, nphys: usize) -> f64 {
+        if nphys == 0 {
+            return 0.0;
+        }
+        let dead = self.dead_regs().len();
+        dead as f64 / nphys as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnstack_isa::Op;
+
+    fn words(instrs: &[Instr], isa: Isa) -> Vec<u32> {
+        instrs.iter().map(|i| i.encode(isa).unwrap()).collect()
+    }
+
+    #[test]
+    fn untouched_registers_are_dead_and_touched_ones_are_not() {
+        let isa = Isa::Va32;
+        let prog = words(
+            &[
+                Instr::alu_imm(Op::Addi, Reg(1), Reg(2), 5),
+                Instr::sys(Op::Halt),
+            ],
+            isa,
+        );
+        let c = StaticClassifier::build(isa, [prog.as_slice()]);
+        assert!(!c.never_accessed(Reg(1)), "written reg is accessed");
+        assert!(!c.never_accessed(Reg(2)), "read reg is accessed");
+        assert!(c.never_accessed(Reg(9)), "untouched reg is dead");
+        assert!(c.dead_regs().contains(&Reg(9)));
+    }
+
+    #[test]
+    fn zero_register_is_never_claimed_dead() {
+        let isa = Isa::Va64;
+        let prog = words(&[Instr::sys(Op::Halt)], isa);
+        let c = StaticClassifier::build(isa, [prog.as_slice()]);
+        let z = isa.zero().unwrap();
+        assert!(!c.never_accessed(z));
+    }
+
+    #[test]
+    fn undecodable_word_disables_all_claims() {
+        let isa = Isa::Va32;
+        let mut prog = words(&[Instr::sys(Op::Halt)], isa);
+        prog.push(0xffff_ffff);
+        let c = StaticClassifier::build(isa, [prog.as_slice()]);
+        assert!(c.dead_regs().is_empty());
+    }
+
+    #[test]
+    fn rf_bit_mapping_matches_the_injector() {
+        let isa = Isa::Va32;
+        let prog = words(&[Instr::sys(Op::Halt)], isa);
+        let c = StaticClassifier::build(isa, [prog.as_slice()]);
+        let nphys = 48;
+        let xlen = isa.xlen() as u64;
+        // Bits inside PReg(9) (dead) vs PReg(13) = sp? sp is not in this
+        // program either, but pick an accessed-free reg explicitly.
+        assert!(c.never_accessed(Reg(9)));
+        assert!(c.rf_bit_dead(9 * xlen, nphys));
+        assert!(c.rf_bit_dead(9 * xlen + (xlen - 1), nphys));
+        // High physical registers are never claimed.
+        assert!(!c.rf_bit_dead(20 * xlen, nphys));
+        // Wrap-around mirrors `inject`'s modulo addressing.
+        assert!(c.rf_bit_dead((nphys as u64 + 9) * xlen, nphys));
+    }
+}

@@ -1,0 +1,266 @@
+//! A generic worklist dataflow solver over a recovered [`FuncCfg`].
+//!
+//! Every block-structured analysis in this crate — backward liveness,
+//! the fault-model taint pass — is an instance of one fixed-point
+//! scheme: facts attached to block boundaries, a join that merges facts
+//! flowing along CFG edges, and a per-instruction transfer function
+//! applied through each block in the analysis direction. This module
+//! factors that scheme out so a new analysis is nothing but a
+//! [`Transfer`] implementation.
+//!
+//! The solver initialises every block fact to the analysis
+//! bottom element, seeds boundary blocks (exit blocks for backward
+//! analyses, the entry block for forward ones) with the boundary fact,
+//! and iterates a worklist until no fact changes. Because joins are
+//! required to be monotone (they only ever *add* information, as
+//! signalled by their `bool` return), termination follows from the
+//! finite fact lattice every instance here uses.
+
+use std::collections::VecDeque;
+
+use crate::cfg::FuncCfg;
+
+/// Direction a dataflow analysis propagates facts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors.
+    Forward,
+    /// Facts flow from successors to predecessors.
+    Backward,
+}
+
+/// One dataflow analysis: the lattice and transfer function the generic
+/// solver iterates.
+pub trait Transfer {
+    /// The per-program-point fact (e.g. a live-width vector, a per-register
+    /// sink-reachability vector).
+    type Fact: Clone + PartialEq;
+
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// The lattice bottom: the fact every block starts from.
+    fn bottom(&self, f: &FuncCfg) -> Self::Fact;
+
+    /// The fact holding at the analysis boundary: function exit for
+    /// backward analyses (applied to blocks with no successors), function
+    /// entry for forward ones (applied to block 0).
+    fn boundary(&self, f: &FuncCfg) -> Self::Fact;
+
+    /// Joins `src` into `dst`, returning whether `dst` changed. Must be
+    /// monotone: repeated joins of the same fact must converge.
+    fn join(&self, dst: &mut Self::Fact, src: &Self::Fact) -> bool;
+
+    /// Applies instruction `i`'s transfer function to `fact` in the
+    /// analysis direction (for backward analyses `fact` is the state
+    /// *after* the instruction and becomes the state *before* it).
+    fn transfer(&self, f: &FuncCfg, i: usize, fact: &mut Self::Fact);
+}
+
+/// Converged facts at block boundaries, in program order: `entry[b]`
+/// holds at the top of block `b`, `exit[b]` at its bottom — regardless
+/// of analysis direction.
+#[derive(Debug, Clone)]
+pub struct BlockFacts<F> {
+    /// Fact at each block entry.
+    pub entry: Vec<F>,
+    /// Fact at each block exit.
+    pub exit: Vec<F>,
+}
+
+/// Runs `a` to a fixed point over `f`'s blocks.
+pub fn solve<A: Transfer>(a: &A, f: &FuncCfg) -> BlockFacts<A::Fact> {
+    let nblocks = f.blocks.len();
+    let bottom = a.bottom(f);
+    let mut entry = vec![bottom.clone(); nblocks];
+    let mut exit = vec![bottom.clone(); nblocks];
+    if nblocks == 0 {
+        return BlockFacts { entry, exit };
+    }
+    let boundary = a.boundary(f);
+    let backward = a.direction() == Direction::Backward;
+
+    // Seed every block once; re-queue dependents on change.
+    let mut queue: VecDeque<usize> = if backward {
+        (0..nblocks).rev().collect()
+    } else {
+        (0..nblocks).collect()
+    };
+    let mut queued = vec![true; nblocks];
+
+    while let Some(b) = queue.pop_front() {
+        queued[b] = false;
+        if backward {
+            // Exit fact: join of successors' entries, or the boundary
+            // fact at function exits.
+            let mut fact = if f.blocks[b].succs.is_empty() {
+                boundary.clone()
+            } else {
+                let mut x = bottom.clone();
+                for &s in &f.blocks[b].succs {
+                    a.join(&mut x, &entry[s]);
+                }
+                x
+            };
+            exit[b] = fact.clone();
+            for i in f.blocks[b].range.clone().rev() {
+                a.transfer(f, i, &mut fact);
+            }
+            if a.join(&mut entry[b], &fact) {
+                for &p in &f.blocks[b].preds {
+                    if !queued[p] {
+                        queued[p] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        } else {
+            let mut fact = if b == 0 {
+                let mut x = boundary.clone();
+                for &p in &f.blocks[b].preds {
+                    a.join(&mut x, &exit[p]);
+                }
+                x
+            } else {
+                let mut x = bottom.clone();
+                for &p in &f.blocks[b].preds {
+                    a.join(&mut x, &exit[p]);
+                }
+                x
+            };
+            entry[b] = fact.clone();
+            for i in f.blocks[b].range.clone() {
+                a.transfer(f, i, &mut fact);
+            }
+            if a.join(&mut exit[b], &fact) {
+                for &s in &f.blocks[b].succs {
+                    if !queued[s] {
+                        queued[s] = true;
+                        queue.push_back(s);
+                    }
+                }
+            }
+        }
+    }
+
+    BlockFacts { entry, exit }
+}
+
+/// Materialises per-instruction facts from converged block facts:
+/// `(before, after)` states for every instruction, in program order.
+pub fn instr_facts<A: Transfer>(
+    a: &A,
+    f: &FuncCfg,
+    facts: &BlockFacts<A::Fact>,
+) -> (Vec<A::Fact>, Vec<A::Fact>) {
+    let n = f.instrs.len();
+    let bottom = a.bottom(f);
+    let mut before = vec![bottom.clone(); n];
+    let mut after = vec![bottom; n];
+    for (b, block) in f.blocks.iter().enumerate() {
+        match a.direction() {
+            Direction::Backward => {
+                let mut cur = facts.exit[b].clone();
+                for i in block.range.clone().rev() {
+                    after[i] = cur.clone();
+                    a.transfer(f, i, &mut cur);
+                    before[i] = cur.clone();
+                }
+            }
+            Direction::Forward => {
+                let mut cur = facts.entry[b].clone();
+                for i in block.range.clone() {
+                    before[i] = cur.clone();
+                    a.transfer(f, i, &mut cur);
+                    after[i] = cur.clone();
+                }
+            }
+        }
+    }
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use vulnstack_compiler::CompiledModule;
+    use vulnstack_isa::{Instr, Isa, Op, Reg};
+
+    fn func_of(instrs: &[Instr], isa: Isa) -> FuncCfg {
+        let text: Vec<u32> = instrs.iter().map(|i| i.encode(isa).unwrap()).collect();
+        let entry = text.len() as u32;
+        let m = CompiledModule {
+            isa,
+            text,
+            data: Vec::new(),
+            global_addrs: Vec::new(),
+            func_offsets: vec![0],
+            func_names: vec!["f".to_string()],
+            entry_offset: entry,
+            data_size: 0,
+            func_sizes: vec![instrs.len() as u32],
+        };
+        build_cfg(&m).funcs.into_iter().next().unwrap()
+    }
+
+    /// A toy forward may-analysis: "registers written on *some* path so
+    /// far" as a bitset.
+    struct WrittenSomewhere {
+        isa: Isa,
+    }
+
+    impl Transfer for WrittenSomewhere {
+        type Fact = u64;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn bottom(&self, _f: &FuncCfg) -> u64 {
+            0
+        }
+
+        fn boundary(&self, _f: &FuncCfg) -> u64 {
+            0
+        }
+
+        fn join(&self, dst: &mut u64, src: &u64) -> bool {
+            let before = *dst;
+            *dst |= src;
+            *dst != before
+        }
+
+        fn transfer(&self, f: &FuncCfg, i: usize, fact: &mut u64) {
+            if let Some(instr) = &f.instrs[i].instr {
+                for r in instr.regs_written(self.isa) {
+                    *fact |= 1 << r.0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_solver_reaches_fixed_point_through_a_loop() {
+        let isa = Isa::Va32;
+        // 0: addi r1, r1, -1
+        // 1: bne r1, r2, -4   (back edge)
+        // 2: addi r3, r0, 7
+        // 3: jmpr lr
+        let prog = [
+            Instr::alu_imm(Op::Addi, Reg(1), Reg(1), -1),
+            Instr::branch(Op::Bne, Reg(1), Reg(2), -4),
+            Instr::alu_imm(Op::Addi, Reg(3), Reg(0), 7),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let f = func_of(&prog, isa);
+        let a = WrittenSomewhere { isa };
+        let facts = solve(&a, &f);
+        let (before, after) = instr_facts(&a, &f, &facts);
+        // Back edge carries r1's write around to the loop header entry.
+        assert_eq!(before[0] & (1 << 1), 1 << 1);
+        // r3's write is visible after instr 2 but not inside the loop.
+        assert_eq!(after[2] & (1 << 3), 1 << 3);
+        assert_eq!(after[1] & (1 << 3), 0);
+    }
+}

@@ -19,6 +19,11 @@
 //! 4. [`lint`] reports binary-level hygiene findings: dead stores,
 //!    unreachable blocks, undecodable text words, and reads of
 //!    never-written registers.
+//! 5. [`dataflow`] is the generic worklist solver the fixed-point passes
+//!    (liveness, taint) instantiate; [`taint`] answers fault-model-aware
+//!    sink reachability; [`attack`] turns it into an attack-surface
+//!    report; [`classifier`] proves register-file fault sites Masked
+//!    purely statically for the pruning layer.
 //!
 //! # Example
 //!
@@ -41,15 +46,22 @@
 //! assert!(sa.cfg.undecodable.is_empty());
 //! ```
 
+pub mod attack;
 pub mod cfg;
+pub mod classifier;
+pub mod dataflow;
 pub mod lint;
 pub mod liveness;
 pub mod pvf;
+pub mod taint;
 
-pub use cfg::{build_cfg, ModuleCfg};
+pub use attack::{attack_surface, AttackFinding, AttackReport, FindingKind};
+pub use cfg::{build_cfg, build_cfg_segments, call_graph, CallGraph, ModuleCfg, TextSegment};
+pub use classifier::StaticClassifier;
 pub use lint::{lint_module, Lint, LintKind};
-pub use liveness::{analyze_func, FuncLiveness};
+pub use liveness::{analyze_func, analyze_module, FuncLiveness, ModuleLiveness};
 pub use pvf::{static_pvf, StaticPvf};
+pub use taint::{module_taint, FaultModel, SinkSet};
 
 use vulnstack_compiler::CompiledModule;
 
@@ -67,6 +79,45 @@ pub struct StaticAnalysis {
 }
 
 impl StaticAnalysis {
+    /// Serializes the analysis as a JSON object (hand-rolled; the
+    /// workspace carries no JSON dependency) for the CLI's `--json`
+    /// flag.
+    pub fn to_json(&self) -> String {
+        use attack::json_str;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"isa\": {},\n", json_str(self.cfg.isa.name())));
+        out.push_str(&format!("  \"rf_pvf\": {:.6},\n", self.pvf.rf_pvf));
+        out.push_str(&format!(
+            "  \"undecodable_words\": {},\n",
+            self.cfg.undecodable.len()
+        ));
+        out.push_str("  \"funcs\": [\n");
+        for (i, (name, fpvf, weight)) in self.pvf.per_func.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"pvf\": {:.6}, \"weight\": {:.3}}}{}\n",
+                json_str(name),
+                fpvf,
+                weight,
+                if i + 1 < self.pvf.per_func.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"lints\": [\n");
+        for (i, l) in self.lints.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}{}\n",
+                json_str(&l.to_string()),
+                if i + 1 < self.lints.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// A short human-readable summary (used by the CLI `analyze`
     /// subcommand and the bench binaries).
     pub fn summary(&self) -> String {

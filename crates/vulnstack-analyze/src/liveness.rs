@@ -5,21 +5,36 @@
 //! can observe (from [`Instr::src_widths`]), so a value only ever read by
 //! `ADDW` counts 32 live bits on VA64, and a shift amount counts 5 or 6.
 //!
-//! Calls are handled by ABI convention rather than interprocedurally: a
-//! call *uses* every argument register (pessimistic — the callee's true
-//! arity is unknown at the binary level) and *defines* (clobbers) every
-//! caller-saved register plus the link register. Function exits treat the
+//! By default calls are handled by ABI convention: a call *uses* every
+//! argument register (pessimistic — the callee's true arity is unknown
+//! at the binary level) and *defines* (clobbers) every caller-saved
+//! register plus the link register. Function exits treat the
 //! return-value register, the stack pointer, and all callee-saved
 //! registers as live-out, which keeps epilogue restores live.
+//!
+//! [`analyze_module`] layers an *interprocedural* refinement on top: it
+//! iterates per-function argument-use summaries over the call graph
+//! recovered by [`crate::cfg::call_graph`], so a call to a callee that
+//! never observes argument 3 stops keeping argument 3 live at the call
+//! site. The iteration starts from the ABI-pessimistic summary and
+//! decreases monotonically, so any intermediate state — including the
+//! recursive-cycle greatest fixed point it converges to — remains a
+//! sound over-approximation. The default [`analyze_func`] entry point is
+//! unchanged and stays ABI-pessimistic; the refined results feed the
+//! taint/attack passes, not the PVF/lint pipeline.
+//!
+//! The backward fixed point itself runs on the generic worklist solver
+//! in [`crate::dataflow`]; liveness is just a [`Transfer`] instance.
 //!
 //! A forward reaching-definitions pass over the same CFG produces def-use
 //! chains and definitely-uninitialised reads for the lint pass.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use vulnstack_isa::{CallConv, Instr, Isa, Op, Reg};
 
-use crate::cfg::FuncCfg;
+use crate::cfg::{CallGraph, FuncCfg, ModuleCfg};
+use crate::dataflow::{self, Direction, Transfer};
 
 /// Per-register live widths in bits (`0` = dead). Indexed by register
 /// number; lattice join is the element-wise maximum.
@@ -139,15 +154,38 @@ fn join_into(dst: &mut LiveSet, src: &LiveSet) -> bool {
     changed
 }
 
+/// Refined per-call-site argument uses: maps an instruction index to the
+/// `(register, width)` pairs the resolved callee may actually observe,
+/// or `None` to fall back to the ABI-pessimistic [`uses_of`].
+pub type CallUses<'a> = &'a dyn Fn(usize) -> Option<Vec<(Reg, u32)>>;
+
 /// Applies the backward transfer function of one instruction to `live`
 /// (the set after the instruction), yielding the set before it.
-fn transfer(instr: &Option<Instr>, isa: Isa, cc: &CallConv, live: &mut LiveSet) {
+///
+/// `refined` carries interprocedurally-refined argument uses for a
+/// resolved direct call; the callee still dereferences the stack
+/// pointer, and `CALLR` additionally reads its target register.
+fn transfer_instr(
+    instr: &Option<Instr>,
+    isa: Isa,
+    cc: &CallConv,
+    refined: Option<&[(Reg, u32)]>,
+    live: &mut LiveSet,
+) {
     let Some(instr) = instr else { return }; // trap: nothing beyond it
     let zero = isa.zero();
     for (r, _) in defs_of(instr, isa, cc) {
         live[r.0 as usize] = 0;
     }
-    for (r, w) in uses_of(instr, isa, cc) {
+    let uses = match (instr.op, refined) {
+        (Op::Call, Some(args)) => {
+            let mut u = args.to_vec();
+            u.push((isa.sp(), isa.xlen()));
+            u
+        }
+        _ => uses_of(instr, isa, cc),
+    };
+    for (r, w) in uses {
         if zero == Some(r) {
             continue; // reads of the hardwired zero register observe nothing
         }
@@ -161,64 +199,164 @@ fn transfer(instr: &Option<Instr>, isa: Isa, cc: &CallConv, live: &mut LiveSet) 
     }
 }
 
+/// Width-aware backward liveness as a [`Transfer`] instance for the
+/// generic worklist solver.
+struct LivenessTransfer<'a> {
+    isa: Isa,
+    cc: CallConv,
+    nregs: usize,
+    exit_set: LiveSet,
+    call_uses: Option<CallUses<'a>>,
+}
+
+impl Transfer for LivenessTransfer<'_> {
+    type Fact = LiveSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self, _f: &FuncCfg) -> LiveSet {
+        vec![0u8; self.nregs]
+    }
+
+    fn boundary(&self, _f: &FuncCfg) -> LiveSet {
+        self.exit_set.clone()
+    }
+
+    fn join(&self, dst: &mut LiveSet, src: &LiveSet) -> bool {
+        join_into(dst, src)
+    }
+
+    fn transfer(&self, f: &FuncCfg, i: usize, fact: &mut LiveSet) {
+        let refined = self.call_uses.and_then(|cu| cu(i));
+        transfer_instr(
+            &f.instrs[i].instr,
+            self.isa,
+            &self.cc,
+            refined.as_deref(),
+            fact,
+        );
+    }
+}
+
 /// Runs the backward liveness fixed point and the forward reaching-defs
-/// pass for one function.
+/// pass for one function, handling calls by ABI convention.
 pub fn analyze_func(f: &FuncCfg, isa: Isa) -> FuncLiveness {
+    analyze_func_with(f, isa, None)
+}
+
+/// [`analyze_func`] with optionally-refined per-call-site argument uses
+/// (the interprocedural layer passes callee summaries through here).
+pub fn analyze_func_with(f: &FuncCfg, isa: Isa, call_uses: Option<CallUses<'_>>) -> FuncLiveness {
     let cc = CallConv::new(isa);
     let nregs = isa.num_regs() as usize;
-    let nblocks = f.blocks.len();
-    let n = f.instrs.len();
-    let exit_set = exit_live_set(isa, &cc, f.name == "_start", nregs);
-
-    let mut live_in = vec![vec![0u8; nregs]; nblocks];
-    let mut live_out = vec![vec![0u8; nregs]; nblocks];
-
-    // Backward fixed point: iterate until no live-in changes. Block count
-    // per function is small, so a simple round-robin sweep suffices.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for b in (0..nblocks).rev() {
-            let mut out = if f.blocks[b].succs.is_empty() {
-                exit_set.clone()
-            } else {
-                let mut out = vec![0u8; nregs];
-                for &s in &f.blocks[b].succs {
-                    join_into(&mut out, &live_in[s]);
-                }
-                out
-            };
-            live_out[b] = out.clone();
-            for i in f.blocks[b].range.clone().rev() {
-                transfer(&f.instrs[i].instr, isa, &cc, &mut out);
-            }
-            if join_into(&mut live_in[b], &out) {
-                changed = true;
-            }
-        }
-    }
-
-    // Per-instruction sets from the converged block states.
-    let mut live_before = vec![vec![0u8; nregs]; n];
-    let mut live_after = vec![vec![0u8; nregs]; n];
-    for (block, out) in f.blocks.iter().zip(live_out.iter()) {
-        let mut cur = out.clone();
-        for i in block.range.clone().rev() {
-            live_after[i] = cur.clone();
-            transfer(&f.instrs[i].instr, isa, &cc, &mut cur);
-            live_before[i] = cur.clone();
-        }
-    }
+    let analysis = LivenessTransfer {
+        isa,
+        cc: CallConv::new(isa),
+        nregs,
+        exit_set: exit_live_set(isa, &cc, f.name == "_start", nregs),
+        call_uses,
+    };
+    let facts = dataflow::solve(&analysis, f);
+    let (live_before, live_after) = dataflow::instr_facts(&analysis, f, &facts);
 
     let (def_use, uninit_reads) = reaching_defs(f, isa, &cc, nregs);
 
     FuncLiveness {
-        live_in,
-        live_out,
+        live_in: facts.entry,
+        live_out: facts.exit,
         live_before,
         live_after,
         def_use,
         uninit_reads,
+    }
+}
+
+/// Module-wide interprocedural liveness.
+#[derive(Debug, Clone)]
+pub struct ModuleLiveness {
+    /// Per-function liveness under converged call summaries, parallel to
+    /// `ModuleCfg::funcs`.
+    pub funcs: Vec<FuncLiveness>,
+    /// Per-function argument-use summaries: for each ABI argument
+    /// register, the width (bits) the function may observe at entry
+    /// (`0` = provably never read before redefinition).
+    pub arg_uses: Vec<Vec<(Reg, u32)>>,
+}
+
+/// Interprocedural liveness: iterates per-function argument-use
+/// summaries over the call graph until they converge, then recomputes
+/// each function's liveness under the final summaries.
+///
+/// Summaries start ABI-pessimistic (every argument fully observed) and
+/// only ever shrink, so every round — and the greatest fixed point the
+/// recursion converges to — over-approximates true liveness. Unresolved
+/// call sites (`CALLR`, or a direct target outside the symbol table)
+/// keep the pessimistic ABI treatment.
+pub fn analyze_module(cfg: &ModuleCfg, cg: &CallGraph) -> ModuleLiveness {
+    let isa = cfg.isa;
+    let cc = CallConv::new(isa);
+    let xlen = isa.xlen();
+    let nfuncs = cfg.funcs.len();
+
+    // instruction index -> resolved callee, per function.
+    let mut callee_at: Vec<HashMap<usize, usize>> = vec![HashMap::new(); nfuncs];
+    for s in &cg.sites {
+        if let Some(callee) = s.callee {
+            callee_at[s.caller].insert(s.instr, callee);
+        }
+    }
+
+    let summary_of = |live: &FuncLiveness| -> Vec<(Reg, u32)> {
+        let entry = live.live_in.first();
+        cc.args()
+            .into_iter()
+            .map(|r| {
+                let w = entry.map_or(xlen, |e| e[r.0 as usize] as u32);
+                (r, w)
+            })
+            .collect()
+    };
+
+    let mut summaries: Vec<Vec<(Reg, u32)>> =
+        vec![cc.args().into_iter().map(|r| (r, xlen)).collect(); nfuncs];
+    // Jacobi iteration from the pessimistic top; widths are bounded and
+    // monotonically decreasing, so nfuncs+1 rounds always suffice.
+    for _ in 0..=nfuncs {
+        let snap = summaries.clone();
+        let mut changed = false;
+        for (fi, f) in cfg.funcs.iter().enumerate() {
+            let lookup = |i: usize| -> Option<Vec<(Reg, u32)>> {
+                callee_at[fi].get(&i).map(|&c| snap[c].clone())
+            };
+            let live = analyze_func_with(f, isa, Some(&lookup));
+            let s = summary_of(&live);
+            if s != summaries[fi] {
+                summaries[fi] = s;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let funcs: Vec<FuncLiveness> = cfg
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            let lookup = |i: usize| -> Option<Vec<(Reg, u32)>> {
+                callee_at[fi].get(&i).map(|&c| summaries[c].clone())
+            };
+            analyze_func_with(f, isa, Some(&lookup))
+        })
+        .collect();
+
+    ModuleLiveness {
+        funcs,
+        arg_uses: summaries,
     }
 }
 
@@ -458,6 +596,63 @@ mod tests {
         ];
         let (_, live) = func_of(&prog, isa);
         assert_eq!(live.uninit_reads, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn interprocedural_summaries_refine_call_argument_liveness() {
+        let isa = Isa::Va32;
+        // f: 0: addi r0, r1, 1    (arg 0 of the call)
+        //    1: addi r3, r1, 2    (arg-register junk g never reads)
+        //    2: call g
+        //    3: jmpr lr
+        // g: 4: add r0, r0, r0    (observes only argument 0)
+        //    5: jmpr lr
+        let instrs = [
+            Instr::alu_imm(Op::Addi, Reg(0), Reg(1), 1),
+            Instr::alu_imm(Op::Addi, Reg(3), Reg(1), 2),
+            Instr::jump(Op::Call, 8), // word 2 -> word 4
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+            Instr::alu_rr(Op::Add, Reg(0), Reg(0), Reg(0)),
+            Instr::jump_reg(Op::Jmpr, isa.lr()),
+        ];
+        let text: Vec<u32> = instrs.iter().map(|i| i.encode(isa).unwrap()).collect();
+        let m = CompiledModule {
+            isa,
+            text,
+            data: Vec::new(),
+            global_addrs: Vec::new(),
+            func_offsets: vec![0, 4],
+            func_names: vec!["f".to_string(), "g".to_string()],
+            entry_offset: 6,
+            data_size: 0,
+            func_sizes: vec![4, 2],
+        };
+        let cfg = crate::cfg::build_cfg(&m);
+        let cg = crate::cfg::call_graph(&cfg);
+        let f_idx = cfg.funcs.iter().position(|f| f.name == "f").unwrap();
+        let g_idx = cfg.funcs.iter().position(|f| f.name == "g").unwrap();
+
+        // ABI-pessimistic view: r3 stays live into the call.
+        let pessimistic = analyze_func(&cfg.funcs[f_idx], isa);
+        assert_eq!(pessimistic.live_after[1][3], 32);
+
+        // Interprocedural view: g's summary shows it only observes arg 0,
+        // so r3 dies at its def and r0 stays live.
+        let ml = analyze_module(&cfg, &cg);
+        let g_args = &ml.arg_uses[g_idx];
+        assert_eq!(g_args[0], (Reg(0), 32));
+        assert!(g_args[1..].iter().all(|&(_, w)| w == 0), "{g_args:?}");
+        assert_eq!(ml.funcs[f_idx].live_after[1][3], 0);
+        assert_eq!(ml.funcs[f_idx].live_after[1][0], 32);
+        // The refinement never grows a live set.
+        for (i, after) in ml.funcs[f_idx].live_after.iter().enumerate() {
+            for (r, &w) in after.iter().enumerate() {
+                assert!(
+                    w <= pessimistic.live_after[i][r],
+                    "refined liveness grew at instr {i} reg {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -46,7 +46,23 @@ pub struct StaticPvf {
 }
 
 /// Weight of one instruction point at loop `depth`.
+///
+/// Depths beyond [`MAX_LOOP_DEPTH`] clamp (keeping weights finite on
+/// pathologically deep nests) and warn once on stderr, in the same
+/// warn-once-don't-fail spirit as the malformed-env-knob parser: the
+/// estimate silently losing depth resolution would be worse than the
+/// noise of one diagnostic line.
 pub fn block_weight(depth: u32) -> f64 {
+    if depth > MAX_LOOP_DEPTH {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: vulnstack-analyze: loop depth {depth} exceeds MAX_LOOP_DEPTH \
+                 ({MAX_LOOP_DEPTH}); clamping block weights — static PVF loses depth \
+                 resolution past this point"
+            );
+        });
+    }
     LOOP_WEIGHT.powi(depth.min(MAX_LOOP_DEPTH) as i32)
 }
 

@@ -39,8 +39,8 @@ pub use avf::{
 pub use compare::{static_vs_dynamic, StaticDynamicComparison};
 pub use prepare::{FuncPrepared, Prepared};
 pub use prune::{
-    early_term_enabled, plan_sites, prune_default, ClassKey, ClassTable, InjectionPlan, PruneStats,
-    Pruner, SiteClass,
+    early_term_enabled, plan_sites, prune_default, static_classifier, ClassKey, ClassTable,
+    InjectionPlan, PruneStats, Pruner, SiteClass,
 };
 pub use pvf::{pvf_campaign, pvf_campaign_metered, pvf_campaign_resumable, PvfMode, PvfResumed};
 pub use sweep::{

@@ -87,13 +87,37 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use vulnstack_analyze::StaticClassifier;
 use vulnstack_core::effects::FaultEffect;
 use vulnstack_core::trace::CampaignMetrics;
+use vulnstack_kernel::{memmap, SystemImage};
 use vulnstack_microarch::ooo::{Fpm, HwStructure, RfAccess};
 use vulnstack_microarch::{OooCore, RunStatus};
 
 use crate::avf::InjectionRecord;
 use crate::prepare::Prepared;
+
+/// Builds the static pruning oracle for an image: scans every
+/// *executable* segment (kernel boot stub, trap handler, user text) and
+/// proves architectural registers dead that no executable word names.
+/// See [`StaticClassifier`] for the soundness argument; the lattice
+/// `static-dead ⊆ dynamic-dead ⊆ injection-Masked` is enforced by
+/// `tests/prune_soundness.rs`.
+pub fn static_classifier(image: &SystemImage) -> StaticClassifier {
+    let exec_bases = [memmap::KERNEL_BOOT, memmap::TRAP_VEC, memmap::USER_TEXT];
+    let words: Vec<Vec<u32>> = image
+        .segments
+        .iter()
+        .filter(|(base, _)| exec_bases.contains(base))
+        .map(|(_, bytes)| {
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        })
+        .collect();
+    StaticClassifier::build(image.isa, words.iter().map(|w| w.as_slice()))
+}
 
 /// Identity of a register-file equivalence class: all injections of
 /// `bit` whose next access to the target register is the *same* read
@@ -359,7 +383,11 @@ pub struct PruneStats {
     /// Sites served in total.
     pub sites: u64,
     /// Sites classified Masked from the table alone (zero simulation).
+    /// Includes the statically-proven subset counted by `static_dead`.
     pub dead_masked: u64,
+    /// Sites proven Masked by the *static* oracle before the dynamic
+    /// table was even consulted (a subset of `dead_masked`).
+    pub static_dead: u64,
     /// Class pilot simulations actually run.
     pub pilot_runs: u64,
     /// Sites served from a class pilot's memoized triple.
@@ -375,6 +403,10 @@ pub struct PruneStats {
     /// Dynamic RF live fraction from the class table (RF campaigns
     /// only); the static analyzer's `rf_pvf` must be ≥ this.
     pub dynamic_rf_live_fraction: Option<f64>,
+    /// Fraction of the physical register file the static oracle proves
+    /// dead with zero simulation (RF campaigns only); the complement of
+    /// this is an upper bound on `dynamic_rf_live_fraction`.
+    pub static_rf_dead_fraction: Option<f64>,
 }
 
 impl PruneStats {
@@ -413,10 +445,17 @@ pub struct Pruner<'a> {
     prep: &'a Prepared,
     structure: HwStructure,
     table: ClassTable,
+    /// Static pruning oracle, consulted before the dynamic table (RF
+    /// campaigns only — the static argument says nothing about LSQ or
+    /// cache sites).
+    static_pre: Option<StaticClassifier>,
+    /// Physical register count, for the static oracle's flat-bit decode.
+    nphys: usize,
     early_term: bool,
     memo: Mutex<HashMap<ClassKey, OutcomeTriple>>,
     sites: AtomicU64,
     dead_masked: AtomicU64,
+    static_dead: AtomicU64,
     pilot_runs: AtomicU64,
     memo_hits: AtomicU64,
     singleton_runs: AtomicU64,
@@ -438,14 +477,19 @@ impl<'a> Pruner<'a> {
         structure: HwStructure,
         early_term: bool,
     ) -> Pruner<'a> {
+        let static_pre =
+            (structure == HwStructure::RegisterFile).then(|| static_classifier(&prep.image));
         Pruner {
             prep,
             structure,
             table: ClassTable::build(prep, structure),
+            static_pre,
+            nphys: prep.cfg.phys_regs as usize,
             early_term,
             memo: Mutex::new(HashMap::new()),
             sites: AtomicU64::new(0),
             dead_masked: AtomicU64::new(0),
+            static_dead: AtomicU64::new(0),
             pilot_runs: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             singleton_runs: AtomicU64::new(0),
@@ -464,13 +508,23 @@ impl<'a> Pruner<'a> {
         PruneStats {
             sites: self.sites.load(Ordering::Relaxed),
             dead_masked: self.dead_masked.load(Ordering::Relaxed),
+            static_dead: self.static_dead.load(Ordering::Relaxed),
             pilot_runs: self.pilot_runs.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             singleton_runs: self.singleton_runs.load(Ordering::Relaxed),
             early_terminated: self.early_terminated.load(Ordering::Relaxed),
             runaway_terminated: self.runaway_terminated.load(Ordering::Relaxed),
             dynamic_rf_live_fraction: self.table.rf_dynamic_live_fraction(),
+            static_rf_dead_fraction: self
+                .static_pre
+                .as_ref()
+                .map(|c| c.static_dead_fraction(self.nphys)),
         }
+    }
+
+    /// The static oracle, if one applies to this structure.
+    pub fn static_oracle(&self) -> Option<&StaticClassifier> {
+        self.static_pre.as_ref()
     }
 
     /// Serves one site, bit-identical to
@@ -483,6 +537,27 @@ impl<'a> Pruner<'a> {
         metrics: Option<&CampaignMetrics>,
     ) -> InjectionRecord {
         self.sites.fetch_add(1, Ordering::Relaxed);
+        // Static pre-filter: a site landing in a physical register the
+        // oracle proves never-accessed needs neither the dynamic table
+        // nor a simulation. Such a register has an empty access log, so
+        // the table would agree (`static-dead ⊆ dynamic-dead`); the
+        // record is identical, the classification just costs less.
+        if let Some(c) = &self.static_pre {
+            if c.rf_bit_dead(bit, self.nphys) {
+                self.static_dead.fetch_add(1, Ordering::Relaxed);
+                self.dead_masked.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = metrics {
+                    m.record_pruned_dead();
+                }
+                return InjectionRecord {
+                    cycle,
+                    bit,
+                    effect: FaultEffect::Masked,
+                    fpm: None,
+                    fpm_cycle: None,
+                };
+            }
+        }
         match self.table.classify(cycle, bit) {
             SiteClass::DeadMasked => {
                 self.dead_masked.fetch_add(1, Ordering::Relaxed);
@@ -873,6 +948,49 @@ mod tests {
         assert_eq!(stats.memo_hits, 1);
         // The memoized triple equals an individual simulation's.
         assert_eq!(b, run_one(&prep, HwStructure::RegisterFile, c2, bit));
+    }
+
+    #[test]
+    fn static_dead_sites_are_a_subset_of_dynamic_dead() {
+        // The first rung of the soundness lattice, checked directly:
+        // every register-file site the static oracle prunes must also be
+        // DeadMasked by the dynamic class table.
+        let w = WorkloadId::Crc32.build();
+        let prep = Prepared::new(&w, CoreModel::A72).unwrap();
+        let oracle = static_classifier(&prep.image);
+        let nphys = prep.cfg.phys_regs as usize;
+        assert!(
+            !oracle.dead_regs().is_empty(),
+            "a 32-register ISA program must leave some registers untouched"
+        );
+        let table = ClassTable::build(&prep, HwStructure::RegisterFile);
+        for (c, b) in draw_sites(&prep, HwStructure::RegisterFile, 256, 7) {
+            if oracle.rf_bit_dead(b, nphys) {
+                assert_eq!(
+                    table.classify(c, b),
+                    SiteClass::DeadMasked,
+                    "static-dead site (cycle {c}, bit {b}) not dynamically dead"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_prefilter_counts_into_dead_masked() {
+        let w = WorkloadId::Crc32.build();
+        let prep = Prepared::new(&w, CoreModel::A72).unwrap();
+        let pruner = Pruner::new(&prep, HwStructure::RegisterFile);
+        for (c, b) in draw_sites(&prep, HwStructure::RegisterFile, 96, 41) {
+            pruner.run_site(c, b, None);
+        }
+        let stats = pruner.stats();
+        assert!(
+            stats.static_dead > 0,
+            "no statically-proven sites: {stats:?}"
+        );
+        assert!(stats.static_dead <= stats.dead_masked);
+        let frac = stats.static_rf_dead_fraction.expect("RF campaign");
+        assert!(frac > 0.0 && frac < 1.0, "fraction {frac}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use proptest::prelude::*;
 use vulnstack_compiler::{compile, CompileOpts};
 use vulnstack_core::effects::FaultEffect;
 use vulnstack_gefin::avf::run_one;
-use vulnstack_gefin::{draw_sites, ClassTable, Prepared, SiteClass};
+use vulnstack_gefin::{draw_sites, static_classifier, ClassTable, Prepared, SiteClass};
 use vulnstack_isa::Isa;
 use vulnstack_kernel::SystemImage;
 use vulnstack_microarch::ooo::HwStructure;
@@ -132,6 +132,65 @@ proptest! {
                     cycle, bit, iters, isa
                 );
             }
+        }
+    }
+
+    /// The full three-rung soundness lattice of the static pruning
+    /// oracle, on random programs over both ISAs:
+    ///
+    /// ```text
+    /// static-dead  ⊆  dynamic-dead (ClassTable)  ⊆  injection-Masked
+    /// ```
+    ///
+    /// Rung 1 is checked on every sampled site (classification is free);
+    /// rung 2 is checked by injecting every statically-dead site for
+    /// real and requiring `(Masked, None, None)` — which also empirically
+    /// pins the classifier's W^X assumption (no executable word is
+    /// rewritten mid-run).
+    #[test]
+    fn static_dead_sites_are_dynamically_dead_and_injection_masked(
+        steps in prop::collection::vec((0u8..5, 0usize..NVARS, 0usize..NVARS, 0usize..NVARS), 2..10),
+        iters in 8u64..40,
+        init in any::<u32>(),
+        isa_sel in 0u8..2,
+        site_seed in any::<u64>(),
+    ) {
+        let (isa, model) = if isa_sel == 0 {
+            (Isa::Va32, CoreModel::A9)
+        } else {
+            (Isa::Va64, CoreModel::A72)
+        };
+        let image = build_program(&steps, iters, init, isa);
+        let prep = match prepare(image, model) {
+            Some(p) => p,
+            None => {
+                return Err(TestCaseError::fail(
+                    "generated program did not exit cleanly".to_string(),
+                ))
+            }
+        };
+        let oracle = static_classifier(&prep.image);
+        let nphys = prep.cfg.phys_regs as usize;
+        let table = ClassTable::build(&prep, HwStructure::RegisterFile);
+        for (cycle, bit) in draw_sites(&prep, HwStructure::RegisterFile, 24, site_seed) {
+            if !oracle.rf_bit_dead(bit, nphys) {
+                continue;
+            }
+            // Rung 1: static-dead ⊆ dynamic-dead.
+            prop_assert_eq!(
+                table.classify(cycle, bit),
+                SiteClass::DeadMasked,
+                "static-dead site (cycle {}, bit {}) not dynamically dead (isa={:?})",
+                cycle, bit, isa
+            );
+            // Rung 2: static-dead ⊆ injection-Masked, by real injection.
+            let r = run_one(&prep, HwStructure::RegisterFile, cycle, bit);
+            prop_assert_eq!(
+                (r.effect, r.fpm, r.fpm_cycle),
+                (FaultEffect::Masked, None, None),
+                "static-dead site (cycle {}, bit {}) manifested under injection (isa={:?})",
+                cycle, bit, isa
+            );
         }
     }
 }

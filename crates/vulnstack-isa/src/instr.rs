@@ -7,6 +7,31 @@ use crate::op::{Format, Op};
 use crate::reg::Reg;
 use crate::sysreg::SysReg;
 
+/// Semantic role of one source operand, parallel to [`Instr::regs_read`].
+///
+/// Decode-level metadata for analyses that care *what* an operand feeds
+/// rather than merely that it is read — e.g. the fault-model taint pass
+/// in `vulnstack-analyze`, which treats branch conditions, memory bases,
+/// and control-transfer targets as attack-surface sinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SrcRole {
+    /// Plain data operand flowing into the destination value.
+    Value,
+    /// Register shift amount (observed modulo the word width).
+    ShiftAmount,
+    /// Address base of a load or store.
+    MemBase,
+    /// Data being stored to memory.
+    StoreData,
+    /// Conditional-branch comparison operand.
+    BranchCond,
+    /// Indirect jump/call target (`JMPR`/`CALLR`).
+    JumpTarget,
+    /// Value written to a system register (`MTSR` — e.g. the trap-return
+    /// `EPC`, making it control-relevant).
+    SysregData,
+}
+
 /// A decoded machine instruction.
 ///
 /// Field meaning depends on [`Op::format`]:
@@ -222,6 +247,38 @@ impl Instr {
         self.dest(isa).into_iter().collect()
     }
 
+    /// Semantic role of each source operand, parallel to
+    /// [`Instr::regs_read`].
+    ///
+    /// This is the operand metadata the fault-model taint analysis keys
+    /// on: a corrupted [`SrcRole::BranchCond`] operand can subvert a
+    /// guard, a corrupted [`SrcRole::MemBase`] redirects a memory access,
+    /// and a corrupted [`SrcRole::JumpTarget`] or [`SrcRole::SysregData`]
+    /// hijacks control flow outright.
+    pub fn src_roles(&self) -> Vec<SrcRole> {
+        use Op::*;
+        match self.op.format() {
+            Format::R => match self.op {
+                Sll | Srl | Sra | Sllw | Srlw | Sraw => vec![SrcRole::Value, SrcRole::ShiftAmount],
+                _ => vec![SrcRole::Value, SrcRole::Value],
+            },
+            Format::B => vec![SrcRole::BranchCond, SrcRole::BranchCond],
+            Format::I => vec![SrcRole::Value],
+            Format::Load => vec![SrcRole::MemBase],
+            Format::Jr => vec![SrcRole::JumpTarget],
+            Format::Store => vec![SrcRole::StoreData, SrcRole::MemBase],
+            Format::Mtsr => vec![SrcRole::SysregData],
+            Format::M => {
+                if self.op == Op::Movk {
+                    vec![SrcRole::Value]
+                } else {
+                    vec![]
+                }
+            }
+            Format::J | Format::Sys | Format::Mfsr => vec![],
+        }
+    }
+
     /// Architectural registers read by this instruction.
     ///
     /// Alias of [`Instr::regs_read`], kept for the simulator call sites
@@ -360,6 +417,41 @@ mod tests {
         // A VA64 zero-register write disappears from regs_written.
         let i = Instr::alu_rr(Op::Add, Reg(31), Reg(1), Reg(2));
         assert!(i.regs_written(Isa::Va64).is_empty());
+    }
+
+    #[test]
+    fn src_roles_parallel_regs_read() {
+        let cases = [
+            Instr::alu_rr(Op::Add, Reg(1), Reg(2), Reg(3)),
+            Instr::alu_rr(Op::Sll, Reg(1), Reg(2), Reg(3)),
+            Instr::alu_imm(Op::Addi, Reg(4), Reg(5), 10),
+            Instr::load(Op::Lw, Reg(6), Reg(7), 0),
+            Instr::store(Op::Sw, Reg(8), Reg(9), 0),
+            Instr::branch(Op::Beq, Reg(1), Reg(2), 8),
+            Instr::jump(Op::Call, 16),
+            Instr::jump_reg(Op::Jmpr, Reg(14)),
+            Instr::mov_wide(Op::Movk, Reg(3), 0xAB, 1),
+            Instr::mov_wide(Op::Movz, Reg(3), 0xAB, 1),
+            Instr::sys(Op::Syscall),
+            Instr::mfsr(Reg(3), SysReg::Epc),
+            Instr::mtsr(SysReg::Ksp, Reg(4)),
+        ];
+        for i in cases {
+            assert_eq!(i.src_roles().len(), i.regs_read().len(), "{i:?}");
+        }
+        let sll = Instr::alu_rr(Op::Sll, Reg(1), Reg(2), Reg(3));
+        assert_eq!(sll.src_roles(), vec![SrcRole::Value, SrcRole::ShiftAmount]);
+        let st = Instr::store(Op::Sb, Reg(1), Reg(2), 0);
+        assert_eq!(st.src_roles(), vec![SrcRole::StoreData, SrcRole::MemBase]);
+        let b = Instr::branch(Op::Bne, Reg(1), Reg(2), 8);
+        assert_eq!(
+            b.src_roles(),
+            vec![SrcRole::BranchCond, SrcRole::BranchCond]
+        );
+        let jr = Instr::jump_reg(Op::Callr, Reg(5));
+        assert_eq!(jr.src_roles(), vec![SrcRole::JumpTarget]);
+        let mt = Instr::mtsr(SysReg::Epc, Reg(4));
+        assert_eq!(mt.src_roles(), vec![SrcRole::SysregData]);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod trap;
 
 pub use abi::{CallConv, Syscall};
 pub use fields::{classify_bit, BitClass};
-pub use instr::Instr;
+pub use instr::{Instr, SrcRole};
 pub use isa::Isa;
 pub use op::Op;
 pub use reg::Reg;

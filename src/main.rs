@@ -55,7 +55,11 @@ fn usage() {
     eprintln!("  vulnstack svf     <workload> [--faults N] [--seed S] [--breakdown] [--hardened]");
     eprintln!("                    [--journal PATH [--resume]]");
     eprintln!("  vulnstack ace     <workload> [--model A72]");
-    eprintln!("  vulnstack analyze <workload> [--isa va32|va64] [--hardened]");
+    eprintln!("  vulnstack analyze <workload> [--isa va32|va64] [--hardened] [--json PATH]");
+    eprintln!("  vulnstack analyze attack <kernel|workload> [--isa va32|va64] [--hardened]");
+    eprintln!("                    [--json PATH]");
+    eprintln!("  vulnstack analyze prune-audit <workload> [--model A72] [--hardened]");
+    eprintln!("                    [--faults N] [--seed S] [--json PATH]");
     eprintln!("  vulnstack disasm  <workload> [--isa va64] [--limit N]");
     eprintln!("  vulnstack harden  <workload>");
     eprintln!("  vulnstack ir      <workload> [--hardened]");
@@ -203,9 +207,157 @@ fn workload(name: &str, hardened: bool) -> Result<Workload, String> {
     }
 }
 
+/// Builds the attack-surface report for `target` — the literal string
+/// `kernel` (boot stub + trap handler, the syscall path) or a workload
+/// name — and prints/writes it per `--json`.
+fn analyze_attack(target: &str, opts: &Opts) -> Result<(), String> {
+    use vulnstack_analyze::{attack_surface, build_cfg_segments, TextSegment};
+    let isa = opts.isa()?;
+    let report = if target == "kernel" {
+        let k = vulnstack_kernel::build_kernel(isa).map_err(|e| e.to_string())?;
+        let segs = [
+            TextSegment {
+                name: "kboot".to_string(),
+                start_word: vulnstack_kernel::memmap::KERNEL_BOOT / 4,
+                words: k.boot,
+            },
+            TextSegment {
+                name: "ktrap".to_string(),
+                start_word: vulnstack_kernel::memmap::TRAP_VEC / 4,
+                words: k.trap,
+            },
+        ];
+        attack_surface(&build_cfg_segments(isa, &segs), "kernel")
+    } else {
+        let w = workload(target, opts.switch("hardened"))?;
+        let compiled =
+            compile(&w.module, isa, &CompileOpts::default()).map_err(|e| e.to_string())?;
+        attack_surface(&vulnstack_analyze::build_cfg(&compiled), target)
+    };
+    if let Some(path) = opts.flags.get("json") {
+        vulnstack_core::report::write_atomic(path, report.to_json().as_bytes())
+            .map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    println!("{}", report.summary());
+    for line in report.finding_lines() {
+        println!("{line}");
+    }
+    let mut t = Table::new(&[
+        "function",
+        "instrs",
+        "reach:branch",
+        "reach:addr",
+        "reach:sysarg",
+        "stuck:branch",
+    ]);
+    for s in &report.funcs {
+        t.row(&[
+            s.name.clone(),
+            s.reachable_instrs.to_string(),
+            s.reach_points[0].to_string(),
+            s.reach_points[1].to_string(),
+            s.reach_points[2].to_string(),
+            s.stuck_reach_points[0].to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(reach counts are (instruction, register) points whose corruption reaches the sink)");
+    Ok(())
+}
+
+/// Audits the static pruning oracle against the dynamic class table for
+/// one workload: every statically-dead site must be dynamically dead.
+fn analyze_prune_audit(target: &str, opts: &Opts) -> Result<(), String> {
+    let w = workload(target, opts.switch("hardened"))?;
+    let model = opts.model()?;
+    let prep = Prepared::new(&w, model).map_err(|e| e.to_string())?;
+    let oracle = vulnstack_gefin::static_classifier(&prep.image);
+    let nphys = prep.cfg.phys_regs as usize;
+    let table = vulnstack_gefin::ClassTable::build(&prep, HwStructure::RegisterFile);
+    let dynamic_live = table
+        .rf_dynamic_live_fraction()
+        .ok_or("RF table has no live fraction")?;
+    let static_dead = oracle.static_dead_fraction(nphys);
+    let compiled =
+        compile(&w.module, prep.cfg.isa, &CompileOpts::default()).map_err(|e| e.to_string())?;
+    let rf_pvf = vulnstack_analyze::analyze(&compiled).pvf.rf_pvf;
+
+    // Sample the lattice on real campaign sites.
+    let sites = vulnstack_gefin::draw_sites(
+        &prep,
+        HwStructure::RegisterFile,
+        opts.faults()?,
+        opts.seed()?,
+    );
+    let mut static_dead_sites = 0u64;
+    let mut dynamic_dead_sites = 0u64;
+    let mut violations = 0u64;
+    for &(c, b) in &sites {
+        let s_dead = oracle.rf_bit_dead(b, nphys);
+        let d_dead = table.classify(c, b) == vulnstack_gefin::SiteClass::DeadMasked;
+        static_dead_sites += s_dead as u64;
+        dynamic_dead_sites += d_dead as u64;
+        violations += (s_dead && !d_dead) as u64;
+    }
+
+    let dead_regs: Vec<String> = oracle.dead_regs().iter().map(|r| r.0.to_string()).collect();
+    println!(
+        "{target} on {model}: {} of {nphys} physical registers statically dead (arch regs: {})",
+        dead_regs.len(),
+        dead_regs.join(",")
+    );
+    println!(
+        "lattice: static-dead {} <= dynamic-dead {} of {} sampled sites ({} violations)",
+        static_dead_sites,
+        dynamic_dead_sites,
+        sites.len(),
+        violations
+    );
+    println!(
+        "fractions: static RF PVF {} >= dynamic live {} ; static dead {}",
+        pct2(rf_pvf),
+        pct2(dynamic_live),
+        pct2(static_dead)
+    );
+    if let Some(path) = opts.flags.get("json") {
+        let json = format!(
+            "{{\n  \"workload\": \"{target}\", \"model\": \"{model}\", \"nphys\": {nphys},\n  \
+             \"static_dead_regs\": [{}],\n  \"static_dead_fraction\": {static_dead:.6},\n  \
+             \"dynamic_rf_live_fraction\": {dynamic_live:.6},\n  \"static_rf_pvf\": {rf_pvf:.6},\n  \
+             \"sampled_sites\": {},\n  \"static_dead_sites\": {static_dead_sites},\n  \
+             \"dynamic_dead_sites\": {dynamic_dead_sites},\n  \"violations\": {violations}\n}}\n",
+            dead_regs.join(", "),
+            sites.len(),
+        );
+        vulnstack_core::report::write_atomic(path, json.as_bytes()).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    if violations > 0 {
+        return Err(format!(
+            "soundness violation: {violations} statically-dead sites were not dynamically dead"
+        ));
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().map_or("help", String::as_str);
     let name = args.get(1).cloned().unwrap_or_default();
+    // `analyze` sub-subcommands shift the target one slot right; they
+    // must dispatch before the positional target reaches `parse_opts`.
+    if cmd == "analyze" && matches!(name.as_str(), "attack" | "prune-audit") {
+        let target = args
+            .get(2)
+            .cloned()
+            .ok_or_else(|| format!("analyze {name} needs a target"))?;
+        let opts = parse_opts(if args.len() > 3 { &args[3..] } else { &[] })?;
+        return if name == "attack" {
+            analyze_attack(&target, &opts)
+        } else {
+            analyze_prune_audit(&target, &opts)
+        };
+    }
     let rest = if args.len() > 2 { &args[2..] } else { &[] };
     let opts = parse_opts(rest)?;
 
@@ -333,10 +485,11 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{}", t.render());
             for (st, s) in &prune_report {
                 println!(
-                    "{st} pruning: {} sites = {} dead + {} memoized ({} pilots) + {} singletons; \
-                     {} early-terminated, {} proven hangs",
+                    "{st} pruning: {} sites = {} dead ({} static) + {} memoized ({} pilots) + \
+                     {} singletons; {} early-terminated, {} proven hangs",
                     s.sites,
                     s.dead_masked,
+                    s.static_dead,
                     s.memo_hits,
                     s.pilot_runs,
                     s.singleton_runs,
@@ -481,6 +634,11 @@ fn run(args: &[String]) -> Result<(), String> {
             let compiled =
                 compile(&w.module, isa, &CompileOpts::default()).map_err(|e| e.to_string())?;
             let sa = vulnstack_analyze::analyze(&compiled);
+            if let Some(path) = opts.flags.get("json") {
+                vulnstack_core::report::write_atomic(path, sa.to_json().as_bytes())
+                    .map_err(|e| e.to_string())?;
+                println!("wrote {path}");
+            }
             print!("{}", sa.summary());
             let mut t = Table::new(&["function", "instrs", "blocks", "max depth", "static PVF"]);
             for (f, (fname, fpvf, _)) in sa.cfg.funcs.iter().zip(sa.pvf.per_func.iter()) {

@@ -1,0 +1,92 @@
+//! Static-analysis regression baselines.
+//!
+//! `ci/analyze-baseline.txt` records, per (workload, ISA), the lint
+//! count the analyzer reports and the number of architectural registers
+//! the static pruning oracle proves dead on the full bootable image.
+//! CI fails when either regresses — lints appearing where there were
+//! none, or the oracle losing provable-dead registers (each lost
+//! register is simulation work the pruner silently stops saving).
+//! Improvements (fewer lints, more dead registers) pass; refresh the
+//! recorded numbers with `VULNSTACK_UPDATE_BASELINE=1 cargo test --test
+//! analyze_baseline`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use vulnstack_compiler::{compile, CompileOpts};
+use vulnstack_gefin::static_classifier;
+use vulnstack_isa::Isa;
+use vulnstack_kernel::SystemImage;
+use vulnstack_workloads::WorkloadId;
+
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/ci/analyze-baseline.txt");
+
+fn current() -> Vec<(String, String, usize, usize)> {
+    let mut rows = Vec::new();
+    for id in WorkloadId::ALL {
+        let w = id.build();
+        for isa in [Isa::Va32, Isa::Va64] {
+            let compiled = compile(&w.module, isa, &CompileOpts::default()).unwrap();
+            let lints = vulnstack_analyze::analyze(&compiled).lints.len();
+            let image = SystemImage::build(&compiled, &w.input).unwrap();
+            let dead = static_classifier(&image).dead_regs().len();
+            rows.push((id.name().to_string(), format!("{isa}"), lints, dead));
+        }
+    }
+    rows
+}
+
+#[test]
+fn lints_and_static_dead_registers_hold_their_baseline() {
+    let rows = current();
+    if std::env::var_os("VULNSTACK_UPDATE_BASELINE").is_some() {
+        let mut out = String::from(
+            "# workload isa lints static_dead_regs (regenerate: \
+                          VULNSTACK_UPDATE_BASELINE=1 cargo test --test analyze_baseline)\n",
+        );
+        for (name, isa, lints, dead) in &rows {
+            let _ = writeln!(out, "{name} {isa} {lints} {dead}");
+        }
+        std::fs::write(BASELINE_PATH, out).expect("write baseline");
+        return;
+    }
+    let text = std::fs::read_to_string(BASELINE_PATH)
+        .expect("baseline missing; regenerate with VULNSTACK_UPDATE_BASELINE=1");
+    let mut baseline: HashMap<(String, String), (usize, usize)> = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(f.len(), 4, "malformed baseline line: {line}");
+        baseline.insert(
+            (f[0].to_string(), f[1].to_string()),
+            (f[2].parse().unwrap(), f[3].parse().unwrap()),
+        );
+    }
+    let mut failures = Vec::new();
+    for (name, isa, lints, dead) in &rows {
+        let Some(&(max_lints, min_dead)) = baseline.get(&(name.clone(), isa.clone())) else {
+            failures.push(format!(
+                "{name}/{isa}: not in baseline (new workload? regenerate)"
+            ));
+            continue;
+        };
+        if *lints > max_lints {
+            failures.push(format!(
+                "{name}/{isa}: {lints} lints > baseline {max_lints}"
+            ));
+        }
+        if *dead < min_dead {
+            failures.push(format!(
+                "{name}/{isa}: {dead} static-dead regs < baseline {min_dead}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "static-analysis baseline regressions:\n{}",
+        failures.join("\n")
+    );
+}
