@@ -120,10 +120,14 @@ impl StaticClassifier {
     /// Only the identity-mapped low physical registers (`PReg(r)` for a
     /// never-accessed architectural `r`) are claimable: higher physical
     /// registers circulate through the free ring and hold live values.
+    /// A bit outside the register file (`preg >= nphys`) is never
+    /// claimed dead — the injector rejects such sites rather than
+    /// wrapping them onto a different register, and this decode mirrors
+    /// it.
     pub fn rf_bit_dead(&self, bit: u64, nphys: usize) -> bool {
         let xlen = self.isa.xlen() as u64;
-        let preg = (bit / xlen) as usize % nphys;
-        preg < self.accessed.len() && !self.accessed[preg]
+        let preg = (bit / xlen) as usize;
+        preg < nphys && preg < self.accessed.len() && !self.accessed[preg]
     }
 
     /// Fraction of register-file fault sites proven dead, for a core
@@ -195,7 +199,9 @@ mod tests {
         assert!(c.rf_bit_dead(9 * xlen + (xlen - 1), nphys));
         // High physical registers are never claimed.
         assert!(!c.rf_bit_dead(20 * xlen, nphys));
-        // Wrap-around mirrors `inject`'s modulo addressing.
-        assert!(c.rf_bit_dead((nphys as u64 + 9) * xlen, nphys));
+        // Out-of-range bits are never claimed: the injector panics on
+        // them rather than wrapping, so no wrap-around claims either.
+        assert!(!c.rf_bit_dead(nphys as u64 * xlen, nphys));
+        assert!(!c.rf_bit_dead((nphys as u64 + 9) * xlen, nphys));
     }
 }

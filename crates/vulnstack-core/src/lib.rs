@@ -36,6 +36,9 @@ pub mod stats;
 pub mod trace;
 
 pub use effects::{FaultEffect, Tally, VulnFactor};
+// The runtime fault model lives beside the core it corrupts; re-exported
+// here so software-level engines (llfi) share one type without a direct
+// microarch dependency in their own code.
 pub use journal::{
     Fingerprint, Journal, JournalError, JournalOpts, ResumableCampaign, ResumeMode, ResumeStats,
     ResumedCampaign,
@@ -43,3 +46,4 @@ pub use journal::{
 pub use sched::{Quarantine, RunPolicy, SiteResult};
 pub use stack::{FpmDist, StructureAvf, WeightedAvf};
 pub use trace::{CampaignMetrics, MetricsReport, Span, WorkerReport};
+pub use vulnstack_microarch::FaultModel;

@@ -315,7 +315,7 @@ fn harden_function(f: &mut Function) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vulnstack_vir::interp::{Interpreter, RunStatus, SwFault};
+    use vulnstack_vir::interp::{Interpreter, RunStatus, SwFault, SwFaultModel};
     use vulnstack_workloads::WorkloadId;
 
     #[test]
@@ -381,6 +381,7 @@ mod tests {
                 .with_fault(SwFault {
                     target,
                     bit: (i % 31) as u8,
+                    model: SwFaultModel::BitFlip,
                 })
                 .run()
                 .unwrap();

@@ -11,11 +11,11 @@ use vulnstack_core::stack::FpmDist;
 use vulnstack_core::trace::CampaignMetrics;
 use vulnstack_core::ResumeStats;
 use vulnstack_microarch::lifetime::DEFAULT_EVENT_CAP;
-use vulnstack_microarch::ooo::{Fpm, HwStructure};
+use vulnstack_microarch::ooo::{FaultModel, Fpm, HwStructure};
 use vulnstack_microarch::{FaultTrace, OooCore, RunStatus};
 
 use crate::prepare::Prepared;
-use crate::prune::{plan_sites, InjectionPlan, PruneStats, Pruner};
+use crate::prune::{plan_model_sites, plan_sites, InjectionPlan, PruneStats, Pruner};
 
 /// How an injection run reaches its injection cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,8 +35,11 @@ pub enum InjectEngine {
 pub struct InjectionRecord {
     /// Injection cycle.
     pub cycle: u64,
-    /// Flat bit index within the structure.
+    /// Site index within the fault model's site space over the structure
+    /// (flat bit for bit-granular models; see [`FaultModel::sites`]).
     pub bit: u64,
+    /// The fault model injected.
+    pub model: FaultModel,
     /// End-to-end fault effect (the AVF observation).
     pub effect: FaultEffect,
     /// First architectural manifestation (the HVF observation); `None`
@@ -44,6 +47,18 @@ pub struct InjectionRecord {
     pub fpm: Option<Fpm>,
     /// Cycle of the first manifestation (`None` while masked).
     pub fpm_cycle: Option<u64>,
+}
+
+/// One fault site of a model-aware campaign: where, when, and what kind
+/// of fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSite {
+    /// Injection cycle.
+    pub cycle: u64,
+    /// Site index within `model`'s site space over the structure.
+    pub bit: u64,
+    /// The fault model.
+    pub model: FaultModel,
 }
 
 /// Aggregated results of one (workload, core, structure) campaign.
@@ -79,6 +94,23 @@ pub fn run_one(prep: &Prepared, structure: HwStructure, cycle: u64, bit: u64) ->
     run_one_with(prep, structure, cycle, bit, InjectEngine::Checkpointed)
 }
 
+/// [`run_one`] under an explicit fault model (see
+/// [`vulnstack_microarch::OooCore::inject_model`] for the per-model
+/// injection semantics).
+pub fn run_one_model(prep: &Prepared, structure: HwStructure, site: ModelSite) -> InjectionRecord {
+    run_one_inner(
+        prep,
+        structure,
+        site.cycle,
+        site.bit,
+        site.model,
+        InjectEngine::Checkpointed,
+        None,
+        None,
+    )
+    .0
+}
+
 /// [`run_one`] with an explicit prefix engine.
 pub fn run_one_with(
     prep: &Prepared,
@@ -87,7 +119,17 @@ pub fn run_one_with(
     bit: u64,
     engine: InjectEngine,
 ) -> InjectionRecord {
-    run_one_inner(prep, structure, cycle, bit, engine, None, None).0
+    run_one_inner(
+        prep,
+        structure,
+        cycle,
+        bit,
+        FaultModel::BitFlip,
+        engine,
+        None,
+        None,
+    )
+    .0
 }
 
 /// [`run_one_with`] with fault-lifetime tracing enabled: also returns the
@@ -101,18 +143,29 @@ pub fn run_one_traced(
     engine: InjectEngine,
     cap: usize,
 ) -> (InjectionRecord, Option<FaultTrace>) {
-    run_one_inner(prep, structure, cycle, bit, engine, Some(cap), None)
+    run_one_inner(
+        prep,
+        structure,
+        cycle,
+        bit,
+        FaultModel::BitFlip,
+        engine,
+        Some(cap),
+        None,
+    )
 }
 
 /// The shared injection runner: optional lifetime tracing, optional
 /// campaign-metrics recording. Tracing and metrics never influence the
 /// returned record (asserted by `tests/trace_reconciliation.rs` and the
 /// engine-equivalence test).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_one_inner(
     prep: &Prepared,
     structure: HwStructure,
     cycle: u64,
     bit: u64,
+    model: FaultModel,
     engine: InjectEngine,
     trace_cap: Option<usize>,
     metrics: Option<&CampaignMetrics>,
@@ -133,7 +186,7 @@ pub(crate) fn run_one_inner(
     if let Some(cap) = trace_cap {
         core.enable_fault_trace(cap);
     }
-    core.inject(structure, bit);
+    core.inject_model(structure, bit, model);
     // Run in slices; once every corrupted copy is gone and nothing
     // tainted is in flight, the rest of the run is identical to the
     // golden run, so it can be classified Masked without simulating it.
@@ -161,6 +214,7 @@ pub(crate) fn run_one_inner(
                 InjectionRecord {
                     cycle,
                     bit,
+                    model,
                     effect: FaultEffect::Masked,
                     fpm: None,
                     fpm_cycle: None,
@@ -185,6 +239,7 @@ pub(crate) fn run_one_inner(
         InjectionRecord {
             cycle,
             bit,
+            model,
             effect,
             fpm: out.fpm,
             fpm_cycle: out.fpm_cycle,
@@ -245,6 +300,53 @@ pub fn draw_sites(prep: &Prepared, structure: HwStructure, n: usize, seed: u64) 
         .collect()
 }
 
+/// Canonical form of a fault-model set: deduplicated, in
+/// [`FaultModel::ALL`] order, restricted to models that apply to
+/// `structure`. Campaigns, fingerprints, and reports all use this order
+/// so the same set always has the same identity.
+pub fn canonical_models(models: &[FaultModel], structure: HwStructure) -> Vec<FaultModel> {
+    FaultModel::ALL
+        .into_iter()
+        .filter(|m| models.contains(m) && m.applies_to(structure))
+        .collect()
+}
+
+/// Draws `n` `(cycle, bit, model)` fault sites over a model set. With
+/// the single legacy model `[BitFlip]` this is exactly [`draw_sites`]
+/// with the model tagged on — same RNG stream, same sites — so model
+/// threading is a no-op for legacy campaigns. With multiple models each
+/// site draws its model uniformly, then a site index over that model's
+/// own site space.
+pub fn draw_model_sites(
+    prep: &Prepared,
+    structure: HwStructure,
+    n: usize,
+    seed: u64,
+    models: &[FaultModel],
+) -> Vec<ModelSite> {
+    let models = canonical_models(models, structure);
+    assert!(!models.is_empty(), "no fault model applies to {structure}");
+    if models == [FaultModel::BitFlip] {
+        return draw_sites(prep, structure, n, seed)
+            .into_iter()
+            .map(|(cycle, bit)| ModelSite {
+                cycle,
+                bit,
+                model: FaultModel::BitFlip,
+            })
+            .collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    (0..n)
+        .map(|_| {
+            let model = models[rng.gen_range(0..models.len())];
+            let cycle = rng.gen_range(1..=prep.golden.cycles);
+            let bit = rng.gen_range(0..model.sites(structure, &prep.cfg));
+            ModelSite { cycle, bit, model }
+        })
+        .collect()
+}
+
 /// [`avf_campaign_with`] with optional campaign metrics: per-worker
 /// timeline spans, restore-distance histogram, extinct-early and watchdog
 /// counters are recorded into `metrics`. Results are identical to the
@@ -270,7 +372,19 @@ pub fn avf_campaign_metered(
         &sites,
         &order,
         threads,
-        |_, &(c, b)| run_one_inner(prep, structure, c, b, engine, None, metrics).0,
+        |_, &(c, b)| {
+            run_one_inner(
+                prep,
+                structure,
+                c,
+                b,
+                FaultModel::BitFlip,
+                engine,
+                None,
+                metrics,
+            )
+            .0
+        },
         metrics,
     );
 
@@ -316,6 +430,7 @@ pub fn avf_campaign_planned(
                     structure,
                     c,
                     b,
+                    FaultModel::BitFlip,
                     InjectEngine::Checkpointed,
                     None,
                     metrics,
@@ -325,6 +440,60 @@ pub fn avf_campaign_planned(
             metrics,
         );
         (collect_result(structure, bits, records), None)
+    }
+}
+
+/// Model-aware planned campaign: executes a plan's `(site, model)`
+/// pairs over `models`. [`InjectionPlan::Exhaustive`] enumerates every
+/// pair (ARMORY-style) and — like [`InjectionPlan::Pruned`] — executes
+/// through the model-aware [`Pruner`], whose per-model dead/equivalence
+/// arguments keep exhaustive sweeps tractable; only
+/// [`InjectionPlan::Sampled`] runs every site individually. Records are
+/// bit-identical to unpruned execution of the same pairs.
+pub fn avf_campaign_models(
+    prep: &Prepared,
+    structure: HwStructure,
+    plan: &InjectionPlan,
+    models: &[FaultModel],
+    threads: usize,
+    metrics: Option<&CampaignMetrics>,
+) -> (AvfCampaignResult, Option<PruneStats>) {
+    let bits = structure.bits(&prep.cfg);
+    let sites = plan_model_sites(prep, structure, plan, models);
+    let cycles: Vec<u64> = sites.iter().map(|s| s.cycle).collect();
+    let order = sched::sort_order_by_key(&cycles);
+    if matches!(plan, InjectionPlan::Sampled { .. }) {
+        let records = sched::map_ordered_metered(
+            &sites,
+            &order,
+            threads,
+            |_, s: &ModelSite| {
+                run_one_inner(
+                    prep,
+                    structure,
+                    s.cycle,
+                    s.bit,
+                    s.model,
+                    InjectEngine::Checkpointed,
+                    None,
+                    metrics,
+                )
+                .0
+            },
+            metrics,
+        );
+        (collect_result(structure, bits, records), None)
+    } else {
+        let pruner = Pruner::new(prep, structure);
+        let records = sched::map_ordered_metered(
+            &sites,
+            &order,
+            threads,
+            |_, s: &ModelSite| pruner.run_site_model(s.cycle, s.bit, s.model, metrics),
+            metrics,
+        );
+        let stats = pruner.stats();
+        (collect_result(structure, bits, records), Some(stats))
     }
 }
 
@@ -356,6 +525,7 @@ pub fn avf_campaign_traced(
                 structure,
                 c,
                 b,
+                FaultModel::BitFlip,
                 engine,
                 Some(DEFAULT_EVENT_CAP),
                 metrics,
@@ -371,26 +541,28 @@ pub fn avf_campaign_traced(
 /// Journal record-schema version for gefin campaigns: bump when the
 /// record encoding or the injection semantics change, so journals written
 /// by an older engine are refused rather than silently mixed in.
-pub(crate) const RECORD_VERSION: u32 = 1;
+/// Version 2: records gained a fault-model tag.
+pub(crate) const RECORD_VERSION: u32 = 2;
 
 /// Encodes an [`InjectionRecord`] as the journal payload
-/// (`cycle,bit,effect,fpm,fpm_cycle`, with `-` for the masked/`None`
-/// fields).
-pub(crate) fn encode_record(r: &InjectionRecord) -> String {
+/// (`cycle,bit,effect,fpm,fpm_cycle,model`, with `-` for the
+/// masked/`None` fields).
+pub fn encode_record(r: &InjectionRecord) -> String {
     format!(
-        "{},{},{},{},{}",
+        "{},{},{},{},{},{}",
         r.cycle,
         r.bit,
         r.effect.name(),
         r.fpm.map_or("-", Fpm::name),
         r.fpm_cycle
             .map_or_else(|| "-".to_string(), |c| c.to_string()),
+        r.model.name(),
     )
 }
 
 /// Inverse of [`encode_record`]; `None` marks a journal written by an
 /// incompatible engine (surfaced as corruption, never silently dropped).
-pub(crate) fn decode_record(s: &str) -> Option<InjectionRecord> {
+pub fn decode_record(s: &str) -> Option<InjectionRecord> {
     let mut it = s.split(',');
     let cycle = it.next()?.parse().ok()?;
     let bit = it.next()?.parse().ok()?;
@@ -403,16 +575,27 @@ pub(crate) fn decode_record(s: &str) -> Option<InjectionRecord> {
         "-" => None,
         c => Some(c.parse().ok()?),
     };
+    let model = FaultModel::from_name(it.next()?)?;
     if it.next().is_some() {
         return None;
     }
     Some(InjectionRecord {
         cycle,
         bit,
+        model,
         effect,
         fpm,
         fpm_cycle,
     })
+}
+
+/// The model set's canonical fingerprint fragment (`+`-joined names in
+/// [`FaultModel::ALL`] order). Part of the journal identity: resuming a
+/// campaign whose model set changed draws different sites and must be
+/// refused, not silently mixed.
+fn models_fragment(models: &[FaultModel]) -> String {
+    let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+    names.join("+")
 }
 
 fn avf_fingerprint(
@@ -421,6 +604,7 @@ fn avf_fingerprint(
     n: usize,
     seed: u64,
     workload: &str,
+    models: &[FaultModel],
 ) -> Fingerprint {
     Fingerprint {
         engine: "gefin-avf".to_string(),
@@ -433,9 +617,10 @@ fn avf_fingerprint(
         // workload's name: a same-named workload whose input or compiled
         // image changed draws different sites and must be refused.
         params: format!(
-            "golden_cycles={};output={:016x}",
+            "golden_cycles={};output={:016x};models={}",
             prep.golden.cycles,
-            fnv1a64(&prep.expected_output)
+            fnv1a64(&prep.expected_output),
+            models_fragment(models),
         ),
         version: RECORD_VERSION,
     }
@@ -483,7 +668,14 @@ pub fn avf_campaign_resumable(
     let order = sched::sort_order_by_key(&cycles);
     let resumed = ResumableCampaign {
         path: opts.path,
-        fingerprint: avf_fingerprint(prep, structure, n, seed, opts.workload),
+        fingerprint: avf_fingerprint(
+            prep,
+            structure,
+            n,
+            seed,
+            opts.workload,
+            &[FaultModel::BitFlip],
+        ),
         mode: opts.mode,
         items: &sites,
         order: &order,
@@ -498,6 +690,7 @@ pub fn avf_campaign_resumable(
                 structure,
                 c,
                 b,
+                FaultModel::BitFlip,
                 InjectEngine::Checkpointed,
                 None,
                 metrics,
@@ -549,7 +742,14 @@ pub fn avf_campaign_resumable_planned(
         InjectionPlan::Sampled { n: _, seed } => (seed, "sampled".to_string()),
         InjectionPlan::Pruned { n: _, seed } => (seed, "pruned".to_string()),
     };
-    let mut fingerprint = avf_fingerprint(prep, structure, sites.len(), seed, opts.workload);
+    let mut fingerprint = avf_fingerprint(
+        prep,
+        structure,
+        sites.len(),
+        seed,
+        opts.workload,
+        &[FaultModel::BitFlip],
+    );
     fingerprint.params.push_str(&format!(";plan={plan_detail}"));
 
     let pruner = plan.is_pruned().then(|| Pruner::new(prep, structure));
@@ -582,6 +782,7 @@ pub fn avf_campaign_resumable_planned(
                     structure,
                     c,
                     b,
+                    FaultModel::BitFlip,
                     InjectEngine::Checkpointed,
                     None,
                     metrics,
@@ -603,6 +804,118 @@ pub fn avf_campaign_resumable_planned(
         },
         pruner.map(|p| p.stats()),
     ))
+}
+
+/// Model-aware [`avf_campaign_resumable_planned`]: journaled,
+/// crash-resumable execution of a plan's `(site, model)` pairs. The
+/// fingerprint covers the canonical model set (and the plan), so a
+/// journal written under one model set refuses a resume under another;
+/// records carry their model tag through the journal codec. Exhaustive
+/// and pruned plans execute through the model-aware [`Pruner`].
+///
+/// # Errors
+///
+/// Any [`JournalError`] (see [`avf_campaign_resumable`]), plus
+/// [`JournalError::MetaMismatch`] when the journal's class-table digest
+/// disagrees with the rebuilt table's.
+pub fn avf_campaign_models_resumable(
+    prep: &Prepared,
+    structure: HwStructure,
+    plan: &InjectionPlan,
+    models: &[FaultModel],
+    threads: usize,
+    opts: &JournalOpts<'_>,
+    metrics: Option<&CampaignMetrics>,
+) -> Result<(AvfResumed, Option<PruneStats>), JournalError> {
+    let bits = structure.bits(&prep.cfg);
+    let models = canonical_models(models, structure);
+    let sites = plan_model_sites(prep, structure, plan, &models);
+    let cycles: Vec<u64> = sites.iter().map(|s| s.cycle).collect();
+    let order = sched::sort_order_by_key(&cycles);
+    let (seed, plan_detail) = match *plan {
+        InjectionPlan::Exhaustive { cycle } => (0, format!("exhaustive@{cycle}")),
+        InjectionPlan::Sampled { n: _, seed } => (seed, "sampled".to_string()),
+        InjectionPlan::Pruned { n: _, seed } => (seed, "pruned".to_string()),
+    };
+    let mut fingerprint =
+        avf_fingerprint(prep, structure, sites.len(), seed, opts.workload, &models);
+    fingerprint.params.push_str(&format!(";plan={plan_detail}"));
+
+    let pruner =
+        (!matches!(plan, InjectionPlan::Sampled { .. })).then(|| Pruner::new(prep, structure));
+    let meta: Vec<(String, String)> = pruner
+        .as_ref()
+        .map(|p| {
+            vec![(
+                "class-table".to_string(),
+                format!("fnv={:016x}", p.table().digest()),
+            )]
+        })
+        .unwrap_or_default();
+
+    let resumed = ResumableCampaign {
+        path: opts.path,
+        fingerprint,
+        mode: opts.mode,
+        items: &sites,
+        order: &order,
+        threads,
+        policy: opts.policy,
+        meta: &meta,
+    }
+    .run(
+        |_, s: &ModelSite| match &pruner {
+            Some(p) => p.run_site_model(s.cycle, s.bit, s.model, metrics),
+            None => {
+                run_one_inner(
+                    prep,
+                    structure,
+                    s.cycle,
+                    s.bit,
+                    s.model,
+                    InjectEngine::Checkpointed,
+                    None,
+                    metrics,
+                )
+                .0
+            }
+        },
+        encode_record,
+        decode_record,
+        metrics,
+    )?;
+    let records: Vec<InjectionRecord> = resumed.records().into_iter().copied().collect();
+    let quarantined: Vec<Quarantine> = resumed.quarantined().into_iter().cloned().collect();
+    Ok((
+        AvfResumed {
+            result: collect_result(structure, bits, records),
+            quarantined,
+            stats: resumed.stats,
+        },
+        pruner.map(|p| p.stats()),
+    ))
+}
+
+/// Per-model outcome tallies of a model-aware campaign, in
+/// [`FaultModel::ALL`] order; models with no records are omitted. The
+/// ARMORY-style exhaustive report: one `(model, AVF tally, FPM
+/// distribution)` row per injected model.
+pub fn per_model_tallies(records: &[InjectionRecord]) -> Vec<(FaultModel, Tally, FpmDist)> {
+    FaultModel::ALL
+        .into_iter()
+        .filter_map(|m| {
+            let recs: Vec<&InjectionRecord> = records.iter().filter(|r| r.model == m).collect();
+            if recs.is_empty() {
+                return None;
+            }
+            let tally: Tally = recs.iter().map(|r| r.effect).collect();
+            let mut fpm = FpmDist::new();
+            for r in &recs {
+                fpm.add(r.fpm);
+            }
+            Some((m, tally, fpm))
+        })
+        .collect()
 }
 
 fn collect_result(
@@ -671,6 +984,7 @@ mod tests {
                 effect: FaultEffect::Masked,
                 fpm: None,
                 fpm_cycle: None,
+                model: FaultModel::BitFlip,
             },
             InjectionRecord {
                 cycle: 999,
@@ -678,6 +992,7 @@ mod tests {
                 effect: FaultEffect::Sdc,
                 fpm: Some(Fpm::Wd),
                 fpm_cycle: Some(1004),
+                model: FaultModel::ByteCorrupt,
             },
             InjectionRecord {
                 cycle: 1,
@@ -685,14 +1000,16 @@ mod tests {
                 effect: FaultEffect::Crash,
                 fpm: Some(Fpm::Esc),
                 fpm_cycle: Some(0),
+                model: FaultModel::StuckAt,
             },
         ];
         for r in recs {
             assert_eq!(decode_record(&encode_record(&r)), Some(r));
         }
         assert_eq!(decode_record("nonsense"), None);
-        assert_eq!(decode_record("1,2,NotAnEffect,-,-"), None);
-        assert_eq!(decode_record("1,2,SDC,-,-,extra"), None);
+        assert_eq!(decode_record("1,2,NotAnEffect,-,-,bit-flip"), None);
+        assert_eq!(decode_record("1,2,SDC,-,-,not-a-model"), None);
+        assert_eq!(decode_record("1,2,SDC,-,-,bit-flip,extra"), None);
     }
 
     #[test]

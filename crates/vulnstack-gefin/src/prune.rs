@@ -91,10 +91,10 @@ use vulnstack_analyze::StaticClassifier;
 use vulnstack_core::effects::FaultEffect;
 use vulnstack_core::trace::CampaignMetrics;
 use vulnstack_kernel::{memmap, SystemImage};
-use vulnstack_microarch::ooo::{Fpm, HwStructure, RfAccess};
-use vulnstack_microarch::{OooCore, RunStatus};
+use vulnstack_microarch::ooo::{lsq_site, rf_site, Fpm, HwStructure, LsqSite, RfAccess};
+use vulnstack_microarch::{FaultModel, OooCore, RunStatus};
 
-use crate::avf::InjectionRecord;
+use crate::avf::{InjectionRecord, ModelSite};
 use crate::prepare::Prepared;
 
 /// Builds the static pruning oracle for an image: scans every
@@ -120,15 +120,26 @@ pub fn static_classifier(image: &SystemImage) -> StaticClassifier {
 }
 
 /// Identity of a register-file equivalence class: all injections of
-/// `bit` whose next access to the target register is the *same* read
-/// event (`gap` = index of that event in the register's access
-/// sequence). Every member produces the same `(effect, fpm, fpm_cycle)`
-/// triple, so one pilot simulation settles the whole class.
+/// `bit` under `model` whose next *relevant* event is the same one
+/// (`gap` = index of that event). For the value models the relevant
+/// sequence is the target register's access log (same gap ⇒ no
+/// intervening access ⇒ identical pre-injection value ⇒ identical
+/// faulty machine from the later cycle onward). For
+/// [`FaultModel::InstrSkip`] it is the golden run's decoded-dispatch
+/// sequence: the pending skip is behaviorally latent until the next
+/// decoded dispatch fires it, so two injections ahead of the same
+/// dispatch event build identical machines at that dispatch. Every
+/// member produces the same `(effect, fpm, fpm_cycle)` triple, so one
+/// pilot simulation settles the whole class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClassKey {
-    /// Flat bit index within the structure.
+    /// The fault model of every member.
+    pub model: FaultModel,
+    /// Site index within the model's own site space (flat bit for
+    /// bit-flip/stuck-at, byte index for byte corruption, `0` for the
+    /// single instruction-skip site).
     pub bit: u64,
-    /// Index of the next access event in the register's sequence.
+    /// Index of the next relevant event in the model's sequence.
     pub gap: u64,
 }
 
@@ -193,6 +204,10 @@ pub struct ClassTable {
     /// order is execution order, so same-cycle write-then-read sequences
     /// classify correctly).
     rf_events: Vec<Vec<RfAccess>>,
+    /// Cycles at which the golden run dispatched a *decoded*
+    /// instruction, in order (RF only; the instruction-skip model's
+    /// event sequence).
+    dispatch_cycles: Vec<u64>,
     lq_len: usize,
     sq_len: usize,
     /// Armed masks indexed by cycle, `0..=golden_cycles` (LSQ only).
@@ -214,11 +229,13 @@ impl ClassTable {
     pub fn build(prep: &Prepared, structure: HwStructure) -> ClassTable {
         let xlen = prep.cfg.isa.xlen() as u64;
         let mut rf_events: Vec<Vec<RfAccess>> = Vec::new();
+        let mut dispatch_cycles: Vec<u64> = Vec::new();
         let mut armed: Vec<ArmedMask> = Vec::new();
         match structure {
             HwStructure::RegisterFile => {
                 let mut core = prep.core_from_scratch();
                 core.enable_rf_log();
+                core.enable_dispatch_log();
                 core.run_until(prep.budget);
                 assert_eq!(
                     core.cycle(),
@@ -229,6 +246,7 @@ impl ClassTable {
                 rf_events = (0..log.num_pregs())
                     .map(|p| log.events(p).to_vec())
                     .collect();
+                dispatch_cycles = core.take_dispatch_log().expect("dispatch log was enabled");
             }
             HwStructure::Lsq => {
                 // Step the golden run cycle by cycle, sampling which LSQ
@@ -260,6 +278,7 @@ impl ClassTable {
             golden_cycles: prep.golden.cycles,
             xlen,
             rf_events,
+            dispatch_cycles,
             lq_len: prep.cfg.lq_entries as usize,
             sq_len: prep.cfg.sq_entries as usize,
             armed,
@@ -289,6 +308,10 @@ impl ClassTable {
                 h.u64(e.write as u64);
             }
         }
+        h.u64(self.dispatch_cycles.len() as u64);
+        for &c in &self.dispatch_cycles {
+            h.u64(c);
+        }
         h.u64(self.lq_len as u64);
         h.u64(self.sq_len as u64);
         h.u64(self.armed.len() as u64);
@@ -299,24 +322,80 @@ impl ClassTable {
         h.0
     }
 
-    /// Classifies an injection of `bit` at the end of `cycle`.
-    ///
-    /// The decode mirrors [`vulnstack_microarch::OooCore::inject`]
-    /// exactly (including the SQ flat-bit clamp), and cycles past the
-    /// golden run's end clamp to the terminal state — an ended core no
-    /// longer changes, so the terminal masks are exact for them.
+    /// Classifies a bit-flip injection of `bit` at the end of `cycle`:
+    /// [`ClassTable::classify_model`] under the legacy model.
     pub fn classify(&self, cycle: u64, bit: u64) -> SiteClass {
+        self.classify_model(cycle, bit, FaultModel::BitFlip)
+    }
+
+    /// Classifies an injection of site `bit` under `model` at the end of
+    /// `cycle`.
+    ///
+    /// The decode shares [`rf_site`]/[`lsq_site`] with
+    /// [`vulnstack_microarch::OooCore::inject_model`], so a site the
+    /// core would reject panics here with the same message instead of
+    /// silently wrapping onto a different register (the historical
+    /// `%`-wrap / SQ-clamp mirror bugs). Cycles past the golden run's
+    /// end clamp to the terminal state — an ended core no longer
+    /// changes, so the terminal masks are exact for them.
+    ///
+    /// Per-model dead rules differ where the fault's *persistence*
+    /// does: a transient value corruption (bit-flip, byte corruption)
+    /// is dead when the next access is a write — the corruption is
+    /// repaired before any read — or when no access remains. A
+    /// stuck-at cell is dead only when **every** remaining access is a
+    /// write: the cell re-asserts over each of them, so any later read
+    /// observes the corruption no matter how many writes preceded it.
+    /// An instruction skip is dead only when the golden run dispatches
+    /// no further decoded instruction (the pending skip never fires).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `model` does not apply to this structure, or when
+    /// the site index is outside `model`'s site space (mirroring
+    /// `inject_model`).
+    pub fn classify_model(&self, cycle: u64, bit: u64, model: FaultModel) -> SiteClass {
+        assert!(
+            model.applies_to(self.structure),
+            "{model} does not apply to {}",
+            self.structure
+        );
         match self.structure {
             HwStructure::RegisterFile => {
-                let preg = (bit / self.xlen) as usize % self.rf_events.len();
+                if model == FaultModel::InstrSkip {
+                    assert_eq!(bit, 0, "instruction skip has a single site");
+                    let gap = self.dispatch_cycles.partition_point(|&dc| dc <= cycle);
+                    return if gap == self.dispatch_cycles.len() {
+                        SiteClass::DeadMasked
+                    } else {
+                        SiteClass::Equiv(ClassKey {
+                            model,
+                            bit,
+                            gap: gap as u64,
+                        })
+                    };
+                }
+                let flat = if model == FaultModel::ByteCorrupt {
+                    bit * 8
+                } else {
+                    bit
+                };
+                let (preg, _) = rf_site(flat, self.xlen as u32, self.rf_events.len())
+                    .unwrap_or_else(|| panic!("RF fault site bit {bit} out of range"));
                 let ev = &self.rf_events[preg];
                 // First access strictly after the injection point: the
-                // flip happens after all of `cycle`'s events.
+                // corruption happens after all of `cycle`'s events.
                 let gap = ev.partition_point(|e| e.cycle <= cycle);
-                if gap == ev.len() || ev[gap].write {
+                let dead = if model == FaultModel::StuckAt {
+                    ev[gap..].iter().all(|e| e.write)
+                } else {
+                    gap == ev.len() || ev[gap].write
+                };
+                if dead {
                     SiteClass::DeadMasked
                 } else {
                     SiteClass::Equiv(ClassKey {
+                        model,
                         bit,
                         gap: gap as u64,
                     })
@@ -324,18 +403,23 @@ impl ClassTable {
             }
             HwStructure::Lsq => {
                 let m = self.armed[cycle.min(self.golden_cycles) as usize];
-                let lq_bits = self.lq_len as u64 * self.xlen;
-                let entry_armed = if bit < lq_bits {
-                    let e = (bit / self.xlen) as usize;
-                    m.lq & (1u32 << e) != 0
+                let flat = if model == FaultModel::ByteCorrupt {
+                    bit * 8
                 } else {
-                    let rest = bit - lq_bits;
-                    let e = ((rest / (2 * self.xlen)) as usize).min(self.sq_len - 1);
-                    m.sq & (1u32 << e) != 0
+                    bit
+                };
+                let site = lsq_site(flat, self.xlen as u32, self.lq_len, self.sq_len)
+                    .unwrap_or_else(|| panic!("LSQ fault site bit {bit} out of range"));
+                let entry_armed = match site {
+                    LsqSite::LqAddr { entry, .. } => m.lq & (1u32 << entry) != 0,
+                    LsqSite::SqAddr { entry, .. } | LsqSite::SqData { entry, .. } => {
+                        m.sq & (1u32 << entry) != 0
+                    }
                 };
                 if entry_armed {
-                    // Armed LSQ flips have no interval argument (the
-                    // entry drains within a few cycles); simulate each.
+                    // Armed LSQ corruptions have no interval argument
+                    // (the entry drains within a few cycles); simulate
+                    // each.
                     SiteClass::Singleton
                 } else {
                     SiteClass::DeadMasked
@@ -527,13 +611,26 @@ impl<'a> Pruner<'a> {
         self.static_pre.as_ref()
     }
 
-    /// Serves one site, bit-identical to
+    /// Serves one bit-flip site, bit-identical to
     /// `run_one(prep, structure, cycle, bit)` but as cheap as the class
-    /// table allows.
+    /// table allows: [`Pruner::run_site_model`] under the legacy model.
     pub fn run_site(
         &self,
         cycle: u64,
         bit: u64,
+        metrics: Option<&CampaignMetrics>,
+    ) -> InjectionRecord {
+        self.run_site_model(cycle, bit, FaultModel::BitFlip, metrics)
+    }
+
+    /// Serves one `(site, model)` pair, bit-identical to
+    /// `run_one_model(prep, structure, site)` but as cheap as the class
+    /// table allows.
+    pub fn run_site_model(
+        &self,
+        cycle: u64,
+        bit: u64,
+        model: FaultModel,
         metrics: Option<&CampaignMetrics>,
     ) -> InjectionRecord {
         self.sites.fetch_add(1, Ordering::Relaxed);
@@ -541,24 +638,36 @@ impl<'a> Pruner<'a> {
         // oracle proves never-accessed needs neither the dynamic table
         // nor a simulation. Such a register has an empty access log, so
         // the table would agree (`static-dead ⊆ dynamic-dead`); the
-        // record is identical, the classification just costs less.
-        if let Some(c) = &self.static_pre {
-            if c.rf_bit_dead(bit, self.nphys) {
-                self.static_dead.fetch_add(1, Ordering::Relaxed);
-                self.dead_masked.fetch_add(1, Ordering::Relaxed);
-                if let Some(m) = metrics {
-                    m.record_pruned_dead();
-                }
-                return InjectionRecord {
-                    cycle,
-                    bit,
-                    effect: FaultEffect::Masked,
-                    fpm: None,
-                    fpm_cycle: None,
+        // record is identical, the classification just costs less. The
+        // argument covers every *value* model — a corruption (even a
+        // persistent one) in a register that is never read nor written
+        // is never consumed — but says nothing about instruction skips,
+        // which corrupt no register at all.
+        if model != FaultModel::InstrSkip {
+            if let Some(c) = &self.static_pre {
+                let flat = if model == FaultModel::ByteCorrupt {
+                    bit * 8
+                } else {
+                    bit
                 };
+                if c.rf_bit_dead(flat, self.nphys) {
+                    self.static_dead.fetch_add(1, Ordering::Relaxed);
+                    self.dead_masked.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = metrics {
+                        m.record_pruned_dead();
+                    }
+                    return InjectionRecord {
+                        cycle,
+                        bit,
+                        model,
+                        effect: FaultEffect::Masked,
+                        fpm: None,
+                        fpm_cycle: None,
+                    };
+                }
             }
         }
-        match self.table.classify(cycle, bit) {
+        match self.table.classify_model(cycle, bit, model) {
             SiteClass::DeadMasked => {
                 self.dead_masked.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = metrics {
@@ -567,6 +676,7 @@ impl<'a> Pruner<'a> {
                 InjectionRecord {
                     cycle,
                     bit,
+                    model,
                     effect: FaultEffect::Masked,
                     fpm: None,
                     fpm_cycle: None,
@@ -578,6 +688,7 @@ impl<'a> Pruner<'a> {
                     return InjectionRecord {
                         cycle,
                         bit,
+                        model,
                         effect,
                         fpm,
                         fpm_cycle,
@@ -588,7 +699,7 @@ impl<'a> Pruner<'a> {
                 // identical triple, so the double insert is idempotent
                 // and the memo never influences record values.
                 self.pilot_runs.fetch_add(1, Ordering::Relaxed);
-                let rec = self.run_injected(cycle, bit, metrics);
+                let rec = self.run_injected(cycle, bit, model, metrics);
                 self.memo
                     .lock()
                     .unwrap()
@@ -597,7 +708,7 @@ impl<'a> Pruner<'a> {
             }
             SiteClass::Singleton => {
                 self.singleton_runs.fetch_add(1, Ordering::Relaxed);
-                self.run_injected(cycle, bit, metrics)
+                self.run_injected(cycle, bit, model, metrics)
             }
         }
     }
@@ -614,6 +725,7 @@ impl<'a> Pruner<'a> {
         &self,
         cycle: u64,
         bit: u64,
+        model: FaultModel,
         metrics: Option<&CampaignMetrics>,
     ) -> InjectionRecord {
         let prep = self.prep;
@@ -622,7 +734,7 @@ impl<'a> Pruner<'a> {
             m.record_restore_distance(prep.checkpoints.restore_distance(cycle));
         }
         core.run_until(cycle);
-        core.inject(self.structure, bit);
+        core.inject_model(self.structure, bit, model);
         let interval = prep.checkpoints.interval();
         // Proven-hang termination: armed once a manifested run outlives
         // twice the golden cycle count, and only for injected structures
@@ -630,8 +742,13 @@ impl<'a> Pruner<'a> {
         // could make a future re-fetch decode differently than the
         // committed trace recorded, which would break the runaway
         // prover's extrapolation; RF/LSQ taint reaches memory only
-        // through stores, which never land in user text).
+        // through stores, which never land in user text) — and only for
+        // transient value models: a stuck-at cell can re-corrupt writes
+        // the runaway prover's affine extrapolation assumed clean, and a
+        // still-pending skip can NOP an instruction the extrapolated
+        // stream expects to execute.
         let hang_proofs = self.early_term
+            && model.transient_value()
             && matches!(self.structure, HwStructure::RegisterFile | HwStructure::Lsq);
         let runaway_after = prep.golden.cycles.saturating_mul(2);
         // Each proof attempt needs a commit-trace window and a frozen
@@ -691,6 +808,7 @@ impl<'a> Pruner<'a> {
                         return InjectionRecord {
                             cycle,
                             bit,
+                            model,
                             effect: FaultEffect::Crash,
                             fpm: core.fpm(),
                             fpm_cycle: core.fpm_cycle(),
@@ -714,6 +832,7 @@ impl<'a> Pruner<'a> {
                 return InjectionRecord {
                     cycle,
                     bit,
+                    model,
                     effect: FaultEffect::Masked,
                     fpm: None,
                     fpm_cycle: None,
@@ -736,6 +855,7 @@ impl<'a> Pruner<'a> {
                         return InjectionRecord {
                             cycle,
                             bit,
+                            model,
                             effect: FaultEffect::Masked,
                             fpm: core.fpm(),
                             fpm_cycle: core.fpm_cycle(),
@@ -759,6 +879,7 @@ impl<'a> Pruner<'a> {
         InjectionRecord {
             cycle,
             bit,
+            model,
             effect,
             fpm: out.fpm,
             fpm_cycle: out.fpm_cycle,
@@ -770,7 +891,10 @@ impl<'a> Pruner<'a> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InjectionPlan {
     /// Every bit of the structure, all injected at one fixed cycle
-    /// (exhaustive over space, not time); executed unpruned.
+    /// (exhaustive over space, not time). The legacy `(cycle, bit)`
+    /// planner executes it unpruned; the model-aware campaigns run it
+    /// through the [`Pruner`], whose per-model dead/equivalence
+    /// arguments keep an all-(site, model)-pairs sweep tractable.
     Exhaustive {
         /// The single injection cycle.
         cycle: u64,
@@ -825,6 +949,44 @@ pub fn plan_sites(
         }
         InjectionPlan::Sampled { n, seed } | InjectionPlan::Pruned { n, seed } => {
             crate::avf::draw_sites(prep, structure, n, seed)
+        }
+    }
+}
+
+/// Materialises a plan's `(site, model)` pairs over a model set. An
+/// [`InjectionPlan::Exhaustive`] plan enumerates, per applicable model
+/// in canonical order, that model's *entire* site space at the fixed
+/// cycle — the ARMORY-style exhaustive multi-model campaign, meant to
+/// be executed through the [`Pruner`]. Sampling plans defer to
+/// [`crate::avf::draw_model_sites`], which is bit-identical to the
+/// legacy sample for `[FaultModel::BitFlip]`.
+///
+/// # Panics
+///
+/// Panics when no model in `models` applies to `structure`.
+pub fn plan_model_sites(
+    prep: &Prepared,
+    structure: HwStructure,
+    plan: &InjectionPlan,
+    models: &[FaultModel],
+) -> Vec<ModelSite> {
+    match *plan {
+        InjectionPlan::Exhaustive { cycle } => {
+            let models = crate::avf::canonical_models(models, structure);
+            assert!(!models.is_empty(), "no fault model applies to {structure}");
+            models
+                .into_iter()
+                .flat_map(|model| {
+                    (0..model.sites(structure, &prep.cfg)).map(move |bit| ModelSite {
+                        cycle,
+                        bit,
+                        model,
+                    })
+                })
+                .collect()
+        }
+        InjectionPlan::Sampled { n, seed } | InjectionPlan::Pruned { n, seed } => {
+            crate::avf::draw_model_sites(prep, structure, n, seed, models)
         }
     }
 }

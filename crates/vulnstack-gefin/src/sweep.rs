@@ -15,6 +15,7 @@ use vulnstack_core::stack::FpmDist;
 use vulnstack_core::trace::CampaignMetrics;
 use vulnstack_core::ResumeStats;
 use vulnstack_microarch::ooo::HwStructure;
+use vulnstack_microarch::FaultModel;
 
 use crate::avf::{decode_record, encode_record, run_one_inner, InjectEngine, RECORD_VERSION};
 use crate::prepare::Prepared;
@@ -83,6 +84,7 @@ pub fn temporal_campaign_metered(
                 structure,
                 cycle,
                 bit,
+                FaultModel::BitFlip,
                 InjectEngine::Checkpointed,
                 None,
                 metrics,
@@ -164,14 +166,19 @@ fn draw_windowed_sites(
     seed: u64,
 ) -> (Vec<u64>, Vec<(usize, u64, u64)>) {
     assert!(windows >= 1);
+    if windows as u64 > prep.golden.cycles {
+        // Pigeonholing more windows than cycles forces duplicate bounds
+        // and empty windows; say so instead of silently binning them.
+        eprintln!(
+            "warning: {windows} sweep windows over a {}-cycle run: some windows are degenerate",
+            prep.golden.cycles
+        );
+    }
     let total = prep.golden.cycles.max(windows as u64);
     let bits = structure.bits(&prep.cfg);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7E0A_11D5_11CE_0DD5);
 
-    let mut bounds = Vec::with_capacity(windows + 1);
-    for i in 0..=windows {
-        bounds.push(1 + (total - 1) * i as u64 / windows as u64);
-    }
+    let bounds = window_bounds(total, windows);
 
     let sites: Vec<(usize, u64, u64)> = (0..windows)
         .flat_map(|w| {
@@ -182,6 +189,19 @@ fn draw_windowed_sites(
         })
         .collect();
     (bounds, sites)
+}
+
+/// The sweep's `windows + 1` window boundaries over cycles `1..=total`:
+/// window `i` covers `[bounds[i], bounds[i+1])`, evenly split. The
+/// interpolation product is taken in `u128` — in `u64` the old
+/// `(total - 1) * i` wrapped once `total > u64::MAX / windows`,
+/// silently folding every boundary of a long campaign onto garbage
+/// cycles near the run's start.
+fn window_bounds(total: u64, windows: usize) -> Vec<u64> {
+    assert!(windows >= 1 && total >= 1);
+    (0..=windows)
+        .map(|i| 1 + ((u128::from(total) - 1) * i as u128 / windows as u128) as u64)
+        .collect()
 }
 
 /// Results of a resumable temporal sweep: the per-window profile over
@@ -318,6 +338,7 @@ fn temporal_resumable_inner(
                     structure,
                     cycle,
                     bit,
+                    FaultModel::BitFlip,
                     InjectEngine::Checkpointed,
                     None,
                     metrics,
@@ -356,6 +377,41 @@ mod tests {
     use super::*;
     use vulnstack_microarch::CoreModel;
     use vulnstack_workloads::WorkloadId;
+
+    #[test]
+    fn window_bounds_do_not_overflow_near_u64_max() {
+        // The old u64 interpolation wrapped for total > u64::MAX / i;
+        // in u128 the bounds stay monotone and span the whole run.
+        let b = window_bounds(u64::MAX, 7);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b[0], 1);
+        assert_eq!(*b.last().unwrap(), u64::MAX);
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "bounds {b:?}");
+    }
+
+    #[test]
+    fn window_bounds_match_the_small_case_exactly() {
+        // No behavior change where the old math never overflowed.
+        for (total, windows) in [(1u64, 1usize), (100, 4), (97, 3), (5, 5)] {
+            let b = window_bounds(total, windows);
+            let old: Vec<u64> = (0..=windows)
+                .map(|i| 1 + (total - 1) * i as u64 / windows as u64)
+                .collect();
+            assert_eq!(b, old, "total={total} windows={windows}");
+        }
+    }
+
+    #[test]
+    fn degenerate_window_counts_duplicate_but_stay_sorted() {
+        // More windows than cycles: duplicates are unavoidable, but the
+        // bounds must stay non-decreasing and in-range (the caller is
+        // warned on stderr).
+        let b = window_bounds(4, 10);
+        assert_eq!(b.len(), 11);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        assert!(b.iter().all(|&c| (1..=4).contains(&c)));
+        assert!(b.windows(2).any(|w| w[0] == w[1]), "expected duplicates");
+    }
 
     #[test]
     fn windows_partition_the_run() {

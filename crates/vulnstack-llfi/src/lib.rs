@@ -22,9 +22,22 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vulnstack_core::effects::{FaultEffect, Tally};
+use vulnstack_core::FaultModel;
 use vulnstack_vir::instr::InstrClass;
-use vulnstack_vir::interp::{Interpreter, RunStatus, SwFault};
+use vulnstack_vir::interp::{Interpreter, RunStatus, SwFault, SwFaultModel};
 use vulnstack_vir::Module;
+
+/// Maps the runtime [`FaultModel`] onto VIR's own software fault
+/// vocabulary ([`SwFaultModel`]): same four models, but `vulnstack-vir`
+/// depends only on the ISA crate and cannot name the shared enum.
+pub fn sw_model(model: FaultModel) -> SwFaultModel {
+    match model {
+        FaultModel::BitFlip => SwFaultModel::BitFlip,
+        FaultModel::ByteCorrupt => SwFaultModel::ByteCorrupt,
+        FaultModel::InstrSkip => SwFaultModel::InstrSkip,
+        FaultModel::StuckAt => SwFaultModel::StuckAt,
+    }
+}
 
 /// Classifies an interpreted run against the golden interpretation.
 pub fn classify(
@@ -149,10 +162,10 @@ pub fn svf_breakdown_by_function(
     let mut rng = StdRng::seed_from_u64(seed ^ 0x51F1_57AC_0DE5_EED5);
     let mut out: BTreeMap<String, Tally> = BTreeMap::new();
     for _ in 0..n {
-        let fault = SwFault {
-            target: rng.gen_range(0..golden.injectable.max(1)),
-            bit: rng.gen_range(0..32),
-        };
+        let fault = SwFault::flip(
+            rng.gen_range(0..golden.injectable.max(1)),
+            rng.gen_range(0..32),
+        );
         let run = Interpreter::new(module)
             .with_input(input.to_vec())
             .with_budget(golden.budget)
@@ -181,10 +194,10 @@ pub fn svf_breakdown(
     let mut rng = StdRng::seed_from_u64(seed ^ 0x51F1_57AC_0DE5_EED5);
     let mut out: BTreeMap<InstrClass, Tally> = BTreeMap::new();
     for _ in 0..n {
-        let fault = SwFault {
-            target: rng.gen_range(0..golden.injectable.max(1)),
-            bit: rng.gen_range(0..32),
-        };
+        let fault = SwFault::flip(
+            rng.gen_range(0..golden.injectable.max(1)),
+            rng.gen_range(0..32),
+        );
         let (effect, class) = run_one_classed(module, input, &golden, fault);
         if let Some(c) = class {
             out.entry(c).or_default().add(effect);
@@ -244,11 +257,84 @@ pub fn svf_campaign_metered(
 pub fn draw_faults(golden: &SvfGolden, n: usize, seed: u64) -> Vec<SwFault> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x51F1_57AC_0DE5_EED5);
     (0..n)
-        .map(|_| SwFault {
-            target: rng.gen_range(0..golden.injectable.max(1)),
-            bit: rng.gen_range(0..32),
+        .map(|_| {
+            SwFault::flip(
+                rng.gen_range(0..golden.injectable.max(1)),
+                rng.gen_range(0..32),
+            )
         })
         .collect()
+}
+
+/// Draws `n` software faults over a model set. With the single legacy
+/// model `[BitFlip]` this is exactly [`draw_faults`] — same RNG stream,
+/// same faults — so model threading is a no-op for legacy campaigns.
+/// With multiple models each fault draws its model uniformly, then a
+/// `(target, bit)` site (every model applies at the software layer; the
+/// bit selects the byte for byte corruption and is ignored by skips).
+///
+/// # Panics
+///
+/// Panics if `models` is empty.
+pub fn draw_model_faults(
+    golden: &SvfGolden,
+    n: usize,
+    seed: u64,
+    models: &[FaultModel],
+) -> Vec<SwFault> {
+    assert!(!models.is_empty(), "no fault model given");
+    let models: Vec<FaultModel> = FaultModel::ALL
+        .into_iter()
+        .filter(|m| models.contains(m))
+        .collect();
+    if models == [FaultModel::BitFlip] {
+        return draw_faults(golden, n, seed);
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51F1_57AC_0DE5_EED5 ^ 0x9E37_79B9_7F4A_7C15);
+    (0..n)
+        .map(|_| {
+            let model = models[rng.gen_range(0..models.len())];
+            SwFault {
+                target: rng.gen_range(0..golden.injectable.max(1)),
+                bit: rng.gen_range(0..32),
+                model: sw_model(model),
+            }
+        })
+        .collect()
+}
+
+/// Runs a multi-model SVF campaign and breaks the tally down by fault
+/// model — the software layer's view of the ARMORY-style multi-model
+/// comparison. Deterministic for a given seed at any thread count.
+pub fn svf_model_breakdown(
+    module: &Module,
+    input: &[u8],
+    expected_output: &[u8],
+    n: usize,
+    seed: u64,
+    models: &[FaultModel],
+    threads: usize,
+) -> BTreeMap<FaultModel, Tally> {
+    let golden = golden_run(module, input);
+    debug_assert_eq!(golden.output, expected_output, "golden output mismatch");
+    let faults = draw_model_faults(&golden, n, seed, models);
+    let order: Vec<usize> = (0..faults.len()).collect();
+    let effects = vulnstack_core::sched::map_ordered_metered(
+        &faults,
+        &order,
+        threads,
+        |_, &f| run_one_metered(module, input, &golden, f, None),
+        None,
+    );
+    let mut out: BTreeMap<FaultModel, Tally> = BTreeMap::new();
+    for (f, e) in faults.iter().zip(effects) {
+        let model = FaultModel::ALL
+            .into_iter()
+            .find(|&m| sw_model(m) == f.model)
+            .expect("every SwFaultModel maps back");
+        out.entry(model).or_default().add(e);
+    }
+    out
 }
 
 /// Results of a resumable SVF campaign: the tally over completed
@@ -301,11 +387,13 @@ pub fn svf_campaign_resumable(
         seed,
         samples: n as u64,
         params: format!(
-            "injectable={};output={:016x}",
+            "injectable={};output={:016x};models={}",
             golden.injectable,
-            vulnstack_core::journal::fnv1a64(&golden.output)
+            vulnstack_core::journal::fnv1a64(&golden.output),
+            FaultModel::BitFlip.name(),
         ),
-        version: 1,
+        // Version 2: the fingerprint binds the fault-model set.
+        version: 2,
     };
     let resumed = vulnstack_core::ResumableCampaign {
         path: opts.path,

@@ -40,7 +40,7 @@ fn countdown_module(iters: i32) -> Module {
 /// iterations for a high-bit flip that inflates the counter).
 fn find_timeout_fault(module: &Module, budget: u64) -> SwFault {
     for target in 0..40 {
-        let fault = SwFault { target, bit: 30 };
+        let fault = SwFault::flip(target, 30);
         let out = Interpreter::new(module)
             .with_budget(budget)
             .with_fault(fault)
@@ -71,13 +71,7 @@ fn watchdog_expiry_classifies_as_crash_and_is_metered() {
 
     // A masked control: the golden-identical run records no expiry.
     let benign = CampaignMetrics::new("benign");
-    let effect = run_one_metered(
-        &module,
-        &[],
-        &golden,
-        SwFault { target: 0, bit: 30 },
-        Some(&benign),
-    );
+    let effect = run_one_metered(&module, &[], &golden, SwFault::flip(0, 30), Some(&benign));
     // Whatever the benign fault classifies as, only true timeouts may
     // bump the counter.
     if effect != FaultEffect::Crash {

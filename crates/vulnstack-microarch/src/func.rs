@@ -79,6 +79,12 @@ pub struct FuncCore {
     user_text_end: u32,
     icount: u64,
     fault: Option<PvfFault>,
+    /// One-shot: the next fetched instruction is replaced by a NOP
+    /// (instruction-skip fault model).
+    pending_skip: bool,
+    /// Persistent stuck-at cell: `(reg, bit, value)` re-asserted after
+    /// every executed instruction.
+    stuck_reg: Option<(Reg, u8, bool)>,
     ended: Option<RunStatus>,
     collect_profile: bool,
     touched: HashSet<u32>,
@@ -101,6 +107,8 @@ impl FuncCore {
             user_text_end: image.user_text_end,
             icount: 0,
             fault: None,
+            pending_skip: false,
+            stuck_reg: None,
             ended: None,
             collect_profile: false,
             touched: HashSet::new(),
@@ -154,6 +162,32 @@ impl FuncCore {
     pub fn poke_reg_bit(&mut self, reg: Reg, bit: u8) {
         let v = self.regs[reg.index()] ^ (1u64 << (bit as u32 % self.isa.xlen()));
         self.regs[reg.index()] = exec::trunc(self.isa, v);
+    }
+
+    /// Inverts one whole byte of an architectural register (byte-wide
+    /// corruption fault model).
+    pub fn poke_reg_byte(&mut self, reg: Reg, byte: u8) {
+        let xlen_bytes = self.isa.xlen() / 8;
+        let b = u32::from(byte) % xlen_bytes;
+        let v = self.regs[reg.index()] ^ (0xFFu64 << (8 * b));
+        self.regs[reg.index()] = exec::trunc(self.isa, v);
+    }
+
+    /// Arms a one-shot instruction skip: the next instruction this core
+    /// would execute is replaced by a NOP (PC advances, nothing else
+    /// happens).
+    pub fn skip_next_instr(&mut self) {
+        self.pending_skip = true;
+    }
+
+    /// Arms a persistent stuck-at cell: flips `bit` of `reg` now and
+    /// forces it back to the flipped value after every subsequent
+    /// instruction, modelling a permanently-failed latch.
+    pub fn set_stuck_reg(&mut self, reg: Reg, bit: u8) {
+        let b = bit as u32 % self.isa.xlen();
+        let val = (self.regs[reg.index()] >> b) & 1 == 0;
+        self.poke_reg_bit(reg, bit);
+        self.stuck_reg = Some((reg, b as u8, val));
     }
 
     /// True once the run has reached a terminal state.
@@ -227,6 +261,18 @@ impl FuncCore {
 
     /// Executes one instruction. Returns `false` once the run has ended.
     pub fn step(&mut self) -> bool {
+        let live = self.step_inner();
+        // Re-assert the stuck cell over whatever the instruction wrote.
+        if let Some((r, b, v)) = self.stuck_reg {
+            if self.isa.zero() != Some(r) {
+                let forced = (self.regs[r.index()] & !(1u64 << b)) | (u64::from(v) << b);
+                self.regs[r.index()] = exec::trunc(self.isa, forced);
+            }
+        }
+        live
+    }
+
+    fn step_inner(&mut self) -> bool {
         if self.ended.is_some() {
             return false;
         }
@@ -255,6 +301,14 @@ impl FuncCore {
                 Mode::User => self.user_instrs += 1,
                 Mode::Kernel => self.kernel_instrs += 1,
             }
+        }
+
+        if self.pending_skip {
+            // The skipped slot executes as a NOP: the PC advances,
+            // nothing else happens.
+            self.pending_skip = false;
+            self.pc = pc + 4;
+            return true;
         }
 
         // Fetch.

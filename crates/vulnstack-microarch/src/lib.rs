@@ -45,6 +45,6 @@ pub fn env_knob<T: std::str::FromStr>(name: &str, what: &str) -> Option<T> {
 }
 pub use func::FuncCore;
 pub use lifetime::{FaultEvent, FaultEventKind, FaultTrace, LifetimeCounts};
-pub use ooo::OooCore;
+pub use ooo::{FaultModel, OooCore};
 pub use outcome::{RunStatus, SimOutcome};
 pub use snapshot::CheckpointStore;

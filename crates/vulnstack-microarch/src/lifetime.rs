@@ -89,6 +89,10 @@ pub enum FaultEventKind {
     /// The corrupted physical register was overwritten before any
     /// surviving consumer committed: the hardware repaired the fault.
     Repaired,
+    /// A write to a stuck-at faulted register disagreed with the stuck
+    /// cell, which re-asserted its value: the register is corrupted
+    /// anew (a fresh taint lifetime).
+    Reasserted,
     /// A pipeline squash (misprediction recovery or full flush) discarded
     /// `tainted` in-flight instructions carrying the corruption.
     Squashed {
@@ -140,6 +144,9 @@ impl std::fmt::Display for FaultEventKind {
                 write!(f, "corrupted state consumed from {} as {fpm}", unit.name())
             }
             FaultEventKind::Repaired => write!(f, "corrupted register overwritten (repaired)"),
+            FaultEventKind::Reasserted => {
+                write!(f, "stuck-at cell re-asserted over a disagreeing write")
+            }
             FaultEventKind::Squashed { tainted } => {
                 write!(f, "squash discarded {tainted} tainted instruction(s)")
             }

@@ -24,16 +24,53 @@ const STACK_GUARD: u32 = 0x1000;
 /// Cap on accumulated program output, bounding memory under faults.
 const OUTPUT_CAP: usize = 1 << 22;
 
-/// A single software-level fault: flip `bit` of the destination value of
-/// the `target`-th dynamic *injectable* (value-producing) instruction.
+/// What a software-level fault does to the targeted dynamic
+/// instruction. This is VIR's own copy of the runtime fault-model
+/// vocabulary (`vulnstack-vir` depends only on the ISA crate, so it
+/// cannot name `vulnstack_microarch::FaultModel`); `vulnstack-llfi`
+/// converts between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwFaultModel {
+    /// Flip one bit of the destination value (the classic LLFI fault).
+    #[default]
+    BitFlip,
+    /// XOR the destination byte containing `bit` with `0xFF`.
+    ByteCorrupt,
+    /// Suppress the destination write entirely: the register keeps its
+    /// stale value, as if the instruction were skipped.
+    InstrSkip,
+    /// Flip `bit` and leave the destination register's cell stuck at
+    /// the flipped value: every later write to the same register in the
+    /// same function re-asserts it.
+    StuckAt,
+}
+
+/// A single software-level fault: corrupt, under `model`, the
+/// destination value of the `target`-th dynamic *injectable*
+/// (value-producing) instruction.
 ///
 /// Bit indices are 0..=31 because VIR values have 32-bit semantics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwFault {
     /// Zero-based dynamic index among injectable instructions.
     pub target: u64,
-    /// Bit to flip in the 32-bit destination value.
+    /// Bit to corrupt in the 32-bit destination value (selects the
+    /// byte for [`SwFaultModel::ByteCorrupt`]; ignored by
+    /// [`SwFaultModel::InstrSkip`]).
     pub bit: u8,
+    /// How the destination is corrupted.
+    pub model: SwFaultModel,
+}
+
+impl SwFault {
+    /// The legacy single-bit transient flip.
+    pub fn flip(target: u64, bit: u8) -> SwFault {
+        SwFault {
+            target,
+            bit,
+            model: SwFaultModel::BitFlip,
+        }
+    }
 }
 
 /// Terminal status of an interpreted run.
@@ -105,6 +142,9 @@ pub struct Interpreter<'m> {
     output: Vec<u8>,
     budget: u64,
     fault: Option<SwFault>,
+    /// Armed stuck-at cell: `(func, vreg, bit, value)` — re-asserted
+    /// over every later commit to that register in that function.
+    stuck: Option<(FuncId, VReg, u8, bool)>,
     dyn_instrs: u64,
     injectable: u64,
     injected_class: Option<crate::instr::InstrClass>,
@@ -159,6 +199,7 @@ impl<'m> Interpreter<'m> {
             output: Vec::new(),
             budget: 512_000_000,
             fault: None,
+            stuck: None,
             dyn_instrs: 0,
             injectable: 0,
             injected_class: None,
@@ -486,15 +527,38 @@ impl<'m> Interpreter<'m> {
         // this is the chosen dynamic injectable instruction.
         let frame = stack.last_mut().expect("frame");
         if let Some((dst, mut v)) = wrote {
+            let mut suppress = false;
             if let Some(fault) = self.fault {
                 if self.injectable == fault.target {
-                    v = ((v as i32) ^ (1i32 << (fault.bit & 31))) as i64;
+                    let b = fault.bit & 31;
+                    match fault.model {
+                        SwFaultModel::BitFlip => v = ((v as i32) ^ (1i32 << b)) as i64,
+                        SwFaultModel::ByteCorrupt => {
+                            v = ((v as i32) ^ (0xFFi32 << (b & !7))) as i64;
+                        }
+                        SwFaultModel::InstrSkip => suppress = true,
+                        SwFaultModel::StuckAt => {
+                            let val = (v as i32 >> b) & 1 == 0;
+                            v = ((v as i32) ^ (1i32 << b)) as i64;
+                            self.stuck = Some((frame.func, dst, b, val));
+                        }
+                    }
                     self.injected_class = Some(ins.class());
                     self.injected_func = Some(frame.func);
                 }
             }
+            // A stuck cell re-asserts over every commit to its register
+            // (idempotent over the arming write itself).
+            if let Some((sf, sr, sb, sv)) = self.stuck {
+                if sf == frame.func && sr == dst {
+                    let forced = ((v as i32) & !(1i32 << sb)) | (i32::from(sv) << sb);
+                    v = forced as i64;
+                }
+            }
             self.injectable += 1;
-            frame.regs[dst.0 as usize] = v;
+            if !suppress {
+                frame.regs[dst.0 as usize] = v;
+            }
         } else if ins_counts_injectable(ins) {
             // Syscalls with an unused destination still count (LLFI counts
             // the instruction, not the register write).
@@ -726,10 +790,86 @@ mod tests {
         mb.finish_function(f);
         let m = mb.finish().unwrap();
         let out = Interpreter::new(&m)
-            .with_fault(SwFault { target: 0, bit: 5 })
+            .with_fault(SwFault::flip(0, 5))
             .run()
             .unwrap();
         assert_eq!(out.status, RunStatus::Exited(32));
+    }
+
+    #[test]
+    fn byte_corrupt_fault_inverts_the_whole_byte() {
+        // main: a = 0; exit(a). Byte 1 (bits 8..16) inverted -> 0xFF00.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let a = f.c(0);
+        f.sys_exit(a);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m)
+            .with_fault(SwFault {
+                target: 0,
+                bit: 11,
+                model: SwFaultModel::ByteCorrupt,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out.status, RunStatus::Exited(0xFF00));
+    }
+
+    #[test]
+    fn instr_skip_fault_keeps_the_stale_value() {
+        // main: a = 7; a = 42 (skipped); exit(a) -> 7.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let a = f.fresh();
+        f.set_c(a, 7);
+        f.set_c(a, 42);
+        f.sys_exit(a);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m)
+            .with_fault(SwFault {
+                target: 1,
+                bit: 0,
+                model: SwFaultModel::InstrSkip,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out.status, RunStatus::Exited(7));
+        assert!(out.injected_class.is_some(), "skip still counts as fired");
+    }
+
+    #[test]
+    fn stuck_at_fault_reasserts_over_later_writes() {
+        // main: a = 0 (stuck: bit 3 forced to 1); a = 0 again; exit(a).
+        // The second write is re-corrupted, so the exit code stays 8.
+        let mut mb = ModuleBuilder::new("t");
+        let mut f = mb.function("main", 0);
+        let a = f.fresh();
+        f.set_c(a, 0);
+        f.set_c(a, 0);
+        f.sys_exit(a);
+        f.ret(None);
+        mb.finish_function(f);
+        let m = mb.finish().unwrap();
+        let out = Interpreter::new(&m)
+            .with_fault(SwFault {
+                target: 0,
+                bit: 3,
+                model: SwFaultModel::StuckAt,
+            })
+            .run()
+            .unwrap();
+        assert_eq!(out.status, RunStatus::Exited(8));
+        // The transient flip of the same site is repaired by the second
+        // write instead.
+        let transient = Interpreter::new(&m)
+            .with_fault(SwFault::flip(0, 3))
+            .run()
+            .unwrap();
+        assert_eq!(transient.status, RunStatus::Exited(0));
     }
 
     #[test]

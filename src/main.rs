@@ -19,15 +19,16 @@ use std::process::ExitCode;
 
 use vulnstack_compiler::{compile, CompileOpts};
 use vulnstack_core::report::{pct, pct2, Table};
-use vulnstack_core::{JournalOpts, ResumeMode, ResumeStats, RunPolicy};
+use vulnstack_core::{FpmDist, JournalOpts, ResumeMode, ResumeStats, RunPolicy, Tally};
 use vulnstack_gefin::{
-    avf_campaign, avf_campaign_planned, avf_campaign_resumable, avf_campaign_resumable_planned,
-    default_threads, pvf_campaign, pvf_campaign_resumable, FuncPrepared, InjectionPlan, Prepared,
-    PruneStats, PvfMode,
+    avf_campaign, avf_campaign_models, avf_campaign_models_resumable, avf_campaign_planned,
+    avf_campaign_resumable, avf_campaign_resumable_planned, default_threads, per_model_tallies,
+    pvf_campaign, pvf_campaign_resumable, FuncPrepared, InjectionPlan, Prepared, PruneStats,
+    PvfMode,
 };
 use vulnstack_isa::Isa;
 use vulnstack_microarch::ooo::HwStructure;
-use vulnstack_microarch::CoreModel;
+use vulnstack_microarch::{CoreModel, FaultModel};
 use vulnstack_workloads::{Workload, WorkloadId};
 
 fn main() -> ExitCode {
@@ -48,8 +49,10 @@ fn usage() {
     eprintln!("  vulnstack list");
     eprintln!("  vulnstack run     <workload> [--model A72]");
     eprintln!("  vulnstack avf     <workload> [--model A72] [--structure RF|LSQ|L1i|L1d|L2]");
-    eprintln!("                    [--faults N] [--seed S] [--plan sampled|pruned]");
+    eprintln!("                    [--faults N] [--seed S] [--plan sampled|pruned|exhaustive]");
+    eprintln!("                    [--at CYCLE] [--models M1,M2|all] [--json PATH]");
     eprintln!("                    [--journal PATH [--resume]]");
+    eprintln!("                    (models: bit-flip byte-corrupt instr-skip stuck-at)");
     eprintln!("  vulnstack pvf     <workload> [--isa va32|va64] [--mode wd|woi|wi]");
     eprintln!("                    [--faults N] [--seed S] [--journal PATH [--resume]]");
     eprintln!("  vulnstack svf     <workload> [--faults N] [--seed S] [--breakdown] [--hardened]");
@@ -140,15 +143,57 @@ impl Opts {
         self.switches.iter().any(|s| s == name)
     }
 
-    /// Whether the campaign runs through the exactness-preserving pruned
-    /// executor. `--plan sampled|pruned` wins; without the flag the
-    /// `VULNSTACK_PRUNE` environment knob decides (default: sampled).
-    fn plan_pruned(&self) -> Result<bool, String> {
-        match self.flags.get("plan").map(String::as_str) {
-            None => Ok(vulnstack_gefin::prune_default()),
-            Some("sampled") => Ok(false),
-            Some("pruned") => Ok(true),
-            Some(other) => Err(format!("unknown plan {other} (expected sampled|pruned)")),
+    /// The injection plan. `--plan sampled|pruned|exhaustive` wins;
+    /// without the flag the `VULNSTACK_PRUNE` environment knob decides
+    /// between sampled and pruned (default: sampled). `--plan
+    /// exhaustive` enumerates every (site, model) pair at one fixed
+    /// cycle (`--at`, default mid-run) and always executes through the
+    /// pruner.
+    fn plan(&self, faults: usize, seed: u64, mid_cycle: u64) -> Result<InjectionPlan, String> {
+        let at = match self.flags.get("at") {
+            None => None,
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad injection cycle {v}"))?,
+            ),
+        };
+        let plan = match self.flags.get("plan").map(String::as_str) {
+            None if vulnstack_gefin::prune_default() => InjectionPlan::Pruned { n: faults, seed },
+            None => InjectionPlan::Sampled { n: faults, seed },
+            Some("sampled") => InjectionPlan::Sampled { n: faults, seed },
+            Some("pruned") => InjectionPlan::Pruned { n: faults, seed },
+            Some("exhaustive") => InjectionPlan::Exhaustive {
+                cycle: at.unwrap_or(mid_cycle),
+            },
+            Some(other) => {
+                return Err(format!(
+                    "unknown plan {other} (expected sampled|pruned|exhaustive)"
+                ))
+            }
+        };
+        if at.is_some() && !matches!(plan, InjectionPlan::Exhaustive { .. }) {
+            return Err("--at only applies to --plan exhaustive".to_string());
+        }
+        Ok(plan)
+    }
+
+    /// The fault-model set from `--models` (comma-separated names, or
+    /// `all`); defaults to the classic single-bit transient flip.
+    fn models(&self) -> Result<Vec<FaultModel>, String> {
+        match self.flags.get("models").map(String::as_str) {
+            None => Ok(vec![FaultModel::BitFlip]),
+            Some("all") => Ok(FaultModel::ALL.to_vec()),
+            Some(list) => list
+                .split(',')
+                .map(|n| {
+                    FaultModel::from_name(n.trim()).ok_or_else(|| {
+                        format!(
+                            "unknown fault model {n} (expected \
+                             bit-flip|byte-corrupt|instr-skip|stuck-at, or all)"
+                        )
+                    })
+                })
+                .collect(),
         }
     }
 
@@ -194,6 +239,52 @@ fn report_resume(journal: &Path, stats: &ResumeStats, quarantined: &[vulnstack_c
             q.index, q.attempts, q.message
         );
     }
+}
+
+/// One structure's per-model campaign tallies, as reported and exported.
+type ModelReport = (&'static str, Vec<(FaultModel, Tally, FpmDist)>);
+
+/// Hand-built JSON for `avf --json`: the per-structure, per-model
+/// tallies of a campaign (machine-readable mirror of the per-model
+/// tables).
+fn avf_json(workload: &str, plan: &InjectionPlan, per_structure: &[ModelReport]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let plan_detail = match *plan {
+        InjectionPlan::Exhaustive { cycle } => format!("exhaustive@{cycle}"),
+        _ => plan.name().to_string(),
+    };
+    let _ = write!(
+        s,
+        "{{\"workload\":\"{workload}\",\"plan\":\"{plan_detail}\",\"structures\":["
+    );
+    for (i, (st, tallies)) in per_structure.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"structure\":\"{st}\",\"models\":[");
+        for (j, (m, tally, fpm)) in tallies.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"model\":\"{}\",\"injections\":{},\"masked\":{},\"sdc\":{},\
+                 \"crash\":{},\"detected\":{},\"avf\":{:.6},\"hvf\":{:.6}}}",
+                m.name(),
+                tally.total(),
+                tally.masked,
+                tally.sdc,
+                tally.crash,
+                tally.detected,
+                tally.vf().total(),
+                fpm.hvf()
+            );
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}\n");
+    s
 }
 
 fn workload(name: &str, hardened: bool) -> Result<Workload, String> {
@@ -425,31 +516,70 @@ fn run(args: &[String]) -> Result<(), String> {
                 "AVF",
                 "HVF",
             ]);
-            let pruned = opts.plan_pruned()?;
-            let plan = InjectionPlan::Pruned { n: faults, seed };
+            let models = opts.models()?;
+            let plan = opts.plan(faults, seed, prep.golden.cycles / 2)?;
+            // The single-model sampled/pruned paths keep the legacy
+            // entry points (and their journal fingerprints) bit-for-bit;
+            // multi-model or exhaustive campaigns go through the
+            // model-aware engine.
+            let legacy = models == [FaultModel::BitFlip]
+                && !matches!(plan, InjectionPlan::Exhaustive { .. });
             let mut resume_report: Option<(ResumeStats, Vec<vulnstack_core::Quarantine>)> = None;
             let mut prune_report: Vec<(&'static str, PruneStats)> = Vec::new();
+            let mut model_report: Vec<ModelReport> = Vec::new();
             for st in structures {
-                let r = match (&journal, pruned) {
+                let r = match (&journal, legacy) {
+                    (Some(jopts), true) => match plan {
+                        InjectionPlan::Sampled { .. } => {
+                            let out = avf_campaign_resumable(
+                                &prep,
+                                st,
+                                faults,
+                                seed,
+                                default_threads(),
+                                jopts,
+                                None,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            resume_report = Some((out.stats, out.quarantined));
+                            out.result
+                        }
+                        _ => {
+                            let (out, stats) = avf_campaign_resumable_planned(
+                                &prep,
+                                st,
+                                &plan,
+                                default_threads(),
+                                jopts,
+                                None,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            resume_report = Some((out.stats, out.quarantined));
+                            if let Some(s) = stats {
+                                prune_report.push((st.name(), s));
+                            }
+                            out.result
+                        }
+                    },
+                    (None, true) => match plan {
+                        InjectionPlan::Sampled { .. } => {
+                            avf_campaign(&prep, st, faults, seed, default_threads())
+                        }
+                        _ => {
+                            let (out, stats) =
+                                avf_campaign_planned(&prep, st, &plan, default_threads(), None);
+                            if let Some(s) = stats {
+                                prune_report.push((st.name(), s));
+                            }
+                            out
+                        }
+                    },
                     (Some(jopts), false) => {
-                        let out = avf_campaign_resumable(
-                            &prep,
-                            st,
-                            faults,
-                            seed,
-                            default_threads(),
-                            jopts,
-                            None,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        resume_report = Some((out.stats, out.quarantined));
-                        out.result
-                    }
-                    (Some(jopts), true) => {
-                        let (out, stats) = avf_campaign_resumable_planned(
+                        let (out, stats) = avf_campaign_models_resumable(
                             &prep,
                             st,
                             &plan,
+                            &models,
                             default_threads(),
                             jopts,
                             None,
@@ -461,16 +591,16 @@ fn run(args: &[String]) -> Result<(), String> {
                         }
                         out.result
                     }
-                    (None, false) => avf_campaign(&prep, st, faults, seed, default_threads()),
-                    (None, true) => {
+                    (None, false) => {
                         let (out, stats) =
-                            avf_campaign_planned(&prep, st, &plan, default_threads(), None);
+                            avf_campaign_models(&prep, st, &plan, &models, default_threads(), None);
                         if let Some(s) = stats {
                             prune_report.push((st.name(), s));
                         }
                         out
                     }
                 };
+                model_report.push((st.name(), per_model_tallies(&r.records)));
                 t.row(&[
                     st.name().into(),
                     r.bits.to_string(),
@@ -483,6 +613,42 @@ fn run(args: &[String]) -> Result<(), String> {
                 ]);
             }
             println!("{}", t.render());
+            if !legacy {
+                for (st, tallies) in &model_report {
+                    let mut mt = Table::new(&[
+                        "model",
+                        "injections",
+                        "masked",
+                        "SDC",
+                        "Crash",
+                        "detected",
+                        "AVF",
+                        "HVF",
+                    ]);
+                    for (m, tally, fpm) in tallies {
+                        mt.row(&[
+                            m.name().into(),
+                            tally.total().to_string(),
+                            tally.masked.to_string(),
+                            tally.sdc.to_string(),
+                            tally.crash.to_string(),
+                            tally.detected.to_string(),
+                            pct2(tally.vf().total()),
+                            pct(fpm.hvf()),
+                        ]);
+                    }
+                    println!("{st} per-model:");
+                    println!("{}", mt.render());
+                }
+            }
+            if let Some(path) = opts.flags.get("json") {
+                vulnstack_core::report::write_atomic(
+                    path,
+                    avf_json(&label, &plan, &model_report).as_bytes(),
+                )
+                .map_err(|e| e.to_string())?;
+                println!("wrote {path}");
+            }
             for (st, s) in &prune_report {
                 println!(
                     "{st} pruning: {} sites = {} dead ({} static) + {} memoized ({} pilots) + \
@@ -840,14 +1006,61 @@ mod tests {
     #[test]
     fn plan_flag_parses_and_rejects_junk() {
         let o = parse_opts(&sv(&["--plan", "pruned"])).unwrap();
-        assert!(o.plan_pruned().unwrap());
+        assert_eq!(
+            o.plan(10, 7, 100).unwrap(),
+            InjectionPlan::Pruned { n: 10, seed: 7 }
+        );
         let o = parse_opts(&sv(&["--plan", "sampled"])).unwrap();
-        assert!(!o.plan_pruned().unwrap());
+        assert_eq!(
+            o.plan(10, 7, 100).unwrap(),
+            InjectionPlan::Sampled { n: 10, seed: 7 }
+        );
         let o = parse_opts(&sv(&["--plan", "psychic"])).unwrap();
-        assert!(o.plan_pruned().is_err());
+        assert!(o.plan(10, 7, 100).is_err());
         // Without the flag the VULNSTACK_PRUNE knob decides; the test
         // runner does not set it, so the default is the sampled plan.
-        assert!(!parse_opts(&[]).unwrap().plan_pruned().unwrap());
+        assert_eq!(
+            parse_opts(&[]).unwrap().plan(10, 7, 100).unwrap(),
+            InjectionPlan::Sampled { n: 10, seed: 7 }
+        );
+    }
+
+    #[test]
+    fn exhaustive_plan_takes_an_injection_cycle() {
+        // Default: mid-run.
+        let o = parse_opts(&sv(&["--plan", "exhaustive"])).unwrap();
+        assert_eq!(
+            o.plan(10, 7, 100).unwrap(),
+            InjectionPlan::Exhaustive { cycle: 100 }
+        );
+        // Explicit --at pins the cycle.
+        let o = parse_opts(&sv(&["--plan", "exhaustive", "--at", "42"])).unwrap();
+        assert_eq!(
+            o.plan(10, 7, 100).unwrap(),
+            InjectionPlan::Exhaustive { cycle: 42 }
+        );
+        // --at is meaningless for sampled/pruned plans.
+        let o = parse_opts(&sv(&["--plan", "pruned", "--at", "42"])).unwrap();
+        assert!(o.plan(10, 7, 100).is_err());
+        let o = parse_opts(&sv(&["--plan", "exhaustive", "--at", "soon"])).unwrap();
+        assert!(o.plan(10, 7, 100).is_err());
+    }
+
+    #[test]
+    fn models_flag_parses_lists_and_rejects_junk() {
+        assert_eq!(
+            parse_opts(&[]).unwrap().models().unwrap(),
+            vec![FaultModel::BitFlip]
+        );
+        let o = parse_opts(&sv(&["--models", "all"])).unwrap();
+        assert_eq!(o.models().unwrap(), FaultModel::ALL.to_vec());
+        let o = parse_opts(&sv(&["--models", "stuck-at, bit-flip"])).unwrap();
+        assert_eq!(
+            o.models().unwrap(),
+            vec![FaultModel::StuckAt, FaultModel::BitFlip]
+        );
+        let o = parse_opts(&sv(&["--models", "gamma-ray"])).unwrap();
+        assert!(o.models().is_err());
     }
 
     #[test]

@@ -84,6 +84,37 @@ fn kernel_syscall_path_has_subvertible_guards() {
     }
 }
 
+/// A benign victim program: one valid 4-byte write, then exit 0.
+fn victim_image(isa: Isa) -> SystemImage {
+    let mut mb = ModuleBuilder::new("victim");
+    let mut f = mb.function("main", 0);
+    let slot = f.stack_slot(4, 4);
+    let p = f.slot_addr(slot);
+    let v = f.c(0x5a5a_5a5a_u32 as i32);
+    f.store32(v, p, 0);
+    f.sys_write(p, 4);
+    f.sys_exit(0);
+    f.ret(None);
+    mb.finish_function(f);
+    let m = mb.finish().unwrap();
+    let c = compile(&m, isa, &CompileOpts::default()).unwrap();
+    SystemImage::build(&c, &[]).unwrap()
+}
+
+/// Runs the victim until the core sits at `target_pc` in kernel mode
+/// (the first dynamic arrival), or `None` if that instruction is never
+/// reached on this program's syscall path.
+fn run_to_kernel_pc(img: &SystemImage, target_pc: u64) -> Option<FuncCore> {
+    let mut core = FuncCore::new(img);
+    while !core.ended() && core.icount() < 50_000_000 {
+        if core.mode() == Mode::Kernel && core.pc() == target_pc {
+            return Some(core);
+        }
+        core.step();
+    }
+    None
+}
+
 #[test]
 fn reported_corruptible_condition_manifests_under_injection() {
     // End-to-end confirmation of one reported (site, model) pair: take
@@ -100,20 +131,7 @@ fn reported_corruptible_condition_manifests_under_injection() {
         .collect();
     assert!(!findings.is_empty(), "no corruptible conditions in ktrap");
 
-    // A benign program: one valid 4-byte write, then exit 0.
-    let mut mb = ModuleBuilder::new("victim");
-    let mut f = mb.function("main", 0);
-    let slot = f.stack_slot(4, 4);
-    let p = f.slot_addr(slot);
-    let v = f.c(0x5a5a_5a5a_u32 as i32);
-    f.store32(v, p, 0);
-    f.sys_write(p, 4);
-    f.sys_exit(0);
-    f.ret(None);
-    mb.finish_function(f);
-    let m = mb.finish().unwrap();
-    let c = compile(&m, isa, &CompileOpts::default()).unwrap();
-    let img = SystemImage::build(&c, &[]).unwrap();
+    let img = victim_image(isa);
 
     // Fault-free baseline: the write passes the bounds check.
     let golden = FuncCore::new(&img).run(50_000_000);
@@ -127,20 +145,11 @@ fn reported_corruptible_condition_manifests_under_injection() {
     for finding in &findings {
         let target_pc = finding.word_off as u64 * 4;
         let victim = *finding.regs.first().expect("finding names a register");
-        let mut core = FuncCore::new(&img);
-        let mut reached = false;
-        while !core.ended() && core.icount() < 50_000_000 {
-            if core.mode() == Mode::Kernel && core.pc() == target_pc {
-                reached = true;
-                break;
-            }
-            core.step();
-        }
-        if !reached {
-            // Not every trap-handler branch is on this program's
-            // syscall path (e.g. the read handler's checks).
+        // Not every trap-handler branch is on this program's syscall
+        // path (e.g. the read handler's checks).
+        let Some(mut core) = run_to_kernel_pc(&img, target_pc) else {
             continue;
-        }
+        };
         core.poke_reg_bit(victim, 0);
         while !core.ended() && core.icount() < 50_000_000 {
             core.step();
@@ -161,5 +170,104 @@ fn reported_corruptible_condition_manifests_under_injection() {
             .iter()
             .any(|&(_, _, s)| s == RunStatus::Crashed(TrapCause::AccessFault.code() as u32)),
         "no subverted guard ended in an access-fault kill: {manifested:x?}"
+    );
+}
+
+#[test]
+fn every_fault_model_reproduces_a_static_finding_dynamically() {
+    // The per-model case study: for each dynamic fault model, at least
+    // one static finding on the kernel syscall path must be reproducible
+    // by actually performing that model's corruption at the reported
+    // instruction. The first manifesting (finding, outcome) pair per
+    // model is pinned to a golden file, so any drift in the taint rules,
+    // the kernel assembly, or the dynamic fault semantics shows up as a
+    // reviewable diff (regenerate with VULNSTACK_UPDATE_GOLDEN=1).
+    let isa = Isa::Va64;
+    let report = kernel_report(isa);
+    let img = victim_image(isa);
+    let golden = FuncCore::new(&img).run(50_000_000);
+    assert_eq!(golden.status, RunStatus::Exited(0));
+    assert_eq!(golden.output.len(), 4);
+
+    // (dynamic model, the static taint model it realises, the finding
+    // kind it attacks, the corruption primitive).
+    type Corrupt = fn(&mut FuncCore, vulnstack_isa::Reg);
+    let cases: [(&str, &str, FindingKind, Corrupt); 4] = [
+        (
+            "bit-flip",
+            "single-bit",
+            FindingKind::CorruptibleCondition,
+            |core, r| core.poke_reg_bit(r, 0),
+        ),
+        (
+            "byte-corrupt",
+            "byte-corrupt",
+            FindingKind::CorruptibleCondition,
+            |core, r| core.poke_reg_byte(r, 0),
+        ),
+        (
+            "instr-skip",
+            "instr-skip",
+            FindingKind::SkippableGuard,
+            |core, _| core.skip_next_instr(),
+        ),
+        (
+            "stuck-at",
+            "stuck-at",
+            FindingKind::CorruptibleCondition,
+            |core, r| core.set_stuck_reg(r, 0),
+        ),
+    ];
+
+    let mut lines = Vec::new();
+    for (label, static_name, kind, corrupt) in cases {
+        let mut manifested = None;
+        for finding in report.of_kind(kind).filter(|f| f.func == "ktrap") {
+            assert!(
+                finding.models.iter().any(|m| m.name() == static_name),
+                "{label}: static finding does not claim model {static_name}: {finding}"
+            );
+            let target_pc = finding.word_off as u64 * 4;
+            let Some(mut core) = run_to_kernel_pc(&img, target_pc) else {
+                continue;
+            };
+            let victim = finding.regs.first().copied();
+            corrupt(&mut core, victim.unwrap_or(vulnstack_isa::Reg(0)));
+            while !core.ended() && core.icount() < 50_000_000 {
+                core.step();
+            }
+            let out = core.into_outcome();
+            if out.status != golden.status || out.output != golden.output {
+                let rel = (finding.word_off - finding.func_start_word) * 4;
+                let reg = victim.map_or("-".to_string(), |r| format!("r{}", r.0));
+                manifested = Some(format!(
+                    "{label}: ktrap+{rel:#x} [{kind}] reg={reg} -> {:?} output-changed={}",
+                    out.status,
+                    out.output != golden.output
+                ));
+                break;
+            }
+        }
+        let line = manifested
+            .unwrap_or_else(|| panic!("{label}: no static ktrap finding manifested dynamically"));
+        lines.push(line);
+    }
+
+    let mut text = lines.join("\n");
+    text.push('\n');
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/kernel_attack_dynamic_va64.txt"
+    );
+    if std::env::var_os("VULNSTACK_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &text).expect("write golden file");
+        return;
+    }
+    let golden_text = std::fs::read_to_string(path)
+        .expect("golden file missing; regenerate with VULNSTACK_UPDATE_GOLDEN=1");
+    assert_eq!(
+        text, golden_text,
+        "per-model dynamic case-study outcomes drifted from the golden file; \
+         if the change is intended, regenerate with VULNSTACK_UPDATE_GOLDEN=1"
     );
 }

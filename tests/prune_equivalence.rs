@@ -11,11 +11,12 @@ use std::sync::OnceLock;
 
 use vulnstack_core::{JournalError, JournalOpts, ResumeMode, RunPolicy};
 use vulnstack_gefin::{
-    avf_campaign, avf_campaign_planned, avf_campaign_resumable_planned, temporal_campaign,
-    temporal_campaign_pruned, InjectionPlan, Prepared,
+    avf_campaign, avf_campaign_models, avf_campaign_planned, avf_campaign_resumable_planned,
+    per_model_tallies, run_one_model, temporal_campaign, temporal_campaign_pruned, InjectionPlan,
+    Prepared,
 };
 use vulnstack_microarch::ooo::HwStructure;
-use vulnstack_microarch::CoreModel;
+use vulnstack_microarch::{CoreModel, FaultModel};
 use vulnstack_workloads::WorkloadId;
 
 const N: usize = 32;
@@ -104,6 +105,105 @@ fn pruned_campaign_is_bit_identical_across_workloads_models_and_threads() {
                 "{label}: a register-file campaign must prune something: {stats:?}"
             );
         }
+    }
+}
+
+/// The model-aware pruner must stay a pure optimisation for every fault
+/// model: the pruned campaign's records are bit-identical to running
+/// each drawn `(cycle, bit, model)` site individually. `bit-flip` alone
+/// is covered by the legacy equivalence test above; here the other
+/// models and the mixed set get the same guarantee. The per-model dead
+/// arguments differ (a next-access write kills a transient flip but not
+/// a stuck-at; instr-skip classes key on the next dispatch), so each
+/// set exercises a different proof.
+#[test]
+fn model_aware_pruning_is_bit_identical_per_model_and_mixed() {
+    let prep = prep_crc32_a72();
+    let n = 10;
+    let sets: [&[FaultModel]; 4] = [
+        &[FaultModel::ByteCorrupt],
+        &[FaultModel::InstrSkip],
+        &[FaultModel::StuckAt],
+        &FaultModel::ALL,
+    ];
+    for models in sets {
+        let label: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        let label = label.join("+");
+        let (full, none) = avf_campaign_models(
+            prep,
+            STRUCTURE,
+            &InjectionPlan::Sampled { n, seed: SEED },
+            models,
+            4,
+            None,
+        );
+        assert!(none.is_none(), "{label}: sampled plans report no stats");
+        let (pruned, stats) = avf_campaign_models(
+            prep,
+            STRUCTURE,
+            &InjectionPlan::Pruned { n, seed: SEED },
+            models,
+            4,
+            None,
+        );
+        assert_eq!(
+            pruned.records, full.records,
+            "{label}: pruned records must be bit-identical to individual runs"
+        );
+        assert_eq!(pruned.tally, full.tally, "{label}");
+        let stats = stats.expect("pruned plan reports stats");
+        assert_eq!(stats.sites, n as u64, "{label}");
+    }
+}
+
+/// An ARMORY-style exhaustive (site, model) sweep completes under
+/// pruning, covers every pair exactly once at the pinned cycle, and the
+/// pruner's verdicts spot-check against individual injections.
+#[test]
+fn exhaustive_model_sweep_completes_under_pruning() {
+    let prep = prep_crc32_a72();
+    let cycle = prep.golden.cycles / 2;
+    // Byte-corrupt (site space bits/8) plus the single-site instr-skip:
+    // a full multi-model product small enough for a debug-build test.
+    let models = [FaultModel::ByteCorrupt, FaultModel::InstrSkip];
+    let (r, stats) = avf_campaign_models(
+        prep,
+        STRUCTURE,
+        &InjectionPlan::Exhaustive { cycle },
+        &models,
+        4,
+        None,
+    );
+    let expected: u64 = models.iter().map(|m| m.sites(STRUCTURE, &prep.cfg)).sum();
+    let stats = stats.expect("exhaustive plans execute through the pruner");
+    assert_eq!(stats.sites, expected);
+    assert_eq!(r.records.len() as u64, expected);
+    assert!(r.records.iter().all(|rec| rec.cycle == cycle));
+    assert!(
+        stats.dead_masked > 0,
+        "an exhaustive sweep must prune dead sites: {stats:?}"
+    );
+    // Every requested model appears in the tallies, each covering its
+    // whole site space.
+    let tallies = per_model_tallies(&r.records);
+    assert_eq!(tallies.len(), models.len());
+    for (m, t, _) in &tallies {
+        assert_eq!(t.total(), m.sites(STRUCTURE, &prep.cfg), "{m:?}");
+    }
+    // Spot-check exactness against individual injections at both ends
+    // and the middle of the site space.
+    for idx in [0, r.records.len() / 2, r.records.len() - 1] {
+        let rec = r.records[idx];
+        let site = vulnstack_gefin::ModelSite {
+            cycle: rec.cycle,
+            bit: rec.bit,
+            model: rec.model,
+        };
+        assert_eq!(
+            run_one_model(prep, STRUCTURE, site),
+            rec,
+            "site {idx} must match its individual run"
+        );
     }
 }
 

@@ -16,11 +16,12 @@ use vulnstack_core::{
     FaultEffect, Fingerprint, JournalError, JournalOpts, ResumableCampaign, ResumeMode, RunPolicy,
 };
 use vulnstack_gefin::{
-    avf_campaign, avf_campaign_resumable, draw_sites, InjectionRecord, Prepared,
+    avf_campaign, avf_campaign_models, avf_campaign_models_resumable, avf_campaign_resumable,
+    decode_record, draw_sites, encode_record, InjectionPlan, InjectionRecord, Prepared,
 };
 use vulnstack_llfi::{svf_campaign, svf_campaign_resumable};
 use vulnstack_microarch::ooo::{Fpm, HwStructure};
-use vulnstack_microarch::CoreModel;
+use vulnstack_microarch::{CoreModel, FaultModel};
 use vulnstack_workloads::{Workload, WorkloadId};
 
 const N: usize = 24;
@@ -253,17 +254,18 @@ fn llfi_kill_and_resume_is_bit_identical_across_thread_counts() {
 }
 
 /// Journal codec for [`InjectionRecord`] mirroring the engine's own
-/// (`cycle,bit,effect,fpm,fpm_cycle`) — the integration test drives the
-/// core orchestrator directly so it can poison one site.
+/// (`cycle,bit,effect,fpm,fpm_cycle,model`) — the integration test
+/// drives the core orchestrator directly so it can poison one site.
 fn encode(r: &InjectionRecord) -> String {
     format!(
-        "{},{},{},{},{}",
+        "{},{},{},{},{},{}",
         r.cycle,
         r.bit,
         r.effect.name(),
         r.fpm.map_or("-", Fpm::name),
         r.fpm_cycle
             .map_or_else(|| "-".to_string(), |c| c.to_string()),
+        r.model.name(),
     )
 }
 
@@ -280,9 +282,11 @@ fn decode(s: &str) -> Option<InjectionRecord> {
         "-" => None,
         c => Some(c.parse().ok()?),
     };
+    let model = FaultModel::from_name(it.next()?)?;
     Some(InjectionRecord {
         cycle,
         bit,
+        model,
         effect,
         fpm,
         fpm_cycle,
@@ -362,6 +366,156 @@ fn a_panicking_injection_is_quarantined_and_the_campaign_completes() {
     assert_eq!(resumed.stats.replayed, N);
     assert_eq!(resumed.stats.quarantined, 1);
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mixed_model_kill_and_resume_is_bit_identical() {
+    let prep = prep();
+    let plan = InjectionPlan::Pruned { n: N, seed: SEED };
+    let (baseline, _) = avf_campaign_models(prep, STRUCTURE, &plan, &FaultModel::ALL, 4, None);
+    // The drawn campaign really mixes models — otherwise this test
+    // degenerates to the single-model one above.
+    let models_seen: std::collections::BTreeSet<&str> =
+        baseline.records.iter().map(|r| r.model.name()).collect();
+    assert!(
+        models_seen.len() > 1,
+        "campaign must span several models, got {models_seen:?}"
+    );
+
+    let full = tmp("gefin-models-full.journal");
+    let _ = std::fs::remove_file(&full);
+    let (out, _) = avf_campaign_models_resumable(
+        prep,
+        STRUCTURE,
+        &plan,
+        &FaultModel::ALL,
+        4,
+        &opts(&full, ResumeMode::Fresh),
+        None,
+    )
+    .unwrap();
+    assert_eq!(out.result.records, baseline.records);
+    assert_eq!(out.stats.executed, N);
+
+    // Kill after 7 settled sites, resume at a different thread count:
+    // the record vector and the journal must come back bit-identical,
+    // with every model decoded through the journal codec. The pruned
+    // journal's first entry line is the class-table metadata record, so
+    // keeping 8 lines keeps 7 site records.
+    for threads in [2, 4] {
+        let path = tmp(&format!("gefin-models-killed-t{threads}.journal"));
+        interrupt_journal(&full, &path, 8);
+        let (resumed, _) = avf_campaign_models_resumable(
+            prep,
+            STRUCTURE,
+            &plan,
+            &FaultModel::ALL,
+            threads,
+            &opts(&path, ResumeMode::ResumeRequired),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.result.records, baseline.records,
+            "threads={threads}: resumed mixed-model records must be bit-identical"
+        );
+        assert_eq!(resumed.stats.replayed, 7, "threads={threads}");
+        assert_eq!(resumed.stats.executed, N - 7, "threads={threads}");
+        assert!(resumed.stats.truncated_bytes > 0);
+        assert_eq!(
+            sorted_entries(&path),
+            sorted_entries(&full),
+            "threads={threads}: completed journals must hold the same records"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_file(&full);
+}
+
+#[test]
+fn a_changed_model_set_is_refused_on_resume() {
+    let prep = prep();
+    let plan = InjectionPlan::Pruned { n: N, seed: SEED };
+    let path = tmp("gefin-models-mismatch.journal");
+    let _ = std::fs::remove_file(&path);
+    avf_campaign_models_resumable(
+        prep,
+        STRUCTURE,
+        &plan,
+        &FaultModel::ALL,
+        2,
+        &opts(&path, ResumeMode::Fresh),
+        None,
+    )
+    .unwrap();
+    // Same plan, same seed, smaller model set: different site space —
+    // the fingerprint must refuse, never silently mix campaigns.
+    let err = avf_campaign_models_resumable(
+        prep,
+        STRUCTURE,
+        &plan,
+        &[FaultModel::BitFlip, FaultModel::StuckAt],
+        2,
+        &opts(&path, ResumeMode::ResumeRequired),
+        None,
+    )
+    .unwrap_err();
+    match err {
+        JournalError::Mismatch {
+            expected, found, ..
+        } => {
+            assert!(expected.contains("models=bit-flip+stuck-at"), "{expected}");
+            assert!(
+                found.contains("models=bit-flip+byte-corrupt+instr-skip+stuck-at"),
+                "{found}"
+            );
+        }
+        other => panic!("expected a fingerprint mismatch, got {other}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Fuzzes the engine's journal codec over every model × effect × FPM
+/// combination: encode/decode must round-trip exactly, and the mirror
+/// codec in this file must agree byte-for-byte with the engine's.
+#[test]
+fn record_codec_round_trips_over_every_model() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    for i in 0..4096usize {
+        let model = FaultModel::ALL[i % FaultModel::ALL.len()];
+        let effect = FaultEffect::ALL[rng.gen_range(0usize..4)];
+        let fpm = match rng.gen_range(0usize..5) {
+            0 => None,
+            k => Some(Fpm::ALL[k - 1]),
+        };
+        let r = InjectionRecord {
+            cycle: rng.gen_range(0u64..=u64::MAX - 1),
+            bit: rng.gen_range(0u64..1 << 20),
+            model,
+            effect,
+            fpm,
+            fpm_cycle: fpm.map(|_| rng.gen_range(0u64..=u64::MAX - 1)),
+        };
+        let line = encode_record(&r);
+        assert_eq!(decode_record(&line), Some(r), "engine codec: {line}");
+        assert_eq!(encode(&r), line, "mirror codec must match the engine");
+        assert_eq!(decode(&line), Some(r), "mirror decode: {line}");
+    }
+    // Truncated and over-long payloads are corruption, not records.
+    let r = InjectionRecord {
+        cycle: 5,
+        bit: 6,
+        model: FaultModel::StuckAt,
+        effect: FaultEffect::Sdc,
+        fpm: Some(Fpm::Wd),
+        fpm_cycle: Some(9),
+    };
+    let line = encode_record(&r);
+    assert_eq!(decode_record(line.rsplit_once(',').unwrap().0), None);
+    assert_eq!(decode_record(&format!("{line},extra")), None);
+    assert_eq!(decode_record("5,6,Sdc,WD,9,gamma-ray"), None);
 }
 
 /// The journal header binds the campaign to the golden run itself, not
