@@ -58,11 +58,34 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use vulnstack_microarch::env_knob;
+
 use crate::sched::{self, Quarantine, RunPolicy, SiteResult};
+use crate::sink::{self, RecordHandle, StreamOpts};
 use crate::trace::CampaignMetrics;
 
 /// Journal file-format version (the `1` in the header line).
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Default group-commit interval: records appended between `fsync`s.
+/// Small enough that a crash between flushes loses at most a handful of
+/// in-flight records (the resume layer simply re-runs them — the
+/// *write* still lands per record, so only power loss, not `SIGKILL`,
+/// can lose a flushed-but-unsynced line); large enough to amortise the
+/// dominant per-record fsync cost at streaming rates. Overridable via
+/// `VULNSTACK_JOURNAL_FLUSH`.
+pub const DEFAULT_FLUSH_INTERVAL: u32 = 8;
+
+/// The group-commit interval, honouring `VULNSTACK_JOURNAL_FLUSH`
+/// (records per fsync, min 1; malformed values warn on stderr and fall
+/// back to [`DEFAULT_FLUSH_INTERVAL`]).
+pub fn flush_interval_from_env() -> u32 {
+    env_knob::<u32>(
+        "VULNSTACK_JOURNAL_FLUSH",
+        "journal flush interval (records)",
+    )
+    .map_or(DEFAULT_FLUSH_INTERVAL, |n| n.max(1))
+}
 
 /// FNV-1a 64-bit hash — the journal's line checksum and fingerprint
 /// digest. Not cryptographic; it detects torn writes and bit rot, which
@@ -82,7 +105,7 @@ fn checksum(body: &str) -> String {
 
 /// Escapes a field value so it contains neither the `|` separator nor
 /// line terminators.
-fn escape_field(s: &str) -> String {
+pub(crate) fn escape_field(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -97,7 +120,7 @@ fn escape_field(s: &str) -> String {
 }
 
 /// Inverse of [`escape_field`] (lenient: unknown escapes pass through).
-fn unescape_field(s: &str) -> String {
+pub(crate) fn unescape_field(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -296,12 +319,38 @@ impl Replay {
 }
 
 /// An open, append-only campaign journal. Appends are thread-safe and
-/// fsync'd: once [`Journal::append_done`] returns, the record survives
-/// `SIGKILL` and power loss (modulo the filesystem's own guarantees).
+/// **group-committed**: every append is its own `write` syscall (so it
+/// survives `SIGKILL` via the page cache and a torn write stays within
+/// one line), but the `fsync` that makes it power-loss durable is
+/// batched every [`flush_interval_from_env`] records. Quarantine
+/// markers, metadata, and [`Journal::flush`] (called at campaign
+/// completion and by the streaming sink) force the sync immediately.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    file: Mutex<File>,
+    writer: Mutex<JournalWriter>,
+}
+
+/// The journal's write-side state, guarded by one mutex so appends stay
+/// atomic per line and the pending-record count stays consistent with
+/// the file contents.
+#[derive(Debug)]
+struct JournalWriter {
+    file: File,
+    /// Records written since the last fsync.
+    pending: u32,
+    /// Group-commit interval: fsync once `pending` reaches this.
+    flush_every: u32,
+}
+
+impl JournalWriter {
+    fn new(file: File) -> JournalWriter {
+        JournalWriter {
+            file,
+            pending: 0,
+            flush_every: flush_interval_from_env(),
+        }
+    }
 }
 
 impl Journal {
@@ -330,7 +379,7 @@ impl Journal {
         sync_parent_dir(path);
         Ok(Journal {
             path: path.to_path_buf(),
-            file: Mutex::new(file),
+            writer: Mutex::new(JournalWriter::new(file)),
         })
     }
 
@@ -424,7 +473,7 @@ impl Journal {
         Ok((
             Journal {
                 path: path.to_path_buf(),
-                file: Mutex::new(file),
+                writer: Mutex::new(JournalWriter::new(file)),
             },
             replay,
         ))
@@ -437,29 +486,34 @@ impl Journal {
 
     /// Durably appends a campaign metadata record (written right after
     /// the header on create; verified against the engine's expectation
-    /// on resume).
+    /// on resume). Metadata is campaign identity, so it always forces a
+    /// sync rather than riding the group commit.
     ///
     /// # Errors
     ///
     /// [`JournalError::Io`] on write or sync failure.
     pub fn append_meta(&self, key: &str, payload: &str) -> Result<(), JournalError> {
-        self.append_line(&format!(
-            "M|{}|{}",
-            escape_field(key),
-            escape_field(payload)
-        ))
+        self.append_line(
+            &format!("M|{}|{}", escape_field(key), escape_field(payload)),
+            true,
+        )
     }
 
-    /// Durably appends a completed record for site `index`.
+    /// Appends a completed record for site `index`. The write lands
+    /// immediately; the fsync rides the group commit (forced at latest
+    /// by [`Journal::flush`] at campaign completion).
     ///
     /// # Errors
     ///
     /// [`JournalError::Io`] on write or sync failure.
     pub fn append_done(&self, index: u64, payload: &str) -> Result<(), JournalError> {
-        self.append_line(&format!("R|{index}|{}", escape_field(payload)))
+        self.append_line(&format!("R|{index}|{}", escape_field(payload)), false)
     }
 
-    /// Durably appends a quarantine marker for site `index`.
+    /// Durably appends a quarantine marker for site `index`, forcing a
+    /// group-commit flush: a quarantine is about to be *reported* (it
+    /// names a poison site an operator may act on), so it never waits in
+    /// the unsynced window.
     ///
     /// # Errors
     ///
@@ -470,17 +524,64 @@ impl Journal {
         attempts: u32,
         message: &str,
     ) -> Result<(), JournalError> {
-        self.append_line(&format!("Q|{index}|{attempts}|{}", escape_field(message)))
+        self.append_line(
+            &format!("Q|{index}|{attempts}|{}", escape_field(message)),
+            true,
+        )
     }
 
-    fn append_line(&self, body: &str) -> Result<(), JournalError> {
+    /// Syncs any appends still waiting in the group-commit window. The
+    /// completion barrier: campaigns call this before reporting success.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on sync failure.
+    pub fn flush(&self) -> Result<(), JournalError> {
+        let mut w = self.writer.lock().expect("unpoisoned");
+        if w.pending > 0 {
+            w.file
+                .sync_data()
+                .map_err(|e| JournalError::Io(self.path.clone(), e))?;
+            w.pending = 0;
+        }
+        Ok(())
+    }
+
+    /// Overrides the group-commit interval (records per fsync, min 1)
+    /// for this journal. `1` restores the pre-batching fsync-per-record
+    /// behavior; tests use explicit intervals instead of the racy
+    /// process-global `VULNSTACK_JOURNAL_FLUSH` variable.
+    pub fn set_flush_interval(&self, every: u32) {
+        self.writer.lock().expect("unpoisoned").flush_every = every.max(1);
+    }
+
+    fn append_line(&self, body: &str, force_sync: bool) -> Result<(), JournalError> {
         let line = format!("{body}|{}\n", checksum(body));
-        let mut file = self.file.lock().expect("unpoisoned");
+        let mut w = self.writer.lock().expect("unpoisoned");
+        let io = |e| JournalError::Io(self.path.clone(), e);
         // One write call per line keeps a torn append to a prefix of a
         // single line — exactly what checksum-truncation recovers from.
-        file.write_all(line.as_bytes())
-            .and_then(|()| file.sync_data())
-            .map_err(|e| JournalError::Io(self.path.clone(), e))
+        w.file.write_all(line.as_bytes()).map_err(io)?;
+        w.pending += 1;
+        if force_sync || w.pending >= w.flush_every {
+            w.file.sync_data().map_err(io)?;
+            w.pending = 0;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Best-effort close barrier: never let pending appends lose
+        // their durability just because the campaign errored out before
+        // reaching its explicit `flush`.
+        if let Ok(w) = self.writer.get_mut() {
+            if w.pending > 0 {
+                let _ = w.file.sync_data();
+                w.pending = 0;
+            }
+        }
     }
 }
 
@@ -695,59 +796,7 @@ impl<T: Sync> ResumableCampaign<'_, T> {
         E: Fn(&R) -> String + Sync,
         D: Fn(&str) -> Option<R>,
     {
-        assert_eq!(
-            self.fingerprint.samples,
-            self.items.len() as u64,
-            "fingerprint samples must match the site count"
-        );
-        let (journal, replay, created) = match self.mode {
-            ResumeMode::Fresh => (
-                Journal::create(self.path, &self.fingerprint)?,
-                Replay::default(),
-                true,
-            ),
-            ResumeMode::ResumeOrStart => {
-                // A zero-length file means the previous run died before
-                // the header write became durable: nothing to resume.
-                let has_content = std::fs::metadata(self.path).map(|m| m.len() > 0);
-                if matches!(has_content, Ok(true)) {
-                    let (j, r) = Journal::resume(self.path, &self.fingerprint)?;
-                    (j, r, false)
-                } else {
-                    (
-                        Journal::create(self.path, &self.fingerprint)?,
-                        Replay::default(),
-                        true,
-                    )
-                }
-            }
-            ResumeMode::ResumeRequired => {
-                let (j, r) = Journal::resume(self.path, &self.fingerprint)?;
-                (j, r, false)
-            }
-        };
-
-        if created {
-            for (key, payload) in self.meta {
-                journal.append_meta(key, payload)?;
-            }
-        } else {
-            // Verify every expected metadata pair against the replay. A
-            // missing key (e.g. its line was corrupt and truncated away)
-            // is as fatal as a mismatch: resuming without agreeing on the
-            // engine's derived identity would silently mix records.
-            for (key, payload) in self.meta {
-                let found = replay.meta(key);
-                if found != Some(payload.as_str()) {
-                    return Err(JournalError::MetaMismatch {
-                        path: self.path.to_path_buf(),
-                        key: key.clone(),
-                        expected: payload.clone(),
-                        found: found.map(String::from),
-                    });
-                }
-            }
-        }
+        let (journal, replay) = self.open()?;
 
         let corrupt = |why: String| JournalError::Corrupt {
             path: self.path.to_path_buf(),
@@ -816,6 +865,9 @@ impl<T: Sync> ResumableCampaign<'_, T> {
         if let Some(e) = append_err.into_inner().expect("unpoisoned") {
             return Err(e);
         }
+        // Completion barrier for the group commit: every appended record
+        // is durable before the campaign reports success.
+        journal.flush()?;
 
         let executed = missing.len();
         for (k, outcome) in out.outcomes.into_iter().enumerate() {
@@ -847,6 +899,204 @@ impl<T: Sync> ResumableCampaign<'_, T> {
             },
         })
     }
+
+    /// Runs the campaign through the streaming sink: replayed and fresh
+    /// record payloads are handed to `fold` one at a time (journal
+    /// append → spill append → fold, via [`crate::sink::stream`]) and
+    /// **never collected** — peak memory is bounded by the sink channel
+    /// regardless of campaign size. The journal produced is equivalent
+    /// to [`ResumableCampaign::run`]'s (same fingerprint, same entry
+    /// set), so the two paths can kill-and-resume each other's journals.
+    ///
+    /// `fold` observes every *completed* site exactly once as
+    /// `(site index, encoded payload)`, in arbitrary order (replayed
+    /// sites first, then fresh sites as they settle); quarantined sites
+    /// are returned in [`StreamedCampaign::quarantined`] instead.
+    ///
+    /// # Errors
+    ///
+    /// As [`ResumableCampaign::run`], plus spill-file I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// As [`ResumableCampaign::run`].
+    pub fn run_streaming<R, F, E, D, G>(
+        &self,
+        stream: StreamOpts<'_>,
+        runner: F,
+        encode: E,
+        decode: D,
+        mut fold: G,
+        metrics: Option<&CampaignMetrics>,
+    ) -> Result<StreamedCampaign, JournalError>
+    where
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        E: Fn(&R) -> String + Sync,
+        D: Fn(&str) -> Option<R>,
+        G: FnMut(u64, &str) + Send,
+    {
+        let (journal, replay) = self.open()?;
+        let corrupt = |why: String| JournalError::Corrupt {
+            path: self.path.to_path_buf(),
+            why,
+        };
+        let (truncated_bytes, dropped_lines) = (replay.truncated_bytes, replay.dropped_lines);
+        let mut have = vec![false; self.items.len()];
+        let mut quarantined: Vec<Quarantine> = Vec::new();
+        let mut replayed = 0usize;
+        for e in replay.entries {
+            let i = usize::try_from(e.index).unwrap_or(usize::MAX);
+            if i >= self.items.len() {
+                return Err(corrupt(format!(
+                    "entry index {} out of range (campaign has {} sites)",
+                    e.index,
+                    self.items.len()
+                )));
+            }
+            match e.kind {
+                EntryKind::Done(payload) => {
+                    if decode(&payload).is_none() {
+                        return Err(corrupt(format!("site {i}: undecodable record payload")));
+                    }
+                    fold(e.index, &payload);
+                }
+                EntryKind::Quarantined { attempts, message } => {
+                    quarantined.push(Quarantine {
+                        index: i,
+                        attempts,
+                        message,
+                    });
+                }
+            }
+            have[i] = true;
+            replayed += 1;
+        }
+
+        let missing: Vec<usize> = self.order.iter().copied().filter(|&i| !have[i]).collect();
+        let sub_order: Vec<usize> = (0..missing.len()).collect();
+        let (drive, summary) = sink::stream(Some(&journal), stream, fold, |handle| {
+            sched::drive_ordered_resilient(
+                &missing,
+                &sub_order,
+                self.threads,
+                self.policy,
+                |_, &orig| runner(orig, &self.items[orig]),
+                |k, outcome| {
+                    let orig = missing[k] as u64;
+                    match outcome {
+                        SiteResult::Done(r) => handle.push_done(orig, encode(&r)),
+                        SiteResult::Quarantined(q) => {
+                            handle.push_quarantined(orig, q.attempts, q.message);
+                        }
+                    }
+                },
+                metrics,
+            )
+        })?;
+
+        quarantined.extend(summary.quarantined);
+        // Sites lost to a worker failure settle as zero-attempt
+        // quarantines and are deliberately NOT journaled — the next
+        // resume re-runs them, matching `run`'s semantics.
+        for k in drive.lost {
+            quarantined.push(Quarantine {
+                index: missing[k],
+                attempts: 0,
+                message: "site lost to a worker failure".to_string(),
+            });
+        }
+        quarantined.sort_by_key(|q| q.index);
+        Ok(StreamedCampaign {
+            stats: ResumeStats {
+                replayed,
+                executed: missing.len(),
+                quarantined: quarantined.len(),
+                respawns: drive.respawns,
+                truncated_bytes,
+                dropped_lines,
+            },
+            quarantined,
+            records: summary.records,
+        })
+    }
+
+    /// Opens (or creates) the journal per [`ResumableCampaign::mode`],
+    /// writing the campaign metadata on create and verifying it against
+    /// the replay on resume — the shared front half of
+    /// [`ResumableCampaign::run`] and [`ResumableCampaign::run_streaming`].
+    fn open(&self) -> Result<(Journal, Replay), JournalError> {
+        assert_eq!(
+            self.fingerprint.samples,
+            self.items.len() as u64,
+            "fingerprint samples must match the site count"
+        );
+        let (journal, replay, created) = match self.mode {
+            ResumeMode::Fresh => (
+                Journal::create(self.path, &self.fingerprint)?,
+                Replay::default(),
+                true,
+            ),
+            ResumeMode::ResumeOrStart => {
+                // A zero-length file means the previous run died before
+                // the header write became durable: nothing to resume.
+                let has_content = std::fs::metadata(self.path).map(|m| m.len() > 0);
+                if matches!(has_content, Ok(true)) {
+                    let (j, r) = Journal::resume(self.path, &self.fingerprint)?;
+                    (j, r, false)
+                } else {
+                    (
+                        Journal::create(self.path, &self.fingerprint)?,
+                        Replay::default(),
+                        true,
+                    )
+                }
+            }
+            ResumeMode::ResumeRequired => {
+                let (j, r) = Journal::resume(self.path, &self.fingerprint)?;
+                (j, r, false)
+            }
+        };
+
+        if created {
+            for (key, payload) in self.meta {
+                journal.append_meta(key, payload)?;
+            }
+        } else {
+            // Verify every expected metadata pair against the replay. A
+            // missing key (e.g. its line was corrupt and truncated away)
+            // is as fatal as a mismatch: resuming without agreeing on the
+            // engine's derived identity would silently mix records.
+            for (key, payload) in self.meta {
+                let found = replay.meta(key);
+                if found != Some(payload.as_str()) {
+                    return Err(JournalError::MetaMismatch {
+                        path: self.path.to_path_buf(),
+                        key: key.clone(),
+                        expected: payload.clone(),
+                        found: found.map(String::from),
+                    });
+                }
+            }
+        }
+        Ok((journal, replay))
+    }
+}
+
+/// Outcome of a streaming resumable run: degradation-free tallies live
+/// in the caller's `fold` state; the campaign result proper carries only
+/// the quarantine list, the resume accounting, and (when a spill file
+/// was requested) the on-disk [`RecordHandle`] — never the records.
+#[derive(Debug)]
+pub struct StreamedCampaign {
+    /// Quarantined sites in campaign sampling coordinates, sorted by
+    /// index (replayed, freshly quarantined, and lost sites merged).
+    pub quarantined: Vec<Quarantine>,
+    /// Handle to the on-disk record stream, when
+    /// [`StreamOpts::spill`] was set.
+    pub records: Option<RecordHandle>,
+    /// What was replayed vs executed.
+    pub stats: ResumeStats,
 }
 
 #[cfg(test)]

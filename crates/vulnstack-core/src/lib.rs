@@ -28,9 +28,11 @@
 
 pub mod effects;
 pub mod journal;
+pub mod memquota;
 pub mod pairs;
 pub mod report;
 pub mod sched;
+pub mod sink;
 pub mod stack;
 pub mod stats;
 pub mod trace;
@@ -41,9 +43,11 @@ pub use effects::{FaultEffect, Tally, VulnFactor};
 // microarch dependency in their own code.
 pub use journal::{
     Fingerprint, Journal, JournalError, JournalOpts, ResumableCampaign, ResumeMode, ResumeStats,
-    ResumedCampaign,
+    ResumedCampaign, StreamedCampaign,
 };
+pub use memquota::{MemQuota, Participation, ShedReport};
 pub use sched::{Quarantine, RunPolicy, SiteResult};
+pub use sink::{RecordHandle, SinkHandle, SinkSummary, StreamOpts};
 pub use stack::{FpmDist, StructureAvf, WeightedAvf};
 pub use trace::{CampaignMetrics, MetricsReport, Span, WorkerReport};
 pub use vulnstack_microarch::FaultModel;

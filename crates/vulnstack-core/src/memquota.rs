@@ -1,0 +1,414 @@
+//! Global memory-quota accounting with cooperative, oldest-first reclaim.
+//!
+//! Campaign-scale streaming (the [`crate::sink`] pipeline) bounds the
+//! *record* path by construction — a full channel stalls producers — but
+//! the optional payloads around it (lifetime-trace rings, campaign-metrics
+//! spans) still grow with campaign size. This module is the arbiter that
+//! decides what those payloads may keep in RAM, after the memquota design
+//! in arti's memory-limit notes:
+//!
+//! * one **account** ([`MemQuota`]) holds the global byte budget (from
+//!   `VULNSTACK_MEM_QUOTA`, or unlimited when unset);
+//! * each component that caches data registers a **participant**
+//!   ([`Participation`]) and reports its usage through
+//!   [`Participation::claim`] / [`Participation::release`];
+//! * when the account goes over budget, reclaim is **cooperative** and
+//!   **oldest-data-first**: the sheddable participant holding the oldest
+//!   data is flagged ([`Participation::should_shed`]), and — for payloads
+//!   that can simply be refused — [`Participation::try_claim`] starts
+//!   denying new claims. Either way the owner drops its optional payload
+//!   and the campaign *degrades* (counted, logged once on stderr) instead
+//!   of aborting.
+//!
+//! The degradation ladder is fixed by what registers as sheddable:
+//! lifetime-trace rings shed first (registered earliest ⇒ oldest data),
+//! then metrics spans; record buffers and tallies never register as
+//! sheddable — they are bounded by the sink channel and backpressure, not
+//! by shedding. Unset quota ⇒ every operation is a cheap no-op and
+//! behavior is bit-identical to a build without this module.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use vulnstack_microarch::env_knob;
+
+/// The global memory account: a byte budget plus the registered
+/// participants that report usage against it.
+#[derive(Debug)]
+pub struct MemQuota {
+    inner: Arc<QuotaInner>,
+}
+
+#[derive(Debug)]
+struct QuotaInner {
+    /// Byte budget; `usize::MAX` means unlimited (every path short
+    /// circuits).
+    limit: usize,
+    used: AtomicUsize,
+    /// Monotonic stamp source for data age (oldest-first victim
+    /// selection).
+    seq: AtomicU64,
+    /// The one-shot "shedding begins" stderr warning.
+    warned: AtomicBool,
+    shed_events: AtomicU64,
+    shed_bytes: AtomicU64,
+    parts: Mutex<Vec<Weak<PartInner>>>,
+}
+
+#[derive(Debug)]
+struct PartInner {
+    name: String,
+    sheddable: bool,
+    used: AtomicUsize,
+    /// Age stamp of the oldest data this participant still holds; 0 =
+    /// holds nothing.
+    oldest: AtomicU64,
+    /// Set by the account when this participant was selected as a
+    /// reclaim victim; cleared when the owner sheds.
+    reclaim: AtomicBool,
+}
+
+/// One component's registration with a [`MemQuota`] account. Dropping a
+/// participation releases whatever it still had claimed.
+#[derive(Debug)]
+pub struct Participation {
+    part: Arc<PartInner>,
+    quota: Arc<QuotaInner>,
+}
+
+/// Degradation accounting for one account: how much optional payload was
+/// shed instead of kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedReport {
+    /// Individual payloads shed (claims denied + cooperative sheds).
+    pub events: u64,
+    /// Bytes refused or freed by shedding.
+    pub bytes: u64,
+}
+
+impl MemQuota {
+    /// An account with no budget: every claim succeeds, nothing sheds.
+    pub fn unlimited() -> MemQuota {
+        MemQuota::new(usize::MAX)
+    }
+
+    /// An account with a byte budget.
+    pub fn with_limit(bytes: usize) -> MemQuota {
+        MemQuota::new(bytes.max(1))
+    }
+
+    fn new(limit: usize) -> MemQuota {
+        MemQuota {
+            inner: Arc::new(QuotaInner {
+                limit,
+                used: AtomicUsize::new(0),
+                seq: AtomicU64::new(1),
+                warned: AtomicBool::new(false),
+                shed_events: AtomicU64::new(0),
+                shed_bytes: AtomicU64::new(0),
+                parts: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// An account budgeted from `VULNSTACK_MEM_QUOTA` (bytes). Unset ⇒
+    /// unlimited; malformed warns on stderr and falls back (the shared
+    /// [`env_knob`] contract).
+    pub fn from_env() -> MemQuota {
+        match env_knob::<usize>("VULNSTACK_MEM_QUOTA", "memory quota in bytes") {
+            Some(b) => MemQuota::with_limit(b),
+            None => MemQuota::unlimited(),
+        }
+    }
+
+    /// The process-wide account, budgeted once from the environment.
+    /// Everything that caches optional campaign payloads (trace rings,
+    /// metrics spans) registers here so one knob governs the process.
+    pub fn global() -> &'static MemQuota {
+        static GLOBAL: OnceLock<MemQuota> = OnceLock::new();
+        GLOBAL.get_or_init(MemQuota::from_env)
+    }
+
+    /// Registers a participant. `sheddable` participants may be selected
+    /// as reclaim victims and have [`Participation::try_claim`] denied
+    /// under pressure; non-sheddable participants only report usage (so
+    /// pressure they cause is shed from *other*, sheddable participants).
+    pub fn register(&self, name: &str, sheddable: bool) -> Participation {
+        let part = Arc::new(PartInner {
+            name: name.to_string(),
+            sheddable,
+            used: AtomicUsize::new(0),
+            oldest: AtomicU64::new(0),
+            reclaim: AtomicBool::new(false),
+        });
+        self.inner
+            .parts
+            .lock()
+            .expect("unpoisoned")
+            .push(Arc::downgrade(&part));
+        Participation {
+            part,
+            quota: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Bytes currently claimed across all participants.
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// The byte budget, if one is set.
+    pub fn limit(&self) -> Option<usize> {
+        (self.inner.limit != usize::MAX).then_some(self.inner.limit)
+    }
+
+    /// True once usage has exceeded the budget at least once.
+    pub fn shedding_started(&self) -> bool {
+        self.inner.warned.load(Ordering::Relaxed)
+    }
+
+    /// Degradation accounting so far.
+    pub fn shed_report(&self) -> ShedReport {
+        ShedReport {
+            events: self.inner.shed_events.load(Ordering::Relaxed),
+            bytes: self.inner.shed_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl QuotaInner {
+    fn stamp(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn warn_once(&self) {
+        if !self.warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: memory quota exceeded ({} B in use, limit {} B): \
+                 shedding optional payloads, oldest data first",
+                self.used.load(Ordering::Relaxed),
+                self.limit,
+            );
+        }
+    }
+
+    /// Over-budget response: warn once, then flag sheddable participants
+    /// as reclaim victims — oldest data first — until their combined
+    /// usage covers the overage.
+    fn handle_pressure(&self) {
+        let used = self.used.load(Ordering::Relaxed);
+        if used <= self.limit {
+            return;
+        }
+        self.warn_once();
+        let mut overage = used - self.limit;
+        let mut parts = self.parts.lock().expect("unpoisoned");
+        parts.retain(|w| w.strong_count() > 0);
+        let mut victims: Vec<Arc<PartInner>> = parts
+            .iter()
+            .filter_map(Weak::upgrade)
+            .filter(|p| p.sheddable && p.used.load(Ordering::Relaxed) > 0)
+            .collect();
+        victims.sort_by_key(|p| p.oldest.load(Ordering::Relaxed));
+        for v in victims {
+            if overage == 0 {
+                break;
+            }
+            v.reclaim.store(true, Ordering::Relaxed);
+            overage = overage.saturating_sub(v.used.load(Ordering::Relaxed));
+        }
+    }
+}
+
+impl Participation {
+    /// The participant's name (for logs and reports).
+    pub fn name(&self) -> &str {
+        &self.part.name
+    }
+
+    /// Bytes this participant currently holds.
+    pub fn used(&self) -> usize {
+        self.part.used.load(Ordering::Relaxed)
+    }
+
+    /// Reports `bytes` of newly retained data. Always succeeds (the data
+    /// is already held); going over budget triggers oldest-first victim
+    /// flagging rather than refusal.
+    pub fn claim(&self, bytes: usize) {
+        if self.quota.limit == usize::MAX || bytes == 0 {
+            return;
+        }
+        if self.part.used.fetch_add(bytes, Ordering::Relaxed) == 0 {
+            self.part
+                .oldest
+                .store(self.quota.stamp(), Ordering::Relaxed);
+        }
+        self.quota.used.fetch_add(bytes, Ordering::Relaxed);
+        self.quota.handle_pressure();
+    }
+
+    /// Asks to retain `bytes` of *optional* data. Denied (returning
+    /// `false`, with the refusal counted as shed) when the account is
+    /// over budget or this participant was flagged for reclaim — the
+    /// caller must drop the payload instead of keeping it.
+    pub fn try_claim(&self, bytes: usize) -> bool {
+        if self.quota.limit == usize::MAX {
+            return true;
+        }
+        let over = self
+            .quota
+            .used
+            .load(Ordering::Relaxed)
+            .saturating_add(bytes)
+            > self.quota.limit;
+        if self.part.sheddable && (over || self.part.reclaim.load(Ordering::Relaxed)) {
+            if over {
+                self.quota.warn_once();
+            }
+            self.quota.shed_events.fetch_add(1, Ordering::Relaxed);
+            self.quota
+                .shed_bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            return false;
+        }
+        self.claim(bytes);
+        true
+    }
+
+    /// Reports `bytes` of data released back (dropped or written out).
+    pub fn release(&self, bytes: usize) {
+        if self.quota.limit == usize::MAX || bytes == 0 {
+            return;
+        }
+        let sub = |a: &AtomicUsize| {
+            a.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            })
+            .expect("fetch_update with Some never fails")
+        };
+        sub(&self.part.used);
+        sub(&self.quota.used);
+        if self.part.used.load(Ordering::Relaxed) == 0 {
+            self.part.oldest.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// True when the account selected this participant as a reclaim
+    /// victim: the owner should drop its oldest optional data and report
+    /// it via [`Participation::shed`].
+    pub fn should_shed(&self) -> bool {
+        self.part.reclaim.load(Ordering::Relaxed) && self.used() > 0
+    }
+
+    /// Reports `bytes` dropped in response to [`should_shed`]
+    /// (counted as degradation and released from the account).
+    ///
+    /// [`should_shed`]: Participation::should_shed
+    pub fn shed(&self, bytes: usize) {
+        self.release(bytes);
+        self.quota.shed_events.fetch_add(1, Ordering::Relaxed);
+        self.quota
+            .shed_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.part.reclaim.store(false, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Participation {
+    fn drop(&mut self) {
+        let held = self.part.used.swap(0, Ordering::Relaxed);
+        if held > 0 && self.quota.limit != usize::MAX {
+            self.quota
+                .used
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(held))
+                })
+                .expect("fetch_update with Some never fails");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_account_is_a_no_op() {
+        let q = MemQuota::unlimited();
+        let p = q.register("traces", true);
+        assert!(p.try_claim(usize::MAX / 2));
+        p.claim(usize::MAX / 2);
+        assert_eq!(q.used(), 0, "unlimited accounts do not track");
+        assert!(!p.should_shed());
+        assert_eq!(q.shed_report(), ShedReport::default());
+        assert_eq!(q.limit(), None);
+    }
+
+    #[test]
+    fn over_budget_denies_optional_claims_and_counts_them() {
+        let q = MemQuota::with_limit(1000);
+        let p = q.register("traces", true);
+        assert!(p.try_claim(600));
+        assert!(p.try_claim(300));
+        assert!(!p.try_claim(200), "901..1100 exceeds the 1000 B budget");
+        assert!(q.shedding_started());
+        let r = q.shed_report();
+        assert_eq!(r.events, 1);
+        assert_eq!(r.bytes, 200);
+        assert_eq!(q.used(), 900, "denied claims must not be accounted");
+    }
+
+    #[test]
+    fn pressure_flags_the_oldest_sheddable_victim_first() {
+        let q = MemQuota::with_limit(1000);
+        let traces = q.register("traces", true);
+        let spans = q.register("spans", true);
+        let records = q.register("records", false);
+        traces.claim(300); // oldest data
+        spans.claim(300);
+        records.claim(300);
+        assert!(!traces.should_shed());
+        // A non-sheddable claim pushes the account over budget: the
+        // oldest sheddable participant is the victim, never `records`.
+        records.claim(200);
+        assert!(traces.should_shed(), "oldest sheddable data sheds first");
+        assert!(!spans.should_shed(), "100 B overage is covered by traces");
+        traces.shed(300);
+        assert!(!traces.should_shed());
+        assert_eq!(q.used(), 800);
+        let r = q.shed_report();
+        assert_eq!(r.events, 1);
+        assert_eq!(r.bytes, 300);
+    }
+
+    #[test]
+    fn large_overage_flags_several_victims_oldest_first() {
+        let q = MemQuota::with_limit(100);
+        let a = q.register("a", true);
+        let b = q.register("b", true);
+        let anchor = q.register("anchor", false);
+        a.claim(40);
+        b.claim(40);
+        anchor.claim(120); // 200 used, 100 over: both victims needed
+        assert!(a.should_shed());
+        assert!(b.should_shed());
+    }
+
+    #[test]
+    fn release_and_drop_return_bytes_to_the_account() {
+        let q = MemQuota::with_limit(1000);
+        let p = q.register("spans", true);
+        p.claim(400);
+        p.release(150);
+        assert_eq!(q.used(), 250);
+        assert_eq!(p.used(), 250);
+        drop(p);
+        assert_eq!(q.used(), 0, "drop releases the remainder");
+    }
+
+    #[test]
+    fn from_env_defaults_to_unlimited() {
+        // The test runner does not set VULNSTACK_MEM_QUOTA.
+        assert_eq!(MemQuota::from_env().limit(), None);
+    }
+}

@@ -32,7 +32,7 @@
 //! drains.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::trace::CampaignMetrics;
@@ -222,25 +222,38 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// [`map_ordered_metered`] with per-site panic isolation: each `f` call
-/// runs under `catch_unwind` and is retried up to `policy.max_retries`
-/// times; a site that panics on every attempt degrades to
-/// [`SiteResult::Quarantined`] instead of killing the campaign.
-/// `on_outcome` is invoked in-worker right after each site settles
-/// (completed or quarantined) — the hook the journal layer uses to make
-/// every record durable before the next claim.
+/// Accounting from [`drive_ordered_resilient`]: what happened to the
+/// queue, with no per-site results (those went through `on_outcome`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriveStats {
+    /// Worker claim loops that died outside the per-site isolation and
+    /// were respawned.
+    pub respawns: u64,
+    /// Input indices of sites that never settled (claimed by a worker
+    /// that died outside the site isolation before `on_outcome`
+    /// finished), in ascending order. The caller decides their fate —
+    /// the resume layer surfaces them as zero-attempt quarantines and
+    /// re-runs them next time.
+    pub lost: Vec<usize>,
+}
+
+/// The non-collecting core of [`map_ordered_resilient`]: runs every site
+/// under per-site panic isolation with bounded retry and hands each
+/// settled [`SiteResult`] to `on_outcome` **by value**, keeping nothing.
+/// This is the streaming substrate — `on_outcome` pushes into a bounded
+/// [`crate::sink::SinkHandle`] and per-site memory stays O(workers)
+/// regardless of campaign size.
 ///
-/// Two further fault domains back the per-site one: a worker whose claim
-/// loop dies *outside* the site isolation (e.g. a panicking `on_outcome`)
-/// is respawned and the in-flight site is reported as a zero-attempt
-/// [`Quarantine`]; and completed outcomes are scattered to their input
-/// index exactly like [`map_ordered`], so the surviving results are
-/// bit-identical to a run without any poison sites, at any thread count.
+/// Fault domains are identical to [`map_ordered_resilient`]: a site that
+/// panics on every attempt settles as [`SiteResult::Quarantined`]; a
+/// worker whose claim loop dies *outside* the site isolation (e.g. a
+/// panicking `on_outcome`) is respawned, and the site it held is
+/// reported in [`DriveStats::lost`] rather than silently dropped.
 ///
 /// # Panics
 ///
 /// Panics if `order` is not a permutation of `0..items.len()`.
-pub fn map_ordered_resilient<T, R, F, C>(
+pub fn drive_ordered_resilient<T, R, F, C>(
     items: &[T],
     order: &[usize],
     threads: usize,
@@ -248,17 +261,16 @@ pub fn map_ordered_resilient<T, R, F, C>(
     f: F,
     on_outcome: C,
     metrics: Option<&CampaignMetrics>,
-) -> ResilientOutput<R>
+) -> DriveStats
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
-    C: Fn(usize, &SiteResult<R>) + Sync,
+    C: Fn(usize, SiteResult<R>) + Sync,
 {
     assert_permutation(order, items.len());
     let threads = threads.clamp(1, items.len().max(1));
-    let slots: Vec<Mutex<Option<SiteResult<R>>>> =
-        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let settled: Vec<AtomicBool> = (0..items.len()).map(|_| AtomicBool::new(false)).collect();
     let respawns = AtomicU64::new(0);
     let run_one = |worker: usize, i: usize| {
         let start = metrics.map(|m| m.now_us());
@@ -281,8 +293,8 @@ where
         if let (Some(m), Some(s)) = (metrics, start) {
             m.record_span(worker, i, s, m.now_us());
         }
-        on_outcome(i, &outcome);
-        *slots[i].lock().expect("unpoisoned") = Some(outcome);
+        on_outcome(i, outcome);
+        settled[i].store(true, Ordering::Relaxed);
     };
     if threads == 1 {
         for &i in order {
@@ -316,6 +328,72 @@ where
             }
         });
     }
+    let lost = settled
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.load(Ordering::Relaxed))
+        .map(|(i, _)| i)
+        .collect();
+    DriveStats {
+        respawns: respawns.load(Ordering::Relaxed),
+        lost,
+    }
+}
+
+/// [`map_ordered_metered`] with per-site panic isolation: each `f` call
+/// runs under `catch_unwind` and is retried up to `policy.max_retries`
+/// times; a site that panics on every attempt degrades to
+/// [`SiteResult::Quarantined`] instead of killing the campaign.
+/// `on_outcome` is invoked in-worker right after each site settles
+/// (completed or quarantined) — the hook the journal layer uses to make
+/// every record durable before the next claim.
+///
+/// Two further fault domains back the per-site one: a worker whose claim
+/// loop dies *outside* the site isolation (e.g. a panicking `on_outcome`)
+/// is respawned and the in-flight site is reported as a zero-attempt
+/// [`Quarantine`]; and completed outcomes are scattered to their input
+/// index exactly like [`map_ordered`], so the surviving results are
+/// bit-identical to a run without any poison sites, at any thread count.
+///
+/// Collects every outcome in RAM; campaigns whose record set can
+/// outgrow memory use [`drive_ordered_resilient`] with a streaming sink
+/// instead.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..items.len()`.
+pub fn map_ordered_resilient<T, R, F, C>(
+    items: &[T],
+    order: &[usize],
+    threads: usize,
+    policy: RunPolicy,
+    f: F,
+    on_outcome: C,
+    metrics: Option<&CampaignMetrics>,
+) -> ResilientOutput<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    C: Fn(usize, &SiteResult<R>) + Sync,
+{
+    let slots: Vec<Mutex<Option<SiteResult<R>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let stats = drive_ordered_resilient(
+        items,
+        order,
+        threads,
+        policy,
+        f,
+        |i, outcome| {
+            // The user hook runs first (it may panic — that is the
+            // "worker death outside site isolation" fault domain); only
+            // a hook that returns keeps the outcome.
+            on_outcome(i, &outcome);
+            *slots[i].lock().expect("unpoisoned") = Some(outcome);
+        },
+        metrics,
+    );
     let outcomes = slots
         .into_iter()
         .enumerate()
@@ -335,7 +413,7 @@ where
         .collect();
     ResilientOutput {
         outcomes,
-        respawns: respawns.load(Ordering::Relaxed),
+        respawns: stats.respawns,
     }
 }
 
@@ -358,6 +436,16 @@ fn assert_permutation(order: &[usize], n: usize) {
 pub fn sort_order_by_key<K: Ord>(keys: &[K]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..keys.len()).collect();
     order.sort_by_key(|&i| &keys[i]);
+    order
+}
+
+/// Sorting permutation of `items` under a key projection — like
+/// [`sort_order_by_key`] but without materialising a separate key
+/// vector, for call sites whose keys are a field of a larger site tuple
+/// (the temporal sweep's per-site injection cycle, for instance).
+pub fn sort_order_by<T, K: Ord, F: Fn(&T) -> K>(items: &[T], key: F) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| key(&items[i]));
     order
 }
 

@@ -75,7 +75,7 @@ impl WeightedAvf {
 /// A distribution over fault propagation models, from an HVF campaign.
 ///
 /// `masked` counts faults that never became architecturally visible.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FpmDist {
     counts: BTreeMap<Fpm, u64>,
     masked: u64,

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use vulnstack_core::effects::{FaultEffect, Tally};
 use vulnstack_core::journal::{fnv1a64, Fingerprint, JournalError, JournalOpts, ResumableCampaign};
 use vulnstack_core::sched::{self, Quarantine};
+use vulnstack_core::sink::{self, RecordHandle, StreamOpts};
 use vulnstack_core::stack::FpmDist;
 use vulnstack_core::trace::CampaignMetrics;
 use vulnstack_core::ResumeStats;
@@ -366,8 +367,7 @@ pub fn avf_campaign_metered(
     // Claim the sites in injection-cycle order (consecutive claims restore
     // from the same warm checkpoint); records come back in sampling order,
     // so the output is independent of both ordering and thread count.
-    let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
-    let order = sched::sort_order_by_key(&cycles);
+    let order = sched::sort_order_by(&sites, |&(c, _)| c);
     let records: Vec<InjectionRecord> = sched::map_ordered_metered(
         &sites,
         &order,
@@ -406,8 +406,7 @@ pub fn avf_campaign_planned(
 ) -> (AvfCampaignResult, Option<PruneStats>) {
     let bits = structure.bits(&prep.cfg);
     let sites = plan_sites(prep, structure, plan);
-    let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
-    let order = sched::sort_order_by_key(&cycles);
+    let order = sched::sort_order_by(&sites, |&(c, _)| c);
     if plan.is_pruned() {
         let pruner = Pruner::new(prep, structure);
         let records = sched::map_ordered_metered(
@@ -460,8 +459,7 @@ pub fn avf_campaign_models(
 ) -> (AvfCampaignResult, Option<PruneStats>) {
     let bits = structure.bits(&prep.cfg);
     let sites = plan_model_sites(prep, structure, plan, models);
-    let cycles: Vec<u64> = sites.iter().map(|s| s.cycle).collect();
-    let order = sched::sort_order_by_key(&cycles);
+    let order = sched::sort_order_by(&sites, |s| s.cycle);
     if matches!(plan, InjectionPlan::Sampled { .. }) {
         let records = sched::map_ordered_metered(
             &sites,
@@ -513,8 +511,7 @@ pub fn avf_campaign_traced(
 ) -> (AvfCampaignResult, Vec<FaultTrace>) {
     let bits = structure.bits(&prep.cfg);
     let sites = draw_sites(prep, structure, n, seed);
-    let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
-    let order = sched::sort_order_by_key(&cycles);
+    let order = sched::sort_order_by(&sites, |&(c, _)| c);
     let pairs: Vec<(InjectionRecord, FaultTrace)> = sched::map_ordered_metered(
         &sites,
         &order,
@@ -664,8 +661,7 @@ pub fn avf_campaign_resumable(
 ) -> Result<AvfResumed, JournalError> {
     let bits = structure.bits(&prep.cfg);
     let sites = draw_sites(prep, structure, n, seed);
-    let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
-    let order = sched::sort_order_by_key(&cycles);
+    let order = sched::sort_order_by(&sites, |&(c, _)| c);
     let resumed = ResumableCampaign {
         path: opts.path,
         fingerprint: avf_fingerprint(
@@ -735,8 +731,7 @@ pub fn avf_campaign_resumable_planned(
 ) -> Result<(AvfResumed, Option<PruneStats>), JournalError> {
     let bits = structure.bits(&prep.cfg);
     let sites = plan_sites(prep, structure, plan);
-    let cycles: Vec<u64> = sites.iter().map(|&(c, _)| c).collect();
-    let order = sched::sort_order_by_key(&cycles);
+    let order = sched::sort_order_by(&sites, |&(c, _)| c);
     let (seed, plan_detail) = match *plan {
         InjectionPlan::Exhaustive { cycle } => (0, format!("exhaustive@{cycle}")),
         InjectionPlan::Sampled { n: _, seed } => (seed, "sampled".to_string()),
@@ -830,8 +825,7 @@ pub fn avf_campaign_models_resumable(
     let bits = structure.bits(&prep.cfg);
     let models = canonical_models(models, structure);
     let sites = plan_model_sites(prep, structure, plan, &models);
-    let cycles: Vec<u64> = sites.iter().map(|s| s.cycle).collect();
-    let order = sched::sort_order_by_key(&cycles);
+    let order = sched::sort_order_by(&sites, |s| s.cycle);
     let (seed, plan_detail) = match *plan {
         InjectionPlan::Exhaustive { cycle } => (0, format!("exhaustive@{cycle}")),
         InjectionPlan::Sampled { n: _, seed } => (seed, "sampled".to_string()),
@@ -935,6 +929,251 @@ fn collect_result(
         fpm,
         records,
     }
+}
+
+/// Aggregates of one *streaming* campaign: everything the CLI tables
+/// and JSON export need, accumulated record-by-record in the sink fold.
+/// The `records` vector of [`AvfCampaignResult`] is replaced by an
+/// optional on-disk [`RecordHandle`], so peak memory is bounded by the
+/// sink channel regardless of campaign size.
+#[derive(Debug)]
+pub struct AvfStreamed {
+    /// Target structure.
+    pub structure: HwStructure,
+    /// Structure bit population.
+    pub bits: u64,
+    /// AVF tally over all completed injections.
+    pub tally: Tally,
+    /// FPM distribution over all completed injections (HVF view).
+    pub fpm: FpmDist,
+    /// Per-model tallies in [`FaultModel::ALL`] order, models with no
+    /// records omitted — the same shape [`per_model_tallies`] computes
+    /// from an in-RAM record vector, accumulated incrementally here.
+    pub per_model: Vec<(FaultModel, Tally, FpmDist)>,
+    /// Handle to the on-disk record stream, when
+    /// [`StreamOpts::spill`] was set.
+    pub records: Option<RecordHandle>,
+    /// Sites whose every injection attempt panicked (journaled runs
+    /// only; the unjournaled path propagates panics like
+    /// [`avf_campaign`]).
+    pub quarantined: Vec<Quarantine>,
+    /// Replay/execute accounting (all-executed for unjournaled runs).
+    pub stats: ResumeStats,
+}
+
+impl AvfStreamed {
+    /// The structure's measured AVF.
+    pub fn avf(&self) -> vulnstack_core::effects::VulnFactor {
+        self.tally.vf()
+    }
+
+    /// The structure's measured HVF.
+    pub fn hvf(&self) -> f64 {
+        self.fpm.hvf()
+    }
+}
+
+/// Streaming tally accumulator: folds encoded records into the
+/// aggregate and per-model tallies one payload at a time, never holding
+/// more than one decoded record.
+struct TallyAccum {
+    tally: Tally,
+    fpm: FpmDist,
+    /// Indexed by position in [`FaultModel::ALL`]; the count
+    /// distinguishes "no records" from "all-masked".
+    per_model: Vec<(Tally, FpmDist, u64)>,
+}
+
+impl TallyAccum {
+    fn new() -> TallyAccum {
+        TallyAccum {
+            tally: Tally::default(),
+            fpm: FpmDist::new(),
+            per_model: FaultModel::ALL
+                .iter()
+                .map(|_| (Tally::default(), FpmDist::new(), 0))
+                .collect(),
+        }
+    }
+
+    fn add_payload(&mut self, payload: &str) {
+        // Payloads come from `encode_record` (fresh sites) or a
+        // decode-validated journal replay, so this only skips on a
+        // corrupt spill the journal layer already refused.
+        if let Some(r) = decode_record(payload) {
+            self.tally.add(r.effect);
+            self.fpm.add(r.fpm);
+            let k = FaultModel::ALL
+                .iter()
+                .position(|&m| m == r.model)
+                .expect("every record model is in FaultModel::ALL");
+            let slot = &mut self.per_model[k];
+            slot.0.add(r.effect);
+            slot.1.add(r.fpm);
+            slot.2 += 1;
+        }
+    }
+
+    fn finish(self) -> (Tally, FpmDist, Vec<(FaultModel, Tally, FpmDist)>) {
+        let per_model = FaultModel::ALL
+            .into_iter()
+            .zip(self.per_model)
+            .filter(|(_, (_, _, n))| *n > 0)
+            .map(|(m, (t, f, _))| (m, t, f))
+            .collect();
+        (self.tally, self.fpm, per_model)
+    }
+}
+
+/// Streaming, bounded-memory counterpart of the whole `avf_campaign_*`
+/// family: one entry point dispatching exactly like the CLI. A
+/// single-model sampled campaign keeps [`avf_campaign_resumable`]'s
+/// journal fingerprint bit-for-bit (no plan suffix); a single-model
+/// pruned campaign keeps [`avf_campaign_resumable_planned`]'s (plan
+/// suffix + class-table metadata); multi-model or exhaustive campaigns
+/// keep [`avf_campaign_models_resumable`]'s — so streamed and legacy
+/// runs can kill-and-resume each other's journals.
+///
+/// Records are never collected: each settled site flows worker →
+/// bounded sink channel → journal append (when `journal` is given) →
+/// optional spill file → the tally fold. A full channel blocks the
+/// workers (backpressure), so peak memory is bounded by
+/// [`StreamOpts::channel_cap`] regardless of campaign size.
+///
+/// # Errors
+///
+/// Any [`JournalError`] (journaled runs: see
+/// [`avf_campaign_models_resumable`]); spill-file I/O errors otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn avf_campaign_models_streamed(
+    prep: &Prepared,
+    structure: HwStructure,
+    plan: &InjectionPlan,
+    models: &[FaultModel],
+    threads: usize,
+    journal: Option<&JournalOpts<'_>>,
+    stream: StreamOpts<'_>,
+    metrics: Option<&CampaignMetrics>,
+) -> Result<(AvfStreamed, Option<PruneStats>), JournalError> {
+    let bits = structure.bits(&prep.cfg);
+    let models = canonical_models(models, structure);
+    let sites = plan_model_sites(prep, structure, plan, &models);
+    let order = sched::sort_order_by(&sites, |s| s.cycle);
+    let legacy =
+        models == [FaultModel::BitFlip] && !matches!(plan, InjectionPlan::Exhaustive { .. });
+    // Same pruner decisions as the legacy trio: a legacy campaign prunes
+    // only under an explicitly pruned plan; the model-aware engine also
+    // prunes exhaustive sweeps (that is what keeps them tractable).
+    let use_pruner = if legacy {
+        plan.is_pruned()
+    } else {
+        !matches!(plan, InjectionPlan::Sampled { .. })
+    };
+    let pruner = use_pruner.then(|| Pruner::new(prep, structure));
+    let runner = |_: usize, s: &ModelSite| match &pruner {
+        Some(p) => p.run_site_model(s.cycle, s.bit, s.model, metrics),
+        None => {
+            run_one_inner(
+                prep,
+                structure,
+                s.cycle,
+                s.bit,
+                s.model,
+                InjectEngine::Checkpointed,
+                None,
+                metrics,
+            )
+            .0
+        }
+    };
+
+    let mut acc = TallyAccum::new();
+    let (quarantined, records, stats) = match journal {
+        Some(opts) => {
+            let fingerprint = if legacy && matches!(plan, InjectionPlan::Sampled { .. }) {
+                // The legacy sampled identity: no plan suffix.
+                let InjectionPlan::Sampled { n, seed } = *plan else {
+                    unreachable!("matched Sampled above")
+                };
+                avf_fingerprint(prep, structure, n, seed, opts.workload, &models)
+            } else {
+                let (seed, plan_detail) = match *plan {
+                    InjectionPlan::Exhaustive { cycle } => (0, format!("exhaustive@{cycle}")),
+                    InjectionPlan::Sampled { n: _, seed } => (seed, "sampled".to_string()),
+                    InjectionPlan::Pruned { n: _, seed } => (seed, "pruned".to_string()),
+                };
+                let mut f =
+                    avf_fingerprint(prep, structure, sites.len(), seed, opts.workload, &models);
+                f.params.push_str(&format!(";plan={plan_detail}"));
+                f
+            };
+            let meta: Vec<(String, String)> = pruner
+                .as_ref()
+                .map(|p| {
+                    vec![(
+                        "class-table".to_string(),
+                        format!("fnv={:016x}", p.table().digest()),
+                    )]
+                })
+                .unwrap_or_default();
+            let out = ResumableCampaign {
+                path: opts.path,
+                fingerprint,
+                mode: opts.mode,
+                items: &sites,
+                order: &order,
+                threads,
+                policy: opts.policy,
+                meta: &meta,
+            }
+            .run_streaming(
+                stream,
+                runner,
+                encode_record,
+                decode_record,
+                |_, payload| acc.add_payload(payload),
+                metrics,
+            )?;
+            (out.quarantined, out.records, out.stats)
+        }
+        None => {
+            let ((), summary) = sink::stream(
+                None,
+                stream,
+                |_, payload| acc.add_payload(payload),
+                |handle| {
+                    sched::map_ordered_metered(
+                        &sites,
+                        &order,
+                        threads,
+                        |i, s: &ModelSite| {
+                            handle.push_done(i as u64, encode_record(&runner(i, s)));
+                        },
+                        metrics,
+                    );
+                },
+            )?;
+            let stats = ResumeStats {
+                executed: sites.len(),
+                ..ResumeStats::default()
+            };
+            (summary.quarantined, summary.records, stats)
+        }
+    };
+    let (tally, fpm, per_model) = acc.finish();
+    Ok((
+        AvfStreamed {
+            structure,
+            bits,
+            tally,
+            fpm,
+            per_model,
+            records,
+            quarantined,
+            stats,
+        },
+        pruner.map(|p| p.stats()),
+    ))
 }
 
 #[cfg(test)]

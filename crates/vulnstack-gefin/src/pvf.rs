@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use vulnstack_core::effects::{FaultEffect, Tally};
 use vulnstack_core::journal::{fnv1a64, Fingerprint, JournalError, JournalOpts, ResumableCampaign};
 use vulnstack_core::sched::Quarantine;
+use vulnstack_core::sink::{self, RecordHandle, StreamOpts};
 use vulnstack_core::ResumeStats;
 use vulnstack_isa::fields::bits_of_class;
 use vulnstack_isa::{BitClass, Reg};
@@ -246,6 +247,115 @@ pub fn pvf_campaign_resumable(
         tally: resumed.records().into_iter().copied().collect(),
         quarantined: resumed.quarantined().into_iter().cloned().collect(),
         stats: resumed.stats,
+    })
+}
+
+/// Results of a streaming PVF campaign: the tally accumulated effect by
+/// effect in the sink fold, never a collected outcome vector.
+#[derive(Debug)]
+pub struct PvfStreamed {
+    /// Tally over the completed injections.
+    pub tally: Tally,
+    /// Sites whose every injection attempt panicked (journaled runs
+    /// only).
+    pub quarantined: Vec<Quarantine>,
+    /// Handle to the on-disk record stream, when
+    /// [`StreamOpts::spill`] was set.
+    pub records: Option<RecordHandle>,
+    /// Replay/execute accounting (all-executed for unjournaled runs).
+    pub stats: ResumeStats,
+}
+
+/// Streaming, bounded-memory [`pvf_campaign_metered`] /
+/// [`pvf_campaign_resumable`]: each settled injection flows through the
+/// bounded sink channel into the tally fold (and, with `journal`, the
+/// journal — same `gefin-pvf` fingerprint as the resumable path, so the
+/// two can kill-and-resume each other's journals).
+///
+/// # Errors
+///
+/// Any [`JournalError`] (journaled runs), or spill-file I/O errors.
+#[allow(clippy::too_many_arguments)]
+pub fn pvf_campaign_streamed(
+    prep: &FuncPrepared,
+    mode: PvfMode,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    journal: Option<&JournalOpts<'_>>,
+    stream: StreamOpts<'_>,
+    metrics: Option<&vulnstack_core::trace::CampaignMetrics>,
+) -> Result<PvfStreamed, JournalError> {
+    let indices: Vec<usize> = (0..n).collect();
+    let order: Vec<usize> = (0..n).collect();
+    let encode = |e: &FaultEffect| e.name().to_string();
+    let mut tally = Tally::default();
+    let mut fold = |_: u64, payload: &str| {
+        if let Some(e) = FaultEffect::from_name(payload) {
+            tally.add(e);
+        }
+    };
+    let (quarantined, records, stats) = match journal {
+        Some(opts) => {
+            let fingerprint = Fingerprint {
+                engine: "gefin-pvf".to_string(),
+                workload: opts.workload.to_string(),
+                config: prep.isa.name().to_string(),
+                structure: "-".to_string(),
+                seed,
+                samples: n as u64,
+                params: format!(
+                    "mode={};golden_instrs={};output={:016x}",
+                    mode.name(),
+                    prep.golden.instrs,
+                    fnv1a64(&prep.expected_output)
+                ),
+                version: crate::avf::RECORD_VERSION,
+            };
+            let out = ResumableCampaign {
+                path: opts.path,
+                fingerprint,
+                mode: opts.mode,
+                items: &indices,
+                order: &order,
+                threads,
+                policy: opts.policy,
+                meta: &[],
+            }
+            .run_streaming(
+                stream,
+                |_, &i| run_indexed(prep, mode, seed, i),
+                encode,
+                FaultEffect::from_name,
+                &mut fold,
+                metrics,
+            )?;
+            (out.quarantined, out.records, out.stats)
+        }
+        None => {
+            let ((), summary) = sink::stream(None, stream, &mut fold, |handle| {
+                vulnstack_core::sched::map_ordered_metered(
+                    &indices,
+                    &order,
+                    threads,
+                    |i, &k: &usize| {
+                        handle.push_done(i as u64, encode(&run_indexed(prep, mode, seed, k)));
+                    },
+                    metrics,
+                );
+            })?;
+            let stats = ResumeStats {
+                executed: n,
+                ..ResumeStats::default()
+            };
+            (summary.quarantined, summary.records, stats)
+        }
+    };
+    Ok(PvfStreamed {
+        tally,
+        quarantined,
+        records,
+        stats,
     })
 }
 

@@ -11,6 +11,7 @@ use rand::{Rng, SeedableRng};
 use vulnstack_core::effects::Tally;
 use vulnstack_core::journal::{fnv1a64, Fingerprint, JournalError, JournalOpts, ResumableCampaign};
 use vulnstack_core::sched::{self, Quarantine};
+use vulnstack_core::sink::{self, RecordHandle, StreamOpts};
 use vulnstack_core::stack::FpmDist;
 use vulnstack_core::trace::CampaignMetrics;
 use vulnstack_core::ResumeStats;
@@ -72,8 +73,7 @@ pub fn temporal_campaign_metered(
     metrics: Option<&CampaignMetrics>,
 ) -> TemporalProfile {
     let (bounds, sites) = draw_windowed_sites(prep, structure, windows, per_window, seed);
-    let cycles: Vec<u64> = sites.iter().map(|&(_, c, _)| c).collect();
-    let order = sched::sort_order_by_key(&cycles);
+    let order = sched::sort_order_by(&sites, |&(_, c, _)| c);
     let records = sched::map_ordered_metered(
         &sites,
         &order,
@@ -125,8 +125,7 @@ pub fn temporal_campaign_pruned(
     metrics: Option<&CampaignMetrics>,
 ) -> (TemporalProfile, PruneStats) {
     let (bounds, sites) = draw_windowed_sites(prep, structure, windows, per_window, seed);
-    let cycles: Vec<u64> = sites.iter().map(|&(_, c, _)| c).collect();
-    let order = sched::sort_order_by_key(&cycles);
+    let order = sched::sort_order_by(&sites, |&(_, c, _)| c);
     let pruner = Pruner::new(prep, structure);
     let records = sched::map_ordered_metered(
         &sites,
@@ -294,8 +293,7 @@ fn temporal_resumable_inner(
     pruner: Option<&Pruner<'_>>,
 ) -> Result<TemporalResumed, JournalError> {
     let (bounds, sites) = draw_windowed_sites(prep, structure, windows, per_window, seed);
-    let cycles: Vec<u64> = sites.iter().map(|&(_, c, _)| c).collect();
-    let order = sched::sort_order_by_key(&cycles);
+    let order = sched::sort_order_by(&sites, |&(_, c, _)| c);
     let plan_suffix = if pruner.is_some() { ";plan=pruned" } else { "" };
     let fingerprint = Fingerprint {
         engine: "gefin-sweep".to_string(),
@@ -370,6 +368,160 @@ fn temporal_resumable_inner(
         quarantined: resumed.quarantined().into_iter().cloned().collect(),
         stats: resumed.stats,
     })
+}
+
+/// Results of a streaming temporal sweep: per-window tallies
+/// accumulated record-by-record in the sink fold; the record stream
+/// lives on disk (when a spill file was requested), never in RAM.
+#[derive(Debug)]
+pub struct TemporalStreamed {
+    /// Per-window profile over the completed records.
+    pub profile: TemporalProfile,
+    /// Sites whose every injection attempt panicked (journaled runs
+    /// only; the unjournaled path propagates panics like
+    /// [`temporal_campaign`]).
+    pub quarantined: Vec<Quarantine>,
+    /// Handle to the on-disk record stream, when
+    /// [`StreamOpts::spill`] was set.
+    pub records: Option<RecordHandle>,
+    /// Replay/execute accounting (all-executed for unjournaled runs).
+    pub stats: ResumeStats,
+}
+
+/// Streaming, bounded-memory temporal sweep: the per-window tallies are
+/// folded one record at a time as sites settle (a record's window is
+/// its campaign index over `per_window`, as in the resumable sweep), so
+/// peak memory is bounded by the sink channel regardless of `windows ×
+/// per_window`. With `journal` the fingerprint matches
+/// [`temporal_campaign_resumable`] (or its pruned variant when `pruned`)
+/// bit-for-bit, so streamed and legacy sweeps can kill-and-resume each
+/// other's journals.
+///
+/// # Errors
+///
+/// Any [`JournalError`] (journaled runs), or spill-file I/O errors.
+#[allow(clippy::too_many_arguments)]
+pub fn temporal_campaign_streamed(
+    prep: &Prepared,
+    structure: HwStructure,
+    windows: usize,
+    per_window: usize,
+    seed: u64,
+    threads: usize,
+    pruned: bool,
+    journal: Option<&JournalOpts<'_>>,
+    stream: StreamOpts<'_>,
+    metrics: Option<&CampaignMetrics>,
+) -> Result<(TemporalStreamed, Option<PruneStats>), JournalError> {
+    let (bounds, sites) = draw_windowed_sites(prep, structure, windows, per_window, seed);
+    let order = sched::sort_order_by(&sites, |&(_, c, _)| c);
+    let pruner = pruned.then(|| Pruner::new(prep, structure));
+    let runner = |_: usize, &(_, cycle, bit): &(usize, u64, u64)| match &pruner {
+        Some(p) => p.run_site(cycle, bit, metrics),
+        None => {
+            run_one_inner(
+                prep,
+                structure,
+                cycle,
+                bit,
+                FaultModel::BitFlip,
+                InjectEngine::Checkpointed,
+                None,
+                metrics,
+            )
+            .0
+        }
+    };
+
+    let mut tallies = vec![Tally::default(); windows];
+    let mut fpms = vec![FpmDist::new(); windows];
+    let mut fold = |index: u64, payload: &str| {
+        if let Some(rec) = decode_record(payload) {
+            let w = (index as usize / per_window.max(1)).min(windows.saturating_sub(1));
+            tallies[w].add(rec.effect);
+            fpms[w].add(rec.fpm);
+        }
+    };
+
+    let (quarantined, records, stats) = match journal {
+        Some(opts) => {
+            let plan_suffix = if pruned { ";plan=pruned" } else { "" };
+            let fingerprint = Fingerprint {
+                engine: "gefin-sweep".to_string(),
+                workload: opts.workload.to_string(),
+                config: prep.cfg.model.name().to_string(),
+                structure: structure.name().to_string(),
+                seed,
+                samples: sites.len() as u64,
+                params: format!(
+                    "windows={windows};per_window={per_window};golden_cycles={};output={:016x}{plan_suffix}",
+                    prep.golden.cycles,
+                    fnv1a64(&prep.expected_output)
+                ),
+                version: RECORD_VERSION,
+            };
+            let meta: Vec<(String, String)> = pruner
+                .as_ref()
+                .map(|p| {
+                    vec![(
+                        "class-table".to_string(),
+                        format!("fnv={:016x}", p.table().digest()),
+                    )]
+                })
+                .unwrap_or_default();
+            let out = ResumableCampaign {
+                path: opts.path,
+                fingerprint,
+                mode: opts.mode,
+                items: &sites,
+                order: &order,
+                threads,
+                policy: opts.policy,
+                meta: &meta,
+            }
+            .run_streaming(
+                stream,
+                runner,
+                encode_record,
+                decode_record,
+                &mut fold,
+                metrics,
+            )?;
+            (out.quarantined, out.records, out.stats)
+        }
+        None => {
+            let ((), summary) = sink::stream(None, stream, &mut fold, |handle| {
+                sched::map_ordered_metered(
+                    &sites,
+                    &order,
+                    threads,
+                    |i, s: &(usize, u64, u64)| {
+                        handle.push_done(i as u64, encode_record(&runner(i, s)));
+                    },
+                    metrics,
+                );
+            })?;
+            let stats = ResumeStats {
+                executed: sites.len(),
+                ..ResumeStats::default()
+            };
+            (summary.quarantined, summary.records, stats)
+        }
+    };
+    Ok((
+        TemporalStreamed {
+            profile: TemporalProfile {
+                structure,
+                bounds,
+                tallies,
+                fpms,
+            },
+            quarantined,
+            records,
+            stats,
+        },
+        pruner.map(|p| p.stats()),
+    ))
 }
 
 #[cfg(test)]

@@ -418,6 +418,123 @@ pub fn svf_campaign_resumable(
     })
 }
 
+/// Results of a streaming SVF campaign: the tally accumulated effect by
+/// effect in the sink fold, never a collected outcome vector.
+#[derive(Debug)]
+pub struct SvfStreamed {
+    /// Tally over the completed injections.
+    pub tally: Tally,
+    /// Sites whose every injection attempt panicked (journaled runs
+    /// only).
+    pub quarantined: Vec<vulnstack_core::sched::Quarantine>,
+    /// Handle to the on-disk record stream, when a spill file was
+    /// requested.
+    pub records: Option<vulnstack_core::RecordHandle>,
+    /// Replay/execute accounting (all-executed for unjournaled runs).
+    pub stats: vulnstack_core::ResumeStats,
+}
+
+/// Streaming, bounded-memory [`svf_campaign_metered`] /
+/// [`svf_campaign_resumable`]: each settled injection flows through the
+/// bounded sink channel (`vulnstack_core::sink`) into the tally fold —
+/// and, with `journal`, into the journal under the exact `llfi-svf`
+/// fingerprint of the resumable path, so streamed and legacy campaigns
+/// can kill-and-resume each other's journals.
+///
+/// # Errors
+///
+/// Any [`vulnstack_core::JournalError`] (journaled runs), or spill-file
+/// I/O errors.
+#[allow(clippy::too_many_arguments)]
+pub fn svf_campaign_streamed(
+    module: &Module,
+    input: &[u8],
+    expected_output: &[u8],
+    n: usize,
+    seed: u64,
+    threads: usize,
+    journal: Option<&vulnstack_core::JournalOpts<'_>>,
+    stream: vulnstack_core::StreamOpts<'_>,
+    metrics: Option<&vulnstack_core::trace::CampaignMetrics>,
+) -> Result<SvfStreamed, vulnstack_core::JournalError> {
+    let golden = golden_run(module, input);
+    debug_assert_eq!(golden.output, expected_output, "golden output mismatch");
+    let faults = draw_faults(&golden, n, seed);
+    let order: Vec<usize> = (0..faults.len()).collect();
+    let encode = |e: &FaultEffect| e.name().to_string();
+    let mut tally = Tally::default();
+    let mut fold = |_: u64, payload: &str| {
+        if let Some(e) = FaultEffect::from_name(payload) {
+            tally.add(e);
+        }
+    };
+    let (quarantined, records, stats) = match journal {
+        Some(opts) => {
+            let fingerprint = vulnstack_core::Fingerprint {
+                engine: "llfi-svf".to_string(),
+                workload: opts.workload.to_string(),
+                config: "vir".to_string(),
+                structure: "-".to_string(),
+                seed,
+                samples: n as u64,
+                params: format!(
+                    "injectable={};output={:016x};models={}",
+                    golden.injectable,
+                    vulnstack_core::journal::fnv1a64(&golden.output),
+                    FaultModel::BitFlip.name(),
+                ),
+                version: 2,
+            };
+            let out = vulnstack_core::ResumableCampaign {
+                path: opts.path,
+                fingerprint,
+                mode: opts.mode,
+                items: &faults,
+                order: &order,
+                threads,
+                policy: opts.policy,
+                meta: &[],
+            }
+            .run_streaming(
+                stream,
+                |_, &f| run_one_metered(module, input, &golden, f, metrics),
+                encode,
+                FaultEffect::from_name,
+                &mut fold,
+                metrics,
+            )?;
+            (out.quarantined, out.records, out.stats)
+        }
+        None => {
+            let ((), summary) = vulnstack_core::sink::stream(None, stream, &mut fold, |handle| {
+                vulnstack_core::sched::map_ordered_metered(
+                    &faults,
+                    &order,
+                    threads,
+                    |i, &f| {
+                        handle.push_done(
+                            i as u64,
+                            encode(&run_one_metered(module, input, &golden, f, metrics)),
+                        );
+                    },
+                    metrics,
+                );
+            })?;
+            let stats = vulnstack_core::ResumeStats {
+                executed: n,
+                ..vulnstack_core::ResumeStats::default()
+            };
+            (summary.quarantined, summary.records, stats)
+        }
+    };
+    Ok(SvfStreamed {
+        tally,
+        quarantined,
+        records,
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

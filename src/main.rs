@@ -19,12 +19,10 @@ use std::process::ExitCode;
 
 use vulnstack_compiler::{compile, CompileOpts};
 use vulnstack_core::report::{pct, pct2, Table};
-use vulnstack_core::{FpmDist, JournalOpts, ResumeMode, ResumeStats, RunPolicy, Tally};
+use vulnstack_core::{FpmDist, JournalOpts, ResumeMode, ResumeStats, RunPolicy, StreamOpts, Tally};
 use vulnstack_gefin::{
-    avf_campaign, avf_campaign_models, avf_campaign_models_resumable, avf_campaign_planned,
-    avf_campaign_resumable, avf_campaign_resumable_planned, default_threads, per_model_tallies,
-    pvf_campaign, pvf_campaign_resumable, FuncPrepared, InjectionPlan, Prepared, PruneStats,
-    PvfMode,
+    avf_campaign_models_streamed, default_threads, pvf_campaign_streamed, FuncPrepared,
+    InjectionPlan, Prepared, PruneStats, PvfMode,
 };
 use vulnstack_isa::Isa;
 use vulnstack_microarch::ooo::HwStructure;
@@ -518,89 +516,32 @@ fn run(args: &[String]) -> Result<(), String> {
             ]);
             let models = opts.models()?;
             let plan = opts.plan(faults, seed, prep.golden.cycles / 2)?;
-            // The single-model sampled/pruned paths keep the legacy
-            // entry points (and their journal fingerprints) bit-for-bit;
-            // multi-model or exhaustive campaigns go through the
-            // model-aware engine.
+            // Single-model sampled/pruned campaigns print the legacy
+            // single-table report; multi-model or exhaustive campaigns
+            // add per-model tables. Either way every campaign streams
+            // through the bounded sink (records never collect in RAM),
+            // and the streamed engine keeps the legacy journal
+            // fingerprints bit-for-bit.
             let legacy = models == [FaultModel::BitFlip]
                 && !matches!(plan, InjectionPlan::Exhaustive { .. });
             let mut resume_report: Option<(ResumeStats, Vec<vulnstack_core::Quarantine>)> = None;
             let mut prune_report: Vec<(&'static str, PruneStats)> = Vec::new();
             let mut model_report: Vec<ModelReport> = Vec::new();
             for st in structures {
-                let r = match (&journal, legacy) {
-                    (Some(jopts), true) => match plan {
-                        InjectionPlan::Sampled { .. } => {
-                            let out = avf_campaign_resumable(
-                                &prep,
-                                st,
-                                faults,
-                                seed,
-                                default_threads(),
-                                jopts,
-                                None,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            resume_report = Some((out.stats, out.quarantined));
-                            out.result
-                        }
-                        _ => {
-                            let (out, stats) = avf_campaign_resumable_planned(
-                                &prep,
-                                st,
-                                &plan,
-                                default_threads(),
-                                jopts,
-                                None,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            resume_report = Some((out.stats, out.quarantined));
-                            if let Some(s) = stats {
-                                prune_report.push((st.name(), s));
-                            }
-                            out.result
-                        }
-                    },
-                    (None, true) => match plan {
-                        InjectionPlan::Sampled { .. } => {
-                            avf_campaign(&prep, st, faults, seed, default_threads())
-                        }
-                        _ => {
-                            let (out, stats) =
-                                avf_campaign_planned(&prep, st, &plan, default_threads(), None);
-                            if let Some(s) = stats {
-                                prune_report.push((st.name(), s));
-                            }
-                            out
-                        }
-                    },
-                    (Some(jopts), false) => {
-                        let (out, stats) = avf_campaign_models_resumable(
-                            &prep,
-                            st,
-                            &plan,
-                            &models,
-                            default_threads(),
-                            jopts,
-                            None,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        resume_report = Some((out.stats, out.quarantined));
-                        if let Some(s) = stats {
-                            prune_report.push((st.name(), s));
-                        }
-                        out.result
-                    }
-                    (None, false) => {
-                        let (out, stats) =
-                            avf_campaign_models(&prep, st, &plan, &models, default_threads(), None);
-                        if let Some(s) = stats {
-                            prune_report.push((st.name(), s));
-                        }
-                        out
-                    }
-                };
-                model_report.push((st.name(), per_model_tallies(&r.records)));
+                let (r, stats) = avf_campaign_models_streamed(
+                    &prep,
+                    st,
+                    &plan,
+                    &models,
+                    default_threads(),
+                    journal.as_ref(),
+                    StreamOpts::from_env(),
+                    None,
+                )
+                .map_err(|e| e.to_string())?;
+                if let Some(s) = stats {
+                    prune_report.push((st.name(), s));
+                }
                 t.row(&[
                     st.name().into(),
                     r.bits.to_string(),
@@ -611,6 +552,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     pct2(r.avf().total()),
                     pct(r.hvf()),
                 ]);
+                if journal.is_some() {
+                    resume_report = Some((r.stats, r.quarantined));
+                }
+                model_report.push((st.name(), r.per_model));
             }
             println!("{}", t.render());
             if !legacy {
@@ -686,24 +631,22 @@ fn run(args: &[String]) -> Result<(), String> {
                 other => return Err(format!("unknown mode {other}")),
             };
             let prep = FuncPrepared::new(&w, isa).map_err(|e| e.to_string())?;
-            let tally = match opts.journal(&label)? {
-                Some(jopts) => {
-                    let out = pvf_campaign_resumable(
-                        &prep,
-                        mode,
-                        faults,
-                        seed,
-                        default_threads(),
-                        &jopts,
-                        None,
-                    )
-                    .map_err(|e| e.to_string())?;
-                    report_resume(jopts.path, &out.stats, &out.quarantined);
-                    out.tally
-                }
-                None => pvf_campaign(&prep, mode, faults, seed, default_threads()),
-            };
-            let vf = tally.vf();
+            let journal = opts.journal(&label)?;
+            let out = pvf_campaign_streamed(
+                &prep,
+                mode,
+                faults,
+                seed,
+                default_threads(),
+                journal.as_ref(),
+                StreamOpts::from_env(),
+                None,
+            )
+            .map_err(|e| e.to_string())?;
+            if let Some(jopts) = &journal {
+                report_resume(jopts.path, &out.stats, &out.quarantined);
+            }
+            let vf = out.tally.vf();
             println!(
                 "{name} PVF[{mode}] on {isa}: SDC {} Crash {} detected {} total {}",
                 pct(vf.sdc),
@@ -744,32 +687,22 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 println!("{}", t.render());
             } else {
-                let tally = match &journal {
-                    Some(jopts) => {
-                        let out = vulnstack_llfi::svf_campaign_resumable(
-                            &w.module,
-                            &w.input,
-                            &w.expected_output,
-                            faults,
-                            seed,
-                            default_threads(),
-                            jopts,
-                            None,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        report_resume(jopts.path, &out.stats, &out.quarantined);
-                        out.tally
-                    }
-                    None => vulnstack_llfi::svf_campaign(
-                        &w.module,
-                        &w.input,
-                        &w.expected_output,
-                        faults,
-                        seed,
-                        default_threads(),
-                    ),
-                };
-                let vf = tally.vf();
+                let out = vulnstack_llfi::svf_campaign_streamed(
+                    &w.module,
+                    &w.input,
+                    &w.expected_output,
+                    faults,
+                    seed,
+                    default_threads(),
+                    journal.as_ref(),
+                    StreamOpts::from_env(),
+                    None,
+                )
+                .map_err(|e| e.to_string())?;
+                if let Some(jopts) = &journal {
+                    report_resume(jopts.path, &out.stats, &out.quarantined);
+                }
+                let vf = out.tally.vf();
                 println!(
                     "{name} SVF: SDC {} Crash {} detected {} total {}",
                     pct(vf.sdc),

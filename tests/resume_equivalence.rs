@@ -11,15 +11,17 @@
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
-use vulnstack_core::journal::fnv1a64;
+use vulnstack_core::journal::{fnv1a64, Journal};
 use vulnstack_core::{
     FaultEffect, Fingerprint, JournalError, JournalOpts, ResumableCampaign, ResumeMode, RunPolicy,
+    StreamOpts,
 };
 use vulnstack_gefin::{
-    avf_campaign, avf_campaign_models, avf_campaign_models_resumable, avf_campaign_resumable,
-    decode_record, draw_sites, encode_record, InjectionPlan, InjectionRecord, Prepared,
+    avf_campaign, avf_campaign_models, avf_campaign_models_resumable, avf_campaign_models_streamed,
+    avf_campaign_resumable, decode_record, draw_sites, encode_record, InjectionPlan,
+    InjectionRecord, Prepared,
 };
-use vulnstack_llfi::{svf_campaign, svf_campaign_resumable};
+use vulnstack_llfi::{svf_campaign, svf_campaign_resumable, svf_campaign_streamed};
 use vulnstack_microarch::ooo::{Fpm, HwStructure};
 use vulnstack_microarch::{CoreModel, FaultModel};
 use vulnstack_workloads::{Workload, WorkloadId};
@@ -516,6 +518,248 @@ fn record_codec_round_trips_over_every_model() {
     assert_eq!(decode_record(line.rsplit_once(',').unwrap().0), None);
     assert_eq!(decode_record(&format!("{line},extra")), None);
     assert_eq!(decode_record("5,6,Sdc,WD,9,gamma-ray"), None);
+}
+
+/// The streamed engines keep the legacy journal fingerprints and record
+/// encodings bit-for-bit: a journal written by the streaming sink is
+/// byte-interchangeable with a legacy-written one (header included), so
+/// either path can kill-and-resume the other's campaigns.
+#[test]
+fn streamed_journals_are_byte_interchangeable_with_legacy_journals() {
+    let prep = prep();
+    let plan = InjectionPlan::Sampled { n: N, seed: SEED };
+
+    // Legacy writer, then the streamed engine writes the same campaign.
+    let legacy_path = tmp("interop-legacy.journal");
+    let _ = std::fs::remove_file(&legacy_path);
+    let legacy = avf_campaign_resumable(
+        prep,
+        STRUCTURE,
+        N,
+        SEED,
+        4,
+        &opts(&legacy_path, ResumeMode::Fresh),
+        None,
+    )
+    .unwrap();
+    let streamed_path = tmp("interop-streamed.journal");
+    let _ = std::fs::remove_file(&streamed_path);
+    let (out, _) = avf_campaign_models_streamed(
+        prep,
+        STRUCTURE,
+        &plan,
+        &[FaultModel::BitFlip],
+        4,
+        Some(&opts(&streamed_path, ResumeMode::Fresh)),
+        StreamOpts::from_env(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(out.tally, legacy.result.tally);
+    assert_eq!(out.stats.executed, N);
+
+    // Same header line (the fingerprint), same sorted entry set.
+    let header = |p: &Path| {
+        std::fs::read_to_string(p)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(
+        header(&streamed_path),
+        header(&legacy_path),
+        "streamed and legacy fingerprints must be identical"
+    );
+    assert_eq!(sorted_entries(&streamed_path), sorted_entries(&legacy_path));
+
+    // Cross-resume both ways: each engine replays the other's journal
+    // fully, executing nothing.
+    let resumed_legacy = avf_campaign_resumable(
+        prep,
+        STRUCTURE,
+        N,
+        SEED,
+        2,
+        &opts(&streamed_path, ResumeMode::ResumeRequired),
+        None,
+    )
+    .unwrap();
+    assert_eq!(resumed_legacy.stats.replayed, N);
+    assert_eq!(resumed_legacy.stats.executed, 0);
+    assert_eq!(resumed_legacy.result.records, legacy.result.records);
+    let (resumed_streamed, _) = avf_campaign_models_streamed(
+        prep,
+        STRUCTURE,
+        &plan,
+        &[FaultModel::BitFlip],
+        2,
+        Some(&opts(&legacy_path, ResumeMode::ResumeRequired)),
+        StreamOpts::from_env(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(resumed_streamed.stats.replayed, N);
+    assert_eq!(resumed_streamed.stats.executed, 0);
+    assert_eq!(resumed_streamed.tally, legacy.result.tally);
+    let _ = std::fs::remove_file(&legacy_path);
+    let _ = std::fs::remove_file(&streamed_path);
+}
+
+/// Kill-and-resume through the streaming sink: interrupting a streamed
+/// journal mid-campaign (torn tail included) and resuming — through a
+/// capacity-1 channel, maximum backpressure — reproduces the
+/// uninterrupted journal exactly.
+#[test]
+fn streamed_kill_and_resume_reproduces_the_uninterrupted_journal() {
+    let prep = prep();
+    let plan = InjectionPlan::Sampled { n: N, seed: SEED };
+    let baseline = avf_campaign(prep, STRUCTURE, N, SEED, 4);
+
+    let full = tmp("streamed-full.journal");
+    let _ = std::fs::remove_file(&full);
+    let (out, _) = avf_campaign_models_streamed(
+        prep,
+        STRUCTURE,
+        &plan,
+        &[FaultModel::BitFlip],
+        4,
+        Some(&opts(&full, ResumeMode::Fresh)),
+        StreamOpts::from_env(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(out.tally, baseline.tally);
+
+    for threads in [2, 4] {
+        let path = tmp(&format!("streamed-killed-t{threads}.journal"));
+        interrupt_journal(&full, &path, 9);
+        let (resumed, _) = avf_campaign_models_streamed(
+            prep,
+            STRUCTURE,
+            &plan,
+            &[FaultModel::BitFlip],
+            threads,
+            Some(&opts(&path, ResumeMode::ResumeRequired)),
+            StreamOpts {
+                channel_cap: 1,
+                spill: None,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed.stats.replayed, 9, "threads={threads}");
+        assert_eq!(resumed.stats.executed, N - 9, "threads={threads}");
+        assert!(resumed.stats.truncated_bytes > 0);
+        assert_eq!(resumed.tally, baseline.tally, "threads={threads}");
+        assert_eq!(
+            sorted_entries(&path),
+            sorted_entries(&full),
+            "threads={threads}: the resumed journal must reproduce the uninterrupted one"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_file(&full);
+
+    // The software engine's streamed journal honours the same contract.
+    let w = crc32();
+    let n = 30;
+    let full = tmp("streamed-llfi-full.journal");
+    let _ = std::fs::remove_file(&full);
+    let base = svf_campaign(&w.module, &w.input, &w.expected_output, n, SEED, 4);
+    let out = svf_campaign_streamed(
+        &w.module,
+        &w.input,
+        &w.expected_output,
+        n,
+        SEED,
+        4,
+        Some(&opts(&full, ResumeMode::Fresh)),
+        StreamOpts::from_env(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(out.tally, base);
+    let path = tmp("streamed-llfi-killed.journal");
+    interrupt_journal(&full, &path, 11);
+    let resumed = svf_campaign_streamed(
+        &w.module,
+        &w.input,
+        &w.expected_output,
+        n,
+        SEED,
+        2,
+        Some(&opts(&path, ResumeMode::ResumeRequired)),
+        StreamOpts {
+            channel_cap: 1,
+            spill: None,
+        },
+        None,
+    )
+    .unwrap();
+    assert_eq!(resumed.tally, base);
+    assert_eq!(resumed.stats.replayed, 11);
+    assert_eq!(resumed.stats.executed, n - 11);
+    assert_eq!(sorted_entries(&path), sorted_entries(&full));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&full);
+}
+
+/// Group-commit durability regression: every appended record is written
+/// through to the file immediately (one `write` per line — the
+/// SIGKILL-survivable page-cache contract) even while the fsync is
+/// batched behind a large flush interval, quarantines force the flush,
+/// and a torn tail after un-fsynced appends still resumes cleanly.
+#[test]
+fn group_commit_batches_fsync_but_never_buffers_records() {
+    let path = tmp("group-commit.journal");
+    let _ = std::fs::remove_file(&path);
+    let fp = Fingerprint {
+        engine: "test-group-commit".to_string(),
+        workload: "crc32".to_string(),
+        config: "-".to_string(),
+        structure: "-".to_string(),
+        seed: 1,
+        samples: 64,
+        params: String::new(),
+        version: 1,
+    };
+    let journal = Journal::create(&path, &fp).unwrap();
+    // A flush interval far larger than the appends: none of the writes
+    // below are fsync-driven.
+    journal.set_flush_interval(1_000_000);
+    for i in 0..10u64 {
+        journal.append_done(i, &format!("payload-{i}")).unwrap();
+        // The line must be on the file (page cache) immediately after
+        // the append returns — records are never buffered in the writer.
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            content.lines().count(),
+            2 + i as usize,
+            "append {i} must be written through"
+        );
+        assert!(
+            content.contains(&format!("R|{i}|payload-{i}")),
+            "record {i} must be on the file before any fsync"
+        );
+    }
+    journal.append_quarantined(10, 2, "poison").unwrap();
+    journal.flush().unwrap();
+    drop(journal);
+
+    // A torn half-record after the group-committed lines truncates away
+    // on resume without touching the durable prefix.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(b"R|99|torn-half");
+    std::fs::write(&path, &bytes).unwrap();
+    let (_, replay) = Journal::resume(&path, &fp).unwrap();
+    assert_eq!(replay.entries.len(), 11);
+    assert_eq!(replay.truncated_bytes, b"R|99|torn-half".len() as u64);
+    for (i, e) in replay.entries.iter().take(10).enumerate() {
+        assert_eq!(e.index, i as u64);
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 /// The journal header binds the campaign to the golden run itself, not
