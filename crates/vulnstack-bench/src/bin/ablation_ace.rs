@@ -2,9 +2,9 @@
 //! register file and the LSQ (the paper's §II.A point that ACE analysis
 //! overestimates vulnerability, its reference \[34\]).
 
-use vulnstack_bench::{all_workloads, figure_header, master_seed, sub_seed};
+use vulnstack_bench::{all_workloads, figure_header, master_seed, prepare_or_die, sub_seed};
 use vulnstack_core::report::{pct, Table};
-use vulnstack_gefin::{ace_analysis, avf_campaign, default_faults, default_threads, Prepared};
+use vulnstack_gefin::{ace_analysis, avf_campaign, default_faults, default_threads};
 use vulnstack_microarch::ooo::HwStructure;
 use vulnstack_microarch::CoreModel;
 
@@ -28,7 +28,7 @@ fn main() {
     let mut pessimistic = 0;
     let mut total = 0;
     for w in all_workloads() {
-        let prep = Prepared::new(&w, CoreModel::A72).unwrap();
+        let prep = prepare_or_die(&w, CoreModel::A72);
         let ace = ace_analysis(&prep);
         let rf = avf_campaign(
             &prep,

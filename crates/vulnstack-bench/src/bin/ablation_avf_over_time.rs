@@ -2,9 +2,9 @@
 //! Context for the case studies: vulnerability is not uniform in time, and
 //! stretching execution (hardening) stretches the exposed windows.
 
-use vulnstack_bench::{figure_header, master_seed, sub_seed};
+use vulnstack_bench::{figure_header, master_seed, prepare_or_die, sub_seed};
 use vulnstack_core::report::{pct, Table};
-use vulnstack_gefin::{default_faults, default_threads, temporal_campaign, Prepared};
+use vulnstack_gefin::{default_faults, default_threads, temporal_campaign};
 use vulnstack_microarch::ooo::HwStructure;
 use vulnstack_microarch::CoreModel;
 use vulnstack_workloads::WorkloadId;
@@ -21,7 +21,7 @@ fn main() {
     let mut t = Table::new(&["bench", "structure", "Q1", "Q2", "Q3", "Q4", "Q5"]);
     for id in [WorkloadId::Sha, WorkloadId::Qsort, WorkloadId::Smooth] {
         let w = id.build();
-        let prep = Prepared::new(&w, CoreModel::A72).unwrap();
+        let prep = prepare_or_die(&w, CoreModel::A72);
         for st in [HwStructure::RegisterFile, HwStructure::L1d] {
             let p = temporal_campaign(
                 &prep,

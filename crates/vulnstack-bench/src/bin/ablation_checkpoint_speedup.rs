@@ -7,12 +7,11 @@
 
 use std::time::Instant;
 
-use vulnstack_bench::{figure_header, master_seed, sub_seed};
+use vulnstack_bench::{figure_header, master_seed, prepare_or_die, sub_seed};
 use vulnstack_core::report::Table;
 use vulnstack_core::trace::CampaignMetrics;
 use vulnstack_gefin::{
     avf_campaign_metered, avf_campaign_with, default_faults, default_threads, InjectEngine,
-    Prepared,
 };
 use vulnstack_microarch::ooo::HwStructure;
 use vulnstack_microarch::CoreModel;
@@ -33,7 +32,7 @@ fn main() {
     let w = id.build();
 
     let prep_start = Instant::now();
-    let prep = Prepared::new(&w, model).unwrap();
+    let prep = prepare_or_die(&w, model);
     let prep_secs = prep_start.elapsed().as_secs_f64();
     eprintln!(
         "  [{id}/{model}] golden = {} cycles, {} checkpoints every {} cycles \

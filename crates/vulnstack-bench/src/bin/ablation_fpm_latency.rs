@@ -4,9 +4,9 @@
 //! software visibility) and for why longer runs (the hardened case study)
 //! expose more state.
 
-use vulnstack_bench::{figure_header, master_seed, sub_seed};
+use vulnstack_bench::{figure_header, master_seed, prepare_or_die, sub_seed};
 use vulnstack_core::report::Table;
-use vulnstack_gefin::{avf_campaign, default_faults, default_threads, Prepared};
+use vulnstack_gefin::{avf_campaign, default_faults, default_threads};
 use vulnstack_microarch::ooo::HwStructure;
 use vulnstack_microarch::CoreModel;
 use vulnstack_workloads::WorkloadId;
@@ -29,7 +29,7 @@ fn main() {
     ]);
     for id in [WorkloadId::Sha, WorkloadId::Qsort, WorkloadId::Fft] {
         let w = id.build();
-        let prep = Prepared::new(&w, CoreModel::A72).unwrap();
+        let prep = prepare_or_die(&w, CoreModel::A72);
         for st in [
             HwStructure::RegisterFile,
             HwStructure::Lsq,

@@ -14,12 +14,10 @@
 
 use std::time::Instant;
 
-use vulnstack_bench::{figure_header, master_seed, sub_seed};
+use vulnstack_bench::{figure_header, master_seed, prepare_or_die, sub_seed};
 use vulnstack_core::report::Table;
 use vulnstack_core::trace::CampaignMetrics;
-use vulnstack_gefin::{
-    avf_campaign_planned, default_faults, default_threads, InjectionPlan, Prepared,
-};
+use vulnstack_gefin::{avf_campaign_planned, default_faults, default_threads, InjectionPlan};
 use vulnstack_microarch::ooo::HwStructure;
 use vulnstack_microarch::CoreModel;
 use vulnstack_workloads::WorkloadId;
@@ -36,7 +34,7 @@ fn main() {
     let w = id.build();
 
     let prep_start = Instant::now();
-    let prep = Prepared::new(&w, model).unwrap();
+    let prep = prepare_or_die(&w, model);
     let prep_secs = prep_start.elapsed().as_secs_f64();
     eprintln!(
         "  [{id}/{model}] golden = {} cycles, {} checkpoints every {} cycles \

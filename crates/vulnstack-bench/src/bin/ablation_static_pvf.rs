@@ -39,7 +39,10 @@ fn main() {
                 sub_seed(seed, &[id.name(), model.name(), "static"]),
                 default_threads(),
             )
-            .unwrap();
+            .unwrap_or_else(|e| {
+                eprintln!("error: static-vs-dynamic {}/{model}: {e}", id.name());
+                std::process::exit(1);
+            });
             let inj = cmp.injected_rf_avf.unwrap_or(0.0);
             if !cmp.ordering_holds(1.0) {
                 violations += 1;

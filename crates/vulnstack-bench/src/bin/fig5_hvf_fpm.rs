@@ -2,9 +2,9 @@
 //! WOI / ESC) for the register file, L1i, L1d and L2 on the two VA32
 //! models (A9, A15).
 
-use vulnstack_bench::{all_workloads, figure_header, master_seed, sub_seed};
+use vulnstack_bench::{all_workloads, figure_header, master_seed, prepare_or_die, sub_seed};
 use vulnstack_core::report::{pct, Table};
-use vulnstack_gefin::{avf_campaign, default_faults, default_threads, Prepared};
+use vulnstack_gefin::{avf_campaign, default_faults, default_threads};
 use vulnstack_microarch::ooo::{Fpm, HwStructure};
 use vulnstack_microarch::CoreModel;
 
@@ -27,7 +27,7 @@ fn main() {
         for st in structures {
             let mut t = Table::new(&["bench", "WD", "WI", "WOI", "ESC", "HVF"]);
             for w in all_workloads() {
-                let prep = Prepared::new(&w, model).unwrap();
+                let prep = prepare_or_die(&w, model);
                 let r = avf_campaign(
                     &prep,
                     st,

@@ -28,6 +28,17 @@ pub fn master_seed() -> u64 {
         .unwrap_or(2021)
 }
 
+/// Prepares a microarchitectural campaign or exits with a named error:
+/// `prepare qsort/A72: <cause>` on stderr and a nonzero exit code. The
+/// figure binaries run unattended inside `run_figures.sh`; a panic
+/// backtrace there buries which (workload, model) pair failed.
+pub fn prepare_or_die(w: &Workload, model: CoreModel) -> Prepared {
+    Prepared::new(w, model).unwrap_or_else(|e| {
+        eprintln!("error: prepare {}/{model}: {e}", w.id.name());
+        std::process::exit(1);
+    })
+}
+
 /// Derives a sub-seed for a named campaign.
 pub fn sub_seed(master: u64, parts: &[&str]) -> u64 {
     use std::hash::{Hash, Hasher};

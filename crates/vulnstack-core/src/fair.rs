@@ -1,0 +1,413 @@
+//! Fair-share execution slots for multi-tenant campaign serving.
+//!
+//! A daemon multiplexing many concurrent campaigns over one machine
+//! cannot let each campaign spawn its own full-width worker pool — ten
+//! tenants × sixteen threads oversubscribes every core and the longest
+//! campaign starves the rest. [`FairPool`] inverts control: there are
+//! exactly `slots` execution slots for the whole process, and a
+//! campaign's workers must *admit* through their [`Participant`] (a
+//! [`ClaimGate`]) before running each fault site. Admission is granted
+//! by **stride scheduling**: every participant carries a `pass` value
+//! advanced by `STRIDE_SCALE / weight` per grant, and a freed slot goes
+//! to the waiting participant with the smallest pass. The result is
+//! proportional-share fairness — a weight-4 tenant gets ~4× the slots of
+//! a weight-1 tenant while both are runnable — with no starvation: a
+//! waiting participant's pass never advances, so it eventually becomes
+//! the minimum.
+//!
+//! Cancellation rides the same gate: [`Participant::cancel`] makes every
+//! subsequent (or blocked) `admit` return [`Admission::Stop`], which
+//! ends the campaign's claim loops at the next site boundary; the
+//! journal keeps everything already settled, so a cancelled campaign is
+//! exactly a resumable one. [`FairPool::shutdown`] does the same for
+//! every participant at once.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::sched::{Admission, ClaimGate};
+
+/// Pass-space scale: one grant advances a participant's pass by
+/// `STRIDE_SCALE / weight`, so relative throughput is proportional to
+/// weight with integer arithmetic error below 1 part in `STRIDE_SCALE`.
+const STRIDE_SCALE: u64 = 1 << 20;
+
+/// A process-wide pool of fair-share execution slots.
+#[derive(Debug, Clone)]
+pub struct FairPool {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Slots currently free.
+    free: usize,
+    /// Total slots (so accounting can be asserted).
+    slots: usize,
+    /// Global virtual time: the pass of the most recent grant. New
+    /// participants join at this pass, so they neither monopolise the
+    /// pool (joining at 0 with old tenants far ahead) nor wait for
+    /// history they were not part of.
+    vtime: u64,
+    /// Pool-wide stop flag (daemon shutdown).
+    shutdown: bool,
+    next_id: u64,
+    parts: HashMap<u64, PartState>,
+}
+
+#[derive(Debug)]
+struct PartState {
+    weight: u32,
+    pass: u64,
+    shared: Arc<PartShared>,
+}
+
+/// Lock-free participant flags. `waiting` is raised **before** the
+/// state mutex is acquired: a worker stuck behind the lock (mutexes
+/// barge — a tight admit/release loop can re-acquire indefinitely ahead
+/// of a parked thread) still counts as waiting, so the barging thread
+/// sees a lower-pass waiter, parks in the condvar, and hands the lock
+/// over. Without this, one tenant in a tight loop starves every other
+/// tenant at the mutex itself, below the scheduler's visibility.
+#[derive(Debug, Default)]
+struct PartShared {
+    waiting: AtomicU32,
+    cancelled: AtomicBool,
+    /// Lifetime grant count. Lives here (not in [`PartState`]) so
+    /// status reporting still works after the participant retires.
+    grants: AtomicU64,
+}
+
+impl FairPool {
+    /// A pool with `slots` concurrent execution slots (min 1).
+    pub fn new(slots: usize) -> FairPool {
+        let slots = slots.max(1);
+        FairPool {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    free: slots,
+                    slots,
+                    vtime: 0,
+                    shutdown: false,
+                    next_id: 0,
+                    parts: HashMap::new(),
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Total slots.
+    pub fn slots(&self) -> usize {
+        self.inner.state.lock().expect("unpoisoned").slots
+    }
+
+    /// Registers a participant with the given scheduling `weight`
+    /// (min 1): while contended, its long-run slot share is
+    /// `weight / Σ weights of runnable participants`.
+    pub fn register(&self, weight: u32) -> Participant {
+        let mut st = self.inner.state.lock().expect("unpoisoned");
+        let id = st.next_id;
+        st.next_id += 1;
+        let pass = st.vtime;
+        let shared = Arc::new(PartShared::default());
+        st.parts.insert(
+            id,
+            PartState {
+                weight: weight.max(1),
+                pass,
+                shared: Arc::clone(&shared),
+            },
+        );
+        Participant {
+            inner: Arc::clone(&self.inner),
+            id,
+            shared,
+        }
+    }
+
+    /// Stops the pool: every blocked or future `admit` returns
+    /// [`Admission::Stop`]. In-flight sites finish and release their
+    /// slots normally.
+    pub fn shutdown(&self) {
+        let mut st = self.inner.state.lock().expect("unpoisoned");
+        st.shutdown = true;
+        self.inner.cv.notify_all();
+    }
+}
+
+/// One campaign's handle into the pool: a [`ClaimGate`] granting shared
+/// execution slots in stride-scheduled fair order. Clone it once per
+/// campaign run; retire it (or cancel it) when the campaign ends.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    inner: Arc<Inner>,
+    id: u64,
+    shared: Arc<PartShared>,
+}
+
+impl Participant {
+    /// Cancels the participant: every blocked or future `admit` returns
+    /// [`Admission::Stop`]. Idempotent.
+    pub fn cancel(&self) {
+        // Take the lock before notifying so a concurrent `admit` cannot
+        // check the flag and park between our store and our notify.
+        let _st = self.inner.state.lock().expect("unpoisoned");
+        self.shared.cancelled.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+    }
+
+    /// Whether [`Participant::cancel`] was called.
+    pub fn cancelled(&self) -> bool {
+        self.shared.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Slots granted to this participant so far. Keeps counting
+    /// after retirement — the daemon reports it in `status` for
+    /// finished campaigns.
+    pub fn grants(&self) -> u64 {
+        self.shared.grants.load(Ordering::SeqCst)
+    }
+
+    /// Removes the participant from the scheduler (its final state is
+    /// discarded). Any still-blocked `admit` returns `Stop`.
+    pub fn retire(&self) {
+        let mut st = self.inner.state.lock().expect("unpoisoned");
+        st.parts.remove(&self.id);
+        self.shared.cancelled.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+    }
+}
+
+impl ClaimGate for Participant {
+    fn admit(&self) -> Admission {
+        // Raise the waiting flag BEFORE taking the lock (see
+        // [`PartShared`]): a worker queued behind the mutex must already
+        // count as a waiter or a tight admit/release loop starves it at
+        // the lock itself.
+        self.shared.waiting.fetch_add(1, Ordering::SeqCst);
+        let mut st = self.inner.state.lock().expect("unpoisoned");
+        loop {
+            if st.shutdown || self.shared.cancelled.load(Ordering::SeqCst) {
+                self.shared.waiting.fetch_sub(1, Ordering::SeqCst);
+                return Admission::Stop;
+            }
+            if st.free > 0 {
+                // Grant goes to the waiting participant with the
+                // smallest (pass, id); only take the slot if that is us.
+                let min = st
+                    .parts
+                    .iter()
+                    .filter(|(_, p)| {
+                        p.shared.waiting.load(Ordering::SeqCst) > 0
+                            && !p.shared.cancelled.load(Ordering::SeqCst)
+                    })
+                    .map(|(&id, p)| (p.pass, id))
+                    .min();
+                if min == Some((st.parts[&self.id].pass, self.id)) {
+                    st.free -= 1;
+                    let vtime = st.parts[&self.id].pass;
+                    st.vtime = st.vtime.max(vtime);
+                    let p = st.parts.get_mut(&self.id).expect("present");
+                    p.pass += STRIDE_SCALE / u64::from(p.weight);
+                    self.shared.grants.fetch_add(1, Ordering::SeqCst);
+                    self.shared.waiting.fetch_sub(1, Ordering::SeqCst);
+                    // Another waiter may now be the minimum for the
+                    // remaining free slots.
+                    self.inner.cv.notify_all();
+                    return Admission::Run;
+                }
+            }
+            st = self.inner.cv.wait(st).expect("unpoisoned");
+        }
+    }
+
+    fn release(&self) {
+        let mut st = self.inner.state.lock().expect("unpoisoned");
+        debug_assert!(st.free < st.slots, "release without a matching admit");
+        st.free += 1;
+        self.inner.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    #[test]
+    fn single_participant_uses_every_slot() {
+        let pool = FairPool::new(2);
+        let p = pool.register(1);
+        for _ in 0..10 {
+            assert_eq!(p.admit(), Admission::Run);
+            p.release();
+        }
+        assert_eq!(p.grants(), 10);
+    }
+
+    #[test]
+    fn equal_weights_share_one_slot_without_starvation() {
+        let pool = FairPool::new(1);
+        let a = pool.register(1);
+        let b = pool.register(1);
+        let log = Mutex::new(Vec::new());
+        // Start barrier plus a sleep while holding the slot: a site that
+        // takes zero time never lets a single-CPU scheduler run the
+        // other tenant at all, which would test the OS, not the pool.
+        let start = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for (name, p) in [("a", &a), ("b", &b)] {
+                let (log, start) = (&log, &start);
+                s.spawn(move || {
+                    start.wait();
+                    for _ in 0..100 {
+                        assert_eq!(p.admit(), Admission::Run);
+                        log.lock().unwrap().push(name);
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        p.release();
+                    }
+                });
+            }
+        });
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.len(), 200);
+        // Fairness bound: while both are runnable, stride scheduling
+        // alternates, so the first half must contain plenty of each
+        // (generous margins absorb OS scheduling noise).
+        let head = &log[..100];
+        let a_head = head.iter().filter(|&&n| n == "a").count();
+        assert!(
+            (20..=80).contains(&a_head),
+            "one participant starved: a got {a_head}/100 early grants"
+        );
+    }
+
+    #[test]
+    fn weights_give_proportional_share() {
+        let pool = FairPool::new(1);
+        let high = pool.register(4);
+        let low = pool.register(1);
+        let stop = AtomicBool::new(false);
+        let (h, l) = (AtomicU64::new(0), AtomicU64::new(0));
+        // Two worker threads per tenant, like a real campaign's worker
+        // pool: the wait set then holds both tenants at every grant
+        // decision, so the stride weights — not release/re-admit timing
+        // — decide who runs.
+        let start = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            for (count, p) in [(&h, &high), (&h, &high), (&l, &low), (&l, &low)] {
+                let (stop, start) = (&stop, &start);
+                s.spawn(move || {
+                    start.wait();
+                    while !stop.load(Ordering::Relaxed) {
+                        if p.admit() != Admission::Run {
+                            break;
+                        }
+                        count.fetch_add(1, Ordering::Relaxed);
+                        // Hold the slot like a real injection site does,
+                        // so the other workers get scheduled and queued.
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                        p.release();
+                    }
+                });
+            }
+            // Let them contend for a fixed number of total grants, then
+            // stop all at once so the measured window is the contended
+            // one.
+            while h.load(Ordering::Relaxed) + l.load(Ordering::Relaxed) < 300 {
+                std::thread::yield_now();
+            }
+            stop.store(true, Ordering::Relaxed);
+            pool.shutdown();
+        });
+        let (h, l) = (h.load(Ordering::Relaxed), l.load(Ordering::Relaxed));
+        assert!(l > 10, "low-priority tenant starved: {l} grants vs {h}");
+        let ratio = h as f64 / l as f64;
+        assert!(
+            (2.0..=8.0).contains(&ratio),
+            "weight-4 vs weight-1 ratio {ratio:.2} outside [2, 8] ({h} vs {l})"
+        );
+    }
+
+    #[test]
+    fn cancel_unblocks_admit_with_stop() {
+        let pool = FairPool::new(1);
+        let runner = pool.register(1);
+        let blocked = pool.register(1);
+        assert_eq!(runner.admit(), Admission::Run); // hold the only slot
+        std::thread::scope(|s| {
+            let t = s.spawn(|| blocked.admit());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            blocked.cancel();
+            assert_eq!(t.join().unwrap(), Admission::Stop);
+        });
+        runner.release();
+        assert_eq!(blocked.admit(), Admission::Stop, "cancel is sticky");
+    }
+
+    #[test]
+    fn shutdown_stops_every_participant() {
+        let pool = FairPool::new(2);
+        let a = pool.register(1);
+        let b = pool.register(3);
+        pool.shutdown();
+        assert_eq!(a.admit(), Admission::Stop);
+        assert_eq!(b.admit(), Admission::Stop);
+    }
+
+    #[test]
+    fn retired_participant_stops_and_frees_its_state() {
+        let pool = FairPool::new(1);
+        let p = pool.register(1);
+        assert_eq!(p.admit(), Admission::Run);
+        p.release();
+        p.retire();
+        assert_eq!(p.admit(), Admission::Stop);
+        assert_eq!(p.grants(), 1, "the grant history survives retirement");
+    }
+
+    #[test]
+    fn late_joiner_is_not_locked_out_by_history() {
+        let pool = FairPool::new(1);
+        let old = pool.register(1);
+        for _ in 0..50 {
+            assert_eq!(old.admit(), Admission::Run);
+            old.release();
+        }
+        // A new tenant joins at the current virtual time: it must get
+        // roughly half the subsequent grants, not first refill 50
+        // grants of "debt" (that would starve `old`), and not be
+        // starved by `old`'s head start either.
+        let newcomer = pool.register(1);
+        let log = Mutex::new(Vec::new());
+        let start = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for (name, p) in [("old", &old), ("new", &newcomer)] {
+                let (log, start) = (&log, &start);
+                s.spawn(move || {
+                    start.wait();
+                    for _ in 0..60 {
+                        assert_eq!(p.admit(), Admission::Run);
+                        log.lock().unwrap().push(name);
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        p.release();
+                    }
+                });
+            }
+        });
+        let head = &log.into_inner().unwrap()[..60];
+        let newcount = head.iter().filter(|&&n| n == "new").count();
+        assert!(
+            (12..=48).contains(&newcount),
+            "late joiner got {newcount}/60 early grants"
+        );
+    }
+}

@@ -705,6 +705,10 @@ pub struct ResumeStats {
     pub truncated_bytes: u64,
     /// Complete-but-suspect lines discarded after the first bad line.
     pub dropped_lines: usize,
+    /// The run ended early because the admission gate returned `Stop`
+    /// (cancellation or pool shutdown); unfinished sites stay
+    /// un-journaled and a later resume picks them up.
+    pub stopped: bool,
 }
 
 /// Outcome of a resumable run: the merged per-site results (replayed +
@@ -896,6 +900,7 @@ impl<T: Sync> ResumableCampaign<'_, T> {
                 respawns: out.respawns,
                 truncated_bytes: replay.truncated_bytes,
                 dropped_lines: replay.dropped_lines,
+                stopped: false,
             },
         })
     }
@@ -960,6 +965,12 @@ impl<T: Sync> ResumableCampaign<'_, T> {
                         return Err(corrupt(format!("site {i}: undecodable record payload")));
                     }
                     fold(e.index, &payload);
+                    // Subscribers attached after a restart still see the
+                    // full stream: replayed records tee out exactly like
+                    // fresh ones.
+                    if let Some(t) = stream.tee {
+                        t(e.index, &payload);
+                    }
                 }
                 EntryKind::Quarantined { attempts, message } => {
                     quarantined.push(Quarantine {
@@ -975,6 +986,7 @@ impl<T: Sync> ResumableCampaign<'_, T> {
 
         let missing: Vec<usize> = self.order.iter().copied().filter(|&i| !have[i]).collect();
         let sub_order: Vec<usize> = (0..missing.len()).collect();
+        let gate = stream.gate;
         let (drive, summary) = sink::stream(Some(&journal), stream, fold, |handle| {
             sched::drive_ordered_resilient(
                 &missing,
@@ -992,13 +1004,17 @@ impl<T: Sync> ResumableCampaign<'_, T> {
                     }
                 },
                 metrics,
+                gate,
             )
         })?;
 
         quarantined.extend(summary.quarantined);
         // Sites lost to a worker failure settle as zero-attempt
         // quarantines and are deliberately NOT journaled — the next
-        // resume re-runs them, matching `run`'s semantics.
+        // resume re-runs them, matching `run`'s semantics. Sites the
+        // gate never admitted (`drive.unclaimed`) are NOT failures:
+        // they stay un-journaled and un-quarantined, exactly the state
+        // a later resume expects.
         for k in drive.lost {
             quarantined.push(Quarantine {
                 index: missing[k],
@@ -1010,11 +1026,12 @@ impl<T: Sync> ResumableCampaign<'_, T> {
         Ok(StreamedCampaign {
             stats: ResumeStats {
                 replayed,
-                executed: missing.len(),
+                executed: missing.len() - drive.unclaimed.len(),
                 quarantined: quarantined.len(),
                 respawns: drive.respawns,
                 truncated_bytes,
                 dropped_lines,
+                stopped: drive.stopped,
             },
             quarantined,
             records: summary.records,

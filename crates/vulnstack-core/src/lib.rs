@@ -27,6 +27,7 @@
 //! ```
 
 pub mod effects;
+pub mod fair;
 pub mod journal;
 pub mod memquota;
 pub mod pairs;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod trace;
 
 pub use effects::{FaultEffect, Tally, VulnFactor};
+pub use fair::{FairPool, Participant};
 // The runtime fault model lives beside the core it corrupts; re-exported
 // here so software-level engines (llfi) share one type without a direct
 // microarch dependency in their own code.
@@ -46,8 +48,8 @@ pub use journal::{
     ResumedCampaign, StreamedCampaign,
 };
 pub use memquota::{MemQuota, Participation, ShedReport};
-pub use sched::{Quarantine, RunPolicy, SiteResult};
-pub use sink::{RecordHandle, SinkHandle, SinkSummary, StreamOpts};
+pub use sched::{Admission, ClaimGate, Quarantine, RunPolicy, SiteResult};
+pub use sink::{RecordHandle, RecordTee, SinkHandle, SinkSummary, StreamOpts};
 pub use stack::{FpmDist, StructureAvf, WeightedAvf};
 pub use trace::{CampaignMetrics, MetricsReport, Span, WorkerReport};
 pub use vulnstack_microarch::FaultModel;

@@ -37,6 +37,45 @@ use std::sync::Mutex;
 
 use crate::trace::CampaignMetrics;
 
+/// What an admission gate tells a worker that is about to claim a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the site (the gate granted an execution slot).
+    Run,
+    /// Stop claiming: the campaign was cancelled or the pool is shutting
+    /// down. Sites already in flight finish; unclaimed sites stay
+    /// unclaimed (a journaled campaign resumes them later).
+    Stop,
+}
+
+/// Admission control for shared-pool scheduling (see [`crate::fair`]).
+///
+/// When a campaign runs inside a multi-tenant daemon, its workers must
+/// not monopolise the machine: before each site claim the worker calls
+/// [`ClaimGate::admit`], which may **block** until the fair scheduler
+/// grants one of the shared execution slots, and calls
+/// [`ClaimGate::release`] once the site settles (panic included — the
+/// drive holds the slot in a drop guard). A gate that returns
+/// [`Admission::Stop`] ends the worker's claim loop early, which is how
+/// campaign cancellation reaches the scheduler.
+pub trait ClaimGate: Sync {
+    /// Blocks until the gate grants a slot (`Run`) or tells the worker
+    /// to stop claiming (`Stop`).
+    fn admit(&self) -> Admission;
+    /// Returns the slot taken by the last successful [`ClaimGate::admit`].
+    fn release(&self);
+}
+
+/// Releases a gate slot when dropped, so a panicking site (or outcome
+/// hook) can never leak an execution slot out of the shared pool.
+struct SlotGuard<'a>(&'a dyn ClaimGate);
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
 /// Runs `f` over every item on `threads` workers with work stealing.
 ///
 /// Returns the results in input order: `out[i] == f(i, &items[i])`.
@@ -229,12 +268,21 @@ pub struct DriveStats {
     /// Worker claim loops that died outside the per-site isolation and
     /// were respawned.
     pub respawns: u64,
-    /// Input indices of sites that never settled (claimed by a worker
-    /// that died outside the site isolation before `on_outcome`
-    /// finished), in ascending order. The caller decides their fate —
-    /// the resume layer surfaces them as zero-attempt quarantines and
-    /// re-runs them next time.
+    /// Input indices of sites that were claimed but never settled
+    /// (claimed by a worker that died outside the site isolation before
+    /// `on_outcome` finished), in ascending order. The caller decides
+    /// their fate — the resume layer surfaces them as zero-attempt
+    /// quarantines and re-runs them next time.
     pub lost: Vec<usize>,
+    /// Input indices of sites never claimed because the admission gate
+    /// returned [`Admission::Stop`] (campaign cancelled or pool shut
+    /// down), in ascending order. Distinct from `lost`: nothing went
+    /// wrong with these sites — a journaled campaign simply resumes
+    /// them on the next run.
+    pub unclaimed: Vec<usize>,
+    /// Whether any worker observed [`Admission::Stop`] — i.e. the drive
+    /// ended early rather than draining the queue.
+    pub stopped: bool,
 }
 
 /// The non-collecting core of [`map_ordered_resilient`]: runs every site
@@ -253,6 +301,7 @@ pub struct DriveStats {
 /// # Panics
 ///
 /// Panics if `order` is not a permutation of `0..items.len()`.
+#[allow(clippy::too_many_arguments)]
 pub fn drive_ordered_resilient<T, R, F, C>(
     items: &[T],
     order: &[usize],
@@ -261,6 +310,7 @@ pub fn drive_ordered_resilient<T, R, F, C>(
     f: F,
     on_outcome: C,
     metrics: Option<&CampaignMetrics>,
+    gate: Option<&dyn ClaimGate>,
 ) -> DriveStats
 where
     T: Sync,
@@ -271,7 +321,9 @@ where
     assert_permutation(order, items.len());
     let threads = threads.clamp(1, items.len().max(1));
     let settled: Vec<AtomicBool> = (0..items.len()).map(|_| AtomicBool::new(false)).collect();
+    let claimed: Vec<AtomicBool> = (0..items.len()).map(|_| AtomicBool::new(false)).collect();
     let respawns = AtomicU64::new(0);
+    let stopped = AtomicBool::new(false);
     let run_one = |worker: usize, i: usize| {
         let start = metrics.map(|m| m.now_us());
         let mut attempts = 0u32;
@@ -296,28 +348,50 @@ where
         on_outcome(i, outcome);
         settled[i].store(true, Ordering::Relaxed);
     };
-    if threads == 1 {
-        for &i in order {
-            run_one(0, i);
+    // The claim loop shared by the sequential and threaded paths: admit
+    // through the gate (blocking for a fair-pool slot), claim the next
+    // index, run it while holding the slot in a drop guard so a panic
+    // anywhere in `run_one` still releases it.
+    let claim_loop = |worker: usize, next: &AtomicUsize| loop {
+        // Cheap peek before the (possibly blocking) admission: never
+        // wait for a slot when the queue has already drained.
+        if next.load(Ordering::Relaxed) >= order.len() {
+            break;
         }
+        let guard = match gate {
+            Some(g) => match g.admit() {
+                Admission::Run => Some(SlotGuard(g)),
+                Admission::Stop => {
+                    stopped.store(true, Ordering::Relaxed);
+                    break;
+                }
+            },
+            None => None,
+        };
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        if k >= order.len() {
+            drop(guard);
+            break;
+        }
+        claimed[order[k]].store(true, Ordering::Relaxed);
+        run_one(worker, order[k]);
+        drop(guard);
+    };
+    if threads == 1 {
+        let next = AtomicUsize::new(0);
+        claim_loop(0, &next);
     } else {
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
             for worker in 0..threads {
-                let (run_one, next, respawns) = (&run_one, &next, &respawns);
+                let (claim_loop, next, respawns) = (&claim_loop, &next, &respawns);
                 s.spawn(move || loop {
                     // Supervisor: if the claim loop unwinds outside the
                     // per-site isolation, count a respawn and re-enter it.
                     // Progress is guaranteed — every claim advances the
                     // shared counter, so at most `order.len()` claims ever
                     // happen across all workers and respawns.
-                    let alive = catch_unwind(AssertUnwindSafe(|| loop {
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= order.len() {
-                            break;
-                        }
-                        run_one(worker, order[k]);
-                    }));
+                    let alive = catch_unwind(AssertUnwindSafe(|| claim_loop(worker, next)));
                     match alive {
                         Ok(()) => break,
                         Err(_) => {
@@ -328,15 +402,23 @@ where
             }
         });
     }
-    let lost = settled
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| !s.load(Ordering::Relaxed))
-        .map(|(i, _)| i)
-        .collect();
+    let mut lost = Vec::new();
+    let mut unclaimed = Vec::new();
+    for i in 0..items.len() {
+        if settled[i].load(Ordering::Relaxed) {
+            continue;
+        }
+        if claimed[i].load(Ordering::Relaxed) {
+            lost.push(i);
+        } else {
+            unclaimed.push(i);
+        }
+    }
     DriveStats {
         respawns: respawns.load(Ordering::Relaxed),
         lost,
+        unclaimed,
+        stopped: stopped.load(Ordering::Relaxed),
     }
 }
 
@@ -393,6 +475,7 @@ where
             *slots[i].lock().expect("unpoisoned") = Some(outcome);
         },
         metrics,
+        None,
     );
     let outcomes = slots
         .into_iter()
@@ -658,6 +741,129 @@ mod tests {
                 assert_eq!(o.done(), Some(&(i as u64)), "site {i}");
             }
         }
+    }
+
+    /// A gate that admits the first `quota` claims, then stops — the
+    /// deterministic stand-in for a cancelled fair-pool participant.
+    struct QuotaGate {
+        left: AtomicUsize,
+        released: AtomicUsize,
+    }
+
+    impl QuotaGate {
+        fn new(quota: usize) -> QuotaGate {
+            QuotaGate {
+                left: AtomicUsize::new(quota),
+                released: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl ClaimGate for QuotaGate {
+        fn admit(&self) -> Admission {
+            loop {
+                let left = self.left.load(Ordering::SeqCst);
+                if left == 0 {
+                    return Admission::Stop;
+                }
+                if self
+                    .left
+                    .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    return Admission::Run;
+                }
+            }
+        }
+
+        fn release(&self) {
+            self.released.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn gate_stop_ends_drive_with_unclaimed_sites_not_lost() {
+        let items: Vec<u64> = (0..20).collect();
+        let order: Vec<usize> = (0..20).collect();
+        let gate = QuotaGate::new(7);
+        let ran = AtomicUsize::new(0);
+        for threads in [1, 4] {
+            gate.left.store(7, Ordering::SeqCst);
+            gate.released.store(0, Ordering::SeqCst);
+            ran.store(0, Ordering::SeqCst);
+            let stats = drive_ordered_resilient(
+                &items,
+                &order,
+                threads,
+                RunPolicy::default(),
+                |_, &x| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    x
+                },
+                |_, _| {},
+                None,
+                Some(&gate),
+            );
+            assert!(stats.stopped, "threads={threads}: drive must report stop");
+            assert_eq!(ran.load(Ordering::SeqCst), 7, "threads={threads}");
+            assert_eq!(stats.unclaimed.len(), 13, "threads={threads}");
+            assert!(
+                stats.lost.is_empty(),
+                "threads={threads}: gate-stopped sites are not failures"
+            );
+            // Every admitted slot was released — none leaked.
+            assert_eq!(gate.released.load(Ordering::SeqCst), 7, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn gate_slot_released_even_when_site_panics() {
+        let items: Vec<u64> = (0..6).collect();
+        let order: Vec<usize> = (0..6).collect();
+        let gate = QuotaGate::new(usize::MAX);
+        let stats = drive_ordered_resilient(
+            &items,
+            &order,
+            2,
+            RunPolicy { max_retries: 1 },
+            |_, &x| {
+                assert!(x != 3, "site 3 always panics");
+                x
+            },
+            |_, _| {},
+            None,
+            Some(&gate),
+        );
+        assert!(!stats.stopped);
+        assert!(stats.lost.is_empty() && stats.unclaimed.is_empty());
+        // 6 sites, one of which retried once under the same slot: each
+        // claim released exactly one slot.
+        assert_eq!(gate.released.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn permissive_gate_is_equivalent_to_no_gate() {
+        let items: Vec<u64> = (0..30).collect();
+        let order: Vec<usize> = (0..30).collect();
+        let gate = QuotaGate::new(usize::MAX);
+        let sum = AtomicUsize::new(0);
+        let stats = drive_ordered_resilient(
+            &items,
+            &order,
+            3,
+            RunPolicy::default(),
+            |_, &x| x * 2,
+            |_, o| {
+                if let SiteResult::Done(v) = o {
+                    sum.fetch_add(v as usize, Ordering::SeqCst);
+                }
+            },
+            None,
+            Some(&gate),
+        );
+        assert!(!stats.stopped);
+        assert!(stats.lost.is_empty() && stats.unclaimed.is_empty());
+        assert_eq!(sum.load(Ordering::SeqCst), (0..30).map(|x| x * 2).sum());
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use vulnstack_microarch::env_knob;
 
 use crate::journal::{escape_field, unescape_field, Journal, JournalError};
-use crate::sched::Quarantine;
+use crate::sched::{ClaimGate, Quarantine};
 
 /// Default bound on the worker→sink channel, in encoded records. Small
 /// enough that a stalled sink caps buffered memory at a few hundred KB,
@@ -99,8 +99,11 @@ impl SinkHandle {
     }
 }
 
+/// A subscriber tee over the settled record stream: `(index, payload)`.
+pub type RecordTee<'a> = &'a (dyn Fn(u64, &str) + Sync);
+
 /// Configuration for one streaming run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct StreamOpts<'a> {
     /// Worker→sink channel bound, in encoded records (min 1).
     pub channel_cap: usize,
@@ -109,15 +112,38 @@ pub struct StreamOpts<'a> {
     /// over it. `None` when tallies (the `fold`) are all the caller
     /// needs.
     pub spill: Option<&'a Path>,
+    /// Optional admission gate the scheduler drive consults before each
+    /// site claim: this is how a multi-tenant daemon rations one shared
+    /// slot pool across concurrent campaigns (see `fair::FairPool`) and
+    /// how cancellation stops a campaign at a site boundary. `None`
+    /// (single-tenant CLI runs) means every claim is admitted.
+    pub gate: Option<&'a dyn ClaimGate>,
+    /// Optional subscriber tee: invoked after `fold` for every settled
+    /// record (both replayed-from-journal and freshly executed), so live
+    /// subscribers observe the same byte stream the journal records.
+    pub tee: Option<RecordTee<'a>>,
+}
+
+impl std::fmt::Debug for StreamOpts<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamOpts")
+            .field("channel_cap", &self.channel_cap)
+            .field("spill", &self.spill)
+            .field("gate", &self.gate.map(|_| "<dyn ClaimGate>"))
+            .field("tee", &self.tee.map(|_| "<dyn Fn>"))
+            .finish()
+    }
 }
 
 impl StreamOpts<'static> {
     /// Environment-tuned defaults: `VULNSTACK_SINK_CAP` (or
-    /// [`DEFAULT_CHANNEL_CAP`]), no spill file.
+    /// [`DEFAULT_CHANNEL_CAP`]), no spill file, no gate, no tee.
     pub fn from_env() -> StreamOpts<'static> {
         StreamOpts {
             channel_cap: channel_cap_from_env(),
             spill: None,
+            gate: None,
+            tee: None,
         }
     }
 }
@@ -127,8 +153,8 @@ impl<'a> StreamOpts<'a> {
     /// stream.
     pub fn with_spill(spill: &'a Path) -> StreamOpts<'a> {
         StreamOpts {
-            channel_cap: channel_cap_from_env(),
             spill: Some(spill),
+            ..StreamOpts::from_env()
         }
     }
 }
@@ -247,6 +273,17 @@ where
 
     let (tx, rx) = sync_channel(opts.channel_cap.max(1));
     let handle = SinkHandle { tx };
+    // Fan each settled record out to the subscriber tee right after the
+    // caller's fold, still on the sink thread, so subscribers see the
+    // exact settlement order the journal records.
+    let tee = opts.tee;
+    let mut fold = fold;
+    let fold = move |i: u64, p: &str| {
+        fold(i, p);
+        if let Some(t) = tee {
+            t(i, p);
+        }
+    };
     let (out, summary) = std::thread::scope(|s| {
         let sink = s.spawn(move || consume(&rx, journal, spill, fold));
         let out = body(&handle);
@@ -348,6 +385,8 @@ mod tests {
         StreamOpts {
             channel_cap: cap,
             spill: None,
+            gate: None,
+            tee: None,
         }
     }
 
@@ -408,6 +447,8 @@ mod tests {
         let so = StreamOpts {
             channel_cap: 2,
             spill: Some(&path),
+            gate: None,
+            tee: None,
         };
         let ((), summary) = stream(
             None,
@@ -493,6 +534,36 @@ mod tests {
             }
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tee_sees_every_record_after_fold() {
+        use std::sync::Mutex;
+        let teed: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+        let tee = |i: u64, p: &str| teed.lock().unwrap().push((i, p.to_string()));
+        let mut folded = 0u64;
+        let so = StreamOpts {
+            tee: Some(&tee),
+            ..opts(4)
+        };
+        let ((), summary) = stream(
+            None,
+            so,
+            |_, _| folded += 1,
+            |h| {
+                for i in 0..10u64 {
+                    h.push_done(i, format!("r{i}"));
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.done, 10);
+        assert_eq!(folded, 10);
+        let teed = teed.into_inner().unwrap();
+        assert_eq!(teed.len(), 10);
+        for (i, p) in &teed {
+            assert_eq!(p, &format!("r{i}"));
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod compare;
 pub mod prepare;
 pub mod prune;
 pub mod pvf;
+pub mod report;
 pub mod sweep;
 
 pub use ace::ace_analysis;
@@ -49,6 +50,7 @@ pub use pvf::{
     pvf_campaign, pvf_campaign_metered, pvf_campaign_resumable, pvf_campaign_streamed, PvfMode,
     PvfResumed, PvfStreamed,
 };
+pub use report::{avf_report_json, ModelReport};
 pub use sweep::{
     temporal_campaign, temporal_campaign_metered, temporal_campaign_pruned,
     temporal_campaign_resumable, temporal_campaign_resumable_pruned, temporal_campaign_streamed,

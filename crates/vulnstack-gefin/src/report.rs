@@ -1,0 +1,92 @@
+//! Machine-readable campaign reports shared by every front end.
+//!
+//! The `avf --json` report used to be hand-built inside the CLI binary,
+//! which made it impossible for any other front end (the `vulnstack-serve`
+//! daemon, tests) to promise byte-identical output. It lives here now:
+//! the CLI and the daemon call the same function over the same campaign
+//! results, so `cmp` on their JSON files is a meaningful equivalence
+//! check, not a formatting lottery.
+
+use std::fmt::Write as _;
+
+use vulnstack_core::{FpmDist, Tally};
+use vulnstack_microarch::FaultModel;
+
+use crate::prune::InjectionPlan;
+
+/// One structure's per-model campaign tallies, as reported and exported:
+/// `(structure name, per-model (model, tally, FPM distribution))`.
+pub type ModelReport = (&'static str, Vec<(FaultModel, Tally, FpmDist)>);
+
+/// The canonical JSON report for an AVF campaign: per-structure,
+/// per-model tallies plus the plan that produced them. Trailing newline
+/// included — the output is written to files verbatim and compared with
+/// `cmp`.
+pub fn avf_report_json(
+    workload: &str,
+    plan: &InjectionPlan,
+    per_structure: &[ModelReport],
+) -> String {
+    let mut s = String::new();
+    let plan_detail = match *plan {
+        InjectionPlan::Exhaustive { cycle } => format!("exhaustive@{cycle}"),
+        _ => plan.name().to_string(),
+    };
+    let _ = write!(
+        s,
+        "{{\"workload\":\"{workload}\",\"plan\":\"{plan_detail}\",\"structures\":["
+    );
+    for (i, (st, tallies)) in per_structure.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"structure\":\"{st}\",\"models\":[");
+        for (j, (m, tally, fpm)) in tallies.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"model\":\"{}\",\"injections\":{},\"masked\":{},\"sdc\":{},\
+                 \"crash\":{},\"detected\":{},\"avf\":{:.6},\"hvf\":{:.6}}}",
+                m.name(),
+                tally.total(),
+                tally.masked,
+                tally.sdc,
+                tally.crash,
+                tally.detected,
+                tally.vf().total(),
+                fpm.hvf()
+            );
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vulnstack_core::effects::FaultEffect;
+
+    #[test]
+    fn report_shape_is_stable() {
+        let mut tally = Tally::default();
+        tally.add(FaultEffect::Masked);
+        tally.add(FaultEffect::Sdc);
+        let report: Vec<ModelReport> =
+            vec![("RF", vec![(FaultModel::BitFlip, tally, FpmDist::default())])];
+        let json = avf_report_json("crc32", &InjectionPlan::Sampled { n: 2, seed: 1 }, &report);
+        assert!(json.starts_with("{\"workload\":\"crc32\",\"plan\":\"sampled\""));
+        assert!(json.contains("\"structure\":\"RF\""));
+        assert!(json.contains("\"model\":\"bit-flip\",\"injections\":2,\"masked\":1,\"sdc\":1"));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn exhaustive_plan_records_its_cycle() {
+        let json = avf_report_json("sha", &InjectionPlan::Exhaustive { cycle: 41 }, &[]);
+        assert!(json.contains("\"plan\":\"exhaustive@41\""));
+    }
+}

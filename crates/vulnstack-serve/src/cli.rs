@@ -1,0 +1,224 @@
+//! Command-line front ends for the daemon (`vulnstack serve`) and the
+//! client (`vulnstack client`). The binary crate forwards its raw
+//! argument slices here so all serving-related parsing lives with the
+//! protocol it drives.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use crate::client::Client;
+use crate::daemon::{self, DaemonOpts};
+use crate::json::{self, Value};
+use crate::spec::CampaignSpec;
+
+fn parse_flags(rest: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = &rest[i];
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a}"));
+        };
+        if matches!(name, "hardened") {
+            flags.insert(name.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let v = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), v.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn parse_num(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{key} {v}")),
+    }
+}
+
+/// `vulnstack serve --state DIR [--listen ADDR] [--slots N] [--threads N]`
+///
+/// `--listen` takes `host:port` (port 0 picks a free port; the resolved
+/// endpoint is printed and written to `<state>/endpoint`) or
+/// `unix:/path/to.sock`.
+pub fn serve_main(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let state = flags
+        .get("state")
+        .ok_or("serve needs --state DIR (spec/journal directory)")?;
+    let opts = DaemonOpts {
+        listen: flags
+            .get("listen")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        state: PathBuf::from(state),
+        slots: parse_num(&flags, "slots", 2)?.max(1) as usize,
+        threads: parse_num(&flags, "threads", 2)?.max(1) as usize,
+    };
+    daemon::serve(&opts)
+}
+
+/// Builds a spec object from client flags; `workload` is positional.
+fn spec_from_flags(workload: &str, flags: &HashMap<String, String>) -> Result<Value, String> {
+    let mut fields: Vec<(&str, Value)> = vec![("workload", json::s(workload))];
+    fields.push((
+        "engine",
+        json::s(flags.get("engine").map_or("avf", String::as_str)),
+    ));
+    for key in ["model", "structure", "models", "isa", "mode", "priority"] {
+        if let Some(v) = flags.get(key) {
+            fields.push((key_static(key), json::s(v)));
+        }
+    }
+    for key in ["faults", "seed", "windows", "per_window"] {
+        if let Some(v) = flags.get(key) {
+            let n: u64 = v.parse().map_err(|_| format!("bad --{key} {v}"))?;
+            fields.push((key_static(key), json::n(n)));
+        }
+    }
+    if flags.contains_key("hardened") {
+        fields.push(("hardened", Value::Bool(true)));
+    }
+    let spec = json::obj(fields);
+    // Validate locally so a typo fails before touching the daemon.
+    CampaignSpec::parse(&spec)?;
+    Ok(spec)
+}
+
+/// Maps a known flag name to its `'static` spec key (the JSON builder
+/// borrows keys for the duration of the call).
+fn key_static(key: &str) -> &'static str {
+    match key {
+        "model" => "model",
+        "structure" => "structure",
+        "models" => "models",
+        "isa" => "isa",
+        "mode" => "mode",
+        "priority" => "priority",
+        "faults" => "faults",
+        "seed" => "seed",
+        "windows" => "windows",
+        "per_window" => "per_window",
+        _ => unreachable!("key_static called with unknown key"),
+    }
+}
+
+/// `vulnstack client <addr> <action> ...`
+///
+/// Actions:
+/// * `run <workload> [--engine avf] [spec flags] [--json PATH]` —
+///   submit, subscribe, stream records to stdout, write the final
+///   report verbatim to `--json` (or stdout).
+/// * `list` — table of campaigns.
+/// * `status|cancel --handle H` — one campaign.
+/// * `shutdown` — graceful daemon stop.
+pub fn client_main(args: &[String]) -> Result<(), String> {
+    let addr = args.first().ok_or("client needs a daemon address")?;
+    let action = args.get(1).map_or("list", String::as_str);
+    match action {
+        "run" => {
+            let workload = args
+                .get(2)
+                .filter(|w| !w.starts_with("--"))
+                .ok_or("client run needs a workload name")?;
+            let flags = parse_flags(args.get(3..).unwrap_or(&[]))?;
+            let spec = spec_from_flags(workload, &flags)?;
+            let mut client = Client::connect(addr)?;
+            let mut streamed = 0u64;
+            let done = client.run_campaign(&spec, |_r| streamed += 1)?;
+            eprintln!("{streamed} record(s) streamed; campaign {}", done.state);
+            if done.state == "failed" {
+                return Err(format!("campaign failed: {}", done.message));
+            }
+            match flags.get("json") {
+                // The report is written verbatim: byte-identical to the
+                // CLI's `--json` output for the same campaign.
+                Some(path) => std::fs::write(path, done.report.as_bytes())
+                    .map_err(|e| format!("write {path}: {e}"))?,
+                None => print!("{}", done.report),
+            }
+            Ok(())
+        }
+        "list" => {
+            let mut client = Client::connect(addr)?;
+            let resp = client.call("list", vec![])?;
+            let Some(Value::Arr(items)) = resp.get("campaigns") else {
+                return Err("malformed list response".to_string());
+            };
+            for item in items {
+                let get = |k: &str| item.get(k).and_then(Value::as_str).unwrap_or("?");
+                let records = item.get("records").and_then(Value::as_u64).unwrap_or(0);
+                println!(
+                    "{}  {:<12} {:<10} {:<8} {:<9} {} record(s)",
+                    get("handle"),
+                    get("engine"),
+                    get("workload"),
+                    get("priority"),
+                    get("state"),
+                    records
+                );
+            }
+            Ok(())
+        }
+        "status" | "cancel" => {
+            let flags = parse_flags(args.get(2..).unwrap_or(&[]))?;
+            let handle = flags
+                .get("handle")
+                .ok_or_else(|| format!("client {action} needs --handle H"))?;
+            let mut client = Client::connect(addr)?;
+            let resp = client.call(action, vec![("handle", json::s(handle))])?;
+            println!("{}", json::write(&resp));
+            Ok(())
+        }
+        "shutdown" => {
+            let mut client = Client::connect(addr)?;
+            client.call("shutdown", vec![])?;
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown client action {other} (expected run|list|status|cancel|shutdown)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[&str]) -> HashMap<String, String> {
+        parse_flags(&pairs.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn spec_from_flags_builds_a_valid_spec() {
+        let f = flags(&[
+            "--engine",
+            "avf",
+            "--model",
+            "A9",
+            "--structure",
+            "RF",
+            "--faults",
+            "25",
+            "--seed",
+            "7",
+            "--priority",
+            "high",
+        ]);
+        let spec = spec_from_flags("qsort", &f).unwrap();
+        let parsed = CampaignSpec::parse(&spec).unwrap();
+        assert_eq!(parsed.faults, 25);
+        assert_eq!(parsed.priority.name(), "high");
+    }
+
+    #[test]
+    fn bad_flags_fail_before_the_network() {
+        assert!(spec_from_flags("qsort", &flags(&["--faults", "zero"])).is_err());
+        assert!(spec_from_flags("noexist", &flags(&[])).is_err());
+        assert!(parse_flags(&["stray".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! A socket that is either TCP or Unix-domain, behind one type.
+//!
+//! The protocol code reads and writes `Conn` without caring which
+//! transport carries it; `try_clone` yields the independent write half
+//! the per-connection writer thread owns.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+#[derive(Debug)]
+pub enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Connects to `addr`: a filesystem path prefixed with `unix:`, or
+    /// a `host:port` TCP endpoint.
+    pub fn connect(addr: &str) -> std::io::Result<Conn> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            UnixStream::connect(path).map(Conn::Unix)
+        } else {
+            TcpStream::connect(addr).map(Conn::Tcp)
+        }
+    }
+
+    pub fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}

@@ -19,7 +19,7 @@ use std::process::ExitCode;
 
 use vulnstack_compiler::{compile, CompileOpts};
 use vulnstack_core::report::{pct, pct2, Table};
-use vulnstack_core::{FpmDist, JournalOpts, ResumeMode, ResumeStats, RunPolicy, StreamOpts, Tally};
+use vulnstack_core::{JournalOpts, ResumeMode, ResumeStats, RunPolicy, StreamOpts};
 use vulnstack_gefin::{
     avf_campaign_models_streamed, default_threads, pvf_campaign_streamed, FuncPrepared,
     InjectionPlan, Prepared, PruneStats, PvfMode,
@@ -67,6 +67,13 @@ fn usage() {
     eprintln!("  vulnstack trace   <workload> [--model A72] [--limit N]");
     eprintln!("  vulnstack trace   <workload> --structure RF|LSQ|L1i|L1d|L2");
     eprintln!("                    [--cycle C --bit B | --site K [--faults N] [--seed S]]");
+    eprintln!("  vulnstack serve   --state DIR [--listen HOST:PORT|unix:PATH]");
+    eprintln!("                    [--slots N] [--threads N]");
+    eprintln!(
+        "  vulnstack client  <addr> run <workload> [--engine avf|pvf|sweep|svf|svf-hardened]"
+    );
+    eprintln!("                    [--priority low|normal|high] [spec flags] [--json PATH]");
+    eprintln!("  vulnstack client  <addr> list|shutdown | status|cancel --handle H");
 }
 
 struct Opts {
@@ -239,51 +246,10 @@ fn report_resume(journal: &Path, stats: &ResumeStats, quarantined: &[vulnstack_c
     }
 }
 
-/// One structure's per-model campaign tallies, as reported and exported.
-type ModelReport = (&'static str, Vec<(FaultModel, Tally, FpmDist)>);
-
-/// Hand-built JSON for `avf --json`: the per-structure, per-model
-/// tallies of a campaign (machine-readable mirror of the per-model
-/// tables).
-fn avf_json(workload: &str, plan: &InjectionPlan, per_structure: &[ModelReport]) -> String {
-    use std::fmt::Write as _;
-    let mut s = String::new();
-    let plan_detail = match *plan {
-        InjectionPlan::Exhaustive { cycle } => format!("exhaustive@{cycle}"),
-        _ => plan.name().to_string(),
-    };
-    let _ = write!(
-        s,
-        "{{\"workload\":\"{workload}\",\"plan\":\"{plan_detail}\",\"structures\":["
-    );
-    for (i, (st, tallies)) in per_structure.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        let _ = write!(s, "{{\"structure\":\"{st}\",\"models\":[");
-        for (j, (m, tally, fpm)) in tallies.iter().enumerate() {
-            if j > 0 {
-                s.push(',');
-            }
-            let _ = write!(
-                s,
-                "{{\"model\":\"{}\",\"injections\":{},\"masked\":{},\"sdc\":{},\
-                 \"crash\":{},\"detected\":{},\"avf\":{:.6},\"hvf\":{:.6}}}",
-                m.name(),
-                tally.total(),
-                tally.masked,
-                tally.sdc,
-                tally.crash,
-                tally.detected,
-                tally.vf().total(),
-                fpm.hvf()
-            );
-        }
-        s.push_str("]}");
-    }
-    s.push_str("]}\n");
-    s
-}
+// The per-structure/per-model JSON report builder lives in
+// `vulnstack_gefin::report` so the serve daemon and this CLI produce
+// byte-identical files from the same campaign results.
+use vulnstack_gefin::{avf_report_json, ModelReport};
 
 fn workload(name: &str, hardened: bool) -> Result<Workload, String> {
     let id = WorkloadId::from_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
@@ -447,6 +413,14 @@ fn run(args: &[String]) -> Result<(), String> {
             analyze_prune_audit(&target, &opts)
         };
     }
+    // The serving subcommands own their argument grammar (extra
+    // positionals, `unix:` addresses) — forward the raw slice.
+    if cmd == "serve" {
+        return vulnstack_serve::serve_main(&args[1..]);
+    }
+    if cmd == "client" {
+        return vulnstack_serve::client_main(&args[1..]);
+    }
     let rest = if args.len() > 2 { &args[2..] } else { &[] };
     let opts = parse_opts(rest)?;
 
@@ -589,7 +563,7 @@ fn run(args: &[String]) -> Result<(), String> {
             if let Some(path) = opts.flags.get("json") {
                 vulnstack_core::report::write_atomic(
                     path,
-                    avf_json(&label, &plan, &model_report).as_bytes(),
+                    avf_report_json(&label, &plan, &model_report).as_bytes(),
                 )
                 .map_err(|e| e.to_string())?;
                 println!("wrote {path}");

@@ -645,6 +645,8 @@ fn streamed_kill_and_resume_reproduces_the_uninterrupted_journal() {
             StreamOpts {
                 channel_cap: 1,
                 spill: None,
+                gate: None,
+                tee: None,
             },
             None,
         )
@@ -694,6 +696,8 @@ fn streamed_kill_and_resume_reproduces_the_uninterrupted_journal() {
         StreamOpts {
             channel_cap: 1,
             spill: None,
+            gate: None,
+            tee: None,
         },
         None,
     )

@@ -52,6 +52,8 @@ fn spill_opts(cap: usize, spill: &Path) -> StreamOpts<'_> {
     StreamOpts {
         channel_cap: cap,
         spill: Some(spill),
+        gate: None,
+        tee: None,
     }
 }
 
@@ -257,6 +259,8 @@ fn a_panic_mid_stream_quarantines_without_stalling_the_pipeline() {
             StreamOpts {
                 channel_cap: 1,
                 spill: None,
+                gate: None,
+                tee: None,
             },
             |i, &(cycle, bit)| {
                 assert!(i != poisoned, "injector blew up on site {i}");
@@ -286,6 +290,8 @@ fn a_panic_mid_stream_quarantines_without_stalling_the_pipeline() {
         StreamOpts {
             channel_cap: 1,
             spill: None,
+            gate: None,
+            tee: None,
         },
         |_, &(cycle, bit)| vulnstack_gefin::avf::run_one(prep, STRUCTURE, cycle, bit),
         encode_record,
